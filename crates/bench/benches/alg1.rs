@@ -1,0 +1,83 @@
+//! Algorithm 1 micro-benchmarks (Table 1's Alg. 1 columns, Figure 4's
+//! Alg1-vs-size panels) plus the incremental-conditioning ablation: the
+//! paper's Algorithm 1 recomputes the whole `#SAT_k` DP per fact; our
+//! optimized variant reuses the unconditioned pass for gates that do not
+//! contain the conditioned fact (`ExactConfig::reuse_unaffected`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shapdb_circuit::{Circuit, Dnf, VarId};
+use shapdb_core::exact::{shapley_all_facts, ExactConfig};
+use shapdb_kc::{compile_circuit, Budget, Ddnnf};
+
+fn grid_ddnnf(a: usize, b: usize) -> Ddnnf {
+    let mut d = Dnf::new();
+    for i in 0..a {
+        for j in 0..b {
+            d.add_conjunct(vec![VarId(i as u32), VarId((a + j) as u32)]);
+        }
+    }
+    let mut c = Circuit::new();
+    let root = d.to_circuit(&mut c);
+    compile_circuit(&c, root, &Budget::unlimited()).unwrap().ddnnf
+}
+
+fn bench_alg1_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_alg1_vs_facts");
+    group.sample_size(10);
+    for (a, b) in [(4, 4), (8, 8), (12, 12)] {
+        let dd = grid_ddnnf(a, b);
+        let n = a + b;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}facts")),
+            &dd,
+            |bench, dd| {
+                bench.iter(|| {
+                    shapley_all_facts(dd, n, &ExactConfig::default()).unwrap().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reuse_ablation(c: &mut Criterion) {
+    let dd = grid_ddnnf(10, 10);
+    let mut group = c.benchmark_group("ablation_alg1_reuse");
+    group.sample_size(10);
+    group.bench_function("paper_full_recompute", |b| {
+        let cfg = ExactConfig { reuse_unaffected: false, ..Default::default() };
+        b.iter(|| shapley_all_facts(&dd, 20, &cfg).unwrap().len())
+    });
+    group.bench_function("reuse_unaffected", |b| {
+        let cfg = ExactConfig { reuse_unaffected: true, ..Default::default() };
+        b.iter(|| shapley_all_facts(&dd, 20, &cfg).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_null_player_completion(c: &mut Criterion) {
+    // Effect of |D_n| ≫ |vars(C)|: the arithmetic completion's cost.
+    let dd = grid_ddnnf(8, 8);
+    let mut group = c.benchmark_group("ablation_alg1_completion");
+    group.sample_size(10);
+    for n_endo in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n_endo_{n_endo}")),
+            &n_endo,
+            |b, &n_endo| {
+                b.iter(|| {
+                    shapley_all_facts(&dd, n_endo, &ExactConfig::default()).unwrap().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alg1_scaling,
+    bench_reuse_ablation,
+    bench_null_player_completion
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Inexact-method micro-benchmarks (Table 2, Figure 6's time panel):
+//! CNF Proxy vs Monte Carlo vs Kernel SHAP on the same lineage, plus the
+//! monotone binary-search Monte Carlo ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shapdb_circuit::{Circuit, Dnf, VarId};
+use shapdb_core::kernelshap::{kernel_shap, KernelShapConfig};
+use shapdb_core::montecarlo::{
+    monte_carlo_shapley, monte_carlo_shapley_monotone, MonteCarloConfig,
+};
+use shapdb_core::proxy::proxy_from_lineage;
+use shapdb_num::Bitset;
+
+fn grid(a: usize, b: usize) -> Dnf {
+    let mut d = Dnf::new();
+    for i in 0..a {
+        for j in 0..b {
+            d.add_conjunct(vec![VarId(i as u32), VarId((a + j) as u32)]);
+        }
+    }
+    d
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let d = grid(15, 15);
+    let n = 30;
+    let f = |s: &Bitset| d.eval_set(s);
+    let mut group = c.benchmark_group("table2_inexact_methods");
+    group.sample_size(10);
+    group.bench_function("cnf_proxy", |b| {
+        b.iter(|| {
+            let mut circuit = Circuit::new();
+            let root = d.to_circuit(&mut circuit);
+            proxy_from_lineage(&circuit, root).len()
+        })
+    });
+    group.bench_function("monte_carlo_50n", |b| {
+        let cfg = MonteCarloConfig { permutations: 50, seed: 1 };
+        b.iter(|| monte_carlo_shapley(&f, n, &cfg).len())
+    });
+    group.bench_function("kernel_shap_50n", |b| {
+        let cfg = KernelShapConfig { samples: 50 * n, seed: 1, ..Default::default() };
+        b.iter(|| kernel_shap(&f, n, &cfg).len())
+    });
+    group.finish();
+}
+
+fn bench_budget_sweep(c: &mut Criterion) {
+    // Figure 6's x-axis: sampler cost grows linearly with the budget.
+    let d = grid(10, 10);
+    let n = 20;
+    let f = |s: &Bitset| d.eval_set(s);
+    let mut group = c.benchmark_group("fig6_budget_sweep");
+    group.sample_size(10);
+    for factor in [10usize, 30, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("monte_carlo", factor),
+            &factor,
+            |b, &factor| {
+                let cfg = MonteCarloConfig { permutations: factor, seed: 2 };
+                b.iter(|| monte_carlo_shapley(&f, n, &cfg).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_monotone_ablation(c: &mut Criterion) {
+    let d = grid(20, 20);
+    let n = 40;
+    let f = |s: &Bitset| d.eval_set(s);
+    let cfg = MonteCarloConfig { permutations: 100, seed: 3 };
+    let mut group = c.benchmark_group("ablation_mc_monotone");
+    group.sample_size(10);
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| monte_carlo_shapley(&f, n, &cfg).len())
+    });
+    group.bench_function("binary_search", |b| {
+        b.iter(|| monte_carlo_shapley_monotone(&f, n, &cfg).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_budget_sweep, bench_monotone_ablation);
+criterion_main!(benches);

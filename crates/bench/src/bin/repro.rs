@@ -1,0 +1,166 @@
+//! `repro` — regenerates every table and figure of the paper's §6.
+//!
+//! ```text
+//! repro [--quick] [table1|table2|fig4|fig5|fig6|fig7|fig8|fastpath|all]
+//! ```
+//!
+//! `fastpath` is an extension experiment (not a paper artifact): read-once
+//! coverage of the workload lineages and the fast path's speedup over the
+//! knowledge-compilation pipeline.
+//!
+//! Reports are printed to stdout and mirrored under `results/`. `--quick`
+//! shrinks the synthetic workloads (for CI-style smoke runs); the default
+//! sizes are the ones EXPERIMENTS.md records.
+
+use shapdb_bench::experiments;
+use shapdb_bench::runner::{run_workload, QueryRun};
+use shapdb_workloads::{
+    imdb_database, imdb_queries, tpch_database, tpch_queries, ImdbConfig, TpchConfig,
+};
+use std::io::Write as _;
+use std::time::Duration;
+
+struct Config {
+    tpch_scale: f64,
+    imdb_movies: usize,
+    timeout: Duration,
+    max_outputs: usize,
+    table2_records: usize,
+}
+
+impl Config {
+    fn standard() -> Config {
+        Config {
+            tpch_scale: 1.0,
+            imdb_movies: 1200,
+            timeout: Duration::from_millis(2500),
+            max_outputs: 400,
+            table2_records: 150,
+        }
+    }
+
+    fn quick() -> Config {
+        Config {
+            tpch_scale: 0.3,
+            imdb_movies: 250,
+            timeout: Duration::from_millis(1000),
+            max_outputs: 60,
+            table2_records: 40,
+        }
+    }
+}
+
+struct Runs {
+    tpch: Vec<QueryRun>,
+    imdb: Vec<QueryRun>,
+}
+
+fn build_runs(cfg: &Config) -> Runs {
+    eprintln!(
+        "[repro] generating TPC-H (scale {}) and IMDB ({} movies)…",
+        cfg.tpch_scale, cfg.imdb_movies
+    );
+    let tpch_db = tpch_database(&TpchConfig { scale: cfg.tpch_scale, ..Default::default() });
+    let imdb_db =
+        imdb_database(&ImdbConfig { movies: cfg.imdb_movies, ..Default::default() });
+    eprintln!(
+        "[repro] TPC-H: {} facts ({} endogenous); IMDB: {} facts ({} endogenous)",
+        tpch_db.num_facts(),
+        tpch_db.num_endogenous(),
+        imdb_db.num_facts(),
+        imdb_db.num_endogenous()
+    );
+    eprintln!("[repro] running exact pipeline per output tuple (timeout {:?})…", cfg.timeout);
+    let tpch = run_workload(&tpch_db, &tpch_queries(), Some(cfg.timeout), cfg.max_outputs);
+    eprintln!("[repro] TPC-H done; running IMDB…");
+    let imdb = run_workload(&imdb_db, &imdb_queries(), Some(cfg.timeout), cfg.max_outputs);
+    eprintln!("[repro] workloads done.");
+    Runs { tpch, imdb }
+}
+
+fn emit(name: &str, content: &str) {
+    println!("==== {name} ====");
+    println!("{content}");
+    let _ = std::fs::create_dir_all("results");
+    match std::fs::File::create(format!("results/{name}.txt")) {
+        Ok(mut f) => {
+            let _ = f.write_all(content.as_bytes());
+        }
+        Err(e) => eprintln!("[repro] could not write results/{name}.txt: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick { Config::quick() } else { Config::standard() };
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let what: Vec<&str> = if what.is_empty() { vec!["all"] } else { what };
+    let all = what.contains(&"all");
+
+    // Figure 5 runs its own scale sweep; everything else shares one run.
+    let needs_runs = all
+        || what.iter().any(|w| {
+            ["table1", "table2", "fig4", "fig6", "fig7", "fig8", "fastpath"].contains(w)
+        });
+    let runs = if needs_runs { Some(build_runs(&cfg)) } else { None };
+
+    if all || what.contains(&"table1") {
+        let r = runs.as_ref().unwrap();
+        emit("table1", &experiments::table1(&[("TPC-H", &r.tpch), ("IMDB", &r.imdb)]));
+    }
+    if all || what.contains(&"table2") {
+        let r = runs.as_ref().unwrap();
+        let combined: Vec<QueryRun> =
+            r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
+        emit("table2", &experiments::table2(&combined, 50, cfg.table2_records));
+    }
+    if all || what.contains(&"fig4") {
+        let r = runs.as_ref().unwrap();
+        let combined: Vec<QueryRun> =
+            r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
+        emit("fig4", &experiments::fig4(&combined));
+    }
+    if all || what.contains(&"fig5") {
+        let scales: &[f64] =
+            if quick { &[0.25, 0.5, 1.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0] };
+        emit("fig5", &experiments::fig5(scales, cfg.timeout, 4));
+    }
+    if all || what.contains(&"fig6") {
+        let r = runs.as_ref().unwrap();
+        let combined: Vec<QueryRun> =
+            r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
+        emit(
+            "fig6",
+            &experiments::fig6(&combined, &[10, 20, 30, 40, 50], cfg.table2_records / 2),
+        );
+    }
+    if all || what.contains(&"fig7") {
+        let r = runs.as_ref().unwrap();
+        let combined: Vec<QueryRun> =
+            r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
+        emit("fig7", &experiments::fig7(&combined, 20, cfg.table2_records));
+    }
+    if all || what.contains(&"fastpath") {
+        let r = runs.as_ref().unwrap();
+        emit(
+            "fastpath",
+            &experiments::fastpath(&[("TPC-H", &r.tpch), ("IMDB", &r.imdb)]),
+        );
+    }
+    if all || what.contains(&"fig8") {
+        let r = runs.as_ref().unwrap();
+        let timeouts: Vec<Duration> = [0.01, 0.05, 0.25, 0.5, 1.0, 2.5]
+            .iter()
+            .map(|s| Duration::from_secs_f64(*s))
+            .collect();
+        emit(
+            "fig8",
+            &experiments::fig8(&[("TPC-H", &r.tpch), ("IMDB", &r.imdb)], &timeouts),
+        );
+    }
+}

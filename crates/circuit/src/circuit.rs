@@ -1,0 +1,423 @@
+//! Arena-allocated, hash-consed Boolean circuits.
+
+use shapdb_num::Bitset;
+use std::collections::HashMap;
+
+/// A Boolean variable of a circuit. For provenance circuits this is the
+/// database fact-id index (`shapdb_data::FactId`); the circuit itself is
+/// agnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A gate handle inside a [`Circuit`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A gate. `And([])` is ⊤ and `Or([])` is ⊥, matching the paper's convention
+/// for constant gates (footnote 2), though explicit `Const` gates are also
+/// supported.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Gate {
+    Const(bool),
+    Var(VarId),
+    Not(NodeId),
+    And(Box<[NodeId]>),
+    Or(Box<[NodeId]>),
+}
+
+/// A Boolean circuit: an arena of gates with structural sharing.
+///
+/// Construction goes through the builder methods ([`Circuit::var`],
+/// [`Circuit::and`], …), which hash-cons: structurally identical gates get
+/// the same [`NodeId`]. With `simplify` enabled (the default), constants are
+/// folded, duplicate children dropped, and unary `∧/∨` gates collapsed to
+/// their child. A *raw* mode ([`Circuit::new_raw`]) keeps unary gates, which
+/// reproduces the exact Tseytin clause shapes discussed in Example 5.4 of
+/// the paper.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    dedup: HashMap<Gate, NodeId>,
+    simplify: bool,
+    root: Option<NodeId>,
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Circuit::new()
+    }
+}
+
+impl Circuit {
+    /// A new empty circuit with simplification enabled.
+    pub fn new() -> Circuit {
+        Circuit { gates: Vec::new(), dedup: HashMap::new(), simplify: true, root: None }
+    }
+
+    /// A new empty circuit that performs no algebraic simplification
+    /// (hash-consing still applies).
+    pub fn new_raw() -> Circuit {
+        Circuit { simplify: false, ..Circuit::new() }
+    }
+
+    /// Number of gates in the arena.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True iff the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate behind a node id.
+    pub fn gate(&self, n: NodeId) -> &Gate {
+        &self.gates[n.index()]
+    }
+
+    /// Sets the designated output gate.
+    pub fn set_root(&mut self, root: NodeId) {
+        self.root = Some(root);
+    }
+
+    /// The designated output gate.
+    pub fn root(&self) -> NodeId {
+        self.root.expect("circuit root not set")
+    }
+
+    fn intern(&mut self, gate: Gate) -> NodeId {
+        if let Some(&id) = self.dedup.get(&gate) {
+            return id;
+        }
+        let id = NodeId(self.gates.len() as u32);
+        self.gates.push(gate.clone());
+        self.dedup.insert(gate, id);
+        id
+    }
+
+    /// A constant gate.
+    pub fn constant(&mut self, v: bool) -> NodeId {
+        self.intern(Gate::Const(v))
+    }
+
+    /// A variable gate.
+    pub fn var(&mut self, v: VarId) -> NodeId {
+        self.intern(Gate::Var(v))
+    }
+
+    /// A negation gate (simplifies `¬¬x → x` and `¬const`).
+    pub fn not(&mut self, n: NodeId) -> NodeId {
+        if self.simplify {
+            match self.gates[n.index()] {
+                Gate::Const(b) => return self.constant(!b),
+                Gate::Not(inner) => return inner,
+                _ => {}
+            }
+        }
+        self.intern(Gate::Not(n))
+    }
+
+    /// A conjunction gate over the given children.
+    pub fn and(&mut self, children: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let mut kids: Vec<NodeId> = children.into_iter().collect();
+        if self.simplify {
+            kids.retain(|&c| !matches!(self.gates[c.index()], Gate::Const(true)));
+            if kids.iter().any(|&c| matches!(self.gates[c.index()], Gate::Const(false))) {
+                return self.constant(false);
+            }
+            kids.sort_unstable();
+            kids.dedup();
+            if kids.is_empty() {
+                return self.constant(true);
+            }
+            if kids.len() == 1 {
+                return kids[0];
+            }
+        }
+        self.intern(Gate::And(kids.into_boxed_slice()))
+    }
+
+    /// A disjunction gate over the given children.
+    pub fn or(&mut self, children: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let mut kids: Vec<NodeId> = children.into_iter().collect();
+        if self.simplify {
+            kids.retain(|&c| !matches!(self.gates[c.index()], Gate::Const(false)));
+            if kids.iter().any(|&c| matches!(self.gates[c.index()], Gate::Const(true))) {
+                return self.constant(true);
+            }
+            kids.sort_unstable();
+            kids.dedup();
+            if kids.is_empty() {
+                return self.constant(false);
+            }
+            if kids.len() == 1 {
+                return kids[0];
+            }
+        }
+        self.intern(Gate::Or(kids.into_boxed_slice()))
+    }
+
+    /// Evaluates the gate `n` under the given variable assignment.
+    ///
+    /// Iterative (explicit memo over the arena prefix), so deep circuits do
+    /// not overflow the stack.
+    pub fn eval(&self, n: NodeId, assignment: &impl Fn(VarId) -> bool) -> bool {
+        // Gates only reference earlier gates, so a forward sweep suffices.
+        let mut memo = vec![false; n.index() + 1];
+        for (i, gate) in self.gates[..=n.index()].iter().enumerate() {
+            memo[i] = match gate {
+                Gate::Const(b) => *b,
+                Gate::Var(v) => assignment(*v),
+                Gate::Not(c) => !memo[c.index()],
+                Gate::And(cs) => cs.iter().all(|c| memo[c.index()]),
+                Gate::Or(cs) => cs.iter().any(|c| memo[c.index()]),
+            };
+        }
+        memo[n.index()]
+    }
+
+    /// Evaluates under a set of true variables (all others false).
+    pub fn eval_set(&self, n: NodeId, true_vars: &Bitset) -> bool {
+        self.eval(n, &|v: VarId| true_vars.contains(v.index()))
+    }
+
+    /// The set of variables with a path to `n`, as a bitset over
+    /// `0..var_capacity`.
+    pub fn vars(&self, n: NodeId, var_capacity: usize) -> Bitset {
+        let mut out = Bitset::new(var_capacity);
+        for i in self.reachable(n).iter() {
+            if let Gate::Var(v) = &self.gates[i] {
+                out.insert(v.index());
+            }
+        }
+        out
+    }
+
+    /// Sorted list of distinct variables under `n`.
+    pub fn var_list(&self, n: NodeId) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self
+            .reachable(n)
+            .iter()
+            .filter_map(|i| match &self.gates[i] {
+                Gate::Var(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        vars.sort_unstable();
+        vars
+    }
+
+    /// Bitset of arena indices reachable from `n` (including `n`).
+    fn reachable(&self, n: NodeId) -> Bitset {
+        let mut seen = Bitset::new(self.gates.len());
+        let mut stack = vec![n];
+        while let Some(cur) = stack.pop() {
+            if seen.contains(cur.index()) {
+                continue;
+            }
+            seen.insert(cur.index());
+            match &self.gates[cur.index()] {
+                Gate::Not(c) => stack.push(*c),
+                Gate::And(cs) | Gate::Or(cs) => stack.extend(cs.iter().copied()),
+                _ => {}
+            }
+        }
+        seen
+    }
+
+    /// Number of gates reachable from `n`.
+    pub fn dag_size(&self, n: NodeId) -> usize {
+        self.reachable(n).len()
+    }
+
+    /// Rebuilds the sub-circuit under `n` with some variables replaced by
+    /// constants. Returns the new circuit and its root.
+    ///
+    /// This is the "partial eval: set exo vars to 1" step of Figure 3 when
+    /// called with the exogenous facts mapped to `true`.
+    pub fn restrict(&self, n: NodeId, fixed: &impl Fn(VarId) -> Option<bool>) -> Circuit {
+        let mut out = if self.simplify { Circuit::new() } else { Circuit::new_raw() };
+        let mut map: Vec<Option<NodeId>> = vec![None; n.index() + 1];
+        for i in 0..=n.index() {
+            let new_id = match &self.gates[i] {
+                Gate::Const(b) => out.constant(*b),
+                Gate::Var(v) => match fixed(*v) {
+                    Some(b) => out.constant(b),
+                    None => out.var(*v),
+                },
+                Gate::Not(c) => {
+                    let c = map[c.index()].unwrap();
+                    out.not(c)
+                }
+                Gate::And(cs) => {
+                    let kids: Vec<NodeId> =
+                        cs.iter().map(|c| map[c.index()].unwrap()).collect();
+                    out.and(kids)
+                }
+                Gate::Or(cs) => {
+                    let kids: Vec<NodeId> =
+                        cs.iter().map(|c| map[c.index()].unwrap()).collect();
+                    out.or(kids)
+                }
+            };
+            map[i] = Some(new_id);
+        }
+        out.set_root(map[n.index()].unwrap());
+        out
+    }
+
+    /// Counts gates by kind under `n`: `(consts, vars, nots, ands, ors)`.
+    pub fn gate_counts(&self, n: NodeId) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for i in self.reachable(n).iter() {
+            match &self.gates[i] {
+                Gate::Const(_) => c.0 += 1,
+                Gate::Var(_) => c.1 += 1,
+                Gate::Not(_) => c.2 += 1,
+                Gate::And(_) => c.3 += 1,
+                Gate::Or(_) => c.4 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vset(vars: &[u32], cap: usize) -> Bitset {
+        let mut b = Bitset::new(cap);
+        for &v in vars {
+            b.insert(v as usize);
+        }
+        b
+    }
+
+    #[test]
+    fn build_and_eval() {
+        let mut c = Circuit::new();
+        let x = c.var(VarId(0));
+        let y = c.var(VarId(1));
+        let nx = c.not(x);
+        let g = c.and([nx, y]);
+        let root = c.or([g, x]);
+        // Truth table of x ∨ (¬x ∧ y) = x ∨ y.
+        assert!(!c.eval_set(root, &vset(&[], 2)));
+        assert!(c.eval_set(root, &vset(&[0], 2)));
+        assert!(c.eval_set(root, &vset(&[1], 2)));
+        assert!(c.eval_set(root, &vset(&[0, 1], 2)));
+    }
+
+    #[test]
+    fn hash_consing_shares_structure() {
+        let mut c = Circuit::new();
+        let x = c.var(VarId(0));
+        let y = c.var(VarId(1));
+        let a1 = c.and([x, y]);
+        let a2 = c.and([y, x]); // sorted => identical
+        assert_eq!(a1, a2);
+        let before = c.len();
+        let _a3 = c.and([x, y]);
+        assert_eq!(c.len(), before);
+    }
+
+    #[test]
+    fn simplification_rules() {
+        let mut c = Circuit::new();
+        let t = c.constant(true);
+        let f = c.constant(false);
+        let x = c.var(VarId(0));
+        assert_eq!(c.and([x, t]), x); // unary collapse after const drop
+        assert_eq!(c.and([x, f]), f);
+        assert_eq!(c.or([x, f]), x);
+        assert_eq!(c.or([x, t]), t);
+        assert_eq!(c.and([]), t);
+        assert_eq!(c.or([]), f);
+        let nx = c.not(x);
+        assert_eq!(c.not(nx), x);
+        assert_eq!(c.and([x, x]), x);
+    }
+
+    #[test]
+    fn raw_mode_keeps_unary_gates() {
+        let mut c = Circuit::new_raw();
+        let x = c.var(VarId(0));
+        let a = c.and([x]);
+        assert_ne!(a, x);
+        assert!(matches!(c.gate(a), Gate::And(kids) if kids.len() == 1));
+        // Still evaluates correctly.
+        assert!(c.eval_set(a, &vset(&[0], 1)));
+        assert!(!c.eval_set(a, &vset(&[], 1)));
+    }
+
+    #[test]
+    fn vars_and_dag_size() {
+        let mut c = Circuit::new();
+        let x = c.var(VarId(3));
+        let y = c.var(VarId(7));
+        let g = c.and([x, y]);
+        let root = c.or([g, x]);
+        let vars = c.vars(root, 10);
+        assert_eq!(vars.iter().collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(c.var_list(root), vec![VarId(3), VarId(7)]);
+        assert_eq!(c.dag_size(root), 4); // x, y, and, or
+    }
+
+    #[test]
+    fn restrict_sets_exogenous_to_true() {
+        // ELin construction: (a1 ∧ b1 ∧ b8) ∨ (a2 ∧ a4 ∧ b2) with b* exogenous.
+        let mut c = Circuit::new();
+        let a1 = c.var(VarId(0));
+        let a2 = c.var(VarId(1));
+        let a4 = c.var(VarId(2));
+        let b1 = c.var(VarId(10));
+        let b8 = c.var(VarId(11));
+        let b2 = c.var(VarId(12));
+        let d1 = c.and([a1, b1, b8]);
+        let d2 = c.and([a2, a4, b2]);
+        let root = c.or([d1, d2]);
+        let restricted = c.restrict(root, &|v| if v.0 >= 10 { Some(true) } else { None });
+        let r = restricted.root();
+        assert_eq!(restricted.var_list(r), vec![VarId(0), VarId(1), VarId(2)]);
+        // a1 alone satisfies; a2 alone does not; {a2,a4} does.
+        assert!(restricted.eval_set(r, &vset(&[0], 3)));
+        assert!(!restricted.eval_set(r, &vset(&[1], 3)));
+        assert!(restricted.eval_set(r, &vset(&[1, 2], 3)));
+    }
+
+    #[test]
+    fn restrict_to_constant_root() {
+        let mut c = Circuit::new();
+        let x = c.var(VarId(0));
+        let y = c.var(VarId(1));
+        let root = c.or([x, y]);
+        let all_true = c.restrict(root, &|_| Some(true));
+        assert!(matches!(all_true.gate(all_true.root()), Gate::Const(true)));
+    }
+
+    #[test]
+    fn gate_counts() {
+        let mut c = Circuit::new();
+        let x = c.var(VarId(0));
+        let y = c.var(VarId(1));
+        let nx = c.not(x);
+        let g = c.and([nx, y]);
+        let root = c.or([g, x]);
+        let (consts, vars, nots, ands, ors) = c.gate_counts(root);
+        assert_eq!((consts, vars, nots, ands, ors), (0, 2, 1, 1, 1));
+    }
+}

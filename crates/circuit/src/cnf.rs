@@ -1,0 +1,266 @@
+//! Clausal (CNF) formulas.
+//!
+//! The knowledge compiler and the CNF Proxy heuristic (Algorithm 2) both
+//! consume CNF produced by the Tseytin transformation. Variables are dense
+//! `0..num_vars` indices local to the formula; the mapping back to database
+//! facts lives in [`crate::tseytin::TseytinCnf`].
+
+use shapdb_num::Bitset;
+use std::fmt;
+
+/// A literal: a variable index with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit {
+    var: u32,
+    positive: bool,
+}
+
+impl Lit {
+    /// A positive literal for variable `v`.
+    pub fn pos(v: usize) -> Lit {
+        Lit { var: v as u32, positive: true }
+    }
+
+    /// A negative literal for variable `v`.
+    pub fn neg(v: usize) -> Lit {
+        Lit { var: v as u32, positive: false }
+    }
+
+    /// The variable index.
+    pub fn var(self) -> usize {
+        self.var as usize
+    }
+
+    /// True iff the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit { var: self.var, positive: !self.positive }
+    }
+
+    /// Whether the literal is satisfied when its variable is `value`.
+    pub fn satisfied_by(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "¬")?;
+        }
+        write!(f, "x{}", self.var)
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Builds a clause, sorting and deduplicating its literals.
+    pub fn new(mut lits: Vec<Lit>) -> Clause {
+        lits.sort_unstable();
+        lits.dedup();
+        Clause { lits }
+    }
+
+    /// The literals, sorted.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// True iff the clause is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// True iff the clause contains both `x` and `¬x` for some variable.
+    pub fn is_tautology(&self) -> bool {
+        self.lits.windows(2).any(|w| w[0].var == w[1].var && w[0].positive != w[1].positive)
+    }
+
+    /// Evaluates under a total assignment (bitset of true variables).
+    pub fn eval_set(&self, true_vars: &Bitset) -> bool {
+        self.lits.iter().any(|l| l.satisfied_by(true_vars.contains(l.var())))
+    }
+}
+
+/// A conjunction of clauses over variables `0..num_vars`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty (valid / always-true) CNF over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf { num_vars, clauses: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True iff there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Adds a clause. Panics if a literal references a variable out of range.
+    pub fn push(&mut self, clause: Clause) {
+        for l in clause.lits() {
+            assert!(l.var() < self.num_vars, "literal {l} out of range");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Adds a clause from raw literals.
+    pub fn push_lits(&mut self, lits: Vec<Lit>) {
+        self.push(Clause::new(lits));
+    }
+
+    /// Evaluates under a total assignment.
+    pub fn eval_set(&self, true_vars: &Bitset) -> bool {
+        self.clauses.iter().all(|c| c.eval_set(true_vars))
+    }
+
+    /// Counts models by brute force (only for `num_vars ≤ 24`; used in tests
+    /// to validate the knowledge compiler).
+    pub fn count_models_bruteforce(&self) -> u64 {
+        assert!(self.num_vars <= 24, "brute force limited to 24 vars");
+        let mut count = 0;
+        for mask in 0u32..(1u32 << self.num_vars) {
+            let mut set = Bitset::new(self.num_vars.max(1));
+            for v in 0..self.num_vars {
+                if mask >> v & 1 == 1 {
+                    set.insert(v);
+                }
+            }
+            if self.eval_set(&set) {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.lits().iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(bits: &[usize], cap: usize) -> Bitset {
+        let mut b = Bitset::new(cap);
+        for &x in bits {
+            b.insert(x);
+        }
+        b
+    }
+
+    #[test]
+    fn literal_polarity() {
+        let l = Lit::pos(3);
+        assert!(l.is_positive());
+        assert_eq!(l.var(), 3);
+        assert_eq!(l.negated(), Lit::neg(3));
+        assert!(l.satisfied_by(true));
+        assert!(!l.satisfied_by(false));
+        assert!(Lit::neg(3).satisfied_by(false));
+    }
+
+    #[test]
+    fn clause_dedup_and_tautology() {
+        let c = Clause::new(vec![Lit::pos(1), Lit::pos(1), Lit::neg(0)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_tautology());
+        let t = Clause::new(vec![Lit::pos(2), Lit::neg(2)]);
+        assert!(t.is_tautology());
+    }
+
+    #[test]
+    fn cnf_eval() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x2)
+        let mut cnf = Cnf::new(3);
+        cnf.push_lits(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.push_lits(vec![Lit::neg(0), Lit::pos(2)]);
+        assert!(cnf.eval_set(&set(&[0, 2], 3)));
+        assert!(cnf.eval_set(&set(&[1], 3)));
+        assert!(!cnf.eval_set(&set(&[0], 3)));
+        assert!(!cnf.eval_set(&set(&[], 3)));
+    }
+
+    #[test]
+    fn brute_force_count() {
+        // Example 5.1 of the paper: (x1 ∨ x2) ∧ (x1 ∨ x3 ∨ x4).
+        let mut cnf = Cnf::new(4);
+        cnf.push_lits(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.push_lits(vec![Lit::pos(0), Lit::pos(2), Lit::pos(3)]);
+        // Models: x1 true (8) + x1 false, x2 true, at least one of x3/x4 (3) = 11.
+        assert_eq!(cnf.count_models_bruteforce(), 11);
+    }
+
+    #[test]
+    fn empty_cnf_is_valid() {
+        let cnf = Cnf::new(2);
+        assert!(cnf.eval_set(&set(&[], 2)));
+        assert_eq!(cnf.count_models_bruteforce(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_literal() {
+        let mut cnf = Cnf::new(1);
+        cnf.push_lits(vec![Lit::pos(5)]);
+    }
+
+    #[test]
+    fn display_renders_clauses() {
+        let mut cnf = Cnf::new(2);
+        cnf.push_lits(vec![Lit::pos(0), Lit::neg(1)]);
+        assert_eq!(cnf.to_string(), "(x0 ∨ ¬x1)");
+    }
+}

@@ -1,0 +1,152 @@
+//! DIMACS CNF serialization.
+//!
+//! The paper's pipeline hands the Tseytin CNF to an external knowledge
+//! compiler (`c2d`), which speaks the DIMACS CNF format. Our compiler is
+//! in-process, but the format support makes the pipeline interoperable both
+//! ways: export a lineage CNF for any external `#SAT`/compilation tool, or
+//! import a CNF produced elsewhere.
+//!
+//! Variables are 1-based in DIMACS; [`Cnf`] variables are 0-based, so
+//! variable `i` maps to DIMACS literal `i + 1`.
+
+use crate::cnf::{Cnf, Lit};
+use std::fmt::Write as _;
+
+/// Renders a CNF in DIMACS format (with a `p cnf` header).
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.len()).unwrap();
+    for clause in cnf.clauses() {
+        for l in clause.lits() {
+            let v = l.var() as i64 + 1;
+            write!(out, "{} ", if l.is_positive() { v } else { -v }).unwrap();
+        }
+        writeln!(out, "0").unwrap();
+    }
+    out
+}
+
+/// A DIMACS parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsError(pub String);
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a DIMACS CNF. Comment lines (`c …`) are skipped; the `p cnf`
+/// header is required and clause/variable counts are validated.
+pub fn from_dimacs(text: &str) -> Result<Cnf, DimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut declared_clauses = 0usize;
+    let mut cnf: Option<Cnf> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p cnf") {
+            if num_vars.is_some() {
+                return Err(DimacsError("duplicate header".into()));
+            }
+            let mut parts = rest.split_whitespace();
+            let nv: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| DimacsError("bad variable count".into()))?;
+            declared_clauses = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| DimacsError("bad clause count".into()))?;
+            num_vars = Some(nv);
+            cnf = Some(Cnf::new(nv.max(1)));
+            continue;
+        }
+        let cnf_ref =
+            cnf.as_mut().ok_or_else(|| DimacsError("clause before header".into()))?;
+        for tok in line.split_whitespace() {
+            let v: i64 =
+                tok.parse().map_err(|_| DimacsError(format!("bad literal `{tok}`")))?;
+            if v == 0 {
+                cnf_ref.push_lits(std::mem::take(&mut current));
+            } else {
+                let var = v.unsigned_abs() as usize - 1;
+                if var >= num_vars.unwrap() {
+                    return Err(DimacsError(format!("literal {v} out of range")));
+                }
+                current.push(if v > 0 { Lit::pos(var) } else { Lit::neg(var) });
+            }
+        }
+    }
+    let cnf = cnf.ok_or_else(|| DimacsError("missing header".into()))?;
+    if !current.is_empty() {
+        return Err(DimacsError("clause not terminated by 0".into()));
+    }
+    if cnf.len() != declared_clauses {
+        return Err(DimacsError(format!(
+            "header declares {declared_clauses} clauses, found {}",
+            cnf.len()
+        )));
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Cnf {
+        let mut cnf = Cnf::new(3);
+        cnf.push_lits(vec![Lit::pos(0), Lit::neg(1)]);
+        cnf.push_lits(vec![Lit::pos(2)]);
+        cnf
+    }
+
+    #[test]
+    fn round_trip() {
+        let cnf = sample();
+        let text = to_dimacs(&cnf);
+        assert!(text.starts_with("p cnf 3 2"));
+        let back = from_dimacs(&text).unwrap();
+        assert_eq!(back, cnf);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "c a comment\n\np cnf 2 1\nc another\n1 -2 0\n";
+        let cnf = from_dimacs(text).unwrap();
+        assert_eq!(cnf.len(), 1);
+        assert_eq!(cnf.clauses()[0].lits(), &[Lit::pos(0), Lit::neg(1)]);
+    }
+
+    #[test]
+    fn multiline_clause() {
+        let text = "p cnf 3 1\n1 2\n3 0\n";
+        let cnf = from_dimacs(text).unwrap();
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn errors_detected() {
+        assert!(from_dimacs("1 2 0").is_err()); // clause before header
+        assert!(from_dimacs("p cnf 1 1\n5 0\n").is_err()); // out of range
+        assert!(from_dimacs("p cnf 1 1\n1\n").is_err()); // unterminated
+        assert!(from_dimacs("p cnf 2 3\n1 0\n").is_err()); // count mismatch
+        assert!(from_dimacs("p cnf x 1\n").is_err()); // bad header
+    }
+
+    #[test]
+    fn model_count_preserved_through_format() {
+        let cnf = sample();
+        let back = from_dimacs(&to_dimacs(&cnf)).unwrap();
+        assert_eq!(
+            cnf.count_models_bruteforce(),
+            back.count_models_bruteforce()
+        );
+    }
+}

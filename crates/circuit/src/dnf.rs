@@ -1,0 +1,248 @@
+//! Monotone DNF lineages.
+//!
+//! UCQ provenance is naturally a *monotone* DNF — a disjunction of
+//! conjunctions of (positive) facts, as in Figure 1d of the paper. This type
+//! is the bridge between query evaluation (which produces one conjunct per
+//! derivation) and the circuit world.
+
+use crate::circuit::{Circuit, NodeId, VarId};
+use shapdb_num::Bitset;
+use std::fmt;
+
+/// A monotone DNF: a set of conjuncts, each a sorted set of variables.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Dnf {
+    conjuncts: Vec<Vec<VarId>>,
+}
+
+impl Dnf {
+    /// An empty DNF (the constant false).
+    pub fn new() -> Dnf {
+        Dnf::default()
+    }
+
+    /// Adds a conjunct (sorted + deduplicated; duplicate conjuncts and
+    /// conjuncts subsumed syntactically by an identical one are dropped).
+    pub fn add_conjunct(&mut self, mut vars: Vec<VarId>) {
+        vars.sort_unstable();
+        vars.dedup();
+        if !self.conjuncts.contains(&vars) {
+            self.conjuncts.push(vars);
+        }
+    }
+
+    /// The conjuncts.
+    pub fn conjuncts(&self) -> &[Vec<VarId>] {
+        &self.conjuncts
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.conjuncts.len()
+    }
+
+    /// True iff the DNF is the constant false.
+    pub fn is_empty(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// Distinct variables, sorted.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut vs: Vec<VarId> = self.conjuncts.iter().flatten().copied().collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Evaluates under a set of true variables.
+    pub fn eval_set(&self, true_vars: &Bitset) -> bool {
+        self.conjuncts.iter().any(|c| c.iter().all(|v| true_vars.contains(v.index())))
+    }
+
+    /// Removes conjuncts that are supersets of another conjunct (absorption:
+    /// `x ∨ (x ∧ y) = x`). Keeps the function identical while shrinking the
+    /// representation.
+    pub fn minimize(&mut self) {
+        let mut keep = vec![true; self.conjuncts.len()];
+        for i in 0..self.conjuncts.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.conjuncts.len() {
+                if i != j
+                    && keep[j]
+                    && keep[i]
+                    && is_subset(&self.conjuncts[i], &self.conjuncts[j])
+                    && (self.conjuncts[i].len() < self.conjuncts[j].len() || i < j)
+                {
+                    keep[j] = false;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.conjuncts.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Disjunction: the union of both conjunct sets (provenance of a
+    /// duplicate-eliminating ∪ / π).
+    pub fn or_with(&mut self, other: &Dnf) {
+        for c in other.conjuncts() {
+            self.add_conjunct(c.clone());
+        }
+    }
+
+    /// Conjunction by distribution: every pair of conjuncts merges
+    /// (provenance of ⋈). The size is the product of the inputs' sizes —
+    /// fine for per-tuple lineages, which is what query evaluation builds.
+    pub fn and_product(&self, other: &Dnf) -> Dnf {
+        let mut out = Dnf::new();
+        for a in self.conjuncts() {
+            for b in other.conjuncts() {
+                let mut merged = a.clone();
+                merged.extend_from_slice(b);
+                out.add_conjunct(merged);
+            }
+        }
+        out
+    }
+
+    /// Builds the equivalent circuit (`∨` of `∧` of variables) in `circuit`
+    /// and returns the root.
+    pub fn to_circuit(&self, circuit: &mut Circuit) -> NodeId {
+        let disjuncts: Vec<NodeId> = self
+            .conjuncts
+            .iter()
+            .map(|conj| {
+                let lits: Vec<NodeId> = conj.iter().map(|&v| circuit.var(v)).collect();
+                circuit.and(lits)
+            })
+            .collect();
+        let root = circuit.or(disjuncts);
+        circuit.set_root(root);
+        root
+    }
+}
+
+/// True iff sorted `a` ⊆ sorted `b`.
+fn is_subset(a: &[VarId], b: &[VarId]) -> bool {
+    let mut bi = b.iter();
+    'outer: for x in a {
+        for y in bi.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "(")?;
+            for (j, v) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∧ ")?;
+                }
+                write!(f, "f{}", v.0)?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(bits: &[usize], cap: usize) -> Bitset {
+        let mut b = Bitset::new(cap);
+        for &x in bits {
+            b.insert(x);
+        }
+        b
+    }
+
+    fn v(ids: &[u32]) -> Vec<VarId> {
+        ids.iter().map(|&i| VarId(i)).collect()
+    }
+
+    #[test]
+    fn add_and_eval() {
+        // a1 ∨ (a2 ∧ a4): the endogenous lineage shape of the running example.
+        let mut d = Dnf::new();
+        d.add_conjunct(v(&[0]));
+        d.add_conjunct(v(&[1, 3]));
+        assert_eq!(d.len(), 2);
+        assert!(d.eval_set(&set(&[0], 4)));
+        assert!(!d.eval_set(&set(&[1], 4)));
+        assert!(d.eval_set(&set(&[1, 3], 4)));
+        assert_eq!(d.vars(), v(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn duplicate_conjuncts_dropped() {
+        let mut d = Dnf::new();
+        d.add_conjunct(v(&[2, 1]));
+        d.add_conjunct(v(&[1, 2]));
+        d.add_conjunct(v(&[1, 2, 2]));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn minimize_absorbs_supersets() {
+        let mut d = Dnf::new();
+        d.add_conjunct(v(&[0]));
+        d.add_conjunct(v(&[0, 1]));
+        d.add_conjunct(v(&[2, 3]));
+        d.minimize();
+        assert_eq!(d.len(), 2);
+        assert!(d.conjuncts().contains(&v(&[0])));
+        assert!(d.conjuncts().contains(&v(&[2, 3])));
+    }
+
+    #[test]
+    fn to_circuit_equivalence() {
+        let mut d = Dnf::new();
+        d.add_conjunct(v(&[0]));
+        d.add_conjunct(v(&[1, 2]));
+        let mut c = Circuit::new();
+        let root = d.to_circuit(&mut c);
+        for mask in 0u32..8 {
+            let bits: Vec<usize> = (0..3).filter(|&i| mask >> i & 1 == 1).collect();
+            let s = set(&bits, 3);
+            assert_eq!(c.eval_set(root, &s), d.eval_set(&s), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn empty_dnf_is_false() {
+        let d = Dnf::new();
+        assert!(!d.eval_set(&set(&[], 1)));
+        let mut c = Circuit::new();
+        let root = d.to_circuit(&mut c);
+        assert!(!c.eval_set(root, &set(&[], 1)));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let mut d = Dnf::new();
+        d.add_conjunct(v(&[0]));
+        d.add_conjunct(v(&[1, 3]));
+        assert_eq!(d.to_string(), "(f0) ∨ (f1 ∧ f3)");
+    }
+}

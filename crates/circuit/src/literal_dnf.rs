@@ -1,0 +1,291 @@
+//! DNF lineages with negative literals.
+//!
+//! The paper's framework is defined for *every* Boolean query (§2), but its
+//! implementation covers the monotone SPJU fragment, leaving "further
+//! constructs such as … negation" as future work (§7). Queries with safe
+//! negated atoms produce lineages that are still disjunctions of
+//! conjunctions — only now over *literals*: a derivation asserts the
+//! presence of the facts it joins and the absence of the (endogenous) facts
+//! its negated atoms would match. This type is the signed counterpart of
+//! [`Dnf`](crate::Dnf); Shapley values over such lineages can be negative (a
+//! fact whose presence *removes* an answer gets negative attribution).
+
+use crate::circuit::{Circuit, NodeId, VarId};
+use crate::cnf::Lit;
+use shapdb_num::Bitset;
+use std::fmt;
+
+/// A DNF over literals: a set of conjuncts, each a sorted set of literals.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LiteralDnf {
+    conjuncts: Vec<Vec<Lit>>,
+}
+
+impl LiteralDnf {
+    /// An empty DNF (the constant false).
+    pub fn new() -> LiteralDnf {
+        LiteralDnf::default()
+    }
+
+    /// Adds a conjunct (sorted + deduplicated). Contradictory conjuncts
+    /// (containing both `f` and `¬f`) are unsatisfiable and dropped;
+    /// duplicate conjuncts are dropped.
+    pub fn add_conjunct(&mut self, mut lits: Vec<Lit>) {
+        lits.sort_unstable();
+        lits.dedup();
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return; // f ∧ ¬f
+        }
+        if !self.conjuncts.contains(&lits) {
+            self.conjuncts.push(lits);
+        }
+    }
+
+    /// The conjuncts.
+    pub fn conjuncts(&self) -> &[Vec<Lit>] {
+        &self.conjuncts
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.conjuncts.len()
+    }
+
+    /// True iff the DNF is the constant false.
+    pub fn is_empty(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// Distinct variables (of either polarity), sorted.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut vs: Vec<VarId> =
+            self.conjuncts.iter().flatten().map(|l| VarId(l.var() as u32)).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// True iff no negative literal occurs.
+    pub fn is_monotone(&self) -> bool {
+        self.conjuncts.iter().flatten().all(|l| l.is_positive())
+    }
+
+    /// Evaluates under a set of true variables.
+    pub fn eval_set(&self, true_vars: &Bitset) -> bool {
+        self.conjuncts
+            .iter()
+            .any(|c| c.iter().all(|l| l.satisfied_by(true_vars.contains(l.var()))))
+    }
+
+    /// Absorption on literal sets: drops conjuncts that are supersets of
+    /// another conjunct (`A ∨ (A ∧ B) = A`, valid for signed conjuncts too).
+    pub fn minimize(&mut self) {
+        let conjuncts = std::mem::take(&mut self.conjuncts);
+        let mut keep = vec![true; conjuncts.len()];
+        for i in 0..conjuncts.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..conjuncts.len() {
+                if i != j
+                    && keep[j]
+                    && keep[i]
+                    && is_lit_subset(&conjuncts[i], &conjuncts[j])
+                    && (conjuncts[i].len() < conjuncts[j].len() || i < j)
+                {
+                    keep[j] = false;
+                }
+            }
+        }
+        self.conjuncts = conjuncts
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(c, k)| k.then_some(c))
+            .collect();
+    }
+
+    /// Builds the equivalent circuit (`∨` of `∧` of literals) and returns
+    /// the root.
+    pub fn to_circuit(&self, circuit: &mut Circuit) -> NodeId {
+        let disjuncts: Vec<NodeId> = self
+            .conjuncts
+            .iter()
+            .map(|conj| {
+                let lits: Vec<NodeId> = conj
+                    .iter()
+                    .map(|l| {
+                        let v = circuit.var(VarId(l.var() as u32));
+                        if l.is_positive() {
+                            v
+                        } else {
+                            circuit.not(v)
+                        }
+                    })
+                    .collect();
+                circuit.and(lits)
+            })
+            .collect();
+        circuit.or(disjuncts)
+    }
+
+    /// The positive-only projection, when the DNF is monotone.
+    pub fn to_monotone(&self) -> Option<crate::Dnf> {
+        if !self.is_monotone() {
+            return None;
+        }
+        let mut d = crate::Dnf::new();
+        for c in &self.conjuncts {
+            d.add_conjunct(c.iter().map(|l| VarId(l.var() as u32)).collect());
+        }
+        Some(d)
+    }
+}
+
+impl From<&crate::Dnf> for LiteralDnf {
+    fn from(d: &crate::Dnf) -> LiteralDnf {
+        let mut out = LiteralDnf::new();
+        for c in d.conjuncts() {
+            out.add_conjunct(c.iter().map(|v| Lit::pos(v.index())).collect());
+        }
+        out
+    }
+}
+
+fn is_lit_subset(a: &[Lit], b: &[Lit]) -> bool {
+    // Both sorted; standard merge-subset test.
+    let mut ai = a.iter();
+    let mut cur = ai.next();
+    for x in b {
+        match cur {
+            None => return true,
+            Some(y) if y == x => cur = ai.next(),
+            Some(y) if y < x => return false,
+            _ => {}
+        }
+    }
+    cur.is_none()
+}
+
+impl fmt::Display for LiteralDnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, conj) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            if conj.is_empty() {
+                write!(f, "⊤")?;
+                continue;
+            }
+            write!(f, "(")?;
+            for (j, l) in conj.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∧ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(spec: &[(u32, bool)]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&(v, pos)| if pos { Lit::pos(v as usize) } else { Lit::neg(v as usize) })
+            .collect()
+    }
+
+    fn set(vars: &[usize], cap: usize) -> Bitset {
+        let mut b = Bitset::new(cap);
+        for &v in vars {
+            b.insert(v);
+        }
+        b
+    }
+
+    #[test]
+    fn contradictions_are_dropped() {
+        let mut d = LiteralDnf::new();
+        d.add_conjunct(lits(&[(0, true), (0, false)]));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn eval_respects_polarity() {
+        // (r1 ∧ ¬s1) ∨ r2 over vars r1=0, s1=1, r2=2.
+        let mut d = LiteralDnf::new();
+        d.add_conjunct(lits(&[(0, true), (1, false)]));
+        d.add_conjunct(lits(&[(2, true)]));
+        assert!(d.eval_set(&set(&[0], 3)));
+        assert!(!d.eval_set(&set(&[0, 1], 3)));
+        assert!(d.eval_set(&set(&[0, 1, 2], 3)));
+        assert!(!d.eval_set(&set(&[], 3)));
+        assert!(!d.is_monotone());
+        assert_eq!(d.vars(), vec![VarId(0), VarId(1), VarId(2)]);
+    }
+
+    #[test]
+    fn signed_absorption() {
+        let mut d = LiteralDnf::new();
+        d.add_conjunct(lits(&[(0, false)]));
+        d.add_conjunct(lits(&[(0, false), (1, true)]));
+        d.minimize();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.conjuncts()[0], lits(&[(0, false)]));
+    }
+
+    #[test]
+    fn circuit_roundtrip() {
+        let mut d = LiteralDnf::new();
+        d.add_conjunct(lits(&[(0, true), (1, false)]));
+        d.add_conjunct(lits(&[(2, true)]));
+        let mut c = Circuit::new();
+        let root = d.to_circuit(&mut c);
+        for mask in 0u64..8 {
+            let s = {
+                let mut b = Bitset::new(3);
+                for i in 0..3 {
+                    if mask >> i & 1 == 1 {
+                        b.insert(i);
+                    }
+                }
+                b
+            };
+            assert_eq!(c.eval_set(root, &s), d.eval_set(&s), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn monotone_projection() {
+        let mut d = LiteralDnf::new();
+        d.add_conjunct(lits(&[(0, true), (2, true)]));
+        let m = d.to_monotone().unwrap();
+        assert_eq!(m.conjuncts(), &[vec![VarId(0), VarId(2)]]);
+        d.add_conjunct(lits(&[(1, false)]));
+        assert!(d.to_monotone().is_none());
+    }
+
+    #[test]
+    fn from_dnf_is_all_positive() {
+        let mut m = crate::Dnf::new();
+        m.add_conjunct(vec![VarId(0), VarId(1)]);
+        let d = LiteralDnf::from(&m);
+        assert!(d.is_monotone());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn display_renders_literals() {
+        let mut d = LiteralDnf::new();
+        d.add_conjunct(lits(&[(0, true), (1, false)]));
+        assert_eq!(d.to_string(), "(x0 ∧ ¬x1)");
+        assert_eq!(LiteralDnf::new().to_string(), "⊥");
+    }
+}

@@ -1,0 +1,336 @@
+//! The Tseytin transformation: Boolean circuit → equisatisfiable CNF.
+//!
+//! Knowledge compilers consume CNF, not circuits (§4.2 of the paper), so the
+//! endogenous-lineage circuit `C'` is translated into `φ = Tseytin(C')` with
+//! one auxiliary variable per internal gate. The produced CNF has the three
+//! properties the paper's Lemma 4.6 relies on:
+//!
+//! 1. its variables are the circuit's variables plus auxiliary ones;
+//! 2. every satisfying assignment of `C'` extends to **exactly one**
+//!    satisfying assignment of `φ` (gate definitions are bi-implications);
+//! 3. non-satisfying assignments of `C'` extend to none.
+//!
+//! CNF variables are dense: indices `0..num_inputs` are the circuit's
+//! variables (in sorted [`VarId`] order), the rest are auxiliary.
+
+use crate::circuit::{Circuit, Gate, NodeId, VarId};
+use crate::cnf::{Cnf, Lit};
+use std::collections::HashMap;
+
+/// The result of the Tseytin transformation.
+#[derive(Clone, Debug)]
+pub struct TseytinCnf {
+    /// The clauses (over inputs and auxiliary variables).
+    pub cnf: Cnf,
+    /// `input_vars[i]` is the circuit variable represented by CNF variable
+    /// `i`; CNF variables `input_vars.len()..` are auxiliary.
+    pub input_vars: Vec<VarId>,
+}
+
+impl TseytinCnf {
+    /// Number of non-auxiliary (circuit input) variables.
+    pub fn num_inputs(&self) -> usize {
+        self.input_vars.len()
+    }
+
+    /// True iff CNF variable `v` is a Tseytin auxiliary variable.
+    pub fn is_aux(&self, v: usize) -> bool {
+        v >= self.input_vars.len()
+    }
+
+    /// CNF variable index of a circuit variable, if it occurs.
+    pub fn input_index(&self, v: VarId) -> Option<usize> {
+        self.input_vars.binary_search(&v).ok()
+    }
+}
+
+/// Representation of a gate's value inside the CNF.
+#[derive(Clone, Copy)]
+enum Repr {
+    Const(bool),
+    Lit(Lit),
+}
+
+impl Repr {
+    fn negate(self) -> Repr {
+        match self {
+            Repr::Const(b) => Repr::Const(!b),
+            Repr::Lit(l) => Repr::Lit(l.negated()),
+        }
+    }
+}
+
+/// Transforms the sub-circuit rooted at `root` into CNF.
+///
+/// Every `∧`/`∨` gate with at least one non-constant child receives an
+/// auxiliary variable and bi-implication clauses — including unary gates
+/// (which only arise in [`Circuit::new_raw`] mode); this reproduces the exact
+/// clause shapes of Examples 5.3 and 5.4 of the paper. A final unit clause
+/// asserts the root.
+pub fn tseytin(circuit: &Circuit, root: NodeId) -> TseytinCnf {
+    // Dense input numbering in sorted VarId order.
+    let input_vars = circuit.var_list(root);
+    let input_index: HashMap<VarId, usize> =
+        input_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    // First pass: discover reachable gates (arena order is topological).
+    let mut reachable = vec![false; root.0 as usize + 1];
+    reachable[root.0 as usize] = true;
+    for i in (0..=root.0 as usize).rev() {
+        if !reachable[i] {
+            continue;
+        }
+        match circuit.gate(NodeId(i as u32)) {
+            Gate::Not(c) => reachable[c.0 as usize] = true,
+            Gate::And(cs) | Gate::Or(cs) => {
+                for c in cs.iter() {
+                    reachable[c.0 as usize] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Count auxiliary variables needed: one per reachable And/Or gate whose
+    // children are not all constants (determined during the main pass, so we
+    // allocate lazily).
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut next_aux = input_vars.len();
+    let mut reprs: Vec<Option<Repr>> = vec![None; root.0 as usize + 1];
+
+    for i in 0..=root.0 as usize {
+        if !reachable[i] {
+            continue;
+        }
+        let repr = match circuit.gate(NodeId(i as u32)) {
+            Gate::Const(b) => Repr::Const(*b),
+            Gate::Var(v) => Repr::Lit(Lit::pos(input_index[v])),
+            Gate::Not(c) => reprs[c.0 as usize].expect("child before parent").negate(),
+            Gate::And(cs) => {
+                let mut kid_lits = Vec::with_capacity(cs.len());
+                let mut short_circuit = false;
+                for c in cs.iter() {
+                    match reprs[c.0 as usize].expect("child before parent") {
+                        Repr::Const(false) => {
+                            short_circuit = true;
+                            break;
+                        }
+                        Repr::Const(true) => {}
+                        Repr::Lit(l) => kid_lits.push(l),
+                    }
+                }
+                if short_circuit {
+                    Repr::Const(false)
+                } else if kid_lits.is_empty() {
+                    Repr::Const(true)
+                } else {
+                    let g = Lit::pos(next_aux);
+                    next_aux += 1;
+                    // g → l_j for each child; (∧ l_j) → g.
+                    let mut back = vec![g];
+                    for &l in &kid_lits {
+                        clauses.push(vec![g.negated(), l]);
+                        back.push(l.negated());
+                    }
+                    clauses.push(back);
+                    Repr::Lit(g)
+                }
+            }
+            Gate::Or(cs) => {
+                let mut kid_lits = Vec::with_capacity(cs.len());
+                let mut short_circuit = false;
+                for c in cs.iter() {
+                    match reprs[c.0 as usize].expect("child before parent") {
+                        Repr::Const(true) => {
+                            short_circuit = true;
+                            break;
+                        }
+                        Repr::Const(false) => {}
+                        Repr::Lit(l) => kid_lits.push(l),
+                    }
+                }
+                if short_circuit {
+                    Repr::Const(true)
+                } else if kid_lits.is_empty() {
+                    Repr::Const(false)
+                } else {
+                    let g = Lit::pos(next_aux);
+                    next_aux += 1;
+                    // l_j → g for each child; g → (∨ l_j).
+                    let mut fwd = vec![g.negated()];
+                    for &l in &kid_lits {
+                        clauses.push(vec![g, l.negated()]);
+                        fwd.push(l);
+                    }
+                    clauses.push(fwd);
+                    Repr::Lit(g)
+                }
+            }
+        };
+        reprs[i] = Some(repr);
+    }
+
+    let mut cnf = Cnf::new(next_aux.max(1));
+    match reprs[root.0 as usize].unwrap() {
+        Repr::Const(true) => {}
+        Repr::Const(false) => cnf.push_lits(vec![]), // empty clause: unsat
+        Repr::Lit(l) => {
+            for c in clauses {
+                cnf.push_lits(c);
+            }
+            cnf.push_lits(vec![l]);
+        }
+    }
+    TseytinCnf { cnf, input_vars }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Dnf;
+    use shapdb_num::Bitset;
+
+    /// Checks properties (2)+(3): for every input assignment, the number of
+    /// CNF extensions is 1 if the circuit accepts and 0 otherwise.
+    fn check_extension_property(circuit: &Circuit, root: NodeId) {
+        let t = tseytin(circuit, root);
+        let n_in = t.num_inputs();
+        let n_all = t.cnf.num_vars();
+        assert!(n_all <= 22, "test circuit too large");
+        for mask in 0u64..(1 << n_in) {
+            let mut input_set = Bitset::new(n_all);
+            for i in 0..n_in {
+                if mask >> i & 1 == 1 {
+                    input_set.insert(i);
+                }
+            }
+            let accepts = circuit.eval(root, &|v| {
+                t.input_index(v).is_some_and(|i| mask >> i & 1 == 1)
+            });
+            let mut extensions = 0;
+            for aux_mask in 0u64..(1 << (n_all - n_in)) {
+                let mut full = input_set.clone();
+                for a in 0..(n_all - n_in) {
+                    if aux_mask >> a & 1 == 1 {
+                        full.insert(n_in + a);
+                    }
+                }
+                if t.cnf.eval_set(&full) {
+                    extensions += 1;
+                }
+            }
+            assert_eq!(extensions, u64::from(accepts), "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn simple_and_or() {
+        let mut c = Circuit::new();
+        let x = c.var(VarId(0));
+        let y = c.var(VarId(1));
+        let z = c.var(VarId(2));
+        let a = c.and([x, y]);
+        let root = c.or([a, z]);
+        check_extension_property(&c, root);
+    }
+
+    #[test]
+    fn with_negation() {
+        let mut c = Circuit::new();
+        let x = c.var(VarId(0));
+        let y = c.var(VarId(1));
+        let nx = c.not(x);
+        let a = c.and([nx, y]);
+        let root = c.or([a, x]);
+        check_extension_property(&c, root);
+    }
+
+    #[test]
+    fn constant_roots() {
+        let mut c = Circuit::new();
+        let t_root = c.constant(true);
+        let tt = tseytin(&c, t_root);
+        assert!(tt.cnf.is_empty()); // valid CNF
+        let f_root = c.constant(false);
+        let tf = tseytin(&c, f_root);
+        assert_eq!(tf.cnf.len(), 1);
+        assert!(tf.cnf.clauses()[0].is_empty()); // unsat CNF
+    }
+
+    #[test]
+    fn example_5_3_clause_count() {
+        // ELin(q2) = (a2∧a4) ∨ (a2∧a5) ∨ (a3∧a4) ∨ (a3∧a5) ∨ (a6∧a7):
+        // the paper's Tseytin CNF has 6 aux vars and 22 clauses.
+        let mut d = Dnf::new();
+        for pair in [[2u32, 4], [2, 5], [3, 4], [3, 5], [6, 7]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let mut c = Circuit::new();
+        let root = d.to_circuit(&mut c);
+        let t = tseytin(&c, root);
+        assert_eq!(t.num_inputs(), 6);
+        assert_eq!(t.cnf.num_vars(), 6 + 6); // a2..a7 plus z1..z6
+        assert_eq!(t.cnf.len(), 22);
+        // Clause shape census: 16 binary clauses, 5 ternary (AND back-clauses),
+        // 1 senary (OR forward clause) — the unit root clause makes 22 total.
+        let mut sizes = [0usize; 8];
+        for cl in t.cnf.clauses() {
+            sizes[cl.len()] += 1;
+        }
+        assert_eq!(sizes[1], 1);
+        assert_eq!(sizes[2], 15);
+        assert_eq!(sizes[3], 5);
+        assert_eq!(sizes[6], 1);
+    }
+
+    #[test]
+    fn example_5_4_raw_mode_gets_aux_for_singleton() {
+        // ELin(q) = a1 ∨ (a2∧a4) ∨ … — built raw so the singleton disjunct
+        // keeps its unary AND gate, which receives aux variable "z7" as in
+        // Example 5.4 of the paper.
+        let mut c = Circuit::new_raw();
+        let disjuncts: Vec<NodeId> = [vec![1u32], vec![2, 4], vec![6, 7]]
+            .iter()
+            .map(|conj| {
+                let lits: Vec<NodeId> = conj.iter().map(|&v| c.var(VarId(v))).collect();
+                c.and(lits)
+            })
+            .collect();
+        let root = c.or(disjuncts);
+        let t = tseytin(&c, root);
+        // 5 inputs + 3 AND aux + 1 OR aux.
+        assert_eq!(t.cnf.num_vars(), 5 + 4);
+        check_extension_property(&c, root);
+        // In simplified mode the singleton AND collapses, so one fewer aux.
+        let mut cs = Circuit::new();
+        let a1 = cs.var(VarId(1));
+        let d2a = cs.var(VarId(2));
+        let d2b = cs.var(VarId(4));
+        let d3a = cs.var(VarId(6));
+        let d3b = cs.var(VarId(7));
+        let d2 = cs.and([d2a, d2b]);
+        let d3 = cs.and([d3a, d3b]);
+        let sroot = cs.or([a1, d2, d3]);
+        let ts = tseytin(&cs, sroot);
+        assert_eq!(ts.cnf.num_vars(), 5 + 3);
+        check_extension_property(&cs, sroot);
+    }
+
+    #[test]
+    fn model_count_preserved() {
+        // Random-ish nested circuit; #models(CNF) == #accepting inputs.
+        let mut c = Circuit::new();
+        let v: Vec<NodeId> = (0..4).map(|i| c.var(VarId(i))).collect();
+        let n0 = c.not(v[0]);
+        let a = c.and([n0, v[1]]);
+        let b = c.and([v[2], v[3]]);
+        let o = c.or([a, b]);
+        let root = c.and([o, v[1]]);
+        check_extension_property(&c, root);
+        let t = tseytin(&c, root);
+        let accepting = (0u32..16)
+            .filter(|&m| c.eval(root, &|vv| m >> vv.0 & 1 == 1))
+            .count() as u64;
+        assert_eq!(t.cnf.count_models_bruteforce(), accepting);
+    }
+}

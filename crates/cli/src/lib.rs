@@ -1,0 +1,563 @@
+//! # shapdb-cli — Shapley fact attribution from the command line
+//!
+//! The downstream-user entry point: point the tool at a directory of CSV
+//! files (one per relation, header row = column names), give it a
+//! Datalog-style query, and it prints each answer with its most influential
+//! facts:
+//!
+//! ```text
+//! shapdb --db data/ --query 'q(c) :- Airports(x, c), Flights(x, y)' \
+//!        --endo Flights --top 3
+//! ```
+//!
+//! Methods: `exact` (read-once fast path, else knowledge compilation; fails
+//! on timeout), `hybrid` (the paper's §6.3 engine: exact under a deadline,
+//! CNF-Proxy ranking on fallback; the default), `proxy` (Algorithm 2 only).
+//! Aggregates: `--agg count` and `--agg sum:<head-column>` attribute the
+//! COUNT/SUM game over all answers instead of each answer separately.
+//!
+//! Everything is a library function returning the rendered report, so the
+//! test suite drives the tool without spawning processes; `main.rs` is a
+//! thin wrapper.
+
+use shapdb_circuit::Circuit;
+use shapdb_core::aggregate::{count_shapley, sum_shapley};
+use shapdb_core::exact::ExactConfig;
+use shapdb_core::hybrid::{hybrid_shapley, HybridConfig, HybridOutcome};
+use shapdb_core::pipeline::analyze_lineage_auto;
+use shapdb_core::proxy::proxy_from_lineage;
+use shapdb_data::{Database, FactId, Value};
+use shapdb_kc::Budget;
+use shapdb_num::Rational;
+use shapdb_query::{evaluate, parse_ucq, Ucq};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// What to compute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Method {
+    /// Exact values (read-once fast path, else full pipeline).
+    Exact,
+    /// Exact under the timeout, CNF-Proxy ranking otherwise (§6.3).
+    Hybrid,
+    /// CNF-Proxy scores only (Algorithm 2).
+    Proxy,
+}
+
+/// Aggregate mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Aggregate {
+    /// Attribute each output tuple separately (the default).
+    None,
+    /// Attribute the COUNT(*) game over all answers.
+    Count,
+    /// Attribute the SUM(head column) game over all answers.
+    Sum(usize),
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub db_dir: PathBuf,
+    pub query: String,
+    /// Relations whose facts are endogenous; `None` = all relations.
+    pub endo: Option<Vec<String>>,
+    pub top: usize,
+    pub method: Method,
+    pub timeout: Duration,
+    pub aggregate: Aggregate,
+}
+
+/// A user-facing failure: bad arguments, unreadable CSV, bad query, or an
+/// exact computation that did not fit its budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text (also shown on `--help`).
+pub const USAGE: &str = "\
+shapdb — Shapley values of database facts in query answering
+
+USAGE:
+    shapdb --db <DIR> --query <UCQ> [OPTIONS]
+
+OPTIONS:
+    --db <DIR>          directory of CSV files, one per relation
+                        (Name.csv, header row = column names)
+    --query <UCQ>       Datalog-style query, e.g.
+                        'q(c) :- Airports(x, c), Flights(x, y)'
+    --endo <R1,R2,...>  endogenous relations (default: all)
+    --top <K>           show the K most influential facts (default 5)
+    --method <M>        exact | hybrid | proxy   (default hybrid)
+    --timeout-ms <N>    hybrid/exact deadline in milliseconds (default 2500)
+    --agg <A>           count | sum:<head-column-index>
+    --help              print this text
+";
+
+/// Parses command-line arguments (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
+    let mut db_dir: Option<PathBuf> = None;
+    let mut query: Option<String> = None;
+    let mut endo: Option<Vec<String>> = None;
+    let mut top = 5usize;
+    let mut method = Method::Hybrid;
+    let mut timeout = Duration::from_millis(2500);
+    let mut aggregate = Aggregate::None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = || {
+            it.next().ok_or_else(|| err(format!("missing value after `{arg}`")))
+        };
+        match arg.as_str() {
+            "--db" => db_dir = Some(PathBuf::from(take()?)),
+            "--query" => query = Some(take()?.clone()),
+            "--endo" => {
+                endo = Some(take()?.split(',').map(|s| s.trim().to_string()).collect())
+            }
+            "--top" => {
+                top = take()?
+                    .parse()
+                    .map_err(|_| err("--top expects a positive integer"))?
+            }
+            "--method" => {
+                method = match take()?.as_str() {
+                    "exact" => Method::Exact,
+                    "hybrid" => Method::Hybrid,
+                    "proxy" => Method::Proxy,
+                    other => return Err(err(format!("unknown method `{other}`"))),
+                }
+            }
+            "--timeout-ms" => {
+                let ms: u64 = take()?
+                    .parse()
+                    .map_err(|_| err("--timeout-ms expects an integer"))?;
+                timeout = Duration::from_millis(ms);
+            }
+            "--agg" => {
+                let spec = take()?.clone();
+                aggregate = if spec == "count" {
+                    Aggregate::Count
+                } else if let Some(col) = spec.strip_prefix("sum:") {
+                    Aggregate::Sum(
+                        col.parse()
+                            .map_err(|_| err("--agg sum:<N> expects a column index"))?,
+                    )
+                } else {
+                    return Err(err(format!("unknown aggregate `{spec}`")));
+                };
+            }
+            "--help" | "-h" => return Err(err(USAGE)),
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    Ok(Config {
+        db_dir: db_dir.ok_or_else(|| err("--db is required"))?,
+        query: query.ok_or_else(|| err("--query is required"))?,
+        endo,
+        top,
+        method,
+        timeout,
+        aggregate,
+    })
+}
+
+/// Splits one CSV line into fields (double-quoted fields may contain commas
+/// and `""` escapes).
+fn split_csv_line(line: &str) -> Result<Vec<String>, CliError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(err(format!("unterminated quote in CSV line: {line}")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn parse_value(field: &str) -> Value {
+    match field.trim().parse::<i64>() {
+        Ok(v) => Value::int(v),
+        Err(_) => Value::str(field.trim()),
+    }
+}
+
+/// Loads every `*.csv` in `dir` as a relation named after the file stem.
+/// The header row gives column names; rows become facts, endogenous iff the
+/// relation is in `endo` (or `endo` is `None`).
+pub fn load_database(dir: &Path, endo: Option<&[String]>) -> Result<Database, CliError> {
+    let mut db = Database::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| err(format!("cannot read {}: {e}", dir.display())))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(err(format!("no .csv files in {}", dir.display())));
+    }
+    for path in entries {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| err(format!("bad file name {}", path.display())))?
+            .to_string();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| err(format!("{}: empty file", path.display())))?;
+        let columns: Vec<String> = split_csv_line(header)?
+            .into_iter()
+            .map(|c| c.trim().to_string())
+            .collect();
+        let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        db.create_relation(&name, &col_refs);
+        let endogenous = endo.is_none_or(|list| list.iter().any(|r| r == &name));
+        for (lineno, line) in lines.enumerate() {
+            let fields = split_csv_line(line)?;
+            if fields.len() != columns.len() {
+                return Err(err(format!(
+                    "{}: row {} has {} fields, expected {}",
+                    path.display(),
+                    lineno + 2,
+                    fields.len(),
+                    columns.len()
+                )));
+            }
+            let values: Vec<Value> = fields.iter().map(|f| parse_value(f)).collect();
+            db.insert(&name, values, endogenous);
+        }
+    }
+    Ok(db)
+}
+
+fn render_tuple(tuple: &[Value]) -> String {
+    if tuple.is_empty() {
+        "q() = true".to_string()
+    } else {
+        let vals: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+        format!("({})", vals.join(", "))
+    }
+}
+
+fn render_exact(
+    out: &mut String,
+    db: &Database,
+    top: usize,
+    values: &[(FactId, Rational)],
+) {
+    for (i, (fact, v)) in values.iter().take(top).enumerate() {
+        out.push_str(&format!(
+            "  {}. {}  {}  (≈{:.4})\n",
+            i + 1,
+            db.display_fact(*fact),
+            v,
+            v.to_f64()
+        ));
+    }
+}
+
+/// Runs the tool and returns the rendered report.
+pub fn run(cfg: &Config) -> Result<String, CliError> {
+    let db = load_database(&cfg.db_dir, cfg.endo.as_deref())?;
+    let q: Ucq = parse_ucq(&cfg.query).map_err(|e| err(format!("query: {e}")))?;
+    let n_endo = db.num_endogenous();
+    let res = evaluate(&q, &db);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} fact(s), {} endogenous; {} answer(s) for {}\n",
+        db.num_facts(),
+        n_endo,
+        res.len(),
+        q
+    ));
+
+    let budget = Budget::with_timeout(cfg.timeout);
+    let exact_cfg = ExactConfig::default();
+
+    match cfg.aggregate {
+        Aggregate::Count | Aggregate::Sum(_) => {
+            let attrs = match cfg.aggregate {
+                Aggregate::Count => {
+                    let lineages: Vec<_> =
+                        res.outputs.iter().map(|t| t.endo_lineage(&db)).collect();
+                    count_shapley(&lineages, n_endo, &budget, &exact_cfg)
+                }
+                Aggregate::Sum(col) => {
+                    let weighted: Result<Vec<_>, CliError> = res
+                        .outputs
+                        .iter()
+                        .map(|t| {
+                            let v = t.tuple.get(col).ok_or_else(|| {
+                                err(format!("sum column {col} out of range"))
+                            })?;
+                            let w = v.as_int().ok_or_else(|| {
+                                err(format!("sum column {col} is not an integer"))
+                            })?;
+                            Ok((t.endo_lineage(&db), Rational::from_int(w)))
+                        })
+                        .collect();
+                    sum_shapley(&weighted?, n_endo, &budget, &exact_cfg)
+                }
+                Aggregate::None => unreachable!(),
+            }
+            .map_err(|e| err(format!("aggregate attribution failed: {e}")))?;
+            out.push_str(match cfg.aggregate {
+                Aggregate::Count => "COUNT(*) attribution:\n",
+                _ => "SUM attribution:\n",
+            });
+            let attrs: Vec<(FactId, Rational)> =
+                attrs.into_iter().map(|(v, r)| (FactId(v.0), r)).collect();
+            render_exact(&mut out, &db, cfg.top, &attrs);
+            return Ok(out);
+        }
+        Aggregate::None => {}
+    }
+
+    for tuple in &res.outputs {
+        out.push_str(&format!("{}\n", render_tuple(&tuple.tuple)));
+        let elin = tuple.endo_lineage(&db);
+        match cfg.method {
+            Method::Exact => {
+                let analysis = analyze_lineage_auto(&elin, n_endo, &budget, &exact_cfg)
+                    .map_err(|e| err(format!("exact computation failed: {e}")))?;
+                let values: Vec<(FactId, Rational)> = analysis
+                    .attributions
+                    .into_iter()
+                    .map(|a| (FactId(a.fact.0), a.shapley))
+                    .collect();
+                render_exact(&mut out, &db, cfg.top, &values);
+            }
+            Method::Hybrid => {
+                let mut circuit = Circuit::new();
+                let root = elin.to_circuit(&mut circuit);
+                let hybrid_cfg =
+                    HybridConfig { timeout: cfg.timeout, ..Default::default() };
+                let report = hybrid_shapley(&circuit, root, n_endo, &hybrid_cfg);
+                match report.outcome {
+                    HybridOutcome::Exact(values) => {
+                        let values: Vec<(FactId, Rational)> = values
+                            .into_iter()
+                            .map(|(v, r)| (FactId(v.0), r))
+                            .collect();
+                        render_exact(&mut out, &db, cfg.top, &values);
+                    }
+                    HybridOutcome::Proxy(scores) => {
+                        out.push_str("  (timeout: CNF-Proxy ranking, not Shapley values)\n");
+                        for (i, (fact, s)) in scores.iter().take(cfg.top).enumerate() {
+                            out.push_str(&format!(
+                                "  {}. {}  score {:.6}\n",
+                                i + 1,
+                                db.display_fact(FactId(fact.0)),
+                                s
+                            ));
+                        }
+                    }
+                }
+            }
+            Method::Proxy => {
+                let mut circuit = Circuit::new();
+                let root = elin.to_circuit(&mut circuit);
+                let mut scores = proxy_from_lineage(&circuit, root);
+                scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+                for (i, (fact, s)) in scores.iter().take(cfg.top).enumerate() {
+                    out.push_str(&format!(
+                        "  {}. {}  score {:.6}\n",
+                        i + 1,
+                        db.display_fact(FactId(fact.0)),
+                        s
+                    ));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Entry point shared by `main.rs` and the tests.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let cfg = parse_args(args)?;
+    run(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Writes the running-example database as CSVs into a fresh temp dir.
+    fn flights_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("shapdb-cli-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("Flights.csv"),
+            "src,dest\nJFK,CDG\nEWR,LHR\nBOS,LHR\nLHR,CDG\nLHR,ORY\nLAX,MUC\nMUC,ORY\nLHR,MUC\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("Airports.csv"),
+            "name,country\nJFK,USA\nEWR,USA\nBOS,USA\nLAX,USA\nLHR,EN\nMUC,GR\nORY,FR\nCDG,FR\n",
+        )
+        .unwrap();
+        dir
+    }
+
+    const FLIGHTS_QUERY: &str = "q() :- Airports(x, 'USA'), Airports(y, 'FR'), Flights(x, y) ; \
+                                 q() :- Airports(x, 'USA'), Airports(z, 'FR'), Flights(x, y), Flights(y, z)";
+
+    #[test]
+    fn parse_args_full() {
+        let cfg = parse_args(&args(&[
+            "--db", "/tmp/x", "--query", "q() :- R(x)", "--endo", "R,S", "--top", "3",
+            "--method", "exact", "--timeout-ms", "100", "--agg", "sum:1",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.db_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(cfg.endo.as_deref(), Some(&["R".to_string(), "S".to_string()][..]));
+        assert_eq!(cfg.top, 3);
+        assert_eq!(cfg.method, Method::Exact);
+        assert_eq!(cfg.timeout, Duration::from_millis(100));
+        assert_eq!(cfg.aggregate, Aggregate::Sum(1));
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown() {
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["--db"])).is_err());
+        assert!(parse_args(&args(&["--db", "d", "--query", "q", "--method", "magic"]))
+            .is_err());
+        assert!(parse_args(&args(&["--db", "d"])).is_err(), "--query required");
+    }
+
+    #[test]
+    fn csv_splitting_handles_quotes() {
+        assert_eq!(split_csv_line("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(
+            split_csv_line("\"x,y\",2,\"say \"\"hi\"\"\"").unwrap(),
+            vec!["x,y", "2", "say \"hi\""]
+        );
+        assert!(split_csv_line("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn end_to_end_exact_reproduces_example_2_1() {
+        let dir = flights_dir("exact");
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            FLIGHTS_QUERY,
+            "--endo",
+            "Flights",
+            "--method",
+            "exact",
+            "--top",
+            "2",
+        ]))
+        .unwrap();
+        assert!(report.contains("16 fact(s), 8 endogenous; 1 answer(s)"), "{report}");
+        assert!(report.contains("Flights(JFK, CDG)  43/105"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_proxy_ranks_facts() {
+        let dir = flights_dir("proxy");
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            FLIGHTS_QUERY,
+            "--endo",
+            "Flights",
+            "--method",
+            "proxy",
+        ]))
+        .unwrap();
+        assert!(report.contains("score"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_count_aggregate() {
+        let dir = flights_dir("count");
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            "q(y) :- Flights(x, y)",
+            "--endo",
+            "Flights",
+            "--agg",
+            "count",
+        ]))
+        .unwrap();
+        assert!(report.contains("COUNT(*) attribution:"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_db_dir_is_a_clean_error() {
+        let e = run_cli(&args(&[
+            "--db",
+            "/nonexistent-shapdb-dir",
+            "--query",
+            "q() :- R(x)",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("cannot read"), "{e}");
+    }
+
+    #[test]
+    fn malformed_row_is_a_clean_error() {
+        let dir = std::env::temp_dir()
+            .join(format!("shapdb-cli-test-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("R.csv"), "a,b\n1\n").unwrap();
+        let e = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            "q() :- R(x, y)",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("row 2 has 1 fields"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! Thin binary wrapper around [`shapdb_cli::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprint!("{}", shapdb_cli::USAGE);
+        std::process::exit(2);
+    }
+    match shapdb_cli::run_cli(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Algorithm 1: exact Shapley values from a d-DNNF (Proposition 4.4).
+//!
+//! Given a deterministic and decomposable circuit for the endogenous lineage
+//! `ELin(q[x̄/t̄], D_x, D_n)`, the Shapley value of fact `f` is (Equation 3):
+//!
+//! ```text
+//! Shapley(f) = Σ_{k=0}^{n-1}  k!(n-k-1)!/n! · (#SAT_k(C[f→1]) − #SAT_k(C[f→0]))
+//! ```
+//!
+//! `#SAT_k` is computed by the bottom-up dynamic program of Lemma 4.5 over
+//! per-gate arrays `α_g[ℓ] = #SAT_ℓ(φ_g)`; n-ary gates are handled directly
+//! (sequential convolution at ∧, binomial gap-expansion at ∨) instead of the
+//! paper's fan-in-2 preprocessing — the result is identical and avoids
+//! materializing the rewritten circuit. Two deviations from the letter of the
+//! paper, both behaviour-preserving and noted in DESIGN.md:
+//!
+//! * the "complete the circuit so `Vars = D_n`" step (Line 1 of Algorithm 1)
+//!   is folded into the final weights instead of adding `(f' ∨ ¬f')` gates:
+//!   a variable absent from the circuit multiplies `#SAT_k` by `C(gap, ·)`,
+//!   which we absorb into `w_j = Σ_d (j+d)!(n-j-d-1)!·C(gap,d) / n!`;
+//! * conditioning `C[f→b]` happens inside the DP (the literal's array
+//!   becomes `[1]`/`[0]`) rather than by rebuilding the circuit.
+//!
+//! With [`ExactConfig::reuse_unaffected`] the per-fact passes recompute only
+//! gates whose variable set contains `f`, reusing a shared unconditioned
+//! pass for the rest — an optimization the paper leaves on the table; the
+//! ablation bench quantifies it.
+
+use crate::weights::{completion_weights, weighted_difference};
+use shapdb_kc::{DNode, Ddnnf};
+use shapdb_num::{
+    combinatorics::{BinomialTable, FactorialTable},
+    BigUint, Bitset, Rational,
+};
+// `BinomialTable` backs the per-gate ∨ expansion in `Dp`; `FactorialTable`
+// backs the closed-form weights.
+use std::time::Instant;
+
+/// Configuration for the exact computation.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactConfig {
+    /// Reuse the unconditioned DP for gates not containing the conditioned
+    /// fact (faster, same results). Disable to measure the paper's plain
+    /// `O(|C|·n²)`-per-fact behaviour.
+    pub reuse_unaffected: bool,
+    /// Cooperative deadline (checked between facts and gate batches).
+    pub deadline: Option<Instant>,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig { reuse_unaffected: true, deadline: None }
+    }
+}
+
+/// The exact computation exceeded its deadline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShapleyTimeout;
+
+impl std::fmt::Display for ShapleyTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shapley evaluation timed out")
+    }
+}
+
+impl std::error::Error for ShapleyTimeout {}
+
+/// Per-gate `α` arrays for one pass. `alphas[g][ℓ] = #SAT_ℓ(φ_g)`.
+type Alphas = Vec<Vec<BigUint>>;
+
+struct Dp<'a> {
+    d: &'a Ddnnf,
+    sets: Vec<Bitset>,
+    binomials: BinomialTable,
+    deadline: Option<Instant>,
+    ticks: u32,
+}
+
+impl<'a> Dp<'a> {
+    fn new(d: &'a Ddnnf, deadline: Option<Instant>) -> Dp<'a> {
+        Dp { d, sets: d.var_sets(), binomials: BinomialTable::new(), deadline, ticks: 0 }
+    }
+
+    /// Cooperative cancellation, called once per gate child so that even a
+    /// single enormous gate cannot overshoot the deadline by much.
+    fn tick(&mut self) -> Result<(), ShapleyTimeout> {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(64) {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    return Err(ShapleyTimeout);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Gate's variable-count after removing `cond_var` (if present).
+    fn size(&self, g: usize, cond_var: Option<usize>) -> usize {
+        let mut s = self.sets[g].len();
+        if let Some(v) = cond_var {
+            if self.sets[g].contains(v) {
+                s -= 1;
+            }
+        }
+        s
+    }
+
+    /// Computes `α` for one gate given the children's arrays.
+    fn gate_alpha(
+        &mut self,
+        g: usize,
+        cond: Option<(usize, bool)>,
+        child_alpha: &impl Fn(usize) -> Vec<BigUint>,
+    ) -> Result<Vec<BigUint>, ShapleyTimeout> {
+        let cond_var = cond.map(|(v, _)| v);
+        let nodes = self.d.nodes();
+        Ok(match &nodes[g] {
+            DNode::True => vec![BigUint::one()],
+            DNode::False => vec![BigUint::zero()],
+            DNode::Lit(l) => {
+                if let Some((v, b)) = cond {
+                    if l.var() == v {
+                        // φ over ∅ vars: ⊤ (α⁰=1) if the literal is satisfied.
+                        return Ok(if l.satisfied_by(b) {
+                            vec![BigUint::one()]
+                        } else {
+                            vec![BigUint::zero()]
+                        });
+                    }
+                }
+                if l.is_positive() {
+                    vec![BigUint::zero(), BigUint::one()]
+                } else {
+                    vec![BigUint::one(), BigUint::zero()]
+                }
+            }
+            DNode::And(cs) => {
+                // Decomposability: sizes add, counts convolve.
+                let mut acc = vec![BigUint::one()];
+                for c in cs.iter() {
+                    self.tick()?;
+                    let ca = child_alpha(c.index());
+                    let mut next = vec![BigUint::zero(); acc.len() + ca.len() - 1];
+                    for (i, ai) in acc.iter().enumerate() {
+                        if ai.is_zero() {
+                            continue;
+                        }
+                        for (j, cj) in ca.iter().enumerate() {
+                            if cj.is_zero() {
+                                continue;
+                            }
+                            next[i + j] += &(ai * cj);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            DNode::Or(cs, _) => {
+                // Determinism: counts add after expanding each child by the
+                // binomial over its variable gap.
+                let sz = self.size(g, cond_var);
+                let mut acc = vec![BigUint::zero(); sz + 1];
+                for c in cs.iter() {
+                    self.tick()?;
+                    let csz = self.size(c.index(), cond_var);
+                    let gap = sz - csz;
+                    let ca = child_alpha(c.index());
+                    debug_assert_eq!(ca.len(), csz + 1);
+                    let row = self.binomials.row(gap).to_vec();
+                    for (i, ci) in ca.iter().enumerate() {
+                        if ci.is_zero() {
+                            continue;
+                        }
+                        for (dgap, b) in row.iter().enumerate() {
+                            acc[i + dgap] += &(ci * b);
+                        }
+                    }
+                }
+                acc
+            }
+        })
+    }
+
+    /// Full unconditioned pass (`α` for every gate).
+    fn base_pass(&mut self) -> Result<Alphas, ShapleyTimeout> {
+        let mut alphas: Alphas = Vec::with_capacity(self.d.len());
+        for g in 0..self.d.len() {
+            // Workaround for borrow rules: take a snapshot closure over the
+            // already-computed prefix.
+            let a = {
+                let prefix = &alphas;
+                let lookup = |c: usize| prefix[c].clone();
+                self.gate_alpha_detached(g, None, &lookup)?
+            };
+            alphas.push(a);
+        }
+        Ok(alphas)
+    }
+
+    /// Like [`Dp::gate_alpha`] but borrow-splitting (no `&mut self` capture
+    /// inside the closure).
+    fn gate_alpha_detached(
+        &mut self,
+        g: usize,
+        cond: Option<(usize, bool)>,
+        child_alpha: &impl Fn(usize) -> Vec<BigUint>,
+    ) -> Result<Vec<BigUint>, ShapleyTimeout> {
+        self.gate_alpha(g, cond, child_alpha)
+    }
+
+    /// Conditioned pass for `(f → b)`. With `base`, only gates whose var set
+    /// contains `f` are recomputed; returns the root's array.
+    fn conditioned_root(
+        &mut self,
+        f: usize,
+        b: bool,
+        base: Option<&Alphas>,
+    ) -> Result<Vec<BigUint>, ShapleyTimeout> {
+        let root = self.d.root().index();
+        let n_nodes = self.d.len();
+        let mut cond: Vec<Option<Vec<BigUint>>> = vec![None; n_nodes];
+        for g in 0..n_nodes {
+            let affected = self.sets[g].contains(f);
+            if let Some(base) = base {
+                if !affected {
+                    // Unaffected gates keep their unconditioned array.
+                    debug_assert_eq!(base[g].len(), self.sets[g].len() + 1);
+                    continue;
+                }
+                let a = {
+                    let cond_ref = &cond;
+                    let lookup = |c: usize| match &cond_ref[c] {
+                        Some(v) => v.clone(),
+                        None => base[c].clone(),
+                    };
+                    self.gate_alpha_detached(g, Some((f, b)), &lookup)?
+                };
+                cond[g] = Some(a);
+            } else {
+                let a = {
+                    let cond_ref = &cond;
+                    let lookup = |c: usize| cond_ref[c].clone().expect("child computed");
+                    self.gate_alpha_detached(g, Some((f, b)), &lookup)?
+                };
+                cond[g] = Some(a);
+            }
+        }
+        Ok(match cond[root].take() {
+            Some(v) => v,
+            None => base.expect("root unaffected implies reuse mode")[root].clone(),
+        })
+    }
+}
+
+/// Exact Shapley value of every d-DNNF variable (Algorithm 1 for all facts).
+///
+/// `n_endo` is `|D_n|`, the number of endogenous facts of the database —
+/// possibly larger than the number of circuit variables; facts outside the
+/// circuit are null players with value 0 (their ids are simply not returned:
+/// the result has one entry per circuit variable `0..d.num_vars()`).
+pub fn shapley_all_facts(
+    d: &Ddnnf,
+    n_endo: usize,
+    cfg: &ExactConfig,
+) -> Result<Vec<Rational>, ShapleyTimeout> {
+    let num_vars = d.num_vars();
+    assert!(
+        n_endo >= num_vars,
+        "|D_n| = {n_endo} smaller than the {num_vars} circuit variables"
+    );
+    if num_vars == 0 || n_endo == 0 {
+        return Ok(vec![Rational::zero(); num_vars]);
+    }
+    let mut dp = Dp::new(d, cfg.deadline);
+    let root = d.root().index();
+    let root_vars = dp.sets[root].clone();
+    let m = root_vars.len();
+
+    let mut facts_table = FactorialTable::new();
+    let mut out = vec![Rational::zero(); num_vars];
+    if m == 0 {
+        // Constant lineage: every fact is a null player.
+        return Ok(out);
+    }
+    let weights = completion_weights(m, &mut facts_table);
+    let denom = facts_table.get(m).clone();
+
+    let base = if cfg.reuse_unaffected { Some(dp.base_pass()?) } else { None };
+
+    for f in root_vars.iter() {
+        if let Some(deadline) = cfg.deadline {
+            if Instant::now() > deadline {
+                return Err(ShapleyTimeout);
+            }
+        }
+        let gamma = dp.conditioned_root(f, true, base.as_ref())?;
+        let delta = dp.conditioned_root(f, false, base.as_ref())?;
+        debug_assert_eq!(gamma.len(), m);
+        debug_assert_eq!(delta.len(), m);
+        out[f] = weighted_difference(&gamma, &delta, &weights, &denom);
+    }
+    Ok(out)
+}
+
+/// Exact Shapley value of a single variable (Algorithm 1 verbatim: two
+/// `ComputeAll#SATk` passes and the Equation (3) sum).
+pub fn shapley_single_fact(
+    d: &Ddnnf,
+    n_endo: usize,
+    var: usize,
+    cfg: &ExactConfig,
+) -> Result<Rational, ShapleyTimeout> {
+    let num_vars = d.num_vars();
+    assert!(var < num_vars.max(1), "variable out of range");
+    assert!(
+        n_endo >= num_vars,
+        "|D_n| = {n_endo} smaller than the {num_vars} circuit variables"
+    );
+    if num_vars == 0 {
+        return Ok(Rational::zero());
+    }
+    let mut dp = Dp::new(d, cfg.deadline);
+    let root = d.root().index();
+    if !dp.sets[root].contains(var) {
+        return Ok(Rational::zero());
+    }
+    let m = dp.sets[root].len();
+    let mut facts_table = FactorialTable::new();
+    let weights = completion_weights(m, &mut facts_table);
+    let denom = facts_table.get(m).clone();
+    let base = if cfg.reuse_unaffected { Some(dp.base_pass()?) } else { None };
+    if let Some(deadline) = cfg.deadline {
+        if Instant::now() > deadline {
+            return Err(ShapleyTimeout);
+        }
+    }
+    let gamma = dp.conditioned_root(var, true, base.as_ref())?;
+    let delta = dp.conditioned_root(var, false, base.as_ref())?;
+    Ok(weighted_difference(&gamma, &delta, &weights, &denom))
+}
+
+/// `ComputeAll#SATk` of Algorithm 1: the `#SAT_k` array of the root over all
+/// `num_vars` variables (gap-completed). Exposed for tests and the
+/// Proposition 3.1 cross-check.
+pub fn sat_k_all(d: &Ddnnf) -> Vec<BigUint> {
+    let mut dp = Dp::new(d, None);
+    let base = dp.base_pass().expect("no deadline set");
+    let root = d.root().index();
+    let m = dp.sets[root].len();
+    let gap = d.num_vars() - m;
+    let mut binomials = BinomialTable::new();
+    let row = binomials.row(gap).to_vec();
+    let mut out = vec![BigUint::zero(); d.num_vars() + 1];
+    for (j, a) in base[root].iter().enumerate() {
+        if a.is_zero() {
+            continue;
+        }
+        for (dgap, c) in row.iter().enumerate() {
+            out[j + dgap] += &(a * c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // parallel-array comparisons read better indexed
+mod tests {
+    use super::*;
+    use crate::naive::{sat_k_bruteforce, shapley_naive};
+    use proptest::prelude::*;
+    use shapdb_circuit::{Circuit, Dnf, VarId};
+    use shapdb_kc::{compile_circuit, Budget};
+
+    /// Compiles a DNF over dense vars 0..n into a projected d-DNNF.
+    fn compile_dnf(d: &Dnf, n: usize) -> Ddnnf {
+        let mut c = Circuit::new();
+        let root = d.to_circuit(&mut c);
+        let comp = compile_circuit(&c, root, &Budget::unlimited()).unwrap();
+        // Re-embed into the dense 0..n space: compile_circuit returns vars in
+        // sorted order of appearance; map them back.
+        let mapping: Vec<usize> = comp.fact_vars.iter().map(|v| v.index()).collect();
+        remap(&comp.ddnnf, &mapping, n)
+    }
+
+    /// Remaps d-DNNF variables through `mapping` into a space of `n` vars.
+    fn remap(d: &Ddnnf, mapping: &[usize], n: usize) -> Ddnnf {
+        use shapdb_circuit::Lit;
+        let nodes = d
+            .nodes()
+            .iter()
+            .map(|nd| match nd {
+                DNode::Lit(l) => {
+                    let v = mapping[l.var()];
+                    DNode::Lit(if l.is_positive() { Lit::pos(v) } else { Lit::neg(v) })
+                }
+                other => other.clone(),
+            })
+            .collect();
+        Ddnnf::new(nodes, d.root(), n)
+    }
+
+    fn running_example_dnf() -> Dnf {
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0)]);
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        d
+    }
+
+    #[test]
+    fn example_2_1_via_algorithm_1() {
+        let dnf = running_example_dnf();
+        let dd = compile_dnf(&dnf, 7);
+        // n_endo = 8 (a8 exists but is not in the lineage).
+        let values = shapley_all_facts(&dd, 8, &ExactConfig::default()).unwrap();
+        assert_eq!(values[0], Rational::from_ratio(43, 105));
+        for i in 1..=4 {
+            assert_eq!(values[i], Rational::from_ratio(23, 210), "a{}", i + 1);
+        }
+        assert_eq!(values[5], Rational::from_ratio(8, 105));
+        assert_eq!(values[6], Rational::from_ratio(8, 105));
+    }
+
+    #[test]
+    fn both_variants_agree_with_naive() {
+        let dnf = running_example_dnf();
+        let dd = compile_dnf(&dnf, 7);
+        let f = |s: &Bitset| dnf.eval_set(s);
+        let expect = shapley_naive(&f, 8);
+        for reuse in [false, true] {
+            let cfg = ExactConfig { reuse_unaffected: reuse, ..Default::default() };
+            let got = shapley_all_facts(&dd, 8, &cfg).unwrap();
+            assert_eq!(&got[..], &expect[..7], "reuse={reuse}");
+        }
+    }
+
+    #[test]
+    fn single_fact_matches_all_facts() {
+        let dnf = running_example_dnf();
+        let dd = compile_dnf(&dnf, 7);
+        let all = shapley_all_facts(&dd, 8, &ExactConfig::default()).unwrap();
+        for v in 0..7 {
+            let one =
+                shapley_single_fact(&dd, 8, v, &ExactConfig::default()).unwrap();
+            assert_eq!(one, all[v], "var {v}");
+        }
+    }
+
+    #[test]
+    fn sat_k_dp_matches_bruteforce() {
+        let dnf = running_example_dnf();
+        let dd = compile_dnf(&dnf, 7);
+        let f = |s: &Bitset| dnf.eval_set(s);
+        let expect = sat_k_bruteforce(&f, 7);
+        assert_eq!(sat_k_all(&dd), expect);
+    }
+
+    #[test]
+    fn constant_lineage_gives_zeros() {
+        // ⊤ lineage: certain tuple, all facts null players.
+        let mut b = shapdb_kc::ddnnf::DdnnfBuilder::new();
+        let root = b.true_node();
+        let dd = b.finish(root, 3);
+        let values = shapley_all_facts(&dd, 5, &ExactConfig::default()).unwrap();
+        assert!(values.iter().all(|v| v.is_zero()));
+    }
+
+    #[test]
+    fn timeout_surfaces() {
+        let dnf = running_example_dnf();
+        let dd = compile_dnf(&dnf, 7);
+        let cfg = ExactConfig {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..Default::default()
+        };
+        assert_eq!(shapley_all_facts(&dd, 8, &cfg), Err(ShapleyTimeout));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_algorithm_1_matches_naive(
+            conjuncts in proptest::collection::vec(
+                proptest::collection::vec(0u32..7, 1..4), 1..6),
+            extra in 0usize..3,
+        ) {
+            let mut dnf = Dnf::new();
+            for c in &conjuncts {
+                dnf.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+            }
+            let n_vars = 7;
+            let n_endo = n_vars + extra;
+            let dd = compile_dnf(&dnf, n_vars);
+            let f = |s: &Bitset| dnf.eval_set(s);
+            let expect = shapley_naive(&f, n_endo);
+            let got = shapley_all_facts(&dd, n_endo, &ExactConfig::default()).unwrap();
+            for v in 0..n_vars {
+                prop_assert_eq!(&got[v], &expect[v], "var {}", v);
+            }
+            // Facts beyond the circuit are null players in the ground truth.
+            for v in n_vars..n_endo {
+                prop_assert!(expect[v].is_zero());
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The hybrid engine (§6.3 of the paper).
+//!
+//! Run the exact pipeline (knowledge compilation + Algorithm 1) under a
+//! configurable timeout `t`; if it completes, return exact Shapley values,
+//! otherwise fall back to CNF Proxy and return a *ranking* of the facts. The
+//! paper's experiments justify `t = 2.5 s` as the sweet spot (Figure 8); that
+//! is the default here.
+
+use crate::exact::{shapley_all_facts, ExactConfig};
+use crate::proxy::cnf_proxy;
+use shapdb_circuit::{tseytin, Circuit, NodeId, VarId};
+use shapdb_kc::{compile, project, Budget};
+use shapdb_num::Rational;
+use std::time::{Duration, Instant};
+
+/// Configuration for the hybrid engine.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Timeout for the exact pipeline (paper default: 2.5 s).
+    pub timeout: Duration,
+    /// Exact-computation options (the deadline field is overwritten).
+    pub exact: ExactConfig,
+    /// Try the read-once fast path before compiling (extension; off by
+    /// default so the engine measures exactly what the paper's §6.3 does).
+    /// Only honored by [`hybrid_shapley_dnf`], which sees the DNF lineage.
+    pub try_read_once: bool,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            timeout: Duration::from_millis(2500),
+            exact: ExactConfig::default(),
+            try_read_once: false,
+        }
+    }
+}
+
+/// What the hybrid engine produced.
+#[derive(Clone, Debug)]
+pub enum HybridOutcome {
+    /// Exact Shapley values, sorted by decreasing value.
+    Exact(Vec<(VarId, Rational)>),
+    /// CNF-Proxy scores (a ranking, not Shapley values), sorted decreasing.
+    Proxy(Vec<(VarId, f64)>),
+}
+
+impl HybridOutcome {
+    /// The facts in ranked order (most influential first), either way.
+    pub fn ranking(&self) -> Vec<VarId> {
+        match self {
+            HybridOutcome::Exact(v) => v.iter().map(|(f, _)| *f).collect(),
+            HybridOutcome::Proxy(v) => v.iter().map(|(f, _)| *f).collect(),
+        }
+    }
+
+    /// True iff the exact pipeline finished within the timeout.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, HybridOutcome::Exact(_))
+    }
+}
+
+/// Timings and outcome of one hybrid run.
+#[derive(Clone, Debug)]
+pub struct HybridReport {
+    pub outcome: HybridOutcome,
+    /// Wall time of the whole run (exact attempt + fallback if any).
+    pub total_time: Duration,
+    /// Time spent in the exact attempt.
+    pub exact_time: Duration,
+    /// Time spent in the proxy fallback (zero when exact succeeded).
+    pub proxy_time: Duration,
+}
+
+/// Runs the hybrid strategy on a monotone DNF lineage.
+///
+/// With [`HybridConfig::try_read_once`] the engine first attempts the
+/// factorization fast path (microseconds, exact); only lineages that do not
+/// factor pay for Tseytin + compilation under the timeout. With the flag off
+/// this is [`hybrid_shapley`] on the lineage's circuit — the paper's exact
+/// §6.3 behaviour.
+pub fn hybrid_shapley_dnf(
+    lineage: &shapdb_circuit::Dnf,
+    n_endo: usize,
+    cfg: &HybridConfig,
+) -> HybridReport {
+    if cfg.try_read_once {
+        let start = Instant::now();
+        if let Some(tree) = shapdb_circuit::factor(lineage) {
+            if let Ok(values) = crate::readonce::shapley_read_once(&tree, n_endo, None) {
+                let mut pairs = values;
+                pairs.sort_by(|a, b| b.1.cmp(&a.1));
+                let elapsed = start.elapsed();
+                return HybridReport {
+                    outcome: HybridOutcome::Exact(pairs),
+                    total_time: elapsed,
+                    exact_time: elapsed,
+                    proxy_time: Duration::ZERO,
+                };
+            }
+        }
+    }
+    let mut circuit = Circuit::new();
+    let root = lineage.to_circuit(&mut circuit);
+    hybrid_shapley(&circuit, root, n_endo, cfg)
+}
+
+/// Runs the hybrid strategy on an endogenous-lineage circuit.
+pub fn hybrid_shapley(
+    circuit: &Circuit,
+    root: NodeId,
+    n_endo: usize,
+    cfg: &HybridConfig,
+) -> HybridReport {
+    let start = Instant::now();
+    let deadline = start + cfg.timeout;
+    let t = tseytin(circuit, root);
+
+    // Exact attempt under the deadline.
+    let budget = Budget { deadline: Some(deadline), max_nodes: usize::MAX };
+    let exact_cfg = ExactConfig { deadline: Some(deadline), ..cfg.exact };
+    let exact_result = compile(&t.cnf, &budget).ok().and_then(|(full, _)| {
+        let ddnnf = project(&full, t.num_inputs());
+        shapley_all_facts(&ddnnf, n_endo, &exact_cfg).ok()
+    });
+    let exact_time = start.elapsed();
+
+    match exact_result {
+        Some(values) => {
+            let mut pairs: Vec<(VarId, Rational)> = values
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (t.input_vars[i], v))
+                .collect();
+            pairs.sort_by(|a, b| b.1.cmp(&a.1));
+            HybridReport {
+                outcome: HybridOutcome::Exact(pairs),
+                total_time: start.elapsed(),
+                exact_time,
+                proxy_time: Duration::ZERO,
+            }
+        }
+        None => {
+            let proxy_start = Instant::now();
+            let k = t.num_inputs();
+            let scores = cnf_proxy(&t.cnf, &|v| v < k);
+            let mut pairs: Vec<(VarId, f64)> = t
+                .input_vars
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| (f, scores[i]))
+                .collect();
+            pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            HybridReport {
+                outcome: HybridOutcome::Proxy(pairs),
+                total_time: start.elapsed(),
+                exact_time,
+                proxy_time: proxy_start.elapsed(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapdb_circuit::Dnf;
+
+    fn running_example_circuit() -> (Circuit, NodeId) {
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0)]);
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let mut c = Circuit::new();
+        let root = d.to_circuit(&mut c);
+        (c, root)
+    }
+
+    #[test]
+    fn exact_within_generous_timeout() {
+        let (c, root) = running_example_circuit();
+        let report = hybrid_shapley(&c, root, 8, &HybridConfig::default());
+        assert!(report.outcome.is_exact());
+        match &report.outcome {
+            HybridOutcome::Exact(pairs) => {
+                assert_eq!(pairs[0].0, VarId(0));
+                assert_eq!(pairs[0].1, Rational::from_ratio(43, 105));
+            }
+            HybridOutcome::Proxy(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn falls_back_to_proxy_on_zero_timeout() {
+        let (c, root) = running_example_circuit();
+        let cfg = HybridConfig { timeout: Duration::ZERO, ..Default::default() };
+        let report = hybrid_shapley(&c, root, 8, &cfg);
+        assert!(!report.outcome.is_exact());
+        // The proxy ranking still puts a1's pair facts above a6/a7... and
+        // critically, the ranking is non-empty and covers all 7 facts.
+        assert_eq!(report.outcome.ranking().len(), 7);
+        assert!(report.proxy_time.max(Duration::from_nanos(1)).as_nanos() > 0);
+    }
+
+    #[test]
+    fn fast_path_rescues_zero_timeout_when_enabled() {
+        // With try_read_once, even a zero timeout yields exact values on a
+        // factorizable lineage — the fast path runs before the clock
+        // matters. With it off, the same call degrades to a proxy ranking.
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0)]);
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let on = HybridConfig {
+            timeout: Duration::ZERO,
+            try_read_once: true,
+            ..Default::default()
+        };
+        let report = hybrid_shapley_dnf(&d, 8, &on);
+        assert!(report.outcome.is_exact());
+        match &report.outcome {
+            HybridOutcome::Exact(pairs) => {
+                assert_eq!(pairs[0].0, VarId(0));
+                assert_eq!(pairs[0].1, Rational::from_ratio(43, 105));
+            }
+            HybridOutcome::Proxy(_) => unreachable!(),
+        }
+        let off = HybridConfig { timeout: Duration::ZERO, ..Default::default() };
+        assert!(!hybrid_shapley_dnf(&d, 8, &off).outcome.is_exact());
+    }
+
+    #[test]
+    fn fast_path_falls_through_on_non_read_once() {
+        // Majority is not read-once: the flag must not change the outcome
+        // class (exact via KC under a generous timeout).
+        let mut d = Dnf::new();
+        for pair in [[0u32, 1], [1, 2], [0, 2]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let cfg = HybridConfig { try_read_once: true, ..Default::default() };
+        let report = hybrid_shapley_dnf(&d, 3, &cfg);
+        assert!(report.outcome.is_exact());
+        match &report.outcome {
+            HybridOutcome::Exact(pairs) => {
+                for (_, v) in pairs {
+                    assert_eq!(*v, Rational::from_ratio(1, 3));
+                }
+            }
+            HybridOutcome::Proxy(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn proxy_ranking_matches_exact_order_on_pairs() {
+        // Drop a1 (whose raw-mode proxy pathology Example 5.4 discusses);
+        // for the pure 2-way-pairs lineage the proxy order matches exact.
+        let mut d = Dnf::new();
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let mut c = Circuit::new();
+        let root = d.to_circuit(&mut c);
+        let exact = hybrid_shapley(&c, root, 6, &HybridConfig::default());
+        let cfg = HybridConfig { timeout: Duration::ZERO, ..Default::default() };
+        let proxy = hybrid_shapley(&c, root, 6, &cfg);
+        // a2..a5 (ids 1..4) must rank above a6,a7 (ids 5,6) in both.
+        let rank_exact = exact.outcome.ranking();
+        let rank_proxy = proxy.outcome.ranking();
+        for r in [&rank_exact, &rank_proxy] {
+            let pos = |id: u32| r.iter().position(|v| v.0 == id).unwrap();
+            assert!(pos(1) < pos(5) && pos(2) < pos(6));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Kernel SHAP adapted to database provenance (§6.2 of the paper).
+//!
+//! Kernel SHAP (Lundberg & Lee 2017) estimates SHAP values by fitting a
+//! weighted linear model over sampled feature coalitions. The paper adapts
+//! it to facts: the features are the endogenous facts, the model `h` is the
+//! endogenous lineage (a 0/1 function), the explained point is `ē = 1⃗`, and
+//! the background is a single all-zeros example — so `ĥ(S)` is simply the
+//! lineage evaluated on the coalition `S`.
+//!
+//! Implementation: coalition sizes are drawn from the Shapley kernel
+//! `π(s) ∝ (n-1)/(s·(n-s))` (so sampled points carry equal weight), and the
+//! efficiency constraint `Σφ = h(1⃗) − h(0⃗)` is enforced by eliminating the
+//! last feature, as in the reference implementation. The resulting normal
+//! equations are solved densely; a tiny ridge keeps rank-deficient samples
+//! solvable.
+
+use rand::prelude::*;
+use shapdb_num::{linalg::solve_f64, Bitset};
+
+/// Configuration for Kernel SHAP.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelShapConfig {
+    /// Number of sampled coalitions `m` (the paper uses `m = c·n` for
+    /// `c ∈ {10, 20, 30, 40, 50}`).
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ridge regularizer added to the normal matrix diagonal.
+    pub ridge: f64,
+}
+
+impl Default for KernelShapConfig {
+    fn default() -> Self {
+        KernelShapConfig { samples: 1000, seed: 0x5A17, ridge: 1e-9 }
+    }
+}
+
+/// Estimates Shapley values of the Boolean set function `f` over facts
+/// `0..n` with Kernel SHAP.
+pub fn kernel_shap(
+    f: &impl Fn(&Bitset) -> bool,
+    n: usize,
+    cfg: &KernelShapConfig,
+) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let empty = f(&Bitset::new(n)) as u8 as f64;
+    let mut all = Bitset::new(n);
+    for i in 0..n {
+        all.insert(i);
+    }
+    let full = f(&all) as u8 as f64;
+    let delta = full - empty;
+    if n == 1 {
+        return vec![delta];
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Shapley-kernel size distribution over 1..=n-1.
+    let sizes: Vec<usize> = (1..n).collect();
+    let kernel_weights: Vec<f64> =
+        sizes.iter().map(|&s| (n - 1) as f64 / (s as f64 * (n - s) as f64)).collect();
+
+    // Regression with φ_{n-1} eliminated: unknowns φ_0..φ_{n-2}.
+    let d = n - 1;
+    let mut ata = vec![vec![0.0f64; d]; d];
+    let mut atb = vec![0.0f64; d];
+    let mut set = Bitset::new(n);
+    let mut row = vec![0.0f64; d];
+    for _ in 0..cfg.samples.max(1) {
+        let s = *sizes
+            .choose_weighted(&mut rng, |&sz| kernel_weights[sz - 1])
+            .expect("non-empty size table");
+        // Random coalition of size s (Floyd's algorithm keeps it O(s)).
+        set.clear();
+        for j in (n - s)..n {
+            let t = rng.random_range(0..=j);
+            if set.contains(t) {
+                set.insert(j);
+            } else {
+                set.insert(t);
+            }
+        }
+        let y = f(&set) as u8 as f64;
+        let z_last = set.contains(n - 1) as u8 as f64;
+        let target = y - empty - z_last * delta;
+        for (i, r) in row.iter_mut().enumerate() {
+            *r = (set.contains(i) as u8 as f64) - z_last;
+        }
+        for i in 0..d {
+            if row[i] == 0.0 {
+                continue;
+            }
+            for j in 0..d {
+                ata[i][j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * target;
+        }
+    }
+    for (i, r) in ata.iter_mut().enumerate() {
+        r[i] += cfg.ridge;
+    }
+    let phi_head = solve_f64(ata, atb).unwrap_or_else(|| vec![0.0; d]);
+    let mut phi = phi_head;
+    let head_sum: f64 = phi.iter().sum();
+    phi.push(delta - head_sum);
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::shapley_naive;
+    use shapdb_circuit::{Dnf, VarId};
+
+    fn running_example_dnf() -> Dnf {
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0)]);
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        d
+    }
+
+    #[test]
+    fn approximates_exact_values() {
+        let d = running_example_dnf();
+        let f = |s: &Bitset| d.eval_set(s);
+        let exact: Vec<f64> =
+            shapley_naive(&f, 8).iter().map(|r| r.to_f64()).collect();
+        let cfg = KernelShapConfig { samples: 40_000, seed: 17, ..Default::default() };
+        let est = kernel_shap(&f, 8, &cfg);
+        for (i, (e, x)) in est.iter().zip(&exact).enumerate() {
+            assert!((e - x).abs() < 0.05, "fact {i}: est {e} vs exact {x}");
+        }
+    }
+
+    #[test]
+    fn efficiency_constraint_holds_exactly() {
+        let d = running_example_dnf();
+        let f = |s: &Bitset| d.eval_set(s);
+        let cfg = KernelShapConfig { samples: 500, seed: 3, ..Default::default() };
+        let est = kernel_shap(&f, 8, &cfg);
+        let total: f64 = est.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "Σφ must equal h(1⃗)−h(0⃗)");
+    }
+
+    #[test]
+    fn single_fact_is_exact() {
+        let f = |s: &Bitset| s.contains(0);
+        let est = kernel_shap(&f, 1, &KernelShapConfig::default());
+        assert_eq!(est, vec![1.0]);
+    }
+
+    #[test]
+    fn two_symmetric_facts() {
+        // f = x0 ∧ x1: exact values are 1/2 each. With only size-1 coalitions
+        // available, the estimate is count({1})/count(total) — binomially
+        // distributed around 1/2, so allow sampling noise.
+        let f = |s: &Bitset| s.contains(0) && s.contains(1);
+        let cfg = KernelShapConfig { samples: 4000, seed: 5, ..Default::default() };
+        let est = kernel_shap(&f, 2, &cfg);
+        assert!((est[0] - 0.5).abs() < 0.05, "got {}", est[0]);
+        assert!((est[1] - 0.5).abs() < 0.05, "got {}", est[1]);
+        assert!((est[0] + est[1] - 1.0).abs() < 1e-9, "efficiency is exact");
+    }
+
+    #[test]
+    fn constant_game_gives_zeros() {
+        let f = |_: &Bitset| true;
+        let est = kernel_shap(&f, 4, &KernelShapConfig::default());
+        assert!(est.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn empty_game() {
+        let f = |_: &Bitset| false;
+        assert!(kernel_shap(&f, 0, &KernelShapConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! # shapdb-core — Shapley values of database facts
+//!
+//! The paper's primary contribution, implemented over the substrates in the
+//! sibling crates:
+//!
+//! * [`exact`] — **Algorithm 1**: exact Shapley values from a deterministic
+//!   and decomposable circuit via the `#SAT_k` dynamic program
+//!   (Proposition 4.4), in `O(|C|·|D_n|²)` arithmetic operations per fact,
+//!   plus an optimized variant that recomputes only the gates whose variable
+//!   set contains the conditioned fact;
+//! * [`proxy`] — **Algorithm 2 / CNF Proxy**: the fast inexact heuristic that
+//!   scores facts through the additive relaxation `φ̃ = Σᵢ ψᵢ/n` of the
+//!   Tseytin CNF (Lemma 5.2);
+//! * [`montecarlo`] — the permutation-sampling baseline of [Mann & Shapley
+//!   1960] used in §6.2, plus a binary-search variant for monotone lineages;
+//! * [`kernelshap`] — the Kernel SHAP baseline adapted to provenance exactly
+//!   as §6.2 describes (features = facts, `h` = endogenous lineage, `ē = 1⃗`,
+//!   background = `0⃗`);
+//! * [`naive`] — `O(2ⁿ)` ground truth directly from Equations (1)/(2), used
+//!   to validate everything else;
+//! * [`hybrid`] — the §6.3 engine: exact pipeline under a deadline, CNF-Proxy
+//!   ranking as the fallback;
+//! * [`readonce`] — the read-once fast path: Shapley values straight from a
+//!   factorized lineage with no knowledge compilation (the tractable class
+//!   of Livshits et al. — hierarchical queries — and beyond);
+//! * [`pipeline`] — glue running lineage → Tseytin → compile → project →
+//!   Algorithm 1 for a query output tuple.
+//!
+//! Values are exact [`Rational`](shapdb_num::Rational)s wherever the paper's
+//! algorithm is exact; baselines return `f64` like their originals.
+
+pub mod aggregate;
+pub mod banzhaf;
+pub mod exact;
+pub mod hybrid;
+pub mod kernelshap;
+pub mod montecarlo;
+pub mod naive;
+pub mod pipeline;
+pub mod proxy;
+pub mod readonce;
+pub mod responsibility;
+pub mod shap_score;
+mod weights;
+
+pub use aggregate::{count_shapley, sum_shapley, AggregateAttributions};
+pub use banzhaf::{banzhaf_all_facts, banzhaf_naive, critical_coalitions};
+pub use exact::{shapley_all_facts, shapley_single_fact, ExactConfig};
+pub use hybrid::{hybrid_shapley, hybrid_shapley_dnf, HybridConfig, HybridOutcome, HybridReport};
+pub use kernelshap::{kernel_shap, KernelShapConfig};
+pub use montecarlo::{monte_carlo_shapley, monte_carlo_shapley_monotone, MonteCarloConfig};
+pub use naive::{shapley_naive, shapley_naive_by_slices};
+pub use pipeline::{
+    analyze_lineage, analyze_lineage_auto, AnalysisMethod, FactAttribution, LineageAnalysis,
+};
+pub use proxy::{cnf_proxy, cnf_proxy_exact, proxy_from_lineage};
+pub use readonce::{sat_k_read_once, shapley_read_once, try_shapley_read_once};
+pub use responsibility::{min_contingency, responsibility, responsibility_all};
+pub use shap_score::{shap_naive, shap_scores};

@@ -1,0 +1,187 @@
+//! Monte Carlo permutation sampling for Shapley values.
+//!
+//! The classical estimator of Mann & Shapley (1960), used by the paper as
+//! the first inexact baseline (§6.2): sample `r` permutations of the facts
+//! and average each fact's marginal contribution at its position, giving a
+//! budget of `r·n` evaluations of the lineage.
+//!
+//! [`monte_carlo_shapley_monotone`] is an extension the paper does not
+//! evaluate: for *monotone* lineages (all UCQ lineages are), the marginal
+//! contribution along a permutation is 1 at exactly one position, found by
+//! binary search in `O(log n)` evaluations — an ablation bench compares the
+//! two.
+
+use rand::prelude::*;
+use shapdb_num::Bitset;
+
+/// Configuration for the Monte Carlo estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct MonteCarloConfig {
+    /// Number of sampled permutations `r` (total budget `r·n` evaluations).
+    pub permutations: usize,
+    /// RNG seed (the experiments are reproducible).
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig { permutations: 50, seed: 0x5AD0 }
+    }
+}
+
+/// Estimates the Shapley value of every fact `0..n` of the Boolean set
+/// function `f` by permutation sampling.
+pub fn monte_carlo_shapley(
+    f: &impl Fn(&Bitset) -> bool,
+    n: usize,
+    cfg: &MonteCarloConfig,
+) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut totals = vec![0.0f64; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut set = Bitset::new(n);
+    for _ in 0..cfg.permutations.max(1) {
+        perm.shuffle(&mut rng);
+        set.clear();
+        let mut prev = f(&set);
+        for &fact in &perm {
+            set.insert(fact);
+            let cur = f(&set);
+            if cur != prev {
+                totals[fact] += if cur { 1.0 } else { -1.0 };
+            }
+            prev = cur;
+        }
+    }
+    let r = cfg.permutations.max(1) as f64;
+    totals.iter_mut().for_each(|t| *t /= r);
+    totals
+}
+
+/// Monte Carlo for **monotone** `f`: along each permutation the value flips
+/// 0→1 at most once, at a prefix length found by binary search.
+///
+/// The caller asserts monotonicity (UCQ lineages always are); on a
+/// non-monotone function the estimate is silently biased. Produces the same
+/// estimator as [`monte_carlo_shapley`] run with the same permutations, at
+/// `O(log n)` instead of `O(n)` evaluations per permutation.
+pub fn monte_carlo_shapley_monotone(
+    f: &impl Fn(&Bitset) -> bool,
+    n: usize,
+    cfg: &MonteCarloConfig,
+) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut totals = vec![0.0f64; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    let prefix_eval = |perm: &[usize], len: usize| -> bool {
+        let mut s = Bitset::new(n);
+        for &x in &perm[..len] {
+            s.insert(x);
+        }
+        f(&s)
+    };
+    for _ in 0..cfg.permutations.max(1) {
+        perm.shuffle(&mut rng);
+        if !prefix_eval(&perm, n) {
+            continue; // f(full) = 0: monotone ⇒ all marginals 0.
+        }
+        if prefix_eval(&perm, 0) {
+            continue; // f(∅) = 1: monotone ⇒ no flip anywhere.
+        }
+        // Smallest prefix length where f becomes true.
+        let (mut lo, mut hi) = (0usize, n); // f(lo)=0, f(hi)=1 invariant
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if prefix_eval(&perm, mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        totals[perm[hi - 1]] += 1.0;
+    }
+    let r = cfg.permutations.max(1) as f64;
+    totals.iter_mut().for_each(|t| *t /= r);
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::shapley_naive;
+    use shapdb_circuit::{Dnf, VarId};
+
+    fn running_example_dnf() -> Dnf {
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0)]);
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        d
+    }
+
+    #[test]
+    fn converges_to_exact_values() {
+        let d = running_example_dnf();
+        let f = |s: &Bitset| d.eval_set(s);
+        let exact: Vec<f64> =
+            shapley_naive(&f, 8).iter().map(|r| r.to_f64()).collect();
+        let cfg = MonteCarloConfig { permutations: 20_000, seed: 42 };
+        let est = monte_carlo_shapley(&f, 8, &cfg);
+        for (i, (e, x)) in est.iter().zip(&exact).enumerate() {
+            assert!((e - x).abs() < 0.02, "fact {i}: est {e} vs exact {x}");
+        }
+    }
+
+    #[test]
+    fn monotone_variant_identical_estimator() {
+        // Same seed ⇒ same permutations ⇒ identical (not just close) output
+        // on a monotone function.
+        let d = running_example_dnf();
+        let f = |s: &Bitset| d.eval_set(s);
+        let cfg = MonteCarloConfig { permutations: 500, seed: 7 };
+        let a = monte_carlo_shapley(&f, 8, &cfg);
+        let b = monte_carlo_shapley_monotone(&f, 8, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn null_player_estimated_zero() {
+        let d = running_example_dnf();
+        let f = |s: &Bitset| d.eval_set(s);
+        let cfg = MonteCarloConfig { permutations: 2000, seed: 9 };
+        let est = monte_carlo_shapley(&f, 8, &cfg);
+        assert_eq!(est[7], 0.0, "a8 never changes the outcome");
+    }
+
+    #[test]
+    fn empty_and_constant_games() {
+        let always = |_: &Bitset| true;
+        assert!(monte_carlo_shapley(&always, 3, &MonteCarloConfig::default())
+            .iter()
+            .all(|&v| v == 0.0));
+        let never = |_: &Bitset| false;
+        assert!(monte_carlo_shapley_monotone(&never, 3, &MonteCarloConfig::default())
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(monte_carlo_shapley(&always, 0, &MonteCarloConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn estimates_sum_to_efficiency() {
+        // Along every permutation the marginals telescope to f(full)-f(∅),
+        // so the estimates sum to it exactly.
+        let d = running_example_dnf();
+        let f = |s: &Bitset| d.eval_set(s);
+        let cfg = MonteCarloConfig { permutations: 137, seed: 3 };
+        let est = monte_carlo_shapley(&f, 8, &cfg);
+        let total: f64 = est.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

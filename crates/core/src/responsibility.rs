@@ -1,0 +1,321 @@
+//! Causal responsibility of facts (Meliou, Gatterbauer, Moore & Suciu,
+//! PVLDB 2010) — the measure the paper's related work positions Shapley
+//! values against.
+//!
+//! A fact `f` is a *counterfactual cause* of an answer if removing `f` flips
+//! the answer off. It is an *actual cause with contingency `Γ`* if, after
+//! removing the contingency set `Γ`, it becomes counterfactual. Its
+//! responsibility is
+//!
+//! ```text
+//! ρ(f) = 1 / (1 + min { |Γ| : f counterfactual in D ∖ Γ })
+//! ```
+//!
+//! (0 when no contingency works). On a monotone DNF lineage the inner
+//! minimization is a constrained minimum hitting set: writing `F` for the
+//! conjuncts containing `f` and `G` for those not containing `f`,
+//!
+//! * `Γ` must hit every conjunct of `G` (so the answer is off without `f`),
+//! * some conjunct `C ∈ F` must survive untouched (so adding `f` back turns
+//!   the answer on): `Γ ∩ C = ∅`.
+//!
+//! We solve exactly by iterating over the witness conjunct `C` and running a
+//! branch-and-bound minimum hitting set on `G` with the variables of `C`
+//! forbidden — exponential in the worst case (the problem is NP-hard) but
+//! fast on per-tuple lineages, whose conjuncts are few and short. Computing
+//! responsibility is harder to approximate than to rank by, which is exactly
+//! the comparison the experiments draw against Shapley values.
+
+use shapdb_circuit::{Dnf, VarId};
+use shapdb_num::{Bitset, Rational};
+
+/// Exact responsibility `ρ(f) = 1/(1 + min |Γ|)` of one fact of a monotone
+/// DNF lineage, or 0 if `f` is never an actual cause.
+pub fn responsibility(lineage: &Dnf, fact: VarId) -> Rational {
+    match min_contingency(lineage, fact) {
+        Some(k) => Rational::from_ratio(1, 1 + k as u64),
+        None => Rational::zero(),
+    }
+}
+
+/// Exact responsibility of every fact of the lineage, sorted by decreasing
+/// value (ties by fact id). Null players get 0 and are omitted.
+pub fn responsibility_all(lineage: &Dnf) -> Vec<(VarId, Rational)> {
+    let mut out: Vec<(VarId, Rational)> = lineage
+        .vars()
+        .into_iter()
+        .map(|v| (v, responsibility(lineage, v)))
+        .filter(|(_, r)| !r.is_zero())
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Size of the smallest contingency set making `fact` counterfactual, or
+/// `None` if none exists.
+pub fn min_contingency(lineage: &Dnf, fact: VarId) -> Option<usize> {
+    let mut d = lineage.clone();
+    d.minimize();
+    if d.conjuncts().iter().any(|c| c.is_empty()) {
+        return None; // certain answer: no fact is ever counterfactual
+    }
+    let (witnesses, others): (Vec<&Vec<VarId>>, Vec<&Vec<VarId>>) =
+        d.conjuncts().iter().partition(|c| c.contains(&fact));
+    if witnesses.is_empty() {
+        return None; // fact not in the lineage
+    }
+
+    let mut best: Option<usize> = None;
+    for witness in &witnesses {
+        let forbidden: Vec<VarId> =
+            witness.iter().copied().filter(|&v| v != fact).collect();
+        // Conjuncts of `G` still to hit, minus variables we may never pick.
+        let mut to_hit: Vec<Vec<VarId>> = Vec::with_capacity(others.len());
+        let mut feasible = true;
+        for g in &others {
+            let allowed: Vec<VarId> =
+                g.iter().copied().filter(|v| !forbidden.contains(v)).collect();
+            if allowed.is_empty() {
+                feasible = false; // this G-conjunct survives whatever we do
+                break;
+            }
+            // A conjunct that is a superset of another (after filtering) is
+            // handled by the hitting-set search itself.
+            to_hit.push(allowed);
+        }
+        if !feasible {
+            continue;
+        }
+        let bound = best.map(|b| b.saturating_sub(1));
+        if let Some(k) = min_hitting_set(&to_hit, bound) {
+            best = Some(best.map_or(k, |b| b.min(k)));
+            if best == Some(0) {
+                break; // counterfactual outright; cannot improve
+            }
+        }
+    }
+    best
+}
+
+/// Exact minimum hitting set via branch and bound. `ub` is an exclusive-ish
+/// upper bound: solutions of size > `ub` (when given) are not explored.
+/// Returns the minimum size, or `None` if every solution exceeds the bound.
+fn min_hitting_set(conjuncts: &[Vec<VarId>], ub: Option<usize>) -> Option<usize> {
+    // Drop conjuncts that are supersets of others: hitting the subset hits
+    // the superset.
+    let mut sorted: Vec<&Vec<VarId>> = conjuncts.iter().collect();
+    sorted.sort_by_key(|c| c.len());
+    let mut kept: Vec<&Vec<VarId>> = Vec::new();
+    'outer: for c in sorted {
+        for k in &kept {
+            if k.iter().all(|v| c.contains(v)) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    let limit = ub.unwrap_or(usize::MAX);
+    let mut best: Option<usize> = None;
+    let mut chosen = Bitset::new(
+        kept.iter()
+            .flat_map(|c| c.iter())
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(1),
+    );
+    branch(&kept, &mut chosen, 0, limit, &mut best);
+    best
+}
+
+fn branch(
+    conjuncts: &[&Vec<VarId>],
+    chosen: &mut Bitset,
+    size: usize,
+    limit: usize,
+    best: &mut Option<usize>,
+) {
+    if let Some(b) = *best {
+        if size >= b {
+            return; // cannot improve
+        }
+    }
+    // First unhit conjunct; if none, we have a hitting set.
+    let Some(unhit) = conjuncts.iter().find(|c| !c.iter().any(|v| chosen.contains(v.index())))
+    else {
+        *best = Some(size);
+        return;
+    };
+    if size >= limit {
+        return; // bound exhausted and still unhit conjuncts
+    }
+    for &v in unhit.iter() {
+        chosen.insert(v.index());
+        branch(conjuncts, chosen, size + 1, limit, best);
+        chosen.remove(v.index());
+    }
+}
+
+/// `O(2ⁿ)` responsibility oracle straight from the definition, for tests:
+/// tries every contingency set by increasing size.
+pub fn responsibility_naive(lineage: &Dnf, fact: VarId, n: usize) -> Rational {
+    assert!(n <= 15, "naive responsibility limited to 15 facts");
+    let full: Vec<VarId> = lineage.vars();
+    let eval = |present: &Bitset| lineage.eval_set(present);
+    let mut best: Option<usize> = None;
+    for mask in 0u64..(1 << n) {
+        if mask >> fact.index() & 1 == 1 {
+            continue; // Γ may not contain f itself
+        }
+        // E = all facts minus Γ.
+        let mut with_f = Bitset::new(n.max(1));
+        for v in 0..n {
+            if mask >> v & 1 == 0 {
+                with_f.insert(v);
+            }
+        }
+        if !with_f.contains(fact.index()) {
+            continue;
+        }
+        let mut without_f = with_f.clone();
+        without_f.remove(fact.index());
+        if eval(&with_f) && !eval(&without_f) {
+            let k = mask.count_ones() as usize;
+            best = Some(best.map_or(k, |b| b.min(k)));
+        }
+    }
+    let _ = full;
+    match best {
+        Some(k) => Rational::from_ratio(1, 1 + k as u64),
+        None => Rational::zero(),
+    }
+}
+
+/// Causal effect (Salimi et al., TaPP 2016): the expected difference
+/// `E[q | f present] − E[q | f absent]` under independent fact probability
+/// ½. For Boolean games this *equals* the Banzhaf value, so the exact
+/// computation lives in [`crate::banzhaf`]; this alias documents the
+/// identity at the API level.
+pub use crate::banzhaf::banzhaf_all_facts as causal_effect_all_facts;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dnf(conjs: &[&[u32]]) -> Dnf {
+        let mut d = Dnf::new();
+        for c in conjs {
+            d.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+        }
+        d
+    }
+
+    fn running_example() -> Dnf {
+        dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]])
+    }
+
+    #[test]
+    fn running_example_responsibilities() {
+        let d = running_example();
+        // a1: hit {a2,a3}×{a4,a5} (needs 2: one side) + (a6,a7) (1) → Γ=3.
+        assert_eq!(responsibility(&d, VarId(0)), Rational::from_ratio(1, 4));
+        // a2: witness (a2,a4) forbids a4: hit a1(1), (a3,a4)→a3, (a3,a5)✓, (a6,a7)(1) → 3.
+        assert_eq!(responsibility(&d, VarId(1)), Rational::from_ratio(1, 4));
+        // a8 (id 7) is not in the lineage.
+        assert_eq!(responsibility(&d, VarId(7)), Rational::zero());
+    }
+
+    #[test]
+    fn counterfactual_fact_has_responsibility_one() {
+        // Single witness: f alone derives the answer and nothing else does.
+        let d = dnf(&[&[0]]);
+        assert_eq!(responsibility(&d, VarId(0)), Rational::one());
+    }
+
+    #[test]
+    fn certain_answer_has_no_causes() {
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![]);
+        d.add_conjunct(vec![VarId(0)]);
+        assert_eq!(responsibility(&d, VarId(0)), Rational::zero());
+    }
+
+    #[test]
+    fn matches_naive_on_running_example() {
+        let d = running_example();
+        for v in 0..7u32 {
+            assert_eq!(
+                responsibility(&d, VarId(v)),
+                responsibility_naive(&d, VarId(v), 7),
+                "fact a{}",
+                v + 1
+            );
+        }
+    }
+
+    #[test]
+    fn all_variant_sorts_and_omits_nulls() {
+        let d = dnf(&[&[0], &[1, 2]]);
+        let all = responsibility_all(&d);
+        // x0 is counterfactual after removing one of {x1,x2}? No: removing
+        // x1 (or x2) makes (x1∧x2) false, so x0 is counterfactual with
+        // Γ = {x1} → ρ = 1/2. x1: witness (x1,x2), hit {x0} → ρ = 1/2.
+        assert_eq!(all.len(), 3);
+        for (_, r) in &all {
+            assert_eq!(*r, Rational::from_ratio(1, 2));
+        }
+    }
+
+    #[test]
+    fn causal_effect_is_banzhaf() {
+        // The alias points at the Banzhaf computation; spot-check the
+        // running example's a1 via the naive Banzhaf oracle.
+        let d = running_example();
+        let values = crate::banzhaf::banzhaf_naive(&|s: &Bitset| d.eval_set(s), 7);
+        // CE(a1) = Pr[q | a1] − Pr[q | ¬a1] = 1 − Pr[rest fires]. The rest
+        // is ((a2∨a3)∧(a4∨a5)) ∨ (a6∧a7) at p = ½:
+        // 1 − (1 − 9/16)(1 − 1/4) = 43/64, so CE(a1) = 21/64.
+        assert_eq!(values[0], Rational::from_ratio(21, 64));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn prop_matches_naive(
+            conjuncts in proptest::collection::vec(
+                proptest::collection::vec(0u32..6, 1..4), 1..6),
+            fact in 0u32..6,
+        ) {
+            let mut d = Dnf::new();
+            for c in &conjuncts {
+                d.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+            }
+            prop_assert_eq!(
+                responsibility(&d, VarId(fact)),
+                responsibility_naive(&d, VarId(fact), 6)
+            );
+        }
+
+        #[test]
+        fn prop_counterfactual_iff_responsibility_one(
+            conjuncts in proptest::collection::vec(
+                proptest::collection::vec(0u32..5, 1..3), 1..5),
+            fact in 0u32..5,
+        ) {
+            let mut d = Dnf::new();
+            for c in &conjuncts {
+                d.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+            }
+            let n = 5usize;
+            let mut all = Bitset::new(n);
+            for i in 0..n { all.insert(i); }
+            let mut without = all.clone();
+            without.remove(fact as usize);
+            let counterfactual = d.eval_set(&all) && !d.eval_set(&without);
+            prop_assert_eq!(
+                responsibility(&d, VarId(fact)) == Rational::one(),
+                counterfactual
+            );
+        }
+    }
+}

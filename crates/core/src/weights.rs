@@ -1,0 +1,45 @@
+//! Shared Shapley coefficient machinery.
+//!
+//! Both Algorithm 1 (on d-DNNFs) and the read-once fast path end with the
+//! same sum: `Shapley(f) = Σ_j (Γ[j] − Δ[j]) · w_j / m!`, where `Γ/Δ` are
+//! the `#SAT_j` arrays of the lineage conditioned on `f → 1 / 0`, and `m` is
+//! the number of variables the lineage actually mentions.
+
+use shapdb_num::{combinatorics::FactorialTable, BigInt, BigUint, Rational};
+
+/// Weights `w_j` (numerators over `m!`) such that
+/// `Shapley(f) = Σ_j (Γ[j] − Δ[j]) · w_j / m!`.
+///
+/// Line 1 of Algorithm 1 completes the circuit so that `Vars = D_n`; done
+/// arithmetically, the completed sum is
+/// `Σ_d (j+d)!(n-j-d-1)!·C(n-m, d) / n!`. By the Shapley value's null-player
+/// invariance this collapses to the closed form `j!(m-1-j)! / m!` over just
+/// the `m` circuit variables (both expressions compute the same value for
+/// every possible `Γ − Δ` profile, and those span `R^m`, so they are equal
+/// coefficient-wise). The closed form avoids factorials of `|D_n|`, which
+/// for a database with thousands of endogenous facts is the difference
+/// between microseconds and hours.
+pub(crate) fn completion_weights(m: usize, facts: &mut FactorialTable) -> Vec<BigUint> {
+    (0..m).map(|j| facts.get(j).clone() * facts.get(m - 1 - j).clone()).collect()
+}
+
+/// The final sum: `Σ_j (Γ[j] − Δ[j]) · w_j / m!`.
+pub(crate) fn weighted_difference(
+    gamma: &[BigUint],
+    delta: &[BigUint],
+    weights: &[BigUint],
+    denom: &BigUint,
+) -> Rational {
+    debug_assert_eq!(gamma.len(), delta.len());
+    debug_assert_eq!(gamma.len(), weights.len());
+    let mut numer = BigInt::zero();
+    for j in 0..gamma.len() {
+        let diff =
+            BigInt::from_biguint(gamma[j].clone()) - BigInt::from_biguint(delta[j].clone());
+        if diff.is_zero() {
+            continue;
+        }
+        numer += &(&diff * &BigInt::from_biguint(weights[j].clone()));
+    }
+    Rational::new(numer, denom.clone())
+}

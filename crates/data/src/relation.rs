@@ -1,0 +1,144 @@
+//! Relations: schemas and stored facts.
+
+use crate::database::FactId;
+use crate::value::Value;
+use std::fmt;
+
+/// A relation schema: a name and ordered column names (arity is implied).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    name: String,
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema. Column names must be distinct.
+    pub fn new(name: &str, columns: &[&str]) -> Schema {
+        let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        for (i, c) in cols.iter().enumerate() {
+            assert!(
+                !cols[..i].contains(c),
+                "duplicate column `{c}` in relation `{name}`"
+            );
+        }
+        Schema { name: name.to_string(), columns: cols }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// A fact stored in a relation.
+#[derive(Clone, Debug)]
+pub struct StoredFact {
+    /// Database-wide dense identifier.
+    pub id: FactId,
+    /// The tuple of constants.
+    pub values: Box<[Value]>,
+    /// True iff the fact is endogenous (a Shapley "player").
+    pub endogenous: bool,
+}
+
+/// A relation instance: a schema plus stored facts.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: Schema,
+    facts: Vec<StoredFact>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(schema: Schema) -> Relation {
+        Relation { schema, facts: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All stored facts.
+    pub fn facts(&self) -> &[StoredFact] {
+        &self.facts
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True iff the relation has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Appends a fact; used by [`crate::Database`], which owns id assignment.
+    pub(crate) fn push(&mut self, fact: StoredFact) {
+        debug_assert_eq!(fact.values.len(), self.schema.arity());
+        self.facts.push(fact);
+    }
+
+    /// Renders one fact as `Name(v1, v2, …)`.
+    pub fn display_fact(&self, row: usize) -> String {
+        let f = &self.facts[row];
+        let vals: Vec<String> = f.values.iter().map(|v| v.to_string()).collect();
+        format!("{}({})", self.schema.name(), vals.join(", "))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.columns.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_accessors() {
+        let s = Schema::new("Flights", &["src", "dest"]);
+        assert_eq!(s.name(), "Flights");
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column_index("dest"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.to_string(), "Flights(src, dest)");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn schema_rejects_duplicate_columns() {
+        Schema::new("R", &["a", "a"]);
+    }
+
+    #[test]
+    fn relation_push_and_display() {
+        let mut r = Relation::new(Schema::new("Airports", &["name", "country"]));
+        r.push(StoredFact {
+            id: FactId(0),
+            values: vec![Value::str("JFK"), Value::str("USA")].into_boxed_slice(),
+            endogenous: false,
+        });
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        assert_eq!(r.display_fact(0), "Airports(JFK, USA)");
+    }
+}

@@ -1,0 +1,117 @@
+//! Constants appearing in database facts and queries.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant: either a 64-bit integer or an interned string.
+///
+/// Strings are `Arc<str>` so that cloning a value (which happens on every
+/// join output) is a reference-count bump, not an allocation.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    Int(i64),
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Builds an integer value.
+    pub fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// Returns the integer if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Value::int(42);
+        let s = Value::str("JFK");
+        assert_eq!(i.as_int(), Some(42));
+        assert_eq!(i.as_str(), None);
+        assert_eq!(s.as_str(), Some("JFK"));
+        assert_eq!(s.as_int(), None);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        // Ints sort before strings (enum order); ties compare payloads.
+        let mut vals = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        vals.sort();
+        assert_eq!(vals, vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(-7).to_string(), "-7");
+        assert_eq!(Value::str("CDG").to_string(), "CDG");
+        assert_eq!(format!("{:?}", Value::str("CDG")), "\"CDG\"");
+    }
+
+    #[test]
+    fn equality_across_clones() {
+        let a = Value::str("USA");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a, Value::str("USA"));
+        assert_ne!(a, Value::str("FR"));
+    }
+}

@@ -1,0 +1,503 @@
+//! Deterministic decomposable NNF representation, counting, and verification.
+
+use shapdb_circuit::Lit;
+use shapdb_num::{BigUint, Bitset, Rational};
+
+/// Index of a node in a [`Ddnnf`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    /// The index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A d-DNNF node.
+///
+/// `Or` nodes carry an optional *decision variable*: compiler-produced
+/// disjunctions branch on a variable (children imply `v` and `¬v`
+/// respectively), which makes determinism a structural property. Projection
+/// (Lemma 4.6) can erase the decision variable; such nodes remain
+/// deterministic by the Tseytin exactly-one-extension argument, and
+/// [`Ddnnf::check_determinism_sampled`] can spot-check them.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DNode {
+    True,
+    False,
+    Lit(Lit),
+    /// Decomposable conjunction (children have pairwise disjoint variables).
+    And(Box<[NodeIdx]>),
+    /// Deterministic disjunction; `Some(v)` if it is a decision on `v`.
+    Or(Box<[NodeIdx]>, Option<u32>),
+}
+
+/// A deterministic and decomposable NNF circuit over variables
+/// `0..num_vars`.
+#[derive(Clone, Debug)]
+pub struct Ddnnf {
+    nodes: Vec<DNode>,
+    root: NodeIdx,
+    num_vars: usize,
+}
+
+impl Ddnnf {
+    /// Assembles a d-DNNF from an arena (children must precede parents).
+    pub fn new(nodes: Vec<DNode>, root: NodeIdx, num_vars: usize) -> Ddnnf {
+        assert!(root.index() < nodes.len(), "root out of range");
+        Ddnnf { nodes, root, num_vars }
+    }
+
+    /// The node arena (children precede parents).
+    pub fn nodes(&self) -> &[DNode] {
+        &self.nodes
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeIdx {
+        self.root
+    }
+
+    /// Number of variables in the ambient variable space.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of nodes (the `|C|` of the paper's complexity bounds).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Evaluates under a total assignment.
+    pub fn eval_set(&self, true_vars: &Bitset) -> bool {
+        let mut memo = vec![false; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            memo[i] = match n {
+                DNode::True => true,
+                DNode::False => false,
+                DNode::Lit(l) => l.satisfied_by(true_vars.contains(l.var())),
+                DNode::And(cs) => cs.iter().all(|c| memo[c.index()]),
+                DNode::Or(cs, _) => cs.iter().any(|c| memo[c.index()]),
+            };
+        }
+        memo[self.root.index()]
+    }
+
+    /// Per-node variable sets (`Vars(g)` in the paper).
+    pub fn var_sets(&self) -> Vec<Bitset> {
+        let mut sets: Vec<Bitset> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let mut s = Bitset::new(self.num_vars);
+            match n {
+                DNode::True | DNode::False => {}
+                DNode::Lit(l) => s.insert(l.var()),
+                DNode::And(cs) | DNode::Or(cs, _) => {
+                    for c in cs.iter() {
+                        s.union_with(&sets[c.index()]);
+                    }
+                }
+            }
+            sets.push(s);
+        }
+        sets
+    }
+
+    /// Exact model count over all `num_vars` variables.
+    ///
+    /// Uses per-node counts over `Vars(g)` and multiplies by `2^gap` at ∨
+    /// children and at the root (the "smoothing" correction done
+    /// arithmetically instead of by rewriting the circuit).
+    pub fn count_models(&self) -> BigUint {
+        let sets = self.var_sets();
+        let mut counts: Vec<BigUint> = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            let c = match n {
+                DNode::True => BigUint::one(),
+                DNode::False => BigUint::zero(),
+                DNode::Lit(_) => BigUint::one(),
+                DNode::And(cs) => {
+                    let mut acc = BigUint::one();
+                    for ch in cs.iter() {
+                        acc = &acc * &counts[ch.index()];
+                    }
+                    acc
+                }
+                DNode::Or(cs, _) => {
+                    let mut acc = BigUint::zero();
+                    for ch in cs.iter() {
+                        let gap = sets[i].difference_len(&sets[ch.index()]);
+                        acc += &(counts[ch.index()].clone() << gap);
+                    }
+                    acc
+                }
+            };
+            counts.push(c);
+        }
+        let root_gap = self.num_vars - sets[self.root.index()].len();
+        counts[self.root.index()].clone() << root_gap
+    }
+
+    /// Probability that the circuit is satisfied when each variable `v` is
+    /// independently true with probability `p[v]` (f64).
+    ///
+    /// Correct on non-smooth d-DNNFs because `p + (1-p) = 1` makes gap
+    /// variables contribute a factor of one.
+    pub fn probability_f64(&self, p: &[f64]) -> f64 {
+        assert_eq!(p.len(), self.num_vars);
+        let mut probs = vec![0.0f64; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            probs[i] = match n {
+                DNode::True => 1.0,
+                DNode::False => 0.0,
+                DNode::Lit(l) => {
+                    if l.is_positive() {
+                        p[l.var()]
+                    } else {
+                        1.0 - p[l.var()]
+                    }
+                }
+                DNode::And(cs) => cs.iter().map(|c| probs[c.index()]).product(),
+                DNode::Or(cs, _) => cs.iter().map(|c| probs[c.index()]).sum(),
+            };
+        }
+        probs[self.root.index()]
+    }
+
+    /// Exact-rational version of [`Ddnnf::probability_f64`]; this is the PQE
+    /// oracle used by the Proposition 3.1 reduction.
+    pub fn probability_rational(&self, p: &[Rational]) -> Rational {
+        assert_eq!(p.len(), self.num_vars);
+        let one = Rational::one();
+        let mut probs: Vec<Rational> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let v = match n {
+                DNode::True => one.clone(),
+                DNode::False => Rational::zero(),
+                DNode::Lit(l) => {
+                    if l.is_positive() {
+                        p[l.var()].clone()
+                    } else {
+                        &one - &p[l.var()]
+                    }
+                }
+                DNode::And(cs) => {
+                    let mut acc = one.clone();
+                    for c in cs.iter() {
+                        acc = &acc * &probs[c.index()];
+                    }
+                    acc
+                }
+                DNode::Or(cs, _) => {
+                    let mut acc = Rational::zero();
+                    for c in cs.iter() {
+                        acc += &probs[c.index()];
+                    }
+                    acc
+                }
+            };
+            probs.push(v);
+        }
+        probs[self.root.index()].clone()
+    }
+
+    /// Checks decomposability structurally: every ∧ node's children have
+    /// pairwise disjoint variable sets. Returns a description of the first
+    /// violation.
+    pub fn verify_decomposable(&self) -> Result<(), String> {
+        let sets = self.var_sets();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let DNode::And(cs) = n {
+                let mut acc = Bitset::new(self.num_vars);
+                for c in cs.iter() {
+                    if !acc.is_disjoint(&sets[c.index()]) {
+                        return Err(format!("And node {i} has overlapping children"));
+                    }
+                    acc.union_with(&sets[c.index()]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the structural determinism of decision nodes: the two branches
+    /// of a decision on `v` must force `v` and `¬v`.
+    pub fn verify_decisions(&self) -> Result<(), String> {
+        // A branch forces v (resp. ¬v) if it is the literal itself or an And
+        // containing it.
+        let forces = |node: NodeIdx, lit: Lit| -> bool {
+            match &self.nodes[node.index()] {
+                DNode::Lit(l) => *l == lit,
+                DNode::And(cs) => cs
+                    .iter()
+                    .any(|c| matches!(&self.nodes[c.index()], DNode::Lit(l) if *l == lit)),
+                DNode::False => true, // vacuously deterministic
+                _ => false,
+            }
+        };
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let DNode::Or(cs, Some(v)) = n {
+                if cs.len() != 2 {
+                    return Err(format!("decision node {i} has {} children", cs.len()));
+                }
+                if !forces(cs[0], Lit::pos(*v as usize)) || !forces(cs[1], Lit::neg(*v as usize)) {
+                    return Err(format!("decision node {i} branches do not force x{v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Probabilistic determinism check for ∨ nodes whose decision variable
+    /// was erased (by projection): samples random assignments and verifies
+    /// that at most one child of every ∨ node is satisfied.
+    pub fn check_determinism_sampled(&self, trials: usize, seed: u64) -> Result<(), String> {
+        // Simple xorshift so the crate needs no RNG dependency.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for t in 0..trials {
+            let mut assignment = Bitset::new(self.num_vars.max(1));
+            for v in 0..self.num_vars {
+                if next() & 1 == 1 {
+                    assignment.insert(v);
+                }
+            }
+            let mut memo = vec![false; self.nodes.len()];
+            for (i, n) in self.nodes.iter().enumerate() {
+                memo[i] = match n {
+                    DNode::True => true,
+                    DNode::False => false,
+                    DNode::Lit(l) => l.satisfied_by(assignment.contains(l.var())),
+                    DNode::And(cs) => cs.iter().all(|c| memo[c.index()]),
+                    DNode::Or(cs, _) => {
+                        let sat = cs.iter().filter(|c| memo[c.index()]).count();
+                        if sat > 1 {
+                            return Err(format!(
+                                "Or node {i} has {sat} satisfied children (trial {t})"
+                            ));
+                        }
+                        sat == 1
+                    }
+                };
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Arena builder with hash-consing for d-DNNF construction.
+#[derive(Default)]
+pub struct DdnnfBuilder {
+    nodes: Vec<DNode>,
+    dedup: std::collections::HashMap<DNode, NodeIdx>,
+}
+
+impl DdnnfBuilder {
+    /// A fresh builder.
+    pub fn new() -> DdnnfBuilder {
+        DdnnfBuilder::default()
+    }
+
+    /// Current number of nodes (used for node-budget checks).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn intern(&mut self, n: DNode) -> NodeIdx {
+        if let Some(&id) = self.dedup.get(&n) {
+            return id;
+        }
+        let id = NodeIdx(self.nodes.len() as u32);
+        self.nodes.push(n.clone());
+        self.dedup.insert(n, id);
+        id
+    }
+
+    /// The ⊤ node.
+    pub fn true_node(&mut self) -> NodeIdx {
+        self.intern(DNode::True)
+    }
+
+    /// The ⊥ node.
+    pub fn false_node(&mut self) -> NodeIdx {
+        self.intern(DNode::False)
+    }
+
+    /// A literal node.
+    pub fn lit(&mut self, l: Lit) -> NodeIdx {
+        self.intern(DNode::Lit(l))
+    }
+
+    /// A decomposable conjunction (flattens ⊤, propagates ⊥, collapses unary).
+    pub fn and(&mut self, children: impl IntoIterator<Item = NodeIdx>) -> NodeIdx {
+        let mut kids: Vec<NodeIdx> = Vec::new();
+        for c in children {
+            match &self.nodes[c.index()] {
+                DNode::True => {}
+                DNode::False => return self.false_node(),
+                _ => kids.push(c),
+            }
+        }
+        kids.sort_unstable();
+        kids.dedup();
+        match kids.len() {
+            0 => self.true_node(),
+            1 => kids[0],
+            _ => self.intern(DNode::And(kids.into_boxed_slice())),
+        }
+    }
+
+    /// A decision disjunction on `var` with the given branches (which must
+    /// force `var` / `¬var`; enforced by the compiler). ⊥ branches collapse.
+    pub fn decision(&mut self, var: usize, hi: NodeIdx, lo: NodeIdx) -> NodeIdx {
+        let hi_false = matches!(self.nodes[hi.index()], DNode::False);
+        let lo_false = matches!(self.nodes[lo.index()], DNode::False);
+        match (hi_false, lo_false) {
+            (true, true) => self.false_node(),
+            (true, false) => lo,
+            (false, true) => hi,
+            (false, false) => {
+                self.intern(DNode::Or(vec![hi, lo].into_boxed_slice(), Some(var as u32)))
+            }
+        }
+    }
+
+    /// A general deterministic disjunction (used by projection).
+    pub fn or(&mut self, children: impl IntoIterator<Item = NodeIdx>) -> NodeIdx {
+        let mut kids: Vec<NodeIdx> = Vec::new();
+        for c in children {
+            match &self.nodes[c.index()] {
+                DNode::False => {}
+                _ => kids.push(c),
+            }
+        }
+        match kids.len() {
+            0 => self.false_node(),
+            1 => kids[0],
+            _ => self.intern(DNode::Or(kids.into_boxed_slice(), None)),
+        }
+    }
+
+    /// Finalizes into a [`Ddnnf`].
+    pub fn finish(self, root: NodeIdx, num_vars: usize) -> Ddnnf {
+        Ddnnf::new(self.nodes, root, num_vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(bits: &[usize], cap: usize) -> Bitset {
+        let mut b = Bitset::new(cap);
+        for &x in bits {
+            b.insert(x);
+        }
+        b
+    }
+
+    /// Hand-built d-DNNF for x0 ∨ (¬x0 ∧ x1): decision on x0.
+    fn or_of_two() -> Ddnnf {
+        let mut b = DdnnfBuilder::new();
+        let x0 = b.lit(Lit::pos(0));
+        let nx0 = b.lit(Lit::neg(0));
+        let x1 = b.lit(Lit::pos(1));
+        let lo = b.and([nx0, x1]);
+        let root = b.decision(0, x0, lo);
+        b.finish(root, 2)
+    }
+
+    #[test]
+    fn eval_and_count() {
+        let d = or_of_two();
+        assert!(d.eval_set(&set(&[0], 2)));
+        assert!(d.eval_set(&set(&[1], 2)));
+        assert!(!d.eval_set(&set(&[], 2)));
+        // Models of x0 ∨ x1 over 2 vars: 3.
+        assert_eq!(d.count_models().to_u64(), Some(3));
+    }
+
+    #[test]
+    fn count_handles_gap_vars() {
+        // Same function but declared over 4 variables: 3 * 2^2 = 12 models.
+        let mut b = DdnnfBuilder::new();
+        let x0 = b.lit(Lit::pos(0));
+        let nx0 = b.lit(Lit::neg(0));
+        let x1 = b.lit(Lit::pos(1));
+        let lo = b.and([nx0, x1]);
+        let root = b.decision(0, x0, lo);
+        let d = b.finish(root, 4);
+        assert_eq!(d.count_models().to_u64(), Some(12));
+    }
+
+    #[test]
+    fn probability_matches_inclusion_exclusion() {
+        let d = or_of_two();
+        let p = [0.3, 0.5];
+        // P(x0 ∨ x1) = 0.3 + 0.5 - 0.15 = 0.65.
+        assert!((d.probability_f64(&p) - 0.65).abs() < 1e-12);
+        let pr = [Rational::from_ratio(3, 10), Rational::from_ratio(1, 2)];
+        assert_eq!(d.probability_rational(&pr), Rational::from_ratio(13, 20));
+    }
+
+    #[test]
+    fn verification_passes_on_valid() {
+        let d = or_of_two();
+        d.verify_decomposable().unwrap();
+        d.verify_decisions().unwrap();
+        d.check_determinism_sampled(100, 7).unwrap();
+    }
+
+    #[test]
+    fn verification_catches_overlap() {
+        // And(x0, x0∧x1) is not decomposable.
+        let mut b = DdnnfBuilder::new();
+        let x0 = b.lit(Lit::pos(0));
+        let x1 = b.lit(Lit::pos(1));
+        let inner = b.and([x0, x1]);
+        let root = b.intern(DNode::And(vec![x0, inner].into_boxed_slice()));
+        let d = b.finish(root, 2);
+        assert!(d.verify_decomposable().is_err());
+    }
+
+    #[test]
+    fn sampled_determinism_catches_overlapping_or() {
+        // Or(x0, x0 ∧ x1) is not deterministic: both true when x0=x1=1.
+        let mut b = DdnnfBuilder::new();
+        let x0 = b.lit(Lit::pos(0));
+        let x1 = b.lit(Lit::pos(1));
+        let a = b.and([x0, x1]);
+        let root = b.intern(DNode::Or(vec![x0, a].into_boxed_slice(), None));
+        let d = b.finish(root, 2);
+        assert!(d.check_determinism_sampled(200, 3).is_err());
+    }
+
+    #[test]
+    fn builder_simplifications() {
+        let mut b = DdnnfBuilder::new();
+        let t = b.true_node();
+        let f = b.false_node();
+        let x = b.lit(Lit::pos(0));
+        assert_eq!(b.and([x, t]), x);
+        assert_eq!(b.and([x, f]), f);
+        assert_eq!(b.or([x, f]), x);
+        assert_eq!(b.decision(0, f, f), f);
+        let y = b.lit(Lit::pos(1));
+        assert_eq!(b.and([x, y]), b.and([y, x]));
+    }
+}

@@ -1,0 +1,242 @@
+//! The c2d `.nnf` file format.
+//!
+//! `c2d` (the compiler the paper invokes) emits d-DNNFs in a simple textual
+//! format:
+//!
+//! ```text
+//! nnf <#nodes> <#edges> <#vars>
+//! L <lit>                  (literal node; DIMACS-style 1-based literal)
+//! A <k> <child...>         (AND node)
+//! O <decision-var> <k> <child...>   (OR node; 0 when no decision variable)
+//! ```
+//!
+//! Nodes are listed children-first; the last node is the root. `A 0` is ⊤
+//! and `O 0 0` is ⊥. Supporting the format means our Algorithm 1 can consume
+//! circuits produced by the original toolchain, and our compiler's output
+//! can be checked by external d-DNNF reasoners.
+
+use crate::ddnnf::{DNode, Ddnnf, DdnnfBuilder, NodeIdx};
+use shapdb_circuit::Lit;
+use std::fmt::Write as _;
+
+/// Serializes a d-DNNF in c2d `.nnf` format.
+pub fn to_nnf(d: &Ddnnf) -> String {
+    let mut out = String::new();
+    let edges: usize = d
+        .nodes()
+        .iter()
+        .map(|n| match n {
+            DNode::And(cs) | DNode::Or(cs, _) => cs.len(),
+            _ => 0,
+        })
+        .sum();
+    writeln!(out, "nnf {} {} {}", d.nodes().len(), edges, d.num_vars()).unwrap();
+    for n in d.nodes() {
+        match n {
+            DNode::True => writeln!(out, "A 0").unwrap(),
+            DNode::False => writeln!(out, "O 0 0").unwrap(),
+            DNode::Lit(l) => {
+                let v = l.var() as i64 + 1;
+                writeln!(out, "L {}", if l.is_positive() { v } else { -v }).unwrap();
+            }
+            DNode::And(cs) => {
+                write!(out, "A {}", cs.len()).unwrap();
+                for c in cs.iter() {
+                    write!(out, " {}", c.0).unwrap();
+                }
+                writeln!(out).unwrap();
+            }
+            DNode::Or(cs, decision) => {
+                let dv = decision.map_or(0, |v| v as i64 + 1);
+                write!(out, "O {} {}", dv, cs.len()).unwrap();
+                for c in cs.iter() {
+                    write!(out, " {}", c.0).unwrap();
+                }
+                writeln!(out).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// An `.nnf` parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NnfError(pub String);
+
+impl std::fmt::Display for NnfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NNF error: {}", self.0)
+    }
+}
+
+impl std::error::Error for NnfError {}
+
+/// Parses a c2d `.nnf` file into a [`Ddnnf`] (the last node is the root).
+///
+/// Structural constraints (children before parents, indices in range) are
+/// validated; decomposability/determinism can be checked afterwards with the
+/// [`Ddnnf`] verifiers — external files are untrusted input.
+pub fn from_nnf(text: &str) -> Result<Ddnnf, NnfError> {
+    let mut lines = text.lines().filter(|l| {
+        let t = l.trim();
+        !t.is_empty() && !t.starts_with('c')
+    });
+    let header = lines.next().ok_or_else(|| NnfError("empty file".into()))?;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some("nnf") {
+        return Err(NnfError("missing `nnf` header".into()));
+    }
+    let declared_nodes: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| NnfError("bad node count".into()))?;
+    let _edges: usize =
+        hp.next().and_then(|s| s.parse().ok()).ok_or_else(|| NnfError("bad edge count".into()))?;
+    let num_vars: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| NnfError("bad var count".into()))?;
+
+    let mut b = DdnnfBuilder::new();
+    // The builder hash-conses, so file node ids are remapped.
+    let mut map: Vec<NodeIdx> = Vec::new();
+    for line in lines {
+        let mut p = line.split_whitespace();
+        let kind = p.next().ok_or_else(|| NnfError("empty node line".into()))?;
+        let node = match kind {
+            "L" => {
+                let v: i64 = p
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| NnfError("bad literal".into()))?;
+                if v == 0 || v.unsigned_abs() as usize > num_vars {
+                    return Err(NnfError(format!("literal {v} out of range")));
+                }
+                let var = v.unsigned_abs() as usize - 1;
+                b.lit(if v > 0 { Lit::pos(var) } else { Lit::neg(var) })
+            }
+            "A" => {
+                let k: usize = p
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| NnfError("bad AND arity".into()))?;
+                let kids = parse_children(&mut p, k, map.len())?;
+                if k == 0 {
+                    b.true_node()
+                } else {
+                    b.and(kids.into_iter().map(|i| map[i]))
+                }
+            }
+            "O" => {
+                let dv: usize = p
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| NnfError("bad decision var".into()))?;
+                let k: usize = p
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| NnfError("bad OR arity".into()))?;
+                let kids = parse_children(&mut p, k, map.len())?;
+                if k == 0 {
+                    b.false_node()
+                } else if dv > 0 && k == 2 {
+                    b.decision(dv - 1, map[kids[0]], map[kids[1]])
+                } else {
+                    b.or(kids.into_iter().map(|i| map[i]))
+                }
+            }
+            other => return Err(NnfError(format!("unknown node kind `{other}`"))),
+        };
+        map.push(node);
+    }
+    if map.len() != declared_nodes {
+        return Err(NnfError(format!(
+            "header declares {declared_nodes} nodes, found {}",
+            map.len()
+        )));
+    }
+    let root = *map.last().ok_or_else(|| NnfError("no nodes".into()))?;
+    Ok(b.finish(root, num_vars))
+}
+
+fn parse_children<'a>(
+    p: &mut impl Iterator<Item = &'a str>,
+    k: usize,
+    limit: usize,
+) -> Result<Vec<usize>, NnfError> {
+    let mut kids = Vec::with_capacity(k);
+    for _ in 0..k {
+        let c: usize = p
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| NnfError("missing child".into()))?;
+        if c >= limit {
+            return Err(NnfError(format!("forward reference to node {c}")));
+        }
+        kids.push(c);
+    }
+    Ok(kids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, Budget};
+    use shapdb_circuit::Cnf;
+
+    fn sample_ddnnf() -> Ddnnf {
+        let mut cnf = Cnf::new(4);
+        cnf.push_lits(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.push_lits(vec![Lit::pos(0), Lit::pos(2), Lit::pos(3)]);
+        compile(&cnf, &Budget::unlimited()).unwrap().0
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let d = sample_ddnnf();
+        let text = to_nnf(&d);
+        let back = from_nnf(&text).unwrap();
+        assert_eq!(back.num_vars(), d.num_vars());
+        assert_eq!(back.count_models(), d.count_models());
+        back.verify_decomposable().unwrap();
+        back.check_determinism_sampled(100, 17).unwrap();
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let mut b = DdnnfBuilder::new();
+        let t = b.true_node();
+        let d = b.finish(t, 2);
+        let back = from_nnf(&to_nnf(&d)).unwrap();
+        assert_eq!(back.count_models().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn handcrafted_c2d_style_input() {
+        // (x1 ∧ x2) as c2d would print it.
+        let text = "nnf 3 2 2\nL 1\nL 2\nA 2 0 1\n";
+        let d = from_nnf(text).unwrap();
+        assert_eq!(d.count_models().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn errors_detected() {
+        assert!(from_nnf("").is_err());
+        assert!(from_nnf("cnf 1 0 1\nL 1\n").is_err()); // wrong magic
+        assert!(from_nnf("nnf 1 0 1\nL 5\n").is_err()); // var out of range
+        assert!(from_nnf("nnf 2 1 1\nA 1 5\nL 1\n").is_err()); // forward ref
+        assert!(from_nnf("nnf 3 0 1\nL 1\n").is_err()); // node count mismatch
+        assert!(from_nnf("nnf 1 0 1\nX 1\n").is_err()); // unknown kind
+    }
+
+    #[test]
+    fn wmc_agrees_on_imported_nnf() {
+        // An imported circuit flows into the same downstream pipeline; WMC
+        // (which Algorithm 1 builds on) must agree exactly.
+        let d = sample_ddnnf();
+        let imported = from_nnf(&to_nnf(&d)).unwrap();
+        let direct = d.probability_f64(&[0.5; 4]);
+        let via_import = imported.probability_f64(&[0.5; 4]);
+        assert!((direct - via_import).abs() < 1e-12);
+    }
+}

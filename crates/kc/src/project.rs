@@ -1,0 +1,176 @@
+//! Auxiliary-variable elimination (Lemma 4.6 of the paper).
+//!
+//! The compiled d-DNNF ranges over the circuit's input variables *plus* the
+//! Tseytin auxiliaries `Z`. Because every satisfying assignment of the
+//! original circuit extends to **exactly one** assignment of `Z`, projecting
+//! the d-DNNF onto the inputs is possible in linear time:
+//!
+//! 1. mark satisfiable nodes bottom-up (on a decomposable circuit an ∧ is
+//!    satisfiable iff all children are; a deterministic ∨ iff some child is);
+//! 2. drop unsatisfiable ∨-children;
+//! 3. replace every auxiliary literal by ⊤.
+//!
+//! The result is equivalent to the original circuit over the inputs and is
+//! still deterministic and decomposable (determinism of ∨ nodes whose
+//! decision variable was an auxiliary follows from the exactly-one-extension
+//! property; `check_determinism_sampled` spot-checks it in tests).
+
+use crate::ddnnf::{DNode, Ddnnf, DdnnfBuilder, NodeIdx};
+
+/// Projects `d` onto variables `0..num_inputs` (all variables `>= num_inputs`
+/// are treated as Tseytin auxiliaries and eliminated).
+pub fn project(d: &Ddnnf, num_inputs: usize) -> Ddnnf {
+    // Pass 1: satisfiability flags (valid thanks to decomposability /
+    // determinism).
+    let nodes = d.nodes();
+    let mut sat = vec![false; nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        sat[i] = match n {
+            DNode::True | DNode::Lit(_) => true,
+            DNode::False => false,
+            DNode::And(cs) => cs.iter().all(|c| sat[c.index()]),
+            DNode::Or(cs, _) => cs.iter().any(|c| sat[c.index()]),
+        };
+    }
+
+    // Pass 2: rebuild with unsat Or-children removed and aux literals ⊤-ed.
+    let mut b = DdnnfBuilder::new();
+    let mut map: Vec<NodeIdx> = Vec::with_capacity(nodes.len());
+    for (i, n) in nodes.iter().enumerate() {
+        let new = match n {
+            DNode::True => b.true_node(),
+            DNode::False => b.false_node(),
+            DNode::Lit(l) => {
+                if l.var() >= num_inputs {
+                    b.true_node()
+                } else {
+                    b.lit(*l)
+                }
+            }
+            DNode::And(cs) => {
+                if sat[i] {
+                    let kids: Vec<NodeIdx> = cs.iter().map(|c| map[c.index()]).collect();
+                    b.and(kids)
+                } else {
+                    b.false_node()
+                }
+            }
+            DNode::Or(cs, decision) => {
+                let kids: Vec<NodeIdx> =
+                    cs.iter().filter(|c| sat[c.index()]).map(|c| map[c.index()]).collect();
+                // Keep the decision annotation only if the variable survives.
+                match decision {
+                    Some(v) if (*v as usize) < num_inputs && kids.len() == 2 => {
+                        b.decision(*v as usize, kids[0], kids[1])
+                    }
+                    _ => b.or(kids),
+                }
+            }
+        };
+        map.push(new);
+    }
+    b.finish(map[d.root().index()], num_inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, Budget};
+    use shapdb_circuit::{tseytin, Circuit, VarId};
+    use shapdb_num::Bitset;
+
+    /// End-to-end: circuit → Tseytin → compile → project must preserve the
+    /// Boolean function over the circuit inputs.
+    fn check_roundtrip(circuit: &Circuit, root: shapdb_circuit::NodeId) {
+        let t = tseytin(circuit, root);
+        let (full, _) = compile(&t.cnf, &Budget::unlimited()).unwrap();
+        let proj = project(&full, t.num_inputs());
+        assert_eq!(proj.num_vars(), t.num_inputs());
+        proj.verify_decomposable().unwrap();
+        proj.check_determinism_sampled(100, 13).unwrap();
+        let n = t.num_inputs();
+        assert!(n <= 16);
+        for mask in 0u32..(1 << n) {
+            let mut s = Bitset::new(n.max(1));
+            for i in 0..n {
+                if mask >> i & 1 == 1 {
+                    s.insert(i);
+                }
+            }
+            let expect = circuit.eval(root, &|v| {
+                t.input_index(v).is_some_and(|i| mask >> i & 1 == 1)
+            });
+            assert_eq!(proj.eval_set(&s), expect, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn running_example_elin_q() {
+        // ELin(q) = a1 ∨ (a2∧a4) ∨ (a2∧a5) ∨ (a3∧a4) ∨ (a3∧a5) ∨ (a6∧a7).
+        let mut c = Circuit::new();
+        let a: Vec<_> = (1..=7).map(|i| c.var(VarId(i))).collect();
+        let pairs = [
+            c.and([a[1], a[3]]),
+            c.and([a[1], a[4]]),
+            c.and([a[2], a[3]]),
+            c.and([a[2], a[4]]),
+            c.and([a[5], a[6]]),
+        ];
+        let mut disjuncts = vec![a[0]];
+        disjuncts.extend(pairs);
+        let root = c.or(disjuncts);
+        check_roundtrip(&c, root);
+    }
+
+    #[test]
+    fn with_negations() {
+        let mut c = Circuit::new();
+        let x = c.var(VarId(0));
+        let y = c.var(VarId(1));
+        let z = c.var(VarId(2));
+        let nx = c.not(x);
+        let g1 = c.and([nx, y]);
+        let g2 = c.and([x, z]);
+        let root = c.or([g1, g2]);
+        check_roundtrip(&c, root);
+    }
+
+    #[test]
+    fn constant_circuits() {
+        let mut c = Circuit::new();
+        let t = c.constant(true);
+        check_roundtrip(&c, t);
+        let f = c.constant(false);
+        check_roundtrip(&c, f);
+    }
+
+    #[test]
+    fn projected_model_count_matches_circuit() {
+        // Model count over inputs must equal the number of accepting input
+        // assignments (aux variables contribute exactly one extension each).
+        let mut c = Circuit::new();
+        let vs: Vec<_> = (0..5).map(|i| c.var(VarId(i))).collect();
+        let g1 = c.and([vs[0], vs[1]]);
+        let g2 = c.and([vs[2], vs[3], vs[4]]);
+        let g3 = c.and([vs[0], vs[4]]);
+        let root = c.or([g1, g2, g3]);
+        let t = tseytin(&c, root);
+        let (full, _) = compile(&t.cnf, &Budget::unlimited()).unwrap();
+        let proj = project(&full, t.num_inputs());
+        let accepting = (0u32..32).filter(|&m| c.eval(root, &|v| m >> v.0 & 1 == 1)).count();
+        assert_eq!(proj.count_models().to_u64(), Some(accepting as u64));
+        // Pre-projection the count is identical (1:1 extensions).
+        assert_eq!(full.count_models().to_u64(), Some(accepting as u64));
+    }
+
+    #[test]
+    fn deep_nested_circuit() {
+        let mut c = Circuit::new();
+        let vs: Vec<_> = (0..8).map(|i| c.var(VarId(i))).collect();
+        let mut acc = vs[0];
+        for (i, &v) in vs.iter().enumerate().skip(1) {
+            acc = if i % 2 == 0 { c.and([acc, v]) } else { c.or([acc, v]) };
+        }
+        check_roundtrip(&c, acc);
+    }
+}

@@ -1,0 +1,310 @@
+//! Sign-magnitude arbitrary-precision signed integers.
+
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Zero`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sign {
+    Negative,
+    Zero,
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+    }
+
+    /// Builds from a sign and magnitude (normalizing zero).
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Sign::Zero");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Builds a non-negative integer from a [`BigUint`].
+    pub fn from_biguint(mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign: Sign::Positive, mag }
+        }
+    }
+
+    /// Builds from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt { sign: Sign::Positive, mag: BigUint::from_u64(v as u64) },
+            Ordering::Less => {
+                BigInt { sign: Sign::Negative, mag: BigUint::from_u64(v.unsigned_abs()) }
+            }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// True iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt::from_biguint(self.mag.clone())
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.sign == Sign::Negative {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Returns the value as `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i64::try_from(m).ok(),
+            Sign::Negative => {
+                if m <= i64::MAX as u64 + 1 {
+                    Some(-(m as i128) as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Negative, Negative) => other.mag.cmp(&self.mag),
+            (Negative, _) => Ordering::Less,
+            (Zero, Negative) => Ordering::Greater,
+            (Zero, Zero) => Ordering::Equal,
+            (Zero, Positive) => Ordering::Less,
+            (Positive, Positive) => self.mag.cmp(&other.mag),
+            (Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        BigInt { sign, mag: self.mag }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        use Sign::*;
+        match (self.sign, rhs.sign) {
+            (Zero, _) => rhs.clone(),
+            (_, Zero) => self.clone(),
+            (a, b) if a == b => BigInt { sign: a, mag: &self.mag + &rhs.mag },
+            _ => {
+                // Opposite signs: subtract the smaller magnitude.
+                match self.mag.cmp(&rhs.mag) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => BigInt {
+                        sign: self.sign,
+                        mag: self.mag.checked_sub(&rhs.mag).unwrap(),
+                    },
+                    Ordering::Less => BigInt {
+                        sign: rhs.sign,
+                        mag: rhs.mag.checked_sub(&self.mag).unwrap(),
+                    },
+                }
+            }
+        }
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: BigInt) -> BigInt {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: BigInt) -> BigInt {
+        &self - &rhs
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        use Sign::*;
+        let sign = match (self.sign, rhs.sign) {
+            (Zero, _) | (_, Zero) => return BigInt::zero(),
+            (a, b) if a == b => Positive,
+            _ => Negative,
+        };
+        BigInt { sign, mag: &self.mag * &rhs.mag }
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: BigInt) -> BigInt {
+        &self * &rhs
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({})", self)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from_i64(v)
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(v: BigUint) -> Self {
+        BigInt::from_biguint(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn signs() {
+        assert!(BigInt::from_i64(-3).is_negative());
+        assert!(BigInt::from_i64(3).is_positive());
+        assert!(BigInt::from_i64(0).is_zero());
+        assert_eq!((-BigInt::from_i64(5)).to_i64(), Some(-5));
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(BigInt::from_i64(-42).to_string(), "-42");
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn i64_extremes() {
+        assert_eq!(BigInt::from_i64(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(BigInt::from_i64(i64::MAX).to_i64(), Some(i64::MAX));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_i128(a in -(1i64<<62)..(1i64<<62), b in -(1i64<<62)..(1i64<<62)) {
+            let s = &BigInt::from_i64(a) + &BigInt::from_i64(b);
+            prop_assert_eq!(s.to_i64(), Some(a + b));
+        }
+
+        #[test]
+        fn prop_sub_matches(a in any::<i32>(), b in any::<i32>()) {
+            let s = &BigInt::from_i64(a as i64) - &BigInt::from_i64(b as i64);
+            prop_assert_eq!(s.to_i64(), Some(a as i64 - b as i64));
+        }
+
+        #[test]
+        fn prop_mul_matches(a in any::<i32>(), b in any::<i32>()) {
+            let s = &BigInt::from_i64(a as i64) * &BigInt::from_i64(b as i64);
+            prop_assert_eq!(s.to_i64(), Some(a as i64 * b as i64));
+        }
+
+        #[test]
+        fn prop_ordering_matches(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(BigInt::from_i64(a).cmp(&BigInt::from_i64(b)), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,807 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Representation: little-endian `Vec<u64>` limbs with no trailing zero limb
+//! (the canonical form of zero is the empty limb vector). All arithmetic is
+//! exact; `sub` panics on underflow (use [`BigUint::checked_sub`] otherwise).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Shl, Shr, Sub};
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, base 2^64, normalized (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = BigUint { limbs: vec![lo, hi] };
+        n.normalize();
+        n
+    }
+
+    /// Constructs from little-endian limbs (normalizing).
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Exposes the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the value is even (0 is even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    ///
+    /// Values above `f64::MAX` map to `f64::INFINITY`. The top 64 bits are
+    /// used for the mantissa, so the relative error is at most 2^-52.
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            return self.limbs[0] as f64;
+        }
+        // Take the top 64 bits and scale by the discarded exponent.
+        let shift = bits - 64;
+        let top = self.clone() >> shift as usize;
+        let mantissa = top.limbs[0] as f64;
+        if shift > 1023 {
+            // Split the scaling to avoid overflowing the exponent computation.
+            let first = 2f64.powi(1023);
+            let rest = 2f64.powi((shift - 1023) as i32);
+            mantissa * first * rest
+        } else {
+            mantissa * 2f64.powi(shift as i32)
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self - other`, or `None` on underflow.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 | b2) as u64;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// Multiplies by a `u64` in place.
+    pub fn mul_small(&mut self, m: u64) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u128;
+        for limb in &mut self.limbs {
+            let prod = *limb as u128 * m as u128 + carry;
+            *limb = prod as u64;
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u64);
+        }
+    }
+
+    /// Divides in place by a `u64`, returning the remainder. Panics if `d == 0`.
+    pub fn div_small(&mut self, d: u64) -> u64 {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u128;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | *limb as u128;
+            *limb = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        self.normalize();
+        rem as u64
+    }
+
+    /// Quotient and remainder. Panics if `divisor` is 0.
+    ///
+    /// Uses Knuth's Algorithm D with a normalization shift; this is the
+    /// classical schoolbook long division, quadratic in limb count, which is
+    /// ample for our operand sizes.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let mut q = self.clone();
+            let r = q.div_small(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        // Normalize so that the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.clone() << shift;
+        let v = divisor.clone() << shift;
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0); // extra limb for the algorithm
+        let vn = &v.limbs;
+        let mut q = vec![0u64; m + 1];
+        let v_top = vn[n - 1] as u128;
+        let v_second = vn[n - 2] as u128;
+        for j in (0..=m).rev() {
+            // Estimate the quotient digit from the top limbs.
+            let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = num / v_top;
+            let mut rhat = num % v_top;
+            while qhat >= 1 << 64
+                || qhat * v_second > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >= 1 << 64 {
+                    break;
+                }
+            }
+            // Multiply-subtract qhat * v from un[j..j+n+1].
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (un[i + j] as i128) - (p as u64 as i128) + borrow;
+                un[i + j] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = (un[j + n] as i128) - (carry as i128) + borrow;
+            un[j + n] = sub as u64;
+            let went_negative = sub < 0;
+            if went_negative {
+                // Estimate was one too high: add back.
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[i + j] as u128 + vn[i] as u128 + carry;
+                    un[i + j] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+        let quotient = BigUint::from_limbs(q);
+        un.truncate(n);
+        let remainder = BigUint::from_limbs(un) >> shift;
+        (quotient, remainder)
+    }
+
+    /// Greatest common divisor (binary GCD; no division needed).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        // Factor out common powers of two.
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let common = az.min(bz);
+        a = a >> az as usize;
+        b = b >> bz as usize;
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).unwrap();
+            if b.is_zero() {
+                return a << common as usize;
+            }
+            b = b.clone() >> b.trailing_zeros() as usize;
+        }
+    }
+
+    /// Number of trailing zero bits (0 has none by convention; panics on 0).
+    pub fn trailing_zeros(&self) -> u64 {
+        assert!(!self.is_zero(), "trailing_zeros of zero");
+        let mut tz = 0u64;
+        for &limb in &self.limbs {
+            if limb == 0 {
+                tz += 64;
+            } else {
+                tz += limb.trailing_zeros() as u64;
+                break;
+            }
+        }
+        tz
+    }
+
+    /// `self ^ exp` by square-and-multiply.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Parses a decimal string.
+    pub fn from_decimal(s: &str) -> Option<BigUint> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut n = BigUint::zero();
+        for chunk in s.as_bytes().chunks(19) {
+            let part: u64 = std::str::from_utf8(chunk).ok()?.parse().ok()?;
+            n.mul_small(10u64.pow(chunk.len() as u32));
+            n += BigUint::from_u64(part);
+        }
+        Some(n)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl AddAssign<BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: BigUint) {
+        *self += &rhs;
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        if self.limbs.len() < rhs.limbs.len() {
+            self.limbs.resize(rhs.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let r = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(r);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 | c2) as u64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out += rhs;
+        out
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: BigUint) -> BigUint {
+        self += &rhs;
+        self
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+/// Below this operand width (in limbs) multiplication stays schoolbook; the
+/// crossover was measured on the `#SAT_k` convolution workload, where
+/// operands are usually well under 32 limbs and Karatsuba's allocations
+/// only pay off beyond it.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook product of two non-empty limb slices.
+fn mul_limbs_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + x as u128 * y as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// `acc += src << (64 · shift)`, growing `acc` as needed.
+fn add_shifted(acc: &mut Vec<u64>, src: &[u64], shift: usize) {
+    if acc.len() < shift + src.len() + 1 {
+        acc.resize(shift + src.len() + 1, 0);
+    }
+    let mut carry = 0u128;
+    for (i, &s) in src.iter().enumerate() {
+        let cur = acc[shift + i] as u128 + s as u128 + carry;
+        acc[shift + i] = cur as u64;
+        carry = cur >> 64;
+    }
+    let mut k = shift + src.len();
+    while carry != 0 {
+        let cur = acc[k] as u128 + carry;
+        acc[k] = cur as u64;
+        carry = cur >> 64;
+        k += 1;
+    }
+}
+
+/// Element-wise sum of two limb slices (with final carry limb if needed).
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = long.to_vec();
+    add_shifted(&mut out, short, 0);
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+/// `a -= b` on limb vectors; requires `a ≥ b` (guaranteed for Karatsuba's
+/// middle term).
+fn sub_limbs_in_place(a: &mut Vec<u64>, b: &[u64]) {
+    let mut borrow = 0i128;
+    for i in 0..a.len() {
+        let rhs = if i < b.len() { b[i] as i128 } else { 0 };
+        let cur = a[i] as i128 - rhs - borrow;
+        if cur < 0 {
+            a[i] = (cur + (1i128 << 64)) as u64;
+            borrow = 1;
+        } else {
+            a[i] = cur as u64;
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "Karatsuba middle term must be non-negative");
+    while a.last() == Some(&0) {
+        a.pop();
+    }
+}
+
+/// Karatsuba product: three half-width multiplications instead of four.
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mul_limbs_schoolbook(a, b);
+    }
+    let m = a.len().max(b.len()) / 2;
+    let (a0, a1) = a.split_at(m.min(a.len()));
+    let (b0, b1) = b.split_at(m.min(b.len()));
+    // Normalized views (top halves may be empty when lengths are skewed).
+    let trim = |s: &[u64]| {
+        let mut end = s.len();
+        while end > 0 && s[end - 1] == 0 {
+            end -= 1;
+        }
+        s[..end].to_vec()
+    };
+    let (a0, a1, b0, b1) = (trim(a0), trim(a1), trim(b0), trim(b1));
+    let z0 = mul_limbs(&a0, &b0);
+    let z2 = mul_limbs(&a1, &b1);
+    let mut z1 = mul_limbs(&add_limbs(&a0, &a1), &add_limbs(&b0, &b1));
+    sub_limbs_in_place(&mut z1, &z0);
+    sub_limbs_in_place(&mut z1, &z2);
+    let mut out = vec![0u64; a.len() + b.len()];
+    add_shifted(&mut out, &z0, 0);
+    add_shifted(&mut out, &z1, m);
+    add_shifted(&mut out, &z2, 2 * m);
+    out
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        BigUint::from_limbs(mul_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self;
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let mut out = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry = 0u64;
+            for l in out.iter_mut().rev() {
+                let new = (*l >> bit_shift) | carry;
+                carry = *l << (64 - bit_shift);
+                *l = new;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeatedly divide by 10^19 (largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut n = self.clone();
+        let mut parts = Vec::new();
+        while !n.is_zero() {
+            parts.push(n.div_small(CHUNK));
+        }
+        let mut s = parts.pop().unwrap().to_string();
+        for p in parts.iter().rev() {
+            s.push_str(&format!("{:019}", p));
+        }
+        write!(f, "{}", s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({})", self)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_u64(v as u64)
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from_u64(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = BigUint::from_u64(1);
+        let c = &a + &b;
+        assert_eq!(c.to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_underflow_detected() {
+        let a = BigUint::from_u64(3);
+        let b = BigUint::from_u64(5);
+        assert!(a.checked_sub(&b).is_none());
+        assert_eq!(b.checked_sub(&a).unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn mul_schoolbook() {
+        let a = BigUint::from_u128(u128::MAX);
+        let b = BigUint::from_u64(2);
+        let c = &a * &b;
+        // 2 * (2^128 - 1) = 2^129 - 2; check via bits and decimal digits.
+        assert_eq!(c.bits(), 129);
+        assert_eq!(c.to_string(), "680564733841876926926749214863536422910");
+    }
+
+    #[test]
+    fn display_large() {
+        // 2^128 = 340282366920938463463374607431768211456
+        let v = BigUint::from_u64(2).pow(128);
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let s = "123456789012345678901234567890123456789";
+        let v = BigUint::from_decimal(s).unwrap();
+        assert_eq!(v.to_string(), s);
+        assert!(BigUint::from_decimal("12a").is_none());
+        assert!(BigUint::from_decimal("").is_none());
+    }
+
+    #[test]
+    fn divrem_small_cases() {
+        let a = BigUint::from_u64(100);
+        let b = BigUint::from_u64(7);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.to_u64(), Some(14));
+        assert_eq!(r.to_u64(), Some(2));
+    }
+
+    #[test]
+    fn divrem_multi_limb() {
+        let a = BigUint::from_u64(2).pow(200);
+        let b = BigUint::from_u64(3).pow(40);
+        let (q, r) = a.div_rem(&b);
+        let back = &(&q * &b) + &r;
+        assert_eq!(back, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn gcd_matches_euclid() {
+        let a = BigUint::from_u64(48);
+        let b = BigUint::from_u64(36);
+        assert_eq!(a.gcd(&b).to_u64(), Some(12));
+        assert_eq!(BigUint::zero().gcd(&b).to_u64(), Some(36));
+        assert_eq!(a.gcd(&BigUint::zero()).to_u64(), Some(48));
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let v = BigUint::from_decimal("987654321987654321987654321").unwrap();
+        let shifted = v.clone() << 77;
+        assert_eq!(shifted >> 77, v);
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        let v = BigUint::from_u64(1) << 100;
+        let f = v.to_f64();
+        assert!((f - 2f64.powi(100)).abs() / 2f64.powi(100) < 1e-12);
+        // Huge values saturate to infinity rather than panic.
+        let huge = BigUint::from_u64(1) << 1100;
+        assert!(huge.to_f64().is_infinite());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_round_trip(a in any::<u128>(), b in any::<u128>()) {
+            let ba = BigUint::from_u128(a);
+            let bb = BigUint::from_u128(b);
+            let sum = &ba + &bb;
+            prop_assert_eq!(sum.checked_sub(&bb).unwrap(), ba);
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let prod = &BigUint::from_u64(a) * &BigUint::from_u64(b);
+            prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_divrem_invariant(a in any::<u128>(), b in 1u128..) {
+            let ba = BigUint::from_u128(a);
+            let bb = BigUint::from_u128(b);
+            let (q, r) = ba.div_rem(&bb);
+            prop_assert!(r < bb);
+            prop_assert_eq!(&(&q * &bb) + &r, ba);
+        }
+
+        #[test]
+        fn prop_divrem_large(alimbs in proptest::collection::vec(any::<u64>(), 1..6),
+                             blimbs in proptest::collection::vec(any::<u64>(), 1..4)) {
+            let a = BigUint::from_limbs(alimbs);
+            let b = BigUint::from_limbs(blimbs);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+        }
+
+        #[test]
+        fn prop_gcd_divides(a in any::<u64>(), b in any::<u64>()) {
+            let ba = BigUint::from_u64(a);
+            let bb = BigUint::from_u64(b);
+            let g = ba.gcd(&bb);
+            if !g.is_zero() {
+                prop_assert!(ba.div_rem(&g).1.is_zero());
+                prop_assert!(bb.div_rem(&g).1.is_zero());
+            }
+        }
+
+        #[test]
+        fn prop_decimal_round_trip(a in any::<u128>()) {
+            let s = a.to_string();
+            prop_assert_eq!(BigUint::from_decimal(&s).unwrap().to_string(), s);
+        }
+
+        #[test]
+        fn prop_karatsuba_matches_schoolbook(
+            alimbs in proptest::collection::vec(any::<u64>(), 1..140),
+            blimbs in proptest::collection::vec(any::<u64>(), 1..140),
+        ) {
+            // Wide enough to cross KARATSUBA_THRESHOLD on both sides, and
+            // skewed splits (140 vs 1) to exercise the empty-top-half path.
+            let got = mul_limbs(&alimbs, &blimbs);
+            let expect = mul_limbs_schoolbook(&alimbs, &blimbs);
+            // Compare through BigUint to ignore trailing-zero padding.
+            prop_assert_eq!(
+                BigUint::from_limbs(got), BigUint::from_limbs(expect));
+        }
+    }
+
+    #[test]
+    fn karatsuba_on_factorial_sized_operands() {
+        // (2^64)^64-scale operands: 1000! split as 500!·(1000!/500!) —
+        // exactly the shape Algorithm 1's weights produce.
+        let mut half = BigUint::one();
+        for i in 1..=500u64 {
+            half.mul_small(i);
+        }
+        let mut rest = BigUint::one();
+        for i in 501..=1000u64 {
+            rest.mul_small(i);
+        }
+        let mut full = BigUint::one();
+        for i in 1..=1000u64 {
+            full.mul_small(i);
+        }
+        assert!(half.limbs().len() >= KARATSUBA_THRESHOLD);
+        assert_eq!(&half * &rest, full);
+    }
+}

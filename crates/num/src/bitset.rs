@@ -1,0 +1,211 @@
+//! Dense fixed-capacity bitsets.
+//!
+//! Algorithm 1 stores `Vars(g)` — the set of variables below each circuit
+//! gate — for every gate. Decomposability checks are set-disjointness tests
+//! and deterministic-∨ handling needs `|Vars(g) \ Vars(child)|`, so a compact
+//! bitset with fast union / intersection / popcount is the right shape.
+
+use std::fmt;
+
+/// A fixed-capacity set of small integers backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitset {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl Bitset {
+    /// An empty set able to hold values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Bitset { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// The capacity (exclusive upper bound on stored values).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`. Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        if i < self.capacity {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Adds all elements of `other` (capacities must match).
+    pub fn union_with(&mut self, other: &Bitset) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// True iff the two sets share no element.
+    pub fn is_disjoint(&self, other: &Bitset) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// True iff every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &Bitset) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `|self ∩ other|`.
+    pub fn intersection_len(&self, other: &Bitset) -> usize {
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
+    /// `|self \ other|`.
+    pub fn difference_len(&self, other: &Bitset) -> usize {
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & !b).count_ones() as usize).sum()
+    }
+
+    /// Iterates over elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+impl fmt::Debug for Bitset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitset{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for Bitset {
+    /// Collects into a bitset sized to the maximum element + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut bs = Bitset::new(cap);
+        for i in items {
+            bs.insert(i);
+        }
+        bs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = Bitset::new(130);
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(0) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1) && !b.contains(128));
+        assert_eq!(b.len(), 3);
+        b.remove(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn union_and_disjoint() {
+        let mut a = Bitset::new(200);
+        let mut b = Bitset::new(200);
+        a.insert(3);
+        a.insert(150);
+        b.insert(7);
+        assert!(a.is_disjoint(&b));
+        b.insert(150);
+        assert!(!a.is_disjoint(&b));
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 7, 150]);
+    }
+
+    #[test]
+    fn subset_and_counts() {
+        let a: Bitset = [1usize, 5, 9].into_iter().collect();
+        let mut b = Bitset::new(a.capacity());
+        b.insert(5);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert_eq!(a.intersection_len(&b), 1);
+        assert_eq!(a.difference_len(&b), 2);
+    }
+
+    #[test]
+    fn iter_order() {
+        let b: Bitset = [63usize, 64, 65, 0].into_iter().collect();
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_btreeset(elems in proptest::collection::vec(0usize..256, 0..64)) {
+            let mut bs = Bitset::new(256);
+            let mut set = BTreeSet::new();
+            for &e in &elems {
+                bs.insert(e);
+                set.insert(e);
+            }
+            prop_assert_eq!(bs.len(), set.len());
+            prop_assert_eq!(bs.iter().collect::<Vec<_>>(), set.iter().copied().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_union_len(xs in proptest::collection::vec(0usize..128, 0..32),
+                          ys in proptest::collection::vec(0usize..128, 0..32)) {
+            let mut a = Bitset::new(128);
+            let mut b = Bitset::new(128);
+            let mut sa = BTreeSet::new();
+            let mut sb = BTreeSet::new();
+            for &x in &xs { a.insert(x); sa.insert(x); }
+            for &y in &ys { b.insert(y); sb.insert(y); }
+            prop_assert_eq!(a.intersection_len(&b), sa.intersection(&sb).count());
+            prop_assert_eq!(a.difference_len(&b), sa.difference(&sb).count());
+            a.union_with(&b);
+            prop_assert_eq!(a.len(), sa.union(&sb).count());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Factorials, binomial coefficients, and Shapley permutation coefficients.
+//!
+//! Algorithm 1 evaluates `Σ_k k!(n-k-1)!/n! (Γ[k] - Δ[k])` and the `#SAT_k`
+//! dynamic program convolves per-gate counts with binomial factors
+//! `C(|gap|, ℓ-i)`. Both are needed many times with the same small arguments,
+//! so this module provides cached tables in addition to one-shot helpers.
+
+use crate::biguint::BigUint;
+use crate::rational::Rational;
+use crate::BigInt;
+
+/// One-shot factorial.
+pub fn factorial(n: usize) -> BigUint {
+    let mut acc = BigUint::one();
+    for i in 2..=n as u64 {
+        acc.mul_small(i);
+    }
+    acc
+}
+
+/// One-shot binomial coefficient `C(n, k)` (0 when `k > n`).
+///
+/// Uses the multiplicative formula with exact division at each step, so no
+/// general big division is needed.
+pub fn binomial(n: usize, k: usize) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = BigUint::one();
+    for i in 1..=k {
+        acc.mul_small((n - k + i) as u64);
+        let rem = acc.div_small(i as u64);
+        debug_assert_eq!(rem, 0, "binomial division must be exact");
+    }
+    acc
+}
+
+/// Grow-on-demand factorial table.
+#[derive(Default)]
+pub struct FactorialTable {
+    table: Vec<BigUint>,
+}
+
+impl FactorialTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FactorialTable { table: vec![BigUint::one()] }
+    }
+
+    /// `n!`, computing and caching any missing prefix.
+    pub fn get(&mut self, n: usize) -> &BigUint {
+        if self.table.is_empty() {
+            self.table.push(BigUint::one());
+        }
+        while self.table.len() <= n {
+            let mut next = self.table.last().unwrap().clone();
+            next.mul_small(self.table.len() as u64);
+            self.table.push(next);
+        }
+        &self.table[n]
+    }
+}
+
+/// Grow-on-demand table of binomial rows: `row(n)[k] = C(n, k)`.
+///
+/// Rows are computed independently via the multiplicative formula (not
+/// Pascal's triangle) so requesting a single large row does not materialize
+/// all smaller rows.
+#[derive(Default)]
+pub struct BinomialTable {
+    rows: Vec<Option<Vec<BigUint>>>,
+}
+
+impl BinomialTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        BinomialTable { rows: Vec::new() }
+    }
+
+    /// The full row `[C(n,0), …, C(n,n)]`, cached.
+    pub fn row(&mut self, n: usize) -> &[BigUint] {
+        if self.rows.len() <= n {
+            self.rows.resize_with(n + 1, || None);
+        }
+        if self.rows[n].is_none() {
+            let mut row = Vec::with_capacity(n + 1);
+            row.push(BigUint::one());
+            for k in 1..=n {
+                let mut next = row[k - 1].clone();
+                next.mul_small((n - k + 1) as u64);
+                let rem = next.div_small(k as u64);
+                debug_assert_eq!(rem, 0);
+                row.push(next);
+            }
+            self.rows[n] = Some(row);
+        }
+        self.rows[n].as_ref().unwrap()
+    }
+
+    /// `C(n, k)` (0 when `k > n`).
+    pub fn get(&mut self, n: usize, k: usize) -> BigUint {
+        if k > n {
+            return BigUint::zero();
+        }
+        self.row(n)[k].clone()
+    }
+}
+
+/// The Shapley permutation coefficient `k!(n-k-1)!/n!` as an exact rational.
+///
+/// This is the probability that, in a uniformly random permutation of `n`
+/// endogenous facts, a designated fact appears in position `k+1` with a
+/// specific set of `k` facts before it — the weight of each term of
+/// Equation (2) of the paper.
+pub fn shapley_coefficient(n: usize, k: usize, facts: &mut FactorialTable) -> Rational {
+    assert!(k < n, "coefficient requires k < n");
+    let num = facts.get(k).clone() * facts.get(n - k - 1).clone();
+    let den = facts.get(n).clone();
+    Rational::new(BigInt::from_biguint(num), den)
+}
+
+/// All coefficients `k!(n-k-1)!/n!` for `k = 0..n`, sharing one reduction.
+pub fn shapley_coefficients(n: usize, facts: &mut FactorialTable) -> Vec<Rational> {
+    (0..n).map(|k| shapley_coefficient(n, k, facts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_factorials() {
+        assert_eq!(factorial(0).to_u64(), Some(1));
+        assert_eq!(factorial(5).to_u64(), Some(120));
+        assert_eq!(factorial(20).to_u64(), Some(2_432_902_008_176_640_000));
+    }
+
+    #[test]
+    fn factorial_table_matches() {
+        let mut t = FactorialTable::new();
+        for n in 0..30 {
+            assert_eq!(t.get(n), &factorial(n), "n = {n}");
+        }
+        // Re-request lower values after growth.
+        assert_eq!(t.get(3).to_u64(), Some(6));
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(0, 0).to_u64(), Some(1));
+        assert_eq!(binomial(7, 2).to_u64(), Some(21));
+        assert_eq!(binomial(7, 8).to_u64(), Some(0));
+        assert_eq!(binomial(52, 5).to_u64(), Some(2_598_960));
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal() {
+        let mut t = BinomialTable::new();
+        for n in 0..25 {
+            for k in 0..=n {
+                assert_eq!(t.get(n, k), t.get(n, n - k));
+                if n > 0 && k > 0 {
+                    let pascal = &t.get(n - 1, k - 1) + &t.get(n - 1, k);
+                    assert_eq!(t.get(n, k), pascal, "C({n},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_row_sums_to_pow2() {
+        let mut t = BinomialTable::new();
+        let mut sum = BigUint::zero();
+        for v in t.row(64) {
+            sum += v;
+        }
+        assert_eq!(sum, BigUint::one() << 64);
+    }
+
+    #[test]
+    fn shapley_coefficients_sum_to_one_over_positions() {
+        // Σ_k C(n-1, k) * k!(n-k-1)!/n! = Σ_k 1/n = 1.
+        let mut facts = FactorialTable::new();
+        for n in 1..12 {
+            let coeffs = shapley_coefficients(n, &mut facts);
+            let mut total = Rational::zero();
+            for (k, c) in coeffs.iter().enumerate() {
+                let ways = Rational::from_biguint(binomial(n - 1, k));
+                total += &(&ways * c);
+            }
+            assert_eq!(total, Rational::one(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn example_2_1_coefficients() {
+        // From the paper: 1*0!7!/8! + 7*1!6!/8! + 16*2!5!/8! + 14*3!4!/8! + 4*4!3!/8! = 43/105.
+        let mut facts = FactorialTable::new();
+        let terms = [(0usize, 1i64), (1, 7), (2, 16), (3, 14), (4, 4)];
+        let mut total = Rational::zero();
+        for (k, count) in terms {
+            let c = shapley_coefficient(8, k, &mut facts);
+            total += &(&Rational::from_int(count) * &c);
+        }
+        assert_eq!(total, Rational::from_ratio(43, 105));
+    }
+}

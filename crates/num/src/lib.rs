@@ -1,0 +1,33 @@
+//! # shapdb-num — exact arithmetic substrate
+//!
+//! Arbitrary-precision unsigned/signed integers and rationals, combinatorial
+//! tables, and a dense bitset.
+//!
+//! Shapley computation over deterministic and decomposable circuits
+//! (Algorithm 1 of the paper) manipulates `#SAT_k` counts that grow as large
+//! as `2^|D_n|` and Shapley coefficients `k!(n-k-1)!/n!` that are exact
+//! rationals. Floating point is far too lossy (the paper reports values such
+//! as `43/105` exactly), and the allowed offline dependency set contains no
+//! bignum crate, so this crate implements the arithmetic from scratch:
+//!
+//! * [`BigUint`] — little-endian base-2^64 natural numbers with schoolbook
+//!   multiplication and Knuth Algorithm-D division (sufficient for the limb
+//!   counts seen in practice: counts over a few hundred facts are < 64 limbs).
+//! * [`BigInt`] — sign-magnitude integers on top of [`BigUint`].
+//! * [`Rational`] — always-normalized fractions with exact comparison.
+//! * [`combinatorics`] — cached factorials, binomial rows, and the Shapley
+//!   permutation coefficients `k!(n-k-1)!/n!`.
+//! * [`Bitset`] — fixed-capacity bitset used for per-gate variable sets.
+
+pub mod bigint;
+pub mod biguint;
+pub mod bitset;
+pub mod combinatorics;
+pub mod linalg;
+pub mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use bitset::Bitset;
+pub use combinatorics::{binomial, factorial, shapley_coefficient, BinomialTable, FactorialTable};
+pub use rational::Rational;

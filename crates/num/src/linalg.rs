@@ -1,0 +1,183 @@
+//! Dense linear solvers.
+//!
+//! Two consumers in the reproduction need to solve small dense systems:
+//!
+//! * the Proposition 3.1 reduction solves an `(n+1)×(n+1)` **Vandermonde**
+//!   system exactly over the rationals to recover the `#Slices` counts from
+//!   `n+1` PQE oracle answers;
+//! * Kernel SHAP solves a weighted least-squares normal system in `f64`.
+//!
+//! Both use Gaussian elimination with partial pivoting; sizes are at most a
+//! few hundred, so the cubic cost is irrelevant.
+
+// Gaussian elimination indexes two rows of the same matrix per step;
+// clippy's iterator rewrite cannot express that borrow pattern.
+#![allow(clippy::needless_range_loop)]
+
+use crate::rational::Rational;
+
+/// Solves `A x = b` in `f64`. Returns `None` if the matrix is (numerically)
+/// singular. `a` is row-major and consumed.
+pub fn solve_f64(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert!(a.iter().all(|r| r.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Partial pivoting.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
+        })?;
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Solves `A x = b` exactly over the rationals. Returns `None` if singular.
+pub fn solve_rational(mut a: Vec<Vec<Rational>>, mut b: Vec<Rational>) -> Option<Vec<Rational>> {
+    let n = a.len();
+    assert!(a.iter().all(|r| r.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n);
+    for col in 0..n {
+        let pivot = (col..n).find(|&i| !a[i][col].is_zero())?;
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let inv = a[col][col].recip();
+        for row in col + 1..n {
+            if a[row][col].is_zero() {
+                continue;
+            }
+            let factor = &a[row][col] * &inv;
+            for k in col..n {
+                let sub = &factor * &a[col][k];
+                a[row][k] = &a[row][k] - &sub;
+            }
+            let sub = &factor * &b[col];
+            b[row] = &b[row] - &sub;
+        }
+    }
+    let mut x = vec![Rational::zero(); n];
+    for row in (0..n).rev() {
+        let mut acc = b[row].clone();
+        for k in row + 1..n {
+            acc = &acc - &(&a[row][k] * &x[k]);
+        }
+        x[row] = &acc / &a[row][row];
+    }
+    Some(x)
+}
+
+/// Solves the Vandermonde system `Σ_i z_j^i · x_i = y_j` for `x`, given the
+/// distinct sample points `z` (exact). This is the linear system of the
+/// Proposition 3.1 proof; distinctness of `z` guarantees invertibility.
+pub fn solve_vandermonde(z: &[Rational], y: &[Rational]) -> Vec<Rational> {
+    assert_eq!(z.len(), y.len());
+    let n = z.len();
+    let mut a = vec![vec![Rational::one(); n]; n];
+    for (j, zj) in z.iter().enumerate() {
+        for i in 1..n {
+            a[j][i] = &a[j][i - 1] * zj;
+        }
+    }
+    solve_rational(a, y.to_vec()).expect("Vandermonde with distinct nodes is invertible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_f64(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn f64_general() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_f64(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f64_singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_f64(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn rational_exact() {
+        // x/2 + y/3 = 1; x - y = 0  =>  x = y = 6/5.
+        let a = vec![
+            vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 3)],
+            vec![Rational::one(), Rational::from_int(-1)],
+        ];
+        let x = solve_rational(a, vec![Rational::one(), Rational::zero()]).unwrap();
+        assert_eq!(x[0], Rational::from_ratio(6, 5));
+        assert_eq!(x[1], Rational::from_ratio(6, 5));
+    }
+
+    #[test]
+    fn vandermonde_recovers_coefficients() {
+        // Polynomial p(z) = 2 + 3z + z^2 sampled at z = 1, 2, 3.
+        let z: Vec<Rational> = (1..=3).map(Rational::from_int).collect();
+        let y: Vec<Rational> = z
+            .iter()
+            .map(|zi| {
+                let z2 = zi * zi;
+                &(&Rational::from_int(2) + &(&Rational::from_int(3) * zi)) + &z2
+            })
+            .collect();
+        let x = solve_vandermonde(&z, &y);
+        assert_eq!(x[0], Rational::from_int(2));
+        assert_eq!(x[1], Rational::from_int(3));
+        assert_eq!(x[2], Rational::from_int(1));
+    }
+
+    #[test]
+    fn vandermonde_larger() {
+        // Random-ish integer polynomial of degree 6.
+        let coeffs: Vec<i64> = vec![5, -3, 0, 7, 2, -1, 4];
+        let z: Vec<Rational> = (1..=7).map(Rational::from_int).collect();
+        let y: Vec<Rational> = z
+            .iter()
+            .map(|zi| {
+                let mut acc = Rational::zero();
+                let mut pow = Rational::one();
+                for &c in &coeffs {
+                    acc += &(&Rational::from_int(c) * &pow);
+                    pow = &pow * zi;
+                }
+                acc
+            })
+            .collect();
+        let x = solve_vandermonde(&z, &y);
+        for (xi, &c) in x.iter().zip(&coeffs) {
+            assert_eq!(*xi, Rational::from_int(c));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # shapdb-prob — probabilistic query evaluation and the Prop. 3.1 bridge
+//!
+//! Section 3 of the paper establishes the fundamental connection between
+//! Shapley computation and *probabilistic query evaluation* (PQE) over
+//! tuple-independent databases: `Shapley(q) ≤p_T PQE(q)` for **every**
+//! Boolean query. This crate implements both sides of that bridge:
+//!
+//! * [`tid`] — tuple-independent (TID) databases: a probability per fact;
+//! * [`pqe`] — `Pr(q, (D, π))` three ways: brute force over sub-databases
+//!   (test oracle), weighted model counting on a compiled d-DNNF (the
+//!   intensional method the paper builds on), and exact rational WMC used as
+//!   the oracle of the reduction;
+//! * [`lifted`] — extensional *lifted inference* for hierarchical self-join-
+//!   free CQs: the safe-plan evaluation that makes PQE (and hence Shapley
+//!   computation) polynomial for the tractable class of Livshits et al. / Dalvi–Suciu;
+//! * [`reduction`] — the constructive proof of Proposition 3.1: `n+1` PQE
+//!   oracle calls at probabilities `z/(1+z)`, an exact Vandermonde solve
+//!   recovering the `#Slices` counts, and Equation (2) — an independent
+//!   end-to-end cross-check of Algorithm 1.
+
+pub mod lifted;
+pub mod pqe;
+pub mod reduction;
+pub mod tid;
+
+pub use lifted::{lifted_probability, LiftedError};
+pub use pqe::{pqe_bruteforce, pqe_ddnnf, pqe_ddnnf_rational, pqe_via_compilation};
+pub use reduction::{shapley_via_pqe, slices_via_pqe};
+pub use tid::Tid;

@@ -1,0 +1,468 @@
+//! Extensional lifted inference for hierarchical self-join-free CQs.
+//!
+//! The tractable side of the Dalvi–Suciu dichotomy that §3 of the paper
+//! builds on: for a *hierarchical* self-join-free Boolean CQ, `PQE(q)` is
+//! computable in polynomial time directly on the TID database, without any
+//! lineage or compilation, by recursive decomposition:
+//!
+//! * **independent components** — sub-queries sharing no variables touch
+//!   disjoint fact sets (self-join-freeness), so probabilities multiply;
+//! * **ground atoms** — a variable-free atom is an independent coin flip;
+//! * **root variable** — a variable occurring in *every* atom of a connected
+//!   component partitions the component's groundings by its value into
+//!   independent events: `Pr(∃x φ) = 1 − Π_a (1 − Pr(φ[x→a]))`.
+//!
+//! Non-hierarchical components have no root variable and are rejected
+//! ([`LiftedError::NonHierarchical`]) — matching the hardness side of the
+//! dichotomy. Comparison predicates of the form `var op const` are applied
+//! while grounding; anything else is [`LiftedError::Unsupported`].
+
+use crate::tid::Tid;
+use shapdb_data::{Database, Value};
+use shapdb_num::Rational;
+use shapdb_query::{ConjunctiveQuery, Predicate, Term, Ucq, Variable};
+use std::collections::BTreeSet;
+
+/// Why lifted inference refused a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiftedError {
+    /// A connected component has no root variable (the query is unsafe for
+    /// this extensional algorithm).
+    NonHierarchical,
+    /// The query uses a feature the lifted evaluator does not support
+    /// (self-joins, non-Boolean head, var–var comparisons).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for LiftedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiftedError::NonHierarchical => write!(f, "query is not hierarchical"),
+            LiftedError::Unsupported(m) => write!(f, "unsupported query feature: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LiftedError {}
+
+/// A partially-ground atom: relation name + terms (constants fill in as the
+/// recursion grounds variables).
+#[derive(Clone, Debug)]
+struct GAtom {
+    relation: String,
+    terms: Vec<Term>,
+}
+
+impl GAtom {
+    fn vars(&self) -> BTreeSet<Variable> {
+        self.terms
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect()
+    }
+
+    fn substitute(&self, var: Variable, value: &Value) -> GAtom {
+        GAtom {
+            relation: self.relation.clone(),
+            terms: self
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) if *v == var => Term::Const(value.clone()),
+                    other => other.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Exact `Pr(q, (D, π))` for a hierarchical self-join-free Boolean CQ.
+pub fn lifted_probability(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    tid: &Tid,
+) -> Result<Rational, LiftedError> {
+    if !q.is_boolean() {
+        return Err(LiftedError::Unsupported("non-Boolean head".into()));
+    }
+    if !shapdb_query::is_self_join_free(q) {
+        return Err(LiftedError::Unsupported("self-join".into()));
+    }
+    for p in &q.predicates {
+        match (&p.lhs, &p.rhs) {
+            (Term::Var(_), Term::Const(_)) | (Term::Const(_), Term::Var(_)) => {}
+            (Term::Const(_), Term::Const(_)) => {}
+            _ => {
+                return Err(LiftedError::Unsupported("var–var comparison".into()));
+            }
+        }
+    }
+    let atoms: Vec<GAtom> = q
+        .atoms
+        .iter()
+        .map(|a| GAtom { relation: a.relation.clone(), terms: a.terms.clone() })
+        .collect();
+    prob(&atoms, &q.predicates, db, tid)
+}
+
+/// Convenience: lifted PQE of a UCQ whose disjuncts touch pairwise disjoint
+/// relation sets (then `Pr(∪ qᵢ) = 1 − Π(1 − Pr(qᵢ))`). Returns
+/// `Unsupported` when disjuncts share a relation.
+pub fn lifted_probability_ucq(
+    q: &Ucq,
+    db: &Database,
+    tid: &Tid,
+) -> Result<Rational, LiftedError> {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for d in q.disjuncts() {
+        for a in &d.atoms {
+            if !seen.insert(a.relation.as_str()) {
+                return Err(LiftedError::Unsupported(
+                    "UCQ disjuncts share a relation".into(),
+                ));
+            }
+        }
+    }
+    let one = Rational::one();
+    let mut miss = Rational::one();
+    for d in q.disjuncts() {
+        let p = lifted_probability(d, db, tid)?;
+        miss = &miss * &(&one - &p);
+    }
+    Ok(&one - &miss)
+}
+
+fn check_const_predicates(preds: &[Predicate]) -> bool {
+    preds.iter().all(|p| match (&p.lhs, &p.rhs) {
+        (Term::Const(a), Term::Const(b)) => p.op.apply(a, b),
+        _ => true, // not yet ground; checked after substitution
+    })
+}
+
+fn prob(
+    atoms: &[GAtom],
+    preds: &[Predicate],
+    db: &Database,
+    tid: &Tid,
+) -> Result<Rational, LiftedError> {
+    if !check_const_predicates(preds) {
+        return Ok(Rational::zero());
+    }
+    if atoms.is_empty() {
+        return Ok(Rational::one());
+    }
+    // Connected components over shared variables.
+    let comps = components(atoms);
+    if comps.len() > 1 {
+        let mut acc = Rational::one();
+        for comp in comps {
+            acc = &acc * &prob(&comp, preds, db, tid)?;
+            if acc.is_zero() {
+                return Ok(acc);
+            }
+        }
+        return Ok(acc);
+    }
+
+    let comp = &comps[0];
+    let all_vars: Vec<BTreeSet<Variable>> = comp.iter().map(|a| a.vars()).collect();
+
+    // Ground component: a single variable-free atom (sjf ⇒ components of
+    // ground atoms are singletons after the component split — but be safe
+    // and multiply if several ground atoms ended up connected, which cannot
+    // happen var-wise; handle len == 1).
+    if all_vars.iter().all(|v| v.is_empty()) {
+        let mut acc = Rational::one();
+        for a in comp {
+            acc = &acc * &ground_atom_probability(a, db, tid);
+        }
+        return Ok(acc);
+    }
+
+    // Root variable: occurs in every atom of the component.
+    let mut root: Option<Variable> = None;
+    'vars: for v in all_vars.iter().flatten() {
+        if all_vars.iter().all(|s| s.contains(v)) {
+            root = Some(*v);
+            break 'vars;
+        }
+    }
+    let Some(x) = root else {
+        return Err(LiftedError::NonHierarchical);
+    };
+
+    // Candidate values for x: from the first atom's relation, at x's
+    // positions, filtered by var-const predicates on x.
+    let candidates = candidate_values(&comp[0], x, db);
+    let one = Rational::one();
+    let mut miss = Rational::one(); // Π (1 − Pr(φ[x→a]))
+    for a in candidates {
+        if !value_passes_predicates(preds, x, &a) {
+            continue;
+        }
+        let grounded: Vec<GAtom> = comp.iter().map(|g| g.substitute(x, &a)).collect();
+        let p = prob(&grounded, preds, db, tid)?;
+        if p.is_zero() {
+            continue;
+        }
+        miss = &miss * &(&one - &p);
+        if miss.is_zero() {
+            break;
+        }
+    }
+    Ok(&one - &miss)
+}
+
+/// Probability that *some* fact matching a ground atom is present.
+///
+/// The storage layer permits duplicate tuples as distinct facts (they carry
+/// different ids), in which case the atom is satisfied when any of them is
+/// drawn: `1 − Π(1 − πᵢ)` over all matching facts.
+fn ground_atom_probability(atom: &GAtom, db: &Database, tid: &Tid) -> Rational {
+    let Some(rel) = db.relation(&atom.relation) else {
+        return Rational::zero();
+    };
+    let values: Vec<&Value> = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => c,
+            Term::Var(_) => unreachable!("ground atom has no variables"),
+        })
+        .collect();
+    let one = Rational::one();
+    let mut miss = Rational::one();
+    for fact in rel.facts() {
+        if fact.values.iter().zip(&values).all(|(a, b)| a == *b) {
+            miss = &miss * &(&one - tid.prob(fact.id));
+            if miss.is_zero() {
+                break;
+            }
+        }
+    }
+    &one - &miss
+}
+
+/// Distinct values appearing at `x`'s positions in the atom's relation,
+/// restricted to facts compatible with the atom's constants.
+fn candidate_values(atom: &GAtom, x: Variable, db: &Database) -> Vec<Value> {
+    let Some(rel) = db.relation(&atom.relation) else {
+        return Vec::new();
+    };
+    let mut out: BTreeSet<Value> = BTreeSet::new();
+    'facts: for fact in rel.facts() {
+        let mut xval: Option<&Value> = None;
+        for (t, v) in atom.terms.iter().zip(fact.values.iter()) {
+            match t {
+                Term::Const(c) => {
+                    if c != v {
+                        continue 'facts;
+                    }
+                }
+                Term::Var(w) if *w == x => match xval {
+                    None => xval = Some(v),
+                    Some(prev) if prev == v => {}
+                    Some(_) => continue 'facts,
+                },
+                Term::Var(_) => {}
+            }
+        }
+        if let Some(v) = xval {
+            out.insert(v.clone());
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn value_passes_predicates(preds: &[Predicate], x: Variable, value: &Value) -> bool {
+    preds.iter().all(|p| match (&p.lhs, &p.rhs) {
+        (Term::Var(v), Term::Const(c)) if *v == x => p.op.apply(value, c),
+        (Term::Const(c), Term::Var(v)) if *v == x => p.op.apply(c, value),
+        _ => true,
+    })
+}
+
+/// Splits atoms into variable-connected components.
+fn components(atoms: &[GAtom]) -> Vec<Vec<GAtom>> {
+    let n = atoms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(p: &mut [usize], mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    let varsets: Vec<BTreeSet<Variable>> = atoms.iter().map(|a| a.vars()).collect();
+    for i in 0..n {
+        for j in i + 1..n {
+            if !varsets[i].is_disjoint(&varsets[j]) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<GAtom>> =
+        std::collections::HashMap::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(atom.clone());
+    }
+    let mut out: Vec<Vec<GAtom>> = groups.into_values().collect();
+    out.sort_by(|a, b| a[0].relation.cmp(&b[0].relation));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pqe::pqe_bruteforce;
+    use rand::prelude::*;
+    use shapdb_query::CmpOp;
+    use shapdb_query::CqBuilder;
+
+    /// Random TID over a 2-relation database; checks lifted == brute force.
+    fn check_against_bruteforce(q: &ConjunctiveQuery, db: &Database, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let probs: Vec<Rational> = (0..db.num_facts())
+            .map(|_| Rational::from_ratio(rng.random_range(0..=4), 4))
+            .collect();
+        let tid = Tid::from_probs(probs);
+        let lifted = lifted_probability(q, db, &tid).unwrap();
+        let ucq: Ucq = q.clone().into();
+        let brute = pqe_bruteforce(&ucq, db, &tid);
+        assert_eq!(lifted, brute, "seed {seed}");
+    }
+
+    fn rs_database(seed: u64) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = Database::new();
+        db.create_relation("R", &["a"]);
+        db.create_relation("S", &["a", "b"]);
+        for _ in 0..5 {
+            db.insert_endo("R", vec![Value::int(rng.random_range(0..4))]);
+        }
+        for _ in 0..8 {
+            db.insert_endo(
+                "S",
+                vec![Value::int(rng.random_range(0..4)), Value::int(rng.random_range(0..3))],
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn hierarchical_rx_sxy() {
+        // q() :- R(x), S(x, y): hierarchical (atoms(y) ⊂ atoms(x)).
+        for seed in 0..10 {
+            let db = rs_database(seed);
+            let mut b = CqBuilder::new();
+            let x = b.var("x");
+            let y = b.var("y");
+            b.atom("R", [x.into()]);
+            b.atom("S", [x.into(), y.into()]);
+            let q = b.build();
+            check_against_bruteforce(&q, &db, seed * 31 + 1);
+        }
+    }
+
+    #[test]
+    fn disconnected_components_multiply() {
+        for seed in 0..5 {
+            let db = rs_database(seed + 100);
+            let mut b = CqBuilder::new();
+            let x = b.var("x");
+            let y = b.var("y");
+            let z = b.var("z");
+            b.atom("R", [x.into()]);
+            b.atom("S", [y.into(), z.into()]);
+            let q = b.build();
+            check_against_bruteforce(&q, &db, seed);
+        }
+    }
+
+    #[test]
+    fn ground_atom() {
+        let mut db = Database::new();
+        db.create_relation("R", &["a"]);
+        let f = db.insert_endo("R", vec![Value::int(7)]);
+        let mut tid = Tid::deterministic(&db);
+        tid.set(f, Rational::from_ratio(1, 3));
+        let mut b = CqBuilder::new();
+        b.atom("R", [Term::int(7)]);
+        let q = b.build();
+        assert_eq!(
+            lifted_probability(&q, &db, &tid).unwrap(),
+            Rational::from_ratio(1, 3)
+        );
+        // Missing fact → probability 0.
+        let mut b2 = CqBuilder::new();
+        b2.atom("R", [Term::int(99)]);
+        let q2 = b2.build();
+        assert_eq!(lifted_probability(&q2, &db, &tid).unwrap(), Rational::zero());
+    }
+
+    #[test]
+    fn non_hierarchical_rejected() {
+        let mut db = Database::new();
+        db.create_relation("R", &["a"]);
+        db.create_relation("S", &["a", "b"]);
+        db.create_relation("T", &["b"]);
+        db.insert_endo("R", vec![Value::int(0)]);
+        db.insert_endo("S", vec![Value::int(0), Value::int(1)]);
+        db.insert_endo("T", vec![Value::int(1)]);
+        let tid = Tid::uniform(&db, Rational::from_ratio(1, 2));
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x.into()]);
+        b.atom("S", [x.into(), y.into()]);
+        b.atom("T", [y.into()]);
+        let q = b.build();
+        assert_eq!(
+            lifted_probability(&q, &db, &tid).unwrap_err(),
+            LiftedError::NonHierarchical
+        );
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let mut db = Database::new();
+        db.create_relation("R", &["a", "b"]);
+        db.insert_endo("R", vec![Value::int(0), Value::int(1)]);
+        let tid = Tid::deterministic(&db);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom("R", [x.into(), y.into()]);
+        b.atom("R", [y.into(), z.into()]);
+        let q = b.build();
+        assert!(matches!(
+            lifted_probability(&q, &db, &tid).unwrap_err(),
+            LiftedError::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn predicates_filter_candidates() {
+        for seed in 0..5 {
+            let db = rs_database(seed + 200);
+            let mut b = CqBuilder::new();
+            let x = b.var("x");
+            let y = b.var("y");
+            b.atom("S", [x.into(), y.into()]);
+            b.filter(x.into(), CmpOp::Ge, Term::int(1));
+            b.filter(y.into(), CmpOp::Lt, Term::int(2));
+            let q = b.build();
+            check_against_bruteforce(&q, &db, seed);
+        }
+    }
+
+    use shapdb_data::Database;
+}

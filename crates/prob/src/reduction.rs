@@ -1,0 +1,144 @@
+//! The Proposition 3.1 reduction: `Shapley(q) ≤p_T PQE(q)`.
+//!
+//! Constructive implementation of the paper's proof. To compute
+//! `#Slices(q, D_x, D_n, k)` — the number of size-`k` endogenous subsets `E`
+//! with `q(D_x ∪ E) = 1` — build, for a rational `z`, the TID `(D_z, π_z)`
+//! with `π_z(f) = 1` on exogenous and `z/(1+z)` on endogenous facts. Then
+//!
+//! ```text
+//! (1+z)^n · Pr(q, (D_z, π_z)) = Σ_i  z^i · #Slices(q, D_x, D_n, i)
+//! ```
+//!
+//! Calling a PQE oracle at `n+1` distinct points `z_0..z_n` yields a
+//! Vandermonde system whose exact solution is the `#Slices` vector;
+//! Equation (2) then assembles the Shapley value of any fact from the
+//! slices of `D_n \ {f}` with `f` forced present / absent.
+//!
+//! This module is the *other road* to exact Shapley values — independent of
+//! Algorithm 1's dynamic program — and the two are checked against each
+//! other in the integration tests, which is as close to a mechanized proof
+//! of Proposition 3.1 as an implementation gets.
+
+use crate::tid::Tid;
+use shapdb_data::{Database, FactId};
+use shapdb_num::{
+    combinatorics::{shapley_coefficient, FactorialTable},
+    linalg::solve_vandermonde,
+    BigInt, BigUint, Rational,
+};
+
+/// A PQE oracle: exact probability that the (fixed) Boolean query holds on
+/// the given TID. The reduction is generic in the oracle — brute force,
+/// d-DNNF WMC, or lifted inference all qualify.
+pub type PqeOracle<'a> = dyn Fn(&Tid) -> Rational + 'a;
+
+/// Computes the `#Slices(q, D_x ∪ F⁺, (D_n \ F) , k)` vector for
+/// `k = 0..=n'`, where `fixed` lists facts `F` removed from the endogenous
+/// set and forced present (`true`) or absent (`false`), and `n'` is the
+/// number of remaining endogenous facts.
+pub fn slices_via_pqe(
+    oracle: &PqeOracle<'_>,
+    db: &Database,
+    fixed: &[(FactId, bool)],
+) -> Vec<BigUint> {
+    let endo = db.endogenous_facts();
+    let free: Vec<FactId> =
+        endo.iter().copied().filter(|f| !fixed.iter().any(|(g, _)| g == f)).collect();
+    let n = free.len();
+    let one = Rational::one();
+
+    // Oracle calls at z = 1..=n+1.
+    let mut zs = Vec::with_capacity(n + 1);
+    let mut ys = Vec::with_capacity(n + 1);
+    for j in 1..=(n as i64 + 1) {
+        let z = Rational::from_int(j);
+        let mut tid = Tid::for_reduction(db, &z);
+        for &(f, b) in fixed {
+            tid.set(f, if b { Rational::one() } else { Rational::zero() });
+        }
+        let p = oracle(&tid);
+        // y = (1+z)^n * Pr.
+        let mut scale = Rational::one();
+        let base = &one + &z;
+        for _ in 0..n {
+            scale = &scale * &base;
+        }
+        zs.push(z);
+        ys.push(&scale * &p);
+    }
+    let sol = solve_vandermonde(&zs, &ys);
+    sol.into_iter()
+        .map(|r| {
+            assert!(
+                r.denominator().is_one() && !r.is_negative(),
+                "#Slices must be a non-negative integer, got {r}"
+            );
+            r.numerator().magnitude().clone()
+        })
+        .collect()
+}
+
+/// Exact Shapley value of fact `f` via the PQE oracle (Proposition 3.1 +
+/// Equation (2)). Requires `2(n+1)` oracle calls for `n = |D_n|`.
+pub fn shapley_via_pqe(oracle: &PqeOracle<'_>, db: &Database, f: FactId) -> Rational {
+    assert!(db.is_endogenous(f), "Shapley values are defined for endogenous facts");
+    let n = db.num_endogenous();
+    let with = slices_via_pqe(oracle, db, &[(f, true)]);
+    let without = slices_via_pqe(oracle, db, &[(f, false)]);
+    debug_assert_eq!(with.len(), n);
+    debug_assert_eq!(without.len(), n);
+    let mut facts = FactorialTable::new();
+    let mut total = Rational::zero();
+    for k in 0..n {
+        let diff = BigInt::from_biguint(with[k].clone())
+            - BigInt::from_biguint(without[k].clone());
+        if diff.is_zero() {
+            continue;
+        }
+        let coeff = shapley_coefficient(n, k, &mut facts);
+        total += &(&coeff * &Rational::from_bigint(diff));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pqe::pqe_bruteforce;
+    use shapdb_data::flights_example;
+    use shapdb_query::ast::flights_query;
+
+    #[test]
+    fn slices_of_running_example() {
+        let (db, _) = flights_example();
+        let q = flights_query();
+        let oracle = |tid: &Tid| pqe_bruteforce(&q, &db, tid);
+        // No fixed facts: #Slices over all 8 endogenous facts.
+        let slices = slices_via_pqe(&oracle, &db, &[]);
+        assert_eq!(slices.len(), 9);
+        // k = 0: the empty set does not satisfy q.
+        assert_eq!(slices[0].to_u64(), Some(0));
+        // k = 1: only {a1}.
+        assert_eq!(slices[1].to_u64(), Some(1));
+        // k = 8: the full database satisfies q.
+        assert_eq!(slices[8].to_u64(), Some(1));
+        // Totals are bounded by C(8, k).
+        for (k, s) in slices.iter().enumerate() {
+            assert!(
+                s <= &shapdb_num::combinatorics::binomial(8, k),
+                "slice {k} exceeds C(8,{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn shapley_via_pqe_matches_paper_values() {
+        let (db, a) = flights_example();
+        let q = flights_query();
+        let oracle = |tid: &Tid| pqe_bruteforce(&q, &db, tid);
+        assert_eq!(shapley_via_pqe(&oracle, &db, a[0]), Rational::from_ratio(43, 105));
+        assert_eq!(shapley_via_pqe(&oracle, &db, a[1]), Rational::from_ratio(23, 210));
+        assert_eq!(shapley_via_pqe(&oracle, &db, a[5]), Rational::from_ratio(8, 105));
+        assert_eq!(shapley_via_pqe(&oracle, &db, a[7]), Rational::zero());
+    }
+}

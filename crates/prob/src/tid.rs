@@ -1,0 +1,140 @@
+//! Tuple-independent probabilistic databases.
+
+use shapdb_data::{Database, FactId};
+use shapdb_num::Rational;
+
+/// A tuple-independent database `(D, π)`: every fact `f` is present
+/// independently with probability `π(f)` (§3 of the paper).
+///
+/// Probabilities are exact rationals so the Proposition 3.1 reduction can
+/// recover integer counts; [`Tid::prob_f64`] provides the floating view.
+#[derive(Clone, Debug)]
+pub struct Tid {
+    probs: Vec<Rational>,
+}
+
+impl Tid {
+    /// All facts present with probability 1 (a deterministic database).
+    pub fn deterministic(db: &Database) -> Tid {
+        Tid { probs: vec![Rational::one(); db.num_facts()] }
+    }
+
+    /// Uniform probability `p` for every fact.
+    pub fn uniform(db: &Database, p: Rational) -> Tid {
+        assert!(!p.is_negative() && p <= Rational::one(), "probability out of range");
+        Tid { probs: vec![p; db.num_facts()] }
+    }
+
+    /// The TID of the Proposition 3.1 proof: exogenous facts get probability
+    /// 1, endogenous facts get `z/(1+z)`.
+    pub fn for_reduction(db: &Database, z: &Rational) -> Tid {
+        let one = Rational::one();
+        let endo_p = z / &(&one + z);
+        let probs = (0..db.num_facts() as u32)
+            .map(|i| {
+                if db.is_endogenous(FactId(i)) {
+                    endo_p.clone()
+                } else {
+                    one.clone()
+                }
+            })
+            .collect();
+        Tid { probs }
+    }
+
+    /// Builds from explicit per-fact probabilities.
+    pub fn from_probs(probs: Vec<Rational>) -> Tid {
+        for p in &probs {
+            assert!(!p.is_negative() && *p <= Rational::one(), "probability out of range");
+        }
+        Tid { probs }
+    }
+
+    /// Number of facts covered.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True iff no facts.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Sets one fact's probability.
+    pub fn set(&mut self, f: FactId, p: Rational) {
+        assert!(!p.is_negative() && p <= Rational::one(), "probability out of range");
+        self.probs[f.index()] = p;
+    }
+
+    /// The probability of a fact.
+    pub fn prob(&self, f: FactId) -> &Rational {
+        &self.probs[f.index()]
+    }
+
+    /// The probability as `f64`.
+    pub fn prob_f64(&self, f: FactId) -> f64 {
+        self.probs[f.index()].to_f64()
+    }
+
+    /// Probability that exactly the sub-database `present` (a bitmask over
+    /// fact ids) is drawn — the `Pr_π(D')` of §3.
+    pub fn subdb_probability(&self, present: &impl Fn(FactId) -> bool) -> Rational {
+        let one = Rational::one();
+        let mut acc = Rational::one();
+        for (i, p) in self.probs.iter().enumerate() {
+            let f = FactId(i as u32);
+            let factor = if present(f) { p.clone() } else { &one - p };
+            if factor.is_zero() {
+                return Rational::zero();
+            }
+            acc = &acc * &factor;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapdb_data::{Database, Value};
+
+    fn two_fact_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("R", &["a"]);
+        db.insert_endo("R", vec![Value::int(1)]);
+        db.insert_exo("R", vec![Value::int(2)]);
+        db
+    }
+
+    #[test]
+    fn reduction_probabilities() {
+        let db = two_fact_db();
+        let z = Rational::from_int(3);
+        let tid = Tid::for_reduction(&db, &z);
+        assert_eq!(tid.prob(FactId(0)), &Rational::from_ratio(3, 4)); // endo: z/(1+z)
+        assert_eq!(tid.prob(FactId(1)), &Rational::one()); // exo
+    }
+
+    #[test]
+    fn subdb_probability_products() {
+        let db = two_fact_db();
+        let mut tid = Tid::uniform(&db, Rational::from_ratio(1, 2));
+        tid.set(FactId(1), Rational::from_ratio(1, 3));
+        // P({f0}) = 1/2 * 2/3 = 1/3.
+        let p = tid.subdb_probability(&|f| f == FactId(0));
+        assert_eq!(p, Rational::from_ratio(1, 3));
+        // Probabilities over all 4 sub-databases sum to 1.
+        let mut total = Rational::zero();
+        for mask in 0u32..4 {
+            total += &tid.subdb_probability(&|f| mask >> f.0 & 1 == 1);
+        }
+        assert_eq!(total, Rational::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_probability() {
+        let db = two_fact_db();
+        Tid::uniform(&db, Rational::from_ratio(3, 2));
+    }
+}

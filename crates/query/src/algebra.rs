@@ -1,0 +1,436 @@
+//! Relational algebra (SPJU) with Boolean provenance.
+//!
+//! §2 of the paper recalls the equivalence between Select-Project-Join-Union
+//! expressions and unions of conjunctive queries, and its implementation
+//! instruments the relational operators themselves (ProvSQL hooks
+//! PostgreSQL's plan nodes). This module is that operator-at-a-time
+//! interface: an algebra AST evaluated bottom-up, where every intermediate
+//! tuple carries its monotone DNF lineage —
+//!
+//! * `Scan` seeds each fact with its own variable,
+//! * `Select` filters, keeping lineage intact,
+//! * `Project` merges the lineages of collapsing duplicates with `∨`,
+//! * `Join`/`Product` combines lineages with the distributing `∧`,
+//! * `Union` merges by tuple with `∨` (set semantics).
+//!
+//! The result is exactly the lineage the UCQ evaluator derives — an
+//! equivalence the test-suite checks query-by-query and by property test —
+//! so every downstream consumer (Algorithm 1, CNF Proxy, the hybrid engine)
+//! is agnostic about which front-end produced the provenance.
+
+use crate::ast::CmpOp;
+use crate::eval::{OutputTuple, QueryResult};
+use shapdb_circuit::{Dnf, VarId};
+use shapdb_data::{Database, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A scalar operand of a selection predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A column of the input, by position.
+    Column(usize),
+    /// A constant.
+    Const(Value),
+}
+
+/// A selection predicate `lhs op rhs` over one intermediate relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RaPredicate {
+    pub lhs: Operand,
+    pub op: CmpOp,
+    pub rhs: Operand,
+}
+
+impl RaPredicate {
+    /// Convenience: `column op constant`.
+    pub fn col_const(col: usize, op: CmpOp, value: Value) -> RaPredicate {
+        RaPredicate { lhs: Operand::Column(col), op, rhs: Operand::Const(value) }
+    }
+
+    /// Convenience: `column op column`.
+    pub fn col_col(a: usize, op: CmpOp, b: usize) -> RaPredicate {
+        RaPredicate { lhs: Operand::Column(a), op, rhs: Operand::Column(b) }
+    }
+
+    fn eval(&self, row: &[Value]) -> bool {
+        let get = |o: &Operand| match o {
+            Operand::Column(i) => row[*i].clone(),
+            Operand::Const(v) => v.clone(),
+        };
+        self.op.apply(&get(&self.lhs), &get(&self.rhs))
+    }
+
+    fn max_column(&self) -> Option<usize> {
+        [&self.lhs, &self.rhs]
+            .into_iter()
+            .filter_map(|o| match o {
+                Operand::Column(i) => Some(*i),
+                Operand::Const(_) => None,
+            })
+            .max()
+    }
+}
+
+/// A Select-Project-Join-Union expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RaExpr {
+    /// Base relation.
+    Scan(String),
+    /// `σ_predicate`.
+    Select(RaPredicate, Box<RaExpr>),
+    /// `π_columns` (duplicate-eliminating; lineages merge with ∨).
+    Project(Vec<usize>, Box<RaExpr>),
+    /// Equi-join on pairs `(left column, right column)`; the output schema
+    /// is the left columns followed by the right columns.
+    Join(Vec<(usize, usize)>, Box<RaExpr>, Box<RaExpr>),
+    /// Cross product (a join with no equality pairs).
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Set union of two expressions with equal arity.
+    Union(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// `σ` builder.
+    pub fn select(self, p: RaPredicate) -> RaExpr {
+        RaExpr::Select(p, Box::new(self))
+    }
+
+    /// `π` builder.
+    pub fn project(self, columns: impl IntoIterator<Item = usize>) -> RaExpr {
+        RaExpr::Project(columns.into_iter().collect(), Box::new(self))
+    }
+
+    /// `⋈` builder.
+    pub fn join(self, other: RaExpr, on: impl IntoIterator<Item = (usize, usize)>) -> RaExpr {
+        RaExpr::Join(on.into_iter().collect(), Box::new(self), Box::new(other))
+    }
+
+    /// `×` builder.
+    pub fn product(self, other: RaExpr) -> RaExpr {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// `∪` builder.
+    pub fn union(self, other: RaExpr) -> RaExpr {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Scan builder.
+    pub fn scan(relation: &str) -> RaExpr {
+        RaExpr::Scan(relation.to_string())
+    }
+}
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Scan(r) => write!(f, "{r}"),
+            RaExpr::Select(p, e) => {
+                let op = |o: &Operand| match o {
+                    Operand::Column(i) => format!("#{i}"),
+                    Operand::Const(v) => format!("{v:?}"),
+                };
+                write!(f, "σ[{} {} {}]({e})", op(&p.lhs), p.op, op(&p.rhs))
+            }
+            RaExpr::Project(cols, e) => {
+                let cs: Vec<String> = cols.iter().map(|c| format!("#{c}")).collect();
+                write!(f, "π[{}]({e})", cs.join(","))
+            }
+            RaExpr::Join(on, l, r) => {
+                let cs: Vec<String> =
+                    on.iter().map(|(a, b)| format!("#{a}=#{b}")).collect();
+                write!(f, "({l} ⋈[{}] {r})", cs.join(","))
+            }
+            RaExpr::Product(l, r) => write!(f, "({l} × {r})"),
+            RaExpr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+        }
+    }
+}
+
+/// A static (schema-level) error in an algebra expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AlgebraError(pub String);
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+fn fail(msg: impl Into<String>) -> AlgebraError {
+    AlgebraError(msg.into())
+}
+
+/// Output arity of an expression; validates relation names, column indexes
+/// and union-arity compatibility along the way.
+pub fn arity(expr: &RaExpr, db: &Database) -> Result<usize, AlgebraError> {
+    match expr {
+        RaExpr::Scan(name) => db
+            .relation(name)
+            .map(|r| r.schema().arity())
+            .ok_or_else(|| fail(format!("unknown relation `{name}`"))),
+        RaExpr::Select(p, e) => {
+            let a = arity(e, db)?;
+            if let Some(c) = p.max_column() {
+                if c >= a {
+                    return Err(fail(format!("σ references column #{c} of arity-{a} input")));
+                }
+            }
+            Ok(a)
+        }
+        RaExpr::Project(cols, e) => {
+            let a = arity(e, db)?;
+            if let Some(&c) = cols.iter().find(|&&c| c >= a) {
+                return Err(fail(format!("π references column #{c} of arity-{a} input")));
+            }
+            Ok(cols.len())
+        }
+        RaExpr::Join(on, l, r) => {
+            let (la, ra) = (arity(l, db)?, arity(r, db)?);
+            for &(a, b) in on {
+                if a >= la || b >= ra {
+                    return Err(fail(format!(
+                        "⋈ pair #{a}=#{b} out of range for arities {la}/{ra}"
+                    )));
+                }
+            }
+            Ok(la + ra)
+        }
+        RaExpr::Product(l, r) => Ok(arity(l, db)? + arity(r, db)?),
+        RaExpr::Union(l, r) => {
+            let (la, ra) = (arity(l, db)?, arity(r, db)?);
+            if la != ra {
+                return Err(fail(format!("∪ of incompatible arities {la} and {ra}")));
+            }
+            Ok(la)
+        }
+    }
+}
+
+/// Intermediate relation: tuples with lineage, in first-seen order.
+struct Annotated {
+    rows: Vec<(Vec<Value>, Dnf)>,
+}
+
+impl Annotated {
+    fn from_pairs(pairs: impl IntoIterator<Item = (Vec<Value>, Dnf)>) -> Annotated {
+        // Set semantics: merge lineages of equal tuples with ∨.
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut rows: Vec<(Vec<Value>, Dnf)> = Vec::new();
+        for (tuple, lineage) in pairs {
+            match index.get(&tuple) {
+                Some(&i) => rows[i].1.or_with(&lineage),
+                None => {
+                    index.insert(tuple.clone(), rows.len());
+                    rows.push((tuple, lineage));
+                }
+            }
+        }
+        Annotated { rows }
+    }
+}
+
+fn eval_rec(expr: &RaExpr, db: &Database) -> Annotated {
+    match expr {
+        RaExpr::Scan(name) => {
+            let rel = db.relation(name).expect("validated by arity()");
+            Annotated::from_pairs(rel.facts().iter().map(|f| {
+                let mut d = Dnf::new();
+                d.add_conjunct(vec![VarId(f.id.0)]);
+                (f.values.to_vec(), d)
+            }))
+        }
+        RaExpr::Select(p, e) => {
+            let input = eval_rec(e, db);
+            Annotated {
+                rows: input.rows.into_iter().filter(|(t, _)| p.eval(t)).collect(),
+            }
+        }
+        RaExpr::Project(cols, e) => {
+            let input = eval_rec(e, db);
+            Annotated::from_pairs(input.rows.into_iter().map(|(t, d)| {
+                let projected: Vec<Value> = cols.iter().map(|&c| t[c].clone()).collect();
+                (projected, d)
+            }))
+        }
+        RaExpr::Join(on, l, r) => {
+            let left = eval_rec(l, db);
+            let right = eval_rec(r, db);
+            // Hash the right side by its join key.
+            let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (i, (t, _)) in right.rows.iter().enumerate() {
+                let key: Vec<Value> = on.iter().map(|&(_, b)| t[b].clone()).collect();
+                by_key.entry(key).or_default().push(i);
+            }
+            let mut pairs = Vec::new();
+            for (lt, ld) in &left.rows {
+                let key: Vec<Value> = on.iter().map(|&(a, _)| lt[a].clone()).collect();
+                let Some(matches) = by_key.get(&key) else { continue };
+                for &i in matches {
+                    let (rt, rd) = &right.rows[i];
+                    let mut tuple = lt.clone();
+                    tuple.extend(rt.iter().cloned());
+                    pairs.push((tuple, ld.and_product(rd)));
+                }
+            }
+            Annotated::from_pairs(pairs)
+        }
+        RaExpr::Product(l, r) => {
+            let left = eval_rec(l, db);
+            let right = eval_rec(r, db);
+            let mut pairs = Vec::new();
+            for (lt, ld) in &left.rows {
+                for (rt, rd) in &right.rows {
+                    let mut tuple = lt.clone();
+                    tuple.extend(rt.iter().cloned());
+                    pairs.push((tuple, ld.and_product(rd)));
+                }
+            }
+            Annotated::from_pairs(pairs)
+        }
+        RaExpr::Union(l, r) => {
+            let left = eval_rec(l, db);
+            let right = eval_rec(r, db);
+            Annotated::from_pairs(left.rows.into_iter().chain(right.rows))
+        }
+    }
+}
+
+/// Evaluates an SPJU expression, returning every output tuple with its
+/// minimized DNF lineage (same [`QueryResult`] the UCQ evaluator produces).
+pub fn evaluate_algebra(expr: &RaExpr, db: &Database) -> Result<QueryResult, AlgebraError> {
+    arity(expr, db)?;
+    let result = eval_rec(expr, db);
+    let outputs = result
+        .rows
+        .into_iter()
+        .map(|(tuple, mut lineage)| {
+            lineage.minimize();
+            OutputTuple { tuple, lineage }
+        })
+        .collect();
+    Ok(QueryResult { outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::flights_query;
+    use crate::evaluate;
+    use shapdb_data::flights_example;
+
+    /// The running example as relational algebra: the one-hop and two-hop
+    /// route plans, unioned and projected to a Boolean (arity-0) result.
+    fn flights_algebra() -> RaExpr {
+        // Airports(name, country); Flights(src, dest).
+        let usa = RaExpr::scan("Airports")
+            .select(RaPredicate::col_const(1, CmpOp::Eq, Value::str("USA")));
+        let fr = RaExpr::scan("Airports")
+            .select(RaPredicate::col_const(1, CmpOp::Eq, Value::str("FR")));
+        // One hop: USA(x) ⋈ Flights(x,y) ⋈ FR(y).
+        let one = usa
+            .clone()
+            .join(RaExpr::scan("Flights"), [(0, 0)])
+            .join(fr.clone(), [(3, 0)])
+            .project([]);
+        // Two hops: USA(x) ⋈ F(x,y) ⋈ F(y,z) ⋈ FR(z).
+        let two = usa
+            .join(RaExpr::scan("Flights"), [(0, 0)])
+            .join(RaExpr::scan("Flights"), [(3, 0)])
+            .join(fr, [(5, 0)])
+            .project([]);
+        one.union(two)
+    }
+
+    #[test]
+    fn flights_algebra_matches_ucq_lineage() {
+        let (db, _) = flights_example();
+        let ra = evaluate_algebra(&flights_algebra(), &db).unwrap();
+        let ucq = evaluate(&flights_query(), &db);
+        assert_eq!(ra.len(), 1);
+        assert_eq!(ucq.len(), 1);
+        let mut a = ra.outputs[0].lineage.conjuncts().to_vec();
+        let mut b = ucq.outputs[0].lineage.conjuncts().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "operator-at-a-time and UCQ lineages coincide");
+    }
+
+    #[test]
+    fn projection_merges_duplicate_lineages() {
+        // π_country(Airports) over 8 airports with 4 countries.
+        let (db, _) = flights_example();
+        let q = RaExpr::scan("Airports").project([1]);
+        let res = evaluate_algebra(&q, &db).unwrap();
+        assert_eq!(res.len(), 4); // USA, EN, GR, FR
+        let usa = res.get(&[Value::str("USA")]).unwrap();
+        assert_eq!(usa.lineage.len(), 4, "four airports merge by ∨");
+    }
+
+    #[test]
+    fn select_filters_and_keeps_lineage() {
+        let (db, _) = flights_example();
+        let q = RaExpr::scan("Airports")
+            .select(RaPredicate::col_const(0, CmpOp::Eq, Value::str("JFK")));
+        let res = evaluate_algebra(&q, &db).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.outputs[0].lineage.len(), 1);
+        assert_eq!(res.outputs[0].lineage.conjuncts()[0].len(), 1);
+    }
+
+    #[test]
+    fn column_to_column_predicates() {
+        let mut db = Database::new();
+        db.create_relation("R", &["a", "b"]);
+        db.insert_endo("R", vec![Value::int(1), Value::int(1)]);
+        db.insert_endo("R", vec![Value::int(1), Value::int(2)]);
+        let q = RaExpr::scan("R").select(RaPredicate::col_col(0, CmpOp::Eq, 1));
+        let res = evaluate_algebra(&q, &db).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.outputs[0].tuple, vec![Value::int(1), Value::int(1)]);
+    }
+
+    #[test]
+    fn product_is_join_without_keys() {
+        let mut db = Database::new();
+        db.create_relation("R", &["a"]);
+        db.create_relation("S", &["b"]);
+        db.insert_endo("R", vec![Value::int(1)]);
+        db.insert_endo("R", vec![Value::int(2)]);
+        db.insert_endo("S", vec![Value::int(9)]);
+        let q = RaExpr::scan("R").product(RaExpr::scan("S"));
+        let res = evaluate_algebra(&q, &db).unwrap();
+        assert_eq!(res.len(), 2);
+        for o in &res.outputs {
+            assert_eq!(o.lineage.conjuncts()[0].len(), 2, "two facts per row");
+        }
+    }
+
+    #[test]
+    fn static_errors_are_caught() {
+        let (db, _) = flights_example();
+        assert!(evaluate_algebra(&RaExpr::scan("NoSuch"), &db).is_err());
+        let bad_proj = RaExpr::scan("Airports").project([7]);
+        assert!(evaluate_algebra(&bad_proj, &db).is_err());
+        let bad_sel = RaExpr::scan("Airports")
+            .select(RaPredicate::col_const(5, CmpOp::Eq, Value::int(0)));
+        assert!(evaluate_algebra(&bad_sel, &db).is_err());
+        let bad_join = RaExpr::scan("Airports").join(RaExpr::scan("Flights"), [(4, 0)]);
+        assert!(evaluate_algebra(&bad_join, &db).is_err());
+        let bad_union = RaExpr::scan("Airports").project([0]).union(RaExpr::scan("Flights"));
+        assert!(evaluate_algebra(&bad_union, &db).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = RaExpr::scan("R")
+            .select(RaPredicate::col_const(0, CmpOp::Gt, Value::int(3)))
+            .project([0]);
+        assert_eq!(q.to_string(), "π[#0](σ[#0 > 3](R))");
+    }
+
+    use shapdb_data::Database;
+}

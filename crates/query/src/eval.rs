@@ -1,0 +1,503 @@
+//! Provenance-capturing query evaluation.
+//!
+//! Enumerates all derivations of a UCQ over a database via backtracking
+//! joins. Each derivation is the set of facts it uses; grouping derivations
+//! by output tuple yields the monotone DNF lineage `Lin(q[x̄/t̄], D)` of
+//! Figure 1d. Hash indexes on the accessed column combinations are built
+//! lazily and keyed by the atom's bound positions, so join order adapts to
+//! each query without a separate planning phase.
+
+use crate::ast::{Atom, ConjunctiveQuery, Predicate, Term, Ucq, Variable};
+use shapdb_circuit::{Circuit, Dnf, NodeId, VarId};
+use shapdb_data::{Database, FactId, Value};
+use std::collections::HashMap;
+
+/// One output tuple with its lineage.
+#[derive(Clone, Debug)]
+pub struct OutputTuple {
+    /// The head values (empty for Boolean queries).
+    pub tuple: Vec<Value>,
+    /// Monotone DNF over fact ids: one conjunct per derivation.
+    pub lineage: Dnf,
+}
+
+impl OutputTuple {
+    /// Facts mentioned by the lineage.
+    pub fn facts(&self) -> Vec<FactId> {
+        self.lineage.vars().into_iter().map(|v| FactId(v.0)).collect()
+    }
+
+    /// Builds the lineage as a circuit over fact-id variables.
+    pub fn lineage_circuit(&self) -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let root = self.lineage.to_circuit(&mut c);
+        (c, root)
+    }
+
+    /// The *endogenous* lineage `ELin` (Figure 3's partial-eval step): the
+    /// DNF with exogenous facts fixed to true. An empty conjunct means the
+    /// tuple is certain (`ELin ≡ ⊤`).
+    pub fn endo_lineage(&self, db: &Database) -> Dnf {
+        let mut out = Dnf::new();
+        for conj in self.lineage.conjuncts() {
+            let endo: Vec<VarId> =
+                conj.iter().copied().filter(|v| db.is_endogenous(FactId(v.0))).collect();
+            out.add_conjunct(endo);
+        }
+        out.minimize();
+        out
+    }
+}
+
+/// The result of evaluating a query: output tuples in deterministic order.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    pub outputs: Vec<OutputTuple>,
+}
+
+impl QueryResult {
+    /// Number of output tuples.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True iff the query returned nothing.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// For Boolean queries: whether the query holds on the full database.
+    pub fn boolean_answer(&self) -> bool {
+        !self.outputs.is_empty()
+    }
+
+    /// Finds an output by tuple value.
+    pub fn get(&self, tuple: &[Value]) -> Option<&OutputTuple> {
+        self.outputs.iter().find(|o| o.tuple == tuple)
+    }
+}
+
+/// Index key: (relation index in db, bound-position bitmask).
+type IndexKey = (usize, u64);
+
+/// Evaluates a UCQ, returning every output tuple with its DNF lineage.
+pub fn evaluate(q: &Ucq, db: &Database) -> QueryResult {
+    let mut acc: HashMap<Vec<Value>, Dnf> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut indexes = Indexes::default();
+    for cq in q.disjuncts() {
+        for (tuple, derivation) in derivations(cq, db, &mut indexes) {
+            let entry = acc.entry(tuple.clone()).or_insert_with(|| {
+                order.push(tuple);
+                Dnf::new()
+            });
+            entry.add_conjunct(derivation.into_iter().map(|f| VarId(f.0)).collect());
+        }
+    }
+    let outputs = order
+        .into_iter()
+        .map(|tuple| {
+            let mut lineage = acc.remove(&tuple).unwrap();
+            lineage.minimize();
+            OutputTuple { tuple, lineage }
+        })
+        .collect();
+    QueryResult { outputs }
+}
+
+/// Evaluates a single conjunctive query.
+pub fn evaluate_cq(cq: &ConjunctiveQuery, db: &Database) -> QueryResult {
+    evaluate(&Ucq::new(vec![cq.clone()]), db)
+}
+
+/// Lazily-built hash indexes shared across disjuncts.
+#[derive(Default)]
+pub(crate) struct Indexes {
+    maps: HashMap<IndexKey, HashMap<Vec<Value>, Vec<u32>>>,
+}
+
+impl Indexes {
+    /// Rows of `rel_idx` whose values at `mask` positions equal `key`.
+    fn probe(
+        &mut self,
+        db: &Database,
+        rel_idx: usize,
+        mask: u64,
+        key: &[Value],
+    ) -> &[u32] {
+        let index = self.maps.entry((rel_idx, mask)).or_insert_with(|| {
+            let rel = &db.relations()[rel_idx];
+            let mut m: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+            for (row, fact) in rel.facts().iter().enumerate() {
+                let k: Vec<Value> = (0..rel.schema().arity())
+                    .filter(|&i| mask >> i & 1 == 1)
+                    .map(|i| fact.values[i].clone())
+                    .collect();
+                m.entry(k).or_default().push(row as u32);
+            }
+            m
+        });
+        index.get(key).map_or(&[], |v| v.as_slice())
+    }
+}
+
+/// Enumerates `(head tuple, derivation facts)` pairs for one CQ.
+fn derivations(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+    indexes: &mut Indexes,
+) -> Vec<(Vec<Value>, Vec<FactId>)> {
+    let mut results = Vec::new();
+    for_each_derivation(cq, db, indexes, &mut |binding, used| {
+        let tuple: Vec<Value> = cq
+            .head
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => binding[v.index()].clone().expect("safe-range head"),
+            })
+            .collect();
+        let mut derivation = used.to_vec();
+        derivation.sort_unstable();
+        derivation.dedup();
+        results.push((tuple, derivation));
+    });
+    results
+}
+
+/// Callback invoked per derivation: the full variable binding and the
+/// (unsorted, possibly duplicated) facts the derivation joins.
+pub(crate) type OnDerivation<'a> = dyn FnMut(&[Option<Value>], &[FactId]) + 'a;
+
+/// Enumerates every derivation of `cq`, invoking `on_match` with the full
+/// variable binding and the (unsorted, possibly duplicated) facts it joins.
+/// This is the backtracking core shared by plain evaluation and the
+/// negation-aware evaluation in [`crate::negation`].
+pub(crate) fn for_each_derivation(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+    indexes: &mut Indexes,
+    on_match: &mut OnDerivation<'_>,
+) {
+    // Resolve relations up front; a missing relation yields no derivations.
+    let mut rel_indices = Vec::with_capacity(cq.atoms.len());
+    for atom in &cq.atoms {
+        match db.relations().iter().position(|r| r.schema().name() == atom.relation) {
+            Some(i) => {
+                assert_eq!(
+                    db.relations()[i].schema().arity(),
+                    atom.terms.len(),
+                    "arity mismatch for `{}`",
+                    atom.relation
+                );
+                rel_indices.push(i);
+            }
+            None => return,
+        }
+    }
+
+    let mut binding: Vec<Option<Value>> = vec![None; cq.num_vars()];
+    let mut used: Vec<FactId> = Vec::with_capacity(cq.atoms.len());
+    let mut remaining: Vec<usize> = (0..cq.atoms.len()).collect();
+    search(
+        cq,
+        db,
+        indexes,
+        &rel_indices,
+        &mut binding,
+        &mut used,
+        &mut remaining,
+        on_match,
+    );
+}
+
+/// Picks the next atom greedily: most bound positions, then smallest relation.
+fn pick_next(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+    rel_indices: &[usize],
+    binding: &[Option<Value>],
+    remaining: &[usize],
+) -> usize {
+    let mut best = 0;
+    let mut best_score = (usize::MAX, usize::MAX);
+    for (pos, &ai) in remaining.iter().enumerate() {
+        let atom = &cq.atoms[ai];
+        let bound = atom
+            .terms
+            .iter()
+            .filter(|t| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => binding[v.index()].is_some(),
+            })
+            .count();
+        let unbound = atom.terms.len() - bound;
+        let size = db.relations()[rel_indices[ai]].len();
+        let score = (unbound, size);
+        if score < best_score {
+            best_score = score;
+            best = pos;
+        }
+    }
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+    indexes: &mut Indexes,
+    rel_indices: &[usize],
+    binding: &mut Vec<Option<Value>>,
+    used: &mut Vec<FactId>,
+    remaining: &mut Vec<usize>,
+    on_match: &mut OnDerivation<'_>,
+) {
+    if remaining.is_empty() {
+        if predicates_hold(cq, binding) {
+            on_match(binding, used);
+        }
+        return;
+    }
+
+    // Early predicate pruning: fail as soon as a fully-bound predicate fails.
+    if !predicates_hold_partial(cq, binding) {
+        return;
+    }
+
+    let pos = pick_next(cq, db, rel_indices, binding, remaining);
+    let ai = remaining.swap_remove(pos);
+    let atom = &cq.atoms[ai];
+    let rel_idx = rel_indices[ai];
+
+    // Bound positions and the probe key.
+    let mut mask = 0u64;
+    let mut key: Vec<Value> = Vec::new();
+    for (i, t) in atom.terms.iter().enumerate() {
+        let v = match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => binding[v.index()].clone(),
+        };
+        if let Some(val) = v {
+            mask |= 1 << i;
+            key.push(val);
+        }
+    }
+
+    let rows: Vec<u32> = indexes.probe(db, rel_idx, mask, &key).to_vec();
+    for row in rows {
+        let fact = &db.relations()[rel_idx].facts()[row as usize];
+        // Bind unbound variables; detect intra-atom repeated-variable clashes.
+        let mut newly_bound: Vec<usize> = Vec::new();
+        let mut ok = true;
+        for (i, t) in atom.terms.iter().enumerate() {
+            if let Term::Var(v) = t {
+                match &binding[v.index()] {
+                    Some(existing) => {
+                        if *existing != fact.values[i] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        binding[v.index()] = Some(fact.values[i].clone());
+                        newly_bound.push(v.index());
+                    }
+                }
+            }
+        }
+        if ok {
+            used.push(fact.id);
+            search(cq, db, indexes, rel_indices, binding, used, remaining, on_match);
+            used.pop();
+        }
+        for v in newly_bound {
+            binding[v] = None;
+        }
+    }
+
+    remaining.push(ai);
+    let last = remaining.len() - 1;
+    remaining.swap(pos, last);
+}
+
+fn term_value(t: &Term, binding: &[Option<Value>]) -> Option<Value> {
+    match t {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => binding[v.index()].clone(),
+    }
+}
+
+fn predicate_status(p: &Predicate, binding: &[Option<Value>]) -> Option<bool> {
+    let l = term_value(&p.lhs, binding)?;
+    let r = term_value(&p.rhs, binding)?;
+    Some(p.op.apply(&l, &r))
+}
+
+fn predicates_hold(cq: &ConjunctiveQuery, binding: &[Option<Value>]) -> bool {
+    cq.predicates.iter().all(|p| predicate_status(p, binding).unwrap_or(false))
+}
+
+fn predicates_hold_partial(cq: &ConjunctiveQuery, binding: &[Option<Value>]) -> bool {
+    cq.predicates.iter().all(|p| predicate_status(p, binding).unwrap_or(true))
+}
+
+/// Convenience used by tests and examples: variables that occur in the head.
+pub fn head_variables(cq: &ConjunctiveQuery) -> Vec<Variable> {
+    cq.head_vars()
+}
+
+/// Convenience: resolve an atom's relation (for diagnostics).
+pub fn atom_relation<'a>(db: &'a Database, atom: &Atom) -> Option<&'a shapdb_data::Relation> {
+    db.relation(&atom.relation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{flights_query, CmpOp, CqBuilder};
+    use shapdb_data::flights_example;
+
+    #[test]
+    fn flights_lineage_matches_figure_1d() {
+        let (db, a) = flights_example();
+        let q = flights_query();
+        let res = evaluate(&q, &db);
+        assert_eq!(res.len(), 1, "Boolean query: single (empty) output tuple");
+        let out = &res.outputs[0];
+        assert!(out.tuple.is_empty());
+        // Figure 1d: 6 derivations.
+        assert_eq!(out.lineage.len(), 6);
+        // Endogenous lineage (Example 4.2): a1 ∨ (a2∧a4) ∨ (a2∧a5) ∨ (a3∧a4) ∨ (a3∧a5) ∨ (a6∧a7).
+        let elin = out.endo_lineage(&db);
+        let expect: Vec<Vec<VarId>> = vec![
+            vec![VarId(a[0].0)],
+            vec![VarId(a[1].0), VarId(a[3].0)],
+            vec![VarId(a[1].0), VarId(a[4].0)],
+            vec![VarId(a[2].0), VarId(a[3].0)],
+            vec![VarId(a[2].0), VarId(a[4].0)],
+            vec![VarId(a[5].0), VarId(a[6].0)],
+        ];
+        let mut got: Vec<Vec<VarId>> = elin.conjuncts().to_vec();
+        got.sort();
+        let mut want = expect;
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn non_boolean_projection_groups_derivations() {
+        // q(c) :- Airports(x, c), Flights(x, y): destination countries per source.
+        let (db, _) = flights_example();
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let c = b.var("c");
+        b.atom("Airports", [x.into(), c.into()]);
+        b.atom("Flights", [x.into(), y.into()]);
+        let q = b.head([c.into()]).build();
+        let res = evaluate_cq(&q, &db);
+        // Source countries: USA (JFK,EWR,BOS,LAX), EN (LHR x3), GR (MUC).
+        assert_eq!(res.len(), 3);
+        let usa = res.get(&[Value::str("USA")]).unwrap();
+        assert_eq!(usa.lineage.len(), 4);
+        let en = res.get(&[Value::str("EN")]).unwrap();
+        assert_eq!(en.lineage.len(), 3);
+    }
+
+    #[test]
+    fn predicates_filter_rows() {
+        let mut db = Database::new();
+        db.create_relation("R", &["a", "b"]);
+        for i in 0..10 {
+            db.insert_endo("R", vec![Value::int(i), Value::int(i * i)]);
+        }
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x.into(), y.into()]);
+        b.filter(x.into(), CmpOp::Ge, Term::int(3));
+        b.filter(y.into(), CmpOp::Lt, Term::int(50));
+        let q = b.head([x.into()]).build();
+        let res = evaluate_cq(&q, &db);
+        // x in {3,...,7} since 7^2=49 < 50 but 8^2=64 >= 50.
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn self_join_uses_one_variable_per_fact() {
+        // q() :- R(x,y), R(y,z): paths of length 2, incl. through the same fact.
+        let mut db = Database::new();
+        db.create_relation("R", &["a", "b"]);
+        let f0 = db.insert_endo("R", vec![Value::int(1), Value::int(1)]); // self-loop
+        let f1 = db.insert_endo("R", vec![Value::int(1), Value::int(2)]);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom("R", [x.into(), y.into()]);
+        b.atom("R", [y.into(), z.into()]);
+        let q = b.build();
+        let res = evaluate_cq(&q, &db);
+        let out = &res.outputs[0];
+        // Derivations: (f0,f0) → {f0}; (f0,f1) → {f0,f1}. After minimize:
+        // {f0} absorbs {f0,f1}.
+        let conjs = out.lineage.conjuncts();
+        assert_eq!(conjs.len(), 1);
+        assert_eq!(conjs[0], vec![VarId(f0.0)]);
+        let _ = f1;
+    }
+
+    #[test]
+    fn empty_result_for_unsatisfied_query() {
+        let (db, _) = flights_example();
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        b.atom("Airports", [x.into(), "MARS".into()]);
+        let q = b.build();
+        let res = evaluate_cq(&q, &db);
+        assert!(res.is_empty());
+        assert!(!res.boolean_answer());
+    }
+
+    #[test]
+    fn unknown_relation_yields_empty() {
+        let (db, _) = flights_example();
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        b.atom("NoSuchTable", [x.into()]);
+        let q = b.build();
+        assert!(evaluate_cq(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn constant_only_atom() {
+        let (db, _) = flights_example();
+        let mut b = CqBuilder::new();
+        b.atom("Airports", ["JFK".into(), "USA".into()]);
+        let q = b.build();
+        let res = evaluate_cq(&q, &db);
+        assert!(res.boolean_answer());
+        assert_eq!(res.outputs[0].lineage.len(), 1);
+        assert_eq!(res.outputs[0].lineage.conjuncts()[0].len(), 1);
+    }
+
+    #[test]
+    fn certain_tuple_has_tautological_endo_lineage() {
+        // All facts exogenous: the endo lineage must be ⊤ (one empty conjunct).
+        let mut db = Database::new();
+        db.create_relation("R", &["a"]);
+        db.insert_exo("R", vec![Value::int(1)]);
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        b.atom("R", [x.into()]);
+        let q = b.build();
+        let res = evaluate_cq(&q, &db);
+        let elin = res.outputs[0].endo_lineage(&db);
+        assert_eq!(elin.len(), 1);
+        assert!(elin.conjuncts()[0].is_empty());
+        assert!(elin.eval_set(&shapdb_num::Bitset::new(1)));
+    }
+
+    use shapdb_data::Database;
+}

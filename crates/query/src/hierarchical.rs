@@ -1,0 +1,130 @@
+//! The hierarchical property of self-join-free conjunctive queries.
+//!
+//! For a self-join-free Boolean CQ `q`, let `atoms(x)` be the set of atoms
+//! containing the existential variable `x`. `q` is *hierarchical* iff for
+//! every pair of variables, `atoms(x)` and `atoms(y)` are nested or disjoint.
+//! Livshits et al. showed (and §3 of the paper recalls) that this is exactly
+//! the tractability frontier for both `PQE(q)` and `Shapley(q)` on that
+//! class. Head variables are treated as constants (the check applies to the
+//! Boolean query `q[x̄/t̄]`).
+
+use crate::ast::{ConjunctiveQuery, Term, Variable};
+
+/// True iff no relation name repeats among the atoms.
+pub fn is_self_join_free(q: &ConjunctiveQuery) -> bool {
+    let mut names: Vec<&str> = q.atoms.iter().map(|a| a.relation.as_str()).collect();
+    names.sort_unstable();
+    names.windows(2).all(|w| w[0] != w[1])
+}
+
+/// True iff the query is hierarchical (over its existential variables).
+///
+/// Returns `true` for queries without existential variables (vacuously
+/// hierarchical). The test is purely syntactic and ignores predicates, as in
+/// the literature.
+pub fn is_hierarchical(q: &ConjunctiveQuery) -> bool {
+    let head = q.head_vars();
+    let existential: Vec<Variable> = (0..q.num_vars() as u32)
+        .map(Variable)
+        .filter(|v| !head.contains(v))
+        .collect();
+    let atoms_of = |v: Variable| -> u64 {
+        let mut mask = 0u64;
+        for (i, a) in q.atoms.iter().enumerate() {
+            if a.terms.iter().any(|t| matches!(t, Term::Var(w) if *w == v)) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    };
+    let masks: Vec<u64> = existential.iter().map(|&v| atoms_of(v)).collect();
+    for (i, &a) in masks.iter().enumerate() {
+        for &b in &masks[i + 1..] {
+            let inter = a & b;
+            if inter != 0 && inter != a && inter != b {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{flights_query, CqBuilder};
+
+    #[test]
+    fn hierarchical_single_atom() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        b.atom("R", [x.into()]);
+        let q = b.build();
+        assert!(is_self_join_free(&q));
+        assert!(is_hierarchical(&q));
+    }
+
+    #[test]
+    fn canonical_non_hierarchical() {
+        // The textbook hard query: R(x), S(x, y), T(y).
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x.into()]);
+        b.atom("S", [x.into(), y.into()]);
+        b.atom("T", [y.into()]);
+        let q = b.build();
+        assert!(is_self_join_free(&q));
+        assert!(!is_hierarchical(&q));
+    }
+
+    #[test]
+    fn nested_variables_are_hierarchical() {
+        // R(x), S(x, y): atoms(y) ⊂ atoms(x).
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x.into()]);
+        b.atom("S", [x.into(), y.into()]);
+        let q = b.build();
+        assert!(is_hierarchical(&q));
+    }
+
+    #[test]
+    fn disjoint_variables_are_hierarchical() {
+        // R(x), T(y): atoms disjoint.
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x.into()]);
+        b.atom("T", [y.into()]);
+        let q = b.build();
+        assert!(is_hierarchical(&q));
+    }
+
+    #[test]
+    fn head_vars_do_not_break_hierarchy() {
+        // q(x) :- R(x), S(x,y), T(y): with x in the head only y is
+        // existential, so the query is hierarchical.
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x.into()]);
+        b.atom("S", [x.into(), y.into()]);
+        b.atom("T", [y.into()]);
+        let q = b.head([x.into()]).build();
+        assert!(is_hierarchical(&q));
+    }
+
+    #[test]
+    fn flights_q2_has_self_join() {
+        let q = flights_query();
+        // Both disjuncts repeat a relation (Airports twice in q1; Flights
+        // twice in q2), so neither is self-join free.
+        assert!(!is_self_join_free(&q.disjuncts()[0]));
+        assert!(!is_self_join_free(&q.disjuncts()[1]));
+        // The hierarchical notion applies to sjf queries; q2's mask test
+        // still reports the overlap structure.
+        assert!(!is_hierarchical(&q.disjuncts()[1]));
+    }
+}

@@ -1,0 +1,36 @@
+//! # shapdb-query — SPJU queries with Boolean provenance
+//!
+//! The paper's pipeline obtains, for every output tuple `t̄` of a query
+//! `q(x̄)`, the Boolean lineage `Lin(q[x̄/t̄], D)` — a Boolean function over
+//! the facts of `D` that maps each sub-database to the query's answer
+//! (Imielinski–Lipski provenance, §4). ProvSQL plays that role in the paper;
+//! this crate plays it here:
+//!
+//! * [`ast`] — unions of conjunctive queries (≡ SPJU / relational algebra
+//!   `σπ⋈∪`, as recalled in §2) with comparison predicates, built through
+//!   [`CqBuilder`] or parsed from a Datalog-style text syntax ([`parse_ucq`]);
+//! * [`eval`] — a backtracking join evaluator over lazily-built hash indexes
+//!   that enumerates derivations and returns, per output tuple, the monotone
+//!   DNF lineage over fact ids (self-joins supported);
+//! * [`hierarchical`] — the syntactic *hierarchical* test for self-join-free
+//!   CQs, the tractability frontier of both PQE and Shapley computation for
+//!   that class (§3);
+//! * [`negation`] — CQs with safe negated atoms (the paper's §7 extension):
+//!   evaluation producing *signed* lineages over fact literals;
+//! * [`algebra`] — the equivalent relational-algebra (SPJU) interface:
+//!   operator-at-a-time evaluation with per-operator provenance, the way
+//!   ProvSQL instruments PostgreSQL's plans.
+
+pub mod algebra;
+pub mod ast;
+pub mod eval;
+pub mod hierarchical;
+pub mod negation;
+pub mod parser;
+
+pub use algebra::{evaluate_algebra, AlgebraError, Operand, RaExpr, RaPredicate};
+pub use ast::{Atom, CmpOp, ConjunctiveQuery, CqBuilder, Predicate, Term, Ucq, Variable};
+pub use eval::{evaluate, evaluate_cq, OutputTuple, QueryResult};
+pub use hierarchical::{is_hierarchical, is_self_join_free};
+pub use negation::{evaluate_negated, NegatedQuery, SignedOutputTuple};
+pub use parser::{parse_ucq, ParseError};

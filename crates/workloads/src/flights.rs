@@ -1,0 +1,26 @@
+//! The running example (Figure 1) as a packaged workload.
+
+use crate::WorkloadQuery;
+use shapdb_data::{flights_example, Database, FactId};
+use shapdb_query::ast::flights_query;
+
+/// The flights database, the `a1..a8` fact ids, and the UCQ `q = q1 ∨ q2`.
+pub fn flights_workload() -> (Database, Vec<FactId>, WorkloadQuery) {
+    let (db, a_ids) = flights_example();
+    (db, a_ids, WorkloadQuery::new("flights", flights_query()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapdb_query::evaluate;
+
+    #[test]
+    fn workload_is_runnable() {
+        let (db, a_ids, q) = flights_workload();
+        assert_eq!(a_ids.len(), 8);
+        let res = evaluate(&q.ucq, &db);
+        assert!(res.boolean_answer());
+        assert_eq!(res.outputs[0].lineage.len(), 6);
+    }
+}

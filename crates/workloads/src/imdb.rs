@@ -1,0 +1,661 @@
+//! IMDB/JOB-lite: schema, Zipf-skewed seeded generator, and nine queries.
+//!
+//! The paper's IMDB workload uses the Join Order Benchmark join queries with
+//! an added final projection over a join attribute, which makes provenance
+//! wide (up to hundreds of facts per output tuple). The real IMDB dump is
+//! proprietary, so this module generates a synthetic instance over the JOB
+//! schema subset our queries touch, with **Zipf-skewed** foreign keys: a few
+//! popular companies/keywords/people accumulate many movies, reproducing the
+//! paper's lineage-size spectrum (1–400 facts) and its hard cases (queries
+//! projecting on low-cardinality attributes such as gender or country).
+//!
+//! Fact tables (`title`, `movie_companies`, `movie_info`, `movie_info_idx`,
+//! `movie_keyword`, `cast_info`) are endogenous; dictionary tables are
+//! exogenous.
+
+use crate::WorkloadQuery;
+use rand::prelude::*;
+use shapdb_data::{Database, Value};
+use shapdb_query::{CmpOp, CqBuilder, Term, Ucq};
+
+/// Generator knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ImdbConfig {
+    pub movies: usize,
+    pub companies: usize,
+    pub people: usize,
+    pub keywords: usize,
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig { movies: 1500, companies: 120, people: 800, keywords: 100, seed: 0x1DB }
+    }
+}
+
+const COUNTRIES: [&str; 8] =
+    ["[us]", "[de]", "[fr]", "[gb]", "[it]", "[jp]", "[in]", "[ca]"];
+const KINDS: [&str; 4] = ["movie", "tv movie", "video movie", "episode"];
+const GENRES: [&str; 6] = ["Drama", "Comedy", "Action", "Horror", "Thriller", "Romance"];
+const ROLES: [&str; 4] = ["actor", "actress", "director", "producer"];
+const INFO_TYPES: [&str; 5] = ["top 250 rank", "bottom 10 rank", "rating", "genres", "budget"];
+const KEYWORD_NAMES: [&str; 10] = [
+    "love", "murder", "money", "friendship", "revenge", "war", "family", "betrayal",
+    "justice", "dream",
+];
+
+/// Zipf(1) sampler over `0..n` via inverse-CDF on precomputed cumulative
+/// weights — popular ids are low ids.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / (i + 1) as f64;
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty Zipf domain");
+        let x = rng.random_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Generates the IMDB-lite database.
+///
+/// Schema (endogenous marked *):
+/// ```text
+/// kind_type(id, kind)                           title*(id, kind_id, year)
+/// company_name(id, country)                     movie_companies*(movie, company, ctype)
+/// company_type(id, kind)                        movie_info*(movie, itype, info)
+/// info_type(id, info)                           movie_info_idx*(movie, itype, val)
+/// keyword(id, kw)                               movie_keyword*(movie, keyword)
+/// name(id, gender)      role_type(id, role)     cast_info*(person, movie, role)
+/// ```
+pub fn imdb_database(cfg: &ImdbConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new();
+    db.create_relation("kind_type", &["id", "kind"]);
+    db.create_relation("title", &["id", "kind_id", "year"]);
+    db.create_relation("company_name", &["id", "country"]);
+    db.create_relation("company_type", &["id", "kind"]);
+    db.create_relation("movie_companies", &["movie_id", "company_id", "company_type_id"]);
+    db.create_relation("info_type", &["id", "info"]);
+    db.create_relation("movie_info", &["movie_id", "info_type_id", "info"]);
+    db.create_relation("movie_info_idx", &["movie_id", "info_type_id", "val"]);
+    db.create_relation("keyword", &["id", "kw"]);
+    db.create_relation("movie_keyword", &["movie_id", "keyword_id"]);
+    db.create_relation("name", &["id", "gender"]);
+    db.create_relation("role_type", &["id", "role"]);
+    db.create_relation("cast_info", &["person_id", "movie_id", "role_id"]);
+
+    for (i, k) in KINDS.iter().enumerate() {
+        db.insert_exo("kind_type", vec![Value::int(i as i64), Value::str(k)]);
+    }
+    for (i, it) in INFO_TYPES.iter().enumerate() {
+        db.insert_exo("info_type", vec![Value::int(i as i64), Value::str(it)]);
+    }
+    db.insert_exo("company_type", vec![Value::int(0), Value::str("production companies")]);
+    db.insert_exo("company_type", vec![Value::int(1), Value::str("distributors")]);
+    for (i, r) in ROLES.iter().enumerate() {
+        db.insert_exo("role_type", vec![Value::int(i as i64), Value::str(r)]);
+    }
+    let country_zipf = Zipf::new(COUNTRIES.len());
+    for i in 0..cfg.companies {
+        let c = COUNTRIES[country_zipf.sample(&mut rng)];
+        db.insert_exo("company_name", vec![Value::int(i as i64), Value::str(c)]);
+    }
+    for i in 0..cfg.keywords {
+        // First ten keywords get real names (query constants target those),
+        // the rest synthetic.
+        let kw = match KEYWORD_NAMES.get(i) {
+            Some(name) => name.to_string(),
+            None => format!("kw{i}"),
+        };
+        db.insert_exo("keyword", vec![Value::int(i as i64), Value::Str(kw.as_str().into())]);
+    }
+    for i in 0..cfg.people {
+        let g = if rng.random_bool(0.55) { "m" } else { "f" };
+        db.insert_exo("name", vec![Value::int(i as i64), Value::str(g)]);
+    }
+
+    let company_pick = Zipf::new(cfg.companies);
+    let keyword_pick = Zipf::new(cfg.keywords);
+    let people_pick = Zipf::new(cfg.people);
+    for m in 0..cfg.movies {
+        let year = rng.random_range(1950..=2020);
+        db.insert_endo(
+            "title",
+            vec![
+                Value::int(m as i64),
+                Value::int(rng.random_range(0..KINDS.len()) as i64),
+                Value::int(year),
+            ],
+        );
+        // 1–2 production/distribution links.
+        for _ in 0..rng.random_range(1..=2usize) {
+            db.insert_endo(
+                "movie_companies",
+                vec![
+                    Value::int(m as i64),
+                    Value::int(company_pick.sample(&mut rng) as i64),
+                    Value::int(rng.random_range(0..2)),
+                ],
+            );
+        }
+        // A genre row and (sometimes) a budget row.
+        db.insert_endo(
+            "movie_info",
+            vec![
+                Value::int(m as i64),
+                Value::int(3), // 'genres'
+                Value::str(GENRES[rng.random_range(0..GENRES.len())]),
+            ],
+        );
+        if rng.random_bool(0.5) {
+            db.insert_endo(
+                "movie_info",
+                vec![
+                    Value::int(m as i64),
+                    Value::int(4), // 'budget'
+                    Value::str(GENRES[rng.random_range(0..GENRES.len())]), // opaque payload
+                ],
+            );
+        }
+        // Ratings for most movies; top-250 rank for a small subset.
+        if rng.random_bool(0.8) {
+            db.insert_endo(
+                "movie_info_idx",
+                vec![Value::int(m as i64), Value::int(2), Value::int(rng.random_range(1..=10))],
+            );
+        }
+        if rng.random_bool(0.12) {
+            db.insert_endo(
+                "movie_info_idx",
+                vec![Value::int(m as i64), Value::int(0), Value::int(rng.random_range(1..=250))],
+            );
+        }
+        // Keywords (skewed) and cast.
+        for _ in 0..rng.random_range(0..=3usize) {
+            db.insert_endo(
+                "movie_keyword",
+                vec![Value::int(m as i64), Value::int(keyword_pick.sample(&mut rng) as i64)],
+            );
+        }
+        for _ in 0..rng.random_range(1..=4usize) {
+            db.insert_endo(
+                "cast_info",
+                vec![
+                    Value::int(people_pick.sample(&mut rng) as i64),
+                    Value::int(m as i64),
+                    Value::int(rng.random_range(0..ROLES.len()) as i64),
+                ],
+            );
+        }
+    }
+    db
+}
+
+/// The fifteen JOB-flavored queries (Table 1 analogs plus six more shapes:
+/// 2a, 3b, 4a, 5c, 9d and the self-join 10a).
+pub fn imdb_queries() -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery::new("1a", q1a()),
+        WorkloadQuery::new("2a", q2a()),
+        WorkloadQuery::new("3b", q3b()),
+        WorkloadQuery::new("4a", q4a()),
+        WorkloadQuery::new("5c", q5c()),
+        WorkloadQuery::new("6b", q6b()),
+        WorkloadQuery::new("7c", q7c()),
+        WorkloadQuery::new("8d", q8d()),
+        WorkloadQuery::new("9d", q9d()),
+        WorkloadQuery::new("10a", q10a()),
+        WorkloadQuery::new("11a", q11a()),
+        WorkloadQuery::new("11d", q11d()),
+        WorkloadQuery::new("13c", q13c()),
+        WorkloadQuery::new("15d", q15d()),
+        WorkloadQuery::new("16a", q16a()),
+    ]
+}
+
+/// 2a (4 joins): German-produced "war" movies, per movie — narrow lineages.
+fn q2a() -> Ucq {
+    let mut b = CqBuilder::new();
+    let t = b.var("t");
+    let kw = b.var("kw");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    let k = b.var("k");
+    let y = b.var("y");
+    b.atom("movie_keyword", [t.into(), kw.into()]);
+    b.atom("keyword", [kw.into(), "war".into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_name", [c.into(), "[de]".into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.head([t.into()]).build().into()
+}
+
+/// 3b (3 joins): recent horror movies tagged "murder", per movie.
+fn q3b() -> Ucq {
+    let mut b = CqBuilder::new();
+    let t = b.var("t");
+    let it = b.var("it");
+    let kw = b.var("kw");
+    let k = b.var("k");
+    let y = b.var("y");
+    b.atom("movie_info", [t.into(), it.into(), "Horror".into()]);
+    b.atom("info_type", [it.into(), "genres".into()]);
+    b.atom("movie_keyword", [t.into(), kw.into()]);
+    b.atom("keyword", [kw.into(), "murder".into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.filter(y.into(), CmpOp::Gt, Term::int(2005));
+    b.head([t.into()]).build().into()
+}
+
+/// 4a (4 joins): ratings of "revenge" movies, per rating value — the final
+/// projection groups many movies per value, widening the lineages.
+fn q4a() -> Ucq {
+    let mut b = CqBuilder::new();
+    let t = b.var("t");
+    let it = b.var("it");
+    let v = b.var("v");
+    let kw = b.var("kw");
+    let k = b.var("k");
+    let y = b.var("y");
+    b.atom("movie_info_idx", [t.into(), it.into(), v.into()]);
+    b.atom("info_type", [it.into(), "rating".into()]);
+    b.atom("movie_keyword", [t.into(), kw.into()]);
+    b.atom("keyword", [kw.into(), "revenge".into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.filter(v.into(), CmpOp::Gt, Term::int(5));
+    b.head([v.into()]).build().into()
+}
+
+/// 5c (4 joins): genres distributed by US companies since 1975, per genre —
+/// only six possible outputs, so lineages are very wide (hard cases).
+fn q5c() -> Ucq {
+    let mut b = CqBuilder::new();
+    let t = b.var("t");
+    let it = b.var("it");
+    let inf = b.var("inf");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    let k = b.var("k");
+    let y = b.var("y");
+    b.atom("movie_info", [t.into(), it.into(), inf.into()]);
+    b.atom("info_type", [it.into(), "genres".into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_type", [ct.into(), "distributors".into()]);
+    b.atom("company_name", [c.into(), "[us]".into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.filter(y.into(), CmpOp::Gt, Term::int(1975));
+    b.head([inf.into()]).build().into()
+}
+
+/// 9d (5 joins): actresses of US-company movies, per person.
+fn q9d() -> Ucq {
+    let mut b = CqBuilder::new();
+    let p = b.var("p");
+    let t = b.var("t");
+    let r = b.var("r");
+    let g = b.var("g");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    let k = b.var("k");
+    let y = b.var("y");
+    b.atom("cast_info", [p.into(), t.into(), r.into()]);
+    b.atom("role_type", [r.into(), "actress".into()]);
+    b.atom("name", [p.into(), g.into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_name", [c.into(), "[us]".into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.head([p.into()]).build().into()
+}
+
+/// 10a (5 joins, `cast_info` self-join): actors appearing in recent movies
+/// alongside a director credit, per actor — the workload's self-join case.
+fn q10a() -> Ucq {
+    let mut b = CqBuilder::new();
+    let p1 = b.var("p1");
+    let p2 = b.var("p2");
+    let t = b.var("t");
+    let r1 = b.var("r1");
+    let r2 = b.var("r2");
+    let k = b.var("k");
+    let y = b.var("y");
+    b.atom("cast_info", [p1.into(), t.into(), r1.into()]);
+    b.atom("role_type", [r1.into(), "director".into()]);
+    b.atom("cast_info", [p2.into(), t.into(), r2.into()]);
+    b.atom("role_type", [r2.into(), "actor".into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.filter(y.into(), CmpOp::Gt, Term::int(2010));
+    b.head([p2.into()]).build().into()
+}
+
+/// 1a (5 joins): production companies of recent top-250 movies, per company.
+fn q1a() -> Ucq {
+    let mut b = CqBuilder::new();
+    let ct = b.var("ct");
+    let it = b.var("it");
+    let t = b.var("t");
+    let c = b.var("c");
+    let v = b.var("v");
+    let k = b.var("k");
+    let y = b.var("y");
+    b.atom("company_type", [ct.into(), "production companies".into()]);
+    b.atom("info_type", [it.into(), "top 250 rank".into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("movie_info_idx", [t.into(), it.into(), v.into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.filter(y.into(), CmpOp::Gt, Term::int(1990));
+    b.head([c.into()]).build().into()
+}
+
+/// 6b (5 joins): people cast in "love"-keyword movies, per person.
+fn q6b() -> Ucq {
+    let mut b = CqBuilder::new();
+    let kw = b.var("kw");
+    let t = b.var("t");
+    let p = b.var("p");
+    let r = b.var("r");
+    let g = b.var("g");
+    let k = b.var("k");
+    let y = b.var("y");
+    b.atom("keyword", [kw.into(), "love".into()]);
+    b.atom("movie_keyword", [t.into(), kw.into()]);
+    b.atom("cast_info", [p.into(), t.into(), r.into()]);
+    b.atom("name", [p.into(), g.into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.filter(y.into(), CmpOp::Gt, Term::int(1980));
+    b.head([p.into()]).build().into()
+}
+
+/// 7c (8 joins): gender of actors in US "money" movies — projects onto two
+/// groups, producing the paper's wide, hard-to-compile lineages.
+fn q7c() -> Ucq {
+    let mut b = CqBuilder::new();
+    let p = b.var("p");
+    let g = b.var("g");
+    let t = b.var("t");
+    let r = b.var("r");
+    let kw = b.var("kw");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    let k = b.var("k");
+    let y = b.var("y");
+    b.atom("name", [p.into(), g.into()]);
+    b.atom("cast_info", [p.into(), t.into(), r.into()]);
+    b.atom("role_type", [r.into(), "actor".into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.atom("movie_keyword", [t.into(), kw.into()]);
+    b.atom("keyword", [kw.into(), "money".into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_name", [c.into(), "[us]".into()]);
+    b.filter(y.into(), CmpOp::Gt, Term::int(1970));
+    b.head([g.into()]).build().into()
+}
+
+/// 8d (7 joins): production companies of drama movies with casts, per company.
+fn q8d() -> Ucq {
+    let mut b = CqBuilder::new();
+    let t = b.var("t");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    let k = b.var("k");
+    let y = b.var("y");
+    let it = b.var("it");
+    let p = b.var("p");
+    let r = b.var("r");
+    let g = b.var("g");
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_type", [ct.into(), "production companies".into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.atom("movie_info", [t.into(), it.into(), "Drama".into()]);
+    b.atom("info_type", [it.into(), "genres".into()]);
+    b.atom("cast_info", [p.into(), t.into(), r.into()]);
+    b.atom("name", [p.into(), g.into()]);
+    b.head([c.into()]).build().into()
+}
+
+/// 11a (8 joins): keywords of recent German productions, per keyword.
+fn q11a() -> Ucq {
+    let mut b = CqBuilder::new();
+    let kw = b.var("kw");
+    let kwn = b.var("kwn");
+    let t = b.var("t");
+    let k = b.var("k");
+    let y = b.var("y");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    let it = b.var("it");
+    let inf = b.var("inf");
+    b.atom("keyword", [kw.into(), kwn.into()]);
+    b.atom("movie_keyword", [t.into(), kw.into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_name", [c.into(), "[de]".into()]);
+    b.atom("company_type", [ct.into(), "production companies".into()]);
+    b.atom("movie_info", [t.into(), it.into(), inf.into()]);
+    b.atom("info_type", [it.into(), "genres".into()]);
+    b.filter(y.into(), CmpOp::Gt, Term::int(1995));
+    b.head([kwn.into()]).build().into()
+}
+
+/// 11d (8 joins): like 11a, US distributors, no year filter — wider output.
+fn q11d() -> Ucq {
+    let mut b = CqBuilder::new();
+    let kw = b.var("kw");
+    let kwn = b.var("kwn");
+    let t = b.var("t");
+    let k = b.var("k");
+    let y = b.var("y");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    let it = b.var("it");
+    let inf = b.var("inf");
+    b.atom("keyword", [kw.into(), kwn.into()]);
+    b.atom("movie_keyword", [t.into(), kw.into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_name", [c.into(), "[us]".into()]);
+    b.atom("company_type", [ct.into(), "distributors".into()]);
+    b.atom("movie_info", [t.into(), it.into(), inf.into()]);
+    b.atom("info_type", [it.into(), "genres".into()]);
+    b.head([kwn.into()]).build().into()
+}
+
+/// 13c (9 joins, incl. an info_type self-join): well-rated drama movies of
+/// production companies, per movie — narrow lineages.
+fn q13c() -> Ucq {
+    let mut b = CqBuilder::new();
+    let t = b.var("t");
+    let k = b.var("k");
+    let y = b.var("y");
+    let it1 = b.var("it1");
+    let it2 = b.var("it2");
+    let v = b.var("v");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    let cc = b.var("cc");
+    b.atom("kind_type", [k.into(), "movie".into()]);
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.atom("movie_info", [t.into(), it1.into(), "Drama".into()]);
+    b.atom("info_type", [it1.into(), "genres".into()]);
+    b.atom("movie_info_idx", [t.into(), it2.into(), v.into()]);
+    b.atom("info_type", [it2.into(), "rating".into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_type", [ct.into(), "production companies".into()]);
+    b.atom("company_name", [c.into(), cc.into()]);
+    b.filter(v.into(), CmpOp::Ge, Term::int(6));
+    b.head([t.into()]).build().into()
+}
+
+/// 15d (9 joins): release years of US movies with keywords and casts, per
+/// year — mid-width lineages.
+fn q15d() -> Ucq {
+    let mut b = CqBuilder::new();
+    let t = b.var("t");
+    let k = b.var("k");
+    let y = b.var("y");
+    let kw = b.var("kw");
+    let kwn = b.var("kwn");
+    let p = b.var("p");
+    let r = b.var("r");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.atom("kind_type", [k.into(), "movie".into()]);
+    b.atom("movie_keyword", [t.into(), kw.into()]);
+    b.atom("keyword", [kw.into(), kwn.into()]);
+    b.atom("cast_info", [p.into(), t.into(), r.into()]);
+    b.atom("role_type", [r.into(), "actor".into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_name", [c.into(), "[us]".into()]);
+    b.atom("company_type", [ct.into(), "production companies".into()]);
+    b.filter(y.into(), CmpOp::Ge, Term::int(2000));
+    b.head([y.into()]).build().into()
+}
+
+/// 16a (8 joins): countries of companies distributing keyword-tagged movies,
+/// per country.
+fn q16a() -> Ucq {
+    let mut b = CqBuilder::new();
+    let t = b.var("t");
+    let k = b.var("k");
+    let y = b.var("y");
+    let kw = b.var("kw");
+    let c = b.var("c");
+    let ct = b.var("ct");
+    let cc = b.var("cc");
+    let p = b.var("p");
+    let r = b.var("r");
+    b.atom("title", [t.into(), k.into(), y.into()]);
+    b.atom("movie_keyword", [t.into(), kw.into()]);
+    b.atom("keyword", [kw.into(), "friendship".into()]);
+    b.atom("movie_companies", [t.into(), c.into(), ct.into()]);
+    b.atom("company_name", [c.into(), cc.into()]);
+    b.atom("company_type", [ct.into(), "distributors".into()]);
+    b.atom("cast_info", [p.into(), t.into(), r.into()]);
+    b.atom("role_type", [r.into(), "actress".into()]);
+    b.head([cc.into()]).build().into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapdb_query::evaluate;
+
+    #[test]
+    fn generator_deterministic_and_skewed() {
+        let cfg = ImdbConfig { movies: 300, ..Default::default() };
+        let a = imdb_database(&cfg);
+        let b = imdb_database(&cfg);
+        assert_eq!(a.num_facts(), b.num_facts());
+        // Zipf skew: company 0 links to strictly more movies than company 30.
+        let mc = a.relation("movie_companies").unwrap();
+        let count = |cid: i64| {
+            mc.facts().iter().filter(|f| f.values[1] == Value::int(cid)).count()
+        };
+        assert!(count(0) > count(30));
+    }
+
+    #[test]
+    fn endo_exo_partition() {
+        let db = imdb_database(&ImdbConfig { movies: 100, ..Default::default() });
+        for rel in ["title", "movie_companies", "movie_info", "cast_info"] {
+            assert!(
+                db.relation(rel).unwrap().facts().iter().all(|f| f.endogenous),
+                "{rel} should be endogenous"
+            );
+        }
+        for rel in ["keyword", "name", "company_name", "info_type"] {
+            assert!(
+                db.relation(rel).unwrap().facts().iter().all(|f| !f.endogenous),
+                "{rel} should be exogenous"
+            );
+        }
+    }
+
+    #[test]
+    fn all_queries_run() {
+        let db = imdb_database(&ImdbConfig { movies: 400, ..Default::default() });
+        let mut nonempty = 0;
+        for q in imdb_queries() {
+            let res = evaluate(&q.ucq, &db);
+            if !res.is_empty() {
+                nonempty += 1;
+            }
+            for out in res.outputs.iter().take(5) {
+                assert!(!out.lineage.is_empty(), "{}", q.name);
+            }
+        }
+        // At this scale the vast majority of queries must produce output.
+        assert!(nonempty >= 12, "only {nonempty}/15 queries returned tuples");
+    }
+
+    #[test]
+    fn lineage_width_spectrum() {
+        // The paper buckets provenance sizes 1-10 / 11-100 / 101-200 / 201-400;
+        // our synthetic instance must cover both narrow and wide lineages.
+        let db = imdb_database(&ImdbConfig { movies: 800, ..Default::default() });
+        let mut widths: Vec<usize> = Vec::new();
+        for q in imdb_queries() {
+            let res = evaluate(&q.ucq, &db);
+            for out in &res.outputs {
+                widths.push(out.endo_lineage(&db).vars().len());
+            }
+        }
+        let narrow = widths.iter().filter(|&&w| w <= 10).count();
+        let wide = widths.iter().filter(|&&w| w > 100).count();
+        assert!(narrow > 0, "no narrow lineages");
+        assert!(wide > 0, "no wide lineages (max {:?})", widths.iter().max());
+    }
+
+    #[test]
+    fn join_counts_match_table_1_shape() {
+        let qs = imdb_queries();
+        let by_name = |n: &str| {
+            qs.iter().find(|q| q.name == n).unwrap().ucq.num_joined_tables()
+        };
+        assert_eq!(by_name("1a"), 5);
+        assert_eq!(by_name("2a"), 5);
+        assert_eq!(by_name("3b"), 5);
+        assert_eq!(by_name("4a"), 5);
+        assert_eq!(by_name("5c"), 6);
+        assert_eq!(by_name("6b"), 5);
+        assert_eq!(by_name("7c"), 8);
+        assert_eq!(by_name("8d"), 7);
+        assert_eq!(by_name("9d"), 6);
+        assert_eq!(by_name("10a"), 5);
+        assert_eq!(by_name("11a"), 8);
+        assert_eq!(by_name("11d"), 8);
+        assert_eq!(by_name("13c"), 9);
+        assert_eq!(by_name("15d"), 9);
+        assert_eq!(by_name("16a"), 8);
+    }
+
+    #[test]
+    fn q10a_exercises_a_self_join() {
+        use shapdb_query::is_self_join_free;
+        let q10a = imdb_queries().into_iter().find(|q| q.name == "10a").unwrap();
+        assert!(!is_self_join_free(&q10a.ucq.disjuncts()[0]));
+        // 13c self-joins `info_type`; the remaining thirteen are
+        // self-join free.
+        for q in imdb_queries() {
+            match q.name.as_str() {
+                "10a" | "13c" => {
+                    assert!(!is_self_join_free(&q.ucq.disjuncts()[0]), "{}", q.name)
+                }
+                _ => assert!(is_self_join_free(&q.ucq.disjuncts()[0]), "{}", q.name),
+            }
+        }
+    }
+}

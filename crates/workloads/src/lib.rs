@@ -1,0 +1,49 @@
+//! # shapdb-workloads — the paper's benchmark workloads, synthesized
+//!
+//! §6 of the paper evaluates on TPC-H (1.4 GB) and IMDB (1.2 GB) with 40
+//! queries adapted from the TPC-H specification and the Join Order Benchmark
+//! (JOB): nested queries and aggregates removed (TPC-H), and a final
+//! projection added over a join attribute (IMDB) to make provenance
+//! non-trivial. Neither raw dataset ships with this repository — TPC-H's
+//! dbgen is external tooling and IMDB's dataset is proprietary — so this
+//! crate provides *seeded synthetic generators* with the same schemas,
+//! foreign-key structure, and skew:
+//!
+//! * [`tpch`] — the eight TPC-H-derived queries of Table 1 (Q3, Q5, Q7, Q10,
+//!   Q11, Q16, Q18, Q19) over a scaled TPC-H schema; transaction tables
+//!   (`lineitem`, `orders`, `partsupp`) are endogenous, dimensions exogenous;
+//! * [`imdb`] — nine JOB-flavored queries (1a, 6b, 7c, 8d, 11a, 11d, 13c,
+//!   15d, 16a analogs) over a JOB-style movie schema with Zipf-skewed
+//!   foreign keys, so output lineages span the paper's 1–400 facts range;
+//! * [`flights`] — the running example (Figure 1) packaged as a workload.
+//!
+//! The generators are deterministic per seed, so every experiment in the
+//! bench harness is reproducible. The substitution (real data → synthetic)
+//! preserves what the experiments actually measure: lineage width/shape
+//! drives knowledge-compilation difficulty, and both are controlled here by
+//! the same knobs (fan-out, skew, selectivity).
+
+pub mod flights;
+pub mod imdb;
+pub mod tpch;
+
+pub use flights::flights_workload;
+pub use imdb::{imdb_database, imdb_queries, ImdbConfig};
+pub use tpch::{tpch_database, tpch_queries, TpchConfig};
+
+use shapdb_query::Ucq;
+
+/// A named benchmark query.
+#[derive(Clone, Debug)]
+pub struct WorkloadQuery {
+    /// Paper-style identifier (e.g. `"Q3"` or `"8d"`).
+    pub name: String,
+    /// The query.
+    pub ucq: Ucq,
+}
+
+impl WorkloadQuery {
+    pub(crate) fn new(name: &str, ucq: Ucq) -> WorkloadQuery {
+        WorkloadQuery { name: name.to_string(), ucq }
+    }
+}

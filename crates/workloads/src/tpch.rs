@@ -1,0 +1,466 @@
+//! TPC-H-lite: schema, seeded generator, and the eight Table 1 queries.
+//!
+//! The schema keeps the columns the queries touch (the full TPC-H row
+//! payloads would only inflate memory without affecting provenance). Row
+//! counts scale linearly with [`TpchConfig::scale`], mirroring dbgen's
+//! proportions (at scale 1.0: 10 suppliers, 150 customers, 200 parts, 800
+//! partsupps, 1 500 orders, 6 000 lineitems — i.e. dbgen's SF 0.001).
+//!
+//! Queries follow the paper's adaptation of the TPC-H suite: aggregation
+//! and nesting removed, selections and joins kept, and a projection that
+//! groups many derivations per output tuple. `lineitem`, `orders` and
+//! `partsupp` facts are endogenous; dimension tables are exogenous.
+
+use crate::WorkloadQuery;
+use rand::prelude::*;
+use shapdb_data::{Database, Value};
+use shapdb_query::{CmpOp, CqBuilder, Term, Ucq};
+
+/// Generator knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TpchConfig {
+    /// Linear row-count multiplier (1.0 ≈ dbgen SF 0.001).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { scale: 1.0, seed: 0x7C9 }
+    }
+}
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const NATIONS: [&str; 10] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "FRANCE", "GERMANY", "INDIA",
+    "JAPAN", "KENYA",
+];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+const SHIP_MODES: [&str; 4] = ["AIR", "RAIL", "SHIP", "TRUCK"];
+const CONTAINERS: [&str; 4] = ["SM CASE", "MED BOX", "LG BOX", "JUMBO PKG"];
+const TYPES: [&str; 5] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY"];
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(2)
+}
+
+/// Generates the TPC-H-lite database.
+///
+/// Schema:
+/// ```text
+/// region(key, name)                                  exogenous
+/// nation(key, name, regionkey)                       exogenous
+/// supplier(key, nationkey)                           exogenous
+/// customer(key, nationkey, mktsegment)               exogenous
+/// part(key, brand, type, size, container)            exogenous
+/// partsupp(partkey, suppkey, availqty)               endogenous
+/// orders(key, custkey, orderdate)                    endogenous
+/// lineitem(orderkey, partkey, suppkey, linenumber,
+///          quantity, shipdate, returnflag, shipmode) endogenous
+/// ```
+pub fn tpch_database(cfg: &TpchConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new();
+    db.create_relation("region", &["key", "name"]);
+    db.create_relation("nation", &["key", "name", "regionkey"]);
+    db.create_relation("supplier", &["key", "nationkey"]);
+    db.create_relation("customer", &["key", "nationkey", "mktsegment"]);
+    db.create_relation("part", &["key", "brand", "type", "size", "container"]);
+    db.create_relation("partsupp", &["partkey", "suppkey", "availqty"]);
+    db.create_relation("orders", &["key", "custkey", "orderdate"]);
+    db.create_relation(
+        "lineitem",
+        &["orderkey", "partkey", "suppkey", "linenumber", "quantity", "shipdate",
+          "returnflag", "shipmode"],
+    );
+
+    for (i, r) in REGIONS.iter().enumerate() {
+        db.insert_exo("region", vec![Value::int(i as i64), Value::str(r)]);
+    }
+    let n_nations = NATIONS.len();
+    for (i, n) in NATIONS.iter().enumerate() {
+        db.insert_exo(
+            "nation",
+            vec![Value::int(i as i64), Value::str(n), Value::int((i % REGIONS.len()) as i64)],
+        );
+    }
+    let n_supplier = scaled(10, cfg.scale);
+    for i in 0..n_supplier {
+        db.insert_exo(
+            "supplier",
+            vec![Value::int(i as i64), Value::int(rng.random_range(0..n_nations) as i64)],
+        );
+    }
+    let n_customer = scaled(150, cfg.scale);
+    for i in 0..n_customer {
+        db.insert_exo(
+            "customer",
+            vec![
+                Value::int(i as i64),
+                Value::int(rng.random_range(0..n_nations) as i64),
+                Value::str(SEGMENTS[rng.random_range(0..SEGMENTS.len())]),
+            ],
+        );
+    }
+    let n_part = scaled(200, cfg.scale);
+    for i in 0..n_part {
+        db.insert_exo(
+            "part",
+            vec![
+                Value::int(i as i64),
+                Value::int(rng.random_range(1..=25)), // brand id
+                Value::str(TYPES[rng.random_range(0..TYPES.len())]),
+                Value::int(rng.random_range(1..=50)),
+                Value::str(CONTAINERS[rng.random_range(0..CONTAINERS.len())]),
+            ],
+        );
+    }
+    let n_partsupp = scaled(800, cfg.scale);
+    for _ in 0..n_partsupp {
+        db.insert_endo(
+            "partsupp",
+            vec![
+                Value::int(rng.random_range(0..n_part) as i64),
+                Value::int(rng.random_range(0..n_supplier) as i64),
+                Value::int(rng.random_range(1..10_000)),
+            ],
+        );
+    }
+    let n_orders = scaled(1500, cfg.scale);
+    for i in 0..n_orders {
+        db.insert_endo(
+            "orders",
+            vec![
+                Value::int(i as i64),
+                Value::int(rng.random_range(0..n_customer) as i64),
+                Value::int(rng.random_range(0..2557)), // day number over ~7y
+            ],
+        );
+    }
+    let n_lineitem = scaled(6000, cfg.scale);
+    for i in 0..n_lineitem {
+        db.insert_endo(
+            "lineitem",
+            vec![
+                Value::int(rng.random_range(0..n_orders) as i64),
+                Value::int(rng.random_range(0..n_part) as i64),
+                Value::int(rng.random_range(0..n_supplier) as i64),
+                Value::int((i % 7) as i64),
+                Value::int(rng.random_range(1..=50)),
+                Value::int(rng.random_range(0..2557)),
+                Value::str(RETURN_FLAGS[rng.random_range(0..RETURN_FLAGS.len())]),
+                Value::str(SHIP_MODES[rng.random_range(0..SHIP_MODES.len())]),
+            ],
+        );
+    }
+    db
+}
+
+/// The eight Table 1 queries (paper-style SPJ adaptations).
+pub fn tpch_queries() -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery::new("Q3", q3()),
+        WorkloadQuery::new("Q5", q5()),
+        WorkloadQuery::new("Q7", q7()),
+        WorkloadQuery::new("Q10", q10()),
+        WorkloadQuery::new("Q11", q11()),
+        WorkloadQuery::new("Q16", q16()),
+        WorkloadQuery::new("Q18", q18()),
+        WorkloadQuery::new("Q19", q19()),
+    ]
+}
+
+/// Q3 (shipping priority, de-aggregated): orders of BUILDING customers with
+/// late-shipped lineitems, per order.
+fn q3() -> Ucq {
+    let mut b = CqBuilder::new();
+    let ck = b.var("ck");
+    let ok = b.var("ok");
+    let odate = b.var("odate");
+    let pk = b.var("pk");
+    let sk = b.var("sk");
+    let ln = b.var("ln");
+    let qty = b.var("qty");
+    let sdate = b.var("sdate");
+    let rf = b.var("rf");
+    let sm = b.var("sm");
+    let cn = b_var(&mut b, "cn");
+    b.atom("customer", [ck.into(), cn, "BUILDING".into()]);
+    b.atom("orders", [ok.into(), ck.into(), odate.into()]);
+    b.atom(
+        "lineitem",
+        [ok.into(), pk.into(), sk.into(), ln.into(), qty.into(), sdate.into(), rf.into(),
+         sm.into()],
+    );
+    b.filter(odate.into(), CmpOp::Lt, Term::int(1200));
+    b.filter(sdate.into(), CmpOp::Gt, Term::int(1200));
+    b.head([ok.into()]).build().into()
+}
+
+// Small helper: declare a throwaway variable inline.
+fn b_var(b: &mut CqBuilder, name: &str) -> Term {
+    Term::Var(b.var(name))
+}
+
+/// Q5 (local supplier volume): customers, orders, lineitems and suppliers of
+/// the same ASIA nation, per nation.
+fn q5() -> Ucq {
+    let mut b = CqBuilder::new();
+    let nk = b.var("nk");
+    let nname = b.var("nname");
+    let rk = b.var("rk");
+    let ck = b.var("ck");
+    let ok = b.var("ok");
+    let odate = b.var("odate");
+    let pk = b.var("pk");
+    let sk = b.var("sk");
+    let seg = b_var(&mut b, "seg");
+    let ln = b_var(&mut b, "ln");
+    let qty = b_var(&mut b, "qty");
+    let sdate = b_var(&mut b, "sdate");
+    let rf = b_var(&mut b, "rf");
+    let sm = b_var(&mut b, "sm");
+    b.atom("region", [rk.into(), "ASIA".into()]);
+    b.atom("nation", [nk.into(), nname.into(), rk.into()]);
+    b.atom("customer", [ck.into(), nk.into(), seg]);
+    b.atom("orders", [ok.into(), ck.into(), odate.into()]);
+    b.atom(
+        "lineitem",
+        [ok.into(), pk.into(), sk.into(), ln, qty, sdate, rf, sm],
+    );
+    b.atom("supplier", [sk.into(), nk.into()]);
+    b.filter(odate.into(), CmpOp::Ge, Term::int(400));
+    b.filter(odate.into(), CmpOp::Lt, Term::int(1900));
+    b.head([nname.into()]).build().into()
+}
+
+/// Q7 (volume shipping): FRANCE customers buying via GERMANY suppliers
+/// (self-join on `nation`), per supplier nation name.
+fn q7() -> Ucq {
+    let mut b = CqBuilder::new();
+    let sk = b.var("sk");
+    let snk = b.var("snk");
+    let ok = b.var("ok");
+    let ck = b.var("ck");
+    let cnk = b.var("cnk");
+    let sdate = b.var("sdate");
+    let pk = b_var(&mut b, "pk");
+    let ln = b_var(&mut b, "ln");
+    let qty = b_var(&mut b, "qty");
+    let rf = b_var(&mut b, "rf");
+    let sm = b_var(&mut b, "sm");
+    let odate = b_var(&mut b, "odate");
+    let seg = b_var(&mut b, "seg");
+    let r1 = b_var(&mut b, "r1");
+    let r2 = b_var(&mut b, "r2");
+    b.atom("supplier", [sk.into(), snk.into()]);
+    b.atom(
+        "lineitem",
+        [ok.into(), pk, sk.into(), ln, qty, sdate.into(), rf, sm],
+    );
+    b.atom("orders", [ok.into(), ck.into(), odate]);
+    b.atom("customer", [ck.into(), cnk.into(), seg]);
+    b.atom("nation", [snk.into(), "GERMANY".into(), r1]);
+    b.atom("nation", [cnk.into(), "FRANCE".into(), r2]);
+    b.filter(sdate.into(), CmpOp::Ge, Term::int(700));
+    b.filter(sdate.into(), CmpOp::Le, Term::int(1400));
+    b.head([ok.into()]).build().into()
+}
+
+/// Q10 (returned items): customers with returned lineitems, per customer.
+fn q10() -> Ucq {
+    let mut b = CqBuilder::new();
+    let ck = b.var("ck");
+    let cnk = b.var("cnk");
+    let ok = b.var("ok");
+    let odate = b.var("odate");
+    let seg = b_var(&mut b, "seg");
+    let pk = b_var(&mut b, "pk");
+    let sk = b_var(&mut b, "sk");
+    let ln = b_var(&mut b, "ln");
+    let qty = b_var(&mut b, "qty");
+    let sdate = b_var(&mut b, "sdate");
+    let sm = b_var(&mut b, "sm");
+    let nn = b_var(&mut b, "nn");
+    let rk = b_var(&mut b, "rk");
+    b.atom("customer", [ck.into(), cnk.into(), seg]);
+    b.atom("orders", [ok.into(), ck.into(), odate.into()]);
+    b.atom(
+        "lineitem",
+        [ok.into(), pk, sk, ln, qty, sdate, "R".into(), sm],
+    );
+    b.atom("nation", [cnk.into(), nn, rk]);
+    b.filter(odate.into(), CmpOp::Ge, Term::int(800));
+    b.filter(odate.into(), CmpOp::Lt, Term::int(1100));
+    b.head([ck.into()]).build().into()
+}
+
+/// Q11 (important stock): GERMANY partsupps, per part.
+fn q11() -> Ucq {
+    let mut b = CqBuilder::new();
+    let pk = b.var("pk");
+    let sk = b.var("sk");
+    let nk = b.var("nk");
+    let qty = b.var("aq");
+    let rk = b_var(&mut b, "rk");
+    b.atom("partsupp", [pk.into(), sk.into(), qty.into()]);
+    b.atom("supplier", [sk.into(), nk.into()]);
+    b.atom("nation", [nk.into(), "GERMANY".into(), rk]);
+    b.filter(qty.into(), CmpOp::Gt, Term::int(100));
+    b.head([pk.into()]).build().into()
+}
+
+/// Q16 (supplier part relationship): mid-size STANDARD parts, per brand.
+fn q16() -> Ucq {
+    let mut b = CqBuilder::new();
+    let pk = b.var("pk");
+    let sk = b.var("sk");
+    let brand = b.var("brand");
+    let size = b.var("size");
+    let aq = b_var(&mut b, "aq");
+    let cont = b_var(&mut b, "cont");
+    let nk = b_var(&mut b, "nk");
+    b.atom("partsupp", [pk.into(), sk.into(), aq]);
+    b.atom("part", [pk.into(), brand.into(), "STANDARD".into(), size.into(), cont]);
+    b.atom("supplier", [sk.into(), nk]);
+    b.filter(size.into(), CmpOp::Ge, Term::int(10));
+    b.filter(size.into(), CmpOp::Le, Term::int(30));
+    b.head([brand.into()]).build().into()
+}
+
+/// Q18 (large volume customers): big-quantity lineitems, per order.
+fn q18() -> Ucq {
+    let mut b = CqBuilder::new();
+    let ck = b.var("ck");
+    let ok = b.var("ok");
+    let qty = b.var("qty");
+    let cnk = b_var(&mut b, "cnk");
+    let seg = b_var(&mut b, "seg");
+    let odate = b_var(&mut b, "odate");
+    let pk = b_var(&mut b, "pk");
+    let sk = b_var(&mut b, "sk");
+    let ln = b_var(&mut b, "ln");
+    let sdate = b_var(&mut b, "sdate");
+    let rf = b_var(&mut b, "rf");
+    let sm = b_var(&mut b, "sm");
+    b.atom("customer", [ck.into(), cnk, seg]);
+    b.atom("orders", [ok.into(), ck.into(), odate]);
+    b.atom(
+        "lineitem",
+        [ok.into(), pk, sk, ln, qty.into(), sdate, rf, sm],
+    );
+    b.filter(qty.into(), CmpOp::Ge, Term::int(45));
+    b.head([ok.into()]).build().into()
+}
+
+/// Q19 (discounted revenue): three disjunctive brand/container/quantity
+/// groups — a genuine UCQ, per brand.
+fn q19() -> Ucq {
+    let make = |brand_lo: i64, brand_hi: i64, container: &str, qty_lo: i64| {
+        let mut b = CqBuilder::new();
+        let pk = b.var("pk");
+        let brand = b.var("brand");
+        let qty = b.var("qty");
+        let size = b.var("size");
+        let typ = b_var(&mut b, "typ");
+        let ok = b_var(&mut b, "ok");
+        let sk = b_var(&mut b, "sk");
+        let ln = b_var(&mut b, "ln");
+        let sdate = b_var(&mut b, "sdate");
+        let rf = b_var(&mut b, "rf");
+        b.atom("part", [pk.into(), brand.into(), typ, size.into(), container.into()]);
+        b.atom(
+            "lineitem",
+            [ok, pk.into(), sk, ln, qty.into(), sdate, rf, "AIR".into()],
+        );
+        b.filter(brand.into(), CmpOp::Ge, Term::int(brand_lo));
+        b.filter(brand.into(), CmpOp::Le, Term::int(brand_hi));
+        b.filter(qty.into(), CmpOp::Ge, Term::int(qty_lo));
+        b.filter(qty.into(), CmpOp::Le, Term::int(qty_lo + 10));
+        b.filter(size.into(), CmpOp::Le, Term::int(15));
+        b.head([brand.into()]).build()
+    };
+    Ucq::new(vec![
+        make(1, 8, "SM CASE", 1),
+        make(9, 16, "MED BOX", 10),
+        make(17, 25, "LG BOX", 20),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapdb_query::evaluate;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = tpch_database(&TpchConfig::default());
+        let b = tpch_database(&TpchConfig::default());
+        assert_eq!(a.num_facts(), b.num_facts());
+        assert_eq!(
+            a.fact(shapdb_data::FactId(100)).values,
+            b.fact(shapdb_data::FactId(100)).values
+        );
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = tpch_database(&TpchConfig { scale: 0.5, ..Default::default() });
+        let big = tpch_database(&TpchConfig { scale: 2.0, ..Default::default() });
+        assert!(big.num_facts() > 2 * small.num_facts() / 2);
+        assert!(big.relation("lineitem").unwrap().len() > small.relation("lineitem").unwrap().len());
+    }
+
+    #[test]
+    fn endo_exo_partition() {
+        let db = tpch_database(&TpchConfig::default());
+        let endo = db.num_endogenous();
+        let lineitem = db.relation("lineitem").unwrap().len();
+        let orders = db.relation("orders").unwrap().len();
+        let partsupp = db.relation("partsupp").unwrap().len();
+        assert_eq!(endo, lineitem + orders + partsupp);
+        assert!(db.relation("customer").unwrap().facts().iter().all(|f| !f.endogenous));
+    }
+
+    #[test]
+    fn all_queries_run_and_produce_lineage() {
+        let db = tpch_database(&TpchConfig { scale: 0.25, seed: 11 });
+        for q in tpch_queries() {
+            let res = evaluate(&q.ucq, &db);
+            // Every query must at least type-check against the schema; most
+            // produce outputs at this scale.
+            for out in &res.outputs {
+                assert!(!out.lineage.is_empty(), "{}: empty lineage", q.name);
+                let elin = out.endo_lineage(&db);
+                assert!(!elin.is_empty(), "{}: no endogenous lineage", q.name);
+            }
+        }
+    }
+
+    #[test]
+    fn q19_is_a_real_union() {
+        let q = q19();
+        assert_eq!(q.disjuncts().len(), 3);
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn table_1_shape_metadata() {
+        // #joined tables matches the paper's Table 1 counts loosely (our
+        // de-aggregated variants): Q3 joins 3 relations, Q5 joins 6, etc.
+        let qs = tpch_queries();
+        let by_name = |n: &str| {
+            qs.iter().find(|q| q.name == n).unwrap().ucq.num_joined_tables()
+        };
+        assert_eq!(by_name("Q3"), 3);
+        assert_eq!(by_name("Q5"), 6);
+        assert_eq!(by_name("Q7"), 6);
+        assert_eq!(by_name("Q10"), 4);
+        assert_eq!(by_name("Q11"), 3);
+        assert_eq!(by_name("Q16"), 3);
+        assert_eq!(by_name("Q18"), 3);
+        assert_eq!(by_name("Q19"), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Method shoot-out on one lineage: exact vs CNF Proxy vs Monte Carlo vs
+//! Kernel SHAP (the §6.2 comparison in miniature).
+//!
+//! Prints each method's values side by side with nDCG / Precision@k against
+//! the exact ground truth, on a synthetic lineage wide enough that the
+//! differences are visible.
+//!
+//! ```sh
+//! cargo run --release --example method_comparison
+//! ```
+
+use shapdb::circuit::{Circuit, Dnf, VarId};
+use shapdb::core::exact::{shapley_all_facts, ExactConfig};
+use shapdb::core::kernelshap::{kernel_shap, KernelShapConfig};
+use shapdb::core::montecarlo::{monte_carlo_shapley, MonteCarloConfig};
+use shapdb::core::proxy::proxy_from_lineage;
+use shapdb::kc::{compile_circuit, Budget};
+use shapdb::metrics::{ndcg, precision_at_k, ranking_of};
+use shapdb::num::Bitset;
+
+fn main() {
+    // A lineage mixing a strong singleton, mid-tier pairs, and weak triples:
+    // f0 ∨ (f1∧f2) ∨ (f1∧f3) ∨ (f4∧f5) ∨ (f6∧f7∧f8) ∨ (f6∧f9∧f10).
+    let mut d = Dnf::new();
+    d.add_conjunct(vec![VarId(0)]);
+    for pair in [[1u32, 2], [1, 3], [4, 5]] {
+        d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+    }
+    for triple in [[6u32, 7, 8], [6, 9, 10]] {
+        d.add_conjunct(triple.iter().map(|&v| VarId(v)).collect());
+    }
+    let n = 11;
+
+    // Exact ground truth via the full pipeline.
+    let mut c = Circuit::new();
+    let root = d.to_circuit(&mut c);
+    let comp = compile_circuit(&c, root, &Budget::unlimited()).unwrap();
+    let exact_r = shapley_all_facts(&comp.ddnnf, n, &ExactConfig::default()).unwrap();
+    // compile_circuit's variables are sorted fact ids == our dense ids here.
+    let exact: Vec<f64> = exact_r.iter().map(|r| r.to_f64()).collect();
+
+    let f = |s: &Bitset| d.eval_set(s);
+    let mc = monte_carlo_shapley(&f, n, &MonteCarloConfig { permutations: 50, seed: 1 });
+    let ks = kernel_shap(&f, n, &KernelShapConfig { samples: 50 * n, seed: 1, ..Default::default() });
+    let mut proxy = vec![0.0; n];
+    let mut c2 = Circuit::new();
+    let root2 = d.to_circuit(&mut c2);
+    for (v, s) in proxy_from_lineage(&c2, root2) {
+        proxy[v.0 as usize] = s;
+    }
+
+    println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "fact", "exact", "MC(50n)", "KS(50n)", "proxy");
+    for i in 0..n {
+        println!(
+            "{:>5} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            format!("f{i}"),
+            exact[i],
+            mc[i],
+            ks[i],
+            proxy[i]
+        );
+    }
+    for (name, est) in [("Monte Carlo", &mc), ("Kernel SHAP", &ks), ("CNF Proxy", &proxy)] {
+        println!(
+            "{name:<12} nDCG = {:.4}   P@5 = {:.2}",
+            ndcg(&ranking_of(est), &exact),
+            precision_at_k(est, &exact, 5)
+        );
+    }
+    println!(
+        "\nNote: this lineage deliberately contains a singleton disjunct (f0), the\n\
+         CNF Proxy blind spot of the paper's Example 5.4 — the proxy under-ranks\n\
+         the single most influential fact while ranking the rest correctly."
+    );
+}

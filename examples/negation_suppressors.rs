@@ -1,0 +1,75 @@
+//! Negation: finding the facts that *suppress* an answer.
+//!
+//! The paper's §7 lists negation as the next construct to support. This
+//! example runs a safe-difference query over a compliance scenario —
+//! "vendors with an active contract and **no** outstanding violation" — and
+//! shows that Shapley values over the resulting *signed* lineage attribute
+//! negative responsibility to the violation facts that block vendors from
+//! qualifying.
+//!
+//! ```sh
+//! cargo run --example negation_suppressors
+//! ```
+
+use shapdb::data::{Database, Value};
+use shapdb::query::{Atom, CqBuilder, NegatedQuery, Term};
+use shapdb::ShapleyAnalyzer;
+
+fn main() {
+    let mut db = Database::new();
+    db.create_relation("Contract", &["vendor"]);
+    db.create_relation("Violation", &["vendor"]);
+    for vendor in ["acme", "bolt", "cryo"] {
+        db.insert_endo("Contract", vec![Value::str(vendor)]);
+    }
+    // Only acme has an outstanding violation.
+    db.insert_endo("Violation", vec![Value::str("acme")]);
+
+    // q() :- Contract(v), ¬Violation(v): "is any vendor compliant?"
+    let mut b = CqBuilder::new();
+    let v = b.var("v");
+    b.atom("Contract", [v.into()]);
+    let positive = b.build();
+    let q = NegatedQuery::new(
+        positive,
+        vec![Atom { relation: "Violation".into(), terms: vec![Term::Var(v)] }],
+    );
+    println!("Query: {q}");
+    println!();
+
+    let analyzer = ShapleyAnalyzer::new(&db);
+    let explanations = analyzer.explain_negated(&q).expect("tiny instance");
+    let e = &explanations[0];
+
+    println!("Fact contributions to `some vendor is compliant`:");
+    for (fact, value) in &e.attributions {
+        let marker = if value.is_negative() { "  (suppressor)" } else { "" };
+        println!(
+            "  {:<22} {:>8} (≈{:+.4}){}",
+            db.display_fact(*fact),
+            value.to_string(),
+            value.to_f64(),
+            marker
+        );
+    }
+
+    // The violation fact hurts the answer: negative Shapley value.
+    let violation_value = e
+        .attributions
+        .iter()
+        .find(|(f, _)| db.display_fact(*f).starts_with("Violation"))
+        .map(|(_, v)| v.clone())
+        .expect("violation is attributed");
+    assert!(violation_value.is_negative());
+
+    // Clean vendors' contracts carry more weight than acme's blocked one.
+    let value_of = |needle: &str| {
+        e.attributions
+            .iter()
+            .find(|(f, _)| db.display_fact(*f).contains(needle))
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    assert!(value_of("bolt") > value_of("acme"));
+    println!("\nViolation(acme) has negative responsibility: it suppresses acme's compliance.");
+}

@@ -1,0 +1,54 @@
+//! The Shapley ↔ probabilistic-databases bridge (§3, Proposition 3.1).
+//!
+//! Demonstrates, on the running example, that Shapley values can be computed
+//! through a PQE oracle alone: `2(n+1)` probability evaluations at crafted
+//! tuple probabilities `z/(1+z)`, an exact Vandermonde solve recovering the
+//! `#Slices` coalition counts, and Equation (2). The result matches
+//! Algorithm 1 digit for digit — the paper's theory, executed.
+//!
+//! ```sh
+//! cargo run --example probabilistic_bridge
+//! ```
+
+use shapdb::data::flights_example;
+use shapdb::prob::{pqe_bruteforce, shapley_via_pqe, slices_via_pqe, Tid};
+use shapdb::query::ast::flights_query;
+use shapdb::ShapleyAnalyzer;
+
+fn main() {
+    let (db, a_ids) = flights_example();
+    let q = flights_query();
+
+    // The PQE oracle: exact probability that q holds on a TID database.
+    let oracle = |tid: &Tid| pqe_bruteforce(&q, &db, tid);
+
+    // #Slices(q, D_x, D_n, k): how many size-k coalitions satisfy q.
+    let slices = slices_via_pqe(&oracle, &db, &[]);
+    println!("#Slices(q, Dx, Dn, k) for k = 0..8:");
+    for (k, s) in slices.iter().enumerate() {
+        println!("  k={k}: {s}");
+    }
+
+    // Shapley via the reduction vs Algorithm 1.
+    println!("\nShapley values — PQE reduction vs Algorithm 1:");
+    let analyzer = ShapleyAnalyzer::new(&db);
+    let exact = &analyzer.explain(&q).unwrap()[0];
+    for (i, &fact) in a_ids.iter().enumerate() {
+        let via_pqe = shapley_via_pqe(&oracle, &db, fact);
+        let via_alg1 = exact
+            .attributions
+            .iter()
+            .find(|(f, _)| *f == fact)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(shapdb::num::Rational::zero);
+        assert_eq!(via_pqe, via_alg1, "a{} disagrees", i + 1);
+        println!(
+            "  a{} = {:<22} {:>8}  (≈ {:.4})",
+            i + 1,
+            db.display_fact(fact),
+            via_pqe.to_string(),
+            via_pqe.to_f64()
+        );
+    }
+    println!("\nProposition 3.1 verified: both roads give identical exact values.");
+}

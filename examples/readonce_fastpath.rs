@@ -1,0 +1,61 @@
+//! The read-once fast path on a lineage the compiler cannot touch.
+//!
+//! The complete-bipartite lineage `⋁_{i,j} (xᵢ ∧ yⱼ)` (the running example's
+//! `q2` pattern, scaled up) factors as `(⋁ xᵢ) ∧ (⋁ yⱼ)` — a read-once
+//! formula. Knowledge compilation of its Tseytin CNF blows up exponentially
+//! in the width, while the factorization-based evaluator answers in
+//! microseconds. This example factors a 32×32 grid (1024 derivations) and
+//! computes all 64 exact Shapley values without ever building a CNF.
+//!
+//! ```sh
+//! cargo run --example readonce_fastpath
+//! ```
+
+use shapdb::circuit::{factor, Dnf, VarId};
+use shapdb::core::readonce::shapley_read_once;
+use shapdb::num::Rational;
+use std::time::Instant;
+
+fn main() {
+    let side = 32u32;
+    let mut lineage = Dnf::new();
+    for i in 0..side {
+        for j in 0..side {
+            lineage.add_conjunct(vec![VarId(i), VarId(side + j)]);
+        }
+    }
+    println!(
+        "Lineage: {} derivations over {} facts (complete bipartite {side}×{side})",
+        lineage.len(),
+        2 * side
+    );
+
+    let t0 = Instant::now();
+    let tree = factor(&lineage).expect("grids are read-once");
+    let factor_time = t0.elapsed();
+    println!("Factored in {factor_time:?}: {} tree nodes", tree.len());
+
+    let t1 = Instant::now();
+    let values = shapley_read_once(&tree, 2 * side as usize, None).expect("no deadline");
+    let eval_time = t1.elapsed();
+    println!("All {} Shapley values in {eval_time:?}", values.len());
+
+    // Symmetry: every fact plays the same role, so all values are equal,
+    // and by efficiency they sum to 1 (the grand coalition satisfies the
+    // query, the empty one does not).
+    let first = values[0].1.clone();
+    let mut total = Rational::zero();
+    for (_, v) in &values {
+        assert_eq!(*v, first);
+        total += v;
+    }
+    assert_eq!(total, Rational::one());
+    println!(
+        "Each of the {} facts gets exactly {} (≈{:.6})",
+        values.len(),
+        first,
+        first.to_f64()
+    );
+    println!("The Tseytin+compile pipeline on this lineage is intractable; the");
+    println!("fast path is exact and effectively free.");
+}

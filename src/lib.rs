@@ -1,0 +1,300 @@
+//! # shapdb — Shapley values of database facts in query answering
+//!
+//! A from-scratch Rust implementation of Deutch, Frost, Kimelfeld & Monet,
+//! *Computing the Shapley Value of Facts in Query Answering* (SIGMOD 2022),
+//! including every substrate the paper's pipeline uses: an in-memory
+//! relational engine with Boolean provenance (the ProvSQL role), a Tseytin
+//! transform and CNF→d-DNNF knowledge compiler (the c2d role), the exact
+//! Shapley algorithm over d-DNNFs (Algorithm 1), the CNF Proxy heuristic
+//! (Algorithm 2), Monte Carlo and Kernel SHAP baselines, the hybrid engine
+//! (§6.3), probabilistic query evaluation and the `Shapley ≤p PQE` reduction
+//! (Proposition 3.1), and TPC-H / IMDB-style workload generators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use shapdb::{ShapleyAnalyzer, data::flights_example, query::ast::flights_query};
+//!
+//! // The paper's running example (Figure 1): flights and airports.
+//! let (db, _a_ids) = flights_example();
+//! let q = flights_query();
+//!
+//! let analyzer = ShapleyAnalyzer::new(&db);
+//! let explanations = analyzer.explain(&q).unwrap();
+//!
+//! // Boolean query: one output tuple; its top contributor is the direct
+//! // JFK→CDG flight with Shapley value 43/105 (Example 2.1).
+//! let top = &explanations[0].attributions[0];
+//! assert_eq!(db.display_fact(top.0), "Flights(JFK, CDG)");
+//! assert_eq!(top.1.to_string(), "43/105");
+//! ```
+//!
+//! The sub-crates are re-exported under short names: [`num`], [`data`],
+//! [`query`], [`circuit`], [`kc`], [`prob`], [`core`], [`metrics`],
+//! [`workloads`].
+
+pub use shapdb_circuit as circuit;
+pub use shapdb_core as core;
+pub use shapdb_data as data;
+pub use shapdb_kc as kc;
+pub use shapdb_metrics as metrics;
+pub use shapdb_num as num;
+pub use shapdb_prob as prob;
+pub use shapdb_query as query;
+pub use shapdb_workloads as workloads;
+
+use shapdb_circuit::Circuit;
+use shapdb_core::aggregate::{count_shapley, sum_shapley};
+use shapdb_core::exact::ExactConfig;
+use shapdb_core::hybrid::{hybrid_shapley_dnf, HybridConfig, HybridOutcome};
+use shapdb_core::pipeline::{analyze_lineage, analyze_lineage_auto, AnalysisError};
+use shapdb_data::{Database, FactId, Value};
+use shapdb_kc::Budget;
+use shapdb_num::Rational;
+use shapdb_query::{evaluate, evaluate_negated, NegatedQuery, Ucq};
+
+/// Exact Shapley explanation of one output tuple.
+#[derive(Clone, Debug)]
+pub struct TupleExplanation {
+    /// The output tuple (empty for Boolean queries).
+    pub tuple: Vec<Value>,
+    /// `(fact, exact Shapley value)` sorted by decreasing value; facts not in
+    /// the tuple's lineage are null players (value 0) and are omitted.
+    pub attributions: Vec<(FactId, Rational)>,
+}
+
+impl TupleExplanation {
+    /// The `k` most influential facts.
+    pub fn top_k(&self, k: usize) -> &[(FactId, Rational)] {
+        &self.attributions[..k.min(self.attributions.len())]
+    }
+}
+
+/// One output tuple's causal-responsibility attribution: the tuple's values
+/// and each fact's `ρ = 1/(1 + min contingency)`.
+pub type TupleResponsibilities = (Vec<Value>, Vec<(FactId, Rational)>);
+
+/// Hybrid (§6.3) explanation of one output tuple: exact values when the
+/// pipeline finished within the timeout, a CNF-Proxy ranking otherwise.
+#[derive(Clone, Debug)]
+pub struct TupleRanking {
+    pub tuple: Vec<Value>,
+    pub outcome: HybridOutcome,
+}
+
+/// One-stop API over a database: evaluate a query and attribute each answer
+/// to the endogenous facts by Shapley value.
+pub struct ShapleyAnalyzer<'a> {
+    db: &'a Database,
+    budget: Budget,
+    exact: ExactConfig,
+}
+
+impl<'a> ShapleyAnalyzer<'a> {
+    /// An analyzer with unlimited budgets.
+    pub fn new(db: &'a Database) -> ShapleyAnalyzer<'a> {
+        ShapleyAnalyzer { db, budget: Budget::unlimited(), exact: ExactConfig::default() }
+    }
+
+    /// Sets the knowledge-compilation budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets Algorithm 1 options.
+    pub fn with_exact_config(mut self, exact: ExactConfig) -> Self {
+        self.exact = exact;
+        self
+    }
+
+    /// Exact Shapley values for every output tuple of `q`. Lineages that
+    /// factor take the read-once fast path; the rest run Figure 3's full
+    /// pipeline. Fails on the first tuple whose compilation exceeds the
+    /// budget — use [`ShapleyAnalyzer::rank`] for the timeout-tolerant
+    /// variant.
+    pub fn explain(&self, q: &Ucq) -> Result<Vec<TupleExplanation>, AnalysisError> {
+        let n_endo = self.db.num_endogenous();
+        let res = evaluate(q, self.db);
+        let mut out = Vec::with_capacity(res.len());
+        for tuple in res.outputs {
+            let elin = tuple.endo_lineage(self.db);
+            let analysis = analyze_lineage_auto(&elin, n_endo, &self.budget, &self.exact)?;
+            out.push(TupleExplanation {
+                tuple: tuple.tuple,
+                attributions: analysis
+                    .attributions
+                    .into_iter()
+                    .map(|a| (FactId(a.fact.0), a.shapley))
+                    .collect(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Exact Shapley values for every output tuple of a query with safe
+    /// negated atoms (§7's negation extension). Signed lineages never take
+    /// the read-once fast path; they go through knowledge compilation, which
+    /// handles negation natively. Values can be negative: a fact whose
+    /// presence suppresses the answer carries negative responsibility.
+    pub fn explain_negated(
+        &self,
+        q: &NegatedQuery,
+    ) -> Result<Vec<TupleExplanation>, AnalysisError> {
+        let n_endo = self.db.num_endogenous();
+        let mut out = Vec::new();
+        for tuple in evaluate_negated(q, self.db) {
+            let elin = tuple.endo_lineage(self.db);
+            let mut circuit = Circuit::new();
+            let root = elin.to_circuit(&mut circuit);
+            let analysis =
+                analyze_lineage(&circuit, root, n_endo, &self.budget, &self.exact)?;
+            out.push(TupleExplanation {
+                tuple: tuple.tuple,
+                attributions: analysis
+                    .attributions
+                    .into_iter()
+                    .map(|a| (FactId(a.fact.0), a.shapley))
+                    .collect(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Hybrid explanation (§6.3): exact under the timeout, CNF-Proxy ranking
+    /// otherwise. Never fails. With [`HybridConfig::try_read_once`] the
+    /// factorization fast path runs first, making even zero-timeout calls
+    /// exact on read-once lineages.
+    pub fn rank(&self, q: &Ucq, cfg: &HybridConfig) -> Vec<TupleRanking> {
+        let n_endo = self.db.num_endogenous();
+        let res = evaluate(q, self.db);
+        res.outputs
+            .into_iter()
+            .map(|tuple| {
+                let elin = tuple.endo_lineage(self.db);
+                let report = hybrid_shapley_dnf(&elin, n_endo, cfg);
+                TupleRanking { tuple: tuple.tuple, outcome: report.outcome }
+            })
+            .collect()
+    }
+
+    /// Shapley values of the COUNT(*) aggregate game over `q`'s answers:
+    /// `v(E) = |q(D_x ∪ E)|`. By linearity this is the sum of the per-tuple
+    /// attributions; a fact's value says how many answers it is responsible
+    /// for, fractionally.
+    pub fn explain_count(&self, q: &Ucq) -> Result<Vec<(FactId, Rational)>, AnalysisError> {
+        let n_endo = self.db.num_endogenous();
+        let res = evaluate(q, self.db);
+        let lineages: Vec<shapdb_circuit::Dnf> =
+            res.outputs.iter().map(|t| t.endo_lineage(self.db)).collect();
+        let attrs = count_shapley(&lineages, n_endo, &self.budget, &self.exact)?;
+        Ok(attrs.into_iter().map(|(v, r)| (FactId(v.0), r)).collect())
+    }
+
+    /// Shapley values of the SUM aggregate game over `q`'s answers:
+    /// `v(E) = Σ_{t ∈ q(D_x∪E)} t[column]`, with `column` an index into the
+    /// head. Panics if the column is out of range or non-integer.
+    pub fn explain_sum(
+        &self,
+        q: &Ucq,
+        column: usize,
+    ) -> Result<Vec<(FactId, Rational)>, AnalysisError> {
+        let n_endo = self.db.num_endogenous();
+        let res = evaluate(q, self.db);
+        let weighted: Vec<(shapdb_circuit::Dnf, Rational)> = res
+            .outputs
+            .iter()
+            .map(|t| {
+                let w = t.tuple[column]
+                    .as_int()
+                    .expect("SUM column must hold integer values");
+                (t.endo_lineage(self.db), Rational::from_int(w))
+            })
+            .collect();
+        let attrs = sum_shapley(&weighted, n_endo, &self.budget, &self.exact)?;
+        Ok(attrs.into_iter().map(|(v, r)| (FactId(v.0), r)).collect())
+    }
+
+    /// Causal responsibility (Meliou et al. 2010) of every fact, per output
+    /// tuple: `ρ(f) = 1/(1 + min contingency)`. A coarser measure than the
+    /// Shapley value (it only counts one minimal contingency), provided for
+    /// comparison; the related-work measure the paper positions itself
+    /// against.
+    pub fn explain_responsibility(&self, q: &Ucq) -> Vec<TupleResponsibilities> {
+        let res = evaluate(q, self.db);
+        res.outputs
+            .into_iter()
+            .map(|tuple| {
+                let elin = tuple.endo_lineage(self.db);
+                let values = shapdb_core::responsibility::responsibility_all(&elin)
+                    .into_iter()
+                    .map(|(v, r)| (FactId(v.0), r))
+                    .collect();
+                (tuple.tuple, values)
+            })
+            .collect()
+    }
+
+    /// Renders an explanation as human-readable lines (`fact: value`).
+    pub fn render(&self, e: &TupleExplanation) -> Vec<String> {
+        e.attributions
+            .iter()
+            .map(|(f, v)| {
+                format!("{}: {} (≈{:.4})", self.db.display_fact(*f), v, v.to_f64())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapdb_data::flights_example;
+    use shapdb_query::ast::flights_query;
+
+    #[test]
+    fn analyzer_reproduces_example_2_1() {
+        let (db, a) = flights_example();
+        let analyzer = ShapleyAnalyzer::new(&db);
+        let explanations = analyzer.explain(&flights_query()).unwrap();
+        assert_eq!(explanations.len(), 1);
+        let e = &explanations[0];
+        assert_eq!(e.attributions.len(), 7); // a8 is a null player, omitted
+        assert_eq!(e.attributions[0].0, a[0]);
+        assert_eq!(e.attributions[0].1, Rational::from_ratio(43, 105));
+        // Next four (the a2..a5 tier) share 23/210.
+        for (_, v) in &e.attributions[1..5] {
+            assert_eq!(v, &Rational::from_ratio(23, 210));
+        }
+        for (_, v) in &e.attributions[5..7] {
+            assert_eq!(v, &Rational::from_ratio(8, 105));
+        }
+        let lines = analyzer.render(e);
+        assert!(lines[0].starts_with("Flights(JFK, CDG): 43/105"));
+    }
+
+    #[test]
+    fn rank_is_timeout_tolerant() {
+        let (db, _) = flights_example();
+        let analyzer = ShapleyAnalyzer::new(&db);
+        let cfg = HybridConfig { timeout: std::time::Duration::ZERO, ..Default::default() };
+        let rankings = analyzer.rank(&flights_query(), &cfg);
+        assert_eq!(rankings.len(), 1);
+        assert!(!rankings[0].outcome.is_exact());
+        assert_eq!(rankings[0].outcome.ranking().len(), 7);
+    }
+
+    #[test]
+    fn rank_with_fast_path_is_exact_even_at_zero_timeout() {
+        let (db, a) = flights_example();
+        let analyzer = ShapleyAnalyzer::new(&db);
+        let cfg = HybridConfig {
+            timeout: std::time::Duration::ZERO,
+            try_read_once: true,
+            ..Default::default()
+        };
+        let rankings = analyzer.rank(&flights_query(), &cfg);
+        assert!(rankings[0].outcome.is_exact(), "read-once rescue");
+        assert_eq!(rankings[0].outcome.ranking()[0].0, a[0].0);
+    }
+}
