@@ -1,0 +1,25 @@
+# Convenience targets mirroring .github/workflows/ci.yml for offline use.
+
+.PHONY: check build test clippy quickstart bench-smoke bench
+
+check: build test clippy quickstart
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+quickstart:
+	cargo run --release --example quickstart
+
+# The fastest criterion bench; its numbers are the perf trajectory recorded
+# in CHANGES.md.
+bench-smoke:
+	cargo bench --bench alg1 -p shapdb_bench
+
+bench:
+	cargo bench -p shapdb_bench

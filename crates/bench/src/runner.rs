@@ -179,13 +179,13 @@ pub fn run_query(
     };
 
     let mut outputs: Vec<OutputRecord> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                s.builder()
+                std::thread::Builder::new()
                     .stack_size(64 * 1024 * 1024)
-                    .spawn(move |_| {
+                    .spawn_scoped(s, move || {
                         chunk
                             .into_iter()
                             .map(|(label, elin)| run_output(db, label, &elin, timeout))
@@ -197,8 +197,7 @@ pub fn run_query(
         for h in handles {
             outputs.extend(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope");
+    });
 
     QueryRun {
         name: q.name.clone(),

@@ -1,0 +1,217 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness. The build environment has no crates.io access, so this
+//! shim implements the API surface the `shapdb_bench` benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`] — with honest
+//! wall-clock measurement (median / mean / min over N samples, one line per
+//! benchmark). No statistical regression analysis, plots, or saved
+//! baselines; for trajectory tracking, commit the printed numbers.
+//!
+//! Benches must set `harness = false` (same as with the real crate).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real default is 100 samples; 20 keeps full `cargo bench` runs
+        // tractable for the heavier knowledge-compilation benches.
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _criterion: self, name, sample_size }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().id, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] times one sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call (cold caches, lazy statics), then timed samples.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::with_capacity(sample_size), sample_size };
+    f(&mut bencher);
+    let label = format!("{group}/{id}");
+    if bencher.samples.is_empty() {
+        println!("{label:<60} (no samples)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let n = bencher.samples.len();
+    let median = bencher.samples[n / 2];
+    let min = bencher.samples[0];
+    let mean = bencher.samples.iter().sum::<Duration>() / n as u32;
+    println!(
+        "{label:<60} median {:>12} | mean {:>12} | min {:>12} | n={n}",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Builds the function the matching [`criterion_main!`] invokes.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_formats() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..1000u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 4, "1 warm-up + 3 samples");
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("8x8").id, "8x8");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

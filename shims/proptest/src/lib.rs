@@ -1,0 +1,400 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering the surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
+//! * strategies: integer/`bool` [`any`], numeric ranges, tuples, and
+//!   [`collection::vec`].
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed (derived from the test name), and failing inputs are
+//! reported but **not shrunk**. Both are acceptable here — these tests pit
+//! implementations against oracles on small random instances, so a failure
+//! report with the full input is already actionable.
+
+use rand::prelude::*;
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps oracle-vs-implementation suites
+        // (which run exponential-time oracles per case) fast.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input: skip, doesn't count as a failure.
+    Reject,
+    /// `prop_assert*!` failed.
+    Fail(String),
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator. The shim generates directly (no value trees, no
+/// shrinking).
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// `any::<T>()` — the full domain of `T`.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(core::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                // Truncating a uniform 64/128-bit draw stays uniform.
+                if core::mem::size_of::<$t>() > 8 {
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    wide as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+// `u128`/`i128` ranges (used as `1u128..`): sample two limbs then clamp into
+// the span by widening rejection-free modular reduction.
+macro_rules! impl_range_strategy_128 {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                let span = (<$t>::MAX as u128).wrapping_sub(self.start as u128).wrapping_add(1);
+                if span == 0 {
+                    raw as $t
+                } else {
+                    self.start.wrapping_add((raw % span) as $t)
+                }
+            }
+        }
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end);
+                let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((raw % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_128!(u128, i128);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $v:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / a, B / b),
+    (A / a, B / b, C / c),
+    (A / a, B / b, C / c, D / d),
+);
+
+pub mod collection {
+    use super::*;
+
+    /// Inclusive length bounds for [`vec`]; built from a `usize` (exact
+    /// length), a `Range<usize>`, or a `RangeInclusive<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty length range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.min..=self.len.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Stable per-test seed: FNV-1a over the test path, so every test draws an
+/// independent, reproducible stream.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    // `stringify!` output is passed as an argument, never spliced into the
+    // format literal: conditions may contain `{`/`}` (closures, structs).
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        // The `#[test]` attribute is written by the caller inside the
+        // `proptest!` block (the crate's documented style) and passed
+        // through here.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <$crate::__rng::StdRng as $crate::__rng::SeedableRng>::seed_from_u64(
+                $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(20).max(1024),
+                    "proptest: too many inputs rejected by prop_assume!"
+                );
+                let __generated =
+                    ($($crate::Strategy::generate(&($strat), &mut rng),)+);
+                // The body takes the inputs by value; keep a clone so the
+                // failure arm can report them (cheaper than eagerly
+                // Debug-formatting on the hot passing path).
+                let __kept = __generated.clone();
+                let __result: $crate::TestCaseResult = (move || {
+                    let ($($arg,)+) = __generated;
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __result {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed (case {} of {}): {}\ninputs: {} = {:?}",
+                            accepted + 1,
+                            config.cases,
+                            msg,
+                            stringify!(($($arg),+)),
+                            __kept,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[doc(hidden)]
+pub mod __rng {
+    pub use rand::{SeedableRng, StdRng};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Any, ProptestConfig, Strategy, TestCaseError, TestCaseResult};
+}
+
+pub mod strategy {
+    pub use crate::Strategy;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in any::<i32>(), b in any::<i32>()) {
+            prop_assert_eq!(a as i64 + b as i64, b as i64 + a as i64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn vec_lengths_in_range(v in collection::vec(0usize..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tuples_and_assume((x, flag) in (1usize..100, any::<bool>()), y in 0usize..100) {
+            prop_assume!(y != x);
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(flag == (flag as u8 == 1));
+            prop_assert!(y != x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_inputs() {
+        proptest_inner();
+    }
+
+    fn proptest_inner() {
+        let config = ProptestConfig::with_cases(4);
+        let mut rng = <crate::__rng::StdRng as crate::__rng::SeedableRng>::seed_from_u64(1);
+        for _ in 0..config.cases {
+            let x = crate::Strategy::generate(&(0usize..10), &mut rng);
+            let r: TestCaseResult = (|| {
+                prop_assert!(x > 100, "x was {}", x);
+                Ok(())
+            })();
+            if let Err(TestCaseError::Fail(msg)) = r {
+                panic!("proptest case failed: {msg}");
+            }
+        }
+    }
+}

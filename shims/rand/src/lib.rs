@@ -1,0 +1,293 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! provides exactly the 0.9-style API surface the workspace uses:
+//!
+//! * [`StdRng`] + [`SeedableRng::seed_from_u64`] — a seeded xoshiro256++
+//!   generator (not the upstream ChaCha12; every caller in this workspace
+//!   seeds explicitly and asserts statistical properties, never exact
+//!   streams, so the algorithm choice is free);
+//! * [`Rng::random_range`] / [`Rng::random_bool`];
+//! * [`SliceRandom::shuffle`] and [`SliceRandom::choose_weighted`].
+//!
+//! If the real crate ever becomes available, deleting the `shims/` path
+//! entries from the crate manifests swaps it back in without source changes.
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (only the `u64` convenience constructor is needed).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ by Blackman & Vigna, seeded through SplitMix64 as the
+/// authors recommend. Passes BigCrush; more than adequate for Monte Carlo
+/// sampling and synthetic data generation.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 stream to fill the state; never all-zero.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Range types [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` (span > 0). Multiply-shift bounded sampling
+/// (Lemire); the residual bias is < 2⁻⁶⁴ per draw.
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: a raw draw is already uniform.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(bounded(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + unit * (self.end - self.start);
+        // `start + unit*span` can round up to `end` when the span's ULP is
+        // coarse; the contract (like real rand's) is half-open.
+        if v < self.end { v } else { self.end.next_down() }
+    }
+}
+
+/// The high-level sampling interface, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0,1]");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Error from [`SliceRandom::choose_weighted`] on empty/degenerate input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightError;
+
+impl core::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid weights for choose_weighted")
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+/// Slice extensions: Fisher–Yates shuffle and weighted choice.
+pub trait SliceRandom {
+    type Item;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Result<&Self::Item, WeightError>
+    where
+        R: RngCore + ?Sized,
+        F: Fn(&Self::Item) -> f64;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = bounded(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Result<&T, WeightError>
+    where
+        R: RngCore + ?Sized,
+        F: Fn(&T) -> f64,
+    {
+        let mut total = 0.0f64;
+        let mut weights = Vec::with_capacity(self.len());
+        for item in self {
+            let w = weight(item);
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightError);
+            }
+            weights.push(w);
+            total += w;
+        }
+        if self.is_empty() || !total.is_finite() || total <= 0.0 {
+            return Err(WeightError);
+        }
+        let mut x = core::ops::Range { start: 0.0, end: total }.sample_single(rng);
+        for (item, w) in self.iter().zip(&weights) {
+            x -= w;
+            if x < 0.0 {
+                return Ok(item);
+            }
+        }
+        // Floating-point rounding fallthrough: never land on a zero-weight
+        // item (the upstream contract); pick the last positive-weight one.
+        let idx = weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("total > 0 implies a positive weight");
+        Ok(&self[idx])
+    }
+}
+
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SampleRange, SeedableRng, SliceRandom, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely identity");
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let items = [0usize, 1, 2];
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[*items.choose_weighted(&mut rng, |&i| weights[i]).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[2] > 2 * counts[1], "counts = {counts:?}");
+        let empty: [usize; 0] = [];
+        assert!(empty.choose_weighted(&mut rng, |_| 1.0).is_err());
+    }
+
+    #[test]
+    fn choose_weighted_rejects_invalid_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = [0usize, 1];
+        // Negative and NaN weights are contract violations even when the
+        // total is positive.
+        assert!(items.choose_weighted(&mut rng, |&i| [-1.0, 3.0][i]).is_err());
+        assert!(items.choose_weighted(&mut rng, |&i| [f64::NAN, 3.0][i]).is_err());
+        assert!(items.choose_weighted(&mut rng, |&i| [f64::INFINITY, 3.0][i]).is_err());
+        assert!(items.choose_weighted(&mut rng, |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn f64_range_stays_half_open_under_coarse_ulp() {
+        // At 1e16 the ULP is 2.0, so naive start + unit*span rounds to end.
+        let mut rng = StdRng::seed_from_u64(17);
+        let (start, end) = (1e16f64, 1e16 + 2.0);
+        for _ in 0..100_000 {
+            let v = rng.random_range(start..end);
+            assert!(v >= start && v < end, "{v} escaped [{start}, {end})");
+        }
+    }
+}
