@@ -18,7 +18,9 @@ fn grid_ddnnf(a: usize, b: usize) -> Ddnnf {
     }
     let mut c = Circuit::new();
     let root = d.to_circuit(&mut c);
-    compile_circuit(&c, root, &Budget::unlimited()).unwrap().ddnnf
+    compile_circuit(&c, root, &Budget::unlimited())
+        .unwrap()
+        .ddnnf
 }
 
 fn bench_alg1_scaling(c: &mut Criterion) {
@@ -32,7 +34,9 @@ fn bench_alg1_scaling(c: &mut Criterion) {
             &dd,
             |bench, dd| {
                 bench.iter(|| {
-                    shapley_all_facts(dd, n, &ExactConfig::default()).unwrap().len()
+                    shapley_all_facts(dd, n, &ExactConfig::default())
+                        .unwrap()
+                        .len()
                 })
             },
         );
@@ -45,11 +49,17 @@ fn bench_reuse_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_alg1_reuse");
     group.sample_size(10);
     group.bench_function("paper_full_recompute", |b| {
-        let cfg = ExactConfig { reuse_unaffected: false, ..Default::default() };
+        let cfg = ExactConfig {
+            reuse_unaffected: false,
+            ..Default::default()
+        };
         b.iter(|| shapley_all_facts(&dd, 20, &cfg).unwrap().len())
     });
     group.bench_function("reuse_unaffected", |b| {
-        let cfg = ExactConfig { reuse_unaffected: true, ..Default::default() };
+        let cfg = ExactConfig {
+            reuse_unaffected: true,
+            ..Default::default()
+        };
         b.iter(|| shapley_all_facts(&dd, 20, &cfg).unwrap().len())
     });
     group.finish();
@@ -66,7 +76,9 @@ fn bench_null_player_completion(c: &mut Criterion) {
             &n_endo,
             |b, &n_endo| {
                 b.iter(|| {
-                    shapley_all_facts(&dd, n_endo, &ExactConfig::default()).unwrap().len()
+                    shapley_all_facts(&dd, n_endo, &ExactConfig::default())
+                        .unwrap()
+                        .len()
                 })
             },
         );

@@ -39,23 +39,19 @@ fn bench_readonce_vs_kc(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_readonce_vs_kc");
     group.sample_size(10);
     for (name, dnf) in [("flights", running_example()), ("grid8x8", grid(8, 8))] {
-        group.bench_with_input(
-            BenchmarkId::new("readonce", name),
-            &dnf,
-            |b, dnf| {
-                b.iter(|| {
-                    analyze_lineage_auto(
-                        dnf,
-                        dnf.vars().len(),
-                        &Budget::unlimited(),
-                        &ExactConfig::default(),
-                    )
-                    .unwrap()
-                    .attributions
-                    .len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("readonce", name), &dnf, |b, dnf| {
+            b.iter(|| {
+                analyze_lineage_auto(
+                    dnf,
+                    dnf.vars().len(),
+                    &Budget::unlimited(),
+                    &ExactConfig::default(),
+                )
+                .unwrap()
+                .attributions
+                .len()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("kc", name), &dnf, |b, dnf| {
             b.iter(|| {
                 let mut circuit = Circuit::new();
@@ -86,9 +82,7 @@ fn bench_readonce_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}facts", 2 * side)),
             &tree,
-            |b, tree| {
-                b.iter(|| shapley_read_once(tree, 2 * side, None).unwrap().len())
-            },
+            |b, tree| b.iter(|| shapley_read_once(tree, 2 * side, None).unwrap().len()),
         );
     }
     group.finish();
@@ -104,13 +98,14 @@ fn bench_shap_scores(c: &mut Criterion) {
     let n = comp.fact_vars.len();
     let mut group = c.benchmark_group("shap_score_exact");
     group.sample_size(10);
-    for (name, p) in [("background0", Rational::zero()), ("uniform_half", Rational::from_ratio(1, 2))] {
+    for (name, p) in [
+        ("background0", Rational::zero()),
+        ("uniform_half", Rational::from_ratio(1, 2)),
+    ] {
         let probs = vec![p.clone(); n];
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &probs,
-            |b, probs| b.iter(|| shap_scores(&comp.ddnnf, probs).len()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &probs, |b, probs| {
+            b.iter(|| shap_scores(&comp.ddnnf, probs).len())
+        });
     }
     group.finish();
 }
@@ -154,13 +149,9 @@ fn bench_branch_heuristics(c: &mut Criterion) {
             ("jeroslow_wang", BranchHeuristic::JeroslowWang),
             ("min_index", BranchHeuristic::MinIndex),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(hname, name),
-                &t.cnf,
-                |b, cnf| {
-                    b.iter(|| compile_with(cnf, &Budget::unlimited(), h).unwrap().0.len())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(hname, name), &t.cnf, |b, cnf| {
+                b.iter(|| compile_with(cnf, &Budget::unlimited(), h).unwrap().0.len())
+            });
         }
     }
     group.finish();

@@ -35,11 +35,18 @@ fn bench_methods(c: &mut Criterion) {
         })
     });
     group.bench_function("monte_carlo_50n", |b| {
-        let cfg = MonteCarloConfig { permutations: 50, seed: 1 };
+        let cfg = MonteCarloConfig {
+            permutations: 50,
+            seed: 1,
+        };
         b.iter(|| monte_carlo_shapley(&f, n, &cfg).len())
     });
     group.bench_function("kernel_shap_50n", |b| {
-        let cfg = KernelShapConfig { samples: 50 * n, seed: 1, ..Default::default() };
+        let cfg = KernelShapConfig {
+            samples: 50 * n,
+            seed: 1,
+            ..Default::default()
+        };
         b.iter(|| kernel_shap(&f, n, &cfg).len())
     });
     group.finish();
@@ -57,7 +64,10 @@ fn bench_budget_sweep(c: &mut Criterion) {
             BenchmarkId::new("monte_carlo", factor),
             &factor,
             |b, &factor| {
-                let cfg = MonteCarloConfig { permutations: factor, seed: 2 };
+                let cfg = MonteCarloConfig {
+                    permutations: factor,
+                    seed: 2,
+                };
                 b.iter(|| monte_carlo_shapley(&f, n, &cfg).len())
             },
         );
@@ -69,7 +79,10 @@ fn bench_monotone_ablation(c: &mut Criterion) {
     let d = grid(20, 20);
     let n = 40;
     let f = |s: &Bitset| d.eval_set(s);
-    let cfg = MonteCarloConfig { permutations: 100, seed: 3 };
+    let cfg = MonteCarloConfig {
+        permutations: 100,
+        seed: 3,
+    };
     let mut group = c.benchmark_group("ablation_mc_monotone");
     group.sample_size(10);
     group.bench_function("linear_scan", |b| {
@@ -81,5 +94,10 @@ fn bench_monotone_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_methods, bench_budget_sweep, bench_monotone_ablation);
+criterion_group!(
+    benches,
+    bench_methods,
+    bench_budget_sweep,
+    bench_monotone_ablation
+);
 criterion_main!(benches);

@@ -31,7 +31,10 @@ fn bench_compile_grid(c: &mut Criterion) {
             &(&circuit, root),
             |bench, (circuit, root)| {
                 bench.iter(|| {
-                    compile_circuit(circuit, *root, &Budget::unlimited()).unwrap().ddnnf.len()
+                    compile_circuit(circuit, *root, &Budget::unlimited())
+                        .unwrap()
+                        .ddnnf
+                        .len()
                 })
             },
         );
@@ -50,7 +53,9 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     group.bench_function("compile", |b| {
         b.iter(|| compile(&t.cnf, &Budget::unlimited()).unwrap().0.len())
     });
-    group.bench_function("project", |b| b.iter(|| project(&full, t.num_inputs()).len()));
+    group.bench_function("project", |b| {
+        b.iter(|| project(&full, t.num_inputs()).len())
+    });
     group.finish();
 }
 

@@ -4,7 +4,9 @@
 //! Shapley-via-PQE reduction on the running example.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use shapdb_circuit::Circuit;
 use shapdb_data::flights_example;
+use shapdb_kc::{compile_circuit, Budget};
 use shapdb_num::Rational;
 use shapdb_prob::{
     lifted_probability, pqe_bruteforce, pqe_ddnnf, pqe_ddnnf_rational, pqe_via_compilation,
@@ -12,8 +14,6 @@ use shapdb_prob::{
 };
 use shapdb_query::ast::flights_query;
 use shapdb_query::{evaluate, CqBuilder, Ucq};
-use shapdb_circuit::Circuit;
-use shapdb_kc::{compile_circuit, Budget};
 
 fn bench_wmc(c: &mut Criterion) {
     let (db, _) = flights_example();
@@ -79,5 +79,10 @@ fn bench_reduction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wmc, bench_lifted_vs_compiled, bench_reduction);
+criterion_group!(
+    benches,
+    bench_wmc,
+    bench_lifted_vs_compiled,
+    bench_reduction
+);
 criterion_main!(benches);

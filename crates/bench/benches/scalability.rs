@@ -17,10 +17,18 @@ fn bench_fig5_scale_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_tpch_scale");
     group.sample_size(10);
     for scale in [0.25f64, 0.5, 1.0] {
-        let db = tpch_database(&TpchConfig { scale, ..Default::default() });
-        let q11 = tpch_queries().into_iter().find(|q| q.name == "Q11").unwrap();
+        let db = tpch_database(&TpchConfig {
+            scale,
+            ..Default::default()
+        });
+        let q11 = tpch_queries()
+            .into_iter()
+            .find(|q| q.name == "Q11")
+            .unwrap();
         let res = evaluate(&q11.ucq, &db);
-        let Some(out) = res.outputs.first() else { continue };
+        let Some(out) = res.outputs.first() else {
+            continue;
+        };
         let (dense, vars) = dense_lineage(&out.endo_lineage(&db));
         let n_endo = db.num_endogenous();
         group.bench_with_input(
@@ -47,10 +55,15 @@ fn bench_fig5_scale_sweep(c: &mut Criterion) {
 }
 
 fn bench_table1_imdb_sample(c: &mut Criterion) {
-    let db = imdb_database(&ImdbConfig { movies: 400, ..Default::default() });
+    let db = imdb_database(&ImdbConfig {
+        movies: 400,
+        ..Default::default()
+    });
     let q = imdb_queries().into_iter().find(|q| q.name == "1a").unwrap();
     let res = evaluate(&q.ucq, &db);
-    let Some(out) = res.outputs.first() else { return };
+    let Some(out) = res.outputs.first() else {
+        return;
+    };
     let (dense, _) = dense_lineage(&out.endo_lineage(&db));
     let n_endo = db.num_endogenous();
     let mut group = c.benchmark_group("table1_imdb_pipeline");
@@ -59,9 +72,15 @@ fn bench_table1_imdb_sample(c: &mut Criterion) {
         b.iter(|| {
             let mut circuit = Circuit::new();
             let root = dense.to_circuit(&mut circuit);
-            analyze_lineage(&circuit, root, n_endo, &Budget::unlimited(), &ExactConfig::default())
-                .map(|a| a.attributions.len())
-                .unwrap_or(0)
+            analyze_lineage(
+                &circuit,
+                root,
+                n_endo,
+                &Budget::unlimited(),
+                &ExactConfig::default(),
+            )
+            .map(|a| a.attributions.len())
+            .unwrap_or(0)
         })
     });
     group.finish();

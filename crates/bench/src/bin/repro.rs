@@ -60,9 +60,14 @@ fn build_runs(cfg: &Config) -> Runs {
         "[repro] generating TPC-H (scale {}) and IMDB ({} movies)…",
         cfg.tpch_scale, cfg.imdb_movies
     );
-    let tpch_db = tpch_database(&TpchConfig { scale: cfg.tpch_scale, ..Default::default() });
-    let imdb_db =
-        imdb_database(&ImdbConfig { movies: cfg.imdb_movies, ..Default::default() });
+    let tpch_db = tpch_database(&TpchConfig {
+        scale: cfg.tpch_scale,
+        ..Default::default()
+    });
+    let imdb_db = imdb_database(&ImdbConfig {
+        movies: cfg.imdb_movies,
+        ..Default::default()
+    });
     eprintln!(
         "[repro] TPC-H: {} facts ({} endogenous); IMDB: {} facts ({} endogenous)",
         tpch_db.num_facts(),
@@ -70,10 +75,23 @@ fn build_runs(cfg: &Config) -> Runs {
         imdb_db.num_facts(),
         imdb_db.num_endogenous()
     );
-    eprintln!("[repro] running exact pipeline per output tuple (timeout {:?})…", cfg.timeout);
-    let tpch = run_workload(&tpch_db, &tpch_queries(), Some(cfg.timeout), cfg.max_outputs);
+    eprintln!(
+        "[repro] running exact pipeline per output tuple (timeout {:?})…",
+        cfg.timeout
+    );
+    let tpch = run_workload(
+        &tpch_db,
+        &tpch_queries(),
+        Some(cfg.timeout),
+        cfg.max_outputs,
+    );
     eprintln!("[repro] TPC-H done; running IMDB…");
-    let imdb = run_workload(&imdb_db, &imdb_queries(), Some(cfg.timeout), cfg.max_outputs);
+    let imdb = run_workload(
+        &imdb_db,
+        &imdb_queries(),
+        Some(cfg.timeout),
+        cfg.max_outputs,
+    );
     eprintln!("[repro] workloads done.");
     Runs { tpch, imdb }
 }
@@ -93,7 +111,11 @@ fn emit(name: &str, content: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let cfg = if quick { Config::quick() } else { Config::standard() };
+    let cfg = if quick {
+        Config::quick()
+    } else {
+        Config::standard()
+    };
     let what: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -105,35 +127,48 @@ fn main() {
     // Figure 5 runs its own scale sweep; everything else shares one run.
     let needs_runs = all
         || what.iter().any(|w| {
-            ["table1", "table2", "fig4", "fig6", "fig7", "fig8", "fastpath"].contains(w)
+            [
+                "table1", "table2", "fig4", "fig6", "fig7", "fig8", "fastpath",
+            ]
+            .contains(w)
         });
-    let runs = if needs_runs { Some(build_runs(&cfg)) } else { None };
+    let runs = if needs_runs {
+        Some(build_runs(&cfg))
+    } else {
+        None
+    };
 
     if all || what.contains(&"table1") {
         let r = runs.as_ref().unwrap();
-        emit("table1", &experiments::table1(&[("TPC-H", &r.tpch), ("IMDB", &r.imdb)]));
+        emit(
+            "table1",
+            &experiments::table1(&[("TPC-H", &r.tpch), ("IMDB", &r.imdb)]),
+        );
     }
     if all || what.contains(&"table2") {
         let r = runs.as_ref().unwrap();
-        let combined: Vec<QueryRun> =
-            r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
-        emit("table2", &experiments::table2(&combined, 50, cfg.table2_records));
+        let combined: Vec<QueryRun> = r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
+        emit(
+            "table2",
+            &experiments::table2(&combined, 50, cfg.table2_records),
+        );
     }
     if all || what.contains(&"fig4") {
         let r = runs.as_ref().unwrap();
-        let combined: Vec<QueryRun> =
-            r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
+        let combined: Vec<QueryRun> = r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
         emit("fig4", &experiments::fig4(&combined));
     }
     if all || what.contains(&"fig5") {
-        let scales: &[f64] =
-            if quick { &[0.25, 0.5, 1.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0] };
+        let scales: &[f64] = if quick {
+            &[0.25, 0.5, 1.0]
+        } else {
+            &[0.25, 0.5, 1.0, 2.0, 4.0]
+        };
         emit("fig5", &experiments::fig5(scales, cfg.timeout, 4));
     }
     if all || what.contains(&"fig6") {
         let r = runs.as_ref().unwrap();
-        let combined: Vec<QueryRun> =
-            r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
+        let combined: Vec<QueryRun> = r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
         emit(
             "fig6",
             &experiments::fig6(&combined, &[10, 20, 30, 40, 50], cfg.table2_records / 2),
@@ -141,9 +176,11 @@ fn main() {
     }
     if all || what.contains(&"fig7") {
         let r = runs.as_ref().unwrap();
-        let combined: Vec<QueryRun> =
-            r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
-        emit("fig7", &experiments::fig7(&combined, 20, cfg.table2_records));
+        let combined: Vec<QueryRun> = r.tpch.iter().chain(r.imdb.iter()).cloned().collect();
+        emit(
+            "fig7",
+            &experiments::fig7(&combined, 20, cfg.table2_records),
+        );
     }
     if all || what.contains(&"fastpath") {
         let r = runs.as_ref().unwrap();

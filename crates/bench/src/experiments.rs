@@ -35,8 +35,11 @@ pub fn table1(datasets: &[(&str, &[QueryRun])]) -> String {
     .unwrap();
     for (name, runs) in datasets {
         for r in *runs {
-            let ok: Vec<&OutputRecord> =
-                r.outputs.iter().filter(|o| o.status == RunStatus::Success).collect();
+            let ok: Vec<&OutputRecord> = r
+                .outputs
+                .iter()
+                .filter(|o| o.status == RunStatus::Success)
+                .collect();
             let kc = Summary::of(&ok.iter().map(|o| secs(o.kc_time)).collect::<Vec<_>>());
             let a1 = Summary::of(&ok.iter().map(|o| secs(o.alg1_time)).collect::<Vec<_>>());
             writeln!(
@@ -92,14 +95,25 @@ pub fn run_inexact(record: &OutputRecord, factor: usize, seed: u64) -> [MethodEv
     let f = |s: &Bitset| lineage.eval_set(s);
 
     let t0 = Instant::now();
-    let mc = monte_carlo_shapley(&f, n, &MonteCarloConfig { permutations: factor, seed });
+    let mc = monte_carlo_shapley(
+        &f,
+        n,
+        &MonteCarloConfig {
+            permutations: factor,
+            seed,
+        },
+    );
     let mc_eval = eval_estimates(&mc, truth, secs(t0.elapsed()));
 
     let t1 = Instant::now();
     let ks = kernel_shap(
         &f,
         n,
-        &KernelShapConfig { samples: factor * n, seed, ..Default::default() },
+        &KernelShapConfig {
+            samples: factor * n,
+            seed,
+            ..Default::default()
+        },
     );
     let ks_eval = eval_estimates(&ks, truth, secs(t1.elapsed()));
 
@@ -135,7 +149,9 @@ fn stratified<'a>(records: &[&'a OutputRecord], max: usize) -> Vec<&'a OutputRec
         return records.to_vec();
     }
     let step = records.len() as f64 / max as f64;
-    (0..max).map(|i| records[(i as f64 * step) as usize]).collect()
+    (0..max)
+        .map(|i| records[(i as f64 * step) as usize])
+        .collect()
 }
 
 /// Table 2: median (mean) performance of Monte Carlo, Kernel SHAP (both at
@@ -209,18 +225,34 @@ pub fn fig4(runs: &[QueryRun]) -> String {
             "bucket", "n", "KC p50[s]", "KC p99[s]", "Alg1 p50[s]", "Alg1 p99[s]"
         )
         .unwrap();
-        let buckets: [(usize, usize); 6] =
-            [(0, 10), (11, 100), (101, 200), (201, 400), (401, 2000), (2001, usize::MAX)];
+        let buckets: [(usize, usize); 6] = [
+            (0, 10),
+            (11, 100),
+            (101, 200),
+            (201, 400),
+            (401, 2000),
+            (2001, usize::MAX),
+        ];
         for (lo, hi) in buckets {
-            let in_bucket: Vec<&&OutputRecord> =
-                records.iter().filter(|o| key(o) >= lo && key(o) <= hi).collect();
+            let in_bucket: Vec<&&OutputRecord> = records
+                .iter()
+                .filter(|o| key(o) >= lo && key(o) <= hi)
+                .collect();
             if in_bucket.is_empty() {
                 continue;
             }
-            let kc =
-                Summary::of(&in_bucket.iter().map(|o| secs(o.kc_time)).collect::<Vec<_>>());
-            let a1 =
-                Summary::of(&in_bucket.iter().map(|o| secs(o.alg1_time)).collect::<Vec<_>>());
+            let kc = Summary::of(
+                &in_bucket
+                    .iter()
+                    .map(|o| secs(o.kc_time))
+                    .collect::<Vec<_>>(),
+            );
+            let a1 = Summary::of(
+                &in_bucket
+                    .iter()
+                    .map(|o| secs(o.alg1_time))
+                    .collect::<Vec<_>>(),
+            );
             let label = if hi == usize::MAX {
                 format!("{lo}+")
             } else {
@@ -269,7 +301,10 @@ pub fn fig5(scales: &[f64], timeout: Duration, outputs_per_query: usize) -> Stri
     )
     .unwrap();
     for &scale in scales {
-        let db = tpch_database(&TpchConfig { scale, ..Default::default() });
+        let db = tpch_database(&TpchConfig {
+            scale,
+            ..Default::default()
+        });
         let lineitems = db.relation("lineitem").map_or(0, |r| r.len());
         for q in &subset {
             let run = crate::runner::run_query(&db, q, Some(timeout), outputs_per_query);
@@ -324,7 +359,10 @@ pub fn fig6(runs: &[QueryRun], factors: &[usize], max_records: usize) -> String 
                 per_method[m].push(*e);
             }
         }
-        for (m, name) in ["Monte Carlo", "Kernel SHAP", "CNF Proxy"].iter().enumerate() {
+        for (m, name) in ["Monte Carlo", "Kernel SHAP", "CNF Proxy"]
+            .iter()
+            .enumerate()
+        {
             let time = Summary::of(&per_method[m].iter().map(|e| e.time).collect::<Vec<_>>());
             let nd = Summary::of(&per_method[m].iter().map(|e| e.ndcg).collect::<Vec<_>>());
             let p10 = Summary::of(&per_method[m].iter().map(|e| e.p10).collect::<Vec<_>>());
@@ -346,18 +384,31 @@ pub fn fig6(runs: &[QueryRun], factors: &[usize], max_records: usize) -> String 
 pub fn fig7(runs: &[QueryRun], factor: usize, max_records: usize) -> String {
     let records = ground_truth_records(runs);
     let mut out = String::new();
-    writeln!(out, "Figure 7 — vs #distinct facts (samplers at {factor}·n)").unwrap();
+    writeln!(
+        out,
+        "Figure 7 — vs #distinct facts (samplers at {factor}·n)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>10} {:<12} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
-        "bucket", "method", "n", "time p50[s]", "time max[s]", "nDCG p50", "nDCG min",
-        "P@10 p50", "P@10 min"
+        "bucket",
+        "method",
+        "n",
+        "time p50[s]",
+        "time max[s]",
+        "nDCG p50",
+        "nDCG min",
+        "P@10 p50",
+        "P@10 min"
     )
     .unwrap();
     let buckets: [(usize, usize); 4] = [(1, 10), (11, 100), (101, 200), (201, 400)];
     for (lo, hi) in buckets {
-        let in_bucket: Vec<&&OutputRecord> =
-            records.iter().filter(|o| o.num_facts >= lo && o.num_facts <= hi).collect();
+        let in_bucket: Vec<&&OutputRecord> = records
+            .iter()
+            .filter(|o| o.num_facts >= lo && o.num_facts <= hi)
+            .collect();
         if in_bucket.is_empty() {
             continue;
         }
@@ -368,7 +419,10 @@ pub fn fig7(runs: &[QueryRun], factor: usize, max_records: usize) -> String {
                 per_method[m].push(*e);
             }
         }
-        for (m, name) in ["Monte Carlo", "Kernel SHAP", "CNF Proxy"].iter().enumerate() {
+        for (m, name) in ["Monte Carlo", "Kernel SHAP", "CNF Proxy"]
+            .iter()
+            .enumerate()
+        {
             let time = Summary::of(&per_method[m].iter().map(|e| e.time).collect::<Vec<_>>());
             let nd: Vec<f64> = per_method[m].iter().map(|e| e.ndcg).collect();
             let p10: Vec<f64> = per_method[m].iter().map(|e| e.p10).collect();
@@ -411,8 +465,7 @@ pub fn fig8(datasets: &[(&str, &[QueryRun])], timeouts: &[Duration]) -> String {
     )
     .unwrap();
     for (name, runs) in datasets {
-        let all: Vec<&OutputRecord> =
-            runs.iter().flat_map(|r| r.outputs.iter()).collect();
+        let all: Vec<&OutputRecord> = runs.iter().flat_map(|r| r.outputs.iter()).collect();
         for &t in timeouts {
             let mut succ = 0usize;
             let mut total_time = 0.0f64;
@@ -474,7 +527,9 @@ pub fn fastpath(datasets: &[(&str, &[QueryRun])]) -> String {
             for o in &r.outputs {
                 let n = o.dense_lineage.vars().len();
                 let t0 = Instant::now();
-                let Some(tree) = factor(&o.dense_lineage) else { continue };
+                let Some(tree) = factor(&o.dense_lineage) else {
+                    continue;
+                };
                 let values = shapley_read_once(&tree, n.max(tree.vars().len()), None)
                     .expect("no deadline set");
                 let elapsed = secs(t0.elapsed());
@@ -522,7 +577,12 @@ mod tests {
 
     fn flights_run() -> Vec<QueryRun> {
         let (db, _, q) = flights_workload();
-        vec![run_query(&db, &q, Some(Duration::from_secs(10)), usize::MAX)]
+        vec![run_query(
+            &db,
+            &q,
+            Some(Duration::from_secs(10)),
+            usize::MAX,
+        )]
     }
 
     #[test]

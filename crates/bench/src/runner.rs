@@ -61,7 +61,10 @@ impl QueryRun {
         if self.outputs.is_empty() {
             return 1.0;
         }
-        self.outputs.iter().filter(|o| o.status == RunStatus::Success).count() as f64
+        self.outputs
+            .iter()
+            .filter(|o| o.status == RunStatus::Success)
+            .count() as f64
             / self.outputs.len() as f64
     }
 }
@@ -91,8 +94,14 @@ pub fn run_output(
     let root = dense.to_circuit(&mut circuit);
 
     let deadline = timeout.map(|t| Instant::now() + t);
-    let budget = Budget { deadline, max_nodes: 4_000_000 };
-    let cfg = ExactConfig { deadline, ..Default::default() };
+    let budget = Budget {
+        deadline,
+        max_nodes: 4_000_000,
+    };
+    let cfg = ExactConfig {
+        deadline,
+        ..Default::default()
+    };
 
     let kc_probe = Instant::now();
     match analyze_lineage(&circuit, root, n_endo, &budget, &cfg) {
@@ -167,7 +176,9 @@ pub fn run_query(
         })
         .collect();
 
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = work.len().div_ceil(workers.max(1)).max(1);
     let chunks: Vec<Vec<(String, Dnf)>> = {
         let mut out = Vec::new();
@@ -215,7 +226,10 @@ pub fn run_workload(
     timeout: Option<Duration>,
     max_outputs: usize,
 ) -> Vec<QueryRun> {
-    queries.iter().map(|q| run_query(db, q, timeout, max_outputs)).collect()
+    queries
+        .iter()
+        .map(|q| run_query(db, q, timeout, max_outputs))
+        .collect()
 }
 
 #[cfg(test)]

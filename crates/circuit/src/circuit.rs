@@ -64,13 +64,21 @@ impl Default for Circuit {
 impl Circuit {
     /// A new empty circuit with simplification enabled.
     pub fn new() -> Circuit {
-        Circuit { gates: Vec::new(), dedup: HashMap::new(), simplify: true, root: None }
+        Circuit {
+            gates: Vec::new(),
+            dedup: HashMap::new(),
+            simplify: true,
+            root: None,
+        }
     }
 
     /// A new empty circuit that performs no algebraic simplification
     /// (hash-consing still applies).
     pub fn new_raw() -> Circuit {
-        Circuit { simplify: false, ..Circuit::new() }
+        Circuit {
+            simplify: false,
+            ..Circuit::new()
+        }
     }
 
     /// Number of gates in the arena.
@@ -135,7 +143,10 @@ impl Circuit {
         let mut kids: Vec<NodeId> = children.into_iter().collect();
         if self.simplify {
             kids.retain(|&c| !matches!(self.gates[c.index()], Gate::Const(true)));
-            if kids.iter().any(|&c| matches!(self.gates[c.index()], Gate::Const(false))) {
+            if kids
+                .iter()
+                .any(|&c| matches!(self.gates[c.index()], Gate::Const(false)))
+            {
                 return self.constant(false);
             }
             kids.sort_unstable();
@@ -155,7 +166,10 @@ impl Circuit {
         let mut kids: Vec<NodeId> = children.into_iter().collect();
         if self.simplify {
             kids.retain(|&c| !matches!(self.gates[c.index()], Gate::Const(false)));
-            if kids.iter().any(|&c| matches!(self.gates[c.index()], Gate::Const(true))) {
+            if kids
+                .iter()
+                .any(|&c| matches!(self.gates[c.index()], Gate::Const(true)))
+            {
                 return self.constant(true);
             }
             kids.sort_unstable();
@@ -249,7 +263,11 @@ impl Circuit {
     /// This is the "partial eval: set exo vars to 1" step of Figure 3 when
     /// called with the exogenous facts mapped to `true`.
     pub fn restrict(&self, n: NodeId, fixed: &impl Fn(VarId) -> Option<bool>) -> Circuit {
-        let mut out = if self.simplify { Circuit::new() } else { Circuit::new_raw() };
+        let mut out = if self.simplify {
+            Circuit::new()
+        } else {
+            Circuit::new_raw()
+        };
         let mut map: Vec<Option<NodeId>> = vec![None; n.index() + 1];
         for i in 0..=n.index() {
             let new_id = match &self.gates[i] {
@@ -263,13 +281,11 @@ impl Circuit {
                     out.not(c)
                 }
                 Gate::And(cs) => {
-                    let kids: Vec<NodeId> =
-                        cs.iter().map(|c| map[c.index()].unwrap()).collect();
+                    let kids: Vec<NodeId> = cs.iter().map(|c| map[c.index()].unwrap()).collect();
                     out.and(kids)
                 }
                 Gate::Or(cs) => {
-                    let kids: Vec<NodeId> =
-                        cs.iter().map(|c| map[c.index()].unwrap()).collect();
+                    let kids: Vec<NodeId> = cs.iter().map(|c| map[c.index()].unwrap()).collect();
                     out.or(kids)
                 }
             };

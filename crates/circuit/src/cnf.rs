@@ -18,12 +18,18 @@ pub struct Lit {
 impl Lit {
     /// A positive literal for variable `v`.
     pub fn pos(v: usize) -> Lit {
-        Lit { var: v as u32, positive: true }
+        Lit {
+            var: v as u32,
+            positive: true,
+        }
     }
 
     /// A negative literal for variable `v`.
     pub fn neg(v: usize) -> Lit {
-        Lit { var: v as u32, positive: false }
+        Lit {
+            var: v as u32,
+            positive: false,
+        }
     }
 
     /// The variable index.
@@ -38,7 +44,10 @@ impl Lit {
 
     /// The complementary literal.
     pub fn negated(self) -> Lit {
-        Lit { var: self.var, positive: !self.positive }
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 
     /// Whether the literal is satisfied when its variable is `value`.
@@ -87,12 +96,16 @@ impl Clause {
 
     /// True iff the clause contains both `x` and `¬x` for some variable.
     pub fn is_tautology(&self) -> bool {
-        self.lits.windows(2).any(|w| w[0].var == w[1].var && w[0].positive != w[1].positive)
+        self.lits
+            .windows(2)
+            .any(|w| w[0].var == w[1].var && w[0].positive != w[1].positive)
     }
 
     /// Evaluates under a total assignment (bitset of true variables).
     pub fn eval_set(&self, true_vars: &Bitset) -> bool {
-        self.lits.iter().any(|l| l.satisfied_by(true_vars.contains(l.var())))
+        self.lits
+            .iter()
+            .any(|l| l.satisfied_by(true_vars.contains(l.var())))
     }
 }
 
@@ -106,7 +119,10 @@ pub struct Cnf {
 impl Cnf {
     /// An empty (valid / always-true) CNF over `num_vars` variables.
     pub fn new(num_vars: usize) -> Cnf {
-        Cnf { num_vars, clauses: Vec::new() }
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Number of variables.

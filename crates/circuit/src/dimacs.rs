@@ -67,11 +67,13 @@ pub fn from_dimacs(text: &str) -> Result<Cnf, DimacsError> {
             cnf = Some(Cnf::new(nv.max(1)));
             continue;
         }
-        let cnf_ref =
-            cnf.as_mut().ok_or_else(|| DimacsError("clause before header".into()))?;
+        let cnf_ref = cnf
+            .as_mut()
+            .ok_or_else(|| DimacsError("clause before header".into()))?;
         for tok in line.split_whitespace() {
-            let v: i64 =
-                tok.parse().map_err(|_| DimacsError(format!("bad literal `{tok}`")))?;
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError(format!("bad literal `{tok}`")))?;
             if v == 0 {
                 cnf_ref.push_lits(std::mem::take(&mut current));
             } else {

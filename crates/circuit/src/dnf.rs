@@ -56,7 +56,9 @@ impl Dnf {
 
     /// Evaluates under a set of true variables.
     pub fn eval_set(&self, true_vars: &Bitset) -> bool {
-        self.conjuncts.iter().any(|c| c.iter().all(|v| true_vars.contains(v.index())))
+        self.conjuncts
+            .iter()
+            .any(|c| c.iter().all(|v| true_vars.contains(v.index())))
     }
 
     /// Removes conjuncts that are supersets of another conjunct (absorption:

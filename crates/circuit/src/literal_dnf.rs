@@ -58,8 +58,12 @@ impl LiteralDnf {
 
     /// Distinct variables (of either polarity), sorted.
     pub fn vars(&self) -> Vec<VarId> {
-        let mut vs: Vec<VarId> =
-            self.conjuncts.iter().flatten().map(|l| VarId(l.var() as u32)).collect();
+        let mut vs: Vec<VarId> = self
+            .conjuncts
+            .iter()
+            .flatten()
+            .map(|l| VarId(l.var() as u32))
+            .collect();
         vs.sort_unstable();
         vs.dedup();
         vs
@@ -72,9 +76,10 @@ impl LiteralDnf {
 
     /// Evaluates under a set of true variables.
     pub fn eval_set(&self, true_vars: &Bitset) -> bool {
-        self.conjuncts
-            .iter()
-            .any(|c| c.iter().all(|l| l.satisfied_by(true_vars.contains(l.var()))))
+        self.conjuncts.iter().any(|c| {
+            c.iter()
+                .all(|l| l.satisfied_by(true_vars.contains(l.var())))
+        })
     }
 
     /// Absorption on literal sets: drops conjuncts that are supersets of
@@ -198,7 +203,13 @@ mod tests {
 
     fn lits(spec: &[(u32, bool)]) -> Vec<Lit> {
         spec.iter()
-            .map(|&(v, pos)| if pos { Lit::pos(v as usize) } else { Lit::neg(v as usize) })
+            .map(|&(v, pos)| {
+                if pos {
+                    Lit::pos(v as usize)
+                } else {
+                    Lit::neg(v as usize)
+                }
+            })
             .collect()
     }
 

@@ -72,9 +72,7 @@ impl ReadOnce {
     pub fn len(&self) -> usize {
         match self {
             ReadOnce::True | ReadOnce::False | ReadOnce::Var(_) => 1,
-            ReadOnce::And(cs) | ReadOnce::Or(cs) => {
-                1 + cs.iter().map(ReadOnce::len).sum::<usize>()
-            }
+            ReadOnce::And(cs) | ReadOnce::Or(cs) => 1 + cs.iter().map(ReadOnce::len).sum::<usize>(),
         }
     }
 
@@ -210,7 +208,11 @@ fn factor_rec(conjuncts: &[Vec<VarId>]) -> Option<ReadOnce> {
         // Project the implicants onto the block and deduplicate.
         let mut proj: Vec<Vec<VarId>> = Vec::new();
         for c in conjuncts {
-            let p: Vec<VarId> = c.iter().copied().filter(|v| block.contains(v.index())).collect();
+            let p: Vec<VarId> = c
+                .iter()
+                .copied()
+                .filter(|v| block.contains(v.index()))
+                .collect();
             if p.is_empty() {
                 return None; // An implicant missing a block: not a clean ∧.
             }
@@ -262,8 +264,7 @@ fn or_components(conjuncts: &[Vec<VarId>]) -> Vec<Vec<usize>> {
             }
         }
     }
-    let mut groups: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
     for i in 0..n {
         let r = find(&mut parent, i);
         groups.entry(r).or_default().push(i);

@@ -70,8 +70,11 @@ impl Repr {
 pub fn tseytin(circuit: &Circuit, root: NodeId) -> TseytinCnf {
     // Dense input numbering in sorted VarId order.
     let input_vars = circuit.var_list(root);
-    let input_index: HashMap<VarId, usize> =
-        input_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let input_index: HashMap<VarId, usize> = input_vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
 
     // First pass: discover reachable gates (arena order is topological).
     let mut reachable = vec![false; root.0 as usize + 1];

@@ -119,14 +119,13 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = || {
-            it.next().ok_or_else(|| err(format!("missing value after `{arg}`")))
+            it.next()
+                .ok_or_else(|| err(format!("missing value after `{arg}`")))
         };
         match arg.as_str() {
             "--db" => db_dir = Some(PathBuf::from(take()?)),
             "--query" => query = Some(take()?.clone()),
-            "--endo" => {
-                endo = Some(take()?.split(',').map(|s| s.trim().to_string()).collect())
-            }
+            "--endo" => endo = Some(take()?.split(',').map(|s| s.trim().to_string()).collect()),
             "--top" => {
                 top = take()?
                     .parse()
@@ -270,12 +269,7 @@ fn render_tuple(tuple: &[Value]) -> String {
     }
 }
 
-fn render_exact(
-    out: &mut String,
-    db: &Database,
-    top: usize,
-    values: &[(FactId, Rational)],
-) {
+fn render_exact(out: &mut String, db: &Database, top: usize, values: &[(FactId, Rational)]) {
     for (i, (fact, v)) in values.iter().take(top).enumerate() {
         out.push_str(&format!(
             "  {}. {}  {}  (≈{:.4})\n",
@@ -319,9 +313,10 @@ pub fn run(cfg: &Config) -> Result<String, CliError> {
                         .outputs
                         .iter()
                         .map(|t| {
-                            let v = t.tuple.get(col).ok_or_else(|| {
-                                err(format!("sum column {col} out of range"))
-                            })?;
+                            let v = t
+                                .tuple
+                                .get(col)
+                                .ok_or_else(|| err(format!("sum column {col} out of range")))?;
                             let w = v.as_int().ok_or_else(|| {
                                 err(format!("sum column {col} is not an integer"))
                             })?;
@@ -362,15 +357,15 @@ pub fn run(cfg: &Config) -> Result<String, CliError> {
             Method::Hybrid => {
                 let mut circuit = Circuit::new();
                 let root = elin.to_circuit(&mut circuit);
-                let hybrid_cfg =
-                    HybridConfig { timeout: cfg.timeout, ..Default::default() };
+                let hybrid_cfg = HybridConfig {
+                    timeout: cfg.timeout,
+                    ..Default::default()
+                };
                 let report = hybrid_shapley(&circuit, root, n_endo, &hybrid_cfg);
                 match report.outcome {
                     HybridOutcome::Exact(values) => {
-                        let values: Vec<(FactId, Rational)> = values
-                            .into_iter()
-                            .map(|(v, r)| (FactId(v.0), r))
-                            .collect();
+                        let values: Vec<(FactId, Rational)> =
+                            values.into_iter().map(|(v, r)| (FactId(v.0), r)).collect();
                         render_exact(&mut out, &db, cfg.top, &values);
                     }
                     HybridOutcome::Proxy(scores) => {
@@ -421,7 +416,8 @@ mod tests {
 
     /// Writes the running-example database as CSVs into a fresh temp dir.
     fn flights_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("shapdb-cli-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("shapdb-cli-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(
@@ -443,12 +439,27 @@ mod tests {
     #[test]
     fn parse_args_full() {
         let cfg = parse_args(&args(&[
-            "--db", "/tmp/x", "--query", "q() :- R(x)", "--endo", "R,S", "--top", "3",
-            "--method", "exact", "--timeout-ms", "100", "--agg", "sum:1",
+            "--db",
+            "/tmp/x",
+            "--query",
+            "q() :- R(x)",
+            "--endo",
+            "R,S",
+            "--top",
+            "3",
+            "--method",
+            "exact",
+            "--timeout-ms",
+            "100",
+            "--agg",
+            "sum:1",
         ]))
         .unwrap();
         assert_eq!(cfg.db_dir, PathBuf::from("/tmp/x"));
-        assert_eq!(cfg.endo.as_deref(), Some(&["R".to_string(), "S".to_string()][..]));
+        assert_eq!(
+            cfg.endo.as_deref(),
+            Some(&["R".to_string(), "S".to_string()][..])
+        );
         assert_eq!(cfg.top, 3);
         assert_eq!(cfg.method, Method::Exact);
         assert_eq!(cfg.timeout, Duration::from_millis(100));
@@ -459,9 +470,11 @@ mod tests {
     fn parse_args_rejects_unknown() {
         assert!(parse_args(&args(&["--frobnicate"])).is_err());
         assert!(parse_args(&args(&["--db"])).is_err());
-        assert!(parse_args(&args(&["--db", "d", "--query", "q", "--method", "magic"]))
-            .is_err());
-        assert!(parse_args(&args(&["--db", "d"])).is_err(), "--query required");
+        assert!(parse_args(&args(&["--db", "d", "--query", "q", "--method", "magic"])).is_err());
+        assert!(
+            parse_args(&args(&["--db", "d"])).is_err(),
+            "--query required"
+        );
     }
 
     #[test]
@@ -490,7 +503,10 @@ mod tests {
             "2",
         ]))
         .unwrap();
-        assert!(report.contains("16 fact(s), 8 endogenous; 1 answer(s)"), "{report}");
+        assert!(
+            report.contains("16 fact(s), 8 endogenous; 1 answer(s)"),
+            "{report}"
+        );
         assert!(report.contains("Flights(JFK, CDG)  43/105"), "{report}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -545,8 +561,7 @@ mod tests {
 
     #[test]
     fn malformed_row_is_a_clean_error() {
-        let dir = std::env::temp_dir()
-            .join(format!("shapdb-cli-test-bad-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("shapdb-cli-test-bad-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("R.csv"), "a,b\n1\n").unwrap();

@@ -42,8 +42,10 @@ pub fn count_shapley(
     budget: &Budget,
     cfg: &ExactConfig,
 ) -> Result<AggregateAttributions, AnalysisError> {
-    let weighted: Vec<(Dnf, Rational)> =
-        lineages.iter().map(|l| (l.clone(), Rational::one())).collect();
+    let weighted: Vec<(Dnf, Rational)> = lineages
+        .iter()
+        .map(|l| (l.clone(), Rational::one()))
+        .collect();
     sum_shapley(&weighted, n_endo, budget, cfg)
 }
 
@@ -71,8 +73,7 @@ pub fn sum_shapley(
             *entry += &(&attr.shapley * weight);
         }
     }
-    let mut out: Vec<(VarId, Rational)> =
-        acc.into_iter().filter(|(_, v)| !v.is_zero()).collect();
+    let mut out: Vec<(VarId, Rational)> = acc.into_iter().filter(|(_, v)| !v.is_zero()).collect();
     out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     Ok(out)
 }
@@ -106,8 +107,7 @@ mod tests {
         // game is additive, each fact alone creates one answer.
         let lineages = vec![dnf(&[&[0]]), dnf(&[&[1]])];
         let attrs =
-            count_shapley(&lineages, 2, &Budget::unlimited(), &ExactConfig::default())
-                .unwrap();
+            count_shapley(&lineages, 2, &Budget::unlimited(), &ExactConfig::default()).unwrap();
         assert_eq!(value_of(&attrs, 0), Rational::one());
         assert_eq!(value_of(&attrs, 1), Rational::one());
     }
@@ -118,8 +118,7 @@ mod tests {
         let lineages = vec![dnf(&[&[0, 1]]), dnf(&[&[1, 2]]), dnf(&[&[2, 3], &[0]])];
         let n = 4;
         let attrs =
-            count_shapley(&lineages, n, &Budget::unlimited(), &ExactConfig::default())
-                .unwrap();
+            count_shapley(&lineages, n, &Budget::unlimited(), &ExactConfig::default()).unwrap();
         let game = |s: &Bitset| {
             let mut count = 0i64;
             for l in &lineages {
@@ -143,8 +142,7 @@ mod tests {
             (dnf(&[&[1]]), Rational::from_int(5)),
         ];
         let attrs =
-            sum_shapley(&weighted, 2, &Budget::unlimited(), &ExactConfig::default())
-                .unwrap();
+            sum_shapley(&weighted, 2, &Budget::unlimited(), &ExactConfig::default()).unwrap();
         assert_eq!(value_of(&attrs, 0), Rational::from_int(3));
         assert_eq!(value_of(&attrs, 1), Rational::from_int(5));
         // Sorted by decreasing value.
@@ -155,8 +153,7 @@ mod tests {
     fn negative_weights_supported() {
         let weighted = vec![(dnf(&[&[0]]), Rational::from_int(-2))];
         let attrs =
-            sum_shapley(&weighted, 1, &Budget::unlimited(), &ExactConfig::default())
-                .unwrap();
+            sum_shapley(&weighted, 1, &Budget::unlimited(), &ExactConfig::default()).unwrap();
         assert_eq!(value_of(&attrs, 0), Rational::from_int(-2));
     }
 
@@ -164,8 +161,7 @@ mod tests {
     fn zero_weight_tuples_are_skipped() {
         let weighted = vec![(dnf(&[&[0]]), Rational::zero())];
         let attrs =
-            sum_shapley(&weighted, 1, &Budget::unlimited(), &ExactConfig::default())
-                .unwrap();
+            sum_shapley(&weighted, 1, &Budget::unlimited(), &ExactConfig::default()).unwrap();
         assert!(attrs.is_empty());
     }
 
@@ -174,8 +170,7 @@ mod tests {
         // Σ_f Shapley(f) = v(D_n) − v(∅) = #answers on full DB − #certain.
         let lineages = vec![dnf(&[&[0, 1], &[2]]), dnf(&[&[1]]), dnf(&[&[3, 0]])];
         let attrs =
-            count_shapley(&lineages, 4, &Budget::unlimited(), &ExactConfig::default())
-                .unwrap();
+            count_shapley(&lineages, 4, &Budget::unlimited(), &ExactConfig::default()).unwrap();
         let total = attrs.iter().fold(Rational::zero(), |acc, (_, v)| &acc + v);
         assert_eq!(total, Rational::from_int(3)); // all 3 tuples need facts
     }

@@ -18,9 +18,7 @@
 //! the tests exercise.
 
 use shapdb_kc::{DNode, Ddnnf};
-use shapdb_num::{
-    BigInt, BigUint, Bitset, Rational,
-};
+use shapdb_num::{BigInt, BigUint, Bitset, Rational};
 
 /// Exact Banzhaf value of every d-DNNF variable.
 ///
@@ -137,7 +135,9 @@ pub fn critical_coalitions(d: &Ddnnf, var: usize) -> BigUint {
     let without = count_conditioned(false);
     // Monotone lineages have with ≥ without; support the general case too.
     with.checked_sub(&without).unwrap_or_else(|| {
-        without.checked_sub(&with).expect("one direction must subtract")
+        without
+            .checked_sub(&with)
+            .expect("one direction must subtract")
     })
 }
 
@@ -162,7 +162,11 @@ mod tests {
             .map(|nd| match nd {
                 DNode::Lit(l) => {
                     let v = mapping[l.var()];
-                    DNode::Lit(if l.is_positive() { Lit::pos(v) } else { Lit::neg(v) })
+                    DNode::Lit(if l.is_positive() {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    })
                 }
                 other => other.clone(),
             })

@@ -49,7 +49,10 @@ pub struct ExactConfig {
 
 impl Default for ExactConfig {
     fn default() -> Self {
-        ExactConfig { reuse_unaffected: true, deadline: None }
+        ExactConfig {
+            reuse_unaffected: true,
+            deadline: None,
+        }
     }
 }
 
@@ -78,7 +81,13 @@ struct Dp<'a> {
 
 impl<'a> Dp<'a> {
     fn new(d: &'a Ddnnf, deadline: Option<Instant>) -> Dp<'a> {
-        Dp { d, sets: d.var_sets(), binomials: BinomialTable::new(), deadline, ticks: 0 }
+        Dp {
+            d,
+            sets: d.var_sets(),
+            binomials: BinomialTable::new(),
+            deadline,
+            ticks: 0,
+        }
     }
 
     /// Cooperative cancellation, called once per gate child so that even a
@@ -287,7 +296,11 @@ pub fn shapley_all_facts(
     let weights = completion_weights(m, &mut facts_table);
     let denom = facts_table.get(m).clone();
 
-    let base = if cfg.reuse_unaffected { Some(dp.base_pass()?) } else { None };
+    let base = if cfg.reuse_unaffected {
+        Some(dp.base_pass()?)
+    } else {
+        None
+    };
 
     for f in root_vars.iter() {
         if let Some(deadline) = cfg.deadline {
@@ -330,7 +343,11 @@ pub fn shapley_single_fact(
     let mut facts_table = FactorialTable::new();
     let weights = completion_weights(m, &mut facts_table);
     let denom = facts_table.get(m).clone();
-    let base = if cfg.reuse_unaffected { Some(dp.base_pass()?) } else { None };
+    let base = if cfg.reuse_unaffected {
+        Some(dp.base_pass()?)
+    } else {
+        None
+    };
     if let Some(deadline) = cfg.deadline {
         if Instant::now() > deadline {
             return Err(ShapleyTimeout);
@@ -393,7 +410,11 @@ mod tests {
             .map(|nd| match nd {
                 DNode::Lit(l) => {
                     let v = mapping[l.var()];
-                    DNode::Lit(if l.is_positive() { Lit::pos(v) } else { Lit::neg(v) })
+                    DNode::Lit(if l.is_positive() {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    })
                 }
                 other => other.clone(),
             })
@@ -431,7 +452,10 @@ mod tests {
         let f = |s: &Bitset| dnf.eval_set(s);
         let expect = shapley_naive(&f, 8);
         for reuse in [false, true] {
-            let cfg = ExactConfig { reuse_unaffected: reuse, ..Default::default() };
+            let cfg = ExactConfig {
+                reuse_unaffected: reuse,
+                ..Default::default()
+            };
             let got = shapley_all_facts(&dd, 8, &cfg).unwrap();
             assert_eq!(&got[..], &expect[..7], "reuse={reuse}");
         }
@@ -443,8 +467,7 @@ mod tests {
         let dd = compile_dnf(&dnf, 7);
         let all = shapley_all_facts(&dd, 8, &ExactConfig::default()).unwrap();
         for v in 0..7 {
-            let one =
-                shapley_single_fact(&dd, 8, v, &ExactConfig::default()).unwrap();
+            let one = shapley_single_fact(&dd, 8, v, &ExactConfig::default()).unwrap();
             assert_eq!(one, all[v], "var {v}");
         }
     }

@@ -117,8 +117,14 @@ pub fn hybrid_shapley(
     let t = tseytin(circuit, root);
 
     // Exact attempt under the deadline.
-    let budget = Budget { deadline: Some(deadline), max_nodes: usize::MAX };
-    let exact_cfg = ExactConfig { deadline: Some(deadline), ..cfg.exact };
+    let budget = Budget {
+        deadline: Some(deadline),
+        max_nodes: usize::MAX,
+    };
+    let exact_cfg = ExactConfig {
+        deadline: Some(deadline),
+        ..cfg.exact
+    };
     let exact_result = compile(&t.cnf, &budget).ok().and_then(|(full, _)| {
         let ddnnf = project(&full, t.num_inputs());
         shapley_all_facts(&ddnnf, n_endo, &exact_cfg).ok()
@@ -194,7 +200,10 @@ mod tests {
     #[test]
     fn falls_back_to_proxy_on_zero_timeout() {
         let (c, root) = running_example_circuit();
-        let cfg = HybridConfig { timeout: Duration::ZERO, ..Default::default() };
+        let cfg = HybridConfig {
+            timeout: Duration::ZERO,
+            ..Default::default()
+        };
         let report = hybrid_shapley(&c, root, 8, &cfg);
         assert!(!report.outcome.is_exact());
         // The proxy ranking still puts a1's pair facts above a6/a7... and
@@ -227,7 +236,10 @@ mod tests {
             }
             HybridOutcome::Proxy(_) => unreachable!(),
         }
-        let off = HybridConfig { timeout: Duration::ZERO, ..Default::default() };
+        let off = HybridConfig {
+            timeout: Duration::ZERO,
+            ..Default::default()
+        };
         assert!(!hybrid_shapley_dnf(&d, 8, &off).outcome.is_exact());
     }
 
@@ -239,7 +251,10 @@ mod tests {
         for pair in [[0u32, 1], [1, 2], [0, 2]] {
             d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
         }
-        let cfg = HybridConfig { try_read_once: true, ..Default::default() };
+        let cfg = HybridConfig {
+            try_read_once: true,
+            ..Default::default()
+        };
         let report = hybrid_shapley_dnf(&d, 3, &cfg);
         assert!(report.outcome.is_exact());
         match &report.outcome {
@@ -263,7 +278,10 @@ mod tests {
         let mut c = Circuit::new();
         let root = d.to_circuit(&mut c);
         let exact = hybrid_shapley(&c, root, 6, &HybridConfig::default());
-        let cfg = HybridConfig { timeout: Duration::ZERO, ..Default::default() };
+        let cfg = HybridConfig {
+            timeout: Duration::ZERO,
+            ..Default::default()
+        };
         let proxy = hybrid_shapley(&c, root, 6, &cfg);
         // a2..a5 (ids 1..4) must rank above a6,a7 (ids 5,6) in both.
         let rank_exact = exact.outcome.ranking();

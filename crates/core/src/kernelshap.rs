@@ -31,17 +31,17 @@ pub struct KernelShapConfig {
 
 impl Default for KernelShapConfig {
     fn default() -> Self {
-        KernelShapConfig { samples: 1000, seed: 0x5A17, ridge: 1e-9 }
+        KernelShapConfig {
+            samples: 1000,
+            seed: 0x5A17,
+            ridge: 1e-9,
+        }
     }
 }
 
 /// Estimates Shapley values of the Boolean set function `f` over facts
 /// `0..n` with Kernel SHAP.
-pub fn kernel_shap(
-    f: &impl Fn(&Bitset) -> bool,
-    n: usize,
-    cfg: &KernelShapConfig,
-) -> Vec<f64> {
+pub fn kernel_shap(f: &impl Fn(&Bitset) -> bool, n: usize, cfg: &KernelShapConfig) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
@@ -59,8 +59,10 @@ pub fn kernel_shap(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Shapley-kernel size distribution over 1..=n-1.
     let sizes: Vec<usize> = (1..n).collect();
-    let kernel_weights: Vec<f64> =
-        sizes.iter().map(|&s| (n - 1) as f64 / (s as f64 * (n - s) as f64)).collect();
+    let kernel_weights: Vec<f64> = sizes
+        .iter()
+        .map(|&s| (n - 1) as f64 / (s as f64 * (n - s) as f64))
+        .collect();
 
     // Regression with φ_{n-1} eliminated: unknowns φ_0..φ_{n-2}.
     let d = n - 1;
@@ -127,9 +129,12 @@ mod tests {
     fn approximates_exact_values() {
         let d = running_example_dnf();
         let f = |s: &Bitset| d.eval_set(s);
-        let exact: Vec<f64> =
-            shapley_naive(&f, 8).iter().map(|r| r.to_f64()).collect();
-        let cfg = KernelShapConfig { samples: 40_000, seed: 17, ..Default::default() };
+        let exact: Vec<f64> = shapley_naive(&f, 8).iter().map(|r| r.to_f64()).collect();
+        let cfg = KernelShapConfig {
+            samples: 40_000,
+            seed: 17,
+            ..Default::default()
+        };
         let est = kernel_shap(&f, 8, &cfg);
         for (i, (e, x)) in est.iter().zip(&exact).enumerate() {
             assert!((e - x).abs() < 0.05, "fact {i}: est {e} vs exact {x}");
@@ -140,7 +145,11 @@ mod tests {
     fn efficiency_constraint_holds_exactly() {
         let d = running_example_dnf();
         let f = |s: &Bitset| d.eval_set(s);
-        let cfg = KernelShapConfig { samples: 500, seed: 3, ..Default::default() };
+        let cfg = KernelShapConfig {
+            samples: 500,
+            seed: 3,
+            ..Default::default()
+        };
         let est = kernel_shap(&f, 8, &cfg);
         let total: f64 = est.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "Σφ must equal h(1⃗)−h(0⃗)");
@@ -159,7 +168,11 @@ mod tests {
         // available, the estimate is count({1})/count(total) — binomially
         // distributed around 1/2, so allow sampling noise.
         let f = |s: &Bitset| s.contains(0) && s.contains(1);
-        let cfg = KernelShapConfig { samples: 4000, seed: 5, ..Default::default() };
+        let cfg = KernelShapConfig {
+            samples: 4000,
+            seed: 5,
+            ..Default::default()
+        };
         let est = kernel_shap(&f, 2, &cfg);
         assert!((est[0] - 0.5).abs() < 0.05, "got {}", est[0]);
         assert!((est[1] - 0.5).abs() < 0.05, "got {}", est[1]);

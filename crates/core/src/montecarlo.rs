@@ -25,7 +25,10 @@ pub struct MonteCarloConfig {
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
-        MonteCarloConfig { permutations: 50, seed: 0x5AD0 }
+        MonteCarloConfig {
+            permutations: 50,
+            seed: 0x5AD0,
+        }
     }
 }
 
@@ -130,9 +133,11 @@ mod tests {
     fn converges_to_exact_values() {
         let d = running_example_dnf();
         let f = |s: &Bitset| d.eval_set(s);
-        let exact: Vec<f64> =
-            shapley_naive(&f, 8).iter().map(|r| r.to_f64()).collect();
-        let cfg = MonteCarloConfig { permutations: 20_000, seed: 42 };
+        let exact: Vec<f64> = shapley_naive(&f, 8).iter().map(|r| r.to_f64()).collect();
+        let cfg = MonteCarloConfig {
+            permutations: 20_000,
+            seed: 42,
+        };
         let est = monte_carlo_shapley(&f, 8, &cfg);
         for (i, (e, x)) in est.iter().zip(&exact).enumerate() {
             assert!((e - x).abs() < 0.02, "fact {i}: est {e} vs exact {x}");
@@ -145,7 +150,10 @@ mod tests {
         // on a monotone function.
         let d = running_example_dnf();
         let f = |s: &Bitset| d.eval_set(s);
-        let cfg = MonteCarloConfig { permutations: 500, seed: 7 };
+        let cfg = MonteCarloConfig {
+            permutations: 500,
+            seed: 7,
+        };
         let a = monte_carlo_shapley(&f, 8, &cfg);
         let b = monte_carlo_shapley_monotone(&f, 8, &cfg);
         assert_eq!(a, b);
@@ -155,7 +163,10 @@ mod tests {
     fn null_player_estimated_zero() {
         let d = running_example_dnf();
         let f = |s: &Bitset| d.eval_set(s);
-        let cfg = MonteCarloConfig { permutations: 2000, seed: 9 };
+        let cfg = MonteCarloConfig {
+            permutations: 2000,
+            seed: 9,
+        };
         let est = monte_carlo_shapley(&f, 8, &cfg);
         assert_eq!(est[7], 0.0, "a8 never changes the outcome");
     }
@@ -163,13 +174,17 @@ mod tests {
     #[test]
     fn empty_and_constant_games() {
         let always = |_: &Bitset| true;
-        assert!(monte_carlo_shapley(&always, 3, &MonteCarloConfig::default())
-            .iter()
-            .all(|&v| v == 0.0));
+        assert!(
+            monte_carlo_shapley(&always, 3, &MonteCarloConfig::default())
+                .iter()
+                .all(|&v| v == 0.0)
+        );
         let never = |_: &Bitset| false;
-        assert!(monte_carlo_shapley_monotone(&never, 3, &MonteCarloConfig::default())
-            .iter()
-            .all(|&v| v == 0.0));
+        assert!(
+            monte_carlo_shapley_monotone(&never, 3, &MonteCarloConfig::default())
+                .iter()
+                .all(|&v| v == 0.0)
+        );
         assert!(monte_carlo_shapley(&always, 0, &MonteCarloConfig::default()).is_empty());
     }
 
@@ -179,7 +194,10 @@ mod tests {
         // so the estimates sum to it exactly.
         let d = running_example_dnf();
         let f = |s: &Bitset| d.eval_set(s);
-        let cfg = MonteCarloConfig { permutations: 137, seed: 3 };
+        let cfg = MonteCarloConfig {
+            permutations: 137,
+            seed: 3,
+        };
         let est = monte_carlo_shapley(&f, 8, &cfg);
         let total: f64 = est.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);

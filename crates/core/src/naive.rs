@@ -36,8 +36,9 @@ pub fn shapley_naive(f: &impl Fn(&Bitset) -> bool, n: usize) -> Vec<Rational> {
     }
     let mut facts = FactorialTable::new();
     // Precompute f on all subsets once: 2^n evaluations.
-    let evals: Vec<bool> =
-        (0u64..(1 << n)).map(|mask| f(&mask_to_bitset(mask, n))).collect();
+    let evals: Vec<bool> = (0u64..(1 << n))
+        .map(|mask| f(&mask_to_bitset(mask, n)))
+        .collect();
     let mut out = Vec::with_capacity(n);
     for target in 0..n {
         let mut value = Rational::zero();
@@ -72,8 +73,9 @@ pub fn shapley_naive_by_slices(f: &impl Fn(&Bitset) -> bool, n: usize) -> Vec<Ra
         return Vec::new();
     }
     let mut facts = FactorialTable::new();
-    let evals: Vec<bool> =
-        (0u64..(1 << n)).map(|mask| f(&mask_to_bitset(mask, n))).collect();
+    let evals: Vec<bool> = (0u64..(1 << n))
+        .map(|mask| f(&mask_to_bitset(mask, n)))
+        .collect();
     let mut out = Vec::with_capacity(n);
     for target in 0..n {
         let bit = 1u64 << target;
@@ -115,8 +117,9 @@ pub fn shapley_naive_game(game: &impl Fn(&Bitset) -> Rational, n: usize) -> Vec<
         return Vec::new();
     }
     let mut facts = FactorialTable::new();
-    let evals: Vec<Rational> =
-        (0u64..(1 << n)).map(|mask| game(&mask_to_bitset(mask, n))).collect();
+    let evals: Vec<Rational> = (0u64..(1 << n))
+        .map(|mask| game(&mask_to_bitset(mask, n)))
+        .collect();
     let mut out = Vec::with_capacity(n);
     for target in 0..n {
         let mut value = Rational::zero();

@@ -83,20 +83,21 @@ pub fn analyze_lineage(
 ) -> Result<LineageAnalysis, AnalysisError> {
     let kc_start = Instant::now();
     let t = tseytin(circuit, root);
-    let (full, compile_stats) =
-        compile(&t.cnf, budget).map_err(AnalysisError::Compile)?;
+    let (full, compile_stats) = compile(&t.cnf, budget).map_err(AnalysisError::Compile)?;
     let ddnnf = project(&full, t.num_inputs());
     let kc_time = kc_start.elapsed();
 
     let alg1_start = Instant::now();
-    let values =
-        shapley_all_facts(&ddnnf, n_endo, cfg).map_err(AnalysisError::Shapley)?;
+    let values = shapley_all_facts(&ddnnf, n_endo, cfg).map_err(AnalysisError::Shapley)?;
     let alg1_time = alg1_start.elapsed();
 
     let mut attributions: Vec<FactAttribution> = values
         .into_iter()
         .enumerate()
-        .map(|(i, shapley)| FactAttribution { fact: t.input_vars[i], shapley })
+        .map(|(i, shapley)| FactAttribution {
+            fact: t.input_vars[i],
+            shapley,
+        })
         .collect();
     attributions.sort_by(|a, b| b.shapley.cmp(&a.shapley));
     Ok(LineageAnalysis {
@@ -172,18 +173,15 @@ mod tests {
     #[test]
     fn running_example_end_to_end() {
         let (c, root) = running_example_circuit();
-        let analysis = analyze_lineage(
-            &c,
-            root,
-            8,
-            &Budget::unlimited(),
-            &ExactConfig::default(),
-        )
-        .unwrap();
+        let analysis =
+            analyze_lineage(&c, root, 8, &Budget::unlimited(), &ExactConfig::default()).unwrap();
         assert_eq!(analysis.num_facts, 7);
         // Top fact is a1 with 43/105.
         assert_eq!(analysis.attributions[0].fact, VarId(0));
-        assert_eq!(analysis.attributions[0].shapley, Rational::from_ratio(43, 105));
+        assert_eq!(
+            analysis.attributions[0].shapley,
+            Rational::from_ratio(43, 105)
+        );
         // Sorted non-increasing.
         for w in analysis.attributions.windows(2) {
             assert!(w[0].shapley >= w[1].shapley);
@@ -199,17 +197,23 @@ mod tests {
         for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
             d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
         }
-        let auto = analyze_lineage_auto(&d, 8, &Budget::unlimited(), &ExactConfig::default())
-            .unwrap();
+        let auto =
+            analyze_lineage_auto(&d, 8, &Budget::unlimited(), &ExactConfig::default()).unwrap();
         assert_eq!(auto.method, AnalysisMethod::ReadOnce);
         assert_eq!(auto.cnf_clauses, 0);
         let (c, root) = running_example_circuit();
-        let kc = analyze_lineage(&c, root, 8, &Budget::unlimited(), &ExactConfig::default())
-            .unwrap();
-        let a: Vec<(VarId, Rational)> =
-            auto.attributions.iter().map(|f| (f.fact, f.shapley.clone())).collect();
-        let b: Vec<(VarId, Rational)> =
-            kc.attributions.iter().map(|f| (f.fact, f.shapley.clone())).collect();
+        let kc =
+            analyze_lineage(&c, root, 8, &Budget::unlimited(), &ExactConfig::default()).unwrap();
+        let a: Vec<(VarId, Rational)> = auto
+            .attributions
+            .iter()
+            .map(|f| (f.fact, f.shapley.clone()))
+            .collect();
+        let b: Vec<(VarId, Rational)> = kc
+            .attributions
+            .iter()
+            .map(|f| (f.fact, f.shapley.clone()))
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -219,8 +223,8 @@ mod tests {
         for pair in [[0u32, 1], [1, 2], [0, 2]] {
             d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
         }
-        let auto = analyze_lineage_auto(&d, 3, &Budget::unlimited(), &ExactConfig::default())
-            .unwrap();
+        let auto =
+            analyze_lineage_auto(&d, 3, &Budget::unlimited(), &ExactConfig::default()).unwrap();
         assert_eq!(auto.method, AnalysisMethod::KnowledgeCompilation);
         // Majority of three: every fact gets 1/3 by symmetry + efficiency.
         for f in &auto.attributions {

@@ -43,10 +43,8 @@ pub fn cnf_proxy(cnf: &Cnf, is_scored: &impl Fn(usize) -> bool) -> Vec<f64> {
         // Weights are only well-defined for polarities actually present:
         // a positive literal implies pos ≥ 1, hence C(m-1, neg) ≥ 1 (and
         // symmetrically), so the lazy computation never divides by zero.
-        let pos_weight =
-            || 1.0 / (nf * m as f64 * binomial(m - 1, neg).to_f64());
-        let neg_weight =
-            || 1.0 / (nf * m as f64 * binomial(m - 1, pos).to_f64());
+        let pos_weight = || 1.0 / (nf * m as f64 * binomial(m - 1, neg).to_f64());
+        let neg_weight = || 1.0 / (nf * m as f64 * binomial(m - 1, pos).to_f64());
         for l in clause.lits() {
             if !is_scored(l.var()) {
                 continue;
@@ -86,15 +84,13 @@ pub fn cnf_proxy_exact(cnf: &Cnf, is_scored: &impl Fn(usize) -> bool) -> Vec<Rat
             }
             if l.is_positive() {
                 let w = w_pos.get_or_insert_with(|| {
-                    let denom =
-                        binomial(m - 1, neg) * shapdb_num::BigUint::from((n * m) as u64);
+                    let denom = binomial(m - 1, neg) * shapdb_num::BigUint::from((n * m) as u64);
                     Rational::new(BigInt::one(), denom)
                 });
                 v[l.var()] += &w.clone();
             } else {
                 let w = w_neg.get_or_insert_with(|| {
-                    let denom =
-                        binomial(m - 1, pos) * shapdb_num::BigUint::from((n * m) as u64);
+                    let denom = binomial(m - 1, pos) * shapdb_num::BigUint::from((n * m) as u64);
                     Rational::new(BigInt::from_i64(-1), denom)
                 });
                 v[l.var()] += &w.clone();
@@ -111,7 +107,11 @@ pub fn proxy_from_lineage(circuit: &Circuit, root: NodeId) -> Vec<(VarId, f64)> 
     let t = tseytin(circuit, root);
     let k = t.num_inputs();
     let scores = cnf_proxy(&t.cnf, &|v| v < k);
-    t.input_vars.iter().enumerate().map(|(i, &f)| (f, scores[i])).collect()
+    t.input_vars
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, scores[i]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -176,8 +176,7 @@ mod tests {
                 s.insert(target);
                 let with = game(&s);
                 let k = mask.count_ones() as usize;
-                let coeff =
-                    shapdb_num::combinatorics::shapley_coefficient(n_vars, k, &mut facts);
+                let coeff = shapdb_num::combinatorics::shapley_coefficient(n_vars, k, &mut facts);
                 let delta = &with - &without;
                 expect[target] += &(&coeff * &delta);
             }
@@ -207,10 +206,18 @@ mod tests {
         let by_fact: std::collections::HashMap<u32, f64> =
             scored.iter().map(|(v, s)| (v.0, *s)).collect();
         for a in [2u32, 3, 4, 5] {
-            assert!((by_fact[&a] - 1.0 / 33.0).abs() < 1e-12, "a{a}: {}", by_fact[&a]);
+            assert!(
+                (by_fact[&a] - 1.0 / 33.0).abs() < 1e-12,
+                "a{a}: {}",
+                by_fact[&a]
+            );
         }
         for a in [6u32, 7] {
-            assert!((by_fact[&a] - 1.0 / 66.0).abs() < 1e-12, "a{a}: {}", by_fact[&a]);
+            assert!(
+                (by_fact[&a] - 1.0 / 66.0).abs() < 1e-12,
+                "a{a}: {}",
+                by_fact[&a]
+            );
         }
         // Ranking: a2..a5 strictly above a6, a7 (as the paper concludes).
         assert!(by_fact[&2] > by_fact[&6]);
@@ -227,8 +234,14 @@ mod tests {
         // Tseytin variable and its positive/negative contributions cancel —
         // the failure mode the paper highlights.
         let mut c = Circuit::new_raw();
-        let conjs: Vec<Vec<u32>> =
-            vec![vec![1], vec![2, 4], vec![2, 5], vec![3, 4], vec![3, 5], vec![6, 7]];
+        let conjs: Vec<Vec<u32>> = vec![
+            vec![1],
+            vec![2, 4],
+            vec![2, 5],
+            vec![3, 4],
+            vec![3, 5],
+            vec![6, 7],
+        ];
         let disjuncts: Vec<NodeId> = conjs
             .iter()
             .map(|conj| {

@@ -170,7 +170,11 @@ fn conditioned_root(
     binomials: &mut BinomialTable,
 ) -> Vec<BigUint> {
     // Conditioned leaf: a constant over zero variables.
-    let mut cur = if value { vec![BigUint::one()] } else { vec![BigUint::zero()] };
+    let mut cur = if value {
+        vec![BigUint::one()]
+    } else {
+        vec![BigUint::zero()]
+    };
     let mut child = leaf;
     while let Some(p) = a.parent[child] {
         let kids = match &a.nodes[p] {
@@ -182,7 +186,11 @@ fn conditioned_root(
         if is_and {
             let mut arrays: Vec<&[BigUint]> = Vec::with_capacity(kids.len());
             for &k in kids {
-                arrays.push(if k == child { cur.as_slice() } else { base[k].as_slice() });
+                arrays.push(if k == child {
+                    cur.as_slice()
+                } else {
+                    base[k].as_slice()
+                });
             }
             cur = convolve(&arrays);
         } else {
@@ -288,9 +296,10 @@ mod tests {
     #[test]
     fn running_example_values_match_example_2_1() {
         let d = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
-        let got = try_shapley_read_once(&d, 8, None).expect("read-once").unwrap();
-        let by_var: HashMap<u32, Rational> =
-            got.into_iter().map(|(v, r)| (v.0, r)).collect();
+        let got = try_shapley_read_once(&d, 8, None)
+            .expect("read-once")
+            .unwrap();
+        let by_var: HashMap<u32, Rational> = got.into_iter().map(|(v, r)| (v.0, r)).collect();
         assert_eq!(by_var[&0], Rational::from_ratio(43, 105));
         for v in [1, 2, 3, 4] {
             assert_eq!(by_var[&v], Rational::from_ratio(23, 210), "a{}", v + 1);
@@ -305,8 +314,7 @@ mod tests {
         // (a2∧a4)∨(a2∧a5)∨(a3∧a4)∨(a3∧a5)∨(a6∧a7): 11/60 ×4, 2/15 ×2.
         let d = dnf(&[&[0, 2], &[0, 3], &[1, 2], &[1, 3], &[4, 5]]);
         let got = try_shapley_read_once(&d, 6, None).unwrap().unwrap();
-        let by_var: HashMap<u32, Rational> =
-            got.into_iter().map(|(v, r)| (v.0, r)).collect();
+        let by_var: HashMap<u32, Rational> = got.into_iter().map(|(v, r)| (v.0, r)).collect();
         for v in 0..4 {
             assert_eq!(by_var[&v], Rational::from_ratio(11, 60));
         }
@@ -361,7 +369,10 @@ mod tests {
     #[test]
     fn constant_trees_have_no_players() {
         assert_eq!(shapley_read_once(&ReadOnce::True, 5, None).unwrap(), vec![]);
-        assert_eq!(shapley_read_once(&ReadOnce::False, 5, None).unwrap(), vec![]);
+        assert_eq!(
+            shapley_read_once(&ReadOnce::False, 5, None).unwrap(),
+            vec![]
+        );
     }
 
     /// Strategy: a random read-once tree over a permutation of `0..n` vars.
@@ -375,8 +386,16 @@ mod tests {
                     let cut = 1 + (salt as usize % (vars.len() - 1));
                     let (l, r) = vars.split_at(cut);
                     let kids = vec![
-                        build(l, !or_level, salt.wrapping_mul(6364136223846793005).wrapping_add(1)),
-                        build(r, !or_level, salt.wrapping_mul(1442695040888963407).wrapping_add(3)),
+                        build(
+                            l,
+                            !or_level,
+                            salt.wrapping_mul(6364136223846793005).wrapping_add(1),
+                        ),
+                        build(
+                            r,
+                            !or_level,
+                            salt.wrapping_mul(1442695040888963407).wrapping_add(3),
+                        ),
                     ];
                     if or_level {
                         ReadOnce::Or(kids)
@@ -386,7 +405,11 @@ mod tests {
                 }
             }
         }
-        build(&vars, true, vars.iter().map(|&v| v as u64 + 1).product::<u64>())
+        build(
+            &vars,
+            true,
+            vars.iter().map(|&v| v as u64 + 1).product::<u64>(),
+        )
     }
 
     /// Expands a read-once tree to its prime-implicant DNF.
@@ -428,7 +451,9 @@ mod tests {
         let mut v: Vec<u32> = (0..n as u32).collect();
         let mut state = seed | 1;
         for i in (1..v.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             v.swap(i, j);
         }

@@ -67,14 +67,16 @@ pub fn min_contingency(lineage: &Dnf, fact: VarId) -> Option<usize> {
 
     let mut best: Option<usize> = None;
     for witness in &witnesses {
-        let forbidden: Vec<VarId> =
-            witness.iter().copied().filter(|&v| v != fact).collect();
+        let forbidden: Vec<VarId> = witness.iter().copied().filter(|&v| v != fact).collect();
         // Conjuncts of `G` still to hit, minus variables we may never pick.
         let mut to_hit: Vec<Vec<VarId>> = Vec::with_capacity(others.len());
         let mut feasible = true;
         for g in &others {
-            let allowed: Vec<VarId> =
-                g.iter().copied().filter(|v| !forbidden.contains(v)).collect();
+            let allowed: Vec<VarId> = g
+                .iter()
+                .copied()
+                .filter(|v| !forbidden.contains(v))
+                .collect();
             if allowed.is_empty() {
                 feasible = false; // this G-conjunct survives whatever we do
                 break;
@@ -140,7 +142,9 @@ fn branch(
         }
     }
     // First unhit conjunct; if none, we have a hitting set.
-    let Some(unhit) = conjuncts.iter().find(|c| !c.iter().any(|v| chosen.contains(v.index())))
+    let Some(unhit) = conjuncts
+        .iter()
+        .find(|c| !c.iter().any(|v| chosen.contains(v.index())))
     else {
         *best = Some(size);
         return;

@@ -45,7 +45,12 @@ struct ShapDp<'a> {
 
 impl<'a> ShapDp<'a> {
     fn new(d: &'a Ddnnf, probs: &'a [Rational]) -> ShapDp<'a> {
-        ShapDp { d, sets: d.var_sets(), probs, binomials: BinomialTable::new() }
+        ShapDp {
+            d,
+            sets: d.var_sets(),
+            probs,
+            binomials: BinomialTable::new(),
+        }
     }
 
     fn size(&self, g: usize, cond_var: Option<usize>) -> usize {
@@ -307,7 +312,11 @@ mod tests {
             .map(|nd| match nd {
                 DNode::Lit(l) => {
                     let v = mapping[l.var()];
-                    DNode::Lit(if l.is_positive() { Lit::pos(v) } else { Lit::neg(v) })
+                    DNode::Lit(if l.is_positive() {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    })
                 }
                 other => other.clone(),
             })
@@ -367,8 +376,9 @@ mod tests {
         // Σ_x SHAP(x) = h(ē) − E[h] = 1 − WMC(probs) here.
         let dnf = running_example_dnf();
         let dd = compile_dnf(&dnf, 7);
-        let probs: Vec<Rational> =
-            (0..7).map(|i| Rational::from_ratio(i as i64 + 1, 10)).collect();
+        let probs: Vec<Rational> = (0..7)
+            .map(|i| Rational::from_ratio(i as i64 + 1, 10))
+            .collect();
         let shap = shap_scores(&dd, &probs);
         let total = shap.iter().fold(Rational::zero(), |acc, v| &acc + v);
         let expected_h = dd.probability_rational(&probs);

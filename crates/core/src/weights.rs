@@ -20,7 +20,9 @@ use shapdb_num::{combinatorics::FactorialTable, BigInt, BigUint, Rational};
 /// for a database with thousands of endogenous facts is the difference
 /// between microseconds and hours.
 pub(crate) fn completion_weights(m: usize, facts: &mut FactorialTable) -> Vec<BigUint> {
-    (0..m).map(|j| facts.get(j).clone() * facts.get(m - 1 - j).clone()).collect()
+    (0..m)
+        .map(|j| facts.get(j).clone() * facts.get(m - 1 - j).clone())
+        .collect()
 }
 
 /// The final sum: `Σ_j (Γ[j] − Δ[j]) · w_j / m!`.
@@ -34,8 +36,7 @@ pub(crate) fn weighted_difference(
     debug_assert_eq!(gamma.len(), weights.len());
     let mut numer = BigInt::zero();
     for j in 0..gamma.len() {
-        let diff =
-            BigInt::from_biguint(gamma[j].clone()) - BigInt::from_biguint(delta[j].clone());
+        let diff = BigInt::from_biguint(gamma[j].clone()) - BigInt::from_biguint(delta[j].clone());
         if diff.is_zero() {
             continue;
         }

@@ -54,7 +54,8 @@ impl Database {
             "relation `{name}` already exists"
         );
         let idx = self.relations.len();
-        self.relations.push(Relation::new(Schema::new(name, columns)));
+        self.relations
+            .push(Relation::new(Schema::new(name, columns)));
         self.by_name.insert(name.to_string(), idx);
         idx
     }
@@ -62,12 +63,7 @@ impl Database {
     /// Inserts a fact and returns its id.
     ///
     /// `endogenous` marks the fact as a Shapley player (a member of `D_n`).
-    pub fn insert(
-        &mut self,
-        relation: &str,
-        values: Vec<Value>,
-        endogenous: bool,
-    ) -> FactId {
+    pub fn insert(&mut self, relation: &str, values: Vec<Value>, endogenous: bool) -> FactId {
         let rel_idx = *self
             .by_name
             .get(relation)
@@ -79,8 +75,15 @@ impl Database {
             "arity mismatch inserting into `{relation}`"
         );
         let id = FactId(self.fact_index.len() as u32);
-        self.fact_index.push(FactRef { relation: rel_idx, row: rel.len() });
-        rel.push(StoredFact { id, values: values.into_boxed_slice(), endogenous });
+        self.fact_index.push(FactRef {
+            relation: rel_idx,
+            row: rel.len(),
+        });
+        rel.push(StoredFact {
+            id,
+            values: values.into_boxed_slice(),
+            endogenous,
+        });
         id
     }
 

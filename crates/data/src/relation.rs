@@ -21,7 +21,10 @@ impl Schema {
                 "duplicate column `{c}` in relation `{name}`"
             );
         }
-        Schema { name: name.to_string(), columns: cols }
+        Schema {
+            name: name.to_string(),
+            columns: cols,
+        }
     }
 
     /// Relation name.
@@ -66,7 +69,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation.
     pub fn new(schema: Schema) -> Relation {
-        Relation { schema, facts: Vec::new() }
+        Relation {
+            schema,
+            facts: Vec::new(),
+        }
     }
 
     /// The schema.

@@ -94,9 +94,22 @@ mod tests {
     #[test]
     fn ordering_is_total() {
         // Ints sort before strings (enum order); ties compare payloads.
-        let mut vals = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        let mut vals = vec![
+            Value::str("b"),
+            Value::int(2),
+            Value::str("a"),
+            Value::int(1),
+        ];
         vals.sort();
-        assert_eq!(vals, vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]);
+        assert_eq!(
+            vals,
+            vec![
+                Value::int(1),
+                Value::int(2),
+                Value::str("a"),
+                Value::str("b")
+            ]
+        );
     }
 
     #[test]

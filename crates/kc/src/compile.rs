@@ -34,7 +34,10 @@ pub struct Budget {
 
 impl Default for Budget {
     fn default() -> Self {
-        Budget { deadline: None, max_nodes: usize::MAX }
+        Budget {
+            deadline: None,
+            max_nodes: usize::MAX,
+        }
     }
 }
 
@@ -46,12 +49,18 @@ impl Budget {
 
     /// A deadline `timeout` from now.
     pub fn with_timeout(timeout: std::time::Duration) -> Budget {
-        Budget { deadline: Some(Instant::now() + timeout), max_nodes: usize::MAX }
+        Budget {
+            deadline: Some(Instant::now() + timeout),
+            max_nodes: usize::MAX,
+        }
     }
 
     /// A node cap.
     pub fn with_max_nodes(max_nodes: usize) -> Budget {
-        Budget { deadline: None, max_nodes }
+        Budget {
+            deadline: None,
+            max_nodes,
+        }
     }
 }
 
@@ -231,7 +240,11 @@ impl<'a> Compiler<'a> {
         let unit_nodes: Vec<NodeIdx> = trail
             .iter()
             .map(|&v| {
-                let lit = if self.assign[v] == 1 { Lit::pos(v) } else { Lit::neg(v) };
+                let lit = if self.assign[v] == 1 {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                };
                 self.builder.lit(lit)
             })
             .collect();
@@ -295,9 +308,7 @@ impl<'a> Compiler<'a> {
                 }
                 let (&var, _) = score
                     .iter()
-                    .max_by(|(va, sa), (vb, sb)| {
-                        sa.total_cmp(sb).then(vb.cmp(va))
-                    })
+                    .max_by(|(va, sa), (vb, sb)| sa.total_cmp(sb).then(vb.cmp(va)))
                     .expect("non-empty component");
                 var
             }
@@ -549,7 +560,10 @@ mod tests {
         cnf.push_lits(vec![Lit::pos(0), Lit::pos(2)]);
         cnf.push_lits(vec![Lit::pos(3), Lit::pos(4)]);
         let (d, _) = compile(&cnf, &Budget::unlimited()).unwrap();
-        assert_eq!(d.count_models().to_u64(), Some(cnf.count_models_bruteforce()));
+        assert_eq!(
+            d.count_models().to_u64(),
+            Some(cnf.count_models_bruteforce())
+        );
     }
 
     #[test]
@@ -594,7 +608,10 @@ mod tests {
         cnf.push_lits(vec![Lit::pos(0), Lit::neg(0)]);
         cnf.push_lits(vec![Lit::pos(1)]);
         let (d, _) = compile(&cnf, &Budget::unlimited()).unwrap();
-        assert_eq!(d.count_models().to_u64(), Some(cnf.count_models_bruteforce()));
+        assert_eq!(
+            d.count_models().to_u64(),
+            Some(cnf.count_models_bruteforce())
+        );
     }
 
     proptest! {

@@ -46,7 +46,11 @@ impl Ddnnf {
     /// Assembles a d-DNNF from an arena (children must precede parents).
     pub fn new(nodes: Vec<DNode>, root: NodeIdx, num_vars: usize) -> Ddnnf {
         assert!(root.index() < nodes.len(), "root out of range");
-        Ddnnf { nodes, root, num_vars }
+        Ddnnf {
+            nodes,
+            root,
+            num_vars,
+        }
     }
 
     /// The node arena (children precede parents).

@@ -90,8 +90,10 @@ pub fn from_nnf(text: &str) -> Result<Ddnnf, NnfError> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| NnfError("bad node count".into()))?;
-    let _edges: usize =
-        hp.next().and_then(|s| s.parse().ok()).ok_or_else(|| NnfError("bad edge count".into()))?;
+    let _edges: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| NnfError("bad edge count".into()))?;
     let num_vars: usize = hp
         .next()
         .and_then(|s| s.parse().ok())

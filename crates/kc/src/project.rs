@@ -56,8 +56,11 @@ pub fn project(d: &Ddnnf, num_inputs: usize) -> Ddnnf {
                 }
             }
             DNode::Or(cs, decision) => {
-                let kids: Vec<NodeIdx> =
-                    cs.iter().filter(|c| sat[c.index()]).map(|c| map[c.index()]).collect();
+                let kids: Vec<NodeIdx> = cs
+                    .iter()
+                    .filter(|c| sat[c.index()])
+                    .map(|c| map[c.index()])
+                    .collect();
                 // Keep the decision annotation only if the variable survives.
                 match decision {
                     Some(v) if (*v as usize) < num_inputs && kids.len() == 2 => {
@@ -157,7 +160,9 @@ mod tests {
         let t = tseytin(&c, root);
         let (full, _) = compile(&t.cnf, &Budget::unlimited()).unwrap();
         let proj = project(&full, t.num_inputs());
-        let accepting = (0u32..32).filter(|&m| c.eval(root, &|v| m >> v.0 & 1 == 1)).count();
+        let accepting = (0u32..32)
+            .filter(|&m| c.eval(root, &|v| m >> v.0 & 1 == 1))
+            .count();
         assert_eq!(proj.count_models().to_u64(), Some(accepting as u64));
         // Pre-projection the count is identical (1:1 extensions).
         assert_eq!(full.count_models().to_u64(), Some(accepting as u64));
@@ -169,7 +174,11 @@ mod tests {
         let vs: Vec<_> = (0..8).map(|i| c.var(VarId(i))).collect();
         let mut acc = vs[0];
         for (i, &v) in vs.iter().enumerate().skip(1) {
-            acc = if i % 2 == 0 { c.and([acc, v]) } else { c.or([acc, v]) };
+            acc = if i % 2 == 0 {
+                c.and([acc, v])
+            } else {
+                c.or([acc, v])
+            };
         }
         check_roundtrip(&c, acc);
     }

@@ -111,7 +111,10 @@ pub fn is_smooth(d: &Ddnnf) -> bool {
 /// [`smooth`] + this simple recurrence equals
 /// [`Ddnnf::count_models`]'s arithmetic shortcut on the original circuit.
 pub fn count_models_smooth(d: &Ddnnf) -> BigUint {
-    debug_assert!(is_smooth(d), "count_models_smooth requires a smooth circuit");
+    debug_assert!(
+        is_smooth(d),
+        "count_models_smooth requires a smooth circuit"
+    );
     let mut counts: Vec<BigUint> = Vec::with_capacity(d.len());
     for node in d.nodes() {
         let c = match node {
@@ -149,7 +152,9 @@ mod tests {
         let mut cnf = Cnf::new(num_vars);
         for c in clauses {
             cnf.push_lits(
-                c.iter().map(|&(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) }).collect(),
+                c.iter()
+                    .map(|&(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                    .collect(),
             );
         }
         cnf

@@ -53,7 +53,10 @@ pub fn ndcg_at_k(candidate_ranking: &[usize], relevance: &[f64], k: usize) -> f6
     if ideal_dcg == 0.0 {
         return 1.0;
     }
-    dcg(&candidate_ranking[..k.min(candidate_ranking.len())], relevance) / ideal_dcg
+    dcg(
+        &candidate_ranking[..k.min(candidate_ranking.len())],
+        relevance,
+    ) / ideal_dcg
 }
 
 /// Precision@k: `|top_k(candidate) ∩ top_k(truth)| / k`.
@@ -84,7 +87,11 @@ pub fn l1_error(estimate: &[f64], truth: &[f64]) -> f64 {
     if estimate.is_empty() {
         return 0.0;
     }
-    estimate.iter().zip(truth).map(|(a, b)| (a - b).abs()).sum::<f64>()
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
         / estimate.len() as f64
 }
 
@@ -94,7 +101,11 @@ pub fn l2_error(estimate: &[f64], truth: &[f64]) -> f64 {
     if estimate.is_empty() {
         return 0.0;
     }
-    estimate.iter().zip(truth).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
         / estimate.len() as f64
 }
 
@@ -140,7 +151,15 @@ impl Summary {
     /// Summarizes a sample (empty samples give all-zero summaries).
     pub fn of(values: &[f64]) -> Summary {
         if values.is_empty() {
-            return Summary { count: 0, mean: 0.0, p25: 0.0, p50: 0.0, p75: 0.0, p99: 0.0, max: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                p25: 0.0,
+                p50: 0.0,
+                p75: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());

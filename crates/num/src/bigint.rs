@@ -23,12 +23,18 @@ pub struct BigInt {
 impl BigInt {
     /// The value 0.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
     }
 
     /// The value 1.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+        BigInt {
+            sign: Sign::Positive,
+            mag: BigUint::one(),
+        }
     }
 
     /// Builds from a sign and magnitude (normalizing zero).
@@ -46,7 +52,10 @@ impl BigInt {
         if mag.is_zero() {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Positive, mag }
+            BigInt {
+                sign: Sign::Positive,
+                mag,
+            }
         }
     }
 
@@ -54,10 +63,14 @@ impl BigInt {
     pub fn from_i64(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt { sign: Sign::Positive, mag: BigUint::from_u64(v as u64) },
-            Ordering::Less => {
-                BigInt { sign: Sign::Negative, mag: BigUint::from_u64(v.unsigned_abs()) }
-            }
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                mag: BigUint::from_u64(v as u64),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                mag: BigUint::from_u64(v.unsigned_abs()),
+            },
         }
     }
 
@@ -147,7 +160,10 @@ impl Neg for BigInt {
             Sign::Zero => Sign::Zero,
             Sign::Positive => Sign::Negative,
         };
-        BigInt { sign, mag: self.mag }
+        BigInt {
+            sign,
+            mag: self.mag,
+        }
     }
 }
 
@@ -165,7 +181,10 @@ impl Add for &BigInt {
         match (self.sign, rhs.sign) {
             (Zero, _) => rhs.clone(),
             (_, Zero) => self.clone(),
-            (a, b) if a == b => BigInt { sign: a, mag: &self.mag + &rhs.mag },
+            (a, b) if a == b => BigInt {
+                sign: a,
+                mag: &self.mag + &rhs.mag,
+            },
             _ => {
                 // Opposite signs: subtract the smaller magnitude.
                 match self.mag.cmp(&rhs.mag) {
@@ -220,7 +239,10 @@ impl Mul for &BigInt {
             (a, b) if a == b => Positive,
             _ => Negative,
         };
-        BigInt { sign, mag: &self.mag * &rhs.mag }
+        BigInt {
+            sign,
+            mag: &self.mag * &rhs.mag,
+        }
     }
 }
 

@@ -39,7 +39,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigUint { limbs: vec![lo, hi] };
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -210,9 +212,7 @@ impl BigUint {
             let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
             let mut qhat = num / v_top;
             let mut rhat = num % v_top;
-            while qhat >= 1 << 64
-                || qhat * v_second > ((rhat << 64) | un[j + n - 2] as u128)
-            {
+            while qhat >= 1 << 64 || qhat * v_second > ((rhat << 64) | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >= 1 << 64 {
@@ -385,7 +385,8 @@ impl Add for BigUint {
 impl Sub for &BigUint {
     type Output = BigUint;
     fn sub(self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 

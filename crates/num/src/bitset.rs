@@ -17,7 +17,10 @@ pub struct Bitset {
 impl Bitset {
     /// An empty set able to hold values `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        Bitset { words: vec![0; capacity.div_ceil(64)], capacity }
+        Bitset {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// The capacity (exclusive upper bound on stored values).
@@ -27,7 +30,11 @@ impl Bitset {
 
     /// Inserts `i`. Panics if `i >= capacity`.
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] |= 1 << (i % 64);
     }
 
@@ -68,17 +75,28 @@ impl Bitset {
 
     /// True iff every element of `self` is in `other`.
     pub fn is_subset(&self, other: &Bitset) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// `|self ∩ other|`.
     pub fn intersection_len(&self, other: &Bitset) -> usize {
-        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// `|self \ other|`.
     pub fn difference_len(&self, other: &Bitset) -> usize {
-        self.words.iter().zip(&other.words).map(|(a, b)| (a & !b).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
     }
 
     /// Iterates over elements in increasing order.

@@ -45,7 +45,9 @@ pub struct FactorialTable {
 impl FactorialTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        FactorialTable { table: vec![BigUint::one()] }
+        FactorialTable {
+            table: vec![BigUint::one()],
+        }
     }
 
     /// `n!`, computing and caching any missing prefix.

@@ -24,9 +24,8 @@ pub fn solve_f64(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     assert_eq!(b.len(), n);
     for col in 0..n {
         // Partial pivoting.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
-        })?;
+        let pivot =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot][col].abs() < 1e-300 {
             return None;
         }

@@ -20,12 +20,18 @@ pub struct Rational {
 impl Rational {
     /// 0/1.
     pub fn zero() -> Self {
-        Rational { num: BigInt::zero(), den: BigUint::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
     }
 
     /// 1/1.
     pub fn one() -> Self {
-        Rational { num: BigInt::one(), den: BigUint::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
     }
 
     /// Builds `num/den` in canonical form. Panics if `den == 0`.
@@ -43,17 +49,26 @@ impl Rational {
 
     /// Builds an integer-valued rational.
     pub fn from_int(v: i64) -> Self {
-        Rational { num: BigInt::from_i64(v), den: BigUint::one() }
+        Rational {
+            num: BigInt::from_i64(v),
+            den: BigUint::one(),
+        }
     }
 
     /// Builds from a [`BigUint`] count.
     pub fn from_biguint(v: BigUint) -> Self {
-        Rational { num: BigInt::from_biguint(v), den: BigUint::one() }
+        Rational {
+            num: BigInt::from_biguint(v),
+            den: BigUint::one(),
+        }
     }
 
     /// Builds from a [`BigInt`].
     pub fn from_bigint(v: BigInt) -> Self {
-        Rational { num: v, den: BigUint::one() }
+        Rational {
+            num: v,
+            den: BigUint::one(),
+        }
     }
 
     /// Numerator (signed).
@@ -109,7 +124,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Lossy conversion to `f64`.
@@ -231,7 +249,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

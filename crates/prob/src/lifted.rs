@@ -103,7 +103,10 @@ pub fn lifted_probability(
     let atoms: Vec<GAtom> = q
         .atoms
         .iter()
-        .map(|a| GAtom { relation: a.relation.clone(), terms: a.terms.clone() })
+        .map(|a| GAtom {
+            relation: a.relation.clone(),
+            terms: a.terms.clone(),
+        })
         .collect();
     prob(&atoms, &q.predicates, db, tid)
 }
@@ -111,11 +114,7 @@ pub fn lifted_probability(
 /// Convenience: lifted PQE of a UCQ whose disjuncts touch pairwise disjoint
 /// relation sets (then `Pr(∪ qᵢ) = 1 − Π(1 − Pr(qᵢ))`). Returns
 /// `Unsupported` when disjuncts share a relation.
-pub fn lifted_probability_ucq(
-    q: &Ucq,
-    db: &Database,
-    tid: &Tid,
-) -> Result<Rational, LiftedError> {
+pub fn lifted_probability_ucq(q: &Ucq, db: &Database, tid: &Tid) -> Result<Rational, LiftedError> {
     let mut seen: BTreeSet<&str> = BTreeSet::new();
     for d in q.disjuncts() {
         for a in &d.atoms {
@@ -307,8 +306,7 @@ fn components(atoms: &[GAtom]) -> Vec<Vec<GAtom>> {
             }
         }
     }
-    let mut groups: std::collections::HashMap<usize, Vec<GAtom>> =
-        std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<usize, Vec<GAtom>> = std::collections::HashMap::new();
     for (i, atom) in atoms.iter().enumerate() {
         let r = find(&mut parent, i);
         groups.entry(r).or_default().push(atom.clone());
@@ -350,7 +348,10 @@ mod tests {
         for _ in 0..8 {
             db.insert_endo(
                 "S",
-                vec![Value::int(rng.random_range(0..4)), Value::int(rng.random_range(0..3))],
+                vec![
+                    Value::int(rng.random_range(0..4)),
+                    Value::int(rng.random_range(0..3)),
+                ],
             );
         }
         db
@@ -404,7 +405,10 @@ mod tests {
         let mut b2 = CqBuilder::new();
         b2.atom("R", [Term::int(99)]);
         let q2 = b2.build();
-        assert_eq!(lifted_probability(&q2, &db, &tid).unwrap(), Rational::zero());
+        assert_eq!(
+            lifted_probability(&q2, &db, &tid).unwrap(),
+            Rational::zero()
+        );
     }
 
     #[test]

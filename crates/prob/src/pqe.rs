@@ -25,7 +25,10 @@ pub fn pqe_bruteforce(q: &Ucq, db: &Database, tid: &Tid) -> Rational {
         return Rational::zero(); // no derivation on the full database
     };
     let vars = out.lineage.vars();
-    assert!(vars.len() <= 24, "brute-force PQE limited to 24 lineage facts");
+    assert!(
+        vars.len() <= 24,
+        "brute-force PQE limited to 24 lineage facts"
+    );
     let one = Rational::one();
     let cap = vars.iter().map(|v| v.index() + 1).max().unwrap_or(1);
     let mut total = Rational::zero();
@@ -55,15 +58,19 @@ pub fn pqe_bruteforce(q: &Ucq, db: &Database, tid: &Tid) -> Rational {
 /// `Pr(q)` from a compiled d-DNNF whose variable `i` is the fact
 /// `fact_vars[i]`, in `f64`.
 pub fn pqe_ddnnf(ddnnf: &Ddnnf, fact_vars: &[VarId], tid: &Tid) -> f64 {
-    let probs: Vec<f64> =
-        fact_vars.iter().map(|v| tid.prob_f64(FactId(v.0))).collect();
+    let probs: Vec<f64> = fact_vars
+        .iter()
+        .map(|v| tid.prob_f64(FactId(v.0)))
+        .collect();
     ddnnf.probability_f64(&probs)
 }
 
 /// Exact-rational version of [`pqe_ddnnf`].
 pub fn pqe_ddnnf_rational(ddnnf: &Ddnnf, fact_vars: &[VarId], tid: &Tid) -> Rational {
-    let probs: Vec<Rational> =
-        fact_vars.iter().map(|v| tid.prob(FactId(v.0)).clone()).collect();
+    let probs: Vec<Rational> = fact_vars
+        .iter()
+        .map(|v| tid.prob(FactId(v.0)).clone())
+        .collect();
     ddnnf.probability_rational(&probs)
 }
 

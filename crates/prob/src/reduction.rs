@@ -42,8 +42,11 @@ pub fn slices_via_pqe(
     fixed: &[(FactId, bool)],
 ) -> Vec<BigUint> {
     let endo = db.endogenous_facts();
-    let free: Vec<FactId> =
-        endo.iter().copied().filter(|f| !fixed.iter().any(|(g, _)| g == f)).collect();
+    let free: Vec<FactId> = endo
+        .iter()
+        .copied()
+        .filter(|f| !fixed.iter().any(|(g, _)| g == f))
+        .collect();
     let n = free.len();
     let one = Rational::one();
 
@@ -81,7 +84,10 @@ pub fn slices_via_pqe(
 /// Exact Shapley value of fact `f` via the PQE oracle (Proposition 3.1 +
 /// Equation (2)). Requires `2(n+1)` oracle calls for `n = |D_n|`.
 pub fn shapley_via_pqe(oracle: &PqeOracle<'_>, db: &Database, f: FactId) -> Rational {
-    assert!(db.is_endogenous(f), "Shapley values are defined for endogenous facts");
+    assert!(
+        db.is_endogenous(f),
+        "Shapley values are defined for endogenous facts"
+    );
     let n = db.num_endogenous();
     let with = slices_via_pqe(oracle, db, &[(f, true)]);
     let without = slices_via_pqe(oracle, db, &[(f, false)]);
@@ -90,8 +96,7 @@ pub fn shapley_via_pqe(oracle: &PqeOracle<'_>, db: &Database, f: FactId) -> Rati
     let mut facts = FactorialTable::new();
     let mut total = Rational::zero();
     for k in 0..n {
-        let diff = BigInt::from_biguint(with[k].clone())
-            - BigInt::from_biguint(without[k].clone());
+        let diff = BigInt::from_biguint(with[k].clone()) - BigInt::from_biguint(without[k].clone());
         if diff.is_zero() {
             continue;
         }
@@ -136,9 +141,18 @@ mod tests {
         let (db, a) = flights_example();
         let q = flights_query();
         let oracle = |tid: &Tid| pqe_bruteforce(&q, &db, tid);
-        assert_eq!(shapley_via_pqe(&oracle, &db, a[0]), Rational::from_ratio(43, 105));
-        assert_eq!(shapley_via_pqe(&oracle, &db, a[1]), Rational::from_ratio(23, 210));
-        assert_eq!(shapley_via_pqe(&oracle, &db, a[5]), Rational::from_ratio(8, 105));
+        assert_eq!(
+            shapley_via_pqe(&oracle, &db, a[0]),
+            Rational::from_ratio(43, 105)
+        );
+        assert_eq!(
+            shapley_via_pqe(&oracle, &db, a[1]),
+            Rational::from_ratio(23, 210)
+        );
+        assert_eq!(
+            shapley_via_pqe(&oracle, &db, a[5]),
+            Rational::from_ratio(8, 105)
+        );
         assert_eq!(shapley_via_pqe(&oracle, &db, a[7]), Rational::zero());
     }
 }

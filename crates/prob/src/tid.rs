@@ -16,13 +16,20 @@ pub struct Tid {
 impl Tid {
     /// All facts present with probability 1 (a deterministic database).
     pub fn deterministic(db: &Database) -> Tid {
-        Tid { probs: vec![Rational::one(); db.num_facts()] }
+        Tid {
+            probs: vec![Rational::one(); db.num_facts()],
+        }
     }
 
     /// Uniform probability `p` for every fact.
     pub fn uniform(db: &Database, p: Rational) -> Tid {
-        assert!(!p.is_negative() && p <= Rational::one(), "probability out of range");
-        Tid { probs: vec![p; db.num_facts()] }
+        assert!(
+            !p.is_negative() && p <= Rational::one(),
+            "probability out of range"
+        );
+        Tid {
+            probs: vec![p; db.num_facts()],
+        }
     }
 
     /// The TID of the Proposition 3.1 proof: exogenous facts get probability
@@ -45,7 +52,10 @@ impl Tid {
     /// Builds from explicit per-fact probabilities.
     pub fn from_probs(probs: Vec<Rational>) -> Tid {
         for p in &probs {
-            assert!(!p.is_negative() && *p <= Rational::one(), "probability out of range");
+            assert!(
+                !p.is_negative() && *p <= Rational::one(),
+                "probability out of range"
+            );
         }
         Tid { probs }
     }
@@ -62,7 +72,10 @@ impl Tid {
 
     /// Sets one fact's probability.
     pub fn set(&mut self, f: FactId, p: Rational) {
-        assert!(!p.is_negative() && p <= Rational::one(), "probability out of range");
+        assert!(
+            !p.is_negative() && p <= Rational::one(),
+            "probability out of range"
+        );
         self.probs[f.index()] = p;
     }
 

@@ -45,12 +45,20 @@ pub struct RaPredicate {
 impl RaPredicate {
     /// Convenience: `column op constant`.
     pub fn col_const(col: usize, op: CmpOp, value: Value) -> RaPredicate {
-        RaPredicate { lhs: Operand::Column(col), op, rhs: Operand::Const(value) }
+        RaPredicate {
+            lhs: Operand::Column(col),
+            op,
+            rhs: Operand::Const(value),
+        }
     }
 
     /// Convenience: `column op column`.
     pub fn col_col(a: usize, op: CmpOp, b: usize) -> RaPredicate {
-        RaPredicate { lhs: Operand::Column(a), op, rhs: Operand::Column(b) }
+        RaPredicate {
+            lhs: Operand::Column(a),
+            op,
+            rhs: Operand::Column(b),
+        }
     }
 
     fn eval(&self, row: &[Value]) -> bool {
@@ -138,8 +146,7 @@ impl fmt::Display for RaExpr {
                 write!(f, "π[{}]({e})", cs.join(","))
             }
             RaExpr::Join(on, l, r) => {
-                let cs: Vec<String> =
-                    on.iter().map(|(a, b)| format!("#{a}=#{b}")).collect();
+                let cs: Vec<String> = on.iter().map(|(a, b)| format!("#{a}=#{b}")).collect();
                 write!(f, "({l} ⋈[{}] {r})", cs.join(","))
             }
             RaExpr::Product(l, r) => write!(f, "({l} × {r})"),
@@ -268,7 +275,9 @@ fn eval_rec(expr: &RaExpr, db: &Database) -> Annotated {
             let mut pairs = Vec::new();
             for (lt, ld) in &left.rows {
                 let key: Vec<Value> = on.iter().map(|&(a, _)| lt[a].clone()).collect();
-                let Some(matches) = by_key.get(&key) else { continue };
+                let Some(matches) = by_key.get(&key) else {
+                    continue;
+                };
                 for &i in matches {
                     let (rt, rd) = &right.rows[i];
                     let mut tuple = lt.clone();
@@ -326,10 +335,13 @@ mod tests {
     /// route plans, unioned and projected to a Boolean (arity-0) result.
     fn flights_algebra() -> RaExpr {
         // Airports(name, country); Flights(src, dest).
-        let usa = RaExpr::scan("Airports")
-            .select(RaPredicate::col_const(1, CmpOp::Eq, Value::str("USA")));
-        let fr = RaExpr::scan("Airports")
-            .select(RaPredicate::col_const(1, CmpOp::Eq, Value::str("FR")));
+        let usa = RaExpr::scan("Airports").select(RaPredicate::col_const(
+            1,
+            CmpOp::Eq,
+            Value::str("USA"),
+        ));
+        let fr =
+            RaExpr::scan("Airports").select(RaPredicate::col_const(1, CmpOp::Eq, Value::str("FR")));
         // One hop: USA(x) ⋈ Flights(x,y) ⋈ FR(y).
         let one = usa
             .clone()
@@ -373,8 +385,11 @@ mod tests {
     #[test]
     fn select_filters_and_keeps_lineage() {
         let (db, _) = flights_example();
-        let q = RaExpr::scan("Airports")
-            .select(RaPredicate::col_const(0, CmpOp::Eq, Value::str("JFK")));
+        let q = RaExpr::scan("Airports").select(RaPredicate::col_const(
+            0,
+            CmpOp::Eq,
+            Value::str("JFK"),
+        ));
         let res = evaluate_algebra(&q, &db).unwrap();
         assert_eq!(res.len(), 1);
         assert_eq!(res.outputs[0].lineage.len(), 1);
@@ -415,12 +430,14 @@ mod tests {
         assert!(evaluate_algebra(&RaExpr::scan("NoSuch"), &db).is_err());
         let bad_proj = RaExpr::scan("Airports").project([7]);
         assert!(evaluate_algebra(&bad_proj, &db).is_err());
-        let bad_sel = RaExpr::scan("Airports")
-            .select(RaPredicate::col_const(5, CmpOp::Eq, Value::int(0)));
+        let bad_sel =
+            RaExpr::scan("Airports").select(RaPredicate::col_const(5, CmpOp::Eq, Value::int(0)));
         assert!(evaluate_algebra(&bad_sel, &db).is_err());
         let bad_join = RaExpr::scan("Airports").join(RaExpr::scan("Flights"), [(4, 0)]);
         assert!(evaluate_algebra(&bad_join, &db).is_err());
-        let bad_union = RaExpr::scan("Airports").project([0]).union(RaExpr::scan("Flights"));
+        let bad_union = RaExpr::scan("Airports")
+            .project([0])
+            .union(RaExpr::scan("Flights"));
         assert!(evaluate_algebra(&bad_union, &db).is_err());
     }
 

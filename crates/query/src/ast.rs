@@ -246,7 +246,11 @@ impl Ucq {
 
     /// Maximum joined-table count across disjuncts.
     pub fn num_joined_tables(&self) -> usize {
-        self.disjuncts.iter().map(|d| d.num_joined_tables()).max().unwrap_or(0)
+        self.disjuncts
+            .iter()
+            .map(|d| d.num_joined_tables())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total filter count across disjuncts.
@@ -401,8 +405,11 @@ mod tests {
         assert_eq!(q.disjuncts()[0].atoms.len(), 3);
         assert_eq!(q.disjuncts()[1].atoms.len(), 4);
         // Self-join on Flights in q2.
-        let rels: Vec<&str> =
-            q.disjuncts()[1].atoms.iter().map(|a| a.relation.as_str()).collect();
+        let rels: Vec<&str> = q.disjuncts()[1]
+            .atoms
+            .iter()
+            .map(|a| a.relation.as_str())
+            .collect();
         assert_eq!(rels, vec!["Airports", "Airports", "Flights", "Flights"]);
     }
 

@@ -24,7 +24,11 @@ pub struct OutputTuple {
 impl OutputTuple {
     /// Facts mentioned by the lineage.
     pub fn facts(&self) -> Vec<FactId> {
-        self.lineage.vars().into_iter().map(|v| FactId(v.0)).collect()
+        self.lineage
+            .vars()
+            .into_iter()
+            .map(|v| FactId(v.0))
+            .collect()
     }
 
     /// Builds the lineage as a circuit over fact-id variables.
@@ -40,8 +44,11 @@ impl OutputTuple {
     pub fn endo_lineage(&self, db: &Database) -> Dnf {
         let mut out = Dnf::new();
         for conj in self.lineage.conjuncts() {
-            let endo: Vec<VarId> =
-                conj.iter().copied().filter(|v| db.is_endogenous(FactId(v.0))).collect();
+            let endo: Vec<VarId> = conj
+                .iter()
+                .copied()
+                .filter(|v| db.is_endogenous(FactId(v.0)))
+                .collect();
             out.add_conjunct(endo);
         }
         out.minimize();
@@ -118,13 +125,7 @@ pub(crate) struct Indexes {
 
 impl Indexes {
     /// Rows of `rel_idx` whose values at `mask` positions equal `key`.
-    fn probe(
-        &mut self,
-        db: &Database,
-        rel_idx: usize,
-        mask: u64,
-        key: &[Value],
-    ) -> &[u32] {
+    fn probe(&mut self, db: &Database, rel_idx: usize, mask: u64, key: &[Value]) -> &[u32] {
         let index = self.maps.entry((rel_idx, mask)).or_insert_with(|| {
             let rel = &db.relations()[rel_idx];
             let mut m: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
@@ -182,7 +183,11 @@ pub(crate) fn for_each_derivation(
     // Resolve relations up front; a missing relation yields no derivations.
     let mut rel_indices = Vec::with_capacity(cq.atoms.len());
     for atom in &cq.atoms {
-        match db.relations().iter().position(|r| r.schema().name() == atom.relation) {
+        match db
+            .relations()
+            .iter()
+            .position(|r| r.schema().name() == atom.relation)
+        {
             Some(i) => {
                 assert_eq!(
                     db.relations()[i].schema().arity(),
@@ -308,7 +313,16 @@ fn search(
         }
         if ok {
             used.push(fact.id);
-            search(cq, db, indexes, rel_indices, binding, used, remaining, on_match);
+            search(
+                cq,
+                db,
+                indexes,
+                rel_indices,
+                binding,
+                used,
+                remaining,
+                on_match,
+            );
             used.pop();
         }
         for v in newly_bound {
@@ -335,11 +349,15 @@ fn predicate_status(p: &Predicate, binding: &[Option<Value>]) -> Option<bool> {
 }
 
 fn predicates_hold(cq: &ConjunctiveQuery, binding: &[Option<Value>]) -> bool {
-    cq.predicates.iter().all(|p| predicate_status(p, binding).unwrap_or(false))
+    cq.predicates
+        .iter()
+        .all(|p| predicate_status(p, binding).unwrap_or(false))
 }
 
 fn predicates_hold_partial(cq: &ConjunctiveQuery, binding: &[Option<Value>]) -> bool {
-    cq.predicates.iter().all(|p| predicate_status(p, binding).unwrap_or(true))
+    cq.predicates
+        .iter()
+        .all(|p| predicate_status(p, binding).unwrap_or(true))
 }
 
 /// Convenience used by tests and examples: variables that occur in the head.

@@ -47,7 +47,9 @@ impl NegatedQuery {
             neg.terms.iter().all(|t| match t {
                 Term::Const(_) => true,
                 Term::Var(v) => self.positive.atoms.iter().any(|a| {
-                    a.terms.iter().any(|pt| matches!(pt, Term::Var(pv) if pv == v))
+                    a.terms
+                        .iter()
+                        .any(|pt| matches!(pt, Term::Var(pv) if pv == v))
                 }),
             })
         })
@@ -122,9 +124,7 @@ pub fn evaluate_negated(q: &NegatedQuery, db: &Database) -> Vec<SignedOutputTupl
     for neg in &q.negated {
         lookup.entry(neg.relation.as_str()).or_insert_with(|| {
             db.relation(&neg.relation)
-                .map(|rel| {
-                    rel.facts().iter().map(|f| (&f.values[..], f.id)).collect()
-                })
+                .map(|rel| rel.facts().iter().map(|f| (&f.values[..], f.id)).collect())
                 .unwrap_or_default()
         });
     }
@@ -194,7 +194,10 @@ mod tests {
         let pos = b.build();
         let q = NegatedQuery::new(
             pos,
-            vec![Atom { relation: "S".into(), terms: vec![Term::Var(x)] }],
+            vec![Atom {
+                relation: "S".into(),
+                terms: vec![Term::Var(x)],
+            }],
         );
         (db, q, r1, r2, s1)
     }
@@ -228,7 +231,10 @@ mod tests {
         let pos = b.build();
         let q = NegatedQuery::new(
             pos,
-            vec![Atom { relation: "S".into(), terms: vec![Term::Var(x)] }],
+            vec![Atom {
+                relation: "S".into(),
+                terms: vec![Term::Var(x)],
+            }],
         );
         let out = evaluate_negated(&q, &db);
         // S has no matching fact: lineage is just r.
@@ -248,7 +254,10 @@ mod tests {
         let pos = b.build();
         let q = NegatedQuery::new(
             pos,
-            vec![Atom { relation: "NoSuch".into(), terms: vec![Term::Var(x)] }],
+            vec![Atom {
+                relation: "NoSuch".into(),
+                terms: vec![Term::Var(x)],
+            }],
         );
         let out = evaluate_negated(&q, &db);
         assert_eq!(out.len(), 1);
@@ -269,7 +278,10 @@ mod tests {
         let pos = b.build();
         let q = NegatedQuery::new(
             pos,
-            vec![Atom { relation: "S".into(), terms: vec![Term::Var(x)] }],
+            vec![Atom {
+                relation: "S".into(),
+                terms: vec![Term::Var(x)],
+            }],
         );
         let out = evaluate_negated(&q, &db);
         let endo = out[0].endo_lineage(&db);
@@ -294,7 +306,10 @@ mod tests {
         let pos = b.build();
         let q = NegatedQuery::new(
             pos,
-            vec![Atom { relation: "S".into(), terms: vec![Term::Var(x)] }],
+            vec![Atom {
+                relation: "S".into(),
+                terms: vec![Term::Var(x)],
+            }],
         );
         let out = evaluate_negated(&q, &db);
         assert_eq!(out.len(), 1);
@@ -312,7 +327,10 @@ mod tests {
         let pos = b.build();
         NegatedQuery::new(
             pos,
-            vec![Atom { relation: "S".into(), terms: vec![Term::Var(y)] }],
+            vec![Atom {
+                relation: "S".into(),
+                terms: vec![Term::Var(y)],
+            }],
         );
     }
 

@@ -75,7 +75,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     toks.push((Tok::Turnstile, i));
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "expected `:-`".into(), position: i });
+                    return Err(ParseError {
+                        message: "expected `:-`".into(),
+                        position: i,
+                    });
                 }
             }
             '\'' | '"' => {
@@ -86,7 +89,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     j += 1;
                 }
                 if j == bytes.len() {
-                    return Err(ParseError { message: "unterminated string".into(), position: i });
+                    return Err(ParseError {
+                        message: "unterminated string".into(),
+                        position: i,
+                    });
                 }
                 toks.push((Tok::Str(src[start..j].to_string()), i));
                 i = j + 1;
@@ -101,7 +107,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     ('=', _) => CmpOp::Eq,
                     ('!', true) => CmpOp::Ne,
                     _ => {
-                        return Err(ParseError { message: "bad operator".into(), position: i });
+                        return Err(ParseError {
+                            message: "bad operator".into(),
+                            position: i,
+                        });
                     }
                 };
                 toks.push((Tok::Op(op), i));
@@ -125,8 +134,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             _ if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
@@ -173,7 +181,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { message, position: self.position() }
+        ParseError {
+            message,
+            position: self.position(),
+        }
     }
 
     fn parse_cq(&mut self) -> Result<ConjunctiveQuery, ParseError> {
@@ -201,8 +212,8 @@ impl Parser {
         // Body items.
         loop {
             match self.peek().cloned() {
-                Some(Tok::Ident(name)) if self.toks.get(self.pos + 1).map(|(t, _)| t)
-                    == Some(&Tok::LParen) =>
+                Some(Tok::Ident(name))
+                    if self.toks.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::LParen) =>
                 {
                     self.pos += 2;
                     let mut terms = Vec::new();

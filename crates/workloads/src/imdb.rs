@@ -30,19 +30,40 @@ pub struct ImdbConfig {
 
 impl Default for ImdbConfig {
     fn default() -> Self {
-        ImdbConfig { movies: 1500, companies: 120, people: 800, keywords: 100, seed: 0x1DB }
+        ImdbConfig {
+            movies: 1500,
+            companies: 120,
+            people: 800,
+            keywords: 100,
+            seed: 0x1DB,
+        }
     }
 }
 
-const COUNTRIES: [&str; 8] =
-    ["[us]", "[de]", "[fr]", "[gb]", "[it]", "[jp]", "[in]", "[ca]"];
+const COUNTRIES: [&str; 8] = [
+    "[us]", "[de]", "[fr]", "[gb]", "[it]", "[jp]", "[in]", "[ca]",
+];
 const KINDS: [&str; 4] = ["movie", "tv movie", "video movie", "episode"];
 const GENRES: [&str; 6] = ["Drama", "Comedy", "Action", "Horror", "Thriller", "Romance"];
 const ROLES: [&str; 4] = ["actor", "actress", "director", "producer"];
-const INFO_TYPES: [&str; 5] = ["top 250 rank", "bottom 10 rank", "rating", "genres", "budget"];
+const INFO_TYPES: [&str; 5] = [
+    "top 250 rank",
+    "bottom 10 rank",
+    "rating",
+    "genres",
+    "budget",
+];
 const KEYWORD_NAMES: [&str; 10] = [
-    "love", "murder", "money", "friendship", "revenge", "war", "family", "betrayal",
-    "justice", "dream",
+    "love",
+    "murder",
+    "money",
+    "friendship",
+    "revenge",
+    "war",
+    "family",
+    "betrayal",
+    "justice",
+    "dream",
 ];
 
 /// Zipf(1) sampler over `0..n` via inverse-CDF on precomputed cumulative
@@ -65,7 +86,9 @@ impl Zipf {
     fn sample(&self, rng: &mut StdRng) -> usize {
         let total = *self.cumulative.last().expect("non-empty Zipf domain");
         let x = rng.random_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -87,7 +110,10 @@ pub fn imdb_database(cfg: &ImdbConfig) -> Database {
     db.create_relation("title", &["id", "kind_id", "year"]);
     db.create_relation("company_name", &["id", "country"]);
     db.create_relation("company_type", &["id", "kind"]);
-    db.create_relation("movie_companies", &["movie_id", "company_id", "company_type_id"]);
+    db.create_relation(
+        "movie_companies",
+        &["movie_id", "company_id", "company_type_id"],
+    );
     db.create_relation("info_type", &["id", "info"]);
     db.create_relation("movie_info", &["movie_id", "info_type_id", "info"]);
     db.create_relation("movie_info_idx", &["movie_id", "info_type_id", "val"]);
@@ -103,8 +129,14 @@ pub fn imdb_database(cfg: &ImdbConfig) -> Database {
     for (i, it) in INFO_TYPES.iter().enumerate() {
         db.insert_exo("info_type", vec![Value::int(i as i64), Value::str(it)]);
     }
-    db.insert_exo("company_type", vec![Value::int(0), Value::str("production companies")]);
-    db.insert_exo("company_type", vec![Value::int(1), Value::str("distributors")]);
+    db.insert_exo(
+        "company_type",
+        vec![Value::int(0), Value::str("production companies")],
+    );
+    db.insert_exo(
+        "company_type",
+        vec![Value::int(1), Value::str("distributors")],
+    );
     for (i, r) in ROLES.iter().enumerate() {
         db.insert_exo("role_type", vec![Value::int(i as i64), Value::str(r)]);
     }
@@ -120,7 +152,10 @@ pub fn imdb_database(cfg: &ImdbConfig) -> Database {
             Some(name) => name.to_string(),
             None => format!("kw{i}"),
         };
-        db.insert_exo("keyword", vec![Value::int(i as i64), Value::Str(kw.as_str().into())]);
+        db.insert_exo(
+            "keyword",
+            vec![Value::int(i as i64), Value::Str(kw.as_str().into())],
+        );
     }
     for i in 0..cfg.people {
         let g = if rng.random_bool(0.55) { "m" } else { "f" };
@@ -165,7 +200,7 @@ pub fn imdb_database(cfg: &ImdbConfig) -> Database {
                 "movie_info",
                 vec![
                     Value::int(m as i64),
-                    Value::int(4), // 'budget'
+                    Value::int(4),                                         // 'budget'
                     Value::str(GENRES[rng.random_range(0..GENRES.len())]), // opaque payload
                 ],
             );
@@ -174,20 +209,31 @@ pub fn imdb_database(cfg: &ImdbConfig) -> Database {
         if rng.random_bool(0.8) {
             db.insert_endo(
                 "movie_info_idx",
-                vec![Value::int(m as i64), Value::int(2), Value::int(rng.random_range(1..=10))],
+                vec![
+                    Value::int(m as i64),
+                    Value::int(2),
+                    Value::int(rng.random_range(1..=10)),
+                ],
             );
         }
         if rng.random_bool(0.12) {
             db.insert_endo(
                 "movie_info_idx",
-                vec![Value::int(m as i64), Value::int(0), Value::int(rng.random_range(1..=250))],
+                vec![
+                    Value::int(m as i64),
+                    Value::int(0),
+                    Value::int(rng.random_range(1..=250)),
+                ],
             );
         }
         // Keywords (skewed) and cast.
         for _ in 0..rng.random_range(0..=3usize) {
             db.insert_endo(
                 "movie_keyword",
-                vec![Value::int(m as i64), Value::int(keyword_pick.sample(&mut rng) as i64)],
+                vec![
+                    Value::int(m as i64),
+                    Value::int(keyword_pick.sample(&mut rng) as i64),
+                ],
             );
         }
         for _ in 0..rng.random_range(1..=4usize) {
@@ -555,30 +601,47 @@ mod tests {
 
     #[test]
     fn generator_deterministic_and_skewed() {
-        let cfg = ImdbConfig { movies: 300, ..Default::default() };
+        let cfg = ImdbConfig {
+            movies: 300,
+            ..Default::default()
+        };
         let a = imdb_database(&cfg);
         let b = imdb_database(&cfg);
         assert_eq!(a.num_facts(), b.num_facts());
         // Zipf skew: company 0 links to strictly more movies than company 30.
         let mc = a.relation("movie_companies").unwrap();
         let count = |cid: i64| {
-            mc.facts().iter().filter(|f| f.values[1] == Value::int(cid)).count()
+            mc.facts()
+                .iter()
+                .filter(|f| f.values[1] == Value::int(cid))
+                .count()
         };
         assert!(count(0) > count(30));
     }
 
     #[test]
     fn endo_exo_partition() {
-        let db = imdb_database(&ImdbConfig { movies: 100, ..Default::default() });
+        let db = imdb_database(&ImdbConfig {
+            movies: 100,
+            ..Default::default()
+        });
         for rel in ["title", "movie_companies", "movie_info", "cast_info"] {
             assert!(
-                db.relation(rel).unwrap().facts().iter().all(|f| f.endogenous),
+                db.relation(rel)
+                    .unwrap()
+                    .facts()
+                    .iter()
+                    .all(|f| f.endogenous),
                 "{rel} should be endogenous"
             );
         }
         for rel in ["keyword", "name", "company_name", "info_type"] {
             assert!(
-                db.relation(rel).unwrap().facts().iter().all(|f| !f.endogenous),
+                db.relation(rel)
+                    .unwrap()
+                    .facts()
+                    .iter()
+                    .all(|f| !f.endogenous),
                 "{rel} should be exogenous"
             );
         }
@@ -586,7 +649,10 @@ mod tests {
 
     #[test]
     fn all_queries_run() {
-        let db = imdb_database(&ImdbConfig { movies: 400, ..Default::default() });
+        let db = imdb_database(&ImdbConfig {
+            movies: 400,
+            ..Default::default()
+        });
         let mut nonempty = 0;
         for q in imdb_queries() {
             let res = evaluate(&q.ucq, &db);
@@ -605,7 +671,10 @@ mod tests {
     fn lineage_width_spectrum() {
         // The paper buckets provenance sizes 1-10 / 11-100 / 101-200 / 201-400;
         // our synthetic instance must cover both narrow and wide lineages.
-        let db = imdb_database(&ImdbConfig { movies: 800, ..Default::default() });
+        let db = imdb_database(&ImdbConfig {
+            movies: 800,
+            ..Default::default()
+        });
         let mut widths: Vec<usize> = Vec::new();
         for q in imdb_queries() {
             let res = evaluate(&q.ucq, &db);
@@ -623,7 +692,11 @@ mod tests {
     fn join_counts_match_table_1_shape() {
         let qs = imdb_queries();
         let by_name = |n: &str| {
-            qs.iter().find(|q| q.name == n).unwrap().ucq.num_joined_tables()
+            qs.iter()
+                .find(|q| q.name == n)
+                .unwrap()
+                .ucq
+                .num_joined_tables()
         };
         assert_eq!(by_name("1a"), 5);
         assert_eq!(by_name("2a"), 5);
@@ -645,7 +718,10 @@ mod tests {
     #[test]
     fn q10a_exercises_a_self_join() {
         use shapdb_query::is_self_join_free;
-        let q10a = imdb_queries().into_iter().find(|q| q.name == "10a").unwrap();
+        let q10a = imdb_queries()
+            .into_iter()
+            .find(|q| q.name == "10a")
+            .unwrap();
         assert!(!is_self_join_free(&q10a.ucq.disjuncts()[0]));
         // 13c self-joins `info_type`; the remaining thirteen are
         // self-join free.

@@ -44,6 +44,9 @@ pub struct WorkloadQuery {
 
 impl WorkloadQuery {
     pub(crate) fn new(name: &str, ucq: Ucq) -> WorkloadQuery {
-        WorkloadQuery { name: name.to_string(), ucq }
+        WorkloadQuery {
+            name: name.to_string(),
+            ucq,
+        }
     }
 }

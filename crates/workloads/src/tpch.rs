@@ -27,14 +27,31 @@ pub struct TpchConfig {
 
 impl Default for TpchConfig {
     fn default() -> Self {
-        TpchConfig { scale: 1.0, seed: 0x7C9 }
+        TpchConfig {
+            scale: 1.0,
+            seed: 0x7C9,
+        }
     }
 }
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const NATIONS: [&str; 10] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "FRANCE", "GERMANY", "INDIA",
-    "JAPAN", "KENYA",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "JAPAN",
+    "KENYA",
 ];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
@@ -72,8 +89,16 @@ pub fn tpch_database(cfg: &TpchConfig) -> Database {
     db.create_relation("orders", &["key", "custkey", "orderdate"]);
     db.create_relation(
         "lineitem",
-        &["orderkey", "partkey", "suppkey", "linenumber", "quantity", "shipdate",
-          "returnflag", "shipmode"],
+        &[
+            "orderkey",
+            "partkey",
+            "suppkey",
+            "linenumber",
+            "quantity",
+            "shipdate",
+            "returnflag",
+            "shipmode",
+        ],
     );
 
     for (i, r) in REGIONS.iter().enumerate() {
@@ -83,14 +108,21 @@ pub fn tpch_database(cfg: &TpchConfig) -> Database {
     for (i, n) in NATIONS.iter().enumerate() {
         db.insert_exo(
             "nation",
-            vec![Value::int(i as i64), Value::str(n), Value::int((i % REGIONS.len()) as i64)],
+            vec![
+                Value::int(i as i64),
+                Value::str(n),
+                Value::int((i % REGIONS.len()) as i64),
+            ],
         );
     }
     let n_supplier = scaled(10, cfg.scale);
     for i in 0..n_supplier {
         db.insert_exo(
             "supplier",
-            vec![Value::int(i as i64), Value::int(rng.random_range(0..n_nations) as i64)],
+            vec![
+                Value::int(i as i64),
+                Value::int(rng.random_range(0..n_nations) as i64),
+            ],
         );
     }
     let n_customer = scaled(150, cfg.scale);
@@ -191,8 +223,16 @@ fn q3() -> Ucq {
     b.atom("orders", [ok.into(), ck.into(), odate.into()]);
     b.atom(
         "lineitem",
-        [ok.into(), pk.into(), sk.into(), ln.into(), qty.into(), sdate.into(), rf.into(),
-         sm.into()],
+        [
+            ok.into(),
+            pk.into(),
+            sk.into(),
+            ln.into(),
+            qty.into(),
+            sdate.into(),
+            rf.into(),
+            sm.into(),
+        ],
     );
     b.filter(odate.into(), CmpOp::Lt, Term::int(1200));
     b.filter(sdate.into(), CmpOp::Gt, Term::int(1200));
@@ -323,7 +363,16 @@ fn q16() -> Ucq {
     let cont = b_var(&mut b, "cont");
     let nk = b_var(&mut b, "nk");
     b.atom("partsupp", [pk.into(), sk.into(), aq]);
-    b.atom("part", [pk.into(), brand.into(), "STANDARD".into(), size.into(), cont]);
+    b.atom(
+        "part",
+        [
+            pk.into(),
+            brand.into(),
+            "STANDARD".into(),
+            size.into(),
+            cont,
+        ],
+    );
     b.atom("supplier", [sk.into(), nk]);
     b.filter(size.into(), CmpOp::Ge, Term::int(10));
     b.filter(size.into(), CmpOp::Le, Term::int(30));
@@ -370,7 +419,10 @@ fn q19() -> Ucq {
         let ln = b_var(&mut b, "ln");
         let sdate = b_var(&mut b, "sdate");
         let rf = b_var(&mut b, "rf");
-        b.atom("part", [pk.into(), brand.into(), typ, size.into(), container.into()]);
+        b.atom(
+            "part",
+            [pk.into(), brand.into(), typ, size.into(), container.into()],
+        );
         b.atom(
             "lineitem",
             [ok, pk.into(), sk, ln, qty.into(), sdate, rf, "AIR".into()],
@@ -407,10 +459,18 @@ mod tests {
 
     #[test]
     fn scale_controls_size() {
-        let small = tpch_database(&TpchConfig { scale: 0.5, ..Default::default() });
-        let big = tpch_database(&TpchConfig { scale: 2.0, ..Default::default() });
+        let small = tpch_database(&TpchConfig {
+            scale: 0.5,
+            ..Default::default()
+        });
+        let big = tpch_database(&TpchConfig {
+            scale: 2.0,
+            ..Default::default()
+        });
         assert!(big.num_facts() > 2 * small.num_facts() / 2);
-        assert!(big.relation("lineitem").unwrap().len() > small.relation("lineitem").unwrap().len());
+        assert!(
+            big.relation("lineitem").unwrap().len() > small.relation("lineitem").unwrap().len()
+        );
     }
 
     #[test]
@@ -421,12 +481,20 @@ mod tests {
         let orders = db.relation("orders").unwrap().len();
         let partsupp = db.relation("partsupp").unwrap().len();
         assert_eq!(endo, lineitem + orders + partsupp);
-        assert!(db.relation("customer").unwrap().facts().iter().all(|f| !f.endogenous));
+        assert!(db
+            .relation("customer")
+            .unwrap()
+            .facts()
+            .iter()
+            .all(|f| !f.endogenous));
     }
 
     #[test]
     fn all_queries_run_and_produce_lineage() {
-        let db = tpch_database(&TpchConfig { scale: 0.25, seed: 11 });
+        let db = tpch_database(&TpchConfig {
+            scale: 0.25,
+            seed: 11,
+        });
         for q in tpch_queries() {
             let res = evaluate(&q.ucq, &db);
             // Every query must at least type-check against the schema; most
@@ -452,7 +520,11 @@ mod tests {
         // de-aggregated variants): Q3 joins 3 relations, Q5 joins 6, etc.
         let qs = tpch_queries();
         let by_name = |n: &str| {
-            qs.iter().find(|q| q.name == n).unwrap().ucq.num_joined_tables()
+            qs.iter()
+                .find(|q| q.name == n)
+                .unwrap()
+                .ucq
+                .num_joined_tables()
         };
         assert_eq!(by_name("Q3"), 3);
         assert_eq!(by_name("Q5"), 6);

@@ -20,7 +20,12 @@ fn main() {
     let mut db = Database::new();
     db.create_relation("Orders", &["customer", "product"]);
     db.create_relation("Catalog", &["product", "price"]);
-    for (c, p) in [("ann", "widget"), ("bob", "widget"), ("bob", "gadget"), ("eve", "gadget")] {
+    for (c, p) in [
+        ("ann", "widget"),
+        ("bob", "widget"),
+        ("bob", "gadget"),
+        ("eve", "gadget"),
+    ] {
         db.insert_endo("Orders", vec![Value::str(c), Value::str(p)]);
     }
     db.insert_endo("Catalog", vec![Value::str("widget"), Value::int(100)]);

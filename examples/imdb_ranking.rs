@@ -16,19 +16,30 @@ use shapdb::ShapleyAnalyzer;
 use std::time::Duration;
 
 fn main() {
-    let db = imdb_database(&ImdbConfig { movies: 600, ..Default::default() });
-    println!("IMDB-lite: {} facts, {} endogenous", db.num_facts(), db.num_endogenous());
+    let db = imdb_database(&ImdbConfig {
+        movies: 600,
+        ..Default::default()
+    });
+    println!(
+        "IMDB-lite: {} facts, {} endogenous",
+        db.num_facts(),
+        db.num_endogenous()
+    );
 
     let q = imdb_queries().into_iter().find(|q| q.name == "1a").unwrap();
     println!("Query 1a: {}", q.ucq);
 
     let analyzer = ShapleyAnalyzer::new(&db);
 
-    for (label, timeout) in
-        [("generous (2.5 s)", Duration::from_millis(2500)), ("tiny (0 ms)", Duration::ZERO)]
-    {
+    for (label, timeout) in [
+        ("generous (2.5 s)", Duration::from_millis(2500)),
+        ("tiny (0 ms)", Duration::ZERO),
+    ] {
         println!("\n=== hybrid with {label} timeout ===");
-        let cfg = HybridConfig { timeout, ..Default::default() };
+        let cfg = HybridConfig {
+            timeout,
+            ..Default::default()
+        };
         let rankings = analyzer.rank(&q.ucq, &cfg);
         let exact = rankings.iter().filter(|r| r.outcome.is_exact()).count();
         println!(
@@ -42,7 +53,11 @@ fn main() {
             println!(
                 "first tuple ({}) — top 3 facts ({}):",
                 tuple.join(", "),
-                if r.outcome.is_exact() { "exact Shapley" } else { "CNF-Proxy ranking" }
+                if r.outcome.is_exact() {
+                    "exact Shapley"
+                } else {
+                    "CNF-Proxy ranking"
+                }
             );
             for fact in r.outcome.ranking().into_iter().take(3) {
                 println!("  {}", db.display_fact(shapdb::data::FactId(fact.0)));

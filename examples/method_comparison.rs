@@ -40,8 +40,23 @@ fn main() {
     let exact: Vec<f64> = exact_r.iter().map(|r| r.to_f64()).collect();
 
     let f = |s: &Bitset| d.eval_set(s);
-    let mc = monte_carlo_shapley(&f, n, &MonteCarloConfig { permutations: 50, seed: 1 });
-    let ks = kernel_shap(&f, n, &KernelShapConfig { samples: 50 * n, seed: 1, ..Default::default() });
+    let mc = monte_carlo_shapley(
+        &f,
+        n,
+        &MonteCarloConfig {
+            permutations: 50,
+            seed: 1,
+        },
+    );
+    let ks = kernel_shap(
+        &f,
+        n,
+        &KernelShapConfig {
+            samples: 50 * n,
+            seed: 1,
+            ..Default::default()
+        },
+    );
     let mut proxy = vec![0.0; n];
     let mut c2 = Circuit::new();
     let root2 = d.to_circuit(&mut c2);
@@ -49,7 +64,10 @@ fn main() {
         proxy[v.0 as usize] = s;
     }
 
-    println!("{:>5} {:>10} {:>10} {:>10} {:>10}", "fact", "exact", "MC(50n)", "KS(50n)", "proxy");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10}",
+        "fact", "exact", "MC(50n)", "KS(50n)", "proxy"
+    );
     for i in 0..n {
         println!(
             "{:>5} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
@@ -60,7 +78,11 @@ fn main() {
             proxy[i]
         );
     }
-    for (name, est) in [("Monte Carlo", &mc), ("Kernel SHAP", &ks), ("CNF Proxy", &proxy)] {
+    for (name, est) in [
+        ("Monte Carlo", &mc),
+        ("Kernel SHAP", &ks),
+        ("CNF Proxy", &proxy),
+    ] {
         println!(
             "{name:<12} nDCG = {:.4}   P@5 = {:.2}",
             ndcg(&ranking_of(est), &exact),

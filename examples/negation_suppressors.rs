@@ -32,7 +32,10 @@ fn main() {
     let positive = b.build();
     let q = NegatedQuery::new(
         positive,
-        vec![Atom { relation: "Violation".into(), terms: vec![Term::Var(v)] }],
+        vec![Atom {
+            relation: "Violation".into(),
+            terms: vec![Term::Var(v)],
+        }],
     );
     println!("Query: {q}");
     println!();
@@ -43,7 +46,11 @@ fn main() {
 
     println!("Fact contributions to `some vendor is compliant`:");
     for (fact, value) in &e.attributions {
-        let marker = if value.is_negative() { "  (suppressor)" } else { "" };
+        let marker = if value.is_negative() {
+            "  (suppressor)"
+        } else {
+            ""
+        };
         println!(
             "  {:<22} {:>8} (≈{:+.4}){}",
             db.display_fact(*fact),

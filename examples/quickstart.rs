@@ -23,7 +23,9 @@ fn main() {
     println!();
 
     let analyzer = ShapleyAnalyzer::new(&db);
-    let explanations = analyzer.explain(&q).expect("small instance compiles instantly");
+    let explanations = analyzer
+        .explain(&q)
+        .expect("small instance compiles instantly");
 
     for e in &explanations {
         println!("Why is the answer `yes`? Fact contributions (Shapley values):");

@@ -17,21 +17,30 @@ use shapdb::ShapleyAnalyzer;
 use std::time::Duration;
 
 fn main() {
-    let db = tpch_database(&TpchConfig { scale: 0.5, seed: 42 });
+    let db = tpch_database(&TpchConfig {
+        scale: 0.5,
+        seed: 42,
+    });
     println!(
         "TPC-H-lite: {} facts, {} endogenous (lineitem/orders/partsupp)",
         db.num_facts(),
         db.num_endogenous()
     );
 
-    let q16 = tpch_queries().into_iter().find(|q| q.name == "Q16").unwrap();
+    let q16 = tpch_queries()
+        .into_iter()
+        .find(|q| q.name == "Q16")
+        .unwrap();
     println!("Query Q16: {}", q16.ucq);
 
-    let analyzer = ShapleyAnalyzer::new(&db)
-        .with_budget(Budget::with_timeout(Duration::from_secs(10)));
+    let analyzer =
+        ShapleyAnalyzer::new(&db).with_budget(Budget::with_timeout(Duration::from_secs(10)));
     let explanations = analyzer.explain(&q16.ucq).expect("Q16 compiles quickly");
 
-    println!("\n{} output brands; top contributors for the first 5:", explanations.len());
+    println!(
+        "\n{} output brands; top contributors for the first 5:",
+        explanations.len()
+    );
     for e in explanations.iter().take(5) {
         let tuple: Vec<String> = e.tuple.iter().map(|v| v.to_string()).collect();
         println!("\nbrand = ({})", tuple.join(", "));

@@ -23,11 +23,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -52,7 +56,9 @@ impl Default for Criterion {
     fn default() -> Self {
         // The real default is 100 samples; 20 keeps full `cargo bench` runs
         // tractable for the heavier knowledge-compilation benches.
-        Criterion { default_sample_size: 20 }
+        Criterion {
+            default_sample_size: 20,
+        }
     }
 }
 
@@ -61,7 +67,11 @@ impl Criterion {
         let name = name.into();
         println!("\n== {name} ==");
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { _criterion: self, name, sample_size }
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+        }
     }
 }
 
@@ -122,7 +132,10 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, sample_size: usize, mut f: F) {
-    let mut bencher = Bencher { samples: Vec::with_capacity(sample_size), sample_size };
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
     f(&mut bencher);
     let label = format!("{group}/{id}");
     if bencher.samples.is_empty() {

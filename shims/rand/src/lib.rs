@@ -42,7 +42,9 @@ impl SeedableRng for StdRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        StdRng { s: [next(), next(), next(), next()] }
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 }
 
@@ -106,7 +108,11 @@ impl SampleRange<f64> for core::ops::Range<f64> {
         let v = self.start + unit * (self.end - self.start);
         // `start + unit*span` can round up to `end` when the span's ULP is
         // coarse; the contract (like real rand's) is half-open.
-        if v < self.end { v } else { self.end.next_down() }
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down()
+        }
     }
 }
 
@@ -176,7 +182,11 @@ impl<T> SliceRandom for [T] {
         if self.is_empty() || !total.is_finite() || total <= 0.0 {
             return Err(WeightError);
         }
-        let mut x = core::ops::Range { start: 0.0, end: total }.sample_single(rng);
+        let mut x = core::ops::Range {
+            start: 0.0,
+            end: total,
+        }
+        .sample_single(rng);
         for (item, w) in self.iter().zip(&weights) {
             x -= w;
             if x < 0.0 {
@@ -250,7 +260,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]
@@ -274,9 +288,15 @@ mod tests {
         let items = [0usize, 1];
         // Negative and NaN weights are contract violations even when the
         // total is positive.
-        assert!(items.choose_weighted(&mut rng, |&i| [-1.0, 3.0][i]).is_err());
-        assert!(items.choose_weighted(&mut rng, |&i| [f64::NAN, 3.0][i]).is_err());
-        assert!(items.choose_weighted(&mut rng, |&i| [f64::INFINITY, 3.0][i]).is_err());
+        assert!(items
+            .choose_weighted(&mut rng, |&i| [-1.0, 3.0][i])
+            .is_err());
+        assert!(items
+            .choose_weighted(&mut rng, |&i| [f64::NAN, 3.0][i])
+            .is_err());
+        assert!(items
+            .choose_weighted(&mut rng, |&i| [f64::INFINITY, 3.0][i])
+            .is_err());
         assert!(items.choose_weighted(&mut rng, |_| 0.0).is_err());
     }
 

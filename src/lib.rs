@@ -93,7 +93,11 @@ pub struct ShapleyAnalyzer<'a> {
 impl<'a> ShapleyAnalyzer<'a> {
     /// An analyzer with unlimited budgets.
     pub fn new(db: &'a Database) -> ShapleyAnalyzer<'a> {
-        ShapleyAnalyzer { db, budget: Budget::unlimited(), exact: ExactConfig::default() }
+        ShapleyAnalyzer {
+            db,
+            budget: Budget::unlimited(),
+            exact: ExactConfig::default(),
+        }
     }
 
     /// Sets the knowledge-compilation budget.
@@ -147,8 +151,7 @@ impl<'a> ShapleyAnalyzer<'a> {
             let elin = tuple.endo_lineage(self.db);
             let mut circuit = Circuit::new();
             let root = elin.to_circuit(&mut circuit);
-            let analysis =
-                analyze_lineage(&circuit, root, n_endo, &self.budget, &self.exact)?;
+            let analysis = analyze_lineage(&circuit, root, n_endo, &self.budget, &self.exact)?;
             out.push(TupleExplanation {
                 tuple: tuple.tuple,
                 attributions: analysis
@@ -173,7 +176,10 @@ impl<'a> ShapleyAnalyzer<'a> {
             .map(|tuple| {
                 let elin = tuple.endo_lineage(self.db);
                 let report = hybrid_shapley_dnf(&elin, n_endo, cfg);
-                TupleRanking { tuple: tuple.tuple, outcome: report.outcome }
+                TupleRanking {
+                    tuple: tuple.tuple,
+                    outcome: report.outcome,
+                }
             })
             .collect()
     }
@@ -185,8 +191,11 @@ impl<'a> ShapleyAnalyzer<'a> {
     pub fn explain_count(&self, q: &Ucq) -> Result<Vec<(FactId, Rational)>, AnalysisError> {
         let n_endo = self.db.num_endogenous();
         let res = evaluate(q, self.db);
-        let lineages: Vec<shapdb_circuit::Dnf> =
-            res.outputs.iter().map(|t| t.endo_lineage(self.db)).collect();
+        let lineages: Vec<shapdb_circuit::Dnf> = res
+            .outputs
+            .iter()
+            .map(|t| t.endo_lineage(self.db))
+            .collect();
         let attrs = count_shapley(&lineages, n_endo, &self.budget, &self.exact)?;
         Ok(attrs.into_iter().map(|(v, r)| (FactId(v.0), r)).collect())
     }
@@ -239,9 +248,7 @@ impl<'a> ShapleyAnalyzer<'a> {
     pub fn render(&self, e: &TupleExplanation) -> Vec<String> {
         e.attributions
             .iter()
-            .map(|(f, v)| {
-                format!("{}: {} (≈{:.4})", self.db.display_fact(*f), v, v.to_f64())
-            })
+            .map(|(f, v)| format!("{}: {} (≈{:.4})", self.db.display_fact(*f), v, v.to_f64()))
             .collect()
     }
 }
@@ -277,7 +284,10 @@ mod tests {
     fn rank_is_timeout_tolerant() {
         let (db, _) = flights_example();
         let analyzer = ShapleyAnalyzer::new(&db);
-        let cfg = HybridConfig { timeout: std::time::Duration::ZERO, ..Default::default() };
+        let cfg = HybridConfig {
+            timeout: std::time::Duration::ZERO,
+            ..Default::default()
+        };
         let rankings = analyzer.rank(&flights_query(), &cfg);
         assert_eq!(rankings.len(), 1);
         assert!(!rankings[0].outcome.is_exact());

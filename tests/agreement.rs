@@ -26,8 +26,9 @@ fn random_dnf(rng: &mut StdRng, n: usize) -> Dnf {
     let mut d = Dnf::new();
     for _ in 0..rng.random_range(1..=6usize) {
         let width = rng.random_range(1..=3usize.min(n));
-        let vars: Vec<VarId> =
-            (0..width).map(|_| VarId(rng.random_range(0..n) as u32)).collect();
+        let vars: Vec<VarId> = (0..width)
+            .map(|_| VarId(rng.random_range(0..n) as u32))
+            .collect();
         d.add_conjunct(vars);
     }
     d
@@ -38,9 +39,14 @@ fn random_dnf(rng: &mut StdRng, n: usize) -> Dnf {
 fn exact_dense(lineage: &Dnf, n: usize) -> Vec<Rational> {
     let mut circuit = Circuit::new();
     let root = lineage.to_circuit(&mut circuit);
-    let analysis =
-        analyze_lineage(&circuit, root, n, &Budget::unlimited(), &ExactConfig::default())
-            .expect("unlimited budget cannot time out");
+    let analysis = analyze_lineage(
+        &circuit,
+        root,
+        n,
+        &Budget::unlimited(),
+        &ExactConfig::default(),
+    )
+    .expect("unlimited budget cannot time out");
     let mut out = vec![Rational::zero(); n];
     for a in &analysis.attributions {
         out[a.fact.0 as usize] = a.shapley.clone();
@@ -70,7 +76,10 @@ fn naive_exact_and_readonce_agree_on_random_lineages() {
         }
     }
     // The harness must actually exercise the fast path, not just skip it.
-    assert!(read_once_hits >= 10, "only {read_once_hits}/60 lineages factored");
+    assert!(
+        read_once_hits >= 10,
+        "only {read_once_hits}/60 lineages factored"
+    );
 }
 
 /// A random database for `q(b) :- R(a), S(a, b)` and
@@ -87,7 +96,10 @@ fn random_database(rng: &mut StdRng) -> Database {
     for _ in 0..rng.random_range(3..=6usize) {
         db.insert_endo(
             "S",
-            vec![Value::int(rng.random_range(0..3)), Value::int(rng.random_range(0..3))],
+            vec![
+                Value::int(rng.random_range(0..3)),
+                Value::int(rng.random_range(0..3)),
+            ],
         );
     }
     for _ in 0..rng.random_range(2..=3usize) {
@@ -126,14 +138,16 @@ fn full_pipeline_agrees_with_naive_on_random_databases() {
                 }
                 // Every nonzero naive value must appear among the
                 // attributions (the facade omits only null players).
-                let attributed: usize =
-                    e.attributions.iter().filter(|(_, v)| !v.is_zero()).count();
+                let attributed: usize = e.attributions.iter().filter(|(_, v)| !v.is_zero()).count();
                 let nonzero = naive.iter().filter(|v| !v.is_zero()).count();
                 assert_eq!(attributed, nonzero, "seed {seed}");
             }
         }
     }
-    assert!(compared >= 50, "only {compared} attributions compared end-to-end");
+    assert!(
+        compared >= 50,
+        "only {compared} attributions compared end-to-end"
+    );
 }
 
 #[test]
@@ -144,7 +158,10 @@ fn monte_carlo_converges_to_ground_truth() {
         let d = random_dnf(&mut rng, n);
 
         let naive = shapley_naive(&|s: &Bitset| d.eval_set(s), n);
-        let cfg = MonteCarloConfig { permutations: 20_000, seed: 7 * seed + 1 };
+        let cfg = MonteCarloConfig {
+            permutations: 20_000,
+            seed: 7 * seed + 1,
+        };
         let mc = monte_carlo_shapley(&|s: &Bitset| d.eval_set(s), n, &cfg);
 
         for (i, estimate) in mc.iter().enumerate() {

@@ -49,7 +49,10 @@ fn facade_reproduces_example_2_1_exactly() {
     }
 
     // Efficiency: the values sum to v(D_n) − v(∅) = 1 − 0 = 1.
-    let sum = e.attributions.iter().fold(Rational::zero(), |acc, (_, v)| &acc + v);
+    let sum = e
+        .attributions
+        .iter()
+        .fold(Rational::zero(), |acc, (_, v)| &acc + v);
     assert_eq!(sum, Rational::one());
 }
 
@@ -77,10 +80,16 @@ fn knowledge_compilation_path_agrees_with_fast_path() {
     .unwrap();
 
     let auto = ShapleyAnalyzer::new(&db).explain(&q).unwrap();
-    let fast: Vec<_> =
-        auto[0].attributions.iter().map(|(f, v)| (f.0, v.clone())).collect();
-    let mut kc: Vec<_> =
-        analysis.attributions.iter().map(|a| (a.fact.0, a.shapley.clone())).collect();
+    let fast: Vec<_> = auto[0]
+        .attributions
+        .iter()
+        .map(|(f, v)| (f.0, v.clone()))
+        .collect();
+    let mut kc: Vec<_> = analysis
+        .attributions
+        .iter()
+        .map(|a| (a.fact.0, a.shapley.clone()))
+        .collect();
     // Same ordering convention: decreasing value, ties by fact id.
     kc.sort_by(|(fa, va), (fb, vb)| vb.cmp(va).then(fa.cmp(fb)));
     assert_eq!(fast, kc);
