@@ -1,8 +1,11 @@
 # Convenience targets mirroring .github/workflows/ci.yml for offline use.
 
-.PHONY: check build test clippy quickstart bench-smoke bench
+.PHONY: check fmt build test clippy quickstart bench-smoke bench
 
-check: build test clippy quickstart
+check: fmt build test clippy quickstart
+
+fmt:
+	cargo fmt --check
 
 build:
 	cargo build --release

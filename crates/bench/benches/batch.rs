@@ -1,0 +1,136 @@
+//! Batch-executor benchmarks: the multi-answer attribution path.
+//!
+//! Measures what the engine layer buys on a realistic multi-answer workload
+//! (every answer of every TPC-H-lite and IMDB-lite query, hundreds of
+//! lineages with heavily duplicated structure):
+//!
+//! * structural lineage dedup on vs off (the interning win), and
+//! * 1 worker thread vs N (the fan-out win — only visible on multi-core
+//!   hosts; on a single-core container the N-thread numbers match the
+//!   1-thread ones).
+//!
+//! The numbers are recorded in CHANGES.md per PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shapdb_circuit::Dnf;
+use shapdb_core::engine::{BatchExecutor, EngineKind, Planner, PlannerConfig};
+use shapdb_core::exact::ExactConfig;
+use shapdb_kc::Budget;
+use shapdb_query::evaluate;
+use shapdb_workloads::{
+    imdb_database, imdb_queries, tpch_database, tpch_queries, ImdbConfig, TpchConfig,
+};
+use std::time::Duration;
+
+/// Every answer lineage of every workload query (capped per query). The
+/// shared `n_endo` (max over both databases) is harmless: the engines fold
+/// completion into weights over the lineage's own variables, so neither
+/// the values nor the cost depend on `n_endo` (see the flat
+/// `ablation_alg1_completion` bench).
+fn workload_lineages() -> (Vec<Dnf>, usize) {
+    let tpch = tpch_database(&TpchConfig {
+        scale: 0.5,
+        seed: 42,
+    });
+    let imdb = imdb_database(&ImdbConfig {
+        movies: 600,
+        companies: 60,
+        people: 300,
+        keywords: 50,
+        seed: 42,
+    });
+    let mut lineages = Vec::new();
+    let mut n_endo = 0usize;
+    for (db, queries) in [(&tpch, tpch_queries()), (&imdb, imdb_queries())] {
+        n_endo = n_endo.max(db.num_endogenous());
+        for q in queries {
+            let res = evaluate(&q.ucq, db);
+            for out in res.outputs.iter().take(100) {
+                lineages.push(out.endo_lineage(db));
+            }
+        }
+    }
+    (lineages, n_endo)
+}
+
+fn planner() -> Planner {
+    // The production policy: exact under a generous per-lineage deadline,
+    // proxy ranking fallback, so a pathological lineage cannot stall the
+    // bench.
+    Planner::new(PlannerConfig {
+        timeout: Some(Duration::from_millis(2500)),
+        fallback: Some(EngineKind::Proxy),
+        ..Default::default()
+    })
+}
+
+fn bench_batch_dedup(c: &mut Criterion) {
+    let (lineages, n_endo) = workload_lineages();
+    let mut group = c.benchmark_group("batch_dedup");
+    group.sample_size(10);
+    let configs: [(&str, bool); 2] = [("dedup_off", false), ("dedup_on", true)];
+    for (label, dedup) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dedup, |b, &dedup| {
+            let mut executor = BatchExecutor::new(planner()).with_threads(1);
+            if !dedup {
+                executor = executor.without_dedup();
+            }
+            b.iter(|| {
+                let report = executor.run(
+                    &lineages,
+                    n_endo,
+                    &Budget::unlimited(),
+                    &ExactConfig::default(),
+                );
+                assert!(report.items.iter().all(|i| i.result.is_ok()));
+                report.dedup.distinct
+            })
+        });
+    }
+    group.finish();
+
+    let report = BatchExecutor::new(planner()).with_threads(1).run(
+        &lineages,
+        n_endo,
+        &Budget::unlimited(),
+        &ExactConfig::default(),
+    );
+    println!(
+        "workload: {} lineages, {} distinct structures, dedup hit rate {:.1}%",
+        report.dedup.tasks,
+        report.dedup.distinct,
+        report.dedup.hit_rate() * 100.0
+    );
+}
+
+fn bench_batch_threads(c: &mut Criterion) {
+    let (lineages, n_endo) = workload_lineages();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("batch_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, cores.max(2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}threads")),
+            &threads,
+            |b, &threads| {
+                let executor = BatchExecutor::new(planner()).with_threads(threads);
+                b.iter(|| {
+                    let report = executor.run(
+                        &lineages,
+                        n_endo,
+                        &Budget::unlimited(),
+                        &ExactConfig::default(),
+                    );
+                    report.dedup.distinct
+                })
+            },
+        );
+    }
+    group.finish();
+    println!("host parallelism: {cores} core(s)");
+}
+
+criterion_group!(benches, bench_batch_dedup, bench_batch_threads);
+criterion_main!(benches);

@@ -72,13 +72,7 @@ impl QueryRun {
 /// Remaps a lineage over global fact ids to dense variables `0..n`,
 /// returning the dense DNF and the sorted fact list (dense index → fact).
 pub fn dense_lineage(elin: &Dnf) -> (Dnf, Vec<VarId>) {
-    let vars = elin.vars();
-    let index_of = |v: VarId| vars.binary_search(&v).expect("var in lineage") as u32;
-    let mut dense = Dnf::new();
-    for conj in elin.conjuncts() {
-        dense.add_conjunct(conj.iter().map(|&v| VarId(index_of(v))).collect());
-    }
-    (dense, vars)
+    elin.densify()
 }
 
 /// Runs one output tuple's exact pipeline under a timeout.

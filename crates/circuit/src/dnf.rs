@@ -112,6 +112,20 @@ impl Dnf {
         out
     }
 
+    /// Remaps the DNF onto dense variables `0..k`, returning the dense DNF
+    /// and the sorted original variables (dense index → original). The
+    /// sampling/naive engines and the bench runner evaluate lineages over
+    /// their own variables this way.
+    pub fn densify(&self) -> (Dnf, Vec<VarId>) {
+        let vars = self.vars();
+        let index_of = |v: VarId| vars.binary_search(&v).expect("var in lineage") as u32;
+        let mut dense = Dnf::new();
+        for conj in self.conjuncts() {
+            dense.add_conjunct(conj.iter().map(|&v| VarId(index_of(v))).collect());
+        }
+        (dense, vars)
+    }
+
     /// Builds the equivalent circuit (`∨` of `∧` of variables) in `circuit`
     /// and returns the root.
     pub fn to_circuit(&self, circuit: &mut Circuit) -> NodeId {

@@ -20,12 +20,16 @@
 //!   which are auxiliary;
 //! * [`readonce`] — read-once factorization of monotone DNF lineages
 //!   (Golumbic–Mintz–Rotics co-occurrence decomposition), the fast path that
-//!   sidesteps knowledge compilation entirely when the lineage factors.
+//!   sidesteps knowledge compilation entirely when the lineage factors;
+//! * [`fingerprint`] — canonical structural fingerprints of lineages (equal
+//!   up to fact renaming ⇒ equal key), the interning key the engine layer's
+//!   batch executor dedups on.
 
 pub mod circuit;
 pub mod cnf;
 pub mod dimacs;
 pub mod dnf;
+pub mod fingerprint;
 pub mod literal_dnf;
 pub mod readonce;
 pub mod tseytin;
@@ -34,6 +38,7 @@ pub use circuit::{Circuit, Gate, NodeId, VarId};
 pub use cnf::{Clause, Cnf, Lit};
 pub use dimacs::{from_dimacs, to_dimacs, DimacsError};
 pub use dnf::Dnf;
+pub use fingerprint::{fingerprint, Fingerprint, FingerprintKey};
 pub use literal_dnf::LiteralDnf;
 pub use readonce::{factor, ReadOnce};
 pub use tseytin::{tseytin, TseytinCnf};

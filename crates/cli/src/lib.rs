@@ -10,9 +10,14 @@
 //!        --endo Flights --top 3
 //! ```
 //!
-//! Methods: `exact` (read-once fast path, else knowledge compilation; fails
-//! on timeout), `hybrid` (the paper's §6.3 engine: exact under a deadline,
-//! CNF-Proxy ranking on fallback; the default), `proxy` (Algorithm 2 only).
+//! Engines (`--engine`): `auto` (the default — the cost-based planner
+//! routes each answer's lineage to the cheapest engine, exact under the
+//! timeout with a CNF-Proxy ranking fallback), `exact` (read-once fast
+//! path, else knowledge compilation; fails on timeout), or a forced single
+//! engine: `readonce`, `kc`, `naive`, `proxy`, `montecarlo`, `kernelshap`.
+//! Answers run through the batch executor: structurally identical lineages
+//! are computed once, distinct ones fan out over `--threads` workers.
+//! `--method {exact,hybrid,proxy}` remains as a compatibility alias.
 //! Aggregates: `--agg count` and `--agg sum:<head-column>` attribute the
 //! COUNT/SUM game over all answers instead of each answer separately.
 //!
@@ -20,12 +25,10 @@
 //! test suite drives the tool without spawning processes; `main.rs` is a
 //! thin wrapper.
 
-use shapdb_circuit::Circuit;
+use shapdb_circuit::Dnf;
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
+use shapdb_core::engine::{BatchExecutor, EngineKind, EngineValues, Planner, PlannerConfig};
 use shapdb_core::exact::ExactConfig;
-use shapdb_core::hybrid::{hybrid_shapley, HybridConfig, HybridOutcome};
-use shapdb_core::pipeline::analyze_lineage_auto;
-use shapdb_core::proxy::proxy_from_lineage;
 use shapdb_data::{Database, FactId, Value};
 use shapdb_kc::Budget;
 use shapdb_num::Rational;
@@ -34,15 +37,52 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-/// What to compute.
+/// Which engine policy to run (`--engine`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Method {
-    /// Exact values (read-once fast path, else full pipeline).
+pub enum EngineChoice {
+    /// The cost-based planner with the hybrid fallback: exact wherever the
+    /// timeout allows, CNF-Proxy ranking otherwise. Never fails.
+    Auto,
+    /// Exact values only (read-once fast path, else knowledge compilation);
+    /// fails when the timeout or budget is exceeded.
     Exact,
-    /// Exact under the timeout, CNF-Proxy ranking otherwise (§6.3).
-    Hybrid,
-    /// CNF-Proxy scores only (Algorithm 2).
-    Proxy,
+    /// One specific engine for every answer.
+    Forced(EngineKind),
+}
+
+impl EngineChoice {
+    /// Parses an `--engine` value.
+    pub fn parse(s: &str) -> Option<EngineChoice> {
+        match s {
+            "auto" => Some(EngineChoice::Auto),
+            "exact" => Some(EngineChoice::Exact),
+            other => EngineKind::parse(other).map(EngineChoice::Forced),
+        }
+    }
+
+    /// The planner policy this choice stands for.
+    pub fn planner_config(self, timeout: Duration) -> PlannerConfig {
+        match self {
+            EngineChoice::Auto => PlannerConfig {
+                timeout: Some(timeout),
+                fallback: Some(EngineKind::Proxy),
+                // Like the paper's hybrid: always try the exact pipeline
+                // under the timeout, never pre-reject by lineage size.
+                max_kc_vars: usize::MAX,
+                max_kc_conjuncts: usize::MAX,
+                ..Default::default()
+            },
+            EngineChoice::Exact => PlannerConfig {
+                timeout: Some(timeout),
+                ..Default::default()
+            },
+            EngineChoice::Forced(kind) => PlannerConfig {
+                force: Some(kind),
+                timeout: Some(timeout),
+                ..Default::default()
+            },
+        }
+    }
 }
 
 /// Aggregate mode.
@@ -64,7 +104,9 @@ pub struct Config {
     /// Relations whose facts are endogenous; `None` = all relations.
     pub endo: Option<Vec<String>>,
     pub top: usize,
-    pub method: Method,
+    pub engine: EngineChoice,
+    /// Batch worker threads (0 = all available cores).
+    pub threads: usize,
     pub timeout: Duration,
     pub aggregate: Aggregate,
 }
@@ -100,8 +142,14 @@ OPTIONS:
                         'q(c) :- Airports(x, c), Flights(x, y)'
     --endo <R1,R2,...>  endogenous relations (default: all)
     --top <K>           show the K most influential facts (default 5)
-    --method <M>        exact | hybrid | proxy   (default hybrid)
-    --timeout-ms <N>    hybrid/exact deadline in milliseconds (default 2500)
+    --engine <E>        auto | exact | readonce | kc | naive | proxy |
+                        montecarlo | kernelshap   (default auto: the
+                        cost-based planner, exact under the timeout with a
+                        CNF-Proxy ranking fallback)
+    --threads <N>       batch worker threads (default 0 = all cores)
+    --method <M>        compatibility alias: exact | hybrid | proxy
+                        (hybrid = --engine auto)
+    --timeout-ms <N>    exact-pipeline deadline in milliseconds (default 2500)
     --agg <A>           count | sum:<head-column-index>
     --help              print this text
 ";
@@ -112,7 +160,8 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
     let mut query: Option<String> = None;
     let mut endo: Option<Vec<String>> = None;
     let mut top = 5usize;
-    let mut method = Method::Hybrid;
+    let mut engine = EngineChoice::Auto;
+    let mut threads = 0usize;
     let mut timeout = Duration::from_millis(2500);
     let mut aggregate = Aggregate::None;
 
@@ -131,11 +180,22 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
                     .parse()
                     .map_err(|_| err("--top expects a positive integer"))?
             }
+            "--engine" => {
+                let spec = take()?;
+                engine = EngineChoice::parse(spec)
+                    .ok_or_else(|| err(format!("unknown engine `{spec}`")))?
+            }
+            "--threads" => {
+                threads = take()?
+                    .parse()
+                    .map_err(|_| err("--threads expects a non-negative integer"))?
+            }
             "--method" => {
-                method = match take()?.as_str() {
-                    "exact" => Method::Exact,
-                    "hybrid" => Method::Hybrid,
-                    "proxy" => Method::Proxy,
+                // Compatibility alias from before the engine layer.
+                engine = match take()?.as_str() {
+                    "exact" => EngineChoice::Exact,
+                    "hybrid" => EngineChoice::Auto,
+                    "proxy" => EngineChoice::Forced(EngineKind::Proxy),
                     other => return Err(err(format!("unknown method `{other}`"))),
                 }
             }
@@ -167,7 +227,8 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
         query: query.ok_or_else(|| err("--query is required"))?,
         endo,
         top,
-        method,
+        engine,
+        threads,
         timeout,
         aggregate,
     })
@@ -340,58 +401,45 @@ pub fn run(cfg: &Config) -> Result<String, CliError> {
         Aggregate::None => {}
     }
 
-    for tuple in &res.outputs {
+    // Per-answer attribution through the engine layer: one batch, dedup of
+    // structurally identical lineages, fan-out over worker threads.
+    let lineages: Vec<Dnf> = res.outputs.iter().map(|t| t.endo_lineage(&db)).collect();
+    let planner_cfg = cfg.engine.planner_config(cfg.timeout);
+    let planner = Planner::for_query(planner_cfg, &q);
+    let mut executor = BatchExecutor::new(planner).with_threads(cfg.threads);
+    if planner_cfg.fallback.is_none() {
+        // The report stops at the first error anyway — abort the rest.
+        executor = executor.with_fail_fast();
+    }
+    let report = executor.run(&lineages, n_endo, &Budget::unlimited(), &exact_cfg);
+    out.push_str(&format!(
+        "{} distinct lineage structure(s); dedup hit rate {:.0}%; {} thread(s)\n",
+        report.dedup.distinct,
+        report.dedup.hit_rate() * 100.0,
+        report.threads
+    ));
+
+    for (tuple, item) in res.outputs.iter().zip(report.items) {
         out.push_str(&format!("{}\n", render_tuple(&tuple.tuple)));
-        let elin = tuple.endo_lineage(&db);
-        match cfg.method {
-            Method::Exact => {
-                let analysis = analyze_lineage_auto(&elin, n_endo, &budget, &exact_cfg)
-                    .map_err(|e| err(format!("exact computation failed: {e}")))?;
-                let values: Vec<(FactId, Rational)> = analysis
-                    .attributions
-                    .into_iter()
-                    .map(|a| (FactId(a.fact.0), a.shapley))
-                    .collect();
+        let result = item
+            .result
+            .map_err(|e| err(format!("attribution failed: {e}")))?;
+        match result.values {
+            EngineValues::Exact(values) => {
+                let values: Vec<(FactId, Rational)> =
+                    values.into_iter().map(|(v, r)| (FactId(v.0), r)).collect();
                 render_exact(&mut out, &db, cfg.top, &values);
             }
-            Method::Hybrid => {
-                let mut circuit = Circuit::new();
-                let root = elin.to_circuit(&mut circuit);
-                let hybrid_cfg = HybridConfig {
-                    timeout: cfg.timeout,
-                    ..Default::default()
-                };
-                let report = hybrid_shapley(&circuit, root, n_endo, &hybrid_cfg);
-                match report.outcome {
-                    HybridOutcome::Exact(values) => {
-                        let values: Vec<(FactId, Rational)> =
-                            values.into_iter().map(|(v, r)| (FactId(v.0), r)).collect();
-                        render_exact(&mut out, &db, cfg.top, &values);
-                    }
-                    HybridOutcome::Proxy(scores) => {
-                        out.push_str("  (timeout: CNF-Proxy ranking, not Shapley values)\n");
-                        for (i, (fact, s)) in scores.iter().take(cfg.top).enumerate() {
-                            out.push_str(&format!(
-                                "  {}. {}  score {:.6}\n",
-                                i + 1,
-                                db.display_fact(FactId(fact.0)),
-                                s
-                            ));
-                        }
-                    }
+            EngineValues::Approx(scores) => {
+                if cfg.engine == EngineChoice::Auto {
+                    out.push_str("  (exact pipeline exceeded its budget: CNF-Proxy ranking, not Shapley values)\n");
                 }
-            }
-            Method::Proxy => {
-                let mut circuit = Circuit::new();
-                let root = elin.to_circuit(&mut circuit);
-                let mut scores = proxy_from_lineage(&circuit, root);
-                scores.sort_by(|a, b| b.1.total_cmp(&a.1));
-                for (i, (fact, s)) in scores.iter().take(cfg.top).enumerate() {
+                for (i, (fact, score)) in scores.iter().take(cfg.top).enumerate() {
                     out.push_str(&format!(
                         "  {}. {}  score {:.6}\n",
                         i + 1,
                         db.display_fact(FactId(fact.0)),
-                        s
+                        score
                     ));
                 }
             }
@@ -449,6 +497,8 @@ mod tests {
             "3",
             "--method",
             "exact",
+            "--threads",
+            "4",
             "--timeout-ms",
             "100",
             "--agg",
@@ -461,7 +511,8 @@ mod tests {
             Some(&["R".to_string(), "S".to_string()][..])
         );
         assert_eq!(cfg.top, 3);
-        assert_eq!(cfg.method, Method::Exact);
+        assert_eq!(cfg.engine, EngineChoice::Exact);
+        assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.timeout, Duration::from_millis(100));
         assert_eq!(cfg.aggregate, Aggregate::Sum(1));
     }
@@ -544,6 +595,62 @@ mod tests {
         ]))
         .unwrap();
         assert!(report.contains("COUNT(*) attribution:"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn engine_flag_selects_forced_engines() {
+        let dir = flights_dir("engine");
+        // readonce: the flights lineage factors, exact values come out.
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            FLIGHTS_QUERY,
+            "--endo",
+            "Flights",
+            "--engine",
+            "readonce",
+        ]))
+        .unwrap();
+        assert!(report.contains("Flights(JFK, CDG)  43/105"), "{report}");
+        assert!(
+            report.contains("1 distinct lineage structure(s)"),
+            "{report}"
+        );
+        // montecarlo: approximate scores.
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            FLIGHTS_QUERY,
+            "--endo",
+            "Flights",
+            "--engine",
+            "montecarlo",
+        ]))
+        .unwrap();
+        assert!(report.contains("score"), "{report}");
+        // Unknown engines are a clean error.
+        assert!(parse_args(&args(&["--db", "d", "--query", "q", "--engine", "magic"])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_auto_engine_reproduces_example_2_1() {
+        let dir = flights_dir("auto");
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            FLIGHTS_QUERY,
+            "--endo",
+            "Flights",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(report.contains("Flights(JFK, CDG)  43/105"), "{report}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

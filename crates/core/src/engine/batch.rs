@@ -1,0 +1,552 @@
+//! The parallel batch executor: dedup structurally identical lineages,
+//! solve each distinct structure once, fan out across scoped threads.
+//!
+//! Multi-answer workloads are full of repeated lineage *structure* (every
+//! answer of a star join looks like every other answer of that join), and
+//! the Shapley value is equivariant under fact renaming — so the executor
+//! interns lineages by their canonical [`shapdb_circuit::fingerprint`],
+//! computes each distinct structure exactly once through the [`Planner`],
+//! and translates the values back through each task's renaming. Distinct
+//! structures are independent, so they fan out across
+//! `std::thread::scope` workers (large stacks — the compiler recursion is
+//! bounded by the CNF variable count).
+//!
+//! Exact values translate *exactly*: batch output is identical, rational
+//! for rational, to solving every task separately. Sampling engines also
+//! stay deterministic (same seed per distinct structure), but their
+//! estimates are shared across a dedup group rather than re-drawn.
+
+use super::{EngineError, EngineResult, EngineValues, LineageTask, Planner};
+use crate::exact::ExactConfig;
+use shapdb_circuit::{fingerprint, Dnf, Fingerprint, FingerprintKey, VarId};
+use shapdb_kc::Budget;
+use shapdb_metrics::counters::{DedupStats, BATCH_DEDUP_HITS, BATCH_DISTINCT, BATCH_TASKS};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Worker stack size: the DPLL compiler recurses per CNF variable.
+const WORKER_STACK: usize = 64 * 1024 * 1024;
+
+/// Batch execution knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Intern structurally identical lineages (on by default; turn off to
+    /// measure the dedup win or to re-draw samples per task).
+    pub dedup: bool,
+    /// Abort the batch on the first failed task: remaining tasks inherit
+    /// that error instead of burning their own per-lineage timeouts. Off by
+    /// default (every task gets its own verdict); callers that propagate
+    /// the first error anyway (the facade's exact `explain`) turn it on.
+    pub fail_fast: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            threads: 0,
+            dedup: true,
+            fail_fast: false,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Resolved worker count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// One task's outcome within a batch.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// Index into the submitted lineage list.
+    pub index: usize,
+    /// The engine result, with values translated back onto this task's
+    /// facts.
+    pub result: Result<EngineResult, EngineError>,
+    /// True iff this task reused a structurally identical lineage's
+    /// computation instead of triggering its own.
+    pub dedup_hit: bool,
+}
+
+/// What one batch run produced.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-task outcomes, in submission order.
+    pub items: Vec<BatchItem>,
+    /// Dedup statistics (the lineage-dedup hit rate of this run).
+    pub dedup: DedupStats,
+    /// Actual engine invocations — equals `dedup.distinct` by construction.
+    pub engine_runs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time of the whole batch.
+    pub total_time: Duration,
+}
+
+impl BatchReport {
+    /// Drops the bookkeeping, keeping per-task results in order.
+    pub fn into_results(self) -> Vec<Result<EngineResult, EngineError>> {
+        self.items.into_iter().map(|i| i.result).collect()
+    }
+}
+
+/// Executes batches of lineage tasks through a [`Planner`].
+#[derive(Clone, Debug, Default)]
+pub struct BatchExecutor {
+    planner: Planner,
+    cfg: BatchConfig,
+}
+
+impl BatchExecutor {
+    /// An executor over the given planner, with default batch knobs.
+    pub fn new(planner: Planner) -> BatchExecutor {
+        BatchExecutor {
+            planner,
+            cfg: BatchConfig::default(),
+        }
+    }
+
+    /// Sets the batch knobs.
+    pub fn with_config(mut self, cfg: BatchConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Disables structural dedup.
+    pub fn without_dedup(mut self) -> Self {
+        self.cfg.dedup = false;
+        self
+    }
+
+    /// Aborts the whole batch on the first failed task (see
+    /// [`BatchConfig::fail_fast`]).
+    pub fn with_fail_fast(mut self) -> Self {
+        self.cfg.fail_fast = true;
+        self
+    }
+
+    /// The planner driving per-lineage routing.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Runs the batch: one lineage per output tuple, shared `n_endo` and
+    /// budgets (per-lineage deadlines come from the planner's timeout).
+    pub fn run(
+        &self,
+        lineages: &[Dnf],
+        n_endo: usize,
+        budget: &Budget,
+        exact: &ExactConfig,
+    ) -> BatchReport {
+        let start = Instant::now();
+        let tasks = lineages.len();
+
+        // Intern: group tasks by canonical fingerprint. Without dedup every
+        // task is its own group solved on its original lineage.
+        let fingerprints: Vec<Option<Fingerprint>> = if self.cfg.dedup {
+            lineages.iter().map(|l| Some(fingerprint(l))).collect()
+        } else {
+            vec![None; tasks]
+        };
+        let mut group_of: Vec<usize> = Vec::with_capacity(tasks);
+        let mut first_of_group: Vec<usize> = Vec::new();
+        let mut distinct: Vec<Dnf> = Vec::new();
+        {
+            let mut seen: HashMap<&FingerprintKey, usize> = HashMap::new();
+            for (i, fp) in fingerprints.iter().enumerate() {
+                match fp {
+                    Some(fp) => {
+                        let next = distinct.len();
+                        let g = *seen.entry(fp.key()).or_insert(next);
+                        if g == next {
+                            distinct.push(fp.canonical_dnf());
+                            first_of_group.push(i);
+                        }
+                        group_of.push(g);
+                    }
+                    None => {
+                        group_of.push(distinct.len());
+                        first_of_group.push(i);
+                        distinct.push(lineages[i].clone());
+                    }
+                }
+            }
+        }
+
+        // Fan the distinct structures out across scoped workers.
+        let fail_fast = self.cfg.fail_fast;
+        let threads = self.cfg.effective_threads().min(distinct.len()).max(1);
+        let mut solved: Vec<Option<Result<EngineResult, EngineError>>> =
+            (0..distinct.len()).map(|_| None).collect();
+        if threads <= 1 {
+            let mut abort: Option<EngineError> = None;
+            for (i, lineage) in distinct.iter().enumerate() {
+                let result = match abort {
+                    Some(e) => Err(e),
+                    None => self.solve_one(lineage, n_endo, budget, exact),
+                };
+                if fail_fast && abort.is_none() {
+                    if let Err(e) = &result {
+                        abort = Some(*e);
+                    }
+                }
+                solved[i] = Some(result);
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let abort: std::sync::Mutex<Option<EngineError>> = std::sync::Mutex::new(None);
+            let distinct_ref = &distinct;
+            let cursor_ref = &cursor;
+            let abort_ref = &abort;
+            let mut collected: Vec<Vec<(usize, Result<EngineResult, EngineError>)>> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        std::thread::Builder::new()
+                            .stack_size(WORKER_STACK)
+                            .spawn_scoped(s, move || {
+                                let mut local = Vec::new();
+                                loop {
+                                    let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                                    if i >= distinct_ref.len() {
+                                        return local;
+                                    }
+                                    let aborted = *abort_ref.lock().expect("abort flag");
+                                    let result = match aborted {
+                                        Some(e) => Err(e),
+                                        None => {
+                                            self.solve_one(&distinct_ref[i], n_endo, budget, exact)
+                                        }
+                                    };
+                                    if fail_fast {
+                                        if let Err(e) = &result {
+                                            abort_ref.lock().expect("abort flag").get_or_insert(*e);
+                                        }
+                                    }
+                                    local.push((i, result));
+                                }
+                            })
+                            .expect("spawn batch worker")
+                    })
+                    .collect();
+                for h in handles {
+                    collected.push(h.join().expect("batch worker panicked"));
+                }
+            });
+            for (i, r) in collected.into_iter().flatten() {
+                solved[i] = Some(r);
+            }
+        }
+
+        // Translate each group's canonical result back onto each task's
+        // facts.
+        let items: Vec<BatchItem> = (0..tasks)
+            .map(|i| {
+                let g = group_of[i];
+                let result = solved[g].clone().expect("group solved");
+                let result = match &fingerprints[i] {
+                    Some(fp) => result.map(|r| translate(r, fp)),
+                    None => result,
+                };
+                BatchItem {
+                    index: i,
+                    result,
+                    dedup_hit: first_of_group[g] != i,
+                }
+            })
+            .collect();
+
+        let dedup = DedupStats {
+            tasks,
+            distinct: distinct.len(),
+        };
+        BATCH_TASKS.add(tasks as u64);
+        BATCH_DISTINCT.add(distinct.len() as u64);
+        BATCH_DEDUP_HITS.add(dedup.hits() as u64);
+
+        BatchReport {
+            items,
+            dedup,
+            engine_runs: distinct.len(),
+            threads,
+            total_time: start.elapsed(),
+        }
+    }
+
+    fn solve_one(
+        &self,
+        lineage: &Dnf,
+        n_endo: usize,
+        budget: &Budget,
+        exact: &ExactConfig,
+    ) -> Result<EngineResult, EngineError> {
+        let task = LineageTask::new(lineage, n_endo)
+            .with_budget(*budget)
+            .with_exact(*exact);
+        self.planner.solve(&task)
+    }
+}
+
+/// Renames a canonical result's facts back onto a task's own facts and
+/// restores the canonical sort order.
+fn translate(mut result: EngineResult, fp: &Fingerprint) -> EngineResult {
+    result.values = match result.values {
+        EngineValues::Exact(pairs) => {
+            let mut mapped: Vec<(VarId, _)> = pairs
+                .into_iter()
+                .map(|(v, x)| (fp.var_of(v.0), x))
+                .collect();
+            super::sort_exact(&mut mapped);
+            EngineValues::Exact(mapped)
+        }
+        EngineValues::Approx(pairs) => {
+            let mut mapped: Vec<(VarId, f64)> = pairs
+                .into_iter()
+                .map(|(v, x)| (fp.var_of(v.0), x))
+                .collect();
+            super::sort_approx(&mut mapped);
+            EngineValues::Approx(mapped)
+        }
+    };
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineKind, PlannerConfig};
+    use shapdb_num::Rational;
+
+    fn dnf(conjs: &[&[u32]]) -> Dnf {
+        let mut d = Dnf::new();
+        for c in conjs {
+            d.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+        }
+        d
+    }
+
+    fn exact_pairs(r: &EngineResult) -> Vec<(u32, Rational)> {
+        match &r.values {
+            EngineValues::Exact(v) => v.iter().map(|(f, x)| (f.0, x.clone())).collect(),
+            EngineValues::Approx(_) => panic!("expected exact"),
+        }
+    }
+
+    #[test]
+    fn isomorphic_lineages_solved_once_with_exact_translation() {
+        // Three matchings, one of them pairing across the id order, plus a
+        // distinct singleton lineage: 4 tasks, 2 distinct structures.
+        let lineages = vec![
+            dnf(&[&[0, 10], &[1, 11]]),
+            dnf(&[&[2, 20], &[3, 21]]),
+            dnf(&[&[4, 31], &[5, 30]]),
+            dnf(&[&[7]]),
+        ];
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default()));
+        let report = exec.run(&lineages, 40, &Budget::unlimited(), &ExactConfig::default());
+        assert_eq!(
+            report.dedup,
+            DedupStats {
+                tasks: 4,
+                distinct: 2
+            }
+        );
+        assert_eq!(report.engine_runs, 2);
+        assert_eq!(report.dedup.hits(), 2);
+        let hits: Vec<bool> = report.items.iter().map(|i| i.dedup_hit).collect();
+        assert_eq!(hits, vec![false, true, true, false]);
+        // Every matching task gets 1/4 per fact, on *its own* facts.
+        for (idx, facts) in [
+            (0, [0u32, 1, 10, 11]),
+            (1, [2, 3, 20, 21]),
+            (2, [4, 5, 30, 31]),
+        ] {
+            let r = report.items[idx].result.as_ref().unwrap();
+            let pairs = exact_pairs(r);
+            let mut got: Vec<u32> = pairs.iter().map(|(f, _)| *f).collect();
+            got.sort_unstable();
+            assert_eq!(got, facts);
+            for (_, v) in pairs {
+                assert_eq!(v, Rational::from_ratio(1, 4));
+            }
+        }
+        let singleton = exact_pairs(report.items[3].result.as_ref().unwrap());
+        assert_eq!(singleton, vec![(7, Rational::one())]);
+    }
+
+    #[test]
+    fn batch_matches_per_task_solving_at_any_thread_count() {
+        let lineages = vec![
+            dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]),
+            dnf(&[&[8, 9], &[9, 10], &[8, 10]]), // majority: the KC route
+            dnf(&[&[11, 12], &[13, 14]]),
+            dnf(&[&[15, 16], &[16, 17], &[15, 17]]), // isomorphic to the majority
+        ];
+        let planner = Planner::new(PlannerConfig::default());
+        let sequential: Vec<Vec<(u32, Rational)>> = lineages
+            .iter()
+            .map(|l| {
+                let task = LineageTask::new(l, 20);
+                exact_pairs(&planner.solve(&task).unwrap())
+            })
+            .collect();
+        for threads in [1, 4] {
+            let exec = BatchExecutor::new(planner.clone()).with_threads(threads);
+            let report = exec.run(&lineages, 20, &Budget::unlimited(), &ExactConfig::default());
+            for (i, item) in report.items.iter().enumerate() {
+                let got = exact_pairs(item.result.as_ref().unwrap());
+                assert_eq!(got, sequential[i], "threads={threads}, task {i}");
+            }
+            assert_eq!(report.dedup.distinct, 3, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn unminimized_lineages_agree_between_batch_and_sequential() {
+        // {0,1},{1,2},{0,2},{0,1,3}: the last conjunct is absorbed and var 3
+        // is a null player. Every engine minimizes first, so the KC route
+        // reports the same fact set with and without dedup, and batch
+        // equals per-task solving even on non-minimized inputs.
+        let lineages = vec![
+            dnf(&[&[0, 1], &[1, 2], &[0, 2], &[0, 1, 3]]),
+            dnf(&[&[4, 5], &[5, 6], &[4, 6], &[4, 5, 7]]),
+        ];
+        let planner = Planner::new(PlannerConfig::default());
+        let sequential: Vec<Vec<(u32, Rational)>> = lineages
+            .iter()
+            .map(|l| exact_pairs(&planner.solve(&LineageTask::new(l, 8)).unwrap()))
+            .collect();
+        assert_eq!(sequential[0].len(), 3, "absorbed var 3 is omitted");
+        for (exec, label) in [
+            (BatchExecutor::new(planner.clone()), "dedup"),
+            (
+                BatchExecutor::new(planner.clone()).without_dedup(),
+                "no dedup",
+            ),
+        ] {
+            let report = exec.run(&lineages, 8, &Budget::unlimited(), &ExactConfig::default());
+            for (i, item) in report.items.iter().enumerate() {
+                let got = exact_pairs(item.result.as_ref().unwrap());
+                assert_eq!(got, sequential[i], "{label}, task {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_can_be_disabled() {
+        let lineages = vec![dnf(&[&[0, 1]]), dnf(&[&[2, 3]])];
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default())).without_dedup();
+        let report = exec.run(&lineages, 4, &Budget::unlimited(), &ExactConfig::default());
+        assert_eq!(
+            report.dedup,
+            DedupStats {
+                tasks: 2,
+                distinct: 2
+            }
+        );
+        assert_eq!(report.dedup.hit_rate(), 0.0);
+        assert!(report.items.iter().all(|i| !i.dedup_hit));
+    }
+
+    #[test]
+    fn errors_are_per_task_and_translated_tasks_share_them() {
+        // A KC-routed structure under an impossible node budget fails; both
+        // members of its dedup group see the error, the read-once task does
+        // not.
+        let lineages = vec![
+            dnf(&[&[0, 1], &[1, 2], &[0, 2]]),
+            dnf(&[&[5]]),
+            dnf(&[&[10, 11], &[11, 12], &[10, 12]]),
+        ];
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default()));
+        let report = exec.run(
+            &lineages,
+            13,
+            &Budget::with_max_nodes(1),
+            &ExactConfig::default(),
+        );
+        assert!(report.items[0].result.is_err());
+        assert!(report.items[1].result.is_ok());
+        assert!(report.items[2].result.is_err());
+        assert!(report.items[2].dedup_hit);
+        // With a hybrid fallback the same batch degrades to rankings
+        // instead of errors.
+        let hybrid = BatchExecutor::new(Planner::new(PlannerConfig {
+            fallback: Some(EngineKind::Proxy),
+            ..Default::default()
+        }));
+        let report = hybrid.run(
+            &lineages,
+            13,
+            &Budget::with_max_nodes(1),
+            &ExactConfig::default(),
+        );
+        assert!(report.items.iter().all(|i| i.result.is_ok()));
+        assert_eq!(
+            report.items[0].result.as_ref().unwrap().engine,
+            EngineKind::Proxy
+        );
+    }
+
+    #[test]
+    fn fail_fast_aborts_remaining_tasks_with_the_first_error() {
+        // Two KC-hard structures under an impossible node budget plus a
+        // read-once singleton after them: with fail_fast the singleton is
+        // not solved, it inherits the first error.
+        let lineages = vec![
+            dnf(&[&[0, 1], &[1, 2], &[0, 2]]),
+            dnf(&[&[10, 11], &[11, 12], &[10, 13], &[12, 13]]),
+            dnf(&[&[5]]),
+        ];
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default())).with_fail_fast();
+        let report = exec.run(
+            &lineages,
+            14,
+            &Budget::with_max_nodes(1),
+            &ExactConfig::default(),
+        );
+        let first_err = report.items[0].result.clone().unwrap_err();
+        assert!(report.items.iter().all(|i| i.result.is_err()));
+        assert_eq!(report.items[2].result.clone().unwrap_err(), first_err);
+        // Default mode: the singleton still succeeds.
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default()));
+        let report = exec.run(
+            &lineages,
+            14,
+            &Budget::with_max_nodes(1),
+            &ExactConfig::default(),
+        );
+        assert!(report.items[2].result.is_ok());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default()));
+        let report = exec.run(&[], 0, &Budget::unlimited(), &ExactConfig::default());
+        assert!(report.items.is_empty());
+        assert_eq!(
+            report.dedup,
+            DedupStats {
+                tasks: 0,
+                distinct: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,525 @@
+//! The six [`ShapleyEngine`] implementations.
+//!
+//! Each engine is the *routing shell* around one algorithm kernel — the
+//! kernels themselves live where they always did ([`crate::exact`],
+//! [`crate::readonce`], [`crate::proxy`], [`crate::montecarlo`],
+//! [`crate::kernelshap`], [`crate::naive`]); this module owns the glue that
+//! used to be smeared across `analyze_lineage*` and the hybrid free
+//! functions. [`KcEngine::analyze_circuit`] is the one circuit-level entry
+//! (Figure 3's middle row), kept public because signed (negation) lineages
+//! enter as circuits rather than monotone DNFs.
+
+use super::{
+    sort_approx, sort_exact, EngineError, EngineKind, EngineResult, EngineValues, LineageTask,
+    ShapleyEngine,
+};
+use crate::exact::shapley_all_facts;
+use crate::kernelshap::{kernel_shap, KernelShapConfig};
+use crate::montecarlo::{monte_carlo_shapley, monte_carlo_shapley_monotone, MonteCarloConfig};
+use crate::naive::shapley_naive;
+use crate::pipeline::{AnalysisError, LineageAnalysis};
+use crate::proxy::cnf_proxy;
+use crate::readonce::shapley_read_once;
+use shapdb_circuit::{factor, tseytin, Circuit, Dnf, NodeId, VarId};
+use shapdb_kc::{compile, project, Budget, CompileStats};
+use shapdb_metrics::counters::ENGINE_SOLVES;
+use shapdb_num::{Bitset, Rational};
+use std::time::Instant;
+
+/// Absorption-minimizes a lineage. Every DNF-entry engine does this first,
+/// so all engines share one null-player semantics: facts absorbed away
+/// (provably null players — they appear in no prime implicant) are omitted
+/// from the result, identically in batch and in sequential mode.
+fn minimized(lineage: &Dnf) -> Dnf {
+    let mut d = lineage.clone();
+    d.minimize();
+    d
+}
+
+fn exact_result(
+    engine: EngineKind,
+    mut pairs: Vec<(VarId, Rational)>,
+    prep_time: std::time::Duration,
+    solve_time: std::time::Duration,
+    cnf_clauses: usize,
+    ddnnf_size: usize,
+    compile_stats: CompileStats,
+) -> EngineResult {
+    sort_exact(&mut pairs);
+    EngineResult {
+        engine,
+        num_facts: pairs.len(),
+        values: EngineValues::Exact(pairs),
+        prep_time,
+        solve_time,
+        cnf_clauses,
+        ddnnf_size,
+        compile_stats,
+    }
+}
+
+fn approx_result(
+    engine: EngineKind,
+    mut pairs: Vec<(VarId, f64)>,
+    prep_time: std::time::Duration,
+    solve_time: std::time::Duration,
+    cnf_clauses: usize,
+) -> EngineResult {
+    sort_approx(&mut pairs);
+    EngineResult {
+        engine,
+        num_facts: pairs.len(),
+        values: EngineValues::Approx(pairs),
+        prep_time,
+        solve_time,
+        cnf_clauses,
+        ddnnf_size: 0,
+        compile_stats: CompileStats::default(),
+    }
+}
+
+/// The read-once fast path: factorize, then evaluate the `#SAT_k`
+/// recurrences on the tree. Unsupported on lineages that do not factor.
+pub struct ReadOnceEngine;
+
+impl ShapleyEngine for ReadOnceEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::ReadOnce
+    }
+
+    fn supports(&self, task: &LineageTask) -> bool {
+        factor(task.lineage).is_some()
+    }
+
+    fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        let prep_start = Instant::now();
+        let tree =
+            factor(task.lineage).ok_or(EngineError::Unsupported("lineage is not read-once"))?;
+        let prep_time = prep_start.elapsed();
+        self.solve_tree(&tree, prep_time, task)
+    }
+}
+
+impl ReadOnceEngine {
+    /// Evaluates an already-factorized tree (lets the planner reuse the
+    /// factorization it built while classifying, instead of factoring the
+    /// lineage a second time).
+    pub fn solve_tree(
+        &self,
+        tree: &shapdb_circuit::ReadOnce,
+        prep_time: std::time::Duration,
+        task: &LineageTask,
+    ) -> Result<EngineResult, EngineError> {
+        ENGINE_SOLVES.incr();
+        let solve_start = Instant::now();
+        let pairs = shapley_read_once(tree, task.n_endo, task.exact.deadline)
+            .map_err(|e| EngineError::Analysis(AnalysisError::Shapley(e)))?;
+        let solve_time = solve_start.elapsed();
+        Ok(exact_result(
+            EngineKind::ReadOnce,
+            pairs,
+            prep_time,
+            solve_time,
+            0,
+            tree.len(),
+            CompileStats::default(),
+        ))
+    }
+}
+
+/// The full exact pipeline: Tseytin → CNF→d-DNNF compilation → projection
+/// (Lemma 4.6) → Algorithm 1. Handles every lineage; may exceed its budget.
+pub struct KcEngine;
+
+impl KcEngine {
+    /// Figure 3's middle row on an endogenous-lineage *circuit* — the
+    /// implementation behind both [`ShapleyEngine::solve`] and the classic
+    /// `pipeline::analyze_lineage`, and the entry signed negation lineages
+    /// use directly.
+    pub fn analyze_circuit(
+        circuit: &Circuit,
+        root: NodeId,
+        n_endo: usize,
+        budget: &Budget,
+        cfg: &crate::exact::ExactConfig,
+    ) -> Result<LineageAnalysis, AnalysisError> {
+        let kc_start = Instant::now();
+        let t = tseytin(circuit, root);
+        let (full, compile_stats) = compile(&t.cnf, budget).map_err(AnalysisError::Compile)?;
+        let ddnnf = project(&full, t.num_inputs());
+        let kc_time = kc_start.elapsed();
+
+        let alg1_start = Instant::now();
+        let values = shapley_all_facts(&ddnnf, n_endo, cfg).map_err(AnalysisError::Shapley)?;
+        let alg1_time = alg1_start.elapsed();
+
+        let pairs: Vec<(VarId, Rational)> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, shapley)| (t.input_vars[i], shapley))
+            .collect();
+        let result = exact_result(
+            EngineKind::Kc,
+            pairs,
+            kc_time,
+            alg1_time,
+            t.cnf.len(),
+            ddnnf.len(),
+            compile_stats,
+        );
+        Ok(result.into_analysis().expect("KC results always convert"))
+    }
+}
+
+impl ShapleyEngine for KcEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Kc
+    }
+
+    fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        ENGINE_SOLVES.incr();
+        let lineage = minimized(task.lineage);
+        let mut circuit = Circuit::new();
+        let root = lineage.to_circuit(&mut circuit);
+        let analysis =
+            KcEngine::analyze_circuit(&circuit, root, task.n_endo, &task.budget, &task.exact)
+                .map_err(EngineError::Analysis)?;
+        Ok(analysis.into_engine_result())
+    }
+}
+
+/// `O(2ⁿ)` evaluation of the definition — ground truth for tiny lineages.
+pub struct NaiveEngine {
+    /// Enumeration cutoff (`2^max_facts` evaluations).
+    pub max_facts: usize,
+}
+
+impl Default for NaiveEngine {
+    fn default() -> Self {
+        NaiveEngine { max_facts: 25 }
+    }
+}
+
+impl ShapleyEngine for NaiveEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Naive
+    }
+
+    fn supports(&self, task: &LineageTask) -> bool {
+        task.lineage.vars().len() <= self.max_facts
+    }
+
+    fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        ENGINE_SOLVES.incr();
+        let prep_start = Instant::now();
+        let (dense, vars) = minimized(task.lineage).densify();
+        let prep_time = prep_start.elapsed();
+        if vars.len() > self.max_facts {
+            return Err(EngineError::Unsupported(
+                "lineage too large for naive enumeration",
+            ));
+        }
+        let solve_start = Instant::now();
+        let values = shapley_naive(&|s: &Bitset| dense.eval_set(s), vars.len());
+        let solve_time = solve_start.elapsed();
+        let pairs: Vec<(VarId, Rational)> = vars.into_iter().zip(values).collect();
+        Ok(exact_result(
+            EngineKind::Naive,
+            pairs,
+            prep_time,
+            solve_time,
+            0,
+            0,
+            CompileStats::default(),
+        ))
+    }
+}
+
+/// CNF Proxy (Algorithm 2): fast inexact scores whose *ranking* tracks the
+/// exact one. Never fails, never exact.
+pub struct ProxyEngine;
+
+impl ProxyEngine {
+    /// Algorithm 2 on an endogenous-lineage *circuit* (the hybrid fallback
+    /// arm for signed lineages): Tseytin, then per-clause closed-form
+    /// scores for the circuit's input variables, sorted.
+    pub fn score_circuit(circuit: &Circuit, root: NodeId) -> Vec<(VarId, f64)> {
+        let t = tseytin(circuit, root);
+        let k = t.num_inputs();
+        let scores = cnf_proxy(&t.cnf, &|v| v < k);
+        let mut pairs: Vec<(VarId, f64)> = t
+            .input_vars
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, scores[i]))
+            .collect();
+        sort_approx(&mut pairs);
+        pairs
+    }
+}
+
+impl ShapleyEngine for ProxyEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Proxy
+    }
+
+    fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        ENGINE_SOLVES.incr();
+        let prep_start = Instant::now();
+        let lineage = minimized(task.lineage);
+        let mut circuit = Circuit::new();
+        let root = lineage.to_circuit(&mut circuit);
+        let t = tseytin(&circuit, root);
+        let prep_time = prep_start.elapsed();
+        let solve_start = Instant::now();
+        let k = t.num_inputs();
+        let scores = cnf_proxy(&t.cnf, &|v| v < k);
+        let pairs: Vec<(VarId, f64)> = t
+            .input_vars
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, scores[i]))
+            .collect();
+        let solve_time = solve_start.elapsed();
+        Ok(approx_result(
+            EngineKind::Proxy,
+            pairs,
+            prep_time,
+            solve_time,
+            t.cnf.len(),
+        ))
+    }
+}
+
+/// Permutation-sampling estimates (Mann & Shapley 1960), §6.2's first
+/// inexact baseline.
+#[derive(Default)]
+pub struct MonteCarloEngine {
+    /// Sampling parameters (permutation count, seed).
+    pub cfg: MonteCarloConfig,
+    /// Use the `O(log n)`-evaluations binary-search variant (valid for
+    /// monotone lineages — all UCQ lineages are).
+    pub monotone: bool,
+}
+
+impl ShapleyEngine for MonteCarloEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::MonteCarlo
+    }
+
+    fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        ENGINE_SOLVES.incr();
+        let prep_start = Instant::now();
+        let (dense, vars) = minimized(task.lineage).densify();
+        let prep_time = prep_start.elapsed();
+        let solve_start = Instant::now();
+        let f = |s: &Bitset| dense.eval_set(s);
+        let estimates = if self.monotone {
+            monte_carlo_shapley_monotone(&f, vars.len(), &self.cfg)
+        } else {
+            monte_carlo_shapley(&f, vars.len(), &self.cfg)
+        };
+        let solve_time = solve_start.elapsed();
+        let pairs: Vec<(VarId, f64)> = vars.into_iter().zip(estimates).collect();
+        Ok(approx_result(
+            EngineKind::MonteCarlo,
+            pairs,
+            prep_time,
+            solve_time,
+            0,
+        ))
+    }
+}
+
+/// Kernel SHAP regression estimates, §6.2's second inexact baseline.
+#[derive(Default)]
+pub struct KernelShapEngine {
+    /// Regression parameters (sample count, seed, ridge).
+    pub cfg: KernelShapConfig,
+}
+
+impl ShapleyEngine for KernelShapEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::KernelShap
+    }
+
+    fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        ENGINE_SOLVES.incr();
+        let prep_start = Instant::now();
+        let (dense, vars) = minimized(task.lineage).densify();
+        let prep_time = prep_start.elapsed();
+        let solve_start = Instant::now();
+        let estimates = kernel_shap(&|s: &Bitset| dense.eval_set(s), vars.len(), &self.cfg);
+        let solve_time = solve_start.elapsed();
+        let pairs: Vec<(VarId, f64)> = vars.into_iter().zip(estimates).collect();
+        Ok(approx_result(
+            EngineKind::KernelShap,
+            pairs,
+            prep_time,
+            solve_time,
+            0,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactConfig;
+    use std::time::Duration;
+
+    fn running_example() -> Dnf {
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0)]);
+        for pair in [[1u32, 3], [1, 4], [2, 3], [2, 4], [5, 6]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        d
+    }
+
+    fn exact_map(r: &EngineResult) -> std::collections::HashMap<u32, Rational> {
+        match &r.values {
+            EngineValues::Exact(v) => v.iter().map(|(f, x)| (f.0, x.clone())).collect(),
+            EngineValues::Approx(_) => panic!("expected exact values"),
+        }
+    }
+
+    #[test]
+    fn exact_engines_agree_on_running_example() {
+        let d = running_example();
+        let task = LineageTask::new(&d, 8);
+        for kind in [EngineKind::Naive, EngineKind::ReadOnce, EngineKind::Kc] {
+            let r = kind.engine().solve(&task).unwrap();
+            assert_eq!(r.engine, kind);
+            let by_fact = exact_map(&r);
+            assert_eq!(by_fact[&0], Rational::from_ratio(43, 105), "{kind}");
+            assert_eq!(by_fact[&5], Rational::from_ratio(8, 105), "{kind}");
+        }
+    }
+
+    #[test]
+    fn read_once_rejects_majority() {
+        let mut d = Dnf::new();
+        for pair in [[0u32, 1], [1, 2], [0, 2]] {
+            d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+        }
+        let task = LineageTask::new(&d, 3);
+        assert!(!ReadOnceEngine.supports(&task));
+        assert!(matches!(
+            ReadOnceEngine.solve(&task),
+            Err(EngineError::Unsupported(_))
+        ));
+        // KC handles it.
+        let r = KcEngine.solve(&task).unwrap();
+        assert_eq!(exact_map(&r)[&0], Rational::from_ratio(1, 3));
+    }
+
+    #[test]
+    fn naive_refuses_oversized_lineages() {
+        let mut d = Dnf::new();
+        d.add_conjunct((0..30).map(VarId).collect());
+        let task = LineageTask::new(&d, 30);
+        let engine = NaiveEngine::default();
+        assert!(!engine.supports(&task));
+        assert!(matches!(
+            engine.solve(&task),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn kc_respects_budget() {
+        let d = running_example();
+        let task = LineageTask::new(&d, 8).with_budget(Budget::with_max_nodes(1));
+        assert!(matches!(
+            KcEngine.solve(&task),
+            Err(EngineError::Analysis(AnalysisError::Compile(_)))
+        ));
+    }
+
+    #[test]
+    fn inexact_engines_rank_a1_on_top() {
+        let d = running_example();
+        let task = LineageTask::new(&d, 8);
+        let mc = MonteCarloEngine {
+            cfg: MonteCarloConfig {
+                permutations: 4000,
+                seed: 11,
+            },
+            monotone: false,
+        };
+        let ks = KernelShapEngine {
+            cfg: KernelShapConfig {
+                samples: 4000,
+                seed: 11,
+                ..Default::default()
+            },
+        };
+        for engine in [&mc as &dyn ShapleyEngine, &ks] {
+            let r = engine.solve(&task).unwrap();
+            assert!(!r.values.is_exact());
+            assert_eq!(r.values.ranking()[0], VarId(0), "{}", engine.name());
+        }
+        // CNF Proxy is a ranking heuristic with a known a1 pathology
+        // (Example 5.4); it still covers all facts and ranks the a2 tier
+        // above the a6/a7 tier.
+        let r = ProxyEngine.solve(&task).unwrap();
+        let ranking = r.values.ranking();
+        assert_eq!(ranking.len(), 7);
+        let pos = |id: u32| ranking.iter().position(|v| v.0 == id).unwrap();
+        assert!(pos(1) < pos(5) && pos(2) < pos(6));
+    }
+
+    #[test]
+    fn monotone_monte_carlo_matches_plain_estimator() {
+        let d = running_example();
+        let task = LineageTask::new(&d, 8);
+        let cfg = MonteCarloConfig {
+            permutations: 500,
+            seed: 7,
+        };
+        let plain = MonteCarloEngine {
+            cfg,
+            monotone: false,
+        }
+        .solve(&task)
+        .unwrap();
+        let fast = MonteCarloEngine {
+            cfg,
+            monotone: true,
+        }
+        .solve(&task)
+        .unwrap();
+        assert_eq!(plain.values, fast.values);
+    }
+
+    #[test]
+    fn sparse_fact_ids_survive_round_trip() {
+        // Facts 100/900/901: the dense remap must translate back.
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(100)]);
+        d.add_conjunct(vec![VarId(900), VarId(901)]);
+        let task = LineageTask::new(&d, 1000);
+        for kind in [EngineKind::Naive, EngineKind::ReadOnce, EngineKind::Kc] {
+            let r = kind.engine().solve(&task).unwrap();
+            let by_fact = exact_map(&r);
+            assert_eq!(by_fact.len(), 3, "{kind}");
+            assert!(by_fact.contains_key(&100), "{kind}");
+            assert!(by_fact.contains_key(&901), "{kind}");
+        }
+    }
+
+    #[test]
+    fn deadline_timeout_surfaces_as_analysis_error() {
+        let d = running_example();
+        let past = Instant::now() - Duration::from_millis(1);
+        let task = LineageTask::new(&d, 8).with_exact(ExactConfig {
+            deadline: Some(past),
+            ..Default::default()
+        });
+        assert!(matches!(
+            ReadOnceEngine.solve(&task),
+            Err(EngineError::Analysis(AnalysisError::Shapley(_)))
+        ));
+    }
+}

@@ -1,0 +1,357 @@
+//! The unified engine layer: one trait, six engines, a cost-based planner,
+//! and a parallel batch executor.
+//!
+//! The paper's §6.3 hybrid engine is a two-arm special case of a general
+//! idea: *route each output tuple's lineage to the cheapest algorithm that
+//! can handle it*. This module makes that idea first-class:
+//!
+//! * [`ShapleyEngine`] — the uniform `solve(&LineageTask) → EngineResult`
+//!   contract, implemented by all six algorithms of the repository:
+//!   [`NaiveEngine`] (Equations (1)/(2) ground truth), [`ReadOnceEngine`]
+//!   (factorization fast path), [`KcEngine`] (Tseytin → d-DNNF →
+//!   Algorithm 1), [`ProxyEngine`] (Algorithm 2), [`MonteCarloEngine`]
+//!   (permutation sampling) and [`KernelShapEngine`];
+//! * [`Planner`] — classifies each lineage (constant? read-once
+//!   factorizable? guaranteed read-once because the query is hierarchical
+//!   and self-join-free? variable/conjunct counts within the knowledge-
+//!   compilation budget?) and emits a per-tuple [`Plan`];
+//! * [`BatchExecutor`] — interns structurally identical lineages via
+//!   [`shapdb_circuit::fingerprint`], computes each distinct structure
+//!   once, and fans the distinct tasks out across `std::thread::scope`
+//!   workers.
+//!
+//! The classic entry points (`pipeline::analyze_lineage_auto`,
+//! `hybrid_shapley_dnf`, the `shapdb` facade, the CLI) are thin policies
+//! over this layer.
+
+mod batch;
+mod engines;
+mod planner;
+
+pub use batch::{BatchConfig, BatchExecutor, BatchItem, BatchReport};
+pub use engines::{
+    KcEngine, KernelShapEngine, MonteCarloEngine, NaiveEngine, ProxyEngine, ReadOnceEngine,
+};
+pub use planner::{Plan, PlanReason, Planner, PlannerConfig, QueryClass};
+
+use crate::exact::ExactConfig;
+use crate::pipeline::{AnalysisError, AnalysisMethod, FactAttribution, LineageAnalysis};
+use shapdb_circuit::{Dnf, VarId};
+use shapdb_kc::{Budget, CompileStats};
+use shapdb_num::Rational;
+use std::time::Duration;
+
+/// Which algorithm a plan, engine, or result refers to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EngineKind {
+    /// `O(2ⁿ)` enumeration of the definition (ground truth, tiny lineages).
+    Naive,
+    /// Shapley values straight from the read-once factorization.
+    ReadOnce,
+    /// Tseytin → CNF→d-DNNF compilation → Algorithm 1.
+    Kc,
+    /// CNF Proxy scores (Algorithm 2): a ranking, not Shapley values.
+    Proxy,
+    /// Permutation-sampling estimates.
+    MonteCarlo,
+    /// Kernel SHAP regression estimates.
+    KernelShap,
+}
+
+impl EngineKind {
+    /// Every kind, in planner preference order.
+    pub const ALL: [EngineKind; 6] = [
+        EngineKind::ReadOnce,
+        EngineKind::Kc,
+        EngineKind::Naive,
+        EngineKind::Proxy,
+        EngineKind::MonteCarlo,
+        EngineKind::KernelShap,
+    ];
+
+    /// Stable lowercase name (CLI value, report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Naive => "naive",
+            EngineKind::ReadOnce => "readonce",
+            EngineKind::Kc => "kc",
+            EngineKind::Proxy => "proxy",
+            EngineKind::MonteCarlo => "montecarlo",
+            EngineKind::KernelShap => "kernelshap",
+        }
+    }
+
+    /// Parses [`EngineKind::name`] back (for the CLI).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// True iff the engine returns exact rational Shapley values.
+    pub fn is_exact(self) -> bool {
+        matches!(
+            self,
+            EngineKind::Naive | EngineKind::ReadOnce | EngineKind::Kc
+        )
+    }
+
+    /// A default-configured boxed engine of this kind.
+    pub fn engine(self) -> Box<dyn ShapleyEngine> {
+        match self {
+            EngineKind::Naive => Box::new(NaiveEngine::default()),
+            EngineKind::ReadOnce => Box::new(ReadOnceEngine),
+            EngineKind::Kc => Box::new(KcEngine),
+            EngineKind::Proxy => Box::new(ProxyEngine),
+            EngineKind::MonteCarlo => Box::new(MonteCarloEngine::default()),
+            EngineKind::KernelShap => Box::new(KernelShapEngine::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One unit of work: attribute one output tuple's endogenous lineage.
+#[derive(Clone, Debug)]
+pub struct LineageTask<'a> {
+    /// The monotone DNF endogenous lineage.
+    pub lineage: &'a Dnf,
+    /// `|D_n|`, the number of endogenous facts of the database.
+    pub n_endo: usize,
+    /// Knowledge-compilation budget (deadline and node cap).
+    pub budget: Budget,
+    /// Algorithm 1 options (including its deadline).
+    pub exact: ExactConfig,
+}
+
+impl<'a> LineageTask<'a> {
+    /// A task with unlimited budgets.
+    pub fn new(lineage: &'a Dnf, n_endo: usize) -> LineageTask<'a> {
+        LineageTask {
+            lineage,
+            n_endo,
+            budget: Budget::unlimited(),
+            exact: ExactConfig::default(),
+        }
+    }
+
+    /// Sets the knowledge-compilation budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the Algorithm 1 options.
+    pub fn with_exact(mut self, exact: ExactConfig) -> Self {
+        self.exact = exact;
+        self
+    }
+}
+
+/// The values an engine produced, sorted by decreasing value with ties
+/// broken by ascending fact id. Facts of `D_n` absent from the lineage are
+/// null players (value 0) and are omitted — as are facts absorbed away by
+/// minimization (they appear in no prime implicant, hence are null players
+/// too); every engine minimizes first, so batch and sequential runs list
+/// exactly the same facts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineValues {
+    /// Exact Shapley values.
+    Exact(Vec<(VarId, Rational)>),
+    /// Inexact scores (a ranking — CNF Proxy scores are *not* Shapley
+    /// values; sampling estimates approximate them).
+    Approx(Vec<(VarId, f64)>),
+}
+
+impl EngineValues {
+    /// The facts in ranked order (most influential first), either way.
+    pub fn ranking(&self) -> Vec<VarId> {
+        match self {
+            EngineValues::Exact(v) => v.iter().map(|(f, _)| *f).collect(),
+            EngineValues::Approx(v) => v.iter().map(|(f, _)| *f).collect(),
+        }
+    }
+
+    /// Number of scored facts.
+    pub fn len(&self) -> usize {
+        match self {
+            EngineValues::Exact(v) => v.len(),
+            EngineValues::Approx(v) => v.len(),
+        }
+    }
+
+    /// True iff no fact was scored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True iff the values are exact rationals.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, EngineValues::Exact(_))
+    }
+}
+
+/// What one engine run produced, with the stats every layer above reports.
+#[derive(Clone, Debug)]
+pub struct EngineResult {
+    /// Which engine produced the values.
+    pub engine: EngineKind,
+    /// The values (exact or approximate), sorted.
+    pub values: EngineValues,
+    /// Preparation time: factorization, or Tseytin + compile + project.
+    pub prep_time: Duration,
+    /// Value-computation time (Algorithm 1, sampling, regression, …).
+    pub solve_time: Duration,
+    /// Distinct facts in the lineage.
+    pub num_facts: usize,
+    /// Tseytin CNF clauses (0 when no CNF was built).
+    pub cnf_clauses: usize,
+    /// Projected d-DNNF size (tree size for the read-once path, 0 when no
+    /// circuit representation was built).
+    pub ddnnf_size: usize,
+    /// Compiler counters (all zero off the KC path).
+    pub compile_stats: CompileStats,
+}
+
+impl EngineResult {
+    /// Converts an exact read-once/KC result into the classic
+    /// [`LineageAnalysis`]; `None` for the other engines.
+    pub fn into_analysis(self) -> Option<LineageAnalysis> {
+        let method = match self.engine {
+            EngineKind::ReadOnce => AnalysisMethod::ReadOnce,
+            EngineKind::Kc => AnalysisMethod::KnowledgeCompilation,
+            _ => return None,
+        };
+        let EngineValues::Exact(pairs) = self.values else {
+            return None;
+        };
+        Some(LineageAnalysis {
+            attributions: pairs
+                .into_iter()
+                .map(|(fact, shapley)| FactAttribution { fact, shapley })
+                .collect(),
+            kc_time: self.prep_time,
+            alg1_time: self.solve_time,
+            num_facts: self.num_facts,
+            cnf_clauses: self.cnf_clauses,
+            ddnnf_size: self.ddnnf_size,
+            compile_stats: self.compile_stats,
+            method,
+        })
+    }
+}
+
+/// Why an engine did not produce a result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The engine cannot handle this task at all (e.g. the read-once engine
+    /// on a non-factorizable lineage, naive beyond its enumeration limit).
+    Unsupported(&'static str),
+    /// The task exceeded the engine's budget (compile/Algorithm 1 limits).
+    Analysis(AnalysisError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Unsupported(why) => write!(f, "engine unsupported: {why}"),
+            EngineError::Analysis(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<AnalysisError> for EngineError {
+    fn from(e: AnalysisError) -> EngineError {
+        EngineError::Analysis(e)
+    }
+}
+
+/// The uniform contract every Shapley algorithm implements.
+///
+/// Engines are cheap, stateless (configuration only) values that can be
+/// shared across threads; all per-call state travels in the
+/// [`LineageTask`].
+pub trait ShapleyEngine: Send + Sync {
+    /// Which algorithm this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Stable name (report label).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Cheap admission check: `false` means [`ShapleyEngine::solve`] is
+    /// certain to return [`EngineError::Unsupported`]. The default accepts
+    /// everything; `solve` may still fail on budget.
+    fn supports(&self, _task: &LineageTask) -> bool {
+        true
+    }
+
+    /// Computes the attribution of `task`'s lineage.
+    fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError>;
+}
+
+/// Sorts exact values by decreasing value, ties by ascending fact id — the
+/// canonical presentation order every engine returns.
+pub(crate) fn sort_exact(pairs: &mut [(VarId, Rational)]) {
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+}
+
+/// Sorts approximate scores the same way (total order on the floats).
+pub(crate) fn sort_approx(pairs: &mut [(VarId, f64)]) {
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(EngineKind::parse("magic"), None);
+    }
+
+    #[test]
+    fn exactness_classification() {
+        assert!(EngineKind::Naive.is_exact());
+        assert!(EngineKind::ReadOnce.is_exact());
+        assert!(EngineKind::Kc.is_exact());
+        assert!(!EngineKind::Proxy.is_exact());
+        assert!(!EngineKind::MonteCarlo.is_exact());
+        assert!(!EngineKind::KernelShap.is_exact());
+    }
+
+    #[test]
+    fn every_kind_builds_an_engine() {
+        for k in EngineKind::ALL {
+            assert_eq!(k.engine().kind(), k);
+        }
+    }
+
+    #[test]
+    fn sorting_orders_by_value_then_fact() {
+        let mut pairs = vec![
+            (VarId(3), Rational::from_ratio(1, 2)),
+            (VarId(1), Rational::from_ratio(1, 2)),
+            (VarId(0), Rational::from_ratio(1, 3)),
+        ];
+        sort_exact(&mut pairs);
+        assert_eq!(
+            pairs.iter().map(|(v, _)| v.0).collect::<Vec<_>>(),
+            vec![1, 3, 0]
+        );
+        let mut scores = vec![(VarId(5), 0.5), (VarId(2), 0.5), (VarId(9), 0.9)];
+        sort_approx(&mut scores);
+        assert_eq!(
+            scores.iter().map(|(v, _)| v.0).collect::<Vec<_>>(),
+            vec![9, 2, 5]
+        );
+    }
+}

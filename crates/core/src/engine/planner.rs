@@ -1,0 +1,431 @@
+//! The cost-based planner: which engine should solve which lineage?
+//!
+//! The routing decision the paper leaves implicit (and PR 1 left smeared
+//! across `analyze_lineage_auto`, `hybrid_shapley_dnf` and the facade) is a
+//! first-class, testable component here. The cost model, cheapest first:
+//!
+//! 1. **constant lineages** are free — route to the read-once engine, which
+//!    answers `⊤`/`⊥` without work;
+//! 2. **read-once lineages** cost `O(Σ_f depth(f)·fanin·m)` big-int ops —
+//!    microseconds; detected by factorization (`O(|D|·|V|²)`), or *known in
+//!    advance* when the query is hierarchical and self-join-free
+//!    ([`shapdb_query::hierarchical`], the Livshits et al. tractability
+//!    frontier the paper's §3 recalls). If a hierarchical-and-sjf query ever
+//!    produces a non-factorizable lineage, that is a theory violation —
+//!    counted in `planner.hierarchical_disagreements`, which must stay 0;
+//! 3. **knowledge compilation** is `FP^{#P}`-hard in the worst case; it is
+//!    admitted while the lineage's variable/conjunct counts stay within the
+//!    configured budget, and runs under the planner's per-lineage timeout;
+//! 4. otherwise (or when an admitted exact engine exceeds its budget) the
+//!    **fallback** engine — CNF Proxy by default, a ranking in
+//!    milliseconds — takes over, iff the policy allows inexact answers.
+
+use super::{EngineError, EngineKind, EngineResult, LineageTask};
+use shapdb_circuit::{factor, Dnf};
+use shapdb_kc::Budget;
+use shapdb_metrics::counters::{
+    PLANNER_HIERARCHICAL_DISAGREEMENTS, PLANNER_KC_ROUTES, PLANNER_READ_ONCE_ROUTES,
+};
+use shapdb_query::{is_hierarchical, is_self_join_free, Ucq};
+use std::time::{Duration, Instant};
+
+/// Planner policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerConfig {
+    /// Route everything to one engine, skipping classification.
+    pub force: Option<EngineKind>,
+    /// Knowledge-compilation admission: max distinct lineage variables.
+    /// Lineages beyond the admission budget go straight to the fallback
+    /// (when one is set) *without* attempting compilation — unlike the
+    /// paper's hybrid, which always paid the timeout on hopeless lineages.
+    /// Set to `usize::MAX` to recover the always-try behaviour.
+    pub max_kc_vars: usize,
+    /// Knowledge-compilation admission: max lineage conjuncts (same
+    /// semantics as [`PlannerConfig::max_kc_vars`]).
+    pub max_kc_conjuncts: usize,
+    /// Per-lineage deadline for the exact engines (KC + Algorithm 1).
+    /// `None` = no deadline (callers' own budgets still apply).
+    pub timeout: Option<Duration>,
+    /// Engine to run when the planned engine is inadmissible or fails.
+    /// `None` = exact mode: errors propagate to the caller.
+    pub fallback: Option<EngineKind>,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            force: None,
+            max_kc_vars: 128,
+            max_kc_conjuncts: 4096,
+            timeout: None,
+            fallback: None,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// The §6.3 hybrid policy: exact under `timeout`, CNF-Proxy ranking as
+    /// the fallback.
+    pub fn hybrid(timeout: Duration) -> PlannerConfig {
+        PlannerConfig {
+            timeout: Some(timeout),
+            fallback: Some(EngineKind::Proxy),
+            ..Default::default()
+        }
+    }
+}
+
+/// Why the planner picked an engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanReason {
+    /// [`PlannerConfig::force`] was set.
+    Forced,
+    /// The lineage is constant (`⊤`/`⊥`): no players, any engine is free.
+    TrivialConstant,
+    /// The lineage factorized into a read-once tree.
+    ReadOnce,
+    /// The query is hierarchical and self-join-free, so the lineage is
+    /// guaranteed read-once (and did factorize).
+    HierarchicalReadOnce,
+    /// Within the KC variable/conjunct admission budget.
+    KcWithinBudget,
+    /// Beyond the admission budget: routed to the fallback engine (or to KC
+    /// regardless, in exact mode).
+    OverKcBudget,
+}
+
+/// A per-tuple routing decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Plan {
+    pub engine: EngineKind,
+    pub reason: PlanReason,
+}
+
+/// What the planner knows about the query that produced the lineages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct QueryClass {
+    /// The UCQ has a single disjunct.
+    pub single_disjunct: bool,
+    /// No relation repeats among that disjunct's atoms.
+    pub self_join_free: bool,
+    /// The disjunct is hierarchical over its existential variables.
+    pub hierarchical: bool,
+}
+
+impl QueryClass {
+    /// Classifies a UCQ with [`shapdb_query::hierarchical`]'s tests.
+    pub fn of(q: &Ucq) -> QueryClass {
+        let ds = q.disjuncts();
+        let single = ds.len() == 1;
+        QueryClass {
+            single_disjunct: single,
+            self_join_free: single && is_self_join_free(&ds[0]),
+            hierarchical: single && is_hierarchical(&ds[0]),
+        }
+    }
+
+    /// True iff theory guarantees every answer's lineage is read-once
+    /// (hierarchical self-join-free CQ — Livshits et al.).
+    pub fn guarantees_read_once(&self) -> bool {
+        self.single_disjunct && self.self_join_free && self.hierarchical
+    }
+}
+
+/// Routes lineages to engines (see the module docs for the cost model).
+#[derive(Clone, Debug, Default)]
+pub struct Planner {
+    pub cfg: PlannerConfig,
+    query: Option<QueryClass>,
+}
+
+impl Planner {
+    /// A planner with the given policy and no query knowledge.
+    pub fn new(cfg: PlannerConfig) -> Planner {
+        Planner { cfg, query: None }
+    }
+
+    /// A planner that additionally knows which query produced the lineages,
+    /// unlocking the hierarchical guarantee.
+    pub fn for_query(cfg: PlannerConfig, q: &Ucq) -> Planner {
+        Planner {
+            cfg,
+            query: Some(QueryClass::of(q)),
+        }
+    }
+
+    /// The query classification, if any.
+    pub fn query_class(&self) -> Option<QueryClass> {
+        self.query
+    }
+
+    /// Emits the routing decision for one lineage.
+    pub fn plan(&self, lineage: &Dnf) -> Plan {
+        self.plan_with_tree(lineage).0
+    }
+
+    /// [`Planner::plan`], also returning the read-once factorization when
+    /// classification built one — [`Planner::solve`] hands it to the
+    /// engine so the lineage is not factored twice.
+    fn plan_with_tree(&self, lineage: &Dnf) -> (Plan, Option<shapdb_circuit::ReadOnce>) {
+        if let Some(engine) = self.cfg.force {
+            return (
+                Plan {
+                    engine,
+                    reason: PlanReason::Forced,
+                },
+                None,
+            );
+        }
+        let trivial = lineage.is_empty() || lineage.conjuncts().iter().any(|c| c.is_empty());
+        if trivial {
+            return (
+                Plan {
+                    engine: EngineKind::ReadOnce,
+                    reason: PlanReason::TrivialConstant,
+                },
+                factor(lineage),
+            );
+        }
+        let guaranteed = self.query.is_some_and(|c| c.guarantees_read_once());
+        if let Some(tree) = factor(lineage) {
+            PLANNER_READ_ONCE_ROUTES.incr();
+            let reason = if guaranteed {
+                PlanReason::HierarchicalReadOnce
+            } else {
+                PlanReason::ReadOnce
+            };
+            return (
+                Plan {
+                    engine: EngineKind::ReadOnce,
+                    reason,
+                },
+                Some(tree),
+            );
+        }
+        if guaranteed {
+            // Theory says hierarchical + self-join-free ⇒ read-once; a
+            // lineage that does not factor means a bug somewhere. Count it
+            // (tests pin this at zero) and fall through to the safe engine.
+            PLANNER_HIERARCHICAL_DISAGREEMENTS.incr();
+        }
+        let vars = lineage.vars().len();
+        let conjuncts = lineage.len();
+        if vars <= self.cfg.max_kc_vars && conjuncts <= self.cfg.max_kc_conjuncts {
+            PLANNER_KC_ROUTES.incr();
+            return (
+                Plan {
+                    engine: EngineKind::Kc,
+                    reason: PlanReason::KcWithinBudget,
+                },
+                None,
+            );
+        }
+        let engine = self.cfg.fallback.unwrap_or(EngineKind::Kc);
+        (
+            Plan {
+                engine,
+                reason: PlanReason::OverKcBudget,
+            },
+            None,
+        )
+    }
+
+    /// Plans and solves one lineage, applying the per-lineage timeout and
+    /// the fallback policy. The timeout bounds only the knowledge-
+    /// compilation engine — the other engines are polynomial (or sampling
+    /// with a fixed budget), so a zero timeout still yields exact values on
+    /// read-once lineages, like the classic hybrid fast path.
+    pub fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        let plan_start = Instant::now();
+        let (plan, tree) = self.plan_with_tree(task.lineage);
+        let plan_time = plan_start.elapsed();
+        let effective = if plan.engine == EngineKind::Kc {
+            self.apply_timeout(task)
+        } else {
+            task.clone()
+        };
+        let solved = match (plan.engine, tree) {
+            (EngineKind::ReadOnce, Some(tree)) => {
+                // Reuse the factorization from classification; the prep
+                // time reported is the planning (factorization) time.
+                super::ReadOnceEngine.solve_tree(&tree, plan_time, &effective)
+            }
+            (engine, _) => engine.engine().solve(&effective),
+        };
+        match solved {
+            Ok(r) => Ok(r),
+            Err(e) => match self.cfg.fallback {
+                Some(fb) if fb != plan.engine => {
+                    // Fallback engines run without the exact deadline — a
+                    // ranking is always better than an error here.
+                    fb.engine().solve(task)
+                }
+                _ => Err(e),
+            },
+        }
+    }
+
+    /// Installs the planner deadline into a task's budgets (keeping any
+    /// tighter caller-provided deadline).
+    fn apply_timeout<'a>(&self, task: &LineageTask<'a>) -> LineageTask<'a> {
+        let Some(timeout) = self.cfg.timeout else {
+            return task.clone();
+        };
+        let deadline = Instant::now() + timeout;
+        let mut t = task.clone();
+        t.budget = Budget {
+            deadline: Some(t.budget.deadline.map_or(deadline, |d| d.min(deadline))),
+            max_nodes: t.budget.max_nodes,
+        };
+        t.exact.deadline = Some(t.exact.deadline.map_or(deadline, |d| d.min(deadline)));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapdb_circuit::VarId;
+    use shapdb_query::parse_ucq;
+
+    fn dnf(conjs: &[&[u32]]) -> Dnf {
+        let mut d = Dnf::new();
+        for c in conjs {
+            d.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+        }
+        d
+    }
+
+    #[test]
+    fn read_once_lineages_never_hit_the_compiler() {
+        // Satellite (a): the plan routes factorizable lineages to the
+        // read-once engine, and the solved result carries zero compiler
+        // work (no CNF, no compile decisions).
+        let planner = Planner::new(PlannerConfig::default());
+        let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        let plan = planner.plan(&running);
+        assert_eq!(plan.engine, EngineKind::ReadOnce);
+        assert_eq!(plan.reason, PlanReason::ReadOnce);
+        let r = planner.solve(&LineageTask::new(&running, 8)).unwrap();
+        assert_eq!(r.engine, EngineKind::ReadOnce);
+        assert_eq!(r.cnf_clauses, 0);
+        assert_eq!(r.compile_stats.decisions, 0);
+        assert_eq!(r.compile_stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn non_read_once_lineages_do_hit_the_compiler() {
+        let planner = Planner::new(PlannerConfig::default());
+        let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
+        let plan = planner.plan(&majority);
+        assert_eq!(plan.engine, EngineKind::Kc);
+        assert_eq!(plan.reason, PlanReason::KcWithinBudget);
+        let r = planner.solve(&LineageTask::new(&majority, 3)).unwrap();
+        assert_eq!(r.engine, EngineKind::Kc);
+        assert!(r.cnf_clauses > 0);
+        assert!(r.ddnnf_size > 0);
+    }
+
+    #[test]
+    fn constants_are_trivial() {
+        let planner = Planner::new(PlannerConfig::default());
+        assert_eq!(
+            planner.plan(&Dnf::new()).reason,
+            PlanReason::TrivialConstant
+        );
+        let mut top = Dnf::new();
+        top.add_conjunct(vec![]);
+        assert_eq!(planner.plan(&top).reason, PlanReason::TrivialConstant);
+        let r = planner.solve(&LineageTask::new(&top, 5)).unwrap();
+        assert!(r.values.is_empty(), "no players in a constant lineage");
+    }
+
+    #[test]
+    fn force_overrides_classification() {
+        let cfg = PlannerConfig {
+            force: Some(EngineKind::Proxy),
+            ..Default::default()
+        };
+        let planner = Planner::new(cfg);
+        let running = dnf(&[&[0], &[1, 2]]);
+        let plan = planner.plan(&running);
+        assert_eq!(plan.engine, EngineKind::Proxy);
+        assert_eq!(plan.reason, PlanReason::Forced);
+        let r = planner.solve(&LineageTask::new(&running, 3)).unwrap();
+        assert!(!r.values.is_exact());
+    }
+
+    #[test]
+    fn over_budget_routes_to_fallback() {
+        let cfg = PlannerConfig {
+            max_kc_vars: 2,
+            fallback: Some(EngineKind::MonteCarlo),
+            ..Default::default()
+        };
+        let planner = Planner::new(cfg);
+        let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
+        let plan = planner.plan(&majority);
+        assert_eq!(plan.engine, EngineKind::MonteCarlo);
+        assert_eq!(plan.reason, PlanReason::OverKcBudget);
+        // Exact mode (no fallback): KC is still tried.
+        let exact = Planner::new(PlannerConfig {
+            max_kc_vars: 2,
+            ..Default::default()
+        });
+        assert_eq!(exact.plan(&majority).engine, EngineKind::Kc);
+    }
+
+    #[test]
+    fn hybrid_policy_falls_back_on_timeout() {
+        let planner = Planner::new(PlannerConfig::hybrid(Duration::ZERO));
+        let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
+        let r = planner.solve(&LineageTask::new(&majority, 3)).unwrap();
+        assert_eq!(r.engine, EngineKind::Proxy);
+        assert!(!r.values.is_exact());
+        // Read-once lineages are rescued before the clock matters.
+        let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        let r = planner.solve(&LineageTask::new(&running, 8)).unwrap();
+        assert_eq!(r.engine, EngineKind::ReadOnce);
+        assert!(r.values.is_exact());
+    }
+
+    #[test]
+    fn hierarchical_query_class_detection() {
+        // Hierarchical + sjf: R(a), S(a, b) with head b.
+        let q = parse_ucq("q(b) :- R(a), S(a, b)").unwrap();
+        let class = QueryClass::of(&q);
+        assert!(class.guarantees_read_once());
+        // The canonical hard query is not hierarchical.
+        let hard = parse_ucq("q() :- R(x), S(x, y), T(y)").unwrap();
+        assert!(!QueryClass::of(&hard).guarantees_read_once());
+        // Unions get no guarantee.
+        let union = parse_ucq("q() :- R(x) ; q() :- T(y)").unwrap();
+        assert!(!QueryClass::of(&union).guarantees_read_once());
+    }
+
+    #[test]
+    fn hierarchical_guarantee_annotates_the_plan() {
+        let q = parse_ucq("q(b) :- R(a), S(a, b)").unwrap();
+        let planner = Planner::for_query(PlannerConfig::default(), &q);
+        // A lineage such a query produces: a matching ∨_a (r_a ∧ s_ab).
+        let matching = dnf(&[&[0, 10], &[1, 11], &[2, 12]]);
+        let plan = planner.plan(&matching);
+        assert_eq!(plan.engine, EngineKind::ReadOnce);
+        assert_eq!(plan.reason, PlanReason::HierarchicalReadOnce);
+    }
+
+    #[test]
+    fn disagreement_counter_stays_put_on_consistent_inputs() {
+        let before = PLANNER_HIERARCHICAL_DISAGREEMENTS.get();
+        let q = parse_ucq("q(b) :- R(a), S(a, b)").unwrap();
+        let planner = Planner::for_query(PlannerConfig::default(), &q);
+        for lineage in [
+            dnf(&[&[0, 10], &[1, 11]]),
+            dnf(&[&[0, 10], &[0, 11], &[1, 12]]),
+            dnf(&[&[5, 6]]),
+        ] {
+            planner.plan(&lineage);
+        }
+        assert_eq!(PLANNER_HIERARCHICAL_DISAGREEMENTS.get(), before);
+    }
+}

@@ -1,15 +1,21 @@
-//! The hybrid engine (§6.3 of the paper).
+//! The hybrid engine (§6.3 of the paper) — a thin policy over the
+//! [`crate::engine`] trait.
 //!
 //! Run the exact pipeline (knowledge compilation + Algorithm 1) under a
 //! configurable timeout `t`; if it completes, return exact Shapley values,
 //! otherwise fall back to CNF Proxy and return a *ranking* of the facts. The
 //! paper's experiments justify `t = 2.5 s` as the sweet spot (Figure 8); that
-//! is the default here.
+//! is the default here. The two arms are [`KcEngine`] and [`ProxyEngine`];
+//! with [`HybridConfig::try_read_once`] the [`ReadOnceEngine`] runs first —
+//! the general form of this policy is the engine layer's
+//! [`PlannerConfig::hybrid`](crate::engine::PlannerConfig::hybrid).
 
-use crate::exact::{shapley_all_facts, ExactConfig};
-use crate::proxy::cnf_proxy;
-use shapdb_circuit::{tseytin, Circuit, NodeId, VarId};
-use shapdb_kc::{compile, project, Budget};
+use crate::engine::{
+    EngineResult, EngineValues, KcEngine, LineageTask, ProxyEngine, ReadOnceEngine, ShapleyEngine,
+};
+use crate::exact::ExactConfig;
+use shapdb_circuit::{Circuit, NodeId, VarId};
+use shapdb_kc::Budget;
 use shapdb_num::Rational;
 use std::time::{Duration, Instant};
 
@@ -60,6 +66,15 @@ impl HybridOutcome {
     }
 }
 
+impl From<EngineResult> for HybridOutcome {
+    fn from(r: EngineResult) -> HybridOutcome {
+        match r.values {
+            EngineValues::Exact(pairs) => HybridOutcome::Exact(pairs),
+            EngineValues::Approx(pairs) => HybridOutcome::Proxy(pairs),
+        }
+    }
+}
+
 /// Timings and outcome of one hybrid run.
 #[derive(Clone, Debug)]
 pub struct HybridReport {
@@ -74,8 +89,8 @@ pub struct HybridReport {
 
 /// Runs the hybrid strategy on a monotone DNF lineage.
 ///
-/// With [`HybridConfig::try_read_once`] the engine first attempts the
-/// factorization fast path (microseconds, exact); only lineages that do not
+/// With [`HybridConfig::try_read_once`] the [`ReadOnceEngine`] runs first
+/// (microseconds, exact, no deadline needed); only lineages that do not
 /// factor pay for Tseytin + compilation under the timeout. With the flag off
 /// this is [`hybrid_shapley`] on the lineage's circuit — the paper's exact
 /// §6.3 behaviour.
@@ -86,18 +101,18 @@ pub fn hybrid_shapley_dnf(
 ) -> HybridReport {
     if cfg.try_read_once {
         let start = Instant::now();
-        if let Some(tree) = shapdb_circuit::factor(lineage) {
-            if let Ok(values) = crate::readonce::shapley_read_once(&tree, n_endo, None) {
-                let mut pairs = values;
-                pairs.sort_by(|a, b| b.1.cmp(&a.1));
-                let elapsed = start.elapsed();
-                return HybridReport {
-                    outcome: HybridOutcome::Exact(pairs),
-                    total_time: elapsed,
-                    exact_time: elapsed,
-                    proxy_time: Duration::ZERO,
-                };
-            }
+        let task = LineageTask::new(lineage, n_endo).with_exact(ExactConfig {
+            deadline: None,
+            ..cfg.exact
+        });
+        if let Ok(result) = ReadOnceEngine.solve(&task) {
+            let elapsed = start.elapsed();
+            return HybridReport {
+                outcome: result.into(),
+                total_time: elapsed,
+                exact_time: elapsed,
+                proxy_time: Duration::ZERO,
+            };
         }
     }
     let mut circuit = Circuit::new();
@@ -105,7 +120,8 @@ pub fn hybrid_shapley_dnf(
     hybrid_shapley(&circuit, root, n_endo, cfg)
 }
 
-/// Runs the hybrid strategy on an endogenous-lineage circuit.
+/// Runs the hybrid strategy on an endogenous-lineage circuit: the
+/// [`KcEngine`] under the deadline, the [`ProxyEngine`] on failure.
 pub fn hybrid_shapley(
     circuit: &Circuit,
     root: NodeId,
@@ -114,9 +130,6 @@ pub fn hybrid_shapley(
 ) -> HybridReport {
     let start = Instant::now();
     let deadline = start + cfg.timeout;
-    let t = tseytin(circuit, root);
-
-    // Exact attempt under the deadline.
     let budget = Budget {
         deadline: Some(deadline),
         max_nodes: usize::MAX,
@@ -125,38 +138,23 @@ pub fn hybrid_shapley(
         deadline: Some(deadline),
         ..cfg.exact
     };
-    let exact_result = compile(&t.cnf, &budget).ok().and_then(|(full, _)| {
-        let ddnnf = project(&full, t.num_inputs());
-        shapley_all_facts(&ddnnf, n_endo, &exact_cfg).ok()
-    });
-    let exact_time = start.elapsed();
 
-    match exact_result {
-        Some(values) => {
-            let mut pairs: Vec<(VarId, Rational)> = values
-                .into_iter()
-                .enumerate()
-                .map(|(i, v)| (t.input_vars[i], v))
-                .collect();
-            pairs.sort_by(|a, b| b.1.cmp(&a.1));
+    match KcEngine::analyze_circuit(circuit, root, n_endo, &budget, &exact_cfg) {
+        Ok(analysis) => {
+            let exact_time = start.elapsed();
             HybridReport {
-                outcome: HybridOutcome::Exact(pairs),
+                outcome: analysis.into_engine_result().into(),
                 total_time: start.elapsed(),
                 exact_time,
                 proxy_time: Duration::ZERO,
             }
         }
-        None => {
+        Err(_) => {
+            let exact_time = start.elapsed();
             let proxy_start = Instant::now();
-            let k = t.num_inputs();
-            let scores = cnf_proxy(&t.cnf, &|v| v < k);
-            let mut pairs: Vec<(VarId, f64)> = t
-                .input_vars
-                .iter()
-                .enumerate()
-                .map(|(i, &f)| (f, scores[i]))
-                .collect();
-            pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            // Re-runs Tseytin (analyze_circuit does not expose its CNF) —
+            // linear work, negligible next to the timeout just burned.
+            let pairs = ProxyEngine::score_circuit(circuit, root);
             HybridReport {
                 outcome: HybridOutcome::Proxy(pairs),
                 total_time: start.elapsed(),

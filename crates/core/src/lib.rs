@@ -23,14 +23,19 @@
 //! * [`readonce`] — the read-once fast path: Shapley values straight from a
 //!   factorized lineage with no knowledge compilation (the tractable class
 //!   of Livshits et al. — hierarchical queries — and beyond);
-//! * [`pipeline`] — glue running lineage → Tseytin → compile → project →
-//!   Algorithm 1 for a query output tuple.
+//! * [`pipeline`] — the classic per-tuple entry points, now thin
+//!   delegations into the engine layer;
+//! * [`engine`] — the unified engine layer: the [`ShapleyEngine`] trait all
+//!   six algorithms implement, the cost-based [`Planner`] (read-once
+//!   detection, hierarchical-query guarantee, KC admission budgets), and
+//!   the parallel, lineage-deduplicating [`BatchExecutor`].
 //!
 //! Values are exact [`Rational`](shapdb_num::Rational)s wherever the paper's
 //! algorithm is exact; baselines return `f64` like their originals.
 
 pub mod aggregate;
 pub mod banzhaf;
+pub mod engine;
 pub mod exact;
 pub mod hybrid;
 pub mod kernelshap;
@@ -45,6 +50,11 @@ mod weights;
 
 pub use aggregate::{count_shapley, sum_shapley, AggregateAttributions};
 pub use banzhaf::{banzhaf_all_facts, banzhaf_naive, critical_coalitions};
+pub use engine::{
+    BatchConfig, BatchExecutor, BatchItem, BatchReport, EngineError, EngineKind, EngineResult,
+    EngineValues, KcEngine, KernelShapEngine, LineageTask, MonteCarloEngine, NaiveEngine, Plan,
+    PlanReason, Planner, PlannerConfig, ProxyEngine, QueryClass, ReadOnceEngine, ShapleyEngine,
+};
 pub use exact::{shapley_all_facts, shapley_single_fact, ExactConfig};
 pub use hybrid::{hybrid_shapley, hybrid_shapley_dnf, HybridConfig, HybridOutcome, HybridReport};
 pub use kernelshap::{kernel_shap, KernelShapConfig};

@@ -1,15 +1,21 @@
-//! End-to-end exact pipeline for one lineage (the middle row of Figure 3).
+//! Classic entry points for the exact pipeline (the middle row of
+//! Figure 3), now thin delegations into the [`crate::engine`] layer.
 //!
 //! `ELin` circuit → Tseytin CNF → d-DNNF (compile) → project (Lemma 4.6) →
 //! Algorithm 1, with per-stage wall-clock timings — the quantities Table 1
-//! and Figure 4 of the paper report.
+//! and Figure 4 of the paper report. The implementation lives in
+//! [`KcEngine::analyze_circuit`] and the engine trait impls; these free
+//! functions remain as the stable names the rest of the workspace calls.
 
-use crate::exact::{shapley_all_facts, ExactConfig, ShapleyTimeout};
-use crate::readonce::shapley_read_once;
-use shapdb_circuit::{factor, tseytin, Circuit, Dnf, NodeId, VarId};
-use shapdb_kc::{compile, project, Budget, CompileError, CompileStats};
+use crate::engine::{
+    EngineError, EngineKind, EngineResult, EngineValues, KcEngine, LineageTask, Planner,
+    PlannerConfig,
+};
+use crate::exact::{ExactConfig, ShapleyTimeout};
+use shapdb_circuit::{Circuit, Dnf, NodeId, VarId};
+use shapdb_kc::{Budget, CompileError, CompileStats};
 use shapdb_num::Rational;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How the exact values of an analysis were obtained.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,11 +38,12 @@ pub struct FactAttribution {
 /// Result of the exact pipeline on one output tuple's lineage.
 #[derive(Clone, Debug)]
 pub struct LineageAnalysis {
-    /// Per-fact exact Shapley values, sorted by decreasing value. Facts of
-    /// `D_n` that do not occur in the lineage are null players (value 0) and
-    /// are omitted.
+    /// Per-fact exact Shapley values, sorted by decreasing value (ties by
+    /// ascending fact id). Facts of `D_n` that do not occur in the lineage
+    /// are null players (value 0) and are omitted.
     pub attributions: Vec<FactAttribution>,
-    /// Knowledge-compilation wall time (Tseytin + compile + project).
+    /// Knowledge-compilation wall time (Tseytin + compile + project), or
+    /// factorization time on the read-once path.
     pub kc_time: Duration,
     /// Algorithm 1 wall time.
     pub alg1_time: Duration,
@@ -50,6 +57,30 @@ pub struct LineageAnalysis {
     pub compile_stats: CompileStats,
     /// Which path produced the values.
     pub method: AnalysisMethod,
+}
+
+impl LineageAnalysis {
+    /// The engine-layer view of this analysis.
+    pub fn into_engine_result(self) -> EngineResult {
+        EngineResult {
+            engine: match self.method {
+                AnalysisMethod::ReadOnce => EngineKind::ReadOnce,
+                AnalysisMethod::KnowledgeCompilation => EngineKind::Kc,
+            },
+            values: EngineValues::Exact(
+                self.attributions
+                    .into_iter()
+                    .map(|a| (a.fact, a.shapley))
+                    .collect(),
+            ),
+            prep_time: self.kc_time,
+            solve_time: self.alg1_time,
+            num_facts: self.num_facts,
+            cnf_clauses: self.cnf_clauses,
+            ddnnf_size: self.ddnnf_size,
+            compile_stats: self.compile_stats,
+        }
+    }
 }
 
 /// Why the exact pipeline failed (the hybrid engine catches these).
@@ -73,7 +104,8 @@ impl std::error::Error for AnalysisError {}
 /// Runs the full exact pipeline on an endogenous-lineage circuit.
 ///
 /// `n_endo` is `|D_n|`; `budget` bounds knowledge compilation; the
-/// [`ExactConfig`] deadline (if any) also bounds Algorithm 1.
+/// [`ExactConfig`] deadline (if any) also bounds Algorithm 1. Delegates to
+/// [`KcEngine::analyze_circuit`].
 pub fn analyze_lineage(
     circuit: &Circuit,
     root: NodeId,
@@ -81,77 +113,34 @@ pub fn analyze_lineage(
     budget: &Budget,
     cfg: &ExactConfig,
 ) -> Result<LineageAnalysis, AnalysisError> {
-    let kc_start = Instant::now();
-    let t = tseytin(circuit, root);
-    let (full, compile_stats) = compile(&t.cnf, budget).map_err(AnalysisError::Compile)?;
-    let ddnnf = project(&full, t.num_inputs());
-    let kc_time = kc_start.elapsed();
-
-    let alg1_start = Instant::now();
-    let values = shapley_all_facts(&ddnnf, n_endo, cfg).map_err(AnalysisError::Shapley)?;
-    let alg1_time = alg1_start.elapsed();
-
-    let mut attributions: Vec<FactAttribution> = values
-        .into_iter()
-        .enumerate()
-        .map(|(i, shapley)| FactAttribution {
-            fact: t.input_vars[i],
-            shapley,
-        })
-        .collect();
-    attributions.sort_by(|a, b| b.shapley.cmp(&a.shapley));
-    Ok(LineageAnalysis {
-        attributions,
-        kc_time,
-        alg1_time,
-        num_facts: t.num_inputs(),
-        cnf_clauses: t.cnf.len(),
-        ddnnf_size: ddnnf.len(),
-        compile_stats,
-        method: AnalysisMethod::KnowledgeCompilation,
-    })
+    KcEngine::analyze_circuit(circuit, root, n_endo, budget, cfg)
 }
 
-/// Exact pipeline with the read-once fast path (§ "readonce" of DESIGN.md).
+/// Exact pipeline with the read-once fast path.
 ///
-/// First tries to factorize the monotone DNF lineage; when it is read-once,
-/// the values come straight from the factorization — no Tseytin, no
-/// compilation. Otherwise falls back to [`analyze_lineage`]. Hierarchical
-/// self-join-free queries always take the fast path, making this the
-/// polynomial algorithm the paper's §3 attributes to Livshits et al.
+/// Delegates to the engine layer's [`Planner`] in exact mode: lineages that
+/// factor take the read-once engine (no Tseytin, no compilation — the
+/// polynomial algorithm of Livshits et al. for hierarchical self-join-free
+/// queries); the rest run the full [`analyze_lineage`] pipeline.
 pub fn analyze_lineage_auto(
     lineage: &Dnf,
     n_endo: usize,
     budget: &Budget,
     cfg: &ExactConfig,
 ) -> Result<LineageAnalysis, AnalysisError> {
-    let factor_start = Instant::now();
-    if let Some(tree) = factor(lineage) {
-        let factor_time = factor_start.elapsed();
-        let eval_start = Instant::now();
-        let values =
-            shapley_read_once(&tree, n_endo, cfg.deadline).map_err(AnalysisError::Shapley)?;
-        let alg1_time = eval_start.elapsed();
-        let num_facts = values.len();
-        let mut attributions: Vec<FactAttribution> = values
-            .into_iter()
-            .map(|(fact, shapley)| FactAttribution { fact, shapley })
-            .collect();
-        attributions.sort_by(|a, b| b.shapley.cmp(&a.shapley));
-        return Ok(LineageAnalysis {
-            attributions,
-            kc_time: factor_time,
-            alg1_time,
-            num_facts,
-            cnf_clauses: 0,
-            ddnnf_size: tree.len(),
-            compile_stats: CompileStats::default(),
-            method: AnalysisMethod::ReadOnce,
-        });
+    let planner = Planner::new(PlannerConfig::default());
+    let task = LineageTask::new(lineage, n_endo)
+        .with_budget(*budget)
+        .with_exact(*cfg);
+    match planner.solve(&task) {
+        Ok(result) => Ok(result
+            .into_analysis()
+            .expect("exact-mode planner yields exact engines")),
+        Err(EngineError::Analysis(e)) => Err(e),
+        Err(EngineError::Unsupported(why)) => {
+            unreachable!("exact-mode planner only plans supported engines: {why}")
+        }
     }
-    let mut circuit = Circuit::new();
-    let root = lineage.to_circuit(&mut circuit);
-    analyze_lineage(&circuit, root, n_endo, budget, cfg)
 }
 
 #[cfg(test)]
@@ -244,5 +233,16 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, AnalysisError::Compile(CompileError::NodeLimit));
+    }
+
+    #[test]
+    fn analysis_round_trips_to_engine_result() {
+        let (c, root) = running_example_circuit();
+        let analysis =
+            analyze_lineage(&c, root, 8, &Budget::unlimited(), &ExactConfig::default()).unwrap();
+        let result = analysis.into_engine_result();
+        assert_eq!(result.engine, EngineKind::Kc);
+        assert_eq!(result.values.len(), 7);
+        assert!(result.values.is_exact());
     }
 }

@@ -1,0 +1,147 @@
+//! Process-wide engine counters and per-run dedup statistics.
+//!
+//! The engine layer (planner + batch executor in `shapdb_core`) records its
+//! operational behaviour here: how many lineage tasks were submitted, how
+//! many distinct structures were actually solved, how often the structural
+//! dedup hit, and whether the hierarchical-query classifier ever disagreed
+//! with the read-once factorizer (it never should; the counter exists to
+//! catch regressions in production).
+//!
+//! The static [`Counter`]s are cumulative across the whole process — the
+//! ops-style view. Per-run, race-free numbers (what tests assert on) travel
+//! in each batch report as a [`DedupStats`] snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic counter (atomic, cheap, shareable from any thread).
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A new counter starting at zero.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds 1; returns the new value.
+    pub fn incr(&self) -> u64 {
+        self.add(1)
+    }
+
+    /// Adds `n`; returns the new value.
+    pub fn add(&self, n: u64) -> u64 {
+        self.value.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests; production counters are monotonic).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Lineage tasks submitted to batch executors.
+pub static BATCH_TASKS: Counter = Counter::new("batch.tasks");
+/// Distinct lineage structures actually solved by batch executors.
+pub static BATCH_DISTINCT: Counter = Counter::new("batch.distinct_lineages");
+/// Tasks answered from a structurally-identical lineage's result.
+pub static BATCH_DEDUP_HITS: Counter = Counter::new("batch.dedup_hits");
+/// Engine `solve` invocations (any engine, batch or direct).
+pub static ENGINE_SOLVES: Counter = Counter::new("engine.solves");
+/// Lineages the planner routed to knowledge compilation.
+pub static PLANNER_KC_ROUTES: Counter = Counter::new("planner.kc_routes");
+/// Lineages the planner routed to the read-once fast path.
+pub static PLANNER_READ_ONCE_ROUTES: Counter = Counter::new("planner.read_once_routes");
+/// Hierarchical self-join-free queries whose lineage did *not* factor —
+/// a theory violation that must stay at zero.
+pub static PLANNER_HIERARCHICAL_DISAGREEMENTS: Counter =
+    Counter::new("planner.hierarchical_disagreements");
+
+/// Snapshot of every registered counter, for reports and debugging.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    [
+        &BATCH_TASKS,
+        &BATCH_DISTINCT,
+        &BATCH_DEDUP_HITS,
+        &ENGINE_SOLVES,
+        &PLANNER_KC_ROUTES,
+        &PLANNER_READ_ONCE_ROUTES,
+        &PLANNER_HIERARCHICAL_DISAGREEMENTS,
+    ]
+    .iter()
+    .map(|c| (c.name(), c.get()))
+    .collect()
+}
+
+/// Dedup statistics of one batch run (race-free, unlike the globals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Lineage tasks submitted.
+    pub tasks: usize,
+    /// Distinct lineage structures solved.
+    pub distinct: usize,
+}
+
+impl DedupStats {
+    /// Tasks answered by reusing another task's computation.
+    pub fn hits(&self) -> usize {
+        self.tasks - self.distinct
+    }
+
+    /// Fraction of tasks answered by reuse (0.0 when the batch is empty).
+    pub fn hit_rate(&self) -> f64 {
+        if self.tasks == 0 {
+            return 0.0;
+        }
+        self.hits() as f64 / self.tasks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        static C: Counter = Counter::new("test.counter");
+        assert_eq!(C.get(), 0);
+        assert_eq!(C.incr(), 1);
+        assert_eq!(C.add(4), 5);
+        assert_eq!(C.name(), "test.counter");
+        C.reset();
+        assert_eq!(C.get(), 0);
+    }
+
+    #[test]
+    fn snapshot_lists_registered_counters() {
+        let names: Vec<&str> = snapshot().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"batch.dedup_hits"));
+        assert!(names.contains(&"planner.hierarchical_disagreements"));
+    }
+
+    #[test]
+    fn dedup_stats_rates() {
+        let s = DedupStats {
+            tasks: 8,
+            distinct: 2,
+        };
+        assert_eq!(s.hits(), 6);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(DedupStats::default().hit_rate(), 0.0);
+    }
+}

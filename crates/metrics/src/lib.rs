@@ -10,7 +10,14 @@
 //!   estimated values;
 //! * [`kendall_tau`] — rank correlation (an extra not in the paper, useful
 //!   for the ablation reports);
-//! * [`Summary`] — mean/percentile aggregation used by Table 1's columns.
+//! * [`Summary`] — mean/percentile aggregation used by Table 1's columns;
+//! * [`counters`] — process-wide engine counters (batch dedup hit rate,
+//!   planner routing, hierarchical-vs-factorizer disagreements) and the
+//!   per-run [`counters::DedupStats`] snapshot batch reports carry.
+
+pub mod counters;
+
+pub use counters::{Counter, DedupStats};
 
 use std::cmp::Ordering;
 

@@ -1,22 +1,19 @@
-//! Method shoot-out on one lineage: exact vs CNF Proxy vs Monte Carlo vs
-//! Kernel SHAP (the §6.2 comparison in miniature).
+//! Method shoot-out on one lineage: all six engines of the unified
+//! [`ShapleyEngine`] trait side by side (the §6.2 comparison in miniature).
 //!
-//! Prints each method's values side by side with nDCG / Precision@k against
-//! the exact ground truth, on a synthetic lineage wide enough that the
-//! differences are visible.
+//! Every algorithm — exact and inexact — now answers the same
+//! `solve(&LineageTask)` contract, so the comparison is a loop over
+//! [`EngineKind::ALL`]. Prints each engine's values with nDCG /
+//! Precision@k against the exact ground truth, on a synthetic lineage wide
+//! enough that the differences are visible.
 //!
 //! ```sh
 //! cargo run --release --example method_comparison
 //! ```
 
-use shapdb::circuit::{Circuit, Dnf, VarId};
-use shapdb::core::exact::{shapley_all_facts, ExactConfig};
-use shapdb::core::kernelshap::{kernel_shap, KernelShapConfig};
-use shapdb::core::montecarlo::{monte_carlo_shapley, MonteCarloConfig};
-use shapdb::core::proxy::proxy_from_lineage;
-use shapdb::kc::{compile_circuit, Budget};
+use shapdb::circuit::{Dnf, VarId};
+use shapdb::core::engine::{EngineKind, EngineValues, LineageTask};
 use shapdb::metrics::{ndcg, precision_at_k, ranking_of};
-use shapdb::num::Bitset;
 
 fn main() {
     // A lineage mixing a strong singleton, mid-tier pairs, and weak triples:
@@ -30,63 +27,54 @@ fn main() {
         d.add_conjunct(triple.iter().map(|&v| VarId(v)).collect());
     }
     let n = 11;
+    let task = LineageTask::new(&d, n);
 
-    // Exact ground truth via the full pipeline.
-    let mut c = Circuit::new();
-    let root = d.to_circuit(&mut c);
-    let comp = compile_circuit(&c, root, &Budget::unlimited()).unwrap();
-    let exact_r = shapley_all_facts(&comp.ddnnf, n, &ExactConfig::default()).unwrap();
-    // compile_circuit's variables are sorted fact ids == our dense ids here.
-    let exact: Vec<f64> = exact_r.iter().map(|r| r.to_f64()).collect();
-
-    let f = |s: &Bitset| d.eval_set(s);
-    let mc = monte_carlo_shapley(
-        &f,
-        n,
-        &MonteCarloConfig {
-            permutations: 50,
-            seed: 1,
-        },
-    );
-    let ks = kernel_shap(
-        &f,
-        n,
-        &KernelShapConfig {
-            samples: 50 * n,
-            seed: 1,
-            ..Default::default()
-        },
-    );
-    let mut proxy = vec![0.0; n];
-    let mut c2 = Circuit::new();
-    let root2 = d.to_circuit(&mut c2);
-    for (v, s) in proxy_from_lineage(&c2, root2) {
-        proxy[v.0 as usize] = s;
+    // Dense per-fact score vectors, one per engine, in EngineKind order.
+    let mut columns: Vec<(EngineKind, Vec<f64>)> = Vec::new();
+    for kind in EngineKind::ALL {
+        let result = kind.engine().solve(&task).expect("small lineage");
+        let mut dense = vec![0.0f64; n];
+        match result.values {
+            EngineValues::Exact(pairs) => {
+                for (v, r) in pairs {
+                    dense[v.0 as usize] = r.to_f64();
+                }
+            }
+            EngineValues::Approx(pairs) => {
+                for (v, s) in pairs {
+                    dense[v.0 as usize] = s;
+                }
+            }
+        }
+        columns.push((kind, dense));
     }
+    let exact = columns
+        .iter()
+        .find(|(k, _)| *k == EngineKind::Kc)
+        .map(|(_, v)| v.clone())
+        .expect("KC ran");
 
-    println!(
-        "{:>5} {:>10} {:>10} {:>10} {:>10}",
-        "fact", "exact", "MC(50n)", "KS(50n)", "proxy"
-    );
+    print!("{:>5}", "fact");
+    for (kind, _) in &columns {
+        print!(" {:>11}", kind.name());
+    }
+    println!();
     for i in 0..n {
-        println!(
-            "{:>5} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
-            format!("f{i}"),
-            exact[i],
-            mc[i],
-            ks[i],
-            proxy[i]
-        );
+        print!("{:>5}", format!("f{i}"));
+        for (_, dense) in &columns {
+            print!(" {:>11.4}", dense[i]);
+        }
+        println!();
     }
-    for (name, est) in [
-        ("Monte Carlo", &mc),
-        ("Kernel SHAP", &ks),
-        ("CNF Proxy", &proxy),
-    ] {
+
+    println!();
+    for (kind, dense) in &columns {
         println!(
-            "{name:<12} nDCG = {:.4}   P@5 = {:.2}",
-            ndcg(&ranking_of(est), &exact),
-            precision_at_k(est, &exact, 5)
+            "{:<12} exact={}   nDCG = {:.4}   P@5 = {:.2}",
+            kind.name(),
+            kind.is_exact(),
+            ndcg(&ranking_of(dense), &exact),
+            precision_at_k(dense, &exact, 5)
         );
     }
     println!(

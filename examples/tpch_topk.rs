@@ -35,7 +35,19 @@ fn main() {
 
     let analyzer =
         ShapleyAnalyzer::new(&db).with_budget(Budget::with_timeout(Duration::from_secs(10)));
-    let explanations = analyzer.explain(&q16.ucq).expect("Q16 compiles quickly");
+    let batch = analyzer
+        .explain_batch(&q16.ucq)
+        .expect("Q16 compiles quickly");
+    println!(
+        "batch: {} answers, {} distinct lineage structures (dedup hit rate {:.0}%), \
+         {} thread(s), {:?}",
+        batch.dedup.tasks,
+        batch.dedup.distinct,
+        batch.dedup.hit_rate() * 100.0,
+        batch.threads,
+        batch.total_time
+    );
+    let explanations = batch.explanations;
 
     println!(
         "\n{} output brands; top contributors for the first 5:",

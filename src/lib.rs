@@ -43,15 +43,20 @@ pub use shapdb_prob as prob;
 pub use shapdb_query as query;
 pub use shapdb_workloads as workloads;
 
-use shapdb_circuit::Circuit;
+use shapdb_circuit::{Circuit, Dnf};
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
+use shapdb_core::engine::{
+    BatchExecutor, EngineError, EngineKind, EngineValues, Planner, PlannerConfig,
+};
 use shapdb_core::exact::ExactConfig;
-use shapdb_core::hybrid::{hybrid_shapley_dnf, HybridConfig, HybridOutcome};
-use shapdb_core::pipeline::{analyze_lineage, analyze_lineage_auto, AnalysisError};
+use shapdb_core::hybrid::{HybridConfig, HybridOutcome};
+use shapdb_core::pipeline::{analyze_lineage, AnalysisError};
 use shapdb_data::{Database, FactId, Value};
 use shapdb_kc::Budget;
+use shapdb_metrics::counters::DedupStats;
 use shapdb_num::Rational;
-use shapdb_query::{evaluate, evaluate_negated, NegatedQuery, Ucq};
+use shapdb_query::{evaluate, evaluate_negated, NegatedQuery, QueryResult, Ucq};
+use std::time::Duration;
 
 /// Exact Shapley explanation of one output tuple.
 #[derive(Clone, Debug)]
@@ -82,21 +87,41 @@ pub struct TupleRanking {
     pub outcome: HybridOutcome,
 }
 
+/// An [`ShapleyAnalyzer::explain_batch`] result: the explanations plus the
+/// batch executor's bookkeeping (how much work the structural lineage dedup
+/// saved, and how the work was spread over threads).
+#[derive(Clone, Debug)]
+pub struct BatchExplanation {
+    /// Per-answer exact explanations, in answer order.
+    pub explanations: Vec<TupleExplanation>,
+    /// Lineage-dedup statistics: `dedup.hit_rate()` is the fraction of
+    /// answers served from a structurally identical lineage's computation.
+    pub dedup: DedupStats,
+    /// Distinct lineage structures actually solved.
+    pub engine_runs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time of the attribution batch (excluding query evaluation).
+    pub total_time: Duration,
+}
+
 /// One-stop API over a database: evaluate a query and attribute each answer
 /// to the endogenous facts by Shapley value.
 pub struct ShapleyAnalyzer<'a> {
     db: &'a Database,
     budget: Budget,
     exact: ExactConfig,
+    threads: usize,
 }
 
 impl<'a> ShapleyAnalyzer<'a> {
-    /// An analyzer with unlimited budgets.
+    /// An analyzer with unlimited budgets, using every available core.
     pub fn new(db: &'a Database) -> ShapleyAnalyzer<'a> {
         ShapleyAnalyzer {
             db,
             budget: Budget::unlimited(),
             exact: ExactConfig::default(),
+            threads: 0,
         }
     }
 
@@ -112,28 +137,78 @@ impl<'a> ShapleyAnalyzer<'a> {
         self
     }
 
+    /// Sets the batch worker-thread count (0 = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Evaluates `q` and runs its answers' lineages through the engine
+    /// layer's planner + batch executor (structural dedup, thread fan-out).
+    fn run_batch(
+        &self,
+        q: &Ucq,
+        cfg: PlannerConfig,
+        exact: &ExactConfig,
+    ) -> (QueryResult, shapdb_core::engine::BatchReport) {
+        let res = evaluate(q, self.db);
+        let lineages: Vec<Dnf> = res
+            .outputs
+            .iter()
+            .map(|t| t.endo_lineage(self.db))
+            .collect();
+        let fail_fast = cfg.fallback.is_none();
+        let mut executor =
+            BatchExecutor::new(Planner::for_query(cfg, q)).with_threads(self.threads);
+        if fail_fast {
+            // Exact mode propagates the first error anyway — abort the rest.
+            executor = executor.with_fail_fast();
+        }
+        let report = executor.run(&lineages, self.db.num_endogenous(), &self.budget, exact);
+        (res, report)
+    }
+
     /// Exact Shapley values for every output tuple of `q`. Lineages that
     /// factor take the read-once fast path; the rest run Figure 3's full
-    /// pipeline. Fails on the first tuple whose compilation exceeds the
-    /// budget — use [`ShapleyAnalyzer::rank`] for the timeout-tolerant
-    /// variant.
+    /// pipeline. Structurally identical lineages are computed once and
+    /// distinct ones fan out across worker threads
+    /// ([`ShapleyAnalyzer::with_threads`]). Fails on the first tuple whose
+    /// compilation exceeds the budget — use [`ShapleyAnalyzer::rank`] for
+    /// the timeout-tolerant variant.
     pub fn explain(&self, q: &Ucq) -> Result<Vec<TupleExplanation>, AnalysisError> {
-        let n_endo = self.db.num_endogenous();
-        let res = evaluate(q, self.db);
-        let mut out = Vec::with_capacity(res.len());
-        for tuple in res.outputs {
-            let elin = tuple.endo_lineage(self.db);
-            let analysis = analyze_lineage_auto(&elin, n_endo, &self.budget, &self.exact)?;
-            out.push(TupleExplanation {
+        Ok(self.explain_batch(q)?.explanations)
+    }
+
+    /// [`ShapleyAnalyzer::explain`], plus the batch bookkeeping: dedup hit
+    /// rate, distinct structures solved, threads used, wall time.
+    pub fn explain_batch(&self, q: &Ucq) -> Result<BatchExplanation, AnalysisError> {
+        let (res, report) = self.run_batch(q, PlannerConfig::default(), &self.exact);
+        let dedup = report.dedup;
+        let (engine_runs, threads, total_time) =
+            (report.engine_runs, report.threads, report.total_time);
+        let mut explanations = Vec::with_capacity(res.len());
+        for (tuple, item) in res.outputs.into_iter().zip(report.items) {
+            let result = item.result.map_err(|e| match e {
+                EngineError::Analysis(a) => a,
+                EngineError::Unsupported(why) => {
+                    unreachable!("exact-mode planner only plans supported engines: {why}")
+                }
+            })?;
+            let EngineValues::Exact(pairs) = result.values else {
+                unreachable!("exact-mode planner yields exact values");
+            };
+            explanations.push(TupleExplanation {
                 tuple: tuple.tuple,
-                attributions: analysis
-                    .attributions
-                    .into_iter()
-                    .map(|a| (FactId(a.fact.0), a.shapley))
-                    .collect(),
+                attributions: pairs.into_iter().map(|(v, r)| (FactId(v.0), r)).collect(),
             });
         }
-        Ok(out)
+        Ok(BatchExplanation {
+            explanations,
+            dedup,
+            engine_runs,
+            threads,
+            total_time,
+        })
     }
 
     /// Exact Shapley values for every output tuple of a query with safe
@@ -169,16 +244,25 @@ impl<'a> ShapleyAnalyzer<'a> {
     /// factorization fast path runs first, making even zero-timeout calls
     /// exact on read-once lineages.
     pub fn rank(&self, q: &Ucq, cfg: &HybridConfig) -> Vec<TupleRanking> {
-        let n_endo = self.db.num_endogenous();
-        let res = evaluate(q, self.db);
+        let planner_cfg = PlannerConfig {
+            // Paper mode (no fast path): straight to knowledge compilation.
+            force: (!cfg.try_read_once).then_some(EngineKind::Kc),
+            timeout: Some(cfg.timeout),
+            fallback: Some(EngineKind::Proxy),
+            // §6.3 always *tries* compilation under the timeout — lift the
+            // planner's admission caps to match the classic hybrid.
+            max_kc_vars: usize::MAX,
+            max_kc_conjuncts: usize::MAX,
+        };
+        let (res, report) = self.run_batch(q, planner_cfg, &cfg.exact);
         res.outputs
             .into_iter()
-            .map(|tuple| {
-                let elin = tuple.endo_lineage(self.db);
-                let report = hybrid_shapley_dnf(&elin, n_endo, cfg);
+            .zip(report.items)
+            .map(|(tuple, item)| {
+                let result = item.result.expect("proxy fallback never fails");
                 TupleRanking {
                     tuple: tuple.tuple,
-                    outcome: report.outcome,
+                    outcome: result.into(),
                 }
             })
             .collect()
@@ -292,6 +376,37 @@ mod tests {
         assert_eq!(rankings.len(), 1);
         assert!(!rankings[0].outcome.is_exact());
         assert_eq!(rankings[0].outcome.ranking().len(), 7);
+    }
+
+    #[test]
+    fn explain_batch_dedups_isomorphic_answers() {
+        // q(b) :- R(a), S(a, b): hierarchical + sjf. Two b-groups with the
+        // same star shape (two S-edges each) and one with a single edge:
+        // 3 answers, 2 distinct lineage structures.
+        let mut db = Database::new();
+        db.create_relation("R", &["a"]);
+        db.create_relation("S", &["a", "b"]);
+        for a in 0..2 {
+            db.insert_endo("R", vec![Value::int(a)]);
+        }
+        for (a, b) in [(0, 10), (1, 10), (0, 11), (1, 11), (0, 12)] {
+            db.insert_endo("S", vec![Value::int(a), Value::int(b)]);
+        }
+        let q = shapdb_query::parse_ucq("q(b) :- R(a), S(a, b)").unwrap();
+        for threads in [1, 4] {
+            let analyzer = ShapleyAnalyzer::new(&db).with_threads(threads);
+            let batch = analyzer.explain_batch(&q).unwrap();
+            assert_eq!(batch.explanations.len(), 3);
+            assert_eq!(batch.dedup.tasks, 3);
+            assert_eq!(batch.dedup.distinct, 2, "b=10 and b=11 share a structure");
+            assert_eq!(batch.engine_runs, 2);
+            // Batch output matches the plain explain() view.
+            let plain = analyzer.explain(&q).unwrap();
+            for (b, p) in batch.explanations.iter().zip(&plain) {
+                assert_eq!(b.tuple, p.tuple);
+                assert_eq!(b.attributions, p.attributions);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Batch-executor integration harness.
+//!
+//! * the parallel, deduplicating [`BatchExecutor`] must produce *identical*
+//!   exact rationals to the classic sequential per-tuple path
+//!   (`analyze_lineage_auto`) on the seeded agreement-harness databases, at
+//!   1 and at N worker threads;
+//! * on a multi-answer workload with duplicated lineage structure, batch
+//!   mode must solve each distinct structure exactly once (the dedup
+//!   counters assert it);
+//! * the planner's hierarchical classification must agree with the
+//!   read-once factorizer on the seed workloads: every answer of a
+//!   hierarchical self-join-free query factors (Livshits et al.), so the
+//!   disagreement counter stays at zero.
+
+use rand::prelude::*;
+use shapdb::circuit::Dnf;
+use shapdb::core::engine::{BatchExecutor, Planner, PlannerConfig, QueryClass};
+use shapdb::core::exact::ExactConfig;
+use shapdb::core::pipeline::analyze_lineage_auto;
+use shapdb::data::{Database, Value};
+use shapdb::kc::Budget;
+use shapdb::num::Rational;
+use shapdb::query::{evaluate, parse_ucq};
+use shapdb::ShapleyAnalyzer;
+
+/// The agreement-harness random database: `R(a)`, `S(a, b)`, `T(b)` with
+/// endogenous facts only (fact ids map 1:1 onto lineage variables).
+fn random_database(rng: &mut StdRng) -> Database {
+    let mut db = Database::new();
+    db.create_relation("R", &["a"]);
+    db.create_relation("S", &["a", "b"]);
+    db.create_relation("T", &["b"]);
+    for _ in 0..rng.random_range(2..=4usize) {
+        db.insert_endo("R", vec![Value::int(rng.random_range(0..3))]);
+    }
+    for _ in 0..rng.random_range(3..=6usize) {
+        db.insert_endo(
+            "S",
+            vec![
+                Value::int(rng.random_range(0..3)),
+                Value::int(rng.random_range(0..3)),
+            ],
+        );
+    }
+    for _ in 0..rng.random_range(2..=3usize) {
+        db.insert_endo("T", vec![Value::int(rng.random_range(0..3))]);
+    }
+    db
+}
+
+#[test]
+fn batch_executor_matches_sequential_path_at_1_and_n_threads() {
+    let queries = [
+        parse_ucq("q(b) :- R(a), S(a, b)").unwrap(),
+        parse_ucq("q() :- R(a), S(a, b), T(b)").unwrap(),
+    ];
+    let mut compared = 0usize;
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(0xBA7C + seed);
+        let db = random_database(&mut rng);
+        let n_endo = db.num_endogenous();
+        for q in &queries {
+            let res = evaluate(q, &db);
+            let lineages: Vec<Dnf> = res.outputs.iter().map(|t| t.endo_lineage(&db)).collect();
+
+            // The old sequential path: one analyze_lineage_auto per tuple.
+            let sequential: Vec<Vec<(u32, Rational)>> = lineages
+                .iter()
+                .map(|l| {
+                    analyze_lineage_auto(l, n_endo, &Budget::unlimited(), &ExactConfig::default())
+                        .unwrap()
+                        .attributions
+                        .into_iter()
+                        .map(|a| (a.fact.0, a.shapley))
+                        .collect()
+                })
+                .collect();
+
+            for threads in [1usize, 4] {
+                let executor = BatchExecutor::new(Planner::for_query(PlannerConfig::default(), q))
+                    .with_threads(threads);
+                let report = executor.run(
+                    &lineages,
+                    n_endo,
+                    &Budget::unlimited(),
+                    &ExactConfig::default(),
+                );
+                assert_eq!(report.threads, threads.min(report.dedup.distinct).max(1));
+                for (i, item) in report.items.iter().enumerate() {
+                    let result = item.result.as_ref().unwrap();
+                    let got: Vec<(u32, Rational)> = match &result.values {
+                        shapdb::core::engine::EngineValues::Exact(pairs) => {
+                            pairs.iter().map(|(v, r)| (v.0, r.clone())).collect()
+                        }
+                        _ => panic!("exact mode yields exact values"),
+                    };
+                    assert_eq!(
+                        got, sequential[i],
+                        "seed {seed}, query {q}, tuple {i}, threads {threads}"
+                    );
+                    compared += 1;
+                }
+            }
+        }
+    }
+    assert!(compared >= 60, "only {compared} tuples compared");
+}
+
+#[test]
+fn facade_explain_equals_sequential_at_1_and_n_threads() {
+    let q = parse_ucq("q(b) :- R(a), S(a, b)").unwrap();
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0xFACADE + seed);
+        let db = random_database(&mut rng);
+        let n_endo = db.num_endogenous();
+        let res = evaluate(&q, &db);
+        let baseline: Vec<Vec<(u32, Rational)>> = res
+            .outputs
+            .iter()
+            .map(|t| {
+                analyze_lineage_auto(
+                    &t.endo_lineage(&db),
+                    n_endo,
+                    &Budget::unlimited(),
+                    &ExactConfig::default(),
+                )
+                .unwrap()
+                .attributions
+                .into_iter()
+                .map(|a| (a.fact.0, a.shapley))
+                .collect()
+            })
+            .collect();
+        for threads in [1usize, 4] {
+            let explanations = ShapleyAnalyzer::new(&db)
+                .with_threads(threads)
+                .explain(&q)
+                .unwrap();
+            assert_eq!(explanations.len(), baseline.len());
+            for (e, expect) in explanations.iter().zip(&baseline) {
+                let got: Vec<(u32, Rational)> = e
+                    .attributions
+                    .iter()
+                    .map(|(f, r)| (f.0, r.clone()))
+                    .collect();
+                assert_eq!(&got, expect, "seed {seed}, threads {threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_structures_are_solved_exactly_once() {
+    // A star-join workload engineered for structural duplication: every
+    // product `b` has the same two-supplier shape, so all 6 answers share
+    // one lineage structure.
+    let mut db = Database::new();
+    db.create_relation("R", &["a"]);
+    db.create_relation("S", &["a", "b"]);
+    for a in 0..2 {
+        db.insert_endo("R", vec![Value::int(a)]);
+    }
+    for b in 0..6 {
+        for a in 0..2 {
+            db.insert_endo("S", vec![Value::int(a), Value::int(100 + b)]);
+        }
+    }
+    let q = parse_ucq("q(b) :- R(a), S(a, b)").unwrap();
+    let analyzer = ShapleyAnalyzer::new(&db);
+    let batch = analyzer.explain_batch(&q).unwrap();
+    assert_eq!(batch.dedup.tasks, 6, "six answers");
+    assert_eq!(batch.dedup.distinct, 1, "one shared lineage structure");
+    assert_eq!(
+        batch.engine_runs, 1,
+        "each distinct lineage compiled exactly once"
+    );
+    assert_eq!(batch.dedup.hits(), 5);
+    assert!((batch.dedup.hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+    // And the shared computation still yields per-answer values on each
+    // answer's own facts, correct by the naive oracle.
+    let res = evaluate(&q, &db);
+    for (e, out) in batch.explanations.iter().zip(&res.outputs) {
+        let elin = out.endo_lineage(&db);
+        let naive = shapdb::core::naive::shapley_naive(&|s| elin.eval_set(s), db.num_endogenous());
+        for (fact, value) in &e.attributions {
+            assert_eq!(value, &naive[fact.0 as usize]);
+        }
+    }
+}
+
+#[test]
+fn hierarchical_detection_agrees_with_factorizer_on_seed_workloads() {
+    use shapdb::workloads::{
+        flights_workload, imdb_database, imdb_queries, tpch_database, tpch_queries, ImdbConfig,
+        TpchConfig,
+    };
+    let disagreements_before = shapdb::metrics::counters::PLANNER_HIERARCHICAL_DISAGREEMENTS.get();
+
+    let tpch = tpch_database(&TpchConfig {
+        scale: 0.3,
+        seed: 7,
+    });
+    let imdb = imdb_database(&ImdbConfig {
+        movies: 400,
+        companies: 40,
+        people: 200,
+        keywords: 30,
+        seed: 7,
+    });
+    let (flights_db, _, flights_q) = flights_workload();
+
+    let mut hierarchical_queries = 0usize;
+    let mut checked_lineages = 0usize;
+    let mut runs: Vec<(&Database, Vec<shapdb::workloads::WorkloadQuery>)> =
+        vec![(&tpch, tpch_queries()), (&imdb, imdb_queries())];
+    runs.push((&flights_db, vec![flights_q]));
+
+    for (db, queries) in runs {
+        for wq in queries {
+            let class = QueryClass::of(&wq.ucq);
+            let planner = Planner::for_query(PlannerConfig::default(), &wq.ucq);
+            let res = evaluate(&wq.ucq, db);
+            if class.guarantees_read_once() {
+                hierarchical_queries += 1;
+            }
+            for out in res.outputs.iter().take(40) {
+                let elin = out.endo_lineage(db);
+                let plan = planner.plan(&elin);
+                if class.guarantees_read_once() {
+                    // Theory: hierarchical + self-join-free ⇒ read-once.
+                    assert!(
+                        shapdb::circuit::factor(&elin).is_some(),
+                        "query {} produced a non-factorizable lineage: {elin}",
+                        wq.name
+                    );
+                    assert_eq!(
+                        plan.engine,
+                        shapdb::core::engine::EngineKind::ReadOnce,
+                        "query {}",
+                        wq.name
+                    );
+                }
+                checked_lineages += 1;
+            }
+        }
+    }
+    assert!(
+        hierarchical_queries >= 2,
+        "the workloads must exercise the guarantee"
+    );
+    assert!(
+        checked_lineages >= 100,
+        "only {checked_lineages} lineages checked"
+    );
+    assert_eq!(
+        shapdb::metrics::counters::PLANNER_HIERARCHICAL_DISAGREEMENTS.get(),
+        disagreements_before,
+        "hierarchical detection disagreed with the factorizer"
+    );
+}
