@@ -1,8 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml for offline use.
 
-.PHONY: check fmt build test clippy quickstart bench-smoke bench
+.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench
 
-check: fmt build test clippy quickstart
+check: fmt build test clippy doc quickstart
 
 fmt:
 	cargo fmt --check
@@ -16,6 +16,9 @@ test:
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
 
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 quickstart:
 	cargo run --release --example quickstart
 
@@ -23,6 +26,10 @@ quickstart:
 # in CHANGES.md.
 bench-smoke:
 	cargo bench --bench alg1 -p shapdb_bench
+
+# Cross-query result cache: cold vs warm replay of the 521-lineage workload.
+bench-cache:
+	cargo bench --bench cache -p shapdb_bench
 
 bench:
 	cargo bench -p shapdb_bench

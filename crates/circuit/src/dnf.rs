@@ -65,6 +65,7 @@ impl Dnf {
     /// `x ∨ (x ∧ y) = x`). Keeps the function identical while shrinking the
     /// representation.
     pub fn minimize(&mut self) {
+        shapdb_metrics::counters::CIRCUIT_MINIMIZE_PASSES.incr();
         let mut keep = vec![true; self.conjuncts.len()];
         for i in 0..self.conjuncts.len() {
             if !keep[i] {

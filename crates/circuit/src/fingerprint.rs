@@ -8,7 +8,7 @@
 //! and translate the values back through the renaming — the interning step
 //! of the engine layer's `BatchExecutor`.
 //!
-//! [`fingerprint`] canonicalizes a lineage: variables are renamed to dense
+//! [`fingerprint()`] canonicalizes a lineage: variables are renamed to dense
 //! canonical indices `0..k`, and the conjunct set is sorted into a canonical
 //! order. The resulting [`Fingerprint`] carries both the canonical conjunct
 //! list (the hashable dedup key) and the canonical-index → original-fact
@@ -33,7 +33,7 @@
 
 use crate::circuit::VarId;
 use crate::dnf::Dnf;
-use crate::readonce::{factor, ReadOnce};
+use crate::readonce::{factor_minimized, ReadOnce};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -42,11 +42,24 @@ use std::hash::{Hash, Hasher};
 pub type FingerprintKey = Vec<Vec<u32>>;
 
 /// A lineage's canonical form plus the renaming back to its own facts.
+///
+/// Canonicalizing requires minimizing and (attempting to) factor the
+/// lineage, so the fingerprint keeps the factoring verdict: when the
+/// lineage is read-once, [`Fingerprint::tree`] is its factorization
+/// relabeled onto the canonical variables. Downstream solvers (the engine
+/// layer's planner and batch executor) consume the tree and the minimized
+/// canonical DNF ([`Fingerprint::canonical_dnf`], rebuilt from the key on
+/// demand — once per *distinct* structure, not stored per task) instead of
+/// minimizing/factoring a second time.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Fingerprint {
     key: FingerprintKey,
     /// `vars[i]` = the original fact renamed to canonical variable `i`.
     vars: Vec<VarId>,
+    /// The canonical read-once tree (leaves are canonical variables), when
+    /// the lineage factors; `None` means the lineage is **not** read-once
+    /// (factoring was attempted during canonicalization).
+    tree: Option<ReadOnce>,
 }
 
 impl Fingerprint {
@@ -75,13 +88,22 @@ impl Fingerprint {
         &self.vars
     }
 
-    /// Rebuilds the canonical DNF (over variables `0..num_vars()`).
+    /// The minimized canonical DNF (over variables `0..num_vars()`),
+    /// rebuilt from the key. Call once per distinct structure, not per
+    /// task.
     pub fn canonical_dnf(&self) -> Dnf {
         let mut d = Dnf::new();
         for conj in &self.key {
             d.add_conjunct(conj.iter().map(|&v| VarId(v)).collect());
         }
         d
+    }
+
+    /// The read-once factorization of the canonical DNF, if the lineage is
+    /// read-once. `None` is authoritative: factoring was already attempted,
+    /// so callers must not try again.
+    pub fn tree(&self) -> Option<&ReadOnce> {
+        self.tree.as_ref()
     }
 
     /// A 64-bit digest of the key (for compact reporting; dedup itself keys
@@ -108,10 +130,10 @@ pub fn fingerprint(lineage: &Dnf) -> Fingerprint {
     let mut d = lineage.clone();
     d.minimize();
 
-    if let Some(tree) = factor(&d) {
+    if let Some(tree) = factor_minimized(&d) {
         // Complete canonical labeling from the (unique) read-once tree.
         let ordered = canonical_leaf_order(&tree);
-        return build(&d, ordered);
+        return build(&d, ordered, Some(tree));
     }
     wl_fingerprint(&d)
 }
@@ -162,8 +184,9 @@ fn canonical_leaf_order(tree: &ReadOnce) -> Vec<VarId> {
 }
 
 /// Builds the fingerprint of a minimized DNF from a canonical variable
-/// order (`ordered[i]` = the original fact renamed to canonical index `i`).
-fn build(d: &Dnf, ordered: Vec<VarId>) -> Fingerprint {
+/// order (`ordered[i]` = the original fact renamed to canonical index `i`)
+/// and the read-once tree over the *original* variables, when one exists.
+fn build(d: &Dnf, ordered: Vec<VarId>, tree: Option<ReadOnce>) -> Fingerprint {
     let canonical_of: std::collections::HashMap<VarId, u32> = ordered
         .iter()
         .enumerate()
@@ -179,7 +202,23 @@ fn build(d: &Dnf, ordered: Vec<VarId>) -> Fingerprint {
         })
         .collect();
     key.sort_unstable();
-    Fingerprint { key, vars: ordered }
+    let tree = tree.map(|t| relabel(&t, &canonical_of));
+    Fingerprint {
+        key,
+        vars: ordered,
+        tree,
+    }
+}
+
+/// Relabels a read-once tree's leaves onto the canonical variables.
+fn relabel(tree: &ReadOnce, canonical_of: &std::collections::HashMap<VarId, u32>) -> ReadOnce {
+    match tree {
+        ReadOnce::True => ReadOnce::True,
+        ReadOnce::False => ReadOnce::False,
+        ReadOnce::Var(v) => ReadOnce::Var(VarId(canonical_of[v])),
+        ReadOnce::And(cs) => ReadOnce::And(cs.iter().map(|c| relabel(c, canonical_of)).collect()),
+        ReadOnce::Or(cs) => ReadOnce::Or(cs.iter().map(|c| relabel(c, canonical_of)).collect()),
+    }
 }
 
 /// The refinement fallback for non-read-once lineages.
@@ -244,7 +283,7 @@ fn wl_fingerprint(d: &Dnf) -> Fingerprint {
     // fully symmetric variables produce the same key either way).
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&v| (color[v], v));
-    build(d, order.iter().map(|&v| orig_vars[v]).collect())
+    build(d, order.iter().map(|&v| orig_vars[v]).collect(), None)
 }
 
 fn distinct_count(colors: &[u64]) -> usize {
@@ -257,6 +296,7 @@ fn distinct_count(colors: &[u64]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::readonce::factor;
     use proptest::prelude::*;
     use shapdb_num::Bitset;
 
@@ -385,6 +425,36 @@ mod tests {
                 prop_assert_eq!(fa.key(), fb.key());
             }
         }
+    }
+
+    #[test]
+    fn carried_tree_and_canonical_dnf_agree() {
+        // Read-once lineage: the fingerprint carries the factorization,
+        // relabeled onto the canonical variables — the tree and the
+        // canonical DNF must be the same Boolean function.
+        let a = dnf(&[&[70], &[40, 20], &[40, 60], &[10, 20], &[10, 60], &[30, 50]]);
+        let fp = fingerprint(&a);
+        let tree = fp.tree().expect("read-once lineage carries its tree");
+        assert!(tree.is_well_formed());
+        let canonical = fp.canonical_dnf();
+        let k = fp.num_vars();
+        for mask in 0u64..(1 << k) {
+            let mut set = Bitset::new(k);
+            for i in 0..k {
+                if mask >> i & 1 == 1 {
+                    set.insert(i);
+                }
+            }
+            assert_eq!(
+                tree.eval_set(&set),
+                canonical.eval_set(&set),
+                "mask {mask:b}"
+            );
+        }
+        // Non-read-once lineages carry no tree — and that `None` is
+        // authoritative (majority really does not factor).
+        let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
+        assert!(fingerprint(&majority).tree().is_none());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! * [`readonce`] — read-once factorization of monotone DNF lineages
 //!   (Golumbic–Mintz–Rotics co-occurrence decomposition), the fast path that
 //!   sidesteps knowledge compilation entirely when the lineage factors;
-//! * [`fingerprint`] — canonical structural fingerprints of lineages (equal
+//! * [`mod@fingerprint`] — canonical structural fingerprints of lineages (equal
 //!   up to fact renaming ⇒ equal key), the interning key the engine layer's
 //!   batch executor dedups on.
 
@@ -40,5 +40,5 @@ pub use dimacs::{from_dimacs, to_dimacs, DimacsError};
 pub use dnf::Dnf;
 pub use fingerprint::{fingerprint, Fingerprint, FingerprintKey};
 pub use literal_dnf::LiteralDnf;
-pub use readonce::{factor, ReadOnce};
+pub use readonce::{factor, factor_minimized, ReadOnce};
 pub use tseytin::{tseytin, TseytinCnf};

@@ -158,6 +158,14 @@ impl fmt::Display for ReadOnce {
 pub fn factor(dnf: &Dnf) -> Option<ReadOnce> {
     let mut d = dnf.clone();
     d.minimize();
+    factor_minimized(&d)
+}
+
+/// [`factor`] for a lineage the caller has **already** absorption-minimized
+/// (skips the clone + minimize pass). Feeding an unminimized DNF may miss
+/// factorizations that minimization would have exposed.
+pub fn factor_minimized(d: &Dnf) -> Option<ReadOnce> {
+    shapdb_metrics::counters::CIRCUIT_FACTOR_PASSES.incr();
     if d.is_empty() {
         return Some(ReadOnce::False);
     }

@@ -27,7 +27,9 @@
 
 use shapdb_circuit::Dnf;
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
-use shapdb_core::engine::{BatchExecutor, EngineKind, EngineValues, Planner, PlannerConfig};
+use shapdb_core::engine::{
+    BatchExecutor, EngineKind, EngineValues, Planner, PlannerConfig, ShapleyCache,
+};
 use shapdb_core::exact::ExactConfig;
 use shapdb_data::{Database, FactId, Value};
 use shapdb_kc::Budget;
@@ -109,6 +111,8 @@ pub struct Config {
     pub threads: usize,
     pub timeout: Duration,
     pub aggregate: Aggregate,
+    /// Cross-query result-cache capacity in entries (0 = caching off).
+    pub cache_capacity: usize,
 }
 
 /// A user-facing failure: bad arguments, unreadable CSV, bad query, or an
@@ -150,6 +154,10 @@ OPTIONS:
     --method <M>        compatibility alias: exact | hybrid | proxy
                         (hybrid = --engine auto)
     --timeout-ms <N>    exact-pipeline deadline in milliseconds (default 2500)
+    --cache-capacity <N> cross-query result-cache entries (default 1024;
+                        0 = off). Exact results are cached per canonical
+                        lineage structure and reused across answers and
+                        queries of this invocation.
     --agg <A>           count | sum:<head-column-index>
     --help              print this text
 ";
@@ -164,6 +172,7 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
     let mut threads = 0usize;
     let mut timeout = Duration::from_millis(2500);
     let mut aggregate = Aggregate::None;
+    let mut cache_capacity = ShapleyCache::DEFAULT_CAPACITY;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -205,6 +214,11 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
                     .map_err(|_| err("--timeout-ms expects an integer"))?;
                 timeout = Duration::from_millis(ms);
             }
+            "--cache-capacity" => {
+                cache_capacity = take()?
+                    .parse()
+                    .map_err(|_| err("--cache-capacity expects a non-negative integer"))?
+            }
             "--agg" => {
                 let spec = take()?.clone();
                 aggregate = if spec == "count" {
@@ -231,6 +245,7 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
         threads,
         timeout,
         aggregate,
+        cache_capacity,
     })
 }
 
@@ -402,10 +417,16 @@ pub fn run(cfg: &Config) -> Result<String, CliError> {
     }
 
     // Per-answer attribution through the engine layer: one batch, dedup of
-    // structurally identical lineages, fan-out over worker threads.
+    // structurally identical lineages, cross-query result cache, fan-out
+    // over worker threads.
     let lineages: Vec<Dnf> = res.outputs.iter().map(|t| t.endo_lineage(&db)).collect();
     let planner_cfg = cfg.engine.planner_config(cfg.timeout);
-    let planner = Planner::for_query(planner_cfg, &q);
+    let mut planner = Planner::for_query(planner_cfg, &q);
+    if cfg.cache_capacity > 0 {
+        planner = planner.with_cache(std::sync::Arc::new(ShapleyCache::with_capacity(
+            cfg.cache_capacity,
+        )));
+    }
     let mut executor = BatchExecutor::new(planner).with_threads(cfg.threads);
     if planner_cfg.fallback.is_none() {
         // The report stops at the first error anyway — abort the rest.
@@ -413,11 +434,18 @@ pub fn run(cfg: &Config) -> Result<String, CliError> {
     }
     let report = executor.run(&lineages, n_endo, &Budget::unlimited(), &exact_cfg);
     out.push_str(&format!(
-        "{} distinct lineage structure(s); dedup hit rate {:.0}%; {} thread(s)\n",
+        "{} distinct lineage structure(s); dedup hit rate {:.0}%; {} thread(s)",
         report.dedup.distinct,
         report.dedup.hit_rate() * 100.0,
         report.threads
     ));
+    if cfg.cache_capacity > 0 {
+        out.push_str(&format!(
+            "; cache {} hit(s) / {} miss(es)",
+            report.cache.hits, report.cache.misses
+        ));
+    }
+    out.push('\n');
 
     for (tuple, item) in res.outputs.iter().zip(report.items) {
         out.push_str(&format!("{}\n", render_tuple(&tuple.tuple)));
@@ -503,6 +531,8 @@ mod tests {
             "100",
             "--agg",
             "sum:1",
+            "--cache-capacity",
+            "64",
         ]))
         .unwrap();
         assert_eq!(cfg.db_dir, PathBuf::from("/tmp/x"));
@@ -515,6 +545,44 @@ mod tests {
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.timeout, Duration::from_millis(100));
         assert_eq!(cfg.aggregate, Aggregate::Sum(1));
+        assert_eq!(cfg.cache_capacity, 64);
+    }
+
+    #[test]
+    fn cache_capacity_defaults_on_and_zero_disables() {
+        let base = args(&["--db", "d", "--query", "q"]);
+        assert_eq!(
+            parse_args(&base).unwrap().cache_capacity,
+            ShapleyCache::DEFAULT_CAPACITY
+        );
+        let dir = flights_dir("cache");
+        // 0 = off: the report drops the cache column and still answers.
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            FLIGHTS_QUERY,
+            "--endo",
+            "Flights",
+            "--cache-capacity",
+            "0",
+        ]))
+        .unwrap();
+        assert!(report.contains("Flights(JFK, CDG)  43/105"), "{report}");
+        assert!(!report.contains("cache"), "{report}");
+        // Default: the cache line shows up (one distinct structure, first
+        // sight = one miss).
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            FLIGHTS_QUERY,
+            "--endo",
+            "Flights",
+        ]))
+        .unwrap();
+        assert!(report.contains("cache 0 hit(s) / 1 miss(es)"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! Multi-answer workloads are full of repeated lineage *structure* (every
 //! answer of a star join looks like every other answer of that join), and
 //! the Shapley value is equivariant under fact renaming — so the executor
-//! interns lineages by their canonical [`shapdb_circuit::fingerprint`],
+//! interns lineages by their canonical [`shapdb_circuit::fingerprint()`],
 //! computes each distinct structure exactly once through the [`Planner`],
 //! and translates the values back through each task's renaming. Distinct
 //! structures are independent, so they fan out across
@@ -12,15 +12,31 @@
 //! bounded by the CNF variable count).
 //!
 //! Exact values translate *exactly*: batch output is identical, rational
-//! for rational, to solving every task separately. Sampling engines also
-//! stay deterministic (same seed per distinct structure), but their
-//! estimates are shared across a dedup group rather than re-drawn.
+//! for rational, to solving every task separately. Two layers of reuse
+//! apply to them:
+//!
+//! * **intra-batch dedup** — one solve per distinct structure per run;
+//! * **the cross-query [`super::ShapleyCache`]** (when the planner carries
+//!   one) — a distinct structure seen in *any* earlier run under the same
+//!   policy is served from the cache without running an engine at all.
+//!
+//! Sampling engines (Monte Carlo, Kernel SHAP) are handled the opposite
+//! way: sharing one estimate across a dedup group would perfectly
+//! correlate the error of supposedly independent answers, so
+//! sampling-planned tasks are solved **per member** with a per-task seed
+//! salt (`seed ⊕ task index`) — deterministic for a given batch, but
+//! independent draws across isomorphic answers. Deterministic inexact
+//! engines (CNF Proxy) still share per-structure results: their scores are
+//! renaming-equivariant, so sharing is lossless.
 
-use super::{EngineError, EngineResult, EngineValues, LineageTask, Planner};
+use super::planner::CacheOutcome;
+use super::{translate_result, EngineError, EngineResult, LineageTask, Planner};
 use crate::exact::ExactConfig;
-use shapdb_circuit::{fingerprint, Dnf, Fingerprint, FingerprintKey, VarId};
+use shapdb_circuit::{fingerprint, Dnf, Fingerprint, FingerprintKey};
 use shapdb_kc::Budget;
-use shapdb_metrics::counters::{DedupStats, BATCH_DEDUP_HITS, BATCH_DISTINCT, BATCH_TASKS};
+use shapdb_metrics::counters::{
+    CacheRunStats, DedupStats, BATCH_DEDUP_HITS, BATCH_DISTINCT, BATCH_TASKS,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -28,13 +44,56 @@ use std::time::{Duration, Instant};
 /// Worker stack size: the DPLL compiler recurses per CNF variable.
 const WORKER_STACK: usize = 64 * 1024 * 1024;
 
+/// Runs `f(0)..f(n-1)` across up to `threads` scoped workers (large
+/// stacks), returning results in index order. For phases with no
+/// fail-fast/abort semantics (the fallback-sampling re-draw pass).
+fn parallel_map<T: Send>(threads: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = threads.min(n).max(1);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let cursor_ref = &cursor;
+    let f_ref = &f;
+    let mut collected: Vec<Vec<(usize, T)>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                std::thread::Builder::new()
+                    .stack_size(WORKER_STACK)
+                    .spawn_scoped(s, move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                return local;
+                            }
+                            local.push((i, f_ref(i)));
+                        }
+                    })
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        for h in handles {
+            collected.push(h.join().expect("batch worker panicked"));
+        }
+    });
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in collected.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter().map(|v| v.expect("mapped index")).collect()
+}
+
 /// Batch execution knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchConfig {
     /// Worker threads (0 = all available cores).
     pub threads: usize,
     /// Intern structurally identical lineages (on by default; turn off to
-    /// measure the dedup win or to re-draw samples per task).
+    /// measure the dedup win). Turning dedup off also bypasses the
+    /// cross-query result cache: without fingerprints there are no cache
+    /// keys.
     pub dedup: bool,
     /// Abort the batch on the first failed task: remaining tasks inherit
     /// that error instead of burning their own per-lineage timeouts. Off by
@@ -85,8 +144,14 @@ pub struct BatchReport {
     pub items: Vec<BatchItem>,
     /// Dedup statistics (the lineage-dedup hit rate of this run).
     pub dedup: DedupStats,
-    /// Actual engine invocations — equals `dedup.distinct` by construction.
+    /// Actual engine invocations. At most one per distinct structure, but
+    /// cache hits and fail-fast-aborted structures invoke no engine, and
+    /// per-member sampling re-draws invoke one per task — so this can fall
+    /// below or rise above `dedup.distinct`.
     pub engine_runs: usize,
+    /// How this run used the cross-query result cache (all zeros when the
+    /// planner carries none).
+    pub cache: CacheRunStats,
     /// Worker threads used.
     pub threads: usize,
     /// Wall time of the whole batch.
@@ -158,8 +223,10 @@ impl BatchExecutor {
         let start = Instant::now();
         let tasks = lineages.len();
 
-        // Intern: group tasks by canonical fingerprint. Without dedup every
-        // task is its own group solved on its original lineage.
+        // Intern: group tasks by canonical fingerprint — the one minimize +
+        // factor pass per task; the fingerprint carries both by-products,
+        // so nothing downstream minimizes or factors again. Without dedup
+        // every task is its own group solved on its original lineage.
         let fingerprints: Vec<Option<Fingerprint>> = if self.cfg.dedup {
             lineages.iter().map(|l| Some(fingerprint(l))).collect()
         } else {
@@ -167,55 +234,164 @@ impl BatchExecutor {
         };
         let mut group_of: Vec<usize> = Vec::with_capacity(tasks);
         let mut first_of_group: Vec<usize> = Vec::new();
-        let mut distinct: Vec<Dnf> = Vec::new();
+        let mut members: Vec<Vec<usize>> = Vec::new();
         {
             let mut seen: HashMap<&FingerprintKey, usize> = HashMap::new();
             for (i, fp) in fingerprints.iter().enumerate() {
-                match fp {
+                let g = match fp {
                     Some(fp) => {
-                        let next = distinct.len();
+                        let next = first_of_group.len();
                         let g = *seen.entry(fp.key()).or_insert(next);
                         if g == next {
-                            distinct.push(fp.canonical_dnf());
                             first_of_group.push(i);
+                            members.push(Vec::new());
                         }
-                        group_of.push(g);
+                        g
                     }
                     None => {
-                        group_of.push(distinct.len());
                         first_of_group.push(i);
-                        distinct.push(lineages[i].clone());
+                        members.push(Vec::new());
+                        first_of_group.len() - 1
                     }
+                };
+                group_of.push(g);
+                members[g].push(i);
+            }
+        }
+        let distinct = first_of_group.len();
+
+        // Plan each group once (cheap: the fingerprint already knows the
+        // factorization). Sampling-planned groups are not solved once per
+        // structure — sharing one estimate across isomorphic answers would
+        // perfectly correlate their error — so they expand into one work
+        // unit per member, each salted with its own task index. Everything
+        // else is one unit per distinct structure.
+        let group_fp: Vec<Option<&Fingerprint>> = (0..distinct)
+            .map(|g| fingerprints[first_of_group[g]].as_ref())
+            .collect();
+        let group_plan: Vec<Option<super::Plan>> = group_fp
+            .iter()
+            .map(|fp| fp.map(|fp| self.planner.plan_fp(fp)))
+            .collect();
+        #[derive(Clone, Copy)]
+        enum Unit {
+            /// Solve one distinct structure (canonically when fingerprinted).
+            Group(usize),
+            /// Solve one task on its own lineage with its own seed salt.
+            Member(usize),
+        }
+        let mut units: Vec<Unit> = Vec::with_capacity(distinct);
+        for g in 0..distinct {
+            match group_plan[g] {
+                Some(plan) if plan.engine.is_sampling() => {
+                    units.extend(members[g].iter().map(|&i| Unit::Member(i)));
                 }
+                _ => units.push(Unit::Group(g)),
             }
         }
 
-        // Fan the distinct structures out across scoped workers.
+        // Fan the work units out across scoped workers.
         let fail_fast = self.cfg.fail_fast;
-        let threads = self.cfg.effective_threads().min(distinct.len()).max(1);
-        let mut solved: Vec<Option<Result<EngineResult, EngineError>>> =
-            (0..distinct.len()).map(|_| None).collect();
+        let threads = self.cfg.effective_threads().min(units.len()).max(1);
+        let engine_runs = AtomicUsize::new(0);
+        let cache_hits = AtomicUsize::new(0);
+        let cache_misses = AtomicUsize::new(0);
+        let cache_bypasses = AtomicUsize::new(0);
+        let run_unit = |unit: Unit| -> (Unit, Result<EngineResult, EngineError>) {
+            let result = match unit {
+                Unit::Group(g) => match group_fp[g] {
+                    Some(fp) => {
+                        let salt = first_of_group[g] as u64;
+                        let plan = group_plan[g].expect("fingerprinted groups are planned");
+                        let (result, outcome) = self
+                            .planner
+                            .solve_structure(fp, plan, n_endo, budget, exact, salt);
+                        match outcome {
+                            CacheOutcome::Hit => {
+                                cache_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            CacheOutcome::Miss => {
+                                cache_misses.fetch_add(1, Ordering::Relaxed);
+                                engine_runs.fetch_add(1, Ordering::Relaxed);
+                            }
+                            CacheOutcome::Bypass => {
+                                cache_bypasses.fetch_add(1, Ordering::Relaxed);
+                                engine_runs.fetch_add(1, Ordering::Relaxed);
+                            }
+                            CacheOutcome::Disabled => {
+                                engine_runs.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        result
+                    }
+                    None => {
+                        // Dedup off: no fingerprint, no cache key — solve
+                        // the original lineage directly.
+                        if let Some(cache) = self.planner.cache() {
+                            cache.record_bypass();
+                            cache_bypasses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        engine_runs.fetch_add(1, Ordering::Relaxed);
+                        let i = first_of_group[g];
+                        self.planner.solve_direct(
+                            &self
+                                .task(&lineages[i], n_endo, budget, exact)
+                                .with_seed_salt(i as u64),
+                        )
+                    }
+                },
+                Unit::Member(i) => {
+                    // Sampling plan: independent draws on the task's own
+                    // lineage, salted by task index.
+                    if let Some(cache) = self.planner.cache() {
+                        cache.record_bypass();
+                        cache_bypasses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    engine_runs.fetch_add(1, Ordering::Relaxed);
+                    let plan = group_plan[group_of[i]].expect("member units are fingerprinted");
+                    self.planner.solve_planned(
+                        &self
+                            .task(&lineages[i], n_endo, budget, exact)
+                            .with_seed_salt(i as u64),
+                        plan,
+                        None,
+                        Duration::ZERO,
+                    )
+                }
+            };
+            (unit, result)
+        };
+
+        let mut group_result: Vec<Option<Result<EngineResult, EngineError>>> =
+            (0..distinct).map(|_| None).collect();
+        let mut member_result: Vec<Option<Result<EngineResult, EngineError>>> =
+            (0..tasks).map(|_| None).collect();
+        let mut store = |unit: Unit, r: Result<EngineResult, EngineError>| match unit {
+            Unit::Group(g) => group_result[g] = Some(r),
+            Unit::Member(i) => member_result[i] = Some(r),
+        };
         if threads <= 1 {
             let mut abort: Option<EngineError> = None;
-            for (i, lineage) in distinct.iter().enumerate() {
+            for &unit in &units {
                 let result = match abort {
                     Some(e) => Err(e),
-                    None => self.solve_one(lineage, n_endo, budget, exact),
+                    None => run_unit(unit).1,
                 };
                 if fail_fast && abort.is_none() {
                     if let Err(e) = &result {
                         abort = Some(*e);
                     }
                 }
-                solved[i] = Some(result);
+                store(unit, result);
             }
         } else {
             let cursor = AtomicUsize::new(0);
             let abort: std::sync::Mutex<Option<EngineError>> = std::sync::Mutex::new(None);
-            let distinct_ref = &distinct;
+            let units_ref = &units;
             let cursor_ref = &cursor;
             let abort_ref = &abort;
-            let mut collected: Vec<Vec<(usize, Result<EngineResult, EngineError>)>> = Vec::new();
+            let run_unit_ref = &run_unit;
+            let mut collected: Vec<Vec<(Unit, Result<EngineResult, EngineError>)>> = Vec::new();
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
@@ -224,23 +400,22 @@ impl BatchExecutor {
                             .spawn_scoped(s, move || {
                                 let mut local = Vec::new();
                                 loop {
-                                    let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                                    if i >= distinct_ref.len() {
+                                    let u = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                                    if u >= units_ref.len() {
                                         return local;
                                     }
+                                    let unit = units_ref[u];
                                     let aborted = *abort_ref.lock().expect("abort flag");
                                     let result = match aborted {
                                         Some(e) => Err(e),
-                                        None => {
-                                            self.solve_one(&distinct_ref[i], n_endo, budget, exact)
-                                        }
+                                        None => run_unit_ref(unit).1,
                                     };
                                     if fail_fast {
                                         if let Err(e) = &result {
                                             abort_ref.lock().expect("abort flag").get_or_insert(*e);
                                         }
                                     }
-                                    local.push((i, result));
+                                    local.push((unit, result));
                                 }
                             })
                             .expect("spawn batch worker")
@@ -250,88 +425,117 @@ impl BatchExecutor {
                     collected.push(h.join().expect("batch worker panicked"));
                 }
             });
-            for (i, r) in collected.into_iter().flatten() {
-                solved[i] = Some(r);
+            for (unit, r) in collected.into_iter().flatten() {
+                store(unit, r);
             }
         }
 
-        // Translate each group's canonical result back onto each task's
-        // facts.
-        let items: Vec<BatchItem> = (0..tasks)
-            .map(|i| {
-                let g = group_of[i];
-                let result = solved[g].clone().expect("group solved");
-                let result = match &fingerprints[i] {
-                    Some(fp) => result.map(|r| translate(r, fp)),
-                    None => result,
-                };
-                BatchItem {
-                    index: i,
-                    result,
-                    dedup_hit: first_of_group[g] != i,
-                }
+        // One rare corner before assembly: an exact-planned group whose
+        // solve *fell back* to a sampling engine (hybrid policies) produced
+        // one correlated estimate. Re-draw it per extra member — salted, so
+        // the independent-draws guarantee holds on every path — and do it
+        // over the same worker fan-out: a big dedup group is exactly the
+        // case where these re-draws are the bulk of the work.
+        let redraws: Vec<(usize, super::EngineKind)> = (0..tasks)
+            .filter(|&i| member_result[i].is_none() && fingerprints[i].is_some())
+            .filter(|&i| first_of_group[group_of[i]] != i)
+            .filter_map(|i| match &group_result[group_of[i]] {
+                Some(Ok(r)) if r.engine.is_sampling() => Some((i, r.engine)),
+                _ => None,
             })
             .collect();
+        let redrawn: Vec<Result<EngineResult, EngineError>> =
+            parallel_map(self.cfg.effective_threads(), redraws.len(), |k| {
+                let (i, engine) = redraws[k];
+                engine_runs.fetch_add(1, Ordering::Relaxed);
+                self.planner.solve_planned(
+                    &self
+                        .task(&lineages[i], n_endo, budget, exact)
+                        .with_seed_salt(i as u64),
+                    super::Plan {
+                        engine,
+                        reason: super::PlanReason::Forced,
+                    },
+                    None,
+                    Duration::ZERO,
+                )
+            });
+        for ((i, _), result) in redraws.into_iter().zip(redrawn) {
+            // A failed re-draw (sampling engines practically never fail)
+            // falls back to the group's shared estimate in assembly below.
+            if result.is_ok() {
+                member_result[i] = Some(result);
+            }
+        }
 
+        // Assemble per-task outcomes: member units (and re-draws) already
+        // sit on their own facts; group results translate back through each
+        // member's renaming.
+        let mut items: Vec<BatchItem> = Vec::with_capacity(tasks);
+        for i in 0..tasks {
+            if let Some(result) = member_result[i].take() {
+                items.push(BatchItem {
+                    index: i,
+                    result,
+                    dedup_hit: false,
+                });
+                continue;
+            }
+            let g = group_of[i];
+            let result = group_result[g].clone().expect("group solved");
+            let result = match &fingerprints[i] {
+                Some(fp) => result.map(|r| translate_result(r, fp)),
+                None => result,
+            };
+            items.push(BatchItem {
+                index: i,
+                result,
+                dedup_hit: first_of_group[g] != i,
+            });
+        }
+
+        let reused = items.iter().filter(|i| i.dedup_hit).count();
         let dedup = DedupStats {
             tasks,
-            distinct: distinct.len(),
+            distinct,
+            reused,
         };
         BATCH_TASKS.add(tasks as u64);
-        BATCH_DISTINCT.add(distinct.len() as u64);
+        BATCH_DISTINCT.add(distinct as u64);
         BATCH_DEDUP_HITS.add(dedup.hits() as u64);
 
         BatchReport {
             items,
             dedup,
-            engine_runs: distinct.len(),
+            engine_runs: engine_runs.into_inner(),
+            cache: CacheRunStats {
+                hits: cache_hits.into_inner(),
+                misses: cache_misses.into_inner(),
+                bypasses: cache_bypasses.into_inner(),
+            },
             threads,
             total_time: start.elapsed(),
         }
     }
 
-    fn solve_one(
+    fn task<'t>(
         &self,
-        lineage: &Dnf,
+        lineage: &'t Dnf,
         n_endo: usize,
         budget: &Budget,
         exact: &ExactConfig,
-    ) -> Result<EngineResult, EngineError> {
-        let task = LineageTask::new(lineage, n_endo)
+    ) -> LineageTask<'t> {
+        LineageTask::new(lineage, n_endo)
             .with_budget(*budget)
-            .with_exact(*exact);
-        self.planner.solve(&task)
+            .with_exact(*exact)
     }
-}
-
-/// Renames a canonical result's facts back onto a task's own facts and
-/// restores the canonical sort order.
-fn translate(mut result: EngineResult, fp: &Fingerprint) -> EngineResult {
-    result.values = match result.values {
-        EngineValues::Exact(pairs) => {
-            let mut mapped: Vec<(VarId, _)> = pairs
-                .into_iter()
-                .map(|(v, x)| (fp.var_of(v.0), x))
-                .collect();
-            super::sort_exact(&mut mapped);
-            EngineValues::Exact(mapped)
-        }
-        EngineValues::Approx(pairs) => {
-            let mut mapped: Vec<(VarId, f64)> = pairs
-                .into_iter()
-                .map(|(v, x)| (fp.var_of(v.0), x))
-                .collect();
-            super::sort_approx(&mut mapped);
-            EngineValues::Approx(mapped)
-        }
-    };
-    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{EngineKind, PlannerConfig};
+    use crate::engine::{EngineKind, EngineValues, PlannerConfig};
+    use shapdb_circuit::VarId;
     use shapdb_num::Rational;
 
     fn dnf(conjs: &[&[u32]]) -> Dnf {
@@ -365,7 +569,8 @@ mod tests {
             report.dedup,
             DedupStats {
                 tasks: 4,
-                distinct: 2
+                distinct: 2,
+                reused: 2
             }
         );
         assert_eq!(report.engine_runs, 2);
@@ -458,7 +663,8 @@ mod tests {
             report.dedup,
             DedupStats {
                 tasks: 2,
-                distinct: 2
+                distinct: 2,
+                reused: 0
             }
         );
         assert_eq!(report.dedup.hit_rate(), 0.0);
@@ -515,7 +721,9 @@ mod tests {
             dnf(&[&[10, 11], &[11, 12], &[10, 13], &[12, 13]]),
             dnf(&[&[5]]),
         ];
-        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default())).with_fail_fast();
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default()))
+            .with_fail_fast()
+            .with_threads(1);
         let report = exec.run(
             &lineages,
             14,
@@ -525,8 +733,13 @@ mod tests {
         let first_err = report.items[0].result.clone().unwrap_err();
         assert!(report.items.iter().all(|i| i.result.is_err()));
         assert_eq!(report.items[2].result.clone().unwrap_err(), first_err);
-        // Default mode: the singleton still succeeds.
-        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default()));
+        // Regression: `engine_runs` counts *actual* engine invocations —
+        // the two aborted structures never invoked one.
+        assert_eq!(report.dedup.distinct, 3);
+        assert_eq!(report.engine_runs, 1, "only the first structure ran");
+        // Default mode: the singleton still succeeds, and every structure
+        // really ran.
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default())).with_threads(1);
         let report = exec.run(
             &lineages,
             14,
@@ -534,6 +747,166 @@ mod tests {
             &ExactConfig::default(),
         );
         assert!(report.items[2].result.is_ok());
+        assert_eq!(report.engine_runs, 3);
+    }
+
+    #[test]
+    fn sampling_plans_redraw_per_member_with_independent_seeds() {
+        // Two isomorphic matchings forced through Monte Carlo: sharing one
+        // estimate across the dedup group would perfectly correlate the
+        // error of two "independent" answers. Each member must get its own
+        // draws (seed ⊕ task index) — different estimates, same truth
+        // (every fact's exact value is 1/4) within sampling tolerance.
+        let lineages = vec![dnf(&[&[0, 10], &[1, 11]]), dnf(&[&[2, 20], &[3, 21]])];
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig {
+            force: Some(EngineKind::MonteCarlo),
+            ..Default::default()
+        }))
+        .with_threads(1);
+        let report = exec.run(&lineages, 24, &Budget::unlimited(), &ExactConfig::default());
+        assert_eq!(report.dedup.distinct, 1, "structures still intern");
+        assert_eq!(report.engine_runs, 2, "but sampling runs once per member");
+        let estimates: Vec<Vec<f64>> = report
+            .items
+            .iter()
+            .map(|item| {
+                let r = item.result.as_ref().unwrap();
+                assert!(!item.dedup_hit, "a fresh draw is not a reuse");
+                match &r.values {
+                    EngineValues::Approx(v) => {
+                        let mut by_fact = v.clone();
+                        by_fact.sort_by_key(|(f, _)| *f);
+                        by_fact.iter().map(|(_, x)| *x).collect()
+                    }
+                    EngineValues::Exact(_) => panic!("forced Monte Carlo is inexact"),
+                }
+            })
+            .collect();
+        assert_ne!(estimates[0], estimates[1], "independent draws");
+        for row in &estimates {
+            for &x in row {
+                assert!((x - 0.25).abs() < 0.2, "estimate {x} strays from 1/4");
+            }
+        }
+        // Determinism: the same batch re-run reproduces the same draws.
+        let again = exec.run(&lineages, 24, &Budget::unlimited(), &ExactConfig::default());
+        for (a, b) in report.items.iter().zip(&again.items) {
+            assert_eq!(
+                a.result.as_ref().unwrap().values,
+                b.result.as_ref().unwrap().values
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_to_sampling_still_redraws_per_member() {
+        // An exact Kc plan that fails on an impossible node budget, with a
+        // Monte Carlo fallback: the group solve produces one estimate, and
+        // every extra member of the dedup group must be re-drawn with its
+        // own seed (in the parallel re-draw pass), not share it.
+        let lineages = vec![
+            dnf(&[&[0, 1], &[1, 2], &[0, 2]]),
+            dnf(&[&[5, 6], &[6, 7], &[5, 7]]),
+        ];
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig {
+            fallback: Some(EngineKind::MonteCarlo),
+            ..Default::default()
+        }))
+        .with_threads(2);
+        let report = exec.run(
+            &lineages,
+            8,
+            &Budget::with_max_nodes(1),
+            &ExactConfig::default(),
+        );
+        assert_eq!(report.dedup.distinct, 1);
+        assert_eq!(report.engine_runs, 2, "one group solve + one re-draw");
+        let estimates: Vec<Vec<f64>> = report
+            .items
+            .iter()
+            .map(|item| match &item.result.as_ref().unwrap().values {
+                EngineValues::Approx(v) => {
+                    let mut by_fact = v.clone();
+                    by_fact.sort_by_key(|(f, _)| *f);
+                    by_fact.iter().map(|(_, x)| *x).collect()
+                }
+                EngineValues::Exact(_) => panic!("the Kc arm cannot succeed here"),
+            })
+            .collect();
+        assert_ne!(estimates[0], estimates[1], "independent draws");
+        assert!(!report.items[1].dedup_hit, "a fresh draw is not a reuse");
+    }
+
+    #[test]
+    fn zero_capacity_cache_counts_bypasses_not_misses() {
+        use crate::engine::ShapleyCache;
+        use std::sync::Arc;
+        let cache = Arc::new(ShapleyCache::with_capacity(0));
+        let exec =
+            BatchExecutor::new(Planner::new(PlannerConfig::default()).with_cache(cache.clone()))
+                .with_threads(1);
+        let lineages = vec![dnf(&[&[0]])];
+        let report = exec.run(&lineages, 2, &Budget::unlimited(), &ExactConfig::default());
+        assert!(report.items[0].result.is_ok());
+        assert_eq!(
+            report.cache,
+            CacheRunStats {
+                hits: 0,
+                misses: 0,
+                bypasses: 1
+            }
+        );
+        assert_eq!(report.engine_runs, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.len), (0, 0));
+        assert!(stats.bypasses >= 1);
+    }
+
+    #[test]
+    fn cached_runs_skip_engines_and_stay_bit_identical() {
+        use crate::engine::ShapleyCache;
+        use std::sync::Arc;
+        let cache = Arc::new(ShapleyCache::new());
+        let planner = Planner::new(PlannerConfig::default()).with_cache(cache.clone());
+        let exec = BatchExecutor::new(planner).with_threads(1);
+        // Two isomorphic matchings + majority: 2 distinct structures.
+        let lineages = vec![
+            dnf(&[&[0, 10], &[1, 11]]),
+            dnf(&[&[2, 20], &[3, 21]]),
+            dnf(&[&[4, 5], &[5, 6], &[4, 6]]),
+        ];
+        let cold = exec.run(&lineages, 24, &Budget::unlimited(), &ExactConfig::default());
+        assert_eq!(
+            cold.cache,
+            CacheRunStats {
+                hits: 0,
+                misses: 2,
+                bypasses: 0
+            }
+        );
+        assert_eq!(cold.engine_runs, 2);
+        let warm = exec.run(&lineages, 24, &Budget::unlimited(), &ExactConfig::default());
+        assert_eq!(warm.cache.hits, 2);
+        assert_eq!(warm.engine_runs, 0, "everything served from the cache");
+        for (a, b) in cold.items.iter().zip(&warm.items) {
+            assert_eq!(
+                exact_pairs(a.result.as_ref().unwrap()),
+                exact_pairs(b.result.as_ref().unwrap()),
+                "bit-identical exact rationals"
+            );
+        }
+        // A *renamed* copy of the majority in a fresh batch still hits: the
+        // cache is keyed by canonical structure, not by fact ids.
+        let renamed = vec![dnf(&[&[100, 200], &[200, 300], &[100, 300]])];
+        let cross = exec.run(&renamed, 24, &Budget::unlimited(), &ExactConfig::default());
+        assert_eq!(cross.cache.hits, 1);
+        assert_eq!(cross.engine_runs, 0);
+        let pairs = exact_pairs(cross.items[0].result.as_ref().unwrap());
+        for (f, v) in pairs {
+            assert!([100, 200, 300].contains(&f), "translated onto own facts");
+            assert_eq!(v, Rational::from_ratio(1, 3));
+        }
+        assert_eq!(cache.stats().len, 2);
     }
 
     #[test]
@@ -545,7 +918,8 @@ mod tests {
             report.dedup,
             DedupStats {
                 tasks: 0,
-                distinct: 0
+                distinct: 0,
+                reused: 0
             }
         );
     }

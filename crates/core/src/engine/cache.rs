@@ -1,0 +1,441 @@
+//! The cross-query Shapley result cache.
+//!
+//! The batch executor's structural dedup already computes each distinct
+//! lineage structure once *per batch*; dashboards and top-k refresh
+//! workloads repeat the same structures across `explain` calls and across
+//! queries, recomputing them from scratch every time. [`ShapleyCache`] is
+//! the missing layer: a thread-safe LRU keyed by a lineage's **canonical
+//! fingerprint** (plus `n_endo` and a digest of the budget-relevant policy
+//! knobs), storing canonical-space exact [`EngineResult`]s. A hit skips the
+//! engine entirely; the stored values translate back through each task's
+//! own [`shapdb_circuit::Fingerprint`] renaming — exactly, rational for
+//! rational, the way intra-batch dedup hits do.
+//!
+//! What is (and is not) cached:
+//!
+//! * only **exact** results are stored — the Shapley value is a function of
+//!   the canonical structure and `n_endo` alone, so a stored entry is valid
+//!   for every isomorphic lineage forever;
+//! * sampling estimates are never stored (they must be re-drawn per task —
+//!   see the batch executor's per-task seeds) and deterministic proxy
+//!   rankings are cheap enough not to bother;
+//! * the key carries a digest of the planner/budget knobs that could change
+//!   what a solve returns (forced engine, admission caps, timeout,
+//!   node cap), so changing the policy can never serve a stale entry — it
+//!   simply misses and recomputes.
+//!
+//! The cache is owned by the `shapdb` facade's `ShapleyAnalyzer` (default
+//! on) and threaded through `Planner::solve` and `BatchExecutor::run`;
+//! process-wide totals are surfaced via [`shapdb_metrics::counters`]
+//! (`cache.hits` / `cache.misses` / `cache.evictions` / `cache.bypasses`).
+
+use super::EngineResult;
+use shapdb_circuit::FingerprintKey;
+use shapdb_metrics::counters::{CACHE_BYPASSES, CACHE_EVICTIONS, CACHE_HITS, CACHE_MISSES};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Identity of one cached canonical result.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// The canonical conjunct list ([`shapdb_circuit::fingerprint()`]).
+    pub structure: FingerprintKey,
+    /// `|D_n|` — the completion weights (hence the values) depend on it.
+    pub n_endo: usize,
+    /// Digest of the budget-relevant solve knobs (forced engine, KC
+    /// admission caps, per-lineage timeout, node cap): a changed policy
+    /// changes the key, so stale entries are unreachable by construction.
+    pub config: u64,
+}
+
+/// Point-in-time totals of one [`ShapleyCache`] instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted in LRU order to respect the capacity.
+    pub evictions: u64,
+    /// Solves that skipped the cache (inexact plan, no fingerprint, or a
+    /// zero-capacity cache).
+    pub bypasses: u64,
+    /// Entries currently stored.
+    pub len: usize,
+    /// Maximum entries stored.
+    pub capacity: usize,
+}
+
+/// Thread-safe LRU of canonical exact engine results (see module docs).
+#[derive(Debug)]
+pub struct ShapleyCache {
+    inner: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl ShapleyCache {
+    /// The facade's default capacity (entries, not bytes): generous for
+    /// dashboard/top-k workloads, small next to the lineages themselves.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A cache holding at most `capacity` canonical results. A zero
+    /// capacity stores nothing (every lookup is a bypass) — callers that
+    /// want caching *off* should prefer not constructing one at all.
+    pub fn with_capacity(capacity: usize) -> ShapleyCache {
+        ShapleyCache {
+            inner: Mutex::new(Lru::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with [`ShapleyCache::DEFAULT_CAPACITY`].
+    pub fn new() -> ShapleyCache {
+        ShapleyCache::with_capacity(ShapleyCache::DEFAULT_CAPACITY)
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. The returned result
+    /// is in canonical space — translate it through the task's fingerprint.
+    pub fn get(&self, key: &CacheKey) -> Option<EngineResult> {
+        let mut lru = self.inner.lock().expect("cache lock");
+        if lru.capacity == 0 {
+            drop(lru);
+            self.record_bypass();
+            return None;
+        }
+        match lru.get(key) {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CACHE_HITS.incr();
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CACHE_MISSES.incr();
+                None
+            }
+        }
+    }
+
+    /// Stores a canonical result, evicting the least-recently-used entry
+    /// when full. Callers only insert **exact** results (debug-asserted).
+    pub fn insert(&self, key: CacheKey, result: EngineResult) {
+        debug_assert!(
+            result.values.is_exact(),
+            "only exact results belong in the cache"
+        );
+        let mut lru = self.inner.lock().expect("cache lock");
+        if lru.capacity == 0 {
+            return;
+        }
+        let evicted = lru.insert(key, result);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            CACHE_EVICTIONS.incr();
+        }
+    }
+
+    /// Records that a solve skipped the cache (inexact plan, missing
+    /// fingerprint, or disabled cache).
+    pub fn record_bypass(&self) {
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+        CACHE_BYPASSES.incr();
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// True iff nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("cache lock").capacity
+    }
+
+    /// True iff the capacity is zero: nothing can ever be stored, so every
+    /// solve is a bypass.
+    pub fn is_disabled(&self) -> bool {
+        self.capacity() == 0
+    }
+
+    /// Drops every entry (the stats keep accumulating).
+    pub fn clear(&self) {
+        let mut lru = self.inner.lock().expect("cache lock");
+        let capacity = lru.capacity;
+        *lru = Lru::new(capacity);
+    }
+
+    /// Point-in-time totals of this instance.
+    pub fn stats(&self) -> CacheStats {
+        let lru = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            len: lru.map.len(),
+            capacity: lru.capacity,
+        }
+    }
+}
+
+impl Default for ShapleyCache {
+    fn default() -> Self {
+        ShapleyCache::new()
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// One entry of the intrusive LRU list.
+#[derive(Debug)]
+struct Slot {
+    key: CacheKey,
+    value: EngineResult,
+    prev: usize,
+    next: usize,
+}
+
+/// A classic LRU: hash map into a slab of doubly-linked slots, most recent
+/// at the head. All operations are `O(1)` expected.
+#[derive(Debug)]
+struct Lru {
+    capacity: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Lru {
+    fn new(capacity: usize) -> Lru {
+        Lru {
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn slot(&self, i: usize) -> &Slot {
+        self.slots[i].as_ref().expect("live slot")
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut Slot {
+        self.slots[i].as_mut().expect("live slot")
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = {
+            let s = self.slot(i);
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slot_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slot_mut(next).prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        let old_head = self.head;
+        {
+            let s = self.slot_mut(i);
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slot_mut(old_head).prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<EngineResult> {
+        let i = *self.map.get(key)?;
+        self.detach(i);
+        self.push_front(i);
+        Some(self.slot(i).value.clone())
+    }
+
+    /// Inserts (or refreshes) an entry; returns `true` iff an old entry was
+    /// evicted to make room.
+    fn insert(&mut self, key: CacheKey, value: EngineResult) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.slot_mut(i).value = value;
+            self.detach(i);
+            self.push_front(i);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            let slot = self.slots[lru].take().expect("live tail");
+            self.map.remove(&slot.key);
+            self.free.push(lru);
+            evicted = true;
+        }
+        let i = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[i] = Some(Slot {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        self.push_front(i);
+        self.map.insert(key, i);
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{EngineKind, EngineValues};
+    use super::*;
+    use shapdb_circuit::VarId;
+    use shapdb_kc::CompileStats;
+    use shapdb_num::Rational;
+    use std::time::Duration;
+
+    fn key(tag: u32) -> CacheKey {
+        CacheKey {
+            structure: vec![vec![tag]],
+            n_endo: 8,
+            config: 0,
+        }
+    }
+
+    fn result(tag: u32) -> EngineResult {
+        EngineResult {
+            engine: EngineKind::ReadOnce,
+            values: EngineValues::Exact(vec![(VarId(tag), Rational::one())]),
+            prep_time: Duration::ZERO,
+            solve_time: Duration::ZERO,
+            num_facts: 1,
+            cnf_clauses: 0,
+            ddnnf_size: 1,
+            compile_stats: CompileStats::default(),
+        }
+    }
+
+    fn tag_of(r: &EngineResult) -> u32 {
+        match &r.values {
+            EngineValues::Exact(v) => v[0].0 .0,
+            EngineValues::Approx(_) => panic!("exact only"),
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_replace() {
+        let cache = ShapleyCache::with_capacity(4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), result(1));
+        assert_eq!(cache.get(&key(1)).map(|r| tag_of(&r)), Some(1));
+        cache.insert(key(1), result(7));
+        assert_eq!(cache.get(&key(1)).map(|r| tag_of(&r)), Some(7));
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 1, 0));
+    }
+
+    #[test]
+    fn eviction_is_lru_order() {
+        let cache = ShapleyCache::with_capacity(2);
+        cache.insert(key(1), result(1));
+        cache.insert(key(2), result(2));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(2)).is_none(), "2 was least recently used");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn different_n_endo_and_config_are_distinct_entries() {
+        let cache = ShapleyCache::with_capacity(8);
+        cache.insert(key(1), result(1));
+        let other_n = CacheKey {
+            n_endo: 9,
+            ..key(1)
+        };
+        let other_cfg = CacheKey {
+            config: 42,
+            ..key(1)
+        };
+        assert!(cache.get(&other_n).is_none());
+        assert!(cache.get(&other_cfg).is_none());
+        cache.insert(other_n.clone(), result(2));
+        cache.insert(other_cfg.clone(), result(3));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&key(1)).map(|r| tag_of(&r)), Some(1));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let cache = ShapleyCache::with_capacity(0);
+        cache.insert(key(1), result(1));
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.len(), 0);
+        assert!(cache.stats().bypasses >= 1);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_stats() {
+        let cache = ShapleyCache::with_capacity(3);
+        cache.insert(key(1), result(1));
+        assert!(cache.get(&key(1)).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 3);
+        assert_eq!(cache.stats().hits, 1, "stats survive clear");
+    }
+
+    #[test]
+    fn churn_past_capacity_stays_bounded_and_consistent() {
+        let cache = ShapleyCache::with_capacity(4);
+        for round in 0..3u32 {
+            for i in 0..16u32 {
+                cache.insert(key(i), result(i + round));
+            }
+        }
+        assert_eq!(cache.len(), 4);
+        // The last four inserted survive, with the latest values.
+        for i in 12..16u32 {
+            assert_eq!(cache.get(&key(i)).map(|r| tag_of(&r)), Some(i + 2));
+        }
+        // No key is ever still resident when re-inserted (16 keys churn
+        // through 4 slots), so every insert beyond the surviving 4 evicted.
+        assert_eq!(cache.stats().evictions, 3 * 16 - 4);
+    }
+}

@@ -16,7 +16,7 @@ use super::{
 use crate::exact::shapley_all_facts;
 use crate::kernelshap::{kernel_shap, KernelShapConfig};
 use crate::montecarlo::{monte_carlo_shapley, monte_carlo_shapley_monotone, MonteCarloConfig};
-use crate::naive::shapley_naive;
+use crate::naive::shapley_naive_deadline;
 use crate::pipeline::{AnalysisError, LineageAnalysis};
 use crate::proxy::cnf_proxy;
 use crate::readonce::shapley_read_once;
@@ -24,16 +24,23 @@ use shapdb_circuit::{factor, tseytin, Circuit, Dnf, NodeId, VarId};
 use shapdb_kc::{compile, project, Budget, CompileStats};
 use shapdb_metrics::counters::ENGINE_SOLVES;
 use shapdb_num::{Bitset, Rational};
+use std::borrow::Cow;
 use std::time::Instant;
 
-/// Absorption-minimizes a lineage. Every DNF-entry engine does this first,
-/// so all engines share one null-player semantics: facts absorbed away
-/// (provably null players — they appear in no prime implicant) are omitted
-/// from the result, identically in batch and in sequential mode.
-fn minimized(lineage: &Dnf) -> Dnf {
-    let mut d = lineage.clone();
+/// Absorption-minimizes a task's lineage. Every DNF-entry engine does this
+/// first, so all engines share one null-player semantics: facts absorbed
+/// away (provably null players — they appear in no prime implicant) are
+/// omitted from the result, identically in batch and in sequential mode.
+/// Tasks flagged [`LineageTask::minimized`] (the batch/cache hot path hands
+/// engines the fingerprint's canonical DNF, minimized by construction)
+/// borrow the lineage as-is — no clone, no second pass.
+fn minimized<'a>(task: &'a LineageTask) -> Cow<'a, Dnf> {
+    if task.minimized {
+        return Cow::Borrowed(task.lineage);
+    }
+    let mut d = task.lineage.clone();
     d.minimize();
-    d
+    Cow::Owned(d)
 }
 
 fn exact_result(
@@ -178,7 +185,7 @@ impl ShapleyEngine for KcEngine {
 
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
         ENGINE_SOLVES.incr();
-        let lineage = minimized(task.lineage);
+        let lineage = minimized(task);
         let mut circuit = Circuit::new();
         let root = lineage.to_circuit(&mut circuit);
         let analysis =
@@ -212,7 +219,7 @@ impl ShapleyEngine for NaiveEngine {
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
         ENGINE_SOLVES.incr();
         let prep_start = Instant::now();
-        let (dense, vars) = minimized(task.lineage).densify();
+        let (dense, vars) = minimized(task).densify();
         let prep_time = prep_start.elapsed();
         if vars.len() > self.max_facts {
             return Err(EngineError::Unsupported(
@@ -220,7 +227,12 @@ impl ShapleyEngine for NaiveEngine {
             ));
         }
         let solve_start = Instant::now();
-        let values = shapley_naive(&|s: &Bitset| dense.eval_set(s), vars.len());
+        let values = shapley_naive_deadline(
+            &|s: &Bitset| dense.eval_set(s),
+            vars.len(),
+            task.exact.deadline,
+        )
+        .map_err(|e| EngineError::Analysis(AnalysisError::Shapley(e)))?;
         let solve_time = solve_start.elapsed();
         let pairs: Vec<(VarId, Rational)> = vars.into_iter().zip(values).collect();
         Ok(exact_result(
@@ -266,7 +278,7 @@ impl ShapleyEngine for ProxyEngine {
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
         ENGINE_SOLVES.incr();
         let prep_start = Instant::now();
-        let lineage = minimized(task.lineage);
+        let lineage = minimized(task);
         let mut circuit = Circuit::new();
         let root = lineage.to_circuit(&mut circuit);
         let t = tseytin(&circuit, root);
@@ -310,14 +322,21 @@ impl ShapleyEngine for MonteCarloEngine {
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
         ENGINE_SOLVES.incr();
         let prep_start = Instant::now();
-        let (dense, vars) = minimized(task.lineage).densify();
+        let (dense, vars) = minimized(task).densify();
         let prep_time = prep_start.elapsed();
         let solve_start = Instant::now();
         let f = |s: &Bitset| dense.eval_set(s);
+        // Fold the per-task salt into the seed: isomorphic tasks of one
+        // batch draw independent permutations instead of sharing one
+        // estimate.
+        let cfg = MonteCarloConfig {
+            seed: self.cfg.seed ^ task.seed_salt,
+            ..self.cfg
+        };
         let estimates = if self.monotone {
-            monte_carlo_shapley_monotone(&f, vars.len(), &self.cfg)
+            monte_carlo_shapley_monotone(&f, vars.len(), &cfg)
         } else {
-            monte_carlo_shapley(&f, vars.len(), &self.cfg)
+            monte_carlo_shapley(&f, vars.len(), &cfg)
         };
         let solve_time = solve_start.elapsed();
         let pairs: Vec<(VarId, f64)> = vars.into_iter().zip(estimates).collect();
@@ -346,10 +365,14 @@ impl ShapleyEngine for KernelShapEngine {
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
         ENGINE_SOLVES.incr();
         let prep_start = Instant::now();
-        let (dense, vars) = minimized(task.lineage).densify();
+        let (dense, vars) = minimized(task).densify();
         let prep_time = prep_start.elapsed();
         let solve_start = Instant::now();
-        let estimates = kernel_shap(&|s: &Bitset| dense.eval_set(s), vars.len(), &self.cfg);
+        let cfg = KernelShapConfig {
+            seed: self.cfg.seed ^ task.seed_salt,
+            ..self.cfg
+        };
+        let estimates = kernel_shap(&|s: &Bitset| dense.eval_set(s), vars.len(), &cfg);
         let solve_time = solve_start.elapsed();
         let pairs: Vec<(VarId, f64)> = vars.into_iter().zip(estimates).collect();
         Ok(approx_result(
@@ -491,6 +514,50 @@ mod tests {
         .solve(&task)
         .unwrap();
         assert_eq!(plain.values, fast.values);
+    }
+
+    #[test]
+    fn seed_salt_decorrelates_sampling_and_leaves_exact_alone() {
+        let d = running_example();
+        let base = LineageTask::new(&d, 8);
+        let salted = LineageTask::new(&d, 8).with_seed_salt(1);
+        let mc = MonteCarloEngine::default();
+        let a = mc.solve(&base).unwrap();
+        let b = mc.solve(&salted).unwrap();
+        assert_ne!(a.values, b.values, "different salts draw differently");
+        assert_eq!(
+            a.values,
+            mc.solve(&base).unwrap().values,
+            "same salt stays deterministic"
+        );
+        let ks = KernelShapEngine::default();
+        assert_ne!(
+            ks.solve(&base).unwrap().values,
+            ks.solve(&salted).unwrap().values
+        );
+        // Exact engines ignore the salt entirely.
+        assert_eq!(
+            ReadOnceEngine.solve(&base).unwrap().values,
+            ReadOnceEngine.solve(&salted).unwrap().values
+        );
+    }
+
+    #[test]
+    fn pre_minimized_tasks_skip_nothing_semantically() {
+        // {0,1},{1,2},{0,2},{0,1,3}: var 3 is absorbed away. Solving the
+        // minimized form with the `minimized` flag must equal solving the
+        // raw form (where the engine minimizes itself).
+        let mut raw = Dnf::new();
+        for c in [vec![0u32, 1], vec![1, 2], vec![0, 2], vec![0, 1, 3]] {
+            raw.add_conjunct(c.into_iter().map(VarId).collect());
+        }
+        let mut min = raw.clone();
+        min.minimize();
+        let from_raw = KcEngine.solve(&LineageTask::new(&raw, 8)).unwrap();
+        let from_min = KcEngine
+            .solve(&LineageTask::new(&min, 8).assume_minimized())
+            .unwrap();
+        assert_eq!(from_raw.values, from_min.values);
     }
 
     #[test]

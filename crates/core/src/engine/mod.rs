@@ -16,7 +16,7 @@
 //!   and self-join-free? variable/conjunct counts within the knowledge-
 //!   compilation budget?) and emits a per-tuple [`Plan`];
 //! * [`BatchExecutor`] — interns structurally identical lineages via
-//!   [`shapdb_circuit::fingerprint`], computes each distinct structure
+//!   [`shapdb_circuit::fingerprint()`], computes each distinct structure
 //!   once, and fans the distinct tasks out across `std::thread::scope`
 //!   workers.
 //!
@@ -25,10 +25,12 @@
 //! over this layer.
 
 mod batch;
+mod cache;
 mod engines;
 mod planner;
 
 pub use batch::{BatchConfig, BatchExecutor, BatchItem, BatchReport};
+pub use cache::{CacheKey, CacheStats, ShapleyCache};
 pub use engines::{
     KcEngine, KernelShapEngine, MonteCarloEngine, NaiveEngine, ProxyEngine, ReadOnceEngine,
 };
@@ -36,7 +38,7 @@ pub use planner::{Plan, PlanReason, Planner, PlannerConfig, QueryClass};
 
 use crate::exact::ExactConfig;
 use crate::pipeline::{AnalysisError, AnalysisMethod, FactAttribution, LineageAnalysis};
-use shapdb_circuit::{Dnf, VarId};
+use shapdb_circuit::{Dnf, Fingerprint, VarId};
 use shapdb_kc::{Budget, CompileStats};
 use shapdb_num::Rational;
 use std::time::Duration;
@@ -94,6 +96,13 @@ impl EngineKind {
         )
     }
 
+    /// True iff the engine draws random samples (its estimates depend on a
+    /// seed). Sampling results are re-drawn per task with per-task seeds
+    /// instead of being shared across a dedup group or cached.
+    pub fn is_sampling(self) -> bool {
+        matches!(self, EngineKind::MonteCarlo | EngineKind::KernelShap)
+    }
+
     /// A default-configured boxed engine of this kind.
     pub fn engine(self) -> Box<dyn ShapleyEngine> {
         match self {
@@ -124,6 +133,17 @@ pub struct LineageTask<'a> {
     pub budget: Budget,
     /// Algorithm 1 options (including its deadline).
     pub exact: ExactConfig,
+    /// The caller asserts `lineage` is already absorption-minimized, so
+    /// engines skip their own minimization pass. Set on the batch/cache hot
+    /// path, where the fingerprint's canonical DNF is minimized by
+    /// construction.
+    pub minimized: bool,
+    /// Per-task entropy XORed into the sampling engines' seeds (Monte
+    /// Carlo, Kernel SHAP), so structurally identical tasks draw
+    /// *independent* samples instead of sharing one estimate. Zero (the
+    /// default) leaves the configured seeds untouched; exact engines ignore
+    /// it entirely.
+    pub seed_salt: u64,
 }
 
 impl<'a> LineageTask<'a> {
@@ -134,6 +154,8 @@ impl<'a> LineageTask<'a> {
             n_endo,
             budget: Budget::unlimited(),
             exact: ExactConfig::default(),
+            minimized: false,
+            seed_salt: 0,
         }
     }
 
@@ -146,6 +168,20 @@ impl<'a> LineageTask<'a> {
     /// Sets the Algorithm 1 options.
     pub fn with_exact(mut self, exact: ExactConfig) -> Self {
         self.exact = exact;
+        self
+    }
+
+    /// Declares the lineage already absorption-minimized (see
+    /// [`LineageTask::minimized`]).
+    pub fn assume_minimized(mut self) -> Self {
+        self.minimized = true;
+        self
+    }
+
+    /// Sets the per-task sampling-seed salt (see
+    /// [`LineageTask::seed_salt`]).
+    pub fn with_seed_salt(mut self, salt: u64) -> Self {
+        self.seed_salt = salt;
         self
     }
 }
@@ -293,6 +329,33 @@ pub trait ShapleyEngine: Send + Sync {
 
     /// Computes the attribution of `task`'s lineage.
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError>;
+}
+
+/// Renames a canonical-space result's facts back onto a task's own facts
+/// through the task's fingerprint and restores the canonical sort order.
+/// Exact values translate *exactly* (the Shapley value is equivariant under
+/// fact renaming); used by both intra-batch dedup hits and cross-query
+/// cache hits.
+pub(crate) fn translate_result(mut result: EngineResult, fp: &Fingerprint) -> EngineResult {
+    result.values = match result.values {
+        EngineValues::Exact(pairs) => {
+            let mut mapped: Vec<(VarId, Rational)> = pairs
+                .into_iter()
+                .map(|(v, x)| (fp.var_of(v.0), x))
+                .collect();
+            sort_exact(&mut mapped);
+            EngineValues::Exact(mapped)
+        }
+        EngineValues::Approx(pairs) => {
+            let mut mapped: Vec<(VarId, f64)> = pairs
+                .into_iter()
+                .map(|(v, x)| (fp.var_of(v.0), x))
+                .collect();
+            sort_approx(&mut mapped);
+            EngineValues::Approx(mapped)
+        }
+    };
+    result
 }
 
 /// Sorts exact values by decreasing value, ties by ascending fact id — the

@@ -20,13 +20,16 @@
 //!    **fallback** engine — CNF Proxy by default, a ranking in
 //!    milliseconds — takes over, iff the policy allows inexact answers.
 
-use super::{EngineError, EngineKind, EngineResult, LineageTask};
-use shapdb_circuit::{factor, Dnf};
+use super::cache::{CacheKey, ShapleyCache};
+use super::{EngineError, EngineKind, EngineResult, LineageTask, ReadOnceEngine};
+use crate::exact::ExactConfig;
+use shapdb_circuit::{factor_minimized, fingerprint, Dnf, Fingerprint, ReadOnce};
 use shapdb_kc::Budget;
 use shapdb_metrics::counters::{
     PLANNER_HIERARCHICAL_DISAGREEMENTS, PLANNER_KC_ROUTES, PLANNER_READ_ONCE_ROUTES,
 };
 use shapdb_query::{is_hierarchical, is_self_join_free, Ucq};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Planner policy knobs.
@@ -131,17 +134,38 @@ impl QueryClass {
     }
 }
 
+/// How one solve interacted with the cross-query result cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CacheOutcome {
+    /// Answered from the cache — no engine ran.
+    Hit,
+    /// Looked up, not found; solved (and stored when exact).
+    Miss,
+    /// Skipped the cache (inexact plan or uncacheable task).
+    Bypass,
+    /// No cache configured on this planner.
+    Disabled,
+}
+
 /// Routes lineages to engines (see the module docs for the cost model).
 #[derive(Clone, Debug, Default)]
 pub struct Planner {
     pub cfg: PlannerConfig,
     query: Option<QueryClass>,
+    /// The cross-query result cache, shared with every clone of this
+    /// planner (the batch executor's and the facade's views are the same
+    /// cache).
+    cache: Option<Arc<ShapleyCache>>,
 }
 
 impl Planner {
     /// A planner with the given policy and no query knowledge.
     pub fn new(cfg: PlannerConfig) -> Planner {
-        Planner { cfg, query: None }
+        Planner {
+            cfg,
+            query: None,
+            cache: None,
+        }
     }
 
     /// A planner that additionally knows which query produced the lineages,
@@ -150,7 +174,21 @@ impl Planner {
         Planner {
             cfg,
             query: Some(QueryClass::of(q)),
+            cache: None,
         }
+    }
+
+    /// Attaches a cross-query result cache: exact results of structurally
+    /// identical lineages are computed once and served from the cache on
+    /// every later [`Planner::solve`] (and batch run), across queries.
+    pub fn with_cache(mut self, cache: Arc<ShapleyCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ShapleyCache>> {
+        self.cache.as_ref()
     }
 
     /// The query classification, if any.
@@ -166,7 +204,12 @@ impl Planner {
     /// [`Planner::plan`], also returning the read-once factorization when
     /// classification built one — [`Planner::solve`] hands it to the
     /// engine so the lineage is not factored twice.
-    fn plan_with_tree(&self, lineage: &Dnf) -> (Plan, Option<shapdb_circuit::ReadOnce>) {
+    ///
+    /// Minimizes first (the same pass `factor` would run internally), so
+    /// classification — including the KC admission counts — always sees
+    /// the prime-implicant form, exactly like the fingerprint route: a
+    /// planner routes one lineage identically with or without a cache.
+    fn plan_with_tree(&self, lineage: &Dnf) -> (Plan, Option<ReadOnce>) {
         if let Some(engine) = self.cfg.force {
             return (
                 Plan {
@@ -176,79 +219,203 @@ impl Planner {
                 None,
             );
         }
-        let trivial = lineage.is_empty() || lineage.conjuncts().iter().any(|c| c.is_empty());
-        if trivial {
-            return (
-                Plan {
-                    engine: EngineKind::ReadOnce,
-                    reason: PlanReason::TrivialConstant,
-                },
-                factor(lineage),
-            );
-        }
-        let guaranteed = self.query.is_some_and(|c| c.guarantees_read_once());
-        if let Some(tree) = factor(lineage) {
-            PLANNER_READ_ONCE_ROUTES.incr();
-            let reason = if guaranteed {
-                PlanReason::HierarchicalReadOnce
-            } else {
-                PlanReason::ReadOnce
-            };
-            return (
+        let mut d = lineage.clone();
+        d.minimize();
+        let tree = factor_minimized(&d);
+        let plan = self.classify(tree.as_ref(), d.vars().len(), d.len());
+        (plan, tree)
+    }
+
+    /// The one copy of the routing ladder below `force`: trivial constant →
+    /// read-once → KC admission by variable/conjunct counts → fallback.
+    /// `tree` is the factoring verdict on the *minimized* lineage
+    /// (authoritative either way); `vars`/`conjuncts` count the minimized
+    /// form too.
+    fn classify(&self, tree: Option<&ReadOnce>, vars: usize, conjuncts: usize) -> Plan {
+        match tree {
+            Some(ReadOnce::True) | Some(ReadOnce::False) => Plan {
+                engine: EngineKind::ReadOnce,
+                reason: PlanReason::TrivialConstant,
+            },
+            Some(_) => {
+                PLANNER_READ_ONCE_ROUTES.incr();
+                let reason = if self.query.is_some_and(|c| c.guarantees_read_once()) {
+                    PlanReason::HierarchicalReadOnce
+                } else {
+                    PlanReason::ReadOnce
+                };
                 Plan {
                     engine: EngineKind::ReadOnce,
                     reason,
-                },
-                Some(tree),
-            );
+                }
+            }
+            None => {
+                if self.query.is_some_and(|c| c.guarantees_read_once()) {
+                    // Theory says hierarchical + self-join-free ⇒ read-once;
+                    // a lineage that does not factor means a bug somewhere.
+                    // Count it (tests pin this at zero) and fall through to
+                    // the safe engine.
+                    PLANNER_HIERARCHICAL_DISAGREEMENTS.incr();
+                }
+                if vars <= self.cfg.max_kc_vars && conjuncts <= self.cfg.max_kc_conjuncts {
+                    PLANNER_KC_ROUTES.incr();
+                    Plan {
+                        engine: EngineKind::Kc,
+                        reason: PlanReason::KcWithinBudget,
+                    }
+                } else {
+                    Plan {
+                        engine: self.cfg.fallback.unwrap_or(EngineKind::Kc),
+                        reason: PlanReason::OverKcBudget,
+                    }
+                }
+            }
         }
-        if guaranteed {
-            // Theory says hierarchical + self-join-free ⇒ read-once; a
-            // lineage that does not factor means a bug somewhere. Count it
-            // (tests pin this at zero) and fall through to the safe engine.
-            PLANNER_HIERARCHICAL_DISAGREEMENTS.incr();
-        }
-        let vars = lineage.vars().len();
-        let conjuncts = lineage.len();
-        if vars <= self.cfg.max_kc_vars && conjuncts <= self.cfg.max_kc_conjuncts {
-            PLANNER_KC_ROUTES.incr();
-            return (
-                Plan {
-                    engine: EngineKind::Kc,
-                    reason: PlanReason::KcWithinBudget,
-                },
-                None,
-            );
-        }
-        let engine = self.cfg.fallback.unwrap_or(EngineKind::Kc);
-        (
-            Plan {
+    }
+
+    /// Plans one *canonical* lineage from its fingerprint — no factoring,
+    /// no minimizing: the fingerprint already carries both by-products
+    /// ([`Fingerprint::tree`] is authoritative either way). Same ladder as
+    /// [`Planner::plan`] (both delegate to `classify`).
+    pub(crate) fn plan_fp(&self, fp: &Fingerprint) -> Plan {
+        if let Some(engine) = self.cfg.force {
+            return Plan {
                 engine,
-                reason: PlanReason::OverKcBudget,
-            },
-            None,
-        )
+                reason: PlanReason::Forced,
+            };
+        }
+        self.classify(fp.tree(), fp.num_vars(), fp.key().len())
     }
 
     /// Plans and solves one lineage, applying the per-lineage timeout and
-    /// the fallback policy. The timeout bounds only the knowledge-
-    /// compilation engine — the other engines are polynomial (or sampling
-    /// with a fixed budget), so a zero timeout still yields exact values on
-    /// read-once lineages, like the classic hybrid fast path.
+    /// the fallback policy. The timeout bounds **every exact engine** —
+    /// knowledge compilation, the `O(2ⁿ)` naive enumeration (a forced
+    /// `naive` on a large lineage must not run unbounded), and the
+    /// polynomial read-once path (where it practically never fires) — while
+    /// fallback engines run without it: a ranking is always better than an
+    /// error.
+    ///
+    /// With a [`Planner::with_cache`] cache attached, the lineage is
+    /// canonicalized first and exact results are served from / stored into
+    /// the cache (translated exactly through the renaming); plans that land
+    /// on a sampling engine bypass the cache and run on the caller's own
+    /// lineage.
     pub fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        let Some(cache) = self.cache.as_deref() else {
+            return self.solve_direct(task);
+        };
+        if self.cfg.force.is_some_and(|k| !k.is_exact()) {
+            // Forced sampling/proxy engines gain nothing from
+            // canonicalization; keep their estimates on the caller's own
+            // variables.
+            cache.record_bypass();
+            return self.solve_direct(task);
+        }
+        let fp = fingerprint(task.lineage);
+        let plan = self.plan_fp(&fp);
+        let (result, _) = self.solve_structure(
+            &fp,
+            plan,
+            task.n_endo,
+            &task.budget,
+            &task.exact,
+            task.seed_salt,
+        );
+        result.map(|r| super::translate_result(r, &fp))
+    }
+
+    /// Solves the canonical structure behind `fp` under an already-made
+    /// `plan` (callers plan once — re-planning here would double the route
+    /// counters), consulting the cache when one is attached. The returned
+    /// result is in **canonical space** — callers translate it through
+    /// their own fingerprint. The batch executor calls this once per
+    /// distinct structure.
+    pub(crate) fn solve_structure(
+        &self,
+        fp: &Fingerprint,
+        plan: Plan,
+        n_endo: usize,
+        budget: &Budget,
+        exact: &ExactConfig,
+        seed_salt: u64,
+    ) -> (Result<EngineResult, EngineError>, CacheOutcome) {
+        let canonical = fp.canonical_dnf();
+        let ctask = LineageTask {
+            lineage: &canonical,
+            n_endo,
+            budget: *budget,
+            exact: *exact,
+            minimized: true,
+            seed_salt,
+        };
+        let Some(cache) = self.cache.as_deref() else {
+            let solved = self.solve_planned(&ctask, plan, fp.tree(), Duration::ZERO);
+            return (solved, CacheOutcome::Disabled);
+        };
+        if !plan.engine.is_exact() || cache.is_disabled() {
+            // Inexact plans are never cached; a zero-capacity cache can
+            // store nothing — either way this solve skips the cache, and
+            // must be reported as a bypass, not a miss.
+            cache.record_bypass();
+            let solved = self.solve_planned(&ctask, plan, fp.tree(), Duration::ZERO);
+            return (solved, CacheOutcome::Bypass);
+        }
+        let key = CacheKey {
+            structure: fp.key().clone(),
+            n_endo,
+            config: self.cache_digest(budget),
+        };
+        if let Some(mut hit) = cache.get(&key) {
+            // The stored timings/compiler counters describe the *original*
+            // solve; serving them verbatim would charge phantom engine time
+            // to a microsecond lookup. Structural facts (sizes, fact count)
+            // stay.
+            hit.prep_time = Duration::ZERO;
+            hit.solve_time = Duration::ZERO;
+            hit.compile_stats = Default::default();
+            return (Ok(hit), CacheOutcome::Hit);
+        }
+        let solved = self.solve_planned(&ctask, plan, fp.tree(), Duration::ZERO);
+        if let Ok(r) = &solved {
+            // Only exact results are stored: they are a pure function of
+            // (structure, n_endo). A fallback may have produced an inexact
+            // ranking here — never cache those.
+            if r.values.is_exact() {
+                cache.insert(key, r.clone());
+            }
+        }
+        (solved, CacheOutcome::Miss)
+    }
+
+    /// The classification + solve path without cache involvement.
+    pub(crate) fn solve_direct(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
         let plan_start = Instant::now();
         let (plan, tree) = self.plan_with_tree(task.lineage);
         let plan_time = plan_start.elapsed();
-        let effective = if plan.engine == EngineKind::Kc {
+        self.solve_planned(task, plan, tree.as_ref(), plan_time)
+    }
+
+    /// Runs an already-made plan: installs the exact-engine deadline, uses
+    /// a pre-built factorization when one is at hand, and applies the
+    /// fallback policy on failure.
+    pub(crate) fn solve_planned(
+        &self,
+        task: &LineageTask,
+        plan: Plan,
+        tree: Option<&ReadOnce>,
+        prep_time: Duration,
+    ) -> Result<EngineResult, EngineError> {
+        let effective = if plan.engine.is_exact() {
             self.apply_timeout(task)
         } else {
             task.clone()
         };
         let solved = match (plan.engine, tree) {
             (EngineKind::ReadOnce, Some(tree)) => {
-                // Reuse the factorization from classification; the prep
-                // time reported is the planning (factorization) time.
-                super::ReadOnceEngine.solve_tree(&tree, plan_time, &effective)
+                // Reuse the factorization from classification (or the
+                // fingerprint); the prep time reported is the planning
+                // (factorization) time.
+                ReadOnceEngine.solve_tree(tree, prep_time, &effective)
             }
             (engine, _) => engine.engine().solve(&effective),
         };
@@ -263,6 +430,23 @@ impl Planner {
                 _ => Err(e),
             },
         }
+    }
+
+    /// Digest of the solve knobs that belong in the cache key: the forced
+    /// engine, the KC admission caps, the per-lineage timeout, the
+    /// fallback, and the compile node cap. Absolute deadlines (`Instant`s
+    /// carried in budgets) are deliberately *not* part of it — they bound
+    /// when a computation may run, not what its exact values are.
+    pub(crate) fn cache_digest(&self, budget: &Budget) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.cfg.force.map(EngineKind::name).hash(&mut h);
+        self.cfg.max_kc_vars.hash(&mut h);
+        self.cfg.max_kc_conjuncts.hash(&mut h);
+        self.cfg.timeout.hash(&mut h);
+        self.cfg.fallback.map(EngineKind::name).hash(&mut h);
+        budget.max_nodes.hash(&mut h);
+        h.finish()
     }
 
     /// Installs the planner deadline into a task's budgets (keeping any
@@ -382,11 +566,56 @@ mod tests {
         let r = planner.solve(&LineageTask::new(&majority, 3)).unwrap();
         assert_eq!(r.engine, EngineKind::Proxy);
         assert!(!r.values.is_exact());
-        // Read-once lineages are rescued before the clock matters.
+        // Read-once lineages finish their microsecond fast path well within
+        // any real timeout and stay exact.
+        let planner = Planner::new(PlannerConfig::hybrid(Duration::from_secs(5)));
         let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
         let r = planner.solve(&LineageTask::new(&running, 8)).unwrap();
         assert_eq!(r.engine, EngineKind::ReadOnce);
         assert!(r.values.is_exact());
+    }
+
+    #[test]
+    fn timeout_applies_to_every_exact_engine() {
+        // Regression: the per-lineage timeout used to be installed only for
+        // the KC engine, so a forced `naive` (O(2ⁿ)!) ran with no deadline.
+        // A ~22-var lineage takes seconds naively; with a tiny timeout the
+        // enumeration must abort and the hybrid fallback take over.
+        let mut big = Dnf::new();
+        for v in 0..22u32 {
+            big.add_conjunct(vec![VarId(v)]);
+        }
+        let hybrid = Planner::new(PlannerConfig {
+            force: Some(EngineKind::Naive),
+            timeout: Some(Duration::from_millis(5)),
+            fallback: Some(EngineKind::Proxy),
+            ..Default::default()
+        });
+        let started = Instant::now();
+        let r = hybrid.solve(&LineageTask::new(&big, 22)).unwrap();
+        assert_eq!(r.engine, EngineKind::Proxy, "naive timed out, proxy ran");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "deadline interrupted the enumeration"
+        );
+        // Exact mode (no fallback): the timeout surfaces as an error.
+        let exact = Planner::new(PlannerConfig {
+            force: Some(EngineKind::Naive),
+            timeout: Some(Duration::from_millis(5)),
+            ..Default::default()
+        });
+        let err = exact.solve(&LineageTask::new(&big, 22)).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Analysis(crate::pipeline::AnalysisError::Shapley(_))
+        ));
+        // The read-once route is also bounded now: a zero timeout kills
+        // even the fast path (so `hybrid(0)` degrades everything to the
+        // fallback, uniformly).
+        let zero = Planner::new(PlannerConfig::hybrid(Duration::ZERO));
+        let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        let r = zero.solve(&LineageTask::new(&running, 8)).unwrap();
+        assert_eq!(r.engine, EngineKind::Proxy);
     }
 
     #[test]
@@ -412,6 +641,128 @@ mod tests {
         let plan = planner.plan(&matching);
         assert_eq!(plan.engine, EngineKind::ReadOnce);
         assert_eq!(plan.reason, PlanReason::HierarchicalReadOnce);
+    }
+
+    #[test]
+    fn cached_solves_translate_exactly_across_renamings() {
+        use crate::engine::{EngineValues, ShapleyCache};
+        use shapdb_num::Rational;
+        use std::sync::Arc;
+        let cache = Arc::new(ShapleyCache::new());
+        let planner = Planner::new(PlannerConfig::default()).with_cache(cache.clone());
+        let a = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        // The same structure under a shuffled renaming.
+        let b = dnf(&[&[70], &[40, 20], &[40, 60], &[10, 20], &[10, 60], &[30, 50]]);
+        let ra = planner.solve(&LineageTask::new(&a, 8)).unwrap();
+        let rb = planner.solve(&LineageTask::new(&b, 8)).unwrap();
+        assert_eq!(cache.stats().hits, 1, "second solve served from cache");
+        let value_of = |r: &super::EngineResult, f: u32| match &r.values {
+            EngineValues::Exact(v) => v.iter().find(|(x, _)| x.0 == f).unwrap().1.clone(),
+            EngineValues::Approx(_) => panic!("exact expected"),
+        };
+        assert_eq!(value_of(&ra, 0), Rational::from_ratio(43, 105));
+        assert_eq!(value_of(&rb, 70), Rational::from_ratio(43, 105));
+        // Identical to an uncached planner, rational for rational.
+        let plain = Planner::new(PlannerConfig::default());
+        let rb_plain = plain.solve(&LineageTask::new(&b, 8)).unwrap();
+        assert_eq!(rb.values, rb_plain.values);
+    }
+
+    #[test]
+    fn cache_never_serves_across_changed_budget_or_policy() {
+        use crate::engine::ShapleyCache;
+        use std::sync::Arc;
+        let cache = Arc::new(ShapleyCache::new());
+        let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        // Same structure, three different budget/policy contexts: every one
+        // is its own key — a changed knob can only miss, never serve stale.
+        let p1 = Planner::new(PlannerConfig::default()).with_cache(cache.clone());
+        p1.solve(&LineageTask::new(&running, 8)).unwrap();
+        let with_node_cap = LineageTask::new(&running, 8).with_budget(Budget {
+            deadline: None,
+            max_nodes: 10_000,
+        });
+        p1.solve(&with_node_cap).unwrap();
+        let p2 = Planner::new(PlannerConfig {
+            timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        })
+        .with_cache(cache.clone());
+        p2.solve(&LineageTask::new(&running, 8)).unwrap();
+        // And a different n_endo is a fourth key.
+        p1.solve(&LineageTask::new(&running, 9)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0, "no context change may reuse an entry");
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.len, 4);
+        // Re-solving in the original context still hits.
+        p1.solve(&LineageTask::new(&running, 8)).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn admission_counts_use_the_minimized_lineage_uniformly() {
+        use crate::engine::ShapleyCache;
+        use std::sync::Arc;
+        // {0,1},{1,2},{0,2},{0,1,3,4}: five raw variables, minimizes to the
+        // 3-variable majority. Admission must count the minimized form —
+        // and identically with or without a cache attached.
+        let l = dnf(&[&[0, 1], &[1, 2], &[0, 2], &[0, 1, 3, 4]]);
+        let cfg = PlannerConfig {
+            max_kc_vars: 3,
+            fallback: Some(EngineKind::Proxy),
+            ..Default::default()
+        };
+        let plain = Planner::new(cfg);
+        assert_eq!(
+            plain.plan(&l).engine,
+            EngineKind::Kc,
+            "admission sees 3 minimized vars, not 5 raw"
+        );
+        let r = plain.solve(&LineageTask::new(&l, 5)).unwrap();
+        assert_eq!(r.engine, EngineKind::Kc, "exact, not proxy fallback");
+        let cached = Planner::new(cfg).with_cache(Arc::new(ShapleyCache::new()));
+        let rc = cached.solve(&LineageTask::new(&l, 5)).unwrap();
+        assert_eq!(rc.engine, EngineKind::Kc);
+        assert_eq!(r.values, rc.values, "same routing, same rationals");
+    }
+
+    #[test]
+    fn cache_hits_report_no_phantom_engine_time() {
+        use crate::engine::ShapleyCache;
+        use std::sync::Arc;
+        let planner =
+            Planner::new(PlannerConfig::default()).with_cache(Arc::new(ShapleyCache::new()));
+        let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
+        let cold = planner.solve(&LineageTask::new(&majority, 3)).unwrap();
+        assert!(cold.cnf_clauses > 0);
+        let warm = planner.solve(&LineageTask::new(&majority, 3)).unwrap();
+        assert_eq!(warm.solve_time, Duration::ZERO, "no engine ran");
+        assert_eq!(warm.prep_time, Duration::ZERO);
+        assert_eq!(warm.compile_stats.decisions, 0);
+        assert_eq!(
+            warm.cnf_clauses, cold.cnf_clauses,
+            "structural facts are kept"
+        );
+        assert_eq!(warm.values, cold.values);
+    }
+
+    #[test]
+    fn forced_sampling_engines_bypass_the_cache() {
+        use crate::engine::ShapleyCache;
+        use std::sync::Arc;
+        let cache = Arc::new(ShapleyCache::new());
+        let planner = Planner::new(PlannerConfig {
+            force: Some(EngineKind::MonteCarlo),
+            ..Default::default()
+        })
+        .with_cache(cache.clone());
+        let running = dnf(&[&[0], &[1, 2]]);
+        let r = planner.solve(&LineageTask::new(&running, 3)).unwrap();
+        assert!(!r.values.is_exact());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
+        assert_eq!(stats.bypasses, 1);
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //! the Proposition 3.1 reduction, and the sampling baselines on small
 //! instances; anything beyond ~20 facts should use the real algorithms.
 
+use crate::exact::ShapleyTimeout;
 use shapdb_num::{
     combinatorics::{binomial, shapley_coefficient, FactorialTable},
     BigInt, BigUint, Bitset, Rational,
 };
+use std::time::Instant;
+
+/// How many enumeration steps run between cooperative deadline checks.
+const DEADLINE_STRIDE: u64 = 4096;
 
 fn mask_to_bitset(mask: u64, n: usize) -> Bitset {
     let mut b = Bitset::new(n.max(1));
@@ -30,20 +35,41 @@ fn mask_to_bitset(mask: u64, n: usize) -> Bitset {
 /// Exact Shapley value of every fact `0..n` of a Boolean set function, via
 /// Equation (1). Panics if `n > 25` (2^25 evaluations is the sanity limit).
 pub fn shapley_naive(f: &impl Fn(&Bitset) -> bool, n: usize) -> Vec<Rational> {
+    shapley_naive_deadline(f, n, None).expect("no deadline to exceed")
+}
+
+/// [`shapley_naive`] under a cooperative wall-clock deadline, checked every
+/// few thousand subsets — the `O(2ⁿ)` enumeration is exactly the kind of
+/// engine a per-lineage timeout must be able to interrupt.
+pub fn shapley_naive_deadline(
+    f: &impl Fn(&Bitset) -> bool,
+    n: usize,
+    deadline: Option<Instant>,
+) -> Result<Vec<Rational>, ShapleyTimeout> {
     assert!(n <= 25, "naive enumeration limited to 25 facts");
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
+    let expired = |mask: u64| -> bool {
+        mask.is_multiple_of(DEADLINE_STRIDE) && deadline.is_some_and(|d| Instant::now() >= d)
+    };
     let mut facts = FactorialTable::new();
     // Precompute f on all subsets once: 2^n evaluations.
-    let evals: Vec<bool> = (0u64..(1 << n))
-        .map(|mask| f(&mask_to_bitset(mask, n)))
-        .collect();
+    let mut evals: Vec<bool> = Vec::with_capacity(1usize << n);
+    for mask in 0u64..(1 << n) {
+        if expired(mask) {
+            return Err(ShapleyTimeout);
+        }
+        evals.push(f(&mask_to_bitset(mask, n)));
+    }
     let mut out = Vec::with_capacity(n);
     for target in 0..n {
         let mut value = Rational::zero();
         let bit = 1u64 << target;
         for mask in 0u64..(1 << n) {
+            if expired(mask) {
+                return Err(ShapleyTimeout);
+            }
             if mask & bit != 0 {
                 continue;
             }
@@ -62,7 +88,7 @@ pub fn shapley_naive(f: &impl Fn(&Bitset) -> bool, n: usize) -> Vec<Rational> {
         }
         out.push(value);
     }
-    out
+    Ok(out)
 }
 
 /// Exact Shapley values via Equation (2): `#Slices` grouped by coalition

@@ -71,6 +71,22 @@ pub static PLANNER_READ_ONCE_ROUTES: Counter = Counter::new("planner.read_once_r
 /// a theory violation that must stay at zero.
 pub static PLANNER_HIERARCHICAL_DISAGREEMENTS: Counter =
     Counter::new("planner.hierarchical_disagreements");
+/// Result-cache lookups answered from a stored canonical result.
+pub static CACHE_HITS: Counter = Counter::new("cache.hits");
+/// Result-cache lookups that found no entry (the structure was solved and,
+/// when exact, stored).
+pub static CACHE_MISSES: Counter = Counter::new("cache.misses");
+/// Result-cache entries evicted to make room (LRU order).
+pub static CACHE_EVICTIONS: Counter = Counter::new("cache.evictions");
+/// Tasks that skipped the result cache entirely (inexact plan, dedup off,
+/// or caching disabled).
+pub static CACHE_BYPASSES: Counter = Counter::new("cache.bypasses");
+/// Absorption-minimization passes over DNF lineages
+/// (`shapdb_circuit::Dnf::minimize`).
+pub static CIRCUIT_MINIMIZE_PASSES: Counter = Counter::new("circuit.minimize_passes");
+/// Read-once factorization attempts (`shapdb_circuit::factor` and the
+/// pre-minimized variant behind `fingerprint`).
+pub static CIRCUIT_FACTOR_PASSES: Counter = Counter::new("circuit.factor_passes");
 
 /// Snapshot of every registered counter, for reports and debugging.
 pub fn snapshot() -> Vec<(&'static str, u64)> {
@@ -82,6 +98,12 @@ pub fn snapshot() -> Vec<(&'static str, u64)> {
         &PLANNER_KC_ROUTES,
         &PLANNER_READ_ONCE_ROUTES,
         &PLANNER_HIERARCHICAL_DISAGREEMENTS,
+        &CACHE_HITS,
+        &CACHE_MISSES,
+        &CACHE_EVICTIONS,
+        &CACHE_BYPASSES,
+        &CIRCUIT_MINIMIZE_PASSES,
+        &CIRCUIT_FACTOR_PASSES,
     ]
     .iter()
     .map(|c| (c.name(), c.get()))
@@ -93,14 +115,18 @@ pub fn snapshot() -> Vec<(&'static str, u64)> {
 pub struct DedupStats {
     /// Lineage tasks submitted.
     pub tasks: usize,
-    /// Distinct lineage structures solved.
+    /// Distinct lineage structures (by canonical fingerprint).
     pub distinct: usize,
+    /// Tasks that actually reused another task's computation. Usually
+    /// `tasks - distinct`, but sampling-planned tasks are re-drawn per
+    /// member (each runs its own engine) and don't count as reuse.
+    pub reused: usize,
 }
 
 impl DedupStats {
     /// Tasks answered by reusing another task's computation.
     pub fn hits(&self) -> usize {
-        self.tasks - self.distinct
+        self.reused
     }
 
     /// Fraction of tasks answered by reuse (0.0 when the batch is empty).
@@ -109,6 +135,32 @@ impl DedupStats {
             return 0.0;
         }
         self.hits() as f64 / self.tasks as f64
+    }
+}
+
+/// Cache involvement of one batch run (race-free, unlike the globals):
+/// how many distinct structures were answered from the cross-query result
+/// cache, how many were solved and stored, and how many skipped the cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheRunStats {
+    /// Distinct structures answered from the cache without an engine run.
+    pub hits: usize,
+    /// Distinct structures looked up, not found, and solved.
+    pub misses: usize,
+    /// Distinct structures (or tasks, with dedup off) that skipped the
+    /// cache: inexact plans, no fingerprint, or caching disabled.
+    pub bypasses: usize,
+}
+
+impl CacheRunStats {
+    /// Fraction of cache-eligible structures answered from the cache
+    /// (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / lookups as f64
     }
 }
 
@@ -132,6 +184,20 @@ mod tests {
         let names: Vec<&str> = snapshot().iter().map(|(n, _)| *n).collect();
         assert!(names.contains(&"batch.dedup_hits"));
         assert!(names.contains(&"planner.hierarchical_disagreements"));
+        assert!(names.contains(&"cache.hits"));
+        assert!(names.contains(&"cache.evictions"));
+        assert!(names.contains(&"circuit.factor_passes"));
+    }
+
+    #[test]
+    fn cache_run_stats_hit_rate() {
+        let s = CacheRunStats {
+            hits: 3,
+            misses: 1,
+            bypasses: 2,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheRunStats::default().hit_rate(), 0.0);
     }
 
     #[test]
@@ -139,9 +205,17 @@ mod tests {
         let s = DedupStats {
             tasks: 8,
             distinct: 2,
+            reused: 6,
         };
         assert_eq!(s.hits(), 6);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(DedupStats::default().hit_rate(), 0.0);
+        // Sampling-expanded members run their own engines: no reuse.
+        let sampling = DedupStats {
+            tasks: 8,
+            distinct: 1,
+            reused: 0,
+        };
+        assert_eq!(sampling.hit_rate(), 0.0);
     }
 }

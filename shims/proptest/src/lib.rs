@@ -165,7 +165,7 @@ impl_tuple_strategy!(
 pub mod collection {
     use super::*;
 
-    /// Inclusive length bounds for [`vec`]; built from a `usize` (exact
+    /// Inclusive length bounds for [`vec()`]; built from a `usize` (exact
     /// length), a `Range<usize>`, or a `RangeInclusive<usize>`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {

@@ -46,16 +46,18 @@ pub use shapdb_workloads as workloads;
 use shapdb_circuit::{Circuit, Dnf};
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
 use shapdb_core::engine::{
-    BatchExecutor, EngineError, EngineKind, EngineValues, Planner, PlannerConfig,
+    BatchExecutor, CacheStats, EngineError, EngineKind, EngineValues, Planner, PlannerConfig,
+    ShapleyCache,
 };
 use shapdb_core::exact::ExactConfig;
 use shapdb_core::hybrid::{HybridConfig, HybridOutcome};
 use shapdb_core::pipeline::{analyze_lineage, AnalysisError};
 use shapdb_data::{Database, FactId, Value};
 use shapdb_kc::Budget;
-use shapdb_metrics::counters::DedupStats;
+use shapdb_metrics::counters::{CacheRunStats, DedupStats};
 use shapdb_num::Rational;
 use shapdb_query::{evaluate, evaluate_negated, NegatedQuery, QueryResult, Ucq};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Exact Shapley explanation of one output tuple.
@@ -97,8 +99,12 @@ pub struct BatchExplanation {
     /// Lineage-dedup statistics: `dedup.hit_rate()` is the fraction of
     /// answers served from a structurally identical lineage's computation.
     pub dedup: DedupStats,
-    /// Distinct lineage structures actually solved.
+    /// Actual engine invocations: structures answered from the cross-query
+    /// result cache (or aborted by fail-fast) run no engine.
     pub engine_runs: usize,
+    /// How this call used the analyzer's cross-query result cache (all
+    /// zeros when caching is disabled).
+    pub cache: CacheRunStats,
     /// Worker threads used.
     pub threads: usize,
     /// Wall time of the attribution batch (excluding query evaluation).
@@ -107,21 +113,32 @@ pub struct BatchExplanation {
 
 /// One-stop API over a database: evaluate a query and attribute each answer
 /// to the endogenous facts by Shapley value.
+///
+/// The analyzer owns a cross-query [`ShapleyCache`] (on by default): exact
+/// results are cached per canonical lineage structure, so repeated
+/// `explain` calls — the same query again, or *any* query whose answers are
+/// structurally isomorphic to ones already explained — skip the engines
+/// entirely and translate the cached rationals onto their own facts.
+/// Configure with [`ShapleyAnalyzer::with_cache_capacity`] (0 disables),
+/// inspect with [`ShapleyAnalyzer::cache_stats`].
 pub struct ShapleyAnalyzer<'a> {
     db: &'a Database,
     budget: Budget,
     exact: ExactConfig,
     threads: usize,
+    cache: Option<Arc<ShapleyCache>>,
 }
 
 impl<'a> ShapleyAnalyzer<'a> {
-    /// An analyzer with unlimited budgets, using every available core.
+    /// An analyzer with unlimited budgets, using every available core, with
+    /// result caching on at the default capacity.
     pub fn new(db: &'a Database) -> ShapleyAnalyzer<'a> {
         ShapleyAnalyzer {
             db,
             budget: Budget::unlimited(),
             exact: ExactConfig::default(),
             threads: 0,
+            cache: Some(Arc::new(ShapleyCache::new())),
         }
     }
 
@@ -143,8 +160,21 @@ impl<'a> ShapleyAnalyzer<'a> {
         self
     }
 
+    /// Resizes the cross-query result cache (`0` turns caching off). The
+    /// previous cache's entries are dropped.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = (capacity > 0).then(|| Arc::new(ShapleyCache::with_capacity(capacity)));
+        self
+    }
+
+    /// Totals of the analyzer's result cache (`None` when caching is off).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
     /// Evaluates `q` and runs its answers' lineages through the engine
-    /// layer's planner + batch executor (structural dedup, thread fan-out).
+    /// layer's planner + batch executor (structural dedup, result cache,
+    /// thread fan-out).
     fn run_batch(
         &self,
         q: &Ucq,
@@ -158,8 +188,11 @@ impl<'a> ShapleyAnalyzer<'a> {
             .map(|t| t.endo_lineage(self.db))
             .collect();
         let fail_fast = cfg.fallback.is_none();
-        let mut executor =
-            BatchExecutor::new(Planner::for_query(cfg, q)).with_threads(self.threads);
+        let mut planner = Planner::for_query(cfg, q);
+        if let Some(cache) = &self.cache {
+            planner = planner.with_cache(cache.clone());
+        }
+        let mut executor = BatchExecutor::new(planner).with_threads(self.threads);
         if fail_fast {
             // Exact mode propagates the first error anyway — abort the rest.
             executor = executor.with_fail_fast();
@@ -184,6 +217,7 @@ impl<'a> ShapleyAnalyzer<'a> {
     pub fn explain_batch(&self, q: &Ucq) -> Result<BatchExplanation, AnalysisError> {
         let (res, report) = self.run_batch(q, PlannerConfig::default(), &self.exact);
         let dedup = report.dedup;
+        let cache = report.cache;
         let (engine_runs, threads, total_time) =
             (report.engine_runs, report.threads, report.total_time);
         let mut explanations = Vec::with_capacity(res.len());
@@ -206,6 +240,7 @@ impl<'a> ShapleyAnalyzer<'a> {
             explanations,
             dedup,
             engine_runs,
+            cache,
             threads,
             total_time,
         })
@@ -241,8 +276,10 @@ impl<'a> ShapleyAnalyzer<'a> {
 
     /// Hybrid explanation (§6.3): exact under the timeout, CNF-Proxy ranking
     /// otherwise. Never fails. With [`HybridConfig::try_read_once`] the
-    /// factorization fast path runs first, making even zero-timeout calls
-    /// exact on read-once lineages.
+    /// factorization fast path runs first, so read-once lineages come back
+    /// exact under any realistic timeout (the fast path is microseconds —
+    /// but the per-lineage deadline now bounds *every* exact engine, so a
+    /// zero timeout degrades everything to the ranking fallback).
     pub fn rank(&self, q: &Ucq, cfg: &HybridConfig) -> Vec<TupleRanking> {
         let planner_cfg = PlannerConfig {
             // Paper mode (no fast path): straight to knowledge compilation.
@@ -410,11 +447,66 @@ mod tests {
     }
 
     #[test]
-    fn rank_with_fast_path_is_exact_even_at_zero_timeout() {
+    fn result_cache_spans_calls_and_queries() {
+        let mut db = Database::new();
+        db.create_relation("R", &["a"]);
+        db.create_relation("S", &["a", "b"]);
+        for a in 0..2 {
+            db.insert_endo("R", vec![Value::int(a)]);
+        }
+        for (a, b) in [(0, 10), (1, 10), (0, 11), (1, 11), (0, 12)] {
+            db.insert_endo("S", vec![Value::int(a), Value::int(b)]);
+        }
+        let q = shapdb_query::parse_ucq("q(b) :- R(a), S(a, b)").unwrap();
+        let analyzer = ShapleyAnalyzer::new(&db);
+        let cold = analyzer.explain_batch(&q).unwrap();
+        assert_eq!(cold.cache.hits, 0);
+        assert_eq!(cold.cache.misses, 2, "two distinct structures stored");
+        // Same query again: every structure is served from the cache, and
+        // the exact rationals are bit-identical to the cold run.
+        let warm = analyzer.explain_batch(&q).unwrap();
+        assert!(warm.cache.hits >= 1);
+        assert_eq!(warm.cache.misses, 0);
+        assert_eq!(warm.engine_runs, 0, "no engine ran on the warm call");
+        for (c, w) in cold.explanations.iter().zip(&warm.explanations) {
+            assert_eq!(c.tuple, w.tuple);
+            assert_eq!(c.attributions, w.attributions);
+        }
+        // A *different* query with isomorphic answers shares the cache too.
+        let q2 = shapdb_query::parse_ucq("q(b) :- R(x), S(x, b)").unwrap();
+        let cross = analyzer.explain_batch(&q2).unwrap();
+        assert!(cross.cache.hits >= 1, "cache is keyed by structure");
+        assert_eq!(cross.cache.misses, 0);
+        let stats = analyzer.cache_stats().unwrap();
+        assert!(stats.hits >= 4);
+        assert_eq!(stats.len, 2);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let (db, _) = flights_example();
+        let analyzer = ShapleyAnalyzer::new(&db).with_cache_capacity(0);
+        assert!(analyzer.cache_stats().is_none());
+        let explanations = analyzer.explain(&flights_query()).unwrap();
+        assert_eq!(
+            explanations[0].attributions[0].1,
+            Rational::from_ratio(43, 105)
+        );
+        let batch = analyzer.explain_batch(&flights_query()).unwrap();
+        assert_eq!(
+            batch.cache,
+            shapdb_metrics::counters::CacheRunStats::default()
+        );
+        assert_eq!(batch.engine_runs, 1);
+    }
+
+    #[test]
+    fn rank_with_fast_path_is_exact_under_tiny_timeout() {
         let (db, a) = flights_example();
         let analyzer = ShapleyAnalyzer::new(&db);
         let cfg = HybridConfig {
-            timeout: std::time::Duration::ZERO,
+            // Far below the 2.5 s default, far above the µs fast path.
+            timeout: std::time::Duration::from_millis(250),
             try_read_once: true,
             ..Default::default()
         };

@@ -1,0 +1,117 @@
+//! Cross-query result-cache integration harness.
+//!
+//! * repeated `explain` / `explain_batch` calls over the seeded
+//!   agreement-harness databases must return **bit-identical** exact
+//!   rationals to the cold call, with the warm calls running zero engines;
+//! * eviction pressure (a capacity-1 cache) must never change any value —
+//!   a too-small cache costs time, never correctness;
+//! * disabling the cache must change nothing but the stats.
+
+use rand::prelude::*;
+use shapdb::data::{Database, Value};
+use shapdb::num::Rational;
+use shapdb::query::parse_ucq;
+use shapdb::ShapleyAnalyzer;
+
+/// The agreement-harness random database: `R(a)`, `S(a, b)`, `T(b)` with
+/// endogenous facts only (fact ids map 1:1 onto lineage variables).
+fn random_database(rng: &mut StdRng) -> Database {
+    let mut db = Database::new();
+    db.create_relation("R", &["a"]);
+    db.create_relation("S", &["a", "b"]);
+    db.create_relation("T", &["b"]);
+    for _ in 0..rng.random_range(2..=4usize) {
+        db.insert_endo("R", vec![Value::int(rng.random_range(0..3))]);
+    }
+    for _ in 0..rng.random_range(3..=6usize) {
+        db.insert_endo(
+            "S",
+            vec![
+                Value::int(rng.random_range(0..3)),
+                Value::int(rng.random_range(0..3)),
+            ],
+        );
+    }
+    for _ in 0..rng.random_range(2..=3usize) {
+        db.insert_endo("T", vec![Value::int(rng.random_range(0..3))]);
+    }
+    db
+}
+
+fn attributions(e: &shapdb::TupleExplanation) -> Vec<(u32, Rational)> {
+    e.attributions
+        .iter()
+        .map(|(f, r)| (f.0, r.clone()))
+        .collect()
+}
+
+#[test]
+fn warm_calls_are_bit_identical_to_cold_on_agreement_workloads() {
+    let queries = [
+        parse_ucq("q(b) :- R(a), S(a, b)").unwrap(),
+        parse_ucq("q() :- R(a), S(a, b), T(b)").unwrap(),
+    ];
+    let mut warm_hits = 0usize;
+    let mut compared = 0usize;
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0xCAC4E + seed);
+        let db = random_database(&mut rng);
+        let analyzer = ShapleyAnalyzer::new(&db);
+        for q in &queries {
+            let cold = analyzer.explain_batch(q).unwrap();
+            let warm = analyzer.explain_batch(q).unwrap();
+            assert_eq!(
+                warm.engine_runs, 0,
+                "seed {seed}, query {q}: warm call ran an engine"
+            );
+            warm_hits += warm.cache.hits;
+            assert_eq!(cold.explanations.len(), warm.explanations.len());
+            for (c, w) in cold.explanations.iter().zip(&warm.explanations) {
+                assert_eq!(c.tuple, w.tuple);
+                assert_eq!(
+                    attributions(c),
+                    attributions(w),
+                    "seed {seed}, query {q}: warm values drifted"
+                );
+                compared += 1;
+            }
+            // The plain `explain` view goes through the same cache and
+            // agrees rational for rational.
+            let plain = analyzer.explain(q).unwrap();
+            for (c, p) in cold.explanations.iter().zip(&plain) {
+                assert_eq!(attributions(c), attributions(p));
+            }
+        }
+    }
+    assert!(compared >= 20, "only {compared} tuples compared");
+    assert!(
+        warm_hits >= 10,
+        "the cache barely engaged: {warm_hits} hits"
+    );
+}
+
+#[test]
+fn eviction_pressure_never_corrupts_results() {
+    let q = parse_ucq("q() :- R(a), S(a, b), T(b)").unwrap();
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xE51C7 + seed);
+        let db = random_database(&mut rng);
+        let reference = ShapleyAnalyzer::new(&db)
+            .with_cache_capacity(0)
+            .explain(&q)
+            .unwrap();
+        // A capacity-1 cache thrashes on multi-structure workloads; values
+        // must still match the uncached run exactly, call after call.
+        let tiny = ShapleyAnalyzer::new(&db).with_cache_capacity(1);
+        for _ in 0..2 {
+            let got = tiny.explain(&q).unwrap();
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.tuple, r.tuple, "seed {seed}");
+                assert_eq!(attributions(g), attributions(r), "seed {seed}");
+            }
+        }
+        let stats = tiny.cache_stats().unwrap();
+        assert!(stats.len <= 1, "capacity respected");
+    }
+}
