@@ -1,6 +1,6 @@
 # Convenience targets mirroring .github/workflows/ci.yml for offline use.
 
-.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench
+.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench
 
 check: fmt build test clippy doc quickstart
 
@@ -30,6 +30,11 @@ bench-smoke:
 # Cross-query result cache: cold vs warm replay of the 521-lineage workload.
 bench-cache:
 	cargo bench --bench cache -p shapdb_bench
+
+# Cold exact path (cache off), compiler-only and Alg1-only phases split out;
+# writes a machine-readable summary to results/bench_exact.json.
+bench-exact:
+	cargo bench --bench exact_cold -p shapdb_bench
 
 bench:
 	cargo bench -p shapdb_bench

@@ -64,18 +64,40 @@ impl Dnf {
     /// Removes conjuncts that are supersets of another conjunct (absorption:
     /// `x ∨ (x ∧ y) = x`). Keeps the function identical while shrinking the
     /// representation.
+    ///
+    /// Subsumption runs on dense [`Bitset`]s — one word-parallel subset test
+    /// per pair, `O(conjuncts² · words)` — instead of per-pair merges over
+    /// the sorted variable lists, which is what makes minimization of wide
+    /// lineages (hundreds of variables per conjunct) cheap.
     pub fn minimize(&mut self) {
         shapdb_metrics::counters::CIRCUIT_MINIMIZE_PASSES.incr();
-        let mut keep = vec![true; self.conjuncts.len()];
-        for i in 0..self.conjuncts.len() {
+        let n = self.conjuncts.len();
+        if n <= 1 {
+            return;
+        }
+        // Dense variable space: fact ids are sparse, bitsets must not be.
+        let vars = self.vars();
+        let sets: Vec<Bitset> = self
+            .conjuncts
+            .iter()
+            .map(|c| {
+                let mut b = Bitset::new(vars.len());
+                for v in c {
+                    b.insert(vars.binary_search(v).expect("var in lineage"));
+                }
+                b
+            })
+            .collect();
+        let mut keep = vec![true; n];
+        for i in 0..n {
             if !keep[i] {
                 continue;
             }
-            for j in 0..self.conjuncts.len() {
+            for j in 0..n {
                 if i != j
                     && keep[j]
                     && keep[i]
-                    && is_subset(&self.conjuncts[i], &self.conjuncts[j])
+                    && sets[i].is_subset(&sets[j])
                     && (self.conjuncts[i].len() < self.conjuncts[j].len() || i < j)
                 {
                     keep[j] = false;
@@ -142,22 +164,6 @@ impl Dnf {
         circuit.set_root(root);
         root
     }
-}
-
-/// True iff sorted `a` ⊆ sorted `b`.
-fn is_subset(a: &[VarId], b: &[VarId]) -> bool {
-    let mut bi = b.iter();
-    'outer: for x in a {
-        for y in bi.by_ref() {
-            match y.cmp(x) {
-                std::cmp::Ordering::Less => continue,
-                std::cmp::Ordering::Equal => continue 'outer,
-                std::cmp::Ordering::Greater => return false,
-            }
-        }
-        return false;
-    }
-    true
 }
 
 impl fmt::Display for Dnf {

@@ -6,10 +6,11 @@
 //! the Shapley value is equivariant under fact renaming — so the executor
 //! interns lineages by their canonical [`shapdb_circuit::fingerprint()`],
 //! computes each distinct structure exactly once through the [`Planner`],
-//! and translates the values back through each task's renaming. Distinct
-//! structures are independent, so they fan out across
-//! `std::thread::scope` workers (large stacks — the compiler recursion is
-//! bounded by the CNF variable count).
+//! and translates the values back through each task's renaming. Both the
+//! fingerprint/canonicalization pass and the distinct-structure solves are
+//! independent per task, so each fans out across `std::thread::scope`
+//! workers (large stacks — the compiler recursion is bounded by the CNF
+//! variable count).
 //!
 //! Exact values translate *exactly*: batch output is identical, rational
 //! for rational, to solving every task separately. Two layers of reuse
@@ -46,7 +47,8 @@ const WORKER_STACK: usize = 64 * 1024 * 1024;
 
 /// Runs `f(0)..f(n-1)` across up to `threads` scoped workers (large
 /// stacks), returning results in index order. For phases with no
-/// fail-fast/abort semantics (the fallback-sampling re-draw pass).
+/// fail-fast/abort semantics (the fingerprint/canonicalization pass and
+/// the fallback-sampling re-draw pass).
 fn parallel_map<T: Send>(threads: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let threads = threads.min(n).max(1);
     if threads <= 1 {
@@ -225,10 +227,16 @@ impl BatchExecutor {
 
         // Intern: group tasks by canonical fingerprint — the one minimize +
         // factor pass per task; the fingerprint carries both by-products,
-        // so nothing downstream minimizes or factors again. Without dedup
-        // every task is its own group solved on its original lineage.
+        // so nothing downstream minimizes or factors again. The pass is
+        // embarrassingly parallel (one canonicalization per lineage, no
+        // shared state), so it fans out over the same scoped workers the
+        // solves use instead of running serially on the caller thread.
+        // Without dedup every task is its own group solved on its original
+        // lineage.
         let fingerprints: Vec<Option<Fingerprint>> = if self.cfg.dedup {
-            lineages.iter().map(|l| Some(fingerprint(l))).collect()
+            parallel_map(self.cfg.effective_threads(), tasks, |i| {
+                Some(fingerprint(&lineages[i]))
+            })
         } else {
             vec![None; tasks]
         };
@@ -681,7 +689,11 @@ mod tests {
             dnf(&[&[5]]),
             dnf(&[&[10, 11], &[11, 12], &[10, 12]]),
         ];
-        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default()));
+        let kc_only = PlannerConfig {
+            max_naive_vars: 0, // keep the tiny majorities on the KC route
+            ..Default::default()
+        };
+        let exec = BatchExecutor::new(Planner::new(kc_only));
         let report = exec.run(
             &lineages,
             13,
@@ -696,7 +708,7 @@ mod tests {
         // instead of errors.
         let hybrid = BatchExecutor::new(Planner::new(PlannerConfig {
             fallback: Some(EngineKind::Proxy),
-            ..Default::default()
+            ..kc_only
         }));
         let report = hybrid.run(
             &lineages,
@@ -721,7 +733,11 @@ mod tests {
             dnf(&[&[10, 11], &[11, 12], &[10, 13], &[12, 13]]),
             dnf(&[&[5]]),
         ];
-        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default()))
+        let kc_only = PlannerConfig {
+            max_naive_vars: 0, // keep the tiny majorities on the KC route
+            ..Default::default()
+        };
+        let exec = BatchExecutor::new(Planner::new(kc_only))
             .with_fail_fast()
             .with_threads(1);
         let report = exec.run(
@@ -739,7 +755,7 @@ mod tests {
         assert_eq!(report.engine_runs, 1, "only the first structure ran");
         // Default mode: the singleton still succeeds, and every structure
         // really ran.
-        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default())).with_threads(1);
+        let exec = BatchExecutor::new(Planner::new(kc_only)).with_threads(1);
         let report = exec.run(
             &lineages,
             14,
@@ -810,6 +826,7 @@ mod tests {
         ];
         let exec = BatchExecutor::new(Planner::new(PlannerConfig {
             fallback: Some(EngineKind::MonteCarlo),
+            max_naive_vars: 0, // the Kc plan must fail for the fallback to run
             ..Default::default()
         }))
         .with_threads(2);

@@ -252,12 +252,13 @@ pub struct EngineResult {
 }
 
 impl EngineResult {
-    /// Converts an exact read-once/KC result into the classic
-    /// [`LineageAnalysis`]; `None` for the other engines.
+    /// Converts an exact read-once/KC/naive result into the classic
+    /// [`LineageAnalysis`]; `None` for the inexact engines.
     pub fn into_analysis(self) -> Option<LineageAnalysis> {
         let method = match self.engine {
             EngineKind::ReadOnce => AnalysisMethod::ReadOnce,
             EngineKind::Kc => AnalysisMethod::KnowledgeCompilation,
+            EngineKind::Naive => AnalysisMethod::Naive,
             _ => return None,
         };
         let EngineValues::Exact(pairs) = self.values else {

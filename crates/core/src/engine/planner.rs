@@ -13,10 +13,14 @@
 //!    frontier the paper's §3 recalls). If a hierarchical-and-sjf query ever
 //!    produces a non-factorizable lineage, that is a theory violation —
 //!    counted in `planner.hierarchical_disagreements`, which must stay 0;
-//! 3. **knowledge compilation** is `FP^{#P}`-hard in the worst case; it is
+//! 3. **naive enumeration** costs `O(2ⁿ · |DNF|)` — for tiny non-read-once
+//!    lineages (≤ [`PlannerConfig::max_naive_vars`] minimized variables,
+//!    default 10) the `2ⁿ ≤ 1024` evaluations undercut building and
+//!    compiling a Tseytin CNF by an order of magnitude;
+//! 4. **knowledge compilation** is `FP^{#P}`-hard in the worst case; it is
 //!    admitted while the lineage's variable/conjunct counts stay within the
 //!    configured budget, and runs under the planner's per-lineage timeout;
-//! 4. otherwise (or when an admitted exact engine exceeds its budget) the
+//! 5. otherwise (or when an admitted exact engine exceeds its budget) the
 //!    **fallback** engine — CNF Proxy by default, a ranking in
 //!    milliseconds — takes over, iff the policy allows inexact answers.
 
@@ -26,7 +30,8 @@ use crate::exact::ExactConfig;
 use shapdb_circuit::{factor_minimized, fingerprint, Dnf, Fingerprint, ReadOnce};
 use shapdb_kc::Budget;
 use shapdb_metrics::counters::{
-    PLANNER_HIERARCHICAL_DISAGREEMENTS, PLANNER_KC_ROUTES, PLANNER_READ_ONCE_ROUTES,
+    PLANNER_HIERARCHICAL_DISAGREEMENTS, PLANNER_KC_ROUTES, PLANNER_NAIVE_ROUTES,
+    PLANNER_READ_ONCE_ROUTES,
 };
 use shapdb_query::{is_hierarchical, is_self_join_free, Ucq};
 use std::sync::Arc;
@@ -46,6 +51,17 @@ pub struct PlannerConfig {
     /// Knowledge-compilation admission: max lineage conjuncts (same
     /// semantics as [`PlannerConfig::max_kc_vars`]).
     pub max_kc_conjuncts: usize,
+    /// Naive-enumeration admission: non-read-once lineages with at most
+    /// this many (minimized) variables route to `O(2ⁿ)` enumeration, which
+    /// beats Tseytin + compilation + Algorithm 1 below ~10 variables.
+    /// `0` disables the route (every non-read-once lineage goes to KC).
+    /// Values beyond the naive engine's own enumeration cap (25) make the
+    /// route fail rather than enumerate forever.
+    pub max_naive_vars: usize,
+    /// Naive-enumeration admission: max (minimized) conjuncts — each of the
+    /// `2ⁿ` evaluations scans the whole DNF, so wide lineages pay more per
+    /// mask than the compiled circuit would.
+    pub max_naive_conjuncts: usize,
     /// Per-lineage deadline for the exact engines (KC + Algorithm 1).
     /// `None` = no deadline (callers' own budgets still apply).
     pub timeout: Option<Duration>,
@@ -60,6 +76,8 @@ impl Default for PlannerConfig {
             force: None,
             max_kc_vars: 128,
             max_kc_conjuncts: 4096,
+            max_naive_vars: 10,
+            max_naive_conjuncts: 64,
             timeout: None,
             fallback: None,
         }
@@ -90,6 +108,9 @@ pub enum PlanReason {
     /// The query is hierarchical and self-join-free, so the lineage is
     /// guaranteed read-once (and did factorize).
     HierarchicalReadOnce,
+    /// Non-read-once but tiny: `O(2ⁿ)` enumeration beats factorization +
+    /// compilation below [`PlannerConfig::max_naive_vars`] variables.
+    TinyNaive,
     /// Within the KC variable/conjunct admission budget.
     KcWithinBudget,
     /// Beyond the admission budget: routed to the fallback engine (or to KC
@@ -227,7 +248,8 @@ impl Planner {
     }
 
     /// The one copy of the routing ladder below `force`: trivial constant →
-    /// read-once → KC admission by variable/conjunct counts → fallback.
+    /// read-once → tiny-naive enumeration → KC admission by
+    /// variable/conjunct counts → fallback.
     /// `tree` is the factoring verdict on the *minimized* lineage
     /// (authoritative either way); `vars`/`conjuncts` count the minimized
     /// form too.
@@ -256,6 +278,15 @@ impl Planner {
                     // Count it (tests pin this at zero) and fall through to
                     // the safe engine.
                     PLANNER_HIERARCHICAL_DISAGREEMENTS.incr();
+                }
+                if vars <= self.cfg.max_naive_vars && conjuncts <= self.cfg.max_naive_conjuncts {
+                    // Tiny non-factorizable lineage: 2ⁿ evaluations are
+                    // cheaper than building + compiling a Tseytin CNF.
+                    PLANNER_NAIVE_ROUTES.incr();
+                    return Plan {
+                        engine: EngineKind::Naive,
+                        reason: PlanReason::TinyNaive,
+                    };
                 }
                 if vars <= self.cfg.max_kc_vars && conjuncts <= self.cfg.max_kc_conjuncts {
                     PLANNER_KC_ROUTES.incr();
@@ -443,6 +474,8 @@ impl Planner {
         self.cfg.force.map(EngineKind::name).hash(&mut h);
         self.cfg.max_kc_vars.hash(&mut h);
         self.cfg.max_kc_conjuncts.hash(&mut h);
+        self.cfg.max_naive_vars.hash(&mut h);
+        self.cfg.max_naive_conjuncts.hash(&mut h);
         self.cfg.timeout.hash(&mut h);
         self.cfg.fallback.map(EngineKind::name).hash(&mut h);
         budget.max_nodes.hash(&mut h);
@@ -498,16 +531,50 @@ mod tests {
     }
 
     #[test]
-    fn non_read_once_lineages_do_hit_the_compiler() {
+    fn tiny_non_read_once_lineages_route_to_naive() {
+        // Satellite (naive route): below the naive cutoff, enumeration
+        // beats factorization + compilation — no CNF is ever built — and
+        // the route is counted.
         let planner = Planner::new(PlannerConfig::default());
         let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
+        let before = PLANNER_NAIVE_ROUTES.get();
         let plan = planner.plan(&majority);
+        assert_eq!(plan.engine, EngineKind::Naive);
+        assert_eq!(plan.reason, PlanReason::TinyNaive);
+        assert_eq!(PLANNER_NAIVE_ROUTES.get(), before + 1);
+        let r = planner.solve(&LineageTask::new(&majority, 3)).unwrap();
+        assert_eq!(r.engine, EngineKind::Naive);
+        assert_eq!(r.cnf_clauses, 0);
+        assert!(r.values.is_exact());
+    }
+
+    #[test]
+    fn non_read_once_lineages_beyond_the_cutoff_hit_the_compiler() {
+        let planner = Planner::new(PlannerConfig::default());
+        // Four disjoint majorities: 12 vars > max_naive_vars, not read-once.
+        let mut wide = Dnf::new();
+        for base in [0u32, 3, 6, 9] {
+            for pair in [[base, base + 1], [base + 1, base + 2], [base, base + 2]] {
+                wide.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+            }
+        }
+        let plan = planner.plan(&wide);
         assert_eq!(plan.engine, EngineKind::Kc);
         assert_eq!(plan.reason, PlanReason::KcWithinBudget);
-        let r = planner.solve(&LineageTask::new(&majority, 3)).unwrap();
+        let r = planner.solve(&LineageTask::new(&wide, 12)).unwrap();
         assert_eq!(r.engine, EngineKind::Kc);
         assert!(r.cnf_clauses > 0);
         assert!(r.ddnnf_size > 0);
+        // The naive route and the compiler agree exactly on the tiny form.
+        let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
+        let kc_only = Planner::new(PlannerConfig {
+            max_naive_vars: 0,
+            ..Default::default()
+        });
+        assert_eq!(kc_only.plan(&majority).engine, EngineKind::Kc);
+        let naive = planner.solve(&LineageTask::new(&majority, 3)).unwrap();
+        let kc = kc_only.solve(&LineageTask::new(&majority, 3)).unwrap();
+        assert_eq!(naive.values, kc.values, "bit-identical rationals");
     }
 
     #[test]
@@ -543,6 +610,7 @@ mod tests {
     fn over_budget_routes_to_fallback() {
         let cfg = PlannerConfig {
             max_kc_vars: 2,
+            max_naive_vars: 0,
             fallback: Some(EngineKind::MonteCarlo),
             ..Default::default()
         };
@@ -554,6 +622,7 @@ mod tests {
         // Exact mode (no fallback): KC is still tried.
         let exact = Planner::new(PlannerConfig {
             max_kc_vars: 2,
+            max_naive_vars: 0,
             ..Default::default()
         });
         assert_eq!(exact.plan(&majority).engine, EngineKind::Kc);
@@ -710,6 +779,7 @@ mod tests {
         let l = dnf(&[&[0, 1], &[1, 2], &[0, 2], &[0, 1, 3, 4]]);
         let cfg = PlannerConfig {
             max_kc_vars: 3,
+            max_naive_vars: 0,
             fallback: Some(EngineKind::Proxy),
             ..Default::default()
         };
@@ -731,8 +801,11 @@ mod tests {
     fn cache_hits_report_no_phantom_engine_time() {
         use crate::engine::ShapleyCache;
         use std::sync::Arc;
-        let planner =
-            Planner::new(PlannerConfig::default()).with_cache(Arc::new(ShapleyCache::new()));
+        let planner = Planner::new(PlannerConfig {
+            max_naive_vars: 0,
+            ..Default::default()
+        })
+        .with_cache(Arc::new(ShapleyCache::new()));
         let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
         let cold = planner.solve(&LineageTask::new(&majority, 3)).unwrap();
         assert!(cold.cnf_clauses > 0);

@@ -71,25 +71,13 @@ impl std::error::Error for ShapleyTimeout {}
 /// Per-gate `α` arrays for one pass. `alphas[g][ℓ] = #SAT_ℓ(φ_g)`.
 type Alphas = Vec<Vec<BigUint>>;
 
-struct Dp<'a> {
-    d: &'a Ddnnf,
-    sets: Vec<Bitset>,
-    binomials: BinomialTable,
+/// Cooperative deadline checker shared by every DP pass.
+struct Ticker {
     deadline: Option<Instant>,
     ticks: u32,
 }
 
-impl<'a> Dp<'a> {
-    fn new(d: &'a Ddnnf, deadline: Option<Instant>) -> Dp<'a> {
-        Dp {
-            d,
-            sets: d.var_sets(),
-            binomials: BinomialTable::new(),
-            deadline,
-            ticks: 0,
-        }
-    }
-
+impl Ticker {
     /// Cooperative cancellation, called once per gate child so that even a
     /// single enormous gate cannot overshoot the deadline by much.
     fn tick(&mut self) -> Result<(), ShapleyTimeout> {
@@ -103,163 +91,244 @@ impl<'a> Dp<'a> {
         }
         Ok(())
     }
+}
 
-    /// Gate's variable-count after removing `cond_var` (if present).
-    fn size(&self, g: usize, cond_var: Option<usize>) -> usize {
-        let mut s = self.sets[g].len();
-        if let Some(v) = cond_var {
-            if self.sets[g].contains(v) {
-                s -= 1;
+/// Where a gate's children find their `α` arrays — a borrowing view instead
+/// of the per-child `Vec` clones the old closure-based lookup made.
+enum Lookup<'x> {
+    /// Base pass: children resolved from the already-computed prefix.
+    Prefix(&'x [Vec<BigUint>]),
+    /// Conditioned pass: per-gate overrides (empty = not recomputed),
+    /// falling back to the unconditioned base arrays.
+    Cond {
+        cond: &'x [Vec<BigUint>],
+        base: Option<&'x [Vec<BigUint>]>,
+    },
+}
+
+impl<'x> Lookup<'x> {
+    fn get(&self, c: usize) -> &'x [BigUint] {
+        match self {
+            Lookup::Prefix(p) => &p[c],
+            Lookup::Cond { cond, base } => {
+                // Every real α array has length ≥ 1, so empty means "use
+                // the base pass" (only reachable in reuse mode).
+                if !cond[c].is_empty() {
+                    &cond[c]
+                } else {
+                    &base.expect("child computed")[c]
+                }
             }
         }
-        s
     }
+}
 
-    /// Computes `α` for one gate given the children's arrays.
-    fn gate_alpha(
-        &mut self,
-        g: usize,
-        cond: Option<(usize, bool)>,
-        child_alpha: &impl Fn(usize) -> Vec<BigUint>,
-    ) -> Result<Vec<BigUint>, ShapleyTimeout> {
-        let cond_var = cond.map(|(v, _)| v);
-        let nodes = self.d.nodes();
-        Ok(match &nodes[g] {
-            DNode::True => vec![BigUint::one()],
-            DNode::False => vec![BigUint::zero()],
-            DNode::Lit(l) => {
-                if let Some((v, b)) = cond {
-                    if l.var() == v {
-                        // φ over ∅ vars: ⊤ (α⁰=1) if the literal is satisfied.
-                        return Ok(if l.satisfied_by(b) {
-                            vec![BigUint::one()]
-                        } else {
-                            vec![BigUint::zero()]
-                        });
-                    }
-                }
-                if l.is_positive() {
-                    vec![BigUint::zero(), BigUint::one()]
-                } else {
-                    vec![BigUint::one(), BigUint::zero()]
+/// Gate's variable-count after removing `cond_var` (if present).
+fn gate_size(sets: &[Bitset], g: usize, cond_var: Option<usize>) -> usize {
+    let mut s = sets[g].len();
+    if let Some(v) = cond_var {
+        if sets[g].contains(v) {
+            s -= 1;
+        }
+    }
+    s
+}
+
+/// Computes `α` for one gate into `out` (cleared first). `conv` is the
+/// ∧-gate convolution scratch, reused across every gate of every pass.
+#[allow(clippy::too_many_arguments)] // disjoint &mut borrows of one DP state
+fn gate_alpha(
+    nodes: &[DNode],
+    sets: &[Bitset],
+    binomials: &mut BinomialTable,
+    ticker: &mut Ticker,
+    conv: &mut Vec<BigUint>,
+    g: usize,
+    cond: Option<(usize, bool)>,
+    lookup: Lookup<'_>,
+    out: &mut Vec<BigUint>,
+) -> Result<(), ShapleyTimeout> {
+    let cond_var = cond.map(|(v, _)| v);
+    out.clear();
+    match &nodes[g] {
+        DNode::True => out.push(BigUint::one()),
+        DNode::False => out.push(BigUint::zero()),
+        DNode::Lit(l) => {
+            if let Some((v, b)) = cond {
+                if l.var() == v {
+                    // φ over ∅ vars: ⊤ (α⁰=1) if the literal is satisfied.
+                    out.push(if l.satisfied_by(b) {
+                        BigUint::one()
+                    } else {
+                        BigUint::zero()
+                    });
+                    return Ok(());
                 }
             }
-            DNode::And(cs) => {
-                // Decomposability: sizes add, counts convolve.
-                let mut acc = vec![BigUint::one()];
-                for c in cs.iter() {
-                    self.tick()?;
-                    let ca = child_alpha(c.index());
-                    let mut next = vec![BigUint::zero(); acc.len() + ca.len() - 1];
-                    for (i, ai) in acc.iter().enumerate() {
-                        if ai.is_zero() {
+            if l.is_positive() {
+                out.push(BigUint::zero());
+                out.push(BigUint::one());
+            } else {
+                out.push(BigUint::one());
+                out.push(BigUint::zero());
+            }
+        }
+        DNode::And(cs) => {
+            // Decomposability: sizes add, counts convolve. `out` holds the
+            // running product, `conv` the next one; they swap per child.
+            out.push(BigUint::one());
+            for c in cs.iter() {
+                ticker.tick()?;
+                let ca = lookup.get(c.index());
+                conv.clear();
+                conv.resize(out.len() + ca.len() - 1, BigUint::zero());
+                for (i, ai) in out.iter().enumerate() {
+                    if ai.is_zero() {
+                        continue;
+                    }
+                    for (j, cj) in ca.iter().enumerate() {
+                        if cj.is_zero() {
                             continue;
                         }
-                        for (j, cj) in ca.iter().enumerate() {
-                            if cj.is_zero() {
-                                continue;
-                            }
-                            next[i + j] += &(ai * cj);
-                        }
-                    }
-                    acc = next;
-                }
-                acc
-            }
-            DNode::Or(cs, _) => {
-                // Determinism: counts add after expanding each child by the
-                // binomial over its variable gap.
-                let sz = self.size(g, cond_var);
-                let mut acc = vec![BigUint::zero(); sz + 1];
-                for c in cs.iter() {
-                    self.tick()?;
-                    let csz = self.size(c.index(), cond_var);
-                    let gap = sz - csz;
-                    let ca = child_alpha(c.index());
-                    debug_assert_eq!(ca.len(), csz + 1);
-                    let row = self.binomials.row(gap).to_vec();
-                    for (i, ci) in ca.iter().enumerate() {
-                        if ci.is_zero() {
-                            continue;
-                        }
-                        for (dgap, b) in row.iter().enumerate() {
-                            acc[i + dgap] += &(ci * b);
-                        }
+                        conv[i + j] += &(ai * cj);
                     }
                 }
-                acc
+                std::mem::swap(out, conv);
             }
-        })
+        }
+        DNode::Or(cs, _) => {
+            // Determinism: counts add after expanding each child by the
+            // binomial over its variable gap.
+            let sz = gate_size(sets, g, cond_var);
+            out.resize(sz + 1, BigUint::zero());
+            for c in cs.iter() {
+                ticker.tick()?;
+                let csz = gate_size(sets, c.index(), cond_var);
+                let gap = sz - csz;
+                let ca = lookup.get(c.index());
+                debug_assert_eq!(ca.len(), csz + 1);
+                let row = binomials.row(gap);
+                for (i, ci) in ca.iter().enumerate() {
+                    if ci.is_zero() {
+                        continue;
+                    }
+                    for (dgap, b) in row.iter().enumerate() {
+                        out[i + dgap] += &(ci * b);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+struct Dp<'a> {
+    d: &'a Ddnnf,
+    sets: Vec<Bitset>,
+    binomials: BinomialTable,
+    ticker: Ticker,
+    /// Conditioned-pass arrays, reused across facts: `cond[g]` empty means
+    /// "not recomputed this pass".
+    cond: Vec<Vec<BigUint>>,
+    /// Gates filled in `cond` by the current pass (cleared between passes).
+    touched: Vec<usize>,
+    /// Spare buffers recycled between `cond` slots and gate outputs.
+    spare: Vec<Vec<BigUint>>,
+    /// ∧-gate convolution scratch.
+    conv: Vec<BigUint>,
+}
+
+impl<'a> Dp<'a> {
+    fn new(d: &'a Ddnnf, deadline: Option<Instant>) -> Dp<'a> {
+        let n = d.len();
+        Dp {
+            d,
+            sets: d.var_sets(),
+            binomials: BinomialTable::new(),
+            ticker: Ticker { deadline, ticks: 0 },
+            cond: vec![Vec::new(); n],
+            touched: Vec::new(),
+            spare: Vec::new(),
+            conv: Vec::new(),
+        }
     }
 
     /// Full unconditioned pass (`α` for every gate).
     fn base_pass(&mut self) -> Result<Alphas, ShapleyTimeout> {
         let mut alphas: Alphas = Vec::with_capacity(self.d.len());
         for g in 0..self.d.len() {
-            // Workaround for borrow rules: take a snapshot closure over the
-            // already-computed prefix.
-            let a = {
-                let prefix = &alphas;
-                let lookup = |c: usize| prefix[c].clone();
-                self.gate_alpha_detached(g, None, &lookup)?
-            };
-            alphas.push(a);
+            let mut out = self.spare.pop().unwrap_or_default();
+            gate_alpha(
+                self.d.nodes(),
+                &self.sets,
+                &mut self.binomials,
+                &mut self.ticker,
+                &mut self.conv,
+                g,
+                None,
+                Lookup::Prefix(&alphas),
+                &mut out,
+            )?;
+            alphas.push(out);
         }
         Ok(alphas)
     }
 
-    /// Like [`Dp::gate_alpha`] but borrow-splitting (no `&mut self` capture
-    /// inside the closure).
-    fn gate_alpha_detached(
-        &mut self,
-        g: usize,
-        cond: Option<(usize, bool)>,
-        child_alpha: &impl Fn(usize) -> Vec<BigUint>,
-    ) -> Result<Vec<BigUint>, ShapleyTimeout> {
-        self.gate_alpha(g, cond, child_alpha)
-    }
-
     /// Conditioned pass for `(f → b)`. With `base`, only gates whose var set
-    /// contains `f` are recomputed; returns the root's array.
+    /// contains `f` are recomputed; the root's array is swapped into `out`.
+    /// All per-gate buffers are recycled across calls — the steady state
+    /// allocates nothing.
     fn conditioned_root(
         &mut self,
         f: usize,
         b: bool,
         base: Option<&Alphas>,
-    ) -> Result<Vec<BigUint>, ShapleyTimeout> {
+        out: &mut Vec<BigUint>,
+    ) -> Result<(), ShapleyTimeout> {
+        // Reset the previous pass (keeping each slot's capacity).
+        while let Some(g) = self.touched.pop() {
+            self.cond[g].clear();
+        }
         let root = self.d.root().index();
         let n_nodes = self.d.len();
-        let mut cond: Vec<Option<Vec<BigUint>>> = vec![None; n_nodes];
         for g in 0..n_nodes {
             let affected = self.sets[g].contains(f);
-            if let Some(base) = base {
-                if !affected {
-                    // Unaffected gates keep their unconditioned array.
-                    debug_assert_eq!(base[g].len(), self.sets[g].len() + 1);
-                    continue;
-                }
-                let a = {
-                    let cond_ref = &cond;
-                    let lookup = |c: usize| match &cond_ref[c] {
-                        Some(v) => v.clone(),
-                        None => base[c].clone(),
-                    };
-                    self.gate_alpha_detached(g, Some((f, b)), &lookup)?
-                };
-                cond[g] = Some(a);
-            } else {
-                let a = {
-                    let cond_ref = &cond;
-                    let lookup = |c: usize| cond_ref[c].clone().expect("child computed");
-                    self.gate_alpha_detached(g, Some((f, b)), &lookup)?
-                };
-                cond[g] = Some(a);
+            if base.is_some() && !affected {
+                // Unaffected gates keep their unconditioned array.
+                continue;
             }
+            let mut buf = self.spare.pop().unwrap_or_default();
+            let result = gate_alpha(
+                self.d.nodes(),
+                &self.sets,
+                &mut self.binomials,
+                &mut self.ticker,
+                &mut self.conv,
+                g,
+                Some((f, b)),
+                Lookup::Cond {
+                    cond: &self.cond,
+                    base: base.map(|a| a.as_slice()),
+                },
+                &mut buf,
+            );
+            if let Err(e) = result {
+                self.spare.push(buf);
+                return Err(e);
+            }
+            std::mem::swap(&mut self.cond[g], &mut buf);
+            self.spare.push(buf);
+            self.touched.push(g);
         }
-        Ok(match cond[root].take() {
-            Some(v) => v,
-            None => base.expect("root unaffected implies reuse mode")[root].clone(),
-        })
+        if self.cond[root].is_empty() {
+            // Root unaffected: only possible in reuse mode.
+            out.clone_from(&base.expect("root unaffected implies reuse mode")[root]);
+        } else {
+            std::mem::swap(out, &mut self.cond[root]);
+            // `out`'s previous contents now sit in `cond[root]`; the slot is
+            // still marked touched, so the next pass clears it.
+        }
+        Ok(())
     }
 }
 
@@ -302,14 +371,16 @@ pub fn shapley_all_facts(
         None
     };
 
+    let mut gamma = Vec::new();
+    let mut delta = Vec::new();
     for f in root_vars.iter() {
         if let Some(deadline) = cfg.deadline {
             if Instant::now() > deadline {
                 return Err(ShapleyTimeout);
             }
         }
-        let gamma = dp.conditioned_root(f, true, base.as_ref())?;
-        let delta = dp.conditioned_root(f, false, base.as_ref())?;
+        dp.conditioned_root(f, true, base.as_ref(), &mut gamma)?;
+        dp.conditioned_root(f, false, base.as_ref(), &mut delta)?;
         debug_assert_eq!(gamma.len(), m);
         debug_assert_eq!(delta.len(), m);
         out[f] = weighted_difference(&gamma, &delta, &weights, &denom);
@@ -353,8 +424,10 @@ pub fn shapley_single_fact(
             return Err(ShapleyTimeout);
         }
     }
-    let gamma = dp.conditioned_root(var, true, base.as_ref())?;
-    let delta = dp.conditioned_root(var, false, base.as_ref())?;
+    let mut gamma = Vec::new();
+    let mut delta = Vec::new();
+    dp.conditioned_root(var, true, base.as_ref(), &mut gamma)?;
+    dp.conditioned_root(var, false, base.as_ref(), &mut delta)?;
     Ok(weighted_difference(&gamma, &delta, &weights, &denom))
 }
 
@@ -368,7 +441,7 @@ pub fn sat_k_all(d: &Ddnnf) -> Vec<BigUint> {
     let m = dp.sets[root].len();
     let gap = d.num_vars() - m;
     let mut binomials = BinomialTable::new();
-    let row = binomials.row(gap).to_vec();
+    let row = binomials.row(gap);
     let mut out = vec![BigUint::zero(); d.num_vars() + 1];
     for (j, a) in base[root].iter().enumerate() {
         if a.is_zero() {

@@ -24,6 +24,9 @@ pub enum AnalysisMethod {
     ReadOnce,
     /// The full Figure-3 pipeline: Tseytin → compile → project → Algorithm 1.
     KnowledgeCompilation,
+    /// Tiny non-read-once lineage: `O(2ⁿ)` enumeration of the definition
+    /// (the planner's cheapest exact route below ~10 variables).
+    Naive,
 }
 
 /// Exact Shapley value of one fact of a lineage.
@@ -66,6 +69,7 @@ impl LineageAnalysis {
             engine: match self.method {
                 AnalysisMethod::ReadOnce => EngineKind::ReadOnce,
                 AnalysisMethod::KnowledgeCompilation => EngineKind::Kc,
+                AnalysisMethod::Naive => EngineKind::Naive,
             },
             values: EngineValues::Exact(
                 self.attributions
@@ -207,17 +211,38 @@ mod tests {
     }
 
     #[test]
-    fn auto_falls_back_to_kc_on_majority() {
+    fn auto_routes_tiny_majority_to_naive_enumeration() {
+        // Non-read-once but only 3 variables: the planner's tiny-naive
+        // route answers it without ever building a CNF.
         let mut d = Dnf::new();
         for pair in [[0u32, 1], [1, 2], [0, 2]] {
             d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
         }
         let auto =
             analyze_lineage_auto(&d, 3, &Budget::unlimited(), &ExactConfig::default()).unwrap();
-        assert_eq!(auto.method, AnalysisMethod::KnowledgeCompilation);
+        assert_eq!(auto.method, AnalysisMethod::Naive);
+        assert_eq!(auto.cnf_clauses, 0);
         // Majority of three: every fact gets 1/3 by symmetry + efficiency.
         for f in &auto.attributions {
             assert_eq!(f.shapley, Rational::from_ratio(1, 3));
+        }
+    }
+
+    #[test]
+    fn auto_falls_back_to_kc_beyond_the_naive_cutoff() {
+        // Four disjoint majorities (12 vars > max_naive_vars): still not
+        // read-once, so the compiler pipeline runs.
+        let mut d = Dnf::new();
+        for base in [0u32, 3, 6, 9] {
+            for pair in [[base, base + 1], [base + 1, base + 2], [base, base + 2]] {
+                d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+            }
+        }
+        let auto =
+            analyze_lineage_auto(&d, 12, &Budget::unlimited(), &ExactConfig::default()).unwrap();
+        assert_eq!(auto.method, AnalysisMethod::KnowledgeCompilation);
+        for f in &auto.attributions {
+            assert_eq!(f.shapley, Rational::from_ratio(1, 12));
         }
     }
 

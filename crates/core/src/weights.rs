@@ -34,13 +34,22 @@ pub(crate) fn weighted_difference(
 ) -> Rational {
     debug_assert_eq!(gamma.len(), delta.len());
     debug_assert_eq!(gamma.len(), weights.len());
-    let mut numer = BigInt::zero();
+    // Accumulate the positive and negative terms as unsigned magnitudes —
+    // no per-term sign-magnitude clones — and take one signed difference at
+    // the end: `Σ diff·w = pos − neg` exactly.
+    let mut pos = BigUint::zero();
+    let mut neg = BigUint::zero();
     for j in 0..gamma.len() {
-        let diff = BigInt::from_biguint(gamma[j].clone()) - BigInt::from_biguint(delta[j].clone());
-        if diff.is_zero() {
-            continue;
+        match gamma[j].cmp(&delta[j]) {
+            std::cmp::Ordering::Equal => {}
+            std::cmp::Ordering::Greater => {
+                pos += &(&(&gamma[j] - &delta[j]) * &weights[j]);
+            }
+            std::cmp::Ordering::Less => {
+                neg += &(&(&delta[j] - &gamma[j]) * &weights[j]);
+            }
         }
-        numer += &(&diff * &BigInt::from_biguint(weights[j].clone()));
     }
+    let numer = BigInt::from_biguint(pos) - BigInt::from_biguint(neg);
     Rational::new(numer, denom.clone())
 }

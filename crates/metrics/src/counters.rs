@@ -67,6 +67,9 @@ pub static ENGINE_SOLVES: Counter = Counter::new("engine.solves");
 pub static PLANNER_KC_ROUTES: Counter = Counter::new("planner.kc_routes");
 /// Lineages the planner routed to the read-once fast path.
 pub static PLANNER_READ_ONCE_ROUTES: Counter = Counter::new("planner.read_once_routes");
+/// Tiny non-read-once lineages the planner routed to naive enumeration
+/// (cheaper than factorization + compilation below the configured size).
+pub static PLANNER_NAIVE_ROUTES: Counter = Counter::new("planner.naive_routes");
 /// Hierarchical self-join-free queries whose lineage did *not* factor —
 /// a theory violation that must stay at zero.
 pub static PLANNER_HIERARCHICAL_DISAGREEMENTS: Counter =
@@ -97,6 +100,7 @@ pub fn snapshot() -> Vec<(&'static str, u64)> {
         &ENGINE_SOLVES,
         &PLANNER_KC_ROUTES,
         &PLANNER_READ_ONCE_ROUTES,
+        &PLANNER_NAIVE_ROUTES,
         &PLANNER_HIERARCHICAL_DISAGREEMENTS,
         &CACHE_HITS,
         &CACHE_MISSES,

@@ -1,103 +1,186 @@
-//! Arbitrary-precision unsigned integers.
+//! Arbitrary-precision unsigned integers with an inline small-value form.
 //!
-//! Representation: little-endian `Vec<u64>` limbs with no trailing zero limb
-//! (the canonical form of zero is the empty limb vector). All arithmetic is
-//! exact; `sub` panics on underflow (use [`BigUint::checked_sub`] otherwise).
+//! Representation: values with at most two significant limbs — the
+//! overwhelmingly common case for `#SAT_k` counts and Algorithm 1
+//! coefficients — live inline in the [`BigUint`] itself and never touch the
+//! heap; wider values spill to a little-endian `Vec<u64>` limb vector with
+//! no trailing zero limb. The representation is canonical (a value fits
+//! inline if and only if it is stored inline), and the arithmetic fast
+//! paths run on `u128` before falling back to the limb loops. All
+//! arithmetic is exact; `sub` panics on underflow (use
+//! [`BigUint::checked_sub`] otherwise).
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, AddAssign, Mul, Shl, Shr, Sub};
 
+/// Internal storage. Invariant: `Heap` holds ≥ 3 limbs with a non-zero top
+/// limb; everything narrower is `Small` with the unused limbs zeroed.
+#[derive(Clone)]
+enum Repr {
+    /// ≤ 2 significant limbs, inline. `len` ∈ {0, 1, 2}; the canonical form
+    /// of zero is `len == 0`.
+    Small { len: u8, limbs: [u64; 2] },
+    /// ≥ 3 limbs, little-endian, normalized (no trailing zero limb).
+    Heap(Vec<u64>),
+}
+
 /// An arbitrary-precision unsigned integer.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct BigUint {
-    /// Little-endian limbs, base 2^64, normalized (no trailing zeros).
-    limbs: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for BigUint {
+    fn default() -> Self {
+        BigUint::zero()
+    }
+}
+
+#[inline]
+fn small_from_u128(v: u128) -> Repr {
+    let lo = v as u64;
+    let hi = (v >> 64) as u64;
+    let len = if hi != 0 {
+        2
+    } else if lo != 0 {
+        1
+    } else {
+        0
+    };
+    Repr::Small {
+        len,
+        limbs: [lo, hi],
+    }
 }
 
 impl BigUint {
     /// The value 0.
+    #[inline]
     pub fn zero() -> Self {
-        BigUint { limbs: Vec::new() }
+        BigUint {
+            repr: Repr::Small {
+                len: 0,
+                limbs: [0, 0],
+            },
+        }
     }
 
     /// The value 1.
+    #[inline]
     pub fn one() -> Self {
-        BigUint { limbs: vec![1] }
+        BigUint::from_u64(1)
     }
 
     /// Constructs from a `u64`.
+    #[inline]
     pub fn from_u64(v: u64) -> Self {
-        if v == 0 {
-            Self::zero()
-        } else {
-            BigUint { limbs: vec![v] }
+        BigUint {
+            repr: Repr::Small {
+                len: u8::from(v != 0),
+                limbs: [v, 0],
+            },
         }
     }
 
     /// Constructs from a `u128`.
+    #[inline]
     pub fn from_u128(v: u128) -> Self {
-        let lo = v as u64;
-        let hi = (v >> 64) as u64;
-        let mut n = BigUint {
-            limbs: vec![lo, hi],
-        };
-        n.normalize();
-        n
+        BigUint {
+            repr: small_from_u128(v),
+        }
     }
 
     /// Constructs from little-endian limbs (normalizing).
     pub fn from_limbs(limbs: Vec<u64>) -> Self {
-        let mut n = BigUint { limbs };
-        n.normalize();
-        n
+        Self::from_vec(limbs)
+    }
+
+    /// The canonicalizing constructor: pops trailing zero limbs and stores
+    /// inline when two limbs suffice.
+    fn from_vec(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        match limbs.len() {
+            0 => BigUint::zero(),
+            1 => BigUint::from_u64(limbs[0]),
+            2 => BigUint {
+                repr: Repr::Small {
+                    len: 2,
+                    limbs: [limbs[0], limbs[1]],
+                },
+            },
+            _ => BigUint {
+                repr: Repr::Heap(limbs),
+            },
+        }
     }
 
     /// Exposes the little-endian limbs.
+    #[inline]
     pub fn limbs(&self) -> &[u64] {
-        &self.limbs
+        match &self.repr {
+            Repr::Small { len, limbs } => &limbs[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// The value as `u128` when stored inline (canonical: iff it fits).
+    #[inline]
+    fn as_u128(&self) -> Option<u128> {
+        match &self.repr {
+            Repr::Small { limbs, .. } => Some(limbs[0] as u128 | (limbs[1] as u128) << 64),
+            Repr::Heap(_) => None,
+        }
     }
 
     /// True iff the value is 0.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Small { len: 0, .. })
     }
 
     /// True iff the value is 1.
+    #[inline]
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(
+            self.repr,
+            Repr::Small {
+                len: 1,
+                limbs: [1, _]
+            }
+        )
     }
 
     /// True iff the value is even (0 is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().is_none_or(|l| l & 1 == 0)
+        self.limbs().first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for the value 0).
     pub fn bits(&self) -> u64 {
-        match self.limbs.last() {
+        let limbs = self.limbs();
+        match limbs.last() {
             None => 0,
-            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+            Some(&top) => (limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
         }
     }
 
     /// Returns the value as `u64` if it fits.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
+        match self.limbs() {
+            [] => Some(0),
+            [l] => Some(*l),
             _ => None,
         }
     }
 
     /// Returns the value as `u128` if it fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
-            _ => None,
-        }
+        // Canonical representation: a value fits in two limbs iff inline.
+        self.as_u128()
     }
 
     /// Lossy conversion to `f64`.
@@ -110,12 +193,12 @@ impl BigUint {
             return 0.0;
         }
         if bits <= 64 {
-            return self.limbs[0] as f64;
+            return self.limbs()[0] as f64;
         }
         // Take the top 64 bits and scale by the discarded exponent.
         let shift = bits - 64;
         let top = self.clone() >> shift as usize;
-        let mantissa = top.limbs[0] as f64;
+        let mantissa = top.limbs()[0] as f64;
         if shift > 1023 {
             // Split the scaling to avoid overflowing the exponent computation.
             let first = 2f64.powi(1023);
@@ -126,58 +209,86 @@ impl BigUint {
         }
     }
 
-    fn normalize(&mut self) {
-        while self.limbs.last() == Some(&0) {
-            self.limbs.pop();
-        }
-    }
-
     /// `self - other`, or `None` on underflow.
     pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if let (Some(a), Some(b)) = (self.as_u128(), other.as_u128()) {
+            return a.checked_sub(b).map(BigUint::from_u128);
+        }
         if self < other {
             return None;
         }
-        let mut out = Vec::with_capacity(self.limbs.len());
+        let a = self.limbs();
+        let b = other.limbs();
+        let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let rhs = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, b1) = self.limbs[i].overflowing_sub(rhs);
+        for (i, &ai) in a.iter().enumerate() {
+            let rhs = b.get(i).copied().unwrap_or(0);
+            let (d1, b1) = ai.overflowing_sub(rhs);
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
             borrow = (b1 | b2) as u64;
         }
         debug_assert_eq!(borrow, 0);
-        Some(BigUint::from_limbs(out))
+        Some(BigUint::from_vec(out))
     }
 
     /// Multiplies by a `u64` in place.
     pub fn mul_small(&mut self, m: u64) {
         if m == 0 {
-            self.limbs.clear();
+            *self = BigUint::zero();
             return;
         }
-        let mut carry = 0u128;
-        for limb in &mut self.limbs {
-            let prod = *limb as u128 * m as u128 + carry;
-            *limb = prod as u64;
-            carry = prod >> 64;
-        }
-        if carry != 0 {
-            self.limbs.push(carry as u64);
+        match &mut self.repr {
+            Repr::Small { limbs, .. } => {
+                // Two 64×64→128 partial products cannot overflow u128.
+                let lo = limbs[0] as u128 * m as u128;
+                let hi = limbs[1] as u128 * m as u128 + (lo >> 64);
+                let spill = (hi >> 64) as u64;
+                self.repr = if spill != 0 {
+                    Repr::Heap(vec![lo as u64, hi as u64, spill])
+                } else {
+                    small_from_u128(lo as u64 as u128 | (hi as u64 as u128) << 64)
+                };
+            }
+            Repr::Heap(v) => {
+                let mut carry = 0u128;
+                for limb in v.iter_mut() {
+                    let prod = *limb as u128 * m as u128 + carry;
+                    *limb = prod as u64;
+                    carry = prod >> 64;
+                }
+                if carry != 0 {
+                    v.push(carry as u64);
+                }
+            }
         }
     }
 
     /// Divides in place by a `u64`, returning the remainder. Panics if `d == 0`.
     pub fn div_small(&mut self, d: u64) -> u64 {
         assert!(d != 0, "division by zero");
-        let mut rem = 0u128;
-        for limb in self.limbs.iter_mut().rev() {
-            let cur = (rem << 64) | *limb as u128;
-            *limb = (cur / d as u128) as u64;
-            rem = cur % d as u128;
+        match &mut self.repr {
+            Repr::Small { limbs, .. } => {
+                let v = limbs[0] as u128 | (limbs[1] as u128) << 64;
+                let r = (v % d as u128) as u64;
+                self.repr = small_from_u128(v / d as u128);
+                r
+            }
+            Repr::Heap(v) => {
+                let mut rem = 0u128;
+                for limb in v.iter_mut().rev() {
+                    let cur = (rem << 64) | *limb as u128;
+                    *limb = (cur / d as u128) as u64;
+                    rem = cur % d as u128;
+                }
+                let rem = rem as u64;
+                if v.last() == Some(&0) {
+                    let taken = std::mem::take(v);
+                    *self = BigUint::from_vec(taken);
+                }
+                rem
+            }
         }
-        self.normalize();
-        rem as u64
     }
 
     /// Quotient and remainder. Panics if `divisor` is 0.
@@ -187,23 +298,27 @@ impl BigUint {
     /// ample for our operand sizes.
     pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
         assert!(!divisor.is_zero(), "division by zero");
+        if let (Some(a), Some(b)) = (self.as_u128(), divisor.as_u128()) {
+            return (BigUint::from_u128(a / b), BigUint::from_u128(a % b));
+        }
         if self < divisor {
             return (BigUint::zero(), self.clone());
         }
-        if divisor.limbs.len() == 1 {
+        if let [d] = divisor.limbs() {
+            let d = *d;
             let mut q = self.clone();
-            let r = q.div_small(divisor.limbs[0]);
+            let r = q.div_small(d);
             return (q, BigUint::from_u64(r));
         }
         // Normalize so that the divisor's top limb has its high bit set.
-        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let shift = divisor.limbs().last().unwrap().leading_zeros() as usize;
         let u = self.clone() << shift;
         let v = divisor.clone() << shift;
-        let n = v.limbs.len();
-        let m = u.limbs.len() - n;
-        let mut un = u.limbs.clone();
+        let n = v.limbs().len();
+        let m = u.limbs().len() - n;
+        let mut un = u.limbs().to_vec();
         un.push(0); // extra limb for the algorithm
-        let vn = &v.limbs;
+        let vn = v.limbs();
         let mut q = vec![0u64; m + 1];
         let v_top = vn[n - 1] as u128;
         let v_second = vn[n - 2] as u128;
@@ -245,13 +360,17 @@ impl BigUint {
             }
             q[j] = qhat as u64;
         }
-        let quotient = BigUint::from_limbs(q);
+        let quotient = BigUint::from_vec(q);
         un.truncate(n);
-        let remainder = BigUint::from_limbs(un) >> shift;
+        let remainder = BigUint::from_vec(un) >> shift;
         (quotient, remainder)
     }
 
     /// Greatest common divisor (binary GCD; no division needed).
+    ///
+    /// Inline operands run the whole loop on `u128`s; wider operands run an
+    /// in-place limb-buffer loop that drops to the `u128` path as soon as
+    /// both residues fit, so no iteration allocates.
     pub fn gcd(&self, other: &BigUint) -> BigUint {
         if self.is_zero() {
             return other.clone();
@@ -259,39 +378,39 @@ impl BigUint {
         if other.is_zero() {
             return self.clone();
         }
-        let mut a = self.clone();
-        let mut b = other.clone();
+        if let (Some(a), Some(b)) = (self.as_u128(), other.as_u128()) {
+            return BigUint::from_u128(gcd_u128(a, b));
+        }
+        let mut a = self.limbs().to_vec();
+        let mut b = other.limbs().to_vec();
         // Factor out common powers of two.
-        let az = a.trailing_zeros();
-        let bz = b.trailing_zeros();
-        let common = az.min(bz);
-        a = a >> az as usize;
-        b = b >> bz as usize;
+        let az = trailing_zeros_limbs(&a);
+        let bz = trailing_zeros_limbs(&b);
+        let common = az.min(bz) as usize;
+        shr_in_place(&mut a, az);
+        shr_in_place(&mut b, bz);
         loop {
-            if a > b {
-                std::mem::swap(&mut a, &mut b);
+            // Both odd here. Switch to the u128 kernel once narrow enough.
+            if a.len() <= 2 && b.len() <= 2 {
+                let g = gcd_u128(limbs_to_u128(&a), limbs_to_u128(&b));
+                return BigUint::from_u128(g) << common;
             }
-            b = b.checked_sub(&a).unwrap();
-            if b.is_zero() {
-                return a << common as usize;
+            match cmp_limbs(&a, &b) {
+                Ordering::Equal => return BigUint::from_vec(a) << common,
+                Ordering::Less => std::mem::swap(&mut a, &mut b),
+                Ordering::Greater => {}
             }
-            b = b.clone() >> b.trailing_zeros() as usize;
+            sub_limbs_in_place(&mut a, &b);
+            // a was > b, so the difference is non-zero (and even).
+            let tz = trailing_zeros_limbs(&a);
+            shr_in_place(&mut a, tz);
         }
     }
 
     /// Number of trailing zero bits (0 has none by convention; panics on 0).
     pub fn trailing_zeros(&self) -> u64 {
         assert!(!self.is_zero(), "trailing_zeros of zero");
-        let mut tz = 0u64;
-        for &limb in &self.limbs {
-            if limb == 0 {
-                tz += 64;
-            } else {
-                tz += limb.trailing_zeros() as u64;
-                break;
-            }
-        }
-        tz
+        trailing_zeros_limbs(self.limbs())
     }
 
     /// `self ^ exp` by square-and-multiply.
@@ -325,12 +444,101 @@ impl BigUint {
     }
 }
 
+/// Binary GCD of two non-zero `u128`s.
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    debug_assert!(a != 0 && b != 0);
+    let az = a.trailing_zeros();
+    let bz = b.trailing_zeros();
+    let common = az.min(bz);
+    a >>= az;
+    b >>= bz;
+    loop {
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << common;
+        }
+        b >>= b.trailing_zeros();
+    }
+}
+
+/// The low 128 bits of a ≤2-limb slice.
+fn limbs_to_u128(l: &[u64]) -> u128 {
+    match l {
+        [] => 0,
+        [a] => *a as u128,
+        [a, b, ..] => *a as u128 | (*b as u128) << 64,
+    }
+}
+
+/// Trailing zero bits of a non-zero normalized limb slice.
+fn trailing_zeros_limbs(l: &[u64]) -> u64 {
+    let mut tz = 0u64;
+    for &limb in l {
+        if limb == 0 {
+            tz += 64;
+        } else {
+            tz += limb.trailing_zeros() as u64;
+            break;
+        }
+    }
+    tz
+}
+
+/// Compares two normalized limb vectors.
+fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => a.iter().rev().cmp(b.iter().rev()),
+        ord => ord,
+    }
+}
+
+/// Right-shifts a limb vector in place, popping trailing zero limbs.
+fn shr_in_place(v: &mut Vec<u64>, bits: u64) {
+    let limb_shift = (bits / 64) as usize;
+    if limb_shift >= v.len() {
+        v.clear();
+        return;
+    }
+    if limb_shift > 0 {
+        v.drain(..limb_shift);
+    }
+    let bit_shift = bits % 64;
+    if bit_shift != 0 {
+        let mut carry = 0u64;
+        for l in v.iter_mut().rev() {
+            let new = (*l >> bit_shift) | carry;
+            carry = *l << (64 - bit_shift);
+            *l = new;
+        }
+    }
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+impl PartialEq for BigUint {
+    fn eq(&self, other: &Self) -> bool {
+        self.limbs() == other.limbs()
+    }
+}
+
+impl Eq for BigUint {}
+
+impl Hash for BigUint {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.limbs().hash(state);
+    }
+}
+
 impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.limbs.len().cmp(&other.limbs.len()) {
-            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
-            ord => ord,
+        if let (Some(a), Some(b)) = (self.as_u128(), other.as_u128()) {
+            return a.cmp(&b);
         }
+        cmp_limbs(self.limbs(), other.limbs())
     }
 }
 
@@ -348,20 +556,43 @@ impl AddAssign<BigUint> for BigUint {
 
 impl AddAssign<&BigUint> for BigUint {
     fn add_assign(&mut self, rhs: &BigUint) {
-        if self.limbs.len() < rhs.limbs.len() {
-            self.limbs.resize(rhs.limbs.len(), 0);
+        if let (Some(a), Some(b)) = (self.as_u128(), rhs.as_u128()) {
+            match a.checked_add(b) {
+                Some(s) => self.repr = small_from_u128(s),
+                None => {
+                    let s = a.wrapping_add(b);
+                    self.repr = Repr::Heap(vec![s as u64, (s >> 64) as u64, 1]);
+                }
+            }
+            return;
+        }
+        // At least one heap operand: run the limb loop into self's vector.
+        let mut limbs = match std::mem::replace(
+            &mut self.repr,
+            Repr::Small {
+                len: 0,
+                limbs: [0, 0],
+            },
+        ) {
+            Repr::Small { len, limbs } => limbs[..len as usize].to_vec(),
+            Repr::Heap(v) => v,
+        };
+        let r = rhs.limbs();
+        if limbs.len() < r.len() {
+            limbs.resize(r.len(), 0);
         }
         let mut carry = 0u64;
-        for i in 0..self.limbs.len() {
-            let r = rhs.limbs.get(i).copied().unwrap_or(0);
-            let (s1, c1) = self.limbs[i].overflowing_add(r);
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let rv = r.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(rv);
             let (s2, c2) = s1.overflowing_add(carry);
-            self.limbs[i] = s2;
+            *limb = s2;
             carry = (c1 | c2) as u64;
         }
         if carry != 0 {
-            self.limbs.push(carry);
+            limbs.push(carry);
         }
+        *self = BigUint::from_vec(limbs);
     }
 }
 
@@ -459,7 +690,7 @@ fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
 }
 
 /// `a -= b` on limb vectors; requires `a ≥ b` (guaranteed for Karatsuba's
-/// middle term).
+/// middle term and the GCD loop).
 fn sub_limbs_in_place(a: &mut Vec<u64>, b: &[u64]) {
     let mut borrow = 0i128;
     for i in 0..a.len() {
@@ -473,7 +704,7 @@ fn sub_limbs_in_place(a: &mut Vec<u64>, b: &[u64]) {
             borrow = 0;
         }
     }
-    debug_assert_eq!(borrow, 0, "Karatsuba middle term must be non-negative");
+    debug_assert_eq!(borrow, 0, "limb subtraction must be non-negative");
     while a.last() == Some(&0) {
         a.pop();
     }
@@ -514,10 +745,15 @@ fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
 impl Mul for &BigUint {
     type Output = BigUint;
     fn mul(self, rhs: &BigUint) -> BigUint {
+        if let (Some(a), Some(b)) = (self.as_u128(), rhs.as_u128()) {
+            if let Some(p) = a.checked_mul(b) {
+                return BigUint::from_u128(p);
+            }
+        }
         if self.is_zero() || rhs.is_zero() {
             return BigUint::zero();
         }
-        BigUint::from_limbs(mul_limbs(&self.limbs, &rhs.limbs))
+        BigUint::from_vec(mul_limbs(self.limbs(), rhs.limbs()))
     }
 }
 
@@ -534,14 +770,22 @@ impl Shl<usize> for BigUint {
         if self.is_zero() || bits == 0 {
             return self;
         }
+        if bits < 128 {
+            if let Some(v) = self.as_u128() {
+                if v.leading_zeros() as usize >= bits {
+                    return BigUint::from_u128(v << bits);
+                }
+            }
+        }
+        let limbs = self.limbs();
         let limb_shift = bits / 64;
         let bit_shift = bits % 64;
         let mut out = vec![0u64; limb_shift];
         if bit_shift == 0 {
-            out.extend_from_slice(&self.limbs);
+            out.extend_from_slice(limbs);
         } else {
             let mut carry = 0u64;
-            for &l in &self.limbs {
+            for &l in limbs {
                 out.push((l << bit_shift) | carry);
                 carry = l >> (64 - bit_shift);
             }
@@ -549,19 +793,27 @@ impl Shl<usize> for BigUint {
                 out.push(carry);
             }
         }
-        BigUint::from_limbs(out)
+        BigUint::from_vec(out)
     }
 }
 
 impl Shr<usize> for BigUint {
     type Output = BigUint;
     fn shr(self, bits: usize) -> BigUint {
+        if let Some(v) = self.as_u128() {
+            return if bits >= 128 {
+                BigUint::zero()
+            } else {
+                BigUint::from_u128(v >> bits)
+            };
+        }
+        let limbs = self.limbs();
         let limb_shift = bits / 64;
-        if limb_shift >= self.limbs.len() {
+        if limb_shift >= limbs.len() {
             return BigUint::zero();
         }
         let bit_shift = bits % 64;
-        let mut out = self.limbs[limb_shift..].to_vec();
+        let mut out = limbs[limb_shift..].to_vec();
         if bit_shift != 0 {
             let mut carry = 0u64;
             for l in out.iter_mut().rev() {
@@ -570,7 +822,7 @@ impl Shr<usize> for BigUint {
                 *l = new;
             }
         }
-        BigUint::from_limbs(out)
+        BigUint::from_vec(out)
     }
 }
 
@@ -622,6 +874,11 @@ impl From<usize> for BigUint {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// True iff the value is stored inline (test-only invariant probe).
+    fn is_inline(v: &BigUint) -> bool {
+        matches!(v.repr, Repr::Small { .. })
+    }
 
     #[test]
     fn zero_and_one() {
@@ -703,6 +960,20 @@ mod tests {
     }
 
     #[test]
+    fn gcd_multi_limb_operands() {
+        // g · a and g · b with a 3-limb g: the heap loop must recover g
+        // times gcd(a, b) = 3g.
+        let g = (BigUint::one() << 130) + BigUint::from_u64(7);
+        let a = &g * &BigUint::from_u64(6);
+        let b = &g * &BigUint::from_u64(15);
+        assert_eq!(a.gcd(&b), &g * &BigUint::from_u64(3));
+        // One wide, one narrow operand.
+        let wide = BigUint::one() << 200;
+        let narrow = BigUint::from_u64(1 << 20);
+        assert_eq!(wide.gcd(&narrow), narrow);
+    }
+
+    #[test]
     fn shifts_round_trip() {
         let v = BigUint::from_decimal("987654321987654321987654321").unwrap();
         let shifted = v.clone() << 77;
@@ -717,6 +988,54 @@ mod tests {
         // Huge values saturate to infinity rather than panic.
         let huge = BigUint::from_u64(1) << 1100;
         assert!(huge.to_f64().is_infinite());
+    }
+
+    #[test]
+    fn representation_is_canonical() {
+        // ≤ 2 limbs always inline, even when produced by heap arithmetic.
+        assert!(is_inline(&BigUint::from_u128(u128::MAX)));
+        assert!(is_inline(&BigUint::from_limbs(vec![1, 2, 0, 0])));
+        assert!(!is_inline(&BigUint::from_limbs(vec![1, 2, 3])));
+        let spilled = &BigUint::from_u128(u128::MAX) + &BigUint::one();
+        assert!(!is_inline(&spilled));
+        let back = spilled.checked_sub(&BigUint::one()).unwrap();
+        assert!(is_inline(&back), "shrinking results demote to inline");
+        assert_eq!(back.to_u128(), Some(u128::MAX));
+        let (q, r) = (BigUint::one() << 192).div_rem(&(BigUint::one() << 100));
+        assert!(is_inline(&q) && is_inline(&r));
+    }
+
+    /// Values straddling the one→two-limb and two-limb→heap spill
+    /// boundaries: `2^64 ± k` and `2^128 ± k`.
+    fn boundary_value(center_bit: u32, offset: i64) -> BigUint {
+        let base = BigUint::one() << center_bit as usize;
+        if offset >= 0 {
+            &base + &BigUint::from_u64(offset as u64)
+        } else {
+            base.checked_sub(&BigUint::from_u64(offset.unsigned_abs()))
+                .unwrap()
+        }
+    }
+
+    /// Reference implementations straight on limb vectors (no small path).
+    fn ref_add(a: &BigUint, b: &BigUint) -> BigUint {
+        BigUint::from_limbs(add_limbs(a.limbs(), b.limbs()))
+    }
+
+    fn ref_mul(a: &BigUint, b: &BigUint) -> BigUint {
+        BigUint::from_limbs(mul_limbs_schoolbook(
+            if a.is_zero() { &[0] } else { a.limbs() },
+            if b.is_zero() { &[0] } else { b.limbs() },
+        ))
+    }
+
+    fn ref_sub(a: &BigUint, b: &BigUint) -> Option<BigUint> {
+        if cmp_limbs(a.limbs(), b.limbs()) == Ordering::Less {
+            return None;
+        }
+        let mut v = a.limbs().to_vec();
+        sub_limbs_in_place(&mut v, b.limbs());
+        Some(BigUint::from_limbs(v))
     }
 
     proptest! {
@@ -766,9 +1085,54 @@ mod tests {
         }
 
         #[test]
+        fn prop_gcd_wide_divides(
+            alimbs in proptest::collection::vec(any::<u64>(), 3..6),
+            blimbs in proptest::collection::vec(any::<u64>(), 1..6),
+        ) {
+            let a = BigUint::from_limbs(alimbs);
+            let b = BigUint::from_limbs(blimbs);
+            prop_assume!(!a.is_zero() && !b.is_zero());
+            let g = a.gcd(&b);
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+        }
+
+        #[test]
         fn prop_decimal_round_trip(a in any::<u128>()) {
             let s = a.to_string();
             prop_assert_eq!(BigUint::from_decimal(&s).unwrap().to_string(), s);
+        }
+
+        #[test]
+        fn prop_spill_boundary_ops_match_limb_path(
+            center_idx in 0usize..2,
+            da in -3i64..=3,
+            db in -3i64..=3,
+            m in any::<u64>(),
+        ) {
+            // Operands straddling 2^64 ± k and 2^128 ± k: the inline fast
+            // paths must agree limb-for-limb with the reference loops.
+            let center = [64u32, 128][center_idx];
+            let a = boundary_value(center, da);
+            let b = boundary_value(center, db);
+            prop_assert_eq!(&a + &b, ref_add(&a, &b));
+            prop_assert_eq!(&a * &b, ref_mul(&a, &b));
+            prop_assert_eq!(a.checked_sub(&b), ref_sub(&a, &b));
+            prop_assert_eq!(b.checked_sub(&a), ref_sub(&b, &a));
+            let mut ms = a.clone();
+            ms.mul_small(m);
+            prop_assert_eq!(ms, ref_mul(&a, &BigUint::from_u64(m)));
+            if m != 0 {
+                let mut q = a.clone();
+                let r = q.div_small(m);
+                let back = &ref_mul(&q, &BigUint::from_u64(m)) + &BigUint::from_u64(r);
+                prop_assert_eq!(back, a.clone());
+            }
+            let g = a.gcd(&b);
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+            // Hash/Eq consistency across the boundary forms.
+            prop_assert_eq!(a.cmp(&b), cmp_limbs(a.limbs(), b.limbs()));
         }
 
         #[test]

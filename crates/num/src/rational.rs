@@ -343,5 +343,36 @@ mod tests {
             let x = Rational::from_ratio(a as i64, b as u64);
             prop_assert!((&x - &x).is_zero());
         }
+
+        #[test]
+        fn prop_normalization_equivalence_across_spill_boundary(
+            center_idx in 0usize..2,
+            da in -3i64..=3,
+            num in 1u64..1000,
+            den in 1u64..1000,
+        ) {
+            // Scale num/den by a common factor straddling 2^64±k / 2^128±k
+            // (the BigUint inline→heap spill boundary): the canonical form
+            // must be identical to the unscaled one — the gcd/div_rem fast
+            // paths and the limb paths must normalize to the same
+            // representation.
+            let center = [64u32, 128][center_idx];
+            let base = BigUint::one() << center as usize;
+            let k = if da >= 0 {
+                &base + &BigUint::from_u64(da as u64)
+            } else {
+                base.checked_sub(&BigUint::from_u64(da.unsigned_abs())).unwrap()
+            };
+            let plain = Rational::from_ratio(num as i64, den);
+            let scaled = Rational::new(
+                BigInt::from_biguint(&BigUint::from_u64(num) * &k),
+                &BigUint::from_u64(den) * &k,
+            );
+            prop_assert_eq!(&plain, &scaled);
+            prop_assert_eq!(plain.numerator(), scaled.numerator());
+            prop_assert_eq!(plain.denominator(), scaled.denominator());
+            // And the scaled pair still reduces through arithmetic.
+            prop_assert!((&plain - &scaled).is_zero());
+        }
     }
 }

@@ -290,6 +290,7 @@ impl<'a> ShapleyAnalyzer<'a> {
             // planner's admission caps to match the classic hybrid.
             max_kc_vars: usize::MAX,
             max_kc_conjuncts: usize::MAX,
+            ..Default::default()
         };
         let (res, report) = self.run_batch(q, planner_cfg, &cfg.exact);
         res.outputs
