@@ -1,6 +1,6 @@
 # Convenience targets mirroring .github/workflows/ci.yml for offline use.
 
-.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench
+.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-serve bench
 
 check: fmt build test clippy doc quickstart
 
@@ -35,6 +35,13 @@ bench-cache:
 # writes a machine-readable summary to results/bench_exact.json.
 bench-exact:
 	cargo bench --bench exact_cold -p shapdb_bench
+
+# Resident service: the 521-lineage workload replayed through the
+# `serve --jsonl` protocol (cold + warm) vs the direct batch path; records
+# the warm-serve / warm-batch ratio in results/bench_serve.json (warns past
+# the 2x acceptance bar).
+bench-serve:
+	cargo bench --bench serve -p shapdb_bench
 
 bench:
 	cargo bench -p shapdb_bench

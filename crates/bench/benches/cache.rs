@@ -15,39 +15,13 @@ use shapdb_circuit::Dnf;
 use shapdb_core::engine::{BatchExecutor, EngineKind, Planner, PlannerConfig, ShapleyCache};
 use shapdb_core::exact::ExactConfig;
 use shapdb_kc::Budget;
-use shapdb_query::evaluate;
-use shapdb_workloads::{
-    imdb_database, imdb_queries, tpch_database, tpch_queries, ImdbConfig, TpchConfig,
-};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Every answer lineage of every workload query (capped per query) — the
 /// same corpus as the `batch` bench, so the numbers compare directly.
 fn workload_lineages() -> (Vec<Dnf>, usize) {
-    let tpch = tpch_database(&TpchConfig {
-        scale: 0.5,
-        seed: 42,
-    });
-    let imdb = imdb_database(&ImdbConfig {
-        movies: 600,
-        companies: 60,
-        people: 300,
-        keywords: 50,
-        seed: 42,
-    });
-    let mut lineages = Vec::new();
-    let mut n_endo = 0usize;
-    for (db, queries) in [(&tpch, tpch_queries()), (&imdb, imdb_queries())] {
-        n_endo = n_endo.max(db.num_endogenous());
-        for q in queries {
-            let res = evaluate(&q.ucq, db);
-            for out in res.outputs.iter().take(100) {
-                lineages.push(out.endo_lineage(db));
-            }
-        }
-    }
-    (lineages, n_endo)
+    shapdb_bench::corpus::replay_lineages()
 }
 
 fn planner_with(cache: Arc<ShapleyCache>) -> Planner {

@@ -23,38 +23,12 @@ use shapdb_circuit::{Circuit, Dnf};
 use shapdb_core::engine::{BatchExecutor, EngineKind, Planner, PlannerConfig};
 use shapdb_core::exact::{shapley_all_facts, ExactConfig};
 use shapdb_kc::{compile_circuit, Budget, Ddnnf};
-use shapdb_query::evaluate;
-use shapdb_workloads::{
-    imdb_database, imdb_queries, tpch_database, tpch_queries, ImdbConfig, TpchConfig,
-};
 use std::time::{Duration, Instant};
 
 /// Every answer lineage of every workload query (capped per query) — the
 /// same corpus as the `batch`/`cache` benches.
 fn workload_lineages() -> (Vec<Dnf>, usize) {
-    let tpch = tpch_database(&TpchConfig {
-        scale: 0.5,
-        seed: 42,
-    });
-    let imdb = imdb_database(&ImdbConfig {
-        movies: 600,
-        companies: 60,
-        people: 300,
-        keywords: 50,
-        seed: 42,
-    });
-    let mut lineages = Vec::new();
-    let mut n_endo = 0usize;
-    for (db, queries) in [(&tpch, tpch_queries()), (&imdb, imdb_queries())] {
-        n_endo = n_endo.max(db.num_endogenous());
-        for q in queries {
-            let res = evaluate(&q.ucq, db);
-            for out in res.outputs.iter().take(100) {
-                lineages.push(out.endo_lineage(db));
-            }
-        }
-    }
-    (lineages, n_endo)
+    shapdb_bench::corpus::replay_lineages()
 }
 
 /// The §6.3-style cold planner policy — identical to the `cache` bench's,
@@ -144,6 +118,18 @@ fn bench_exact_cold(c: &mut Criterion) {
             report.dedup.distinct
         })
     });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("fingerprint_only"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                lineages
+                    .iter()
+                    .map(|l| shapdb_circuit::fingerprint(l).num_vars())
+                    .sum::<usize>()
+            })
+        },
+    );
     group.bench_with_input(BenchmarkId::from_parameter("compiler_only"), &(), |b, _| {
         b.iter(|| {
             structures
@@ -179,6 +165,11 @@ fn bench_exact_cold(c: &mut Criterion) {
         );
         assert!(report.items.iter().all(|i| i.result.is_ok()));
     });
+    let fingerprint_ns = median_ns(SAMPLES, || {
+        for l in &lineages {
+            std::hint::black_box(shapdb_circuit::fingerprint(l).num_vars());
+        }
+    });
     let compile_ns = median_ns(SAMPLES, || {
         for d in &structures {
             std::hint::black_box(compile_one(d).len());
@@ -207,6 +198,7 @@ fn bench_exact_cold(c: &mut Criterion) {
             "  }},\n",
             "  \"median_ms\": {{\n",
             "    \"cold_replay\": {:.3},\n",
+            "    \"fingerprint_only\": {:.3},\n",
             "    \"compiler_only\": {:.3},\n",
             "    \"alg1_only\": {:.3}\n",
             "  }}\n",
@@ -219,6 +211,7 @@ fn bench_exact_cold(c: &mut Criterion) {
         PHASE_MAX_VARS,
         circuit_vars,
         cold_ns as f64 / 1e6,
+        fingerprint_ns as f64 / 1e6,
         compile_ns as f64 / 1e6,
         alg1_ns as f64 / 1e6,
     );

@@ -10,7 +10,10 @@
 //!   and failure modes;
 //! * [`experiments`] — the per-table/per-figure drivers that aggregate
 //!   [`runner`] records into the paper's rows and series (Table 1, Table 2,
-//!   Figures 4–8) as plain-text tables.
+//!   Figures 4–8) as plain-text tables;
+//! * [`corpus`] — the shared 521-lineage replay corpus every criterion
+//!   bench measures, built in exactly one place.
 
+pub mod corpus;
 pub mod experiments;
 pub mod runner;

@@ -19,7 +19,10 @@
 //!   read-once ∧/∨ tree of a Boolean function is unique up to reordering of
 //!   children, so AHU-style canonical sorting of the factorization tree
 //!   yields a *complete* canonical labeling — isomorphic read-once lineages
-//!   always share a fingerprint;
+//!   always share a fingerprint. Subtree isomorphism classes are interned
+//!   into a process-global table of dense ids, so a shape repeated across
+//!   the answers of a replay workload (or across service requests) is
+//!   recognized with one hash lookup instead of rebuilding its encoding;
 //! * **everything else**: Weisfeiler–Lehman-style color refinement on the
 //!   variable/conjunct incidence structure, ties broken by original id —
 //!   best-effort completeness (rare WL-indistinguishable asymmetric pairs
@@ -35,7 +38,9 @@ use crate::circuit::VarId;
 use crate::dnf::Dnf;
 use crate::readonce::{factor_minimized, ReadOnce};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
 
 /// The dedup key: the canonical conjunct list over dense canonical variables
 /// (each conjunct sorted, conjuncts sorted lexicographically).
@@ -53,7 +58,9 @@ pub type FingerprintKey = Vec<Vec<u32>>;
 /// minimizing/factoring a second time.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Fingerprint {
-    key: FingerprintKey,
+    /// Shared so downstream cache keys clone an `Arc`, not the conjunct
+    /// list (`Arc<T>` hashes and compares through to `T`).
+    key: std::sync::Arc<FingerprintKey>,
     /// `vars[i]` = the original fact renamed to canonical variable `i`.
     vars: Vec<VarId>,
     /// The canonical read-once tree (leaves are canonical variables), when
@@ -68,9 +75,16 @@ impl Fingerprint {
         &self.key
     }
 
+    /// The key behind a shared handle — what long-lived cache keys store
+    /// (hashes/compares exactly like the plain key).
+    pub fn shared_key(&self) -> std::sync::Arc<FingerprintKey> {
+        std::sync::Arc::clone(&self.key)
+    }
+
     /// Consumes the fingerprint, returning `(key, mapping)`.
     pub fn into_parts(self) -> (FingerprintKey, Vec<VarId>) {
-        (self.key, self.vars)
+        let key = std::sync::Arc::try_unwrap(self.key).unwrap_or_else(|a| (*a).clone());
+        (key, self.vars)
     }
 
     /// Number of distinct variables of the (minimized) lineage.
@@ -93,7 +107,7 @@ impl Fingerprint {
     /// task.
     pub fn canonical_dnf(&self) -> Dnf {
         let mut d = Dnf::new();
-        for conj in &self.key {
+        for conj in self.key.iter() {
             d.add_conjunct(conj.iter().map(|&v| VarId(v)).collect());
         }
         d
@@ -138,19 +152,104 @@ pub fn fingerprint(lineage: &Dnf) -> Fingerprint {
     wl_fingerprint(&d)
 }
 
+/// The shape of one AHU subtree: the gate marker (`b'A'` / `b'O'`) plus
+/// the class ids of its children in canonically sorted order. Two subtrees
+/// have equal shapes iff they are isomorphic (given the children's ids are
+/// already canonical classes) — interning shapes to dense ids makes the
+/// isomorphism class of a subtree a single `u32` comparison.
+type Shape = (u8, Vec<u32>);
+
+/// Class ids of the leaf shapes, pre-seeded below `FIRST_GATE_CLASS`.
+const TRUE_CLASS: u32 = 0;
+const FALSE_CLASS: u32 = 1;
+const VAR_CLASS: u32 = 2;
+const FIRST_GATE_CLASS: u32 = 3;
+
+/// Upper bound on interned gate shapes across all shards. Past its
+/// per-shard slice a shard is cleared (the id counter is **not** reset —
+/// see [`Interner::next`]): fingerprints computed after a clear may order
+/// isomorphism classes differently than ones computed before it — a
+/// one-off round of missed dedup (soundness is per-fingerprint and never
+/// affected) in exchange for bounded memory in resident services.
+const INTERN_CAP: usize = 1 << 20;
+
+/// Lock shards: fingerprinting fans out across batch/service workers, so
+/// the interner must not serialize them on one mutex. Same shape → same
+/// shard → same id; distinct shards never hand out the same id (the
+/// counter is shared and atomic).
+const INTERN_SHARDS: usize = 16;
+
+/// The process-global AHU shape interner. Shared across calls (and worker
+/// threads) on purpose: multi-answer replay workloads repeat the same
+/// subtrees thousands of times, and a shape seen in *any* earlier
+/// fingerprint call is recognized with one hash lookup instead of
+/// rebuilding and comparing an `O(subtree)` encoding.
+struct Interner {
+    shards: Vec<Mutex<HashMap<Shape, u32>>>,
+    /// The next id to hand out. Monotone across shard clears on purpose: a
+    /// thread mid-recursion may still hold pre-clear ids in its
+    /// sorted-children scratch, and never reusing an id guarantees a
+    /// post-clear shape can never collide with one of those (two distinct
+    /// classes comparing equal would scramble that call's sibling order).
+    next: std::sync::atomic::AtomicU32,
+}
+
+fn interner() -> &'static Interner {
+    static INTERN: OnceLock<Interner> = OnceLock::new();
+    INTERN.get_or_init(|| Interner {
+        shards: (0..INTERN_SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect(),
+        next: std::sync::atomic::AtomicU32::new(FIRST_GATE_CLASS),
+    })
+}
+
+/// Interns one gate shape, assigning the next id on first sight.
+fn intern_shape(shape: Shape) -> u32 {
+    let global = interner();
+    let mut h = DefaultHasher::new();
+    shape.hash(&mut h);
+    let shard = &global.shards[h.finish() as usize % INTERN_SHARDS];
+    let mut ids = shard.lock().expect("intern shard lock");
+    if ids.len() > INTERN_CAP / INTERN_SHARDS {
+        // Monotone ids make a clear safe at any point (no id reuse); see
+        // `Interner::next`.
+        ids.clear();
+    }
+    *ids.entry(shape).or_insert_with(|| {
+        global
+            .next
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    })
+}
+
+/// Total interned shapes (tests).
+#[cfg(test)]
+fn interned_shapes() -> usize {
+    interner()
+        .shards
+        .iter()
+        .map(|s| s.lock().expect("intern shard lock").len())
+        .sum()
+}
+
 /// Leaves of the read-once tree in AHU-canonical traversal order: children
-/// are sorted by their canonical encoding (variable names ignored), so
-/// isomorphic trees traverse isomorphic leaves in the same positions.
-/// Equal-encoding siblings keep their original order — they are isomorphic
-/// subtrees, so either order yields the same canonical conjunct set.
+/// are sorted by the interned class id of their shape (variable names
+/// ignored), so isomorphic trees traverse isomorphic leaves in the same
+/// positions. Equal-class siblings keep their original order — they are
+/// isomorphic subtrees, so either order yields the same canonical conjunct
+/// set. Any fixed total order on isomorphism classes works here; interned
+/// ids provide one that is consistent across every call of the process
+/// (all callers share one table), replacing the old per-call `O(subtree²)`
+/// byte-string encodings.
 fn canonical_leaf_order(tree: &ReadOnce) -> Vec<VarId> {
-    fn enc(t: &ReadOnce, leaves: &mut Vec<VarId>) -> Vec<u8> {
+    fn class(t: &ReadOnce, leaves: &mut Vec<VarId>) -> u32 {
         match t {
-            ReadOnce::True => b"T".to_vec(),
-            ReadOnce::False => b"F".to_vec(),
+            ReadOnce::True => TRUE_CLASS,
+            ReadOnce::False => FALSE_CLASS,
             ReadOnce::Var(v) => {
                 leaves.push(*v);
-                b"v".to_vec()
+                VAR_CLASS
             }
             ReadOnce::And(cs) | ReadOnce::Or(cs) => {
                 let marker = if matches!(t, ReadOnce::And(_)) {
@@ -158,28 +257,24 @@ fn canonical_leaf_order(tree: &ReadOnce) -> Vec<VarId> {
                 } else {
                     b'O'
                 };
-                let mut kids: Vec<(Vec<u8>, Vec<VarId>)> = cs
+                let mut kids: Vec<(u32, Vec<VarId>)> = cs
                     .iter()
                     .map(|c| {
                         let mut sub = Vec::new();
-                        let code = enc(c, &mut sub);
-                        (code, sub)
+                        let id = class(c, &mut sub);
+                        (id, sub)
                     })
                     .collect();
-                kids.sort_by(|a, b| a.0.cmp(&b.0)); // stable: ties keep original order
-                let mut code = vec![marker, b'('];
-                for (k_code, k_leaves) in kids {
-                    code.extend_from_slice(&k_code);
-                    code.push(b',');
-                    leaves.extend(k_leaves);
+                kids.sort_by_key(|k| k.0); // stable: ties keep original order
+                for (_, k_leaves) in &kids {
+                    leaves.extend(k_leaves.iter().copied());
                 }
-                code.push(b')');
-                code
+                intern_shape((marker, kids.into_iter().map(|k| k.0).collect()))
             }
         }
     }
     let mut leaves = Vec::new();
-    enc(tree, &mut leaves);
+    class(tree, &mut leaves);
     leaves
 }
 
@@ -204,7 +299,7 @@ fn build(d: &Dnf, ordered: Vec<VarId>, tree: Option<ReadOnce>) -> Fingerprint {
     key.sort_unstable();
     let tree = tree.map(|t| relabel(&t, &canonical_of));
     Fingerprint {
-        key,
+        key: std::sync::Arc::new(key),
         vars: ordered,
         tree,
     }
@@ -455,6 +550,54 @@ mod tests {
         // authoritative (majority really does not factor).
         let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
         assert!(fingerprint(&majority).tree().is_none());
+    }
+
+    #[test]
+    fn interned_shapes_are_reused_across_calls() {
+        // Two isomorphic copies of a two-level structure: the second call
+        // must re-use the first call's interned gate shapes instead of
+        // growing the table — "repeated subtrees canonicalize once".
+        let a = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        let b = dnf(&[&[70], &[40, 20], &[40, 60], &[10, 20], &[10, 60], &[30, 50]]);
+        let _ = fingerprint(&a); // populate
+        let before = interned_shapes();
+        let fb = fingerprint(&b);
+        let after = interned_shapes();
+        assert_eq!(before, after, "no new shapes for an isomorphic lineage");
+        assert_eq!(fingerprint(&a).key(), fb.key());
+    }
+
+    #[test]
+    fn interned_ordering_is_consistent_across_threads() {
+        // Isomorphic trees fingerprinted concurrently must agree on the
+        // canonical key no matter which thread interns a shape first: the
+        // shared table makes every racer see the same ids.
+        let copies: Vec<Dnf> = (0..8u32)
+            .map(|i| {
+                let base = i * 100;
+                dnf(&[
+                    &[base],
+                    &[base + 1, base + 3],
+                    &[base + 1, base + 4],
+                    &[base + 2, base + 3],
+                    &[base + 2, base + 4],
+                    &[base + 5, base + 6],
+                ])
+            })
+            .collect();
+        let keys: Vec<FingerprintKey> = std::thread::scope(|s| {
+            let handles: Vec<_> = copies
+                .iter()
+                .map(|d| s.spawn(move || fingerprint(d).key().clone()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for k in &keys[1..] {
+            assert_eq!(k, &keys[0]);
+        }
+        for (d, fp) in copies.iter().map(|d| (d, fingerprint(d))) {
+            mapping_is_isomorphism(d, &fp);
+        }
     }
 
     #[test]

@@ -21,9 +21,20 @@
 //! Aggregates: `--agg count` and `--agg sum:<head-column>` attribute the
 //! COUNT/SUM game over all answers instead of each answer separately.
 //!
+//! `shapdb serve --jsonl` flips the tool from one-shot to **resident**: a
+//! long-lived [`shapdb_core::engine::ShapleyService`] worker pool reads
+//! attribution requests as JSON lines on stdin and answers on stdout (see
+//! [`serve`]) — many requests, one process, one shared result cache, no
+//! network dependency.
+//!
 //! Everything is a library function returning the rendered report, so the
 //! test suite drives the tool without spawning processes; `main.rs` is a
 //! thin wrapper.
+
+pub mod json;
+pub mod serve;
+
+pub use serve::{parse_serve_args, run_serve, ServeOptions, ServeSummary};
 
 use shapdb_circuit::Dnf;
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
@@ -138,6 +149,21 @@ shapdb — Shapley values of database facts in query answering
 
 USAGE:
     shapdb --db <DIR> --query <UCQ> [OPTIONS]
+    shapdb serve --jsonl [SERVE OPTIONS]
+
+SERVE MODE (resident service, JSON lines on stdin/stdout):
+    --jsonl             required: one JSON request per stdin line, e.g.
+                        {\"id\":1,\"lineage\":[[0,1],[2]],\"n_endo\":8}
+                        (optional per-request: engine, timeout_ms, client);
+                        one JSON response per line, in request order, plus
+                        a final {\"stats\":{...}} line on EOF
+    --workers <N>       persistent worker threads (default 0 = all cores)
+    --queue-capacity <N> bound on queued requests; a full queue blocks the
+                        stdin reader (default 1024)
+    --cache-capacity <N> shared result-cache entries (default 1024, 0 = off)
+    --engine <E>        default engine policy (as below; per-request
+                        \"engine\" overrides it)
+    --timeout-ms <N>    default exact-pipeline deadline (default 2500)
 
 OPTIONS:
     --db <DIR>          directory of CSV files, one per relation
@@ -476,8 +502,17 @@ pub fn run(cfg: &Config) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Entry point shared by `main.rs` and the tests.
+/// Entry point shared by `main.rs` and the tests. `serve` switches to the
+/// resident JSONL service on the process's stdin/stdout; everything else
+/// is the classic one-shot query report.
 pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    if args.first().is_some_and(|a| a == "serve") {
+        let opts = parse_serve_args(&args[1..])?;
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        run_serve(stdin.lock(), stdout.lock(), &opts)?;
+        return Ok(String::new());
+    }
     let cfg = parse_args(args)?;
     run(&cfg)
 }

@@ -1,0 +1,579 @@
+//! `shapdb serve --jsonl` — the resident [`ShapleyService`] behind a
+//! scriptable stdin/stdout protocol.
+//!
+//! One JSON object per input line is one attribution request; one JSON
+//! object per output line is its response, **in request order**. No
+//! network dependency: any load driver that can write lines to a pipe can
+//! drive the resident process, which is exactly what `make bench-serve`
+//! does.
+//!
+//! Request:
+//!
+//! ```json
+//! {"id": 7, "lineage": [[0,1],[2,3]], "n_endo": 8}
+//! ```
+//!
+//! * `id` — any JSON value, echoed back verbatim;
+//! * `lineage` — the monotone DNF as an array of conjuncts (arrays of
+//!   non-negative fact ids);
+//! * `n_endo` — the number of endogenous facts;
+//! * `engine` *(optional)* — a per-request policy override (same values as
+//!   `--engine`); `timeout_ms` *(optional)* — per-request exact deadline;
+//! * `client` *(optional)* — an integer lane id: requests with different
+//!   `client` values are scheduled fairly against each other.
+//!
+//! Response: `{"id":7,"ok":true,"engine":"readonce","exact":true,`
+//! `"values":[[0,"1/2"],...]}` where each value pair is `[fact, value]` —
+//! the value is a **string** (an exact rational) when `"exact"` is true
+//! and a **number** (an approximate score) otherwise; parse or solve
+//! failures answer `{"id":...,"ok":false,"error":"..."}` instead. On EOF
+//! the server drains in-flight work and emits one final
+//! `{"stats":{...}}` line (queue totals, cache usage, wait times).
+//!
+//! Backpressure: submissions block the reading loop when the bounded
+//! queue (`--queue-capacity`) is full — the classic pipe discipline — so
+//! a flooding driver stalls instead of ballooning memory.
+
+use crate::json::{escape, Json};
+use crate::{err, CliError, EngineChoice};
+use shapdb_circuit::{Dnf, VarId};
+use shapdb_core::engine::{
+    EngineValues, LineageRequest, Planner, ServiceClient, ServiceConfig, ServiceStats,
+    ShapleyCache, ShapleyService, Submission,
+};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `serve` options (see [`crate::USAGE`]).
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Persistent worker threads (0 = all cores).
+    pub workers: usize,
+    /// Bound on queued submissions (`--queue-capacity`).
+    pub queue_capacity: usize,
+    /// Result-cache entries shared by every request (0 = off).
+    pub cache_capacity: usize,
+    /// Default engine policy for requests without their own.
+    pub engine: EngineChoice,
+    /// Default exact-pipeline deadline.
+    pub timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 0,
+            queue_capacity: ServiceConfig::DEFAULT_QUEUE_CAPACITY,
+            cache_capacity: ShapleyCache::DEFAULT_CAPACITY,
+            engine: EngineChoice::Auto,
+            timeout: Duration::from_millis(2500),
+        }
+    }
+}
+
+/// What one serve session processed (the final stats line, structured).
+#[derive(Clone, Debug)]
+pub struct ServeSummary {
+    /// Input lines answered (ok or error).
+    pub responses: u64,
+    /// Responses with `"ok":false`.
+    pub errors: u64,
+    /// The drained service's final stats.
+    pub stats: ServiceStats,
+}
+
+/// One parsed request line.
+struct Request {
+    id: String,
+    lineage: Dnf,
+    n_endo: usize,
+    client: Option<u64>,
+    policy: Option<shapdb_core::engine::PlannerConfig>,
+}
+
+/// Parses one request line. Failures return `(echoed id, why)` — the id
+/// is recovered whenever the line was at least valid JSON, so error
+/// responses stay correlatable (`"null"` only when the JSON itself is
+/// broken).
+fn parse_request(line: &str, opts: &ServeOptions) -> Result<Request, (String, String)> {
+    let v = Json::parse(line).map_err(|why| ("null".to_string(), why))?;
+    let id = v.get("id").map_or_else(|| "null".to_string(), Json::render);
+    validate_request(&v, opts, id.clone()).map_err(|why| (id, why))
+}
+
+fn validate_request(v: &Json, opts: &ServeOptions, id: String) -> Result<Request, String> {
+    let lineage_json = v
+        .get("lineage")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"lineage\" (array of conjuncts)")?;
+    let mut lineage = Dnf::new();
+    for conj in lineage_json {
+        let vars = conj.as_arr().ok_or("conjuncts must be arrays of ids")?;
+        let mut ids = Vec::with_capacity(vars.len());
+        for f in vars {
+            let f = f.as_u64().ok_or("fact ids must be non-negative integers")?;
+            let f = u32::try_from(f).map_err(|_| "fact id exceeds u32".to_string())?;
+            ids.push(VarId(f));
+        }
+        lineage.add_conjunct(ids);
+    }
+    let n_endo = v
+        .get("n_endo")
+        .and_then(Json::as_u64)
+        .ok_or("missing \"n_endo\"")? as usize;
+    let client = v.get("client").and_then(Json::as_u64);
+    let engine = match v.get("engine").and_then(Json::as_str) {
+        Some(s) => Some(EngineChoice::parse(s).ok_or_else(|| format!("unknown engine `{s}`"))?),
+        None => None,
+    };
+    let timeout_ms = v.get("timeout_ms").and_then(Json::as_u64);
+    // A partial override inherits the *session's* settings for whatever it
+    // leaves out — `{"engine":"exact"}` keeps the server's --timeout-ms,
+    // `{"timeout_ms":50}` keeps the server's --engine.
+    let policy = match (engine, timeout_ms) {
+        (None, None) => None,
+        (engine, timeout_ms) => {
+            let choice = engine.unwrap_or(opts.engine);
+            let timeout = timeout_ms.map_or(opts.timeout, Duration::from_millis);
+            Some(choice.planner_config(timeout))
+        }
+    };
+    Ok(Request {
+        id,
+        lineage,
+        n_endo,
+        client,
+        policy,
+    })
+}
+
+fn render_ok(id: &str, result: &shapdb_core::engine::EngineResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + 24 * result.values.len());
+    // `id` is re-rendered JSON, engine names are static idents, and exact
+    // rationals print as digits and '/' — none need escaping.
+    let _ = write!(
+        out,
+        "{{\"id\":{},\"ok\":true,\"engine\":\"{}\",\"exact\":{},\"values\":[",
+        id,
+        result.engine.name(),
+        result.values.is_exact(),
+    );
+    match &result.values {
+        EngineValues::Exact(pairs) => {
+            for (i, (fact, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},\"{}\"]", fact.0, v);
+            }
+        }
+        EngineValues::Approx(pairs) => {
+            for (i, (fact, x)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},{:.6}]", fact.0, x);
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_err(id: &str, error: &str) -> String {
+    format!("{{\"id\":{},\"ok\":false,\"error\":{}}}", id, escape(error))
+}
+
+fn render_stats(summary: &ServeSummary) -> String {
+    let s = &summary.stats;
+    format!(
+        concat!(
+            "{{\"stats\":{{\"responses\":{},\"errors\":{},\"submitted\":{},",
+            "\"completed\":{},\"rejected\":{},\"workers\":{},",
+            "\"queue_capacity\":{},\"clients\":{},\"engine_runs\":{},",
+            "\"cache_hits\":{},\"cache_misses\":{},\"cache_bypasses\":{},",
+            "\"mean_wait_us\":{:.1}}}}}"
+        ),
+        summary.responses,
+        summary.errors,
+        s.submitted,
+        s.completed,
+        s.rejected,
+        s.workers,
+        s.queue_capacity,
+        s.clients,
+        s.engine_runs,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.bypasses,
+        s.mean_wait().as_nanos() as f64 / 1e3,
+    )
+}
+
+/// A response slot, kept in request order.
+enum Slot {
+    /// Answered immediately (parse error).
+    Ready(String),
+    /// Waiting on the service.
+    Waiting(String, Submission),
+}
+
+impl Slot {
+    fn is_done(&self) -> bool {
+        match self {
+            Slot::Ready(_) => true,
+            Slot::Waiting(_, sub) => sub.is_done(),
+        }
+    }
+
+    fn finish(self, errors: &mut u64) -> String {
+        match self {
+            Slot::Ready(line) => {
+                *errors += 1;
+                line
+            }
+            Slot::Waiting(id, sub) => match sub.wait() {
+                Ok(result) => render_ok(&id, &result),
+                Err(e) => {
+                    *errors += 1;
+                    render_err(&id, &e.to_string())
+                }
+            },
+        }
+    }
+}
+
+/// Runs a serve session over arbitrary reader/writer pairs (the binary
+/// passes stdin/stdout; tests and the bench pass buffers). Returns after
+/// EOF, once every response and the final stats line are written.
+pub fn run_serve(
+    input: impl BufRead,
+    mut output: impl Write,
+    opts: &ServeOptions,
+) -> Result<ServeSummary, CliError> {
+    let mut planner = Planner::new(opts.engine.planner_config(opts.timeout));
+    if opts.cache_capacity > 0 {
+        planner = planner.with_cache(Arc::new(ShapleyCache::with_capacity(opts.cache_capacity)));
+    }
+    let service = ShapleyService::new(
+        planner,
+        ServiceConfig {
+            workers: opts.workers,
+            queue_capacity: opts.queue_capacity,
+            ..Default::default()
+        },
+    );
+    let mut clients: HashMap<u64, ServiceClient> = HashMap::new();
+    let mut pending: VecDeque<Slot> = VecDeque::new();
+    let mut responses = 0u64;
+    let mut errors = 0u64;
+    // Keep at most this many responses buffered: past it the reading loop
+    // waits for the oldest request — bounded memory end to end.
+    let max_pending = opts.queue_capacity.saturating_mul(2).max(64);
+
+    let flush_ready = |pending: &mut VecDeque<Slot>,
+                       output: &mut dyn Write,
+                       block_first: bool,
+                       responses: &mut u64,
+                       errors: &mut u64|
+     -> Result<(), CliError> {
+        let mut force = block_first;
+        while let Some(front) = pending.front() {
+            if !force && !front.is_done() {
+                break;
+            }
+            force = false;
+            let line = pending.pop_front().expect("front exists").finish(errors);
+            *responses += 1;
+            writeln!(output, "{line}").map_err(|e| err(format!("write response: {e}")))?;
+        }
+        Ok(())
+    };
+
+    for line in input.lines() {
+        let line = line.map_err(|e| err(format!("read request: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line, opts) {
+            Err((id, why)) => pending.push_back(Slot::Ready(render_err(&id, &why))),
+            Ok(req) => {
+                let request = {
+                    let mut r = LineageRequest::new(req.lineage, req.n_endo);
+                    if let Some(policy) = req.policy {
+                        r = r.with_policy(policy);
+                    }
+                    r
+                };
+                // Blocking submit: queue saturation stalls the reader (pipe
+                // discipline) instead of dropping requests.
+                let submitted = match req.client {
+                    Some(lane) => clients
+                        .entry(lane)
+                        .or_insert_with(|| service.client())
+                        .submit_blocking(request),
+                    None => service.submit_blocking(request),
+                };
+                match submitted {
+                    Ok(sub) => pending.push_back(Slot::Waiting(req.id, sub)),
+                    Err(e) => pending.push_back(Slot::Ready(render_err(&req.id, &e.to_string()))),
+                }
+            }
+        }
+        let over = pending.len() > max_pending;
+        flush_ready(&mut pending, &mut output, over, &mut responses, &mut errors)?;
+    }
+
+    // EOF: park once on the *newest* ticket — with the fair FIFO lanes,
+    // by the time it completes (almost) every earlier one has too, so the
+    // in-order drain below runs without a reader/worker wakeup ping-pong
+    // per response.
+    if let Some(Slot::Waiting(_, sub)) = pending.back() {
+        let _ = sub.wait();
+    }
+    while !pending.is_empty() {
+        flush_ready(&mut pending, &mut output, true, &mut responses, &mut errors)?;
+    }
+    let stats = service.shutdown();
+    let summary = ServeSummary {
+        responses,
+        errors,
+        stats,
+    };
+    writeln!(output, "{}", render_stats(&summary)).map_err(|e| err(format!("write stats: {e}")))?;
+    output
+        .flush()
+        .map_err(|e| err(format!("flush output: {e}")))?;
+    Ok(summary)
+}
+
+/// Parses `serve` arguments (everything after the `serve` word).
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
+    let mut opts = ServeOptions::default();
+    let mut jsonl = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = || {
+            it.next()
+                .ok_or_else(|| err(format!("missing value after `{arg}`")))
+        };
+        match arg.as_str() {
+            "--jsonl" => jsonl = true,
+            "--workers" | "--threads" => {
+                opts.workers = take()?
+                    .parse()
+                    .map_err(|_| err("--workers expects a non-negative integer"))?
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = take()?
+                    .parse()
+                    .map_err(|_| err("--queue-capacity expects a positive integer"))?
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = take()?
+                    .parse()
+                    .map_err(|_| err("--cache-capacity expects a non-negative integer"))?
+            }
+            "--engine" => {
+                let spec = take()?;
+                opts.engine = EngineChoice::parse(spec)
+                    .ok_or_else(|| err(format!("unknown engine `{spec}`")))?
+            }
+            "--timeout-ms" => {
+                let ms: u64 = take()?
+                    .parse()
+                    .map_err(|_| err("--timeout-ms expects an integer"))?;
+                opts.timeout = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => return Err(err(crate::USAGE)),
+            other => return Err(err(format!("unknown serve argument `{other}`"))),
+        }
+    }
+    if !jsonl {
+        return Err(err(
+            "serve requires `--jsonl` (requests as JSON lines on stdin)",
+        ));
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn serve(input: &str, opts: &ServeOptions) -> (Vec<String>, ServeSummary) {
+        let mut out = Vec::new();
+        let summary = run_serve(Cursor::new(input.to_string()), &mut out, opts).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        (text.lines().map(str::to_string).collect(), summary)
+    }
+
+    #[test]
+    fn answers_requests_in_order_with_exact_values() {
+        // The running example (43/105 on fact 0) plus a singleton.
+        let input = concat!(
+            r#"{"id": 1, "lineage": [[0],[1,3],[1,4],[2,3],[2,4],[5,6]], "n_endo": 8}"#,
+            "\n",
+            r#"{"id": 2, "lineage": [[9]], "n_endo": 8}"#,
+            "\n",
+        );
+        let (lines, summary) = serve(
+            input,
+            &ServeOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(lines.len(), 3, "two responses + stats");
+        let first = Json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("id").and_then(Json::as_u64), Some(1));
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("exact"), Some(&Json::Bool(true)));
+        let values = first.get("values").and_then(Json::as_arr).unwrap();
+        let top = values[0].as_arr().unwrap();
+        assert_eq!(top[0].as_u64(), Some(0));
+        assert_eq!(top[1].as_str(), Some("43/105"));
+        let second = Json::parse(&lines[1]).unwrap();
+        assert_eq!(second.get("id").and_then(Json::as_u64), Some(2));
+        let stats = Json::parse(&lines[2]).unwrap();
+        let s = stats.get("stats").unwrap();
+        assert_eq!(s.get("responses").and_then(Json::as_u64), Some(2));
+        assert_eq!(s.get("errors").and_then(Json::as_u64), Some(0));
+        assert_eq!(summary.responses, 2);
+        assert_eq!(summary.stats.completed, 2);
+    }
+
+    #[test]
+    fn isomorphic_requests_share_the_cache() {
+        let input = concat!(
+            r#"{"id": 1, "lineage": [[0,10],[1,11]], "n_endo": 24}"#,
+            "\n",
+            r#"{"id": 2, "client": 7, "lineage": [[2,20],[3,21]], "n_endo": 24}"#,
+            "\n",
+        );
+        let (lines, summary) = serve(
+            input,
+            &ServeOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(summary.stats.cache.hits, 1, "second request hit");
+        assert_eq!(summary.stats.engine_runs, 1);
+        for line in &lines[..2] {
+            let v = Json::parse(line).unwrap();
+            let values = v.get("values").and_then(Json::as_arr).unwrap();
+            for triple in values {
+                assert_eq!(triple.as_arr().unwrap()[1].as_str(), Some("1/4"));
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_engine_override_and_errors() {
+        let input = concat!(
+            r#"{"id": "a", "lineage": [[0,1],[1,2],[0,2]], "n_endo": 3, "engine": "proxy"}"#,
+            "\n",
+            "this is not json\n",
+            r#"{"id": 3, "n_endo": 3}"#,
+            "\n",
+        );
+        let (lines, summary) = serve(input, &ServeOptions::default());
+        let forced = Json::parse(&lines[0]).unwrap();
+        assert_eq!(forced.get("engine").and_then(Json::as_str), Some("proxy"));
+        assert_eq!(forced.get("exact"), Some(&Json::Bool(false)));
+        let bad = Json::parse(&lines[1]).unwrap();
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        let missing = Json::parse(&lines[2]).unwrap();
+        assert_eq!(missing.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            missing.get("id").and_then(Json::as_u64),
+            Some(3),
+            "a valid-JSON bad request echoes its id"
+        );
+        assert!(missing
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("lineage"));
+        assert_eq!(summary.errors, 2);
+    }
+
+    #[test]
+    fn partial_overrides_inherit_the_session_defaults() {
+        // Session default: forced Monte Carlo. A request overriding ONLY
+        // timeout_ms must keep the session's engine, not silently revert
+        // to the compile-time `auto` default.
+        let input = concat!(
+            r#"{"id": 1, "lineage": [[0,1],[1,2],[0,2]], "n_endo": 3, "timeout_ms": 5000}"#,
+            "\n",
+        );
+        let opts = ServeOptions {
+            engine: EngineChoice::Forced(shapdb_core::engine::EngineKind::MonteCarlo),
+            ..Default::default()
+        };
+        let (lines, _) = serve(input, &opts);
+        let v = Json::parse(&lines[0]).unwrap();
+        assert_eq!(
+            v.get("engine").and_then(Json::as_str),
+            Some("montecarlo"),
+            "session engine survives a timeout-only override"
+        );
+    }
+
+    #[test]
+    fn serve_args_require_jsonl() {
+        let to_args =
+            |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        assert!(parse_serve_args(&to_args(&[])).is_err());
+        let opts = parse_serve_args(&to_args(&[
+            "--jsonl",
+            "--queue-capacity",
+            "8",
+            "--workers",
+            "2",
+            "--engine",
+            "exact",
+            "--cache-capacity",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(opts.queue_capacity, 8);
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.engine, EngineChoice::Exact);
+        assert_eq!(opts.cache_capacity, 0);
+        assert!(parse_serve_args(&to_args(&["--jsonl", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn tiny_queue_still_answers_everything_via_backpressure() {
+        // 50 requests through a capacity-2 queue: blocking submits stall
+        // the reader, nothing is dropped, responses stay in order.
+        let mut input = String::new();
+        for i in 0..50 {
+            input.push_str(&format!(
+                "{{\"id\": {i}, \"lineage\": [[{i},{}]], \"n_endo\": 200}}\n",
+                i + 100
+            ));
+        }
+        let (lines, summary) = serve(
+            &input,
+            &ServeOptions {
+                workers: 2,
+                queue_capacity: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(summary.responses, 50);
+        assert_eq!(summary.errors, 0);
+        for (i, line) in lines[..50].iter().enumerate() {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("id").and_then(Json::as_u64), Some(i as u64));
+            assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        }
+    }
+}

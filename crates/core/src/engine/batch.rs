@@ -12,6 +12,12 @@
 //! workers (large stacks — the compiler recursion is bounded by the CNF
 //! variable count).
 //!
+//! The pipeline itself — fingerprint → group → plan → solve → translate —
+//! lives in [`super::stages`] as pool-agnostic free functions; this module
+//! only owns the one-shot orchestration (scoped fan-out, fail-fast, the
+//! per-run report). The resident [`super::ShapleyService`] runs the same
+//! stage functions from its long-lived workers.
+//!
 //! Exact values translate *exactly*: batch output is identical, rational
 //! for rational, to solving every task separately. Two layers of reuse
 //! apply to them:
@@ -21,71 +27,26 @@
 //!   one) — a distinct structure seen in *any* earlier run under the same
 //!   policy is served from the cache without running an engine at all.
 //!
-//! Sampling engines (Monte Carlo, Kernel SHAP) are handled the opposite
-//! way: sharing one estimate across a dedup group would perfectly
-//! correlate the error of supposedly independent answers, so
-//! sampling-planned tasks are solved **per member** with a per-task seed
-//! salt (`seed ⊕ task index`) — deterministic for a given batch, but
-//! independent draws across isomorphic answers. Deterministic inexact
-//! engines (CNF Proxy) still share per-structure results: their scores are
-//! renaming-equivariant, so sharing is lossless.
+//! Sampling engines (Monte Carlo, Kernel SHAP) also solve once per distinct
+//! structure, but with the group's **total** sample budget
+//! ([`super::LineageTask::sample_scale`] = group size): the shared estimate
+//! is drawn from exactly as many samples as the per-member sequential
+//! solves would have spent, so dedup costs nothing in total draws and buys
+//! a `G×`-sample estimate for every member of a size-`G` group. Sampling
+//! results are never cached across runs (each batch draws its own
+//! deterministic stream, salted by the representative task's index).
 
-use super::planner::CacheOutcome;
-use super::{translate_result, EngineError, EngineResult, LineageTask, Planner};
+use super::{translate_result, EngineError, EngineResult, Planner};
 use crate::exact::ExactConfig;
-use shapdb_circuit::{fingerprint, Dnf, Fingerprint, FingerprintKey};
+use shapdb_circuit::Dnf;
 use shapdb_kc::Budget;
 use shapdb_metrics::counters::{
     CacheRunStats, DedupStats, BATCH_DEDUP_HITS, BATCH_DISTINCT, BATCH_TASKS,
 };
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Worker stack size: the DPLL compiler recurses per CNF variable.
-const WORKER_STACK: usize = 64 * 1024 * 1024;
-
-/// Runs `f(0)..f(n-1)` across up to `threads` scoped workers (large
-/// stacks), returning results in index order. For phases with no
-/// fail-fast/abort semantics (the fingerprint/canonicalization pass and
-/// the fallback-sampling re-draw pass).
-fn parallel_map<T: Send>(threads: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = threads.min(n).max(1);
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let cursor_ref = &cursor;
-    let f_ref = &f;
-    let mut collected: Vec<Vec<(usize, T)>> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                std::thread::Builder::new()
-                    .stack_size(WORKER_STACK)
-                    .spawn_scoped(s, move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                return local;
-                            }
-                            local.push((i, f_ref(i)));
-                        }
-                    })
-                    .expect("spawn batch worker")
-            })
-            .collect();
-        for h in handles {
-            collected.push(h.join().expect("batch worker panicked"));
-        }
-    });
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, v) in collected.into_iter().flatten() {
-        out[i] = Some(v);
-    }
-    out.into_iter().map(|v| v.expect("mapped index")).collect()
-}
+use super::stages;
 
 /// Batch execution knobs.
 #[derive(Clone, Copy, Debug)]
@@ -146,10 +107,8 @@ pub struct BatchReport {
     pub items: Vec<BatchItem>,
     /// Dedup statistics (the lineage-dedup hit rate of this run).
     pub dedup: DedupStats,
-    /// Actual engine invocations. At most one per distinct structure, but
-    /// cache hits and fail-fast-aborted structures invoke no engine, and
-    /// per-member sampling re-draws invoke one per task — so this can fall
-    /// below or rise above `dedup.distinct`.
+    /// Actual engine invocations. At most one per distinct structure;
+    /// cache hits and fail-fast-aborted structures invoke none.
     pub engine_runs: usize,
     /// How this run used the cross-query result cache (all zeros when the
     /// planner carries none).
@@ -215,6 +174,8 @@ impl BatchExecutor {
 
     /// Runs the batch: one lineage per output tuple, shared `n_endo` and
     /// budgets (per-lineage deadlines come from the planner's timeout).
+    /// Orchestrates the shared pipeline stages over a one-shot scoped
+    /// worker pool.
     pub fn run(
         &self,
         lineages: &[Dnf],
@@ -224,289 +185,70 @@ impl BatchExecutor {
     ) -> BatchReport {
         let start = Instant::now();
         let tasks = lineages.len();
+        let pool = self.cfg.effective_threads();
 
-        // Intern: group tasks by canonical fingerprint — the one minimize +
-        // factor pass per task; the fingerprint carries both by-products,
-        // so nothing downstream minimizes or factors again. The pass is
-        // embarrassingly parallel (one canonicalization per lineage, no
-        // shared state), so it fans out over the same scoped workers the
-        // solves use instead of running serially on the caller thread.
-        // Without dedup every task is its own group solved on its original
-        // lineage.
-        let fingerprints: Vec<Option<Fingerprint>> = if self.cfg.dedup {
-            parallel_map(self.cfg.effective_threads(), tasks, |i| {
-                Some(fingerprint(&lineages[i]))
-            })
-        } else {
-            vec![None; tasks]
-        };
-        let mut group_of: Vec<usize> = Vec::with_capacity(tasks);
-        let mut first_of_group: Vec<usize> = Vec::new();
-        let mut members: Vec<Vec<usize>> = Vec::new();
-        {
-            let mut seen: HashMap<&FingerprintKey, usize> = HashMap::new();
-            for (i, fp) in fingerprints.iter().enumerate() {
-                let g = match fp {
-                    Some(fp) => {
-                        let next = first_of_group.len();
-                        let g = *seen.entry(fp.key()).or_insert(next);
-                        if g == next {
-                            first_of_group.push(i);
-                            members.push(Vec::new());
-                        }
-                        g
-                    }
-                    None => {
-                        first_of_group.push(i);
-                        members.push(Vec::new());
-                        first_of_group.len() - 1
-                    }
-                };
-                group_of.push(g);
-                members[g].push(i);
-            }
-        }
-        let distinct = first_of_group.len();
+        // Stages 1–3: canonicalize (in parallel), group, plan.
+        let fingerprints = stages::fingerprint_lineages(pool, lineages, self.cfg.dedup);
+        let grouping = stages::group_by_structure(&fingerprints);
+        let plans = stages::plan_groups(&self.planner, &grouping, &fingerprints);
+        let distinct = grouping.distinct();
 
-        // Plan each group once (cheap: the fingerprint already knows the
-        // factorization). Sampling-planned groups are not solved once per
-        // structure — sharing one estimate across isomorphic answers would
-        // perfectly correlate their error — so they expand into one work
-        // unit per member, each salted with its own task index. Everything
-        // else is one unit per distinct structure.
-        let group_fp: Vec<Option<&Fingerprint>> = (0..distinct)
-            .map(|g| fingerprints[first_of_group[g]].as_ref())
-            .collect();
-        let group_plan: Vec<Option<super::Plan>> = group_fp
-            .iter()
-            .map(|fp| fp.map(|fp| self.planner.plan_fp(fp)))
-            .collect();
-        #[derive(Clone, Copy)]
-        enum Unit {
-            /// Solve one distinct structure (canonically when fingerprinted).
-            Group(usize),
-            /// Solve one task on its own lineage with its own seed salt.
-            Member(usize),
-        }
-        let mut units: Vec<Unit> = Vec::with_capacity(distinct);
-        for g in 0..distinct {
-            match group_plan[g] {
-                Some(plan) if plan.engine.is_sampling() => {
-                    units.extend(members[g].iter().map(|&i| Unit::Member(i)));
-                }
-                _ => units.push(Unit::Group(g)),
-            }
-        }
-
-        // Fan the work units out across scoped workers.
+        // Stage 4: fan the distinct structures out across scoped workers.
+        // Fail-fast short-circuits the remaining structures onto the first
+        // error instead of running them.
+        let counters = stages::SolveCounters::new();
         let fail_fast = self.cfg.fail_fast;
-        let threads = self.cfg.effective_threads().min(units.len()).max(1);
-        let engine_runs = AtomicUsize::new(0);
-        let cache_hits = AtomicUsize::new(0);
-        let cache_misses = AtomicUsize::new(0);
-        let cache_bypasses = AtomicUsize::new(0);
-        let run_unit = |unit: Unit| -> (Unit, Result<EngineResult, EngineError>) {
-            let result = match unit {
-                Unit::Group(g) => match group_fp[g] {
-                    Some(fp) => {
-                        let salt = first_of_group[g] as u64;
-                        let plan = group_plan[g].expect("fingerprinted groups are planned");
-                        let (result, outcome) = self
-                            .planner
-                            .solve_structure(fp, plan, n_endo, budget, exact, salt);
-                        match outcome {
-                            CacheOutcome::Hit => {
-                                cache_hits.fetch_add(1, Ordering::Relaxed);
-                            }
-                            CacheOutcome::Miss => {
-                                cache_misses.fetch_add(1, Ordering::Relaxed);
-                                engine_runs.fetch_add(1, Ordering::Relaxed);
-                            }
-                            CacheOutcome::Bypass => {
-                                cache_bypasses.fetch_add(1, Ordering::Relaxed);
-                                engine_runs.fetch_add(1, Ordering::Relaxed);
-                            }
-                            CacheOutcome::Disabled => {
-                                engine_runs.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        result
-                    }
+        let threads = pool.min(distinct).max(1);
+        let abort: Mutex<Option<EngineError>> = Mutex::new(None);
+        let group_result: Vec<Result<EngineResult, EngineError>> =
+            stages::parallel_map(threads, distinct, |g| {
+                let aborted = *abort.lock().expect("abort flag");
+                let result = match aborted {
+                    Some(e) => Err(e),
                     None => {
-                        // Dedup off: no fingerprint, no cache key — solve
-                        // the original lineage directly.
-                        if let Some(cache) = self.planner.cache() {
-                            cache.record_bypass();
-                            cache_bypasses.fetch_add(1, Ordering::Relaxed);
-                        }
-                        engine_runs.fetch_add(1, Ordering::Relaxed);
-                        let i = first_of_group[g];
-                        self.planner.solve_direct(
-                            &self
-                                .task(&lineages[i], n_endo, budget, exact)
-                                .with_seed_salt(i as u64),
+                        let i = grouping.first_of_group[g];
+                        stages::solve_group(
+                            &self.planner,
+                            fingerprints[i].as_ref(),
+                            plans[g],
+                            &lineages[i],
+                            n_endo,
+                            budget,
+                            exact,
+                            i as u64,
+                            grouping.members_of[g].len(),
+                            &counters,
                         )
                     }
-                },
-                Unit::Member(i) => {
-                    // Sampling plan: independent draws on the task's own
-                    // lineage, salted by task index.
-                    if let Some(cache) = self.planner.cache() {
-                        cache.record_bypass();
-                        cache_bypasses.fetch_add(1, Ordering::Relaxed);
-                    }
-                    engine_runs.fetch_add(1, Ordering::Relaxed);
-                    let plan = group_plan[group_of[i]].expect("member units are fingerprinted");
-                    self.planner.solve_planned(
-                        &self
-                            .task(&lineages[i], n_endo, budget, exact)
-                            .with_seed_salt(i as u64),
-                        plan,
-                        None,
-                        Duration::ZERO,
-                    )
-                }
-            };
-            (unit, result)
-        };
-
-        let mut group_result: Vec<Option<Result<EngineResult, EngineError>>> =
-            (0..distinct).map(|_| None).collect();
-        let mut member_result: Vec<Option<Result<EngineResult, EngineError>>> =
-            (0..tasks).map(|_| None).collect();
-        let mut store = |unit: Unit, r: Result<EngineResult, EngineError>| match unit {
-            Unit::Group(g) => group_result[g] = Some(r),
-            Unit::Member(i) => member_result[i] = Some(r),
-        };
-        if threads <= 1 {
-            let mut abort: Option<EngineError> = None;
-            for &unit in &units {
-                let result = match abort {
-                    Some(e) => Err(e),
-                    None => run_unit(unit).1,
                 };
-                if fail_fast && abort.is_none() {
+                if fail_fast {
                     if let Err(e) = &result {
-                        abort = Some(*e);
+                        abort.lock().expect("abort flag").get_or_insert(*e);
                     }
                 }
-                store(unit, result);
-            }
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let abort: std::sync::Mutex<Option<EngineError>> = std::sync::Mutex::new(None);
-            let units_ref = &units;
-            let cursor_ref = &cursor;
-            let abort_ref = &abort;
-            let run_unit_ref = &run_unit;
-            let mut collected: Vec<Vec<(Unit, Result<EngineResult, EngineError>)>> = Vec::new();
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        std::thread::Builder::new()
-                            .stack_size(WORKER_STACK)
-                            .spawn_scoped(s, move || {
-                                let mut local = Vec::new();
-                                loop {
-                                    let u = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                                    if u >= units_ref.len() {
-                                        return local;
-                                    }
-                                    let unit = units_ref[u];
-                                    let aborted = *abort_ref.lock().expect("abort flag");
-                                    let result = match aborted {
-                                        Some(e) => Err(e),
-                                        None => run_unit_ref(unit).1,
-                                    };
-                                    if fail_fast {
-                                        if let Err(e) = &result {
-                                            abort_ref.lock().expect("abort flag").get_or_insert(*e);
-                                        }
-                                    }
-                                    local.push((unit, result));
-                                }
-                            })
-                            .expect("spawn batch worker")
-                    })
-                    .collect();
-                for h in handles {
-                    collected.push(h.join().expect("batch worker panicked"));
-                }
+                result
             });
-            for (unit, r) in collected.into_iter().flatten() {
-                store(unit, r);
-            }
-        }
 
-        // One rare corner before assembly: an exact-planned group whose
-        // solve *fell back* to a sampling engine (hybrid policies) produced
-        // one correlated estimate. Re-draw it per extra member — salted, so
-        // the independent-draws guarantee holds on every path — and do it
-        // over the same worker fan-out: a big dedup group is exactly the
-        // case where these re-draws are the bulk of the work.
-        let redraws: Vec<(usize, super::EngineKind)> = (0..tasks)
-            .filter(|&i| member_result[i].is_none() && fingerprints[i].is_some())
-            .filter(|&i| first_of_group[group_of[i]] != i)
-            .filter_map(|i| match &group_result[group_of[i]] {
-                Some(Ok(r)) if r.engine.is_sampling() => Some((i, r.engine)),
-                _ => None,
-            })
-            .collect();
-        let redrawn: Vec<Result<EngineResult, EngineError>> =
-            parallel_map(self.cfg.effective_threads(), redraws.len(), |k| {
-                let (i, engine) = redraws[k];
-                engine_runs.fetch_add(1, Ordering::Relaxed);
-                self.planner.solve_planned(
-                    &self
-                        .task(&lineages[i], n_endo, budget, exact)
-                        .with_seed_salt(i as u64),
-                    super::Plan {
-                        engine,
-                        reason: super::PlanReason::Forced,
-                    },
-                    None,
-                    Duration::ZERO,
-                )
-            });
-        for ((i, _), result) in redraws.into_iter().zip(redrawn) {
-            // A failed re-draw (sampling engines practically never fail)
-            // falls back to the group's shared estimate in assembly below.
-            if result.is_ok() {
-                member_result[i] = Some(result);
-            }
-        }
-
-        // Assemble per-task outcomes: member units (and re-draws) already
-        // sit on their own facts; group results translate back through each
-        // member's renaming.
+        // Stage 5: assemble per-task outcomes — group results translate
+        // back through each member's renaming.
         let mut items: Vec<BatchItem> = Vec::with_capacity(tasks);
-        for i in 0..tasks {
-            if let Some(result) = member_result[i].take() {
-                items.push(BatchItem {
-                    index: i,
-                    result,
-                    dedup_hit: false,
-                });
-                continue;
-            }
-            let g = group_of[i];
-            let result = group_result[g].clone().expect("group solved");
-            let result = match &fingerprints[i] {
+        for (i, (&g, fp)) in grouping.group_of.iter().zip(&fingerprints).enumerate() {
+            let result = group_result[g].clone();
+            let result = match fp {
                 Some(fp) => result.map(|r| translate_result(r, fp)),
                 None => result,
             };
             items.push(BatchItem {
                 index: i,
                 result,
-                dedup_hit: first_of_group[g] != i,
+                dedup_hit: grouping.first_of_group[g] != i,
             });
         }
 
-        let reused = items.iter().filter(|i| i.dedup_hit).count();
         let dedup = DedupStats {
             tasks,
             distinct,
-            reused,
+            reused: tasks - distinct,
         };
         BATCH_TASKS.add(tasks as u64);
         BATCH_DISTINCT.add(distinct as u64);
@@ -515,34 +257,20 @@ impl BatchExecutor {
         BatchReport {
             items,
             dedup,
-            engine_runs: engine_runs.into_inner(),
-            cache: CacheRunStats {
-                hits: cache_hits.into_inner(),
-                misses: cache_misses.into_inner(),
-                bypasses: cache_bypasses.into_inner(),
-            },
+            engine_runs: counters.engine_runs(),
+            cache: counters.cache_stats(),
             threads,
             total_time: start.elapsed(),
         }
-    }
-
-    fn task<'t>(
-        &self,
-        lineage: &'t Dnf,
-        n_endo: usize,
-        budget: &Budget,
-        exact: &ExactConfig,
-    ) -> LineageTask<'t> {
-        LineageTask::new(lineage, n_endo)
-            .with_budget(*budget)
-            .with_exact(*exact)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{EngineKind, EngineValues, PlannerConfig};
+    use crate::engine::{
+        EngineKind, EngineValues, LineageTask, MonteCarloEngine, PlannerConfig, ShapleyEngine,
+    };
     use shapdb_circuit::VarId;
     use shapdb_num::Rational;
 
@@ -766,13 +494,34 @@ mod tests {
         assert_eq!(report.engine_runs, 3);
     }
 
+    /// Sorted per-member estimate vectors (values only, facts normalized
+    /// away) of every batch item.
+    fn approx_rows(report: &BatchReport) -> Vec<Vec<f64>> {
+        report
+            .items
+            .iter()
+            .map(|item| {
+                let r = item.result.as_ref().unwrap();
+                match &r.values {
+                    EngineValues::Approx(v) => {
+                        let mut by_fact = v.clone();
+                        by_fact.sort_by_key(|(f, _)| *f);
+                        by_fact.iter().map(|(_, x)| *x).collect()
+                    }
+                    EngineValues::Exact(_) => panic!("expected sampling estimates"),
+                }
+            })
+            .collect()
+    }
+
     #[test]
-    fn sampling_plans_redraw_per_member_with_independent_seeds() {
-        // Two isomorphic matchings forced through Monte Carlo: sharing one
-        // estimate across the dedup group would perfectly correlate the
-        // error of two "independent" answers. Each member must get its own
-        // draws (seed ⊕ task index) — different estimates, same truth
-        // (every fact's exact value is 1/4) within sampling tolerance.
+    fn sampling_groups_pool_the_sequential_sample_budget() {
+        // Two isomorphic matchings forced through Monte Carlo: the group is
+        // solved ONCE with `sample_scale = 2` — exactly the total number of
+        // permutations two sequential solves would draw — and the shared
+        // estimate translates onto each member's own facts. The pooled
+        // estimate must be bit-identical to a direct canonical solve with a
+        // doubled permutation budget.
         let lineages = vec![dnf(&[&[0, 10], &[1, 11]]), dnf(&[&[2, 20], &[3, 21]])];
         let exec = BatchExecutor::new(Planner::new(PlannerConfig {
             force: Some(EngineKind::MonteCarlo),
@@ -780,29 +529,49 @@ mod tests {
         }))
         .with_threads(1);
         let report = exec.run(&lineages, 24, &Budget::unlimited(), &ExactConfig::default());
-        assert_eq!(report.dedup.distinct, 1, "structures still intern");
-        assert_eq!(report.engine_runs, 2, "but sampling runs once per member");
-        let estimates: Vec<Vec<f64>> = report
-            .items
-            .iter()
-            .map(|item| {
-                let r = item.result.as_ref().unwrap();
-                assert!(!item.dedup_hit, "a fresh draw is not a reuse");
-                match &r.values {
-                    EngineValues::Approx(v) => {
-                        let mut by_fact = v.clone();
-                        by_fact.sort_by_key(|(f, _)| *f);
-                        by_fact.iter().map(|(_, x)| *x).collect()
-                    }
-                    EngineValues::Exact(_) => panic!("forced Monte Carlo is inexact"),
-                }
-            })
-            .collect();
-        assert_ne!(estimates[0], estimates[1], "independent draws");
+        assert_eq!(report.dedup.distinct, 1, "structures intern");
+        assert_eq!(report.engine_runs, 1, "one pooled sampling solve");
+        assert!(report.items[1].dedup_hit, "the second member shares it");
+        let estimates = approx_rows(&report);
+        assert_eq!(
+            estimates[0], estimates[1],
+            "one shared estimate, translated onto each member's facts"
+        );
+        // Every fact's exact value is 1/4; a 2×-budget pooled estimate must
+        // sit well within sampling tolerance.
         for row in &estimates {
             for &x in row {
                 assert!((x - 0.25).abs() < 0.2, "estimate {x} strays from 1/4");
             }
+        }
+        // The pooled estimate equals a direct solve of the canonical
+        // structure with sample_scale = group size (same seed salt = the
+        // representative's index, 0), compared through the fingerprint
+        // renaming.
+        let fp = shapdb_circuit::fingerprint(&lineages[0]);
+        let canonical = fp.canonical_dnf();
+        let direct = MonteCarloEngine::default()
+            .solve(
+                &LineageTask::new(&canonical, 24)
+                    .assume_minimized()
+                    .with_sample_scale(2),
+            )
+            .unwrap();
+        let EngineValues::Approx(direct_pairs) = &direct.values else {
+            panic!("sampling result")
+        };
+        let EngineValues::Approx(member_pairs) = &report.items[0].result.as_ref().unwrap().values
+        else {
+            panic!("sampling result")
+        };
+        for (canon_var, value) in direct_pairs {
+            let own_fact = fp.var_of(canon_var.0);
+            let member_value = member_pairs
+                .iter()
+                .find(|(f, _)| *f == own_fact)
+                .expect("translated fact present")
+                .1;
+            assert_eq!(member_value, *value, "scale = group size, exactly");
         }
         // Determinism: the same batch re-run reproduces the same draws.
         let again = exec.run(&lineages, 24, &Budget::unlimited(), &ExactConfig::default());
@@ -815,11 +584,11 @@ mod tests {
     }
 
     #[test]
-    fn fallback_to_sampling_still_redraws_per_member() {
+    fn fallback_to_sampling_pools_the_group_budget_too() {
         // An exact Kc plan that fails on an impossible node budget, with a
-        // Monte Carlo fallback: the group solve produces one estimate, and
-        // every extra member of the dedup group must be re-drawn with its
-        // own seed (in the parallel re-draw pass), not share it.
+        // Monte Carlo fallback: the group solve runs once with the group's
+        // total sampling budget and every member shares the translated
+        // estimate — the same pooling as a planned sampling group.
         let lineages = vec![
             dnf(&[&[0, 1], &[1, 2], &[0, 2]]),
             dnf(&[&[5, 6], &[6, 7], &[5, 7]]),
@@ -837,21 +606,15 @@ mod tests {
             &ExactConfig::default(),
         );
         assert_eq!(report.dedup.distinct, 1);
-        assert_eq!(report.engine_runs, 2, "one group solve + one re-draw");
-        let estimates: Vec<Vec<f64>> = report
-            .items
-            .iter()
-            .map(|item| match &item.result.as_ref().unwrap().values {
-                EngineValues::Approx(v) => {
-                    let mut by_fact = v.clone();
-                    by_fact.sort_by_key(|(f, _)| *f);
-                    by_fact.iter().map(|(_, x)| *x).collect()
-                }
-                EngineValues::Exact(_) => panic!("the Kc arm cannot succeed here"),
-            })
-            .collect();
-        assert_ne!(estimates[0], estimates[1], "independent draws");
-        assert!(!report.items[1].dedup_hit, "a fresh draw is not a reuse");
+        assert_eq!(report.engine_runs, 1, "one fallback draw for the group");
+        assert!(report.items[1].dedup_hit);
+        let estimates = approx_rows(&report);
+        assert_eq!(estimates[0], estimates[1], "shared translated estimate");
+        for row in &estimates {
+            for &x in row {
+                assert!((x - 1.0 / 3.0).abs() < 0.25, "estimate {x} strays");
+            }
+        }
     }
 
     #[test]

@@ -39,8 +39,10 @@ use std::sync::Mutex;
 /// Identity of one cached canonical result.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CacheKey {
-    /// The canonical conjunct list ([`shapdb_circuit::fingerprint()`]).
-    pub structure: FingerprintKey,
+    /// The canonical conjunct list ([`shapdb_circuit::fingerprint()`]),
+    /// behind a shared handle so building a lookup key never copies it
+    /// (`Arc<T>` hashes and compares through to `T`).
+    pub structure: std::sync::Arc<FingerprintKey>,
     /// `|D_n|` — the completion weights (hence the values) depend on it.
     pub n_endo: usize,
     /// Digest of the budget-relevant solve knobs (forced engine, KC
@@ -327,7 +329,7 @@ mod tests {
 
     fn key(tag: u32) -> CacheKey {
         CacheKey {
-            structure: vec![vec![tag]],
+            structure: std::sync::Arc::new(vec![vec![tag]]),
             n_endo: 8,
             config: 0,
         }

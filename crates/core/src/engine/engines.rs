@@ -326,12 +326,16 @@ impl ShapleyEngine for MonteCarloEngine {
         let prep_time = prep_start.elapsed();
         let solve_start = Instant::now();
         let f = |s: &Bitset| dense.eval_set(s);
-        // Fold the per-task salt into the seed: isomorphic tasks of one
-        // batch draw independent permutations instead of sharing one
-        // estimate.
+        // Fold the per-task salt into the seed (distinct submissions draw
+        // distinct deterministic streams) and scale the permutation budget
+        // by the task's dedup-group size, so a shared group estimate spends
+        // the same total draws the per-member solves would have.
         let cfg = MonteCarloConfig {
             seed: self.cfg.seed ^ task.seed_salt,
-            ..self.cfg
+            permutations: self
+                .cfg
+                .permutations
+                .saturating_mul(task.sample_scale.max(1)),
         };
         let estimates = if self.monotone {
             monte_carlo_shapley_monotone(&f, vars.len(), &cfg)
@@ -370,6 +374,7 @@ impl ShapleyEngine for KernelShapEngine {
         let solve_start = Instant::now();
         let cfg = KernelShapConfig {
             seed: self.cfg.seed ^ task.seed_salt,
+            samples: self.cfg.samples.saturating_mul(task.sample_scale.max(1)),
             ..self.cfg
         };
         let estimates = kernel_shap(&|s: &Bitset| dense.eval_set(s), vars.len(), &cfg);

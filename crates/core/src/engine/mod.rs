@@ -18,7 +18,19 @@
 //! * [`BatchExecutor`] — interns structurally identical lineages via
 //!   [`shapdb_circuit::fingerprint()`], computes each distinct structure
 //!   once, and fans the distinct tasks out across `std::thread::scope`
-//!   workers.
+//!   workers;
+//! * [`ShapleyService`] — the resident, session-oriented surface: a
+//!   long-lived worker pool draining a bounded client-fair queue of owned
+//!   [`LineageRequest`]s, with ticketed [`Submission`] handles,
+//!   per-request policy overrides, and graceful drain-on-shutdown. One
+//!   process, one planner, one cache, N clients.
+//!
+//! The dedup-then-fan-out pipeline itself (fingerprint → group → plan →
+//! solve → translate) lives in the private `stages` module as
+//! pool-agnostic free functions — the batch executor, sequential
+//! [`Planner::solve`], and the service workers all run the *same* stage
+//! code, so batch ≡ sequential ≡ service holds bit-identically on the
+//! exact paths by construction.
 //!
 //! The classic entry points (`pipeline::analyze_lineage_auto`,
 //! `hybrid_shapley_dnf`, the `shapdb` facade, the CLI) are thin policies
@@ -28,6 +40,8 @@ mod batch;
 mod cache;
 mod engines;
 mod planner;
+mod service;
+mod stages;
 
 pub use batch::{BatchConfig, BatchExecutor, BatchItem, BatchReport};
 pub use cache::{CacheKey, CacheStats, ShapleyCache};
@@ -35,6 +49,10 @@ pub use engines::{
     KcEngine, KernelShapEngine, MonteCarloEngine, NaiveEngine, ProxyEngine, ReadOnceEngine,
 };
 pub use planner::{Plan, PlanReason, Planner, PlannerConfig, QueryClass};
+pub use service::{
+    LineageRequest, ServiceClient, ServiceConfig, ServiceStats, ShapleyService, Submission,
+    SubmitError,
+};
 
 use crate::exact::ExactConfig;
 use crate::pipeline::{AnalysisError, AnalysisMethod, FactAttribution, LineageAnalysis};
@@ -97,8 +115,9 @@ impl EngineKind {
     }
 
     /// True iff the engine draws random samples (its estimates depend on a
-    /// seed). Sampling results are re-drawn per task with per-task seeds
-    /// instead of being shared across a dedup group or cached.
+    /// seed). Sampling results are never cached; a dedup group of sampling
+    /// tasks shares one estimate drawn with the group's *total* sample
+    /// budget ([`LineageTask::sample_scale`]).
     pub fn is_sampling(self) -> bool {
         matches!(self, EngineKind::MonteCarlo | EngineKind::KernelShap)
     }
@@ -139,11 +158,18 @@ pub struct LineageTask<'a> {
     /// construction.
     pub minimized: bool,
     /// Per-task entropy XORed into the sampling engines' seeds (Monte
-    /// Carlo, Kernel SHAP), so structurally identical tasks draw
-    /// *independent* samples instead of sharing one estimate. Zero (the
+    /// Carlo, Kernel SHAP), so distinct submissions draw *different*
+    /// deterministic samples instead of replaying one stream. Zero (the
     /// default) leaves the configured seeds untouched; exact engines ignore
     /// it entirely.
     pub seed_salt: u64,
+    /// Multiplier on the sampling engines' sample counts (Monte Carlo
+    /// permutations, Kernel SHAP coalitions). The batch path solves a dedup
+    /// group of `G` structurally identical sampling tasks **once** with
+    /// `sample_scale = G`, so the shared estimate is drawn from the same
+    /// total number of samples the `G` sequential solves would have spent —
+    /// same budget, `G×` the accuracy per member. Exact engines ignore it.
+    pub sample_scale: usize,
 }
 
 impl<'a> LineageTask<'a> {
@@ -156,6 +182,7 @@ impl<'a> LineageTask<'a> {
             exact: ExactConfig::default(),
             minimized: false,
             seed_salt: 0,
+            sample_scale: 1,
         }
     }
 
@@ -182,6 +209,13 @@ impl<'a> LineageTask<'a> {
     /// [`LineageTask::seed_salt`]).
     pub fn with_seed_salt(mut self, salt: u64) -> Self {
         self.seed_salt = salt;
+        self
+    }
+
+    /// Sets the sampling-budget multiplier (see
+    /// [`LineageTask::sample_scale`]; `0` is treated as `1`).
+    pub fn with_sample_scale(mut self, scale: usize) -> Self {
+        self.sample_scale = scale.max(1);
         self
     }
 }

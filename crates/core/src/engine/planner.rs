@@ -27,7 +27,7 @@
 use super::cache::{CacheKey, ShapleyCache};
 use super::{EngineError, EngineKind, EngineResult, LineageTask, ReadOnceEngine};
 use crate::exact::ExactConfig;
-use shapdb_circuit::{factor_minimized, fingerprint, Dnf, Fingerprint, ReadOnce};
+use shapdb_circuit::{factor_minimized, Dnf, Fingerprint, ReadOnce};
 use shapdb_kc::Budget;
 use shapdb_metrics::counters::{
     PLANNER_HIERARCHICAL_DISAGREEMENTS, PLANNER_KC_ROUTES, PLANNER_NAIVE_ROUTES,
@@ -328,39 +328,21 @@ impl Planner {
     ///
     /// With a [`Planner::with_cache`] cache attached, the lineage is
     /// canonicalized first and exact results are served from / stored into
-    /// the cache (translated exactly through the renaming); plans that land
-    /// on a sampling engine bypass the cache and run on the caller's own
-    /// lineage.
+    /// the cache (translated exactly through the renaming). Thin delegation
+    /// into the shared pipeline stage (`stages::solve_one`) — the
+    /// same code path batch groups and resident-service workers run.
     pub fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
-        let Some(cache) = self.cache.as_deref() else {
-            return self.solve_direct(task);
-        };
-        if self.cfg.force.is_some_and(|k| !k.is_exact()) {
-            // Forced sampling/proxy engines gain nothing from
-            // canonicalization; keep their estimates on the caller's own
-            // variables.
-            cache.record_bypass();
-            return self.solve_direct(task);
-        }
-        let fp = fingerprint(task.lineage);
-        let plan = self.plan_fp(&fp);
-        let (result, _) = self.solve_structure(
-            &fp,
-            plan,
-            task.n_endo,
-            &task.budget,
-            &task.exact,
-            task.seed_salt,
-        );
-        result.map(|r| super::translate_result(r, &fp))
+        super::stages::solve_one(self, task, &super::stages::SolveCounters::new())
     }
 
     /// Solves the canonical structure behind `fp` under an already-made
     /// `plan` (callers plan once — re-planning here would double the route
     /// counters), consulting the cache when one is attached. The returned
     /// result is in **canonical space** — callers translate it through
-    /// their own fingerprint. The batch executor calls this once per
-    /// distinct structure.
+    /// their own fingerprint. The batch executor and the service call this
+    /// once per distinct structure; `sample_scale` carries the dedup
+    /// group's size so a sampling solve spends the group's total budget.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn solve_structure(
         &self,
         fp: &Fingerprint,
@@ -369,30 +351,39 @@ impl Planner {
         budget: &Budget,
         exact: &ExactConfig,
         seed_salt: u64,
+        sample_scale: usize,
     ) -> (Result<EngineResult, EngineError>, CacheOutcome) {
-        let canonical = fp.canonical_dnf();
-        let ctask = LineageTask {
-            lineage: &canonical,
-            n_endo,
-            budget: *budget,
-            exact: *exact,
-            minimized: true,
-            seed_salt,
+        // Rebuilding the canonical DNF is deferred past the cache lookup:
+        // on the service/batch hot path most calls are hits, which need
+        // only the (shared) key — no per-call allocation at all.
+        let run = |outcome: CacheOutcome| {
+            let canonical = fp.canonical_dnf();
+            let ctask = LineageTask {
+                lineage: &canonical,
+                n_endo,
+                budget: *budget,
+                exact: *exact,
+                minimized: true,
+                seed_salt,
+                sample_scale: sample_scale.max(1),
+            };
+            (
+                self.solve_planned(&ctask, plan, fp.tree(), Duration::ZERO),
+                outcome,
+            )
         };
         let Some(cache) = self.cache.as_deref() else {
-            let solved = self.solve_planned(&ctask, plan, fp.tree(), Duration::ZERO);
-            return (solved, CacheOutcome::Disabled);
+            return run(CacheOutcome::Disabled);
         };
         if !plan.engine.is_exact() || cache.is_disabled() {
             // Inexact plans are never cached; a zero-capacity cache can
             // store nothing — either way this solve skips the cache, and
             // must be reported as a bypass, not a miss.
             cache.record_bypass();
-            let solved = self.solve_planned(&ctask, plan, fp.tree(), Duration::ZERO);
-            return (solved, CacheOutcome::Bypass);
+            return run(CacheOutcome::Bypass);
         }
         let key = CacheKey {
-            structure: fp.key().clone(),
+            structure: fp.shared_key(),
             n_endo,
             config: self.cache_digest(budget),
         };
@@ -406,7 +397,7 @@ impl Planner {
             hit.compile_stats = Default::default();
             return (Ok(hit), CacheOutcome::Hit);
         }
-        let solved = self.solve_planned(&ctask, plan, fp.tree(), Duration::ZERO);
+        let (solved, _) = run(CacheOutcome::Miss);
         if let Ok(r) = &solved {
             // Only exact results are stored: they are a pure function of
             // (structure, n_endo). A fallback may have produced an inexact

@@ -1,0 +1,674 @@
+//! The resident [`ShapleyService`]: a long-lived worker pool serving many
+//! clients from one process, one planner, and one result cache.
+//!
+//! Every one-shot entry point (`Planner::solve`, `BatchExecutor::run`, the
+//! facade, the CLI) builds its execution state per call: a scoped thread
+//! pool is spawned, drained, and joined inside each batch. That is the
+//! right shape for a single query, and the wrong one for a server — N
+//! concurrent callers each spinning their own pool oversubscribe the
+//! machine, and nothing but the cache amortizes across calls. This module
+//! is the session-oriented shape:
+//!
+//! * **persistent workers** — plain `std` threads (no async runtime)
+//!   spawned once, draining a shared queue until shutdown;
+//! * **bounded fair queue** — one FIFO lane per client popped round-robin
+//!   ([`queue::FairQueue`]), so a flooding client cannot starve others;
+//!   when the bound is hit, [`submit`](ShapleyService::submit) returns
+//!   [`SubmitError::Saturated`] — backpressure, not unbounded memory;
+//! * **ticketed futures-by-hand** — [`submit`](ShapleyService::submit)
+//!   returns a [`Submission`] with `wait()`/`try_wait()`;
+//! * **per-request policy** — a [`LineageRequest`] may carry its own
+//!   [`PlannerConfig`]; the worker solves under that policy while sharing
+//!   the service's [`super::ShapleyCache`] (policy digests keep entries
+//!   from crossing policies);
+//! * **graceful drain** — [`shutdown`](ShapleyService::shutdown) (also run
+//!   on drop) stops intake, lets the workers drain every queued job, and
+//!   joins them; every accepted ticket is fulfilled.
+//!
+//! Workers run the same pipeline stage ([`super::stages::solve_one`]) the
+//! one-shot paths use: fingerprint → plan → solve the canonical structure
+//! through the shared cache → translate. Exact results are therefore
+//! bit-identical to sequential and batch solving of the same lineage, and
+//! any structure solved by *any* client is served from the cache for every
+//! later isomorphic request — the cross-call reuse the cache was built
+//! for, now shared by N clients inside one process.
+
+mod queue;
+mod submission;
+
+pub use submission::Submission;
+pub(crate) use submission::TicketInner;
+
+use super::stages::{self, SolveCounters, WORKER_STACK};
+use super::{EngineError, EngineResult, LineageTask, Planner, PlannerConfig};
+use crate::exact::ExactConfig;
+use queue::{FairQueue, Job};
+use shapdb_circuit::Dnf;
+use shapdb_kc::Budget;
+use shapdb_metrics::counters::{
+    CacheRunStats, CounterSnapshot, SERVICE_COMPLETED, SERVICE_IN_FLIGHT, SERVICE_QUEUE_DEPTH,
+    SERVICE_REJECTED, SERVICE_SUBMITTED, SERVICE_WAIT_NS,
+};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Persistent worker threads (0 = all available cores).
+    pub workers: usize,
+    /// Bound on queued (not yet started) submissions across all clients;
+    /// past it, [`ShapleyService::submit`] returns
+    /// [`SubmitError::Saturated`]. Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Knowledge-compilation budget applied to requests that do not carry
+    /// their own ([`LineageRequest::with_budget`]).
+    pub default_budget: Budget,
+    /// Algorithm 1 options applied to requests that do not carry their own
+    /// ([`LineageRequest::with_exact`]).
+    pub default_exact: ExactConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: ServiceConfig::DEFAULT_QUEUE_CAPACITY,
+            default_budget: Budget::unlimited(),
+            default_exact: ExactConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Default queue bound: deep enough to absorb a dashboard refresh,
+    /// shallow enough that a stuck client notices in milliseconds.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+    /// Resolved worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubmitError {
+    /// The bounded queue is full — backpressure. Retry later, use
+    /// [`ShapleyService::submit_blocking`], or raise the capacity.
+    Saturated,
+    /// The service is shutting down (or already shut down); no new work is
+    /// accepted. Already-accepted submissions still complete.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated => write!(f, "service queue is saturated"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One owned unit of work for the service: the lineage plus everything a
+/// worker needs to solve it. The owned [`Dnf`] (unlike the borrowed
+/// [`LineageTask`]) is what lets requests outlive the submitting call.
+#[derive(Clone, Debug)]
+pub struct LineageRequest {
+    /// The monotone DNF endogenous lineage.
+    pub lineage: Dnf,
+    /// `|D_n|`, the number of endogenous facts of the database.
+    pub n_endo: usize,
+    /// Knowledge-compilation budget (deadline and node cap). `None` uses
+    /// the service's [`ServiceConfig::default_budget`].
+    pub budget: Option<Budget>,
+    /// Algorithm 1 options. `None` uses the service's
+    /// [`ServiceConfig::default_exact`].
+    pub exact: Option<ExactConfig>,
+    /// Per-request planner policy. `None` solves under the service's own
+    /// policy; `Some` overrides it for this request only — the shared
+    /// result cache stays correct either way (the policy is part of the
+    /// cache key digest).
+    pub policy: Option<PlannerConfig>,
+}
+
+impl LineageRequest {
+    /// A request under the service's own policy and default budgets.
+    pub fn new(lineage: Dnf, n_endo: usize) -> LineageRequest {
+        LineageRequest {
+            lineage,
+            n_endo,
+            budget: None,
+            exact: None,
+            policy: None,
+        }
+    }
+
+    /// Overrides the service's knowledge-compilation budget for this
+    /// request.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Overrides the service's Algorithm 1 options for this request.
+    pub fn with_exact(mut self, exact: ExactConfig) -> Self {
+        self.exact = Some(exact);
+        self
+    }
+
+    /// Overrides the planner policy for this request.
+    pub fn with_policy(mut self, policy: PlannerConfig) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+}
+
+/// Point-in-time operational report of one service.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Persistent worker threads.
+    pub workers: usize,
+    /// Submissions currently queued (not yet picked up).
+    pub queue_depth: usize,
+    /// The queue bound.
+    pub queue_capacity: usize,
+    /// Submissions currently being solved.
+    pub in_flight: usize,
+    /// Distinct client lanes ever opened.
+    pub clients: usize,
+    /// Submissions accepted into the queue.
+    pub submitted: u64,
+    /// Submissions completed (tickets fulfilled).
+    pub completed: u64,
+    /// Submissions rejected with [`SubmitError::Saturated`].
+    pub rejected: u64,
+    /// Total time completed submissions spent queued before a worker
+    /// picked them up.
+    pub total_wait: Duration,
+    /// Engine invocations this service actually ran (cache hits run none).
+    pub engine_runs: usize,
+    /// How the service's solves used the shared result cache.
+    pub cache: CacheRunStats,
+    /// Process-global counter increments since this service started
+    /// ([`CounterSnapshot::delta_since`] — see its caveats: concurrent
+    /// actors in the same process bleed into the window).
+    pub counters_since_start: Vec<(&'static str, u64)>,
+}
+
+impl ServiceStats {
+    /// Mean queue wait per completed submission.
+    pub fn mean_wait(&self) -> Duration {
+        if self.completed == 0 {
+            return Duration::ZERO;
+        }
+        self.total_wait / self.completed as u32
+    }
+}
+
+/// State shared between the handle, the clients, and the workers.
+struct Shared {
+    planner: Planner,
+    queue: Mutex<FairQueue>,
+    /// Signaled when work is pushed (and broadcast on close).
+    work: Condvar,
+    /// Signaled when a job is popped (blocking submitters wait here).
+    space: Condvar,
+    counters: SolveCounters,
+    in_flight: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    wait_ns: AtomicU64,
+    next_client: AtomicU64,
+    workers: usize,
+    default_budget: Budget,
+    default_exact: ExactConfig,
+    started: CounterSnapshot,
+}
+
+/// A per-client handle: submissions through one handle share a fair-queue
+/// lane, so distinct handles get round-robin service no matter how deep
+/// any one lane is. Cheap to clone and `Send` — hand one to each client
+/// thread.
+#[derive(Clone)]
+pub struct ServiceClient {
+    shared: Arc<Shared>,
+    client: u64,
+}
+
+impl ServiceClient {
+    /// Non-blocking submit: [`SubmitError::Saturated`] when the queue is
+    /// at capacity.
+    pub fn submit(&self, request: LineageRequest) -> Result<Submission, SubmitError> {
+        submit_inner(&self.shared, self.client, request, false)
+    }
+
+    /// Blocking submit: waits for queue space instead of rejecting (still
+    /// fails with [`SubmitError::ShuttingDown`] once the service stops
+    /// accepting).
+    pub fn submit_blocking(&self, request: LineageRequest) -> Result<Submission, SubmitError> {
+        submit_inner(&self.shared, self.client, request, true)
+    }
+
+    /// Submit-all + return the tickets: the batch shape on the resident
+    /// path ("submit all, wait all" — the same pipeline stages the
+    /// one-shot batch runs, with the shared cache providing the
+    /// cross-request dedup). Blocks for queue space, so batches larger
+    /// than the queue bound stream through it.
+    pub fn submit_all(
+        &self,
+        lineages: impl IntoIterator<Item = Dnf>,
+        n_endo: usize,
+        budget: &Budget,
+        exact: &ExactConfig,
+    ) -> Result<Vec<Submission>, SubmitError> {
+        lineages
+            .into_iter()
+            .map(|lineage| {
+                self.submit_blocking(
+                    LineageRequest::new(lineage, n_endo)
+                        .with_budget(*budget)
+                        .with_exact(*exact),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The resident service handle. Dropping it shuts the service down
+/// gracefully (intake stops, queued work drains, workers join).
+pub struct ShapleyService {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShapleyService {
+    /// Spawns the worker pool. The planner (policy + attached cache) is
+    /// the cost model every worker shares; attach a
+    /// [`super::ShapleyCache`] to it for cross-request reuse — without
+    /// one, requests solve independently.
+    pub fn new(planner: Planner, cfg: ServiceConfig) -> ShapleyService {
+        let workers = cfg.effective_workers();
+        let shared = Arc::new(Shared {
+            planner,
+            queue: Mutex::new(FairQueue::new(cfg.queue_capacity)),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            counters: SolveCounters::new(),
+            in_flight: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
+            // Lane 0 is the service handle's own; clients start at 1.
+            next_client: AtomicU64::new(1),
+            workers,
+            default_budget: cfg.default_budget,
+            default_exact: cfg.default_exact,
+            started: CounterSnapshot::take(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("shapdb-svc-{w}"))
+                    .stack_size(WORKER_STACK)
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        ShapleyService { shared, handles }
+    }
+
+    /// A new client handle with its own fair-queue lane.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            shared: Arc::clone(&self.shared),
+            client: self.shared.next_client.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Non-blocking submit on the service's own lane (lane 0). Multi-client
+    /// callers should prefer per-client handles from
+    /// [`ShapleyService::client`] for fair scheduling.
+    pub fn submit(&self, request: LineageRequest) -> Result<Submission, SubmitError> {
+        submit_inner(&self.shared, 0, request, false)
+    }
+
+    /// Blocking submit on the service's own lane.
+    pub fn submit_blocking(&self, request: LineageRequest) -> Result<Submission, SubmitError> {
+        submit_inner(&self.shared, 0, request, true)
+    }
+
+    /// [`ServiceClient::submit_all`] on the service's own lane.
+    pub fn submit_all(
+        &self,
+        lineages: impl IntoIterator<Item = Dnf>,
+        n_endo: usize,
+        budget: &Budget,
+        exact: &ExactConfig,
+    ) -> Result<Vec<Submission>, SubmitError> {
+        ServiceClient {
+            shared: Arc::clone(&self.shared),
+            client: 0,
+        }
+        .submit_all(lineages, n_endo, budget, exact)
+    }
+
+    /// The shared planner (its cache is the one every worker consults).
+    pub fn planner(&self) -> &Planner {
+        &self.shared.planner
+    }
+
+    /// The service's operational report (see [`ServiceStats`]).
+    pub fn stats(&self) -> ServiceStats {
+        let (queue_depth, queue_capacity, clients) = {
+            let q = self.shared.queue.lock().expect("service queue lock");
+            (q.len(), q.capacity(), q.clients())
+        };
+        ServiceStats {
+            workers: self.shared.workers,
+            queue_depth,
+            queue_capacity,
+            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            clients,
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            total_wait: Duration::from_nanos(self.shared.wait_ns.load(Ordering::Relaxed)),
+            engine_runs: self.shared.counters.engine_runs(),
+            cache: self.shared.counters.cache_stats(),
+            counters_since_start: CounterSnapshot::take().delta_since(&self.shared.started),
+        }
+    }
+
+    /// Graceful shutdown: stops intake, drains every queued job (all
+    /// accepted tickets are fulfilled), joins the workers, and returns the
+    /// final stats. Also runs on drop.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.drain();
+        let stats = self.stats();
+        // Drop runs next; handles are already empty.
+        stats
+    }
+
+    fn drain(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("service queue lock");
+            q.close();
+        }
+        // Wake everyone: idle workers (to observe the close) and blocked
+        // submitters (to fail with ShuttingDown).
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for h in self.handles.drain(..) {
+            h.join().expect("service worker panicked");
+        }
+    }
+}
+
+impl Drop for ShapleyService {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.drain();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShapleyService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShapleyService")
+            .field("workers", &self.shared.workers)
+            .field("queued", &self.shared.queue.lock().expect("lock").len())
+            .finish()
+    }
+}
+
+/// Enqueues one request (see the submit methods for the two modes).
+fn submit_inner(
+    shared: &Shared,
+    client: u64,
+    request: LineageRequest,
+    blocking: bool,
+) -> Result<Submission, SubmitError> {
+    let ticket = TicketInner::new();
+    let mut job = Job {
+        request,
+        ticket: Arc::clone(&ticket),
+        enqueued: Instant::now(),
+        sequence: 0,
+    };
+    let mut q = shared.queue.lock().expect("service queue lock");
+    loop {
+        if q.is_closed() {
+            return Err(SubmitError::ShuttingDown);
+        }
+        job.enqueued = Instant::now();
+        job.sequence = shared.submitted.load(Ordering::Relaxed);
+        match q.push(client, job) {
+            None => {
+                shared.submitted.fetch_add(1, Ordering::Relaxed);
+                SERVICE_SUBMITTED.incr();
+                SERVICE_QUEUE_DEPTH.incr();
+                // Wake a worker only when one is actually parked: a busy
+                // pool pays no futex traffic per submission.
+                let worker_idle = q.idle_workers > 0;
+                drop(q);
+                if worker_idle {
+                    shared.work.notify_one();
+                }
+                return Ok(Submission { ticket });
+            }
+            Some(back) => {
+                if !blocking {
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    SERVICE_REJECTED.incr();
+                    return Err(SubmitError::Saturated);
+                }
+                job = back;
+                q.space_waiters += 1;
+                q = shared.space.wait(q).expect("service queue lock");
+                q.space_waiters -= 1;
+            }
+        }
+    }
+}
+
+/// One persistent worker: pop fairly, solve through the shared pipeline
+/// stage, fulfill the ticket; exit once the queue is closed *and* drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (job, submitter_blocked) = {
+            let mut q = shared.queue.lock().expect("service queue lock");
+            let job = loop {
+                if let Some(job) = q.pop_fair() {
+                    break job;
+                }
+                if q.is_closed() {
+                    return;
+                }
+                q.compact();
+                q.idle_workers += 1;
+                q = shared.work.wait(q).expect("service queue lock");
+                q.idle_workers -= 1;
+            };
+            (job, q.space_waiters > 0)
+        };
+        SERVICE_QUEUE_DEPTH.decr();
+        if submitter_blocked {
+            shared.space.notify_one();
+        }
+
+        let waited = job.enqueued.elapsed().as_nanos() as u64;
+        shared.wait_ns.fetch_add(waited, Ordering::Relaxed);
+        SERVICE_WAIT_NS.add(waited);
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        SERVICE_IN_FLIGHT.incr();
+
+        // Per-request policy override: a fresh planner view with the same
+        // shared cache (the policy digest keys the entries apart).
+        let planner = match job.request.policy {
+            Some(cfg) => {
+                let mut p = shared.planner.clone();
+                p.cfg = cfg;
+                p
+            }
+            None => shared.planner.clone(),
+        };
+        let task = LineageTask::new(&job.request.lineage, job.request.n_endo)
+            .with_budget(job.request.budget.unwrap_or(shared.default_budget))
+            .with_exact(job.request.exact.unwrap_or(shared.default_exact))
+            .with_seed_salt(job.sequence);
+        let result: Result<EngineResult, EngineError> =
+            stages::solve_one(&planner, &task, &shared.counters);
+        job.ticket.fulfill(result);
+
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        SERVICE_IN_FLIGHT.decr();
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        SERVICE_COMPLETED.incr();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineValues, ShapleyCache};
+    use shapdb_circuit::VarId;
+    use shapdb_num::Rational;
+
+    fn dnf(conjs: &[&[u32]]) -> Dnf {
+        let mut d = Dnf::new();
+        for c in conjs {
+            d.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+        }
+        d
+    }
+
+    fn service(workers: usize, capacity: usize) -> ShapleyService {
+        let planner =
+            Planner::new(PlannerConfig::default()).with_cache(Arc::new(ShapleyCache::new()));
+        ShapleyService::new(
+            planner,
+            ServiceConfig {
+                workers,
+                queue_capacity: capacity,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn exact_pairs(r: &EngineResult) -> Vec<(u32, Rational)> {
+        match &r.values {
+            EngineValues::Exact(v) => v.iter().map(|(f, x)| (f.0, x.clone())).collect(),
+            EngineValues::Approx(_) => panic!("expected exact"),
+        }
+    }
+
+    #[test]
+    fn submissions_complete_with_sequential_values() {
+        let svc = service(2, 64);
+        let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        let sub = svc.submit(LineageRequest::new(running.clone(), 8)).unwrap();
+        let r = sub.wait().unwrap();
+        let sequential = Planner::new(PlannerConfig::default())
+            .solve(&LineageTask::new(&running, 8))
+            .unwrap();
+        assert_eq!(exact_pairs(&r), exact_pairs(&sequential));
+        // Isomorphic follow-up from another client: served from the shared
+        // cache, translated onto its own facts.
+        let renamed = dnf(&[&[70], &[40, 20], &[40, 60], &[10, 20], &[10, 60], &[30, 50]]);
+        let client = svc.client();
+        let r2 = client
+            .submit(LineageRequest::new(renamed, 8))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let v70 = exact_pairs(&r2)
+            .into_iter()
+            .find(|(f, _)| *f == 70)
+            .unwrap()
+            .1;
+        assert_eq!(v70, Rational::from_ratio(43, 105));
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache.hits, 1, "second structure came from cache");
+        assert_eq!(stats.engine_runs, 1);
+    }
+
+    #[test]
+    fn try_wait_polls_and_wait_blocks() {
+        let svc = service(1, 8);
+        let sub = svc.submit(LineageRequest::new(dnf(&[&[0, 1]]), 4)).unwrap();
+        let r = sub.wait().unwrap();
+        assert!(sub.is_done());
+        assert_eq!(
+            exact_pairs(&sub.try_wait().unwrap().unwrap()),
+            exact_pairs(&r)
+        );
+    }
+
+    #[test]
+    fn per_request_policy_overrides_the_service_policy() {
+        let svc = service(1, 8);
+        let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
+        // Service default: tiny-naive route (exact).
+        let base = svc
+            .submit(LineageRequest::new(majority.clone(), 3))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(base.values.is_exact());
+        // Per-request: force the proxy — inexact scores, same service.
+        let forced = svc
+            .submit(LineageRequest::new(majority, 3).with_policy(PlannerConfig {
+                force: Some(crate::engine::EngineKind::Proxy),
+                ..Default::default()
+            }))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!forced.values.is_exact());
+        assert_eq!(forced.engine, crate::engine::EngineKind::Proxy);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_drains_accepted_work() {
+        let svc = service(1, 64);
+        let subs: Vec<Submission> = (0..8)
+            .map(|i| {
+                svc.submit(LineageRequest::new(dnf(&[&[i, i + 100]]), 300))
+                    .unwrap()
+            })
+            .collect();
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 8, "every accepted job drained");
+        for sub in &subs {
+            assert!(sub.is_done());
+            assert!(sub.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_cleanly() {
+        let svc = service(1, 8);
+        let client = svc.client();
+        drop(svc); // graceful drop-shutdown
+        assert_eq!(
+            client
+                .submit(LineageRequest::new(dnf(&[&[0]]), 2))
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+}

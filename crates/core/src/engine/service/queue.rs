@@ -1,0 +1,227 @@
+//! The bounded, client-fair submission queue.
+//!
+//! One lane (FIFO) per client, popped round-robin: a client flooding the
+//! service with thousands of submissions cannot starve a client submitting
+//! one — each pop advances to the *next* non-empty lane, so K active
+//! clients each get ~1/K of the worker capacity regardless of lane depth.
+//! The total queued count is bounded; [`FairQueue::push`] refuses (handing
+//! the job back) when full, which the service surfaces as
+//! [`super::SubmitError::Saturated`] — backpressure instead of unbounded
+//! memory.
+
+use super::LineageRequest;
+use super::TicketInner;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One queued request with its completion ticket.
+pub(crate) struct Job {
+    pub request: LineageRequest,
+    pub ticket: Arc<TicketInner>,
+    /// When the job entered the queue (wait-time accounting).
+    pub enqueued: Instant,
+    /// Submission order within the whole service (the sampling seed salt,
+    /// so distinct submissions draw distinct deterministic streams).
+    pub sequence: u64,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("sequence", &self.sequence)
+            .finish()
+    }
+}
+
+struct Lane {
+    jobs: VecDeque<Job>,
+}
+
+/// The fair, bounded, multi-client queue (see module docs). Not
+/// thread-safe by itself — the service wraps it in one `Mutex` with
+/// condition variables for `work` (consumers) and `space` (producers).
+pub(crate) struct FairQueue {
+    capacity: usize,
+    len: usize,
+    lanes: Vec<Lane>,
+    lane_of: HashMap<u64, usize>,
+    /// Next lane index to try popping from (round-robin cursor).
+    rr: usize,
+    /// Distinct clients that ever opened a lane (survives
+    /// [`FairQueue::compact`], unlike the lane list itself).
+    clients_ever: usize,
+    closed: bool,
+    /// Workers currently parked on the `work` condvar (maintained under
+    /// the queue mutex): a push only signals when this is non-zero, so a
+    /// busy service never pays a futex wake per submission.
+    pub(crate) idle_workers: usize,
+    /// Blocked submitters parked on the `space` condvar (same discipline
+    /// for pops).
+    pub(crate) space_waiters: usize,
+}
+
+impl FairQueue {
+    /// A queue holding at most `capacity` jobs across all clients.
+    pub fn new(capacity: usize) -> FairQueue {
+        FairQueue {
+            capacity: capacity.max(1),
+            len: 0,
+            lanes: Vec::new(),
+            lane_of: HashMap::new(),
+            rr: 0,
+            clients_ever: 0,
+            closed: false,
+            idle_workers: 0,
+            space_waiters: 0,
+        }
+    }
+
+    /// Jobs currently queued, across all lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stops accepting new jobs; queued ones still drain.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// True iff [`FairQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Enqueues `job` on `client`'s lane. Returns `None` on success, or
+    /// hands the job back when the queue is at capacity (the caller
+    /// decides between rejecting and blocking).
+    #[must_use]
+    pub fn push(&mut self, client: u64, job: Job) -> Option<Job> {
+        if self.len >= self.capacity {
+            return Some(job);
+        }
+        let lane = match self.lane_of.get(&client) {
+            Some(&i) => i,
+            None => {
+                self.lanes.push(Lane {
+                    jobs: VecDeque::new(),
+                });
+                let i = self.lanes.len() - 1;
+                self.lane_of.insert(client, i);
+                self.clients_ever += 1;
+                i
+            }
+        };
+        self.lanes[lane].jobs.push_back(job);
+        self.len += 1;
+        None
+    }
+
+    /// Pops the next job fairly: the first non-empty lane at or after the
+    /// round-robin cursor, which then advances past it.
+    pub fn pop_fair(&mut self) -> Option<Job> {
+        if self.len == 0 || self.lanes.is_empty() {
+            return None;
+        }
+        let n = self.lanes.len();
+        for step in 0..n {
+            let i = (self.rr + step) % n;
+            if let Some(job) = self.lanes[i].jobs.pop_front() {
+                self.rr = (i + 1) % n;
+                self.len -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Distinct clients that ever opened a lane (a counter — lane
+    /// compaction does not affect it).
+    pub fn clients(&self) -> usize {
+        self.clients_ever
+    }
+
+    /// Drops lanes that have gone idle so a service churning through many
+    /// short-lived clients does not accumulate empty lanes forever. Called
+    /// opportunistically by the service when the queue is empty. A client
+    /// whose lane was dropped gets a fresh lane on its next submit; the
+    /// [`FairQueue::clients`] counter tracks lane openings, so such a
+    /// client counts again — it can overstate distinct clients, never
+    /// understate them.
+    pub fn compact(&mut self) {
+        if self.len == 0 && self.lanes.len() > 64 {
+            self.lanes.clear();
+            self.lane_of.clear();
+            self.rr = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapdb_circuit::Dnf;
+
+    fn job(seq: u64) -> Job {
+        Job {
+            request: LineageRequest::new(Dnf::new(), 1),
+            ticket: TicketInner::new(),
+            enqueued: Instant::now(),
+            sequence: seq,
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let mut q = FairQueue::new(16);
+        // Client 1 floods; client 2 submits two.
+        for s in 0..6 {
+            assert!(q.push(1, job(s)).is_none());
+        }
+        assert!(q.push(2, job(100)).is_none());
+        assert!(q.push(2, job(101)).is_none());
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_fair().map(|j| j.sequence)).collect();
+        // Fair pop alternates lanes while both are non-empty.
+        assert_eq!(order, vec![0, 100, 1, 101, 2, 3, 4, 5]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_the_whole_queue() {
+        let mut q = FairQueue::new(2);
+        assert!(q.push(1, job(0)).is_none());
+        assert!(q.push(2, job(1)).is_none());
+        let back = q.push(3, job(2));
+        assert_eq!(
+            back.map(|j| j.sequence),
+            Some(2),
+            "full queue hands the job back"
+        );
+        q.pop_fair().unwrap();
+        assert!(q.push(3, job(3)).is_none(), "space freed by the pop");
+    }
+
+    #[test]
+    fn close_stops_nothing_mid_queue() {
+        let mut q = FairQueue::new(4);
+        assert!(q.push(1, job(0)).is_none());
+        q.close();
+        assert!(q.is_closed());
+        // Draining continues after close.
+        assert_eq!(q.pop_fair().map(|j| j.sequence), Some(0));
+        assert!(q.pop_fair().is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut q = FairQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.push(1, job(0)).is_none());
+        assert!(q.push(1, job(1)).is_some());
+    }
+}

@@ -1,0 +1,108 @@
+//! Ticketed futures-by-hand: the handle a service submission returns.
+//!
+//! No async runtime — a ticket is a `Mutex<Option<Result>>` plus a
+//! `Condvar`. The submitting client holds the [`Submission`] side; the
+//! worker that completes the request fulfills the shared inner ticket,
+//! waking every waiter. Cloning a `Submission` is cheap (one `Arc`), so a
+//! result can be awaited from several places.
+
+use super::super::{EngineError, EngineResult};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A ticket's guarded state: the eventual result plus how many threads
+/// are parked on the condvar (so fulfilling a ticket nobody is waiting on
+/// — the common submit-all-then-wait-all case — skips the futex wake).
+struct TicketState {
+    result: Option<Result<EngineResult, EngineError>>,
+    waiters: usize,
+}
+
+/// The shared state between a [`Submission`] and the worker completing it.
+pub(crate) struct TicketInner {
+    state: Mutex<TicketState>,
+    done: Condvar,
+}
+
+impl TicketInner {
+    /// A fresh, unfulfilled ticket.
+    pub(crate) fn new() -> Arc<TicketInner> {
+        Arc::new(TicketInner {
+            state: Mutex::new(TicketState {
+                result: None,
+                waiters: 0,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Stores the result and wakes every waiter. Called exactly once per
+    /// ticket, by the worker that solved the request.
+    pub(crate) fn fulfill(&self, result: Result<EngineResult, EngineError>) {
+        let mut state = self.state.lock().expect("ticket lock");
+        debug_assert!(state.result.is_none(), "a ticket is fulfilled exactly once");
+        state.result = Some(result);
+        let anyone_waiting = state.waiters > 0;
+        drop(state);
+        if anyone_waiting {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A pending service request: the caller's end of the ticket.
+///
+/// `wait` blocks until a worker completes the request; `try_wait` polls.
+/// Every submission accepted by a [`super::ShapleyService`] is eventually
+/// fulfilled — shutdown drains the queue before the workers exit — so
+/// `wait` cannot hang on a cleanly shut-down service.
+#[derive(Clone)]
+pub struct Submission {
+    pub(crate) ticket: Arc<TicketInner>,
+}
+
+impl Submission {
+    /// Blocks until the request completes, returning (a clone of) its
+    /// result. Exact results are the same rationals a sequential
+    /// `Planner::solve` of the same lineage would produce.
+    pub fn wait(&self) -> Result<EngineResult, EngineError> {
+        let mut state = self.ticket.state.lock().expect("ticket lock");
+        loop {
+            if let Some(r) = state.result.as_ref() {
+                return r.clone();
+            }
+            state.waiters += 1;
+            state = self.ticket.done.wait(state).expect("ticket lock");
+            state.waiters -= 1;
+        }
+    }
+
+    /// Non-blocking poll: `None` while the request is still queued or
+    /// being solved.
+    pub fn try_wait(&self) -> Option<Result<EngineResult, EngineError>> {
+        self.ticket
+            .state
+            .lock()
+            .expect("ticket lock")
+            .result
+            .clone()
+    }
+
+    /// True iff the request has completed ([`Submission::wait`] would
+    /// return immediately).
+    pub fn is_done(&self) -> bool {
+        self.ticket
+            .state
+            .lock()
+            .expect("ticket lock")
+            .result
+            .is_some()
+    }
+}
+
+impl std::fmt::Debug for Submission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Submission")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}

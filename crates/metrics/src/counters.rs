@@ -90,9 +90,19 @@ pub static CIRCUIT_MINIMIZE_PASSES: Counter = Counter::new("circuit.minimize_pas
 /// Read-once factorization attempts (`shapdb_circuit::factor` and the
 /// pre-minimized variant behind `fingerprint`).
 pub static CIRCUIT_FACTOR_PASSES: Counter = Counter::new("circuit.factor_passes");
+/// Tasks submitted to resident `ShapleyService` instances (accepted into
+/// the queue; rejected submissions count in `service.rejected`).
+pub static SERVICE_SUBMITTED: Counter = Counter::new("service.submitted");
+/// Tasks a `ShapleyService` completed (fulfilled their ticket).
+pub static SERVICE_COMPLETED: Counter = Counter::new("service.completed");
+/// Submissions rejected with `SubmitError::Saturated` (backpressure).
+pub static SERVICE_REJECTED: Counter = Counter::new("service.rejected");
+/// Nanoseconds tasks spent queued before a worker picked them up.
+pub static SERVICE_WAIT_NS: Counter = Counter::new("service.wait_ns");
 
-/// Snapshot of every registered counter, for reports and debugging.
-pub fn snapshot() -> Vec<(&'static str, u64)> {
+/// The full counter registry, in a fixed order (the [`snapshot`] /
+/// [`CounterSnapshot`] row order).
+fn registry() -> [&'static Counter; 18] {
     [
         &BATCH_TASKS,
         &BATCH_DISTINCT,
@@ -108,10 +118,124 @@ pub fn snapshot() -> Vec<(&'static str, u64)> {
         &CACHE_BYPASSES,
         &CIRCUIT_MINIMIZE_PASSES,
         &CIRCUIT_FACTOR_PASSES,
+        &SERVICE_SUBMITTED,
+        &SERVICE_COMPLETED,
+        &SERVICE_REJECTED,
+        &SERVICE_WAIT_NS,
     ]
-    .iter()
-    .map(|c| (c.name(), c.get()))
-    .collect()
+}
+
+/// Snapshot of every registered counter, for reports and debugging.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    registry().iter().map(|c| (c.name(), c.get())).collect()
+}
+
+/// A point-in-time capture of the whole counter registry, for *scoped*
+/// readings of the process-global counters.
+///
+/// The static [`Counter`]s are cumulative across the process: two
+/// concurrent services (or parallel tests) both increment the same cells,
+/// so absolute values mix every actor's activity. A snapshot taken at a
+/// scope's start turns the cumulative cells into a delta — the activity
+/// since *this* scope began. Deltas still include any concurrent actor's
+/// increments during the window (the cells are shared); for race-free
+/// per-run numbers use the per-run stats structs ([`DedupStats`],
+/// [`CacheRunStats`], the service's own stats), which never touch the
+/// globals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: Vec<(&'static str, u64)>,
+}
+
+impl CounterSnapshot {
+    /// Captures the current value of every registered counter.
+    pub fn take() -> CounterSnapshot {
+        CounterSnapshot { values: snapshot() }
+    }
+
+    /// The captured value of one counter (0 for unknown names).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Per-counter increments between `earlier` and `self` (saturating:
+    /// a counter reset inside the window reads as 0, not a wraparound).
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> Vec<(&'static str, u64)> {
+        self.values
+            .iter()
+            .map(|&(name, v)| (name, v.saturating_sub(earlier.get(name))))
+            .collect()
+    }
+
+    /// [`CounterSnapshot::delta_since`] for a single counter.
+    pub fn delta_of(&self, earlier: &CounterSnapshot, name: &str) -> u64 {
+        self.get(name).saturating_sub(earlier.get(name))
+    }
+}
+
+/// A named process-wide level (unlike the monotonic [`Counter`]s): queue
+/// depths, in-flight task counts. Signed so a racy dec-before-inc
+/// interleaving can never wrap.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: std::sync::atomic::AtomicI64,
+}
+
+impl Gauge {
+    /// A new gauge at zero.
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: std::sync::atomic::AtomicI64::new(0),
+        }
+    }
+
+    /// The gauge's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` (negative to decrease); returns the new level.
+    pub fn add(&self, n: i64) -> i64 {
+        self.value.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Increments by one; returns the new level.
+    pub fn incr(&self) -> i64 {
+        self.add(1)
+    }
+
+    /// Decrements by one; returns the new level.
+    pub fn decr(&self) -> i64 {
+        self.add(-1)
+    }
+
+    /// Sets an absolute level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Tasks currently waiting in `ShapleyService` queues, process-wide.
+pub static SERVICE_QUEUE_DEPTH: Gauge = Gauge::new("service.queue_depth");
+/// Tasks currently being solved by `ShapleyService` workers, process-wide.
+pub static SERVICE_IN_FLIGHT: Gauge = Gauge::new("service.in_flight");
+
+/// Snapshot of every registered gauge.
+pub fn gauges() -> Vec<(&'static str, i64)> {
+    [&SERVICE_QUEUE_DEPTH, &SERVICE_IN_FLIGHT]
+        .iter()
+        .map(|g| (g.name(), g.get()))
+        .collect()
 }
 
 /// Dedup statistics of one batch run (race-free, unlike the globals).
@@ -121,9 +245,10 @@ pub struct DedupStats {
     pub tasks: usize,
     /// Distinct lineage structures (by canonical fingerprint).
     pub distinct: usize,
-    /// Tasks that actually reused another task's computation. Usually
-    /// `tasks - distinct`, but sampling-planned tasks are re-drawn per
-    /// member (each runs its own engine) and don't count as reuse.
+    /// Tasks that reused another task's computation (`tasks - distinct`):
+    /// exact results translate bit-identically through the renaming, and
+    /// sampling groups share one estimate drawn with the group's total
+    /// sample budget.
     pub reused: usize,
 }
 
@@ -191,6 +316,40 @@ mod tests {
         assert!(names.contains(&"cache.hits"));
         assert!(names.contains(&"cache.evictions"));
         assert!(names.contains(&"circuit.factor_passes"));
+        assert!(names.contains(&"service.submitted"));
+        assert!(names.contains(&"service.wait_ns"));
+    }
+
+    #[test]
+    fn counter_snapshot_deltas_are_scoped() {
+        let before = CounterSnapshot::take();
+        SERVICE_SUBMITTED.add(3);
+        SERVICE_COMPLETED.add(2);
+        let after = CounterSnapshot::take();
+        assert!(after.delta_of(&before, "service.submitted") >= 3);
+        assert!(after.delta_of(&before, "service.completed") >= 2);
+        assert_eq!(after.delta_of(&before, "service.unknown"), 0);
+        let deltas = after.delta_since(&before);
+        let of = |name: &str| deltas.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert!(of("service.submitted") >= 3);
+        // Deltas never go negative (saturating), even after a reset.
+        assert_eq!(before.delta_of(&after, "service.submitted"), 0);
+    }
+
+    #[test]
+    fn gauge_levels_move_both_ways() {
+        static G: Gauge = Gauge::new("test.gauge");
+        assert_eq!(G.get(), 0);
+        assert_eq!(G.incr(), 1);
+        assert_eq!(G.add(4), 5);
+        assert_eq!(G.decr(), 4);
+        G.set(-2);
+        assert_eq!(G.get(), -2);
+        assert_eq!(G.name(), "test.gauge");
+        G.set(0);
+        let names: Vec<&str> = gauges().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"service.queue_depth"));
+        assert!(names.contains(&"service.in_flight"));
     }
 
     #[test]
@@ -214,12 +373,5 @@ mod tests {
         assert_eq!(s.hits(), 6);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(DedupStats::default().hit_rate(), 0.0);
-        // Sampling-expanded members run their own engines: no reuse.
-        let sampling = DedupStats {
-            tasks: 8,
-            distinct: 1,
-            reused: 0,
-        };
-        assert_eq!(sampling.hit_rate(), 0.0);
     }
 }

@@ -12,12 +12,13 @@
 //!   for the ablation reports);
 //! * [`Summary`] — mean/percentile aggregation used by Table 1's columns;
 //! * [`counters`] — process-wide engine counters (batch dedup hit rate,
-//!   planner routing, hierarchical-vs-factorizer disagreements) and the
-//!   per-run [`counters::DedupStats`] snapshot batch reports carry.
+//!   planner routing, hierarchical-vs-factorizer disagreements, service
+//!   queue gauges), the scoped [`counters::CounterSnapshot`] delta reader,
+//!   and the per-run [`counters::DedupStats`] snapshot batch reports carry.
 
 pub mod counters;
 
-pub use counters::{Counter, DedupStats};
+pub use counters::{Counter, CounterSnapshot, DedupStats, Gauge};
 
 use std::cmp::Ordering;
 

@@ -47,7 +47,7 @@ use shapdb_circuit::{Circuit, Dnf};
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
 use shapdb_core::engine::{
     BatchExecutor, CacheStats, EngineError, EngineKind, EngineValues, Planner, PlannerConfig,
-    ShapleyCache,
+    ServiceConfig, ShapleyCache, ShapleyService,
 };
 use shapdb_core::exact::ExactConfig;
 use shapdb_core::hybrid::{HybridConfig, HybridOutcome};
@@ -366,6 +366,39 @@ impl<'a> ShapleyAnalyzer<'a> {
             .collect()
     }
 
+    /// Converts this analyzer into a resident
+    /// [`ShapleyService`]: a
+    /// long-lived worker pool (sized by
+    /// [`ShapleyAnalyzer::with_threads`], overridable via `cfg.workers`)
+    /// serving [`shapdb_core::engine::LineageRequest`]s from many clients.
+    /// The service inherits this analyzer's budgets
+    /// ([`ShapleyAnalyzer::with_budget`] / `with_exact_config`) as the
+    /// defaults for requests that carry none, and — crucially — its
+    /// cross-query result cache: anything the one-shot calls already
+    /// explained is served to service clients without running an engine,
+    /// and vice versa. When caching was disabled a fresh default cache is
+    /// attached (a resident service without shared state would amortize
+    /// nothing).
+    ///
+    /// The service holds no reference to the database — requests carry
+    /// their own lineages and `n_endo` — so it outlives the analyzer's
+    /// borrow and can be moved to wherever the serving loop lives.
+    pub fn into_service(self, cfg: ServiceConfig) -> ShapleyService {
+        let cfg = ServiceConfig {
+            workers: if cfg.workers == 0 {
+                self.threads
+            } else {
+                cfg.workers
+            },
+            default_budget: self.budget,
+            default_exact: self.exact,
+            ..cfg
+        };
+        let cache = self.cache.unwrap_or_else(|| Arc::new(ShapleyCache::new()));
+        let planner = Planner::new(PlannerConfig::default()).with_cache(cache);
+        ShapleyService::new(planner, cfg)
+    }
+
     /// Renders an explanation as human-readable lines (`fact: value`).
     pub fn render(&self, e: &TupleExplanation) -> Vec<String> {
         e.attributions
@@ -499,6 +532,63 @@ mod tests {
             shapdb_metrics::counters::CacheRunStats::default()
         );
         assert_eq!(batch.engine_runs, 1);
+    }
+
+    #[test]
+    fn into_service_shares_the_analyzer_cache() {
+        use shapdb_core::engine::LineageRequest;
+        let (db, _) = flights_example();
+        let q = flights_query();
+        let analyzer = ShapleyAnalyzer::new(&db).with_threads(1);
+        // Warm the cache through the one-shot path...
+        let explanations = analyzer.explain(&q).unwrap();
+        let expected = explanations[0].attributions.clone();
+        // ...then serve the same lineage structure from the resident pool:
+        // no engine runs, the cached rationals translate bit-identically.
+        let res = shapdb_query::evaluate(&q, &db);
+        let lineage = res.outputs[0].endo_lineage(&db);
+        let service = analyzer.into_service(Default::default());
+        let sub = service
+            .submit(LineageRequest::new(lineage, db.num_endogenous()))
+            .unwrap();
+        let result = sub.wait().unwrap();
+        let EngineValues::Exact(pairs) = result.values else {
+            panic!("exact expected");
+        };
+        let got: Vec<(FactId, Rational)> =
+            pairs.into_iter().map(|(v, r)| (FactId(v.0), r)).collect();
+        assert_eq!(got, expected);
+        let stats = service.shutdown();
+        assert_eq!(stats.engine_runs, 0, "served from the shared cache");
+        assert_eq!(stats.cache.hits, 1);
+    }
+
+    #[test]
+    fn into_service_inherits_the_analyzer_budget() {
+        use shapdb_core::engine::LineageRequest;
+        let (db, _) = flights_example();
+        // Four disjoint majorities: 12 vars, non-read-once — the KC route,
+        // which respects the compile node cap.
+        let mut wide = Dnf::new();
+        for base in [0u32, 3, 6, 9] {
+            for pair in [[base, base + 1], [base + 1, base + 2], [base, base + 2]] {
+                wide.add_conjunct(pair.iter().map(|&v| circuit::VarId(v)).collect());
+            }
+        }
+        let service = ShapleyAnalyzer::new(&db)
+            .with_budget(Budget::with_max_nodes(1))
+            .into_service(Default::default());
+        // No per-request budget: the analyzer's impossible node cap is the
+        // service default, so the compile must fail...
+        let capped = service
+            .submit(LineageRequest::new(wide.clone(), 12))
+            .unwrap();
+        assert!(capped.wait().is_err(), "inherited node cap applies");
+        // ...while an explicit per-request budget overrides it.
+        let lifted = service
+            .submit(LineageRequest::new(wide, 12).with_budget(Budget::unlimited()))
+            .unwrap();
+        assert!(lifted.wait().is_ok());
     }
 
     #[test]

@@ -189,6 +189,113 @@ fn duplicate_structures_are_solved_exactly_once() {
 }
 
 #[test]
+fn sampling_dedup_scales_counts_to_the_sequential_budget() {
+    // A star-join workload where all 6 answers share one structure, forced
+    // through Monte Carlo: the batch solves the dedup group ONCE with
+    // `sample_scale = 6` — the same total number of permutations six
+    // sequential solves would draw — and shares the translated estimate.
+    use shapdb::core::engine::{BatchExecutor, EngineKind, LineageTask, MonteCarloEngine};
+    use shapdb::core::engine::{Planner, PlannerConfig, ShapleyEngine};
+
+    let mut db = Database::new();
+    db.create_relation("R", &["a"]);
+    db.create_relation("S", &["a", "b"]);
+    for a in 0..2 {
+        db.insert_endo("R", vec![Value::int(a)]);
+    }
+    for b in 0..6 {
+        for a in 0..2 {
+            db.insert_endo("S", vec![Value::int(a), Value::int(100 + b)]);
+        }
+    }
+    let q = parse_ucq("q(b) :- R(a), S(a, b)").unwrap();
+    let res = evaluate(&q, &db);
+    let lineages: Vec<Dnf> = res.outputs.iter().map(|t| t.endo_lineage(&db)).collect();
+    let n_endo = db.num_endogenous();
+
+    let forced = PlannerConfig {
+        force: Some(EngineKind::MonteCarlo),
+        ..Default::default()
+    };
+    let executor = BatchExecutor::new(Planner::new(forced)).with_threads(1);
+    let report = executor.run(
+        &lineages,
+        n_endo,
+        &Budget::unlimited(),
+        &ExactConfig::default(),
+    );
+    assert_eq!(report.dedup.distinct, 1);
+    assert_eq!(report.engine_runs, 1, "one pooled solve for all 6 answers");
+
+    // Tolerance: the pooled 6× estimate tracks the exact truth per fact
+    // (computed by the exact planner on the same lineage).
+    let exact_planner = Planner::new(PlannerConfig::default());
+    for (item, lineage) in report.items.iter().zip(&lineages) {
+        let truth: std::collections::HashMap<u32, f64> = match exact_planner
+            .solve(&LineageTask::new(lineage, n_endo))
+            .unwrap()
+            .values
+        {
+            shapdb::core::engine::EngineValues::Exact(pairs) => {
+                pairs.into_iter().map(|(f, r)| (f.0, r.to_f64())).collect()
+            }
+            _ => panic!("exact planner"),
+        };
+        match &item.result.as_ref().unwrap().values {
+            shapdb::core::engine::EngineValues::Approx(pairs) => {
+                for (fact, estimate) in pairs {
+                    let t = truth[&fact.0];
+                    assert!(
+                        (estimate - t).abs() < 0.15,
+                        "fact {fact:?}: pooled estimate {estimate} vs exact {t}"
+                    );
+                }
+            }
+            _ => panic!("forced Monte Carlo is inexact"),
+        }
+    }
+
+    // Budget accounting, exactly: the pooled estimate equals a direct
+    // canonical solve with sample_scale = group size (6) and the group
+    // representative's seed salt (task 0).
+    let fp = shapdb::circuit::fingerprint(&lineages[0]);
+    let direct = MonteCarloEngine::default()
+        .solve(
+            &LineageTask::new(&fp.canonical_dnf(), n_endo)
+                .assume_minimized()
+                .with_sample_scale(6),
+        )
+        .unwrap();
+    let direct_pairs = match &direct.values {
+        shapdb::core::engine::EngineValues::Approx(v) => v.clone(),
+        _ => panic!("sampling"),
+    };
+    let member_pairs = match &report.items[0].result.as_ref().unwrap().values {
+        shapdb::core::engine::EngineValues::Approx(v) => v.clone(),
+        _ => panic!("sampling"),
+    };
+    for (canon_var, value) in &direct_pairs {
+        let own = fp.var_of(canon_var.0);
+        let member = member_pairs.iter().find(|(f, _)| *f == own).unwrap().1;
+        assert_eq!(member, *value, "draws = per-member count × group size");
+    }
+
+    // Determinism: the same batch re-run reproduces the same estimates.
+    let again = executor.run(
+        &lineages,
+        n_endo,
+        &Budget::unlimited(),
+        &ExactConfig::default(),
+    );
+    for (a, b) in report.items.iter().zip(&again.items) {
+        assert_eq!(
+            a.result.as_ref().unwrap().values,
+            b.result.as_ref().unwrap().values
+        );
+    }
+}
+
+#[test]
 fn hierarchical_detection_agrees_with_factorizer_on_seed_workloads() {
     use shapdb::workloads::{
         flights_workload, imdb_database, imdb_queries, tpch_database, tpch_queries, ImdbConfig,

@@ -7,13 +7,16 @@
 //! This file holds a single `#[test]` on purpose: it asserts on the
 //! process-wide `circuit.minimize_passes` / `circuit.factor_passes`
 //! counters, and being the only test in its own integration binary makes
-//! the deltas exact (no concurrent test can touch the counters).
+//! the deltas exact (no concurrent test can touch the counters). The
+//! deltas themselves are read through [`CounterSnapshot::delta_since`] —
+//! the scoped reader the service stats report uses — instead of raw
+//! before/after subtraction.
 
 use shapdb::circuit::{Dnf, VarId};
 use shapdb::core::engine::{BatchExecutor, Planner, PlannerConfig, ShapleyCache};
 use shapdb::core::exact::ExactConfig;
 use shapdb::kc::Budget;
-use shapdb::metrics::counters::{CIRCUIT_FACTOR_PASSES, CIRCUIT_MINIMIZE_PASSES};
+use shapdb::metrics::CounterSnapshot;
 use std::sync::Arc;
 
 fn dnf(conjs: &[&[u32]]) -> Dnf {
@@ -43,20 +46,20 @@ fn batch_path_minimizes_and_factors_once_per_task() {
         BatchExecutor::new(Planner::new(PlannerConfig::default()).with_cache(cache.clone()))
             .with_threads(1);
 
-    let minimize_before = CIRCUIT_MINIMIZE_PASSES.get();
-    let factor_before = CIRCUIT_FACTOR_PASSES.get();
+    let before = CounterSnapshot::take();
     let cold = executor.run(&lineages, 24, &Budget::unlimited(), &ExactConfig::default());
     assert!(cold.items.iter().all(|i| i.result.is_ok()));
     assert_eq!(cold.dedup.tasks, 5);
     assert_eq!(cold.dedup.distinct, 4);
     assert_eq!(cold.engine_runs, 4);
+    let after_cold = CounterSnapshot::take();
     assert_eq!(
-        CIRCUIT_MINIMIZE_PASSES.get() - minimize_before,
+        after_cold.delta_of(&before, "circuit.minimize_passes"),
         5,
         "one minimize pass per task (inside fingerprint), zero downstream"
     );
     assert_eq!(
-        CIRCUIT_FACTOR_PASSES.get() - factor_before,
+        after_cold.delta_of(&before, "circuit.factor_passes"),
         5,
         "one factoring attempt per task (inside fingerprint), zero downstream"
     );
@@ -64,13 +67,22 @@ fn batch_path_minimizes_and_factors_once_per_task() {
     // Warm replay: fingerprinting runs again (it *is* the key computation),
     // but every structure comes from the cache — still no extra passes and
     // no engine runs.
-    let minimize_cold = CIRCUIT_MINIMIZE_PASSES.get();
-    let factor_cold = CIRCUIT_FACTOR_PASSES.get();
     let warm = executor.run(&lineages, 24, &Budget::unlimited(), &ExactConfig::default());
     assert_eq!(warm.engine_runs, 0);
     assert_eq!(warm.cache.hits, 4);
-    assert_eq!(CIRCUIT_MINIMIZE_PASSES.get() - minimize_cold, 5);
-    assert_eq!(CIRCUIT_FACTOR_PASSES.get() - factor_cold, 5);
+    let after_warm = CounterSnapshot::take();
+    assert_eq!(
+        after_warm.delta_of(&after_cold, "circuit.minimize_passes"),
+        5
+    );
+    assert_eq!(after_warm.delta_of(&after_cold, "circuit.factor_passes"), 5);
+    // The full delta row set is available too (what the service stats
+    // report surfaces); spot-check the same two cells through it.
+    let deltas = after_warm.delta_since(&before);
+    let of = |name: &str| deltas.iter().find(|(n, _)| *n == name).unwrap().1;
+    assert_eq!(of("circuit.minimize_passes"), 10);
+    assert_eq!(of("circuit.factor_passes"), 10);
+    assert_eq!(of("cache.hits"), 4);
 
     // And the values survived all that accounting: the unminimized matching
     // matches its minimized twin after translation.
