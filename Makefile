@@ -1,6 +1,6 @@
 # Convenience targets mirroring .github/workflows/ci.yml for offline use.
 
-.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-serve bench
+.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-serve bench-net bench
 
 check: fmt build test clippy doc quickstart
 
@@ -42,6 +42,13 @@ bench-exact:
 # the 2x acceptance bar).
 bench-serve:
 	cargo bench --bench serve -p shapdb_bench
+
+# Socket front-end: the 521-lineage workload replayed over a Unix socket
+# through `serve --listen` with a `--persist` result log — cold, warm
+# (live cache), and warm-after-restart (cache replayed from disk; asserts
+# zero engine runs); writes results/bench_net.json.
+bench-net:
+	cargo bench --bench net -p shapdb_bench
 
 bench:
 	cargo bench -p shapdb_bench

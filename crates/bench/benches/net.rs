@@ -1,0 +1,202 @@
+//! Network-serving benchmark: the 521-lineage TPC-H-lite + IMDB-lite
+//! answer corpus replayed through `serve --listen` over a Unix-domain
+//! socket — the full connect → socket write → reader thread → bounded
+//! queue → worker → writer thread → socket read loop, with the result
+//! cache backed by the `--persist` append-only log.
+//!
+//! Series (single worker, one connection, matching the `serve` bench):
+//!
+//! * `net_cold` — fresh server process-equivalent (fresh service, fresh
+//!   persist log) answering all 521 requests;
+//! * `net_warm` — the same server answering the same 521 requests again:
+//!   every answer is a cache hit, zero engine runs (asserted live);
+//! * `net_restart` — a **new** server bound to the already-written persist
+//!   log answering the 521 requests: warm from disk, zero engine runs —
+//!   the restart-durability number the ROADMAP's serving bar watches.
+//!
+//! Results land in `results/bench_net.json` (`make bench-net`, uploaded
+//! as a CI artifact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shapdb_cli::{ServeOptions, SocketServer};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn socket_path() -> PathBuf {
+    std::env::temp_dir().join(format!("shapdb-bench-net-{}.sock", std::process::id()))
+}
+
+fn persist_path() -> PathBuf {
+    std::env::temp_dir().join(format!("shapdb-bench-net-{}.shapdbc", std::process::id()))
+}
+
+fn net_opts(sock: &Path, persist: &Path) -> ServeOptions {
+    ServeOptions {
+        listen: Some(format!("unix:{}", sock.display())),
+        persist: Some(persist.to_path_buf()),
+        workers: 1,
+        ..Default::default()
+    }
+}
+
+/// One full client session: connect, stream every request line, half-close,
+/// read every response plus the final stats line. Returns the response
+/// count (excluding the stats line).
+fn replay_over_socket(sock: &Path, session: &str) -> u64 {
+    let stream = UnixStream::connect(sock).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let writer = std::thread::spawn({
+        let mut stream = stream;
+        let session = session.to_string();
+        move || {
+            stream.write_all(session.as_bytes()).expect("send session");
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+        }
+    });
+    let mut responses = 0u64;
+    let mut saw_stats = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read response") == 0 {
+            break;
+        }
+        if line.starts_with("{\"stats\":") {
+            saw_stats = true;
+        } else {
+            assert!(
+                !line.contains("\"ok\":false"),
+                "workload request failed: {line}"
+            );
+            responses += 1;
+        }
+    }
+    writer.join().expect("writer thread");
+    assert!(saw_stats, "session ended without a stats line");
+    responses
+}
+
+/// Median of one measured closure over `n` samples.
+fn median_ns(n: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_net(c: &mut Criterion) {
+    let (lineages, n_endo) = shapdb_bench::corpus::replay_lineages();
+    let session = shapdb_bench::corpus::jsonl_session(&lineages, n_endo);
+    let sock = socket_path();
+    let persist = persist_path();
+
+    let cold_run = || {
+        let _ = std::fs::remove_file(&persist);
+        let server = SocketServer::bind(&net_opts(&sock, &persist)).expect("bind");
+        let responses = replay_over_socket(&sock, &session);
+        assert_eq!(responses as usize, lineages.len());
+        server.shutdown();
+    };
+
+    let mut group = c.benchmark_group("net");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("net_cold"), &(), |b, _| {
+        b.iter(cold_run)
+    });
+
+    // Warm: prime one resident server, then measure replays against it.
+    let _ = std::fs::remove_file(&persist);
+    let warm_server = SocketServer::bind(&net_opts(&sock, &persist)).expect("bind warm");
+    replay_over_socket(&sock, &session);
+    let primed_engine_runs = warm_server.stats().engine_runs;
+    assert!(primed_engine_runs > 0, "priming replay ran no engines");
+    group.bench_with_input(BenchmarkId::from_parameter("net_warm"), &(), |b, _| {
+        b.iter(|| replay_over_socket(&sock, &session))
+    });
+    assert_eq!(
+        warm_server.stats().engine_runs,
+        primed_engine_runs,
+        "warm replays recomputed instead of hitting the cache"
+    );
+    warm_server.shutdown();
+    group.finish();
+
+    // Machine-readable summary (median of 10, like the other benches).
+    const SAMPLES: usize = 10;
+    let net_cold_ns = median_ns(SAMPLES, cold_run);
+
+    // Re-prime after the cold series wiped the log, then measure warm.
+    let _ = std::fs::remove_file(&persist);
+    let warm_server = SocketServer::bind(&net_opts(&sock, &persist)).expect("bind warm");
+    replay_over_socket(&sock, &session);
+    let primed_engine_runs = warm_server.stats().engine_runs;
+    let net_warm_ns = median_ns(SAMPLES, || {
+        replay_over_socket(&sock, &session);
+    });
+    assert_eq!(warm_server.stats().engine_runs, primed_engine_runs);
+    warm_server.shutdown();
+
+    // Restart: fresh servers against the log the warm server wrote.
+    let mut restart_engine_runs = 0usize;
+    let net_restart_ns = median_ns(SAMPLES, || {
+        let server = SocketServer::bind(&net_opts(&sock, &persist)).expect("bind restart");
+        let responses = replay_over_socket(&sock, &session);
+        assert_eq!(responses as usize, lineages.len());
+        restart_engine_runs += server.shutdown().engine_runs;
+    });
+    assert_eq!(
+        restart_engine_runs, 0,
+        "restarted servers recomputed instead of replaying the persistent cache"
+    );
+    let _ = std::fs::remove_file(&persist);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"net\",\n",
+            "  \"samples\": {},\n",
+            "  \"workload\": {{\n",
+            "    \"lineages\": {},\n",
+            "    \"n_endo\": {},\n",
+            "    \"workers\": 1,\n",
+            "    \"transport\": \"unix-socket\"\n",
+            "  }},\n",
+            "  \"median_ms\": {{\n",
+            "    \"net_cold\": {:.3},\n",
+            "    \"net_warm\": {:.3},\n",
+            "    \"net_restart\": {:.3}\n",
+            "  }},\n",
+            "  \"restart_engine_runs\": {}\n",
+            "}}\n"
+        ),
+        SAMPLES,
+        lineages.len(),
+        n_endo,
+        net_cold_ns as f64 / 1e6,
+        net_warm_ns as f64 / 1e6,
+        net_restart_ns as f64 / 1e6,
+        restart_engine_runs,
+    );
+    let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results_dir).expect("create results/");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench_net.json");
+    std::fs::write(path, &json).expect("write results/bench_net.json");
+    println!(
+        "net summary ({} lineages over a unix socket; restart engine runs = {}) -> {path}",
+        lineages.len(),
+        restart_engine_runs
+    );
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

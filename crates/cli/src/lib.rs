@@ -25,15 +25,20 @@
 //! long-lived [`shapdb_core::engine::ShapleyService`] worker pool reads
 //! attribution requests as JSON lines on stdin and answers on stdout (see
 //! [`serve`]) — many requests, one process, one shared result cache, no
-//! network dependency.
+//! network dependency. `shapdb serve --listen <addr>` serves the same
+//! protocol over a TCP or Unix socket to many concurrent clients (see
+//! [`listen`]), and `--persist <file>` backs the shared result cache with
+//! an append-only log so a restarted server answers warm from disk.
 //!
 //! Everything is a library function returning the rendered report, so the
 //! test suite drives the tool without spawning processes; `main.rs` is a
 //! thin wrapper.
 
 pub mod json;
+pub mod listen;
 pub mod serve;
 
+pub use listen::{run_listen, SocketServer};
 pub use serve::{parse_serve_args, run_serve, ServeOptions, ServeSummary};
 
 use shapdb_circuit::Dnf;
@@ -150,13 +155,26 @@ shapdb — Shapley values of database facts in query answering
 USAGE:
     shapdb --db <DIR> --query <UCQ> [OPTIONS]
     shapdb serve --jsonl [SERVE OPTIONS]
+    shapdb serve --listen <ADDR> [SERVE OPTIONS]
 
-SERVE MODE (resident service, JSON lines on stdin/stdout):
-    --jsonl             required: one JSON request per stdin line, e.g.
+SERVE MODE (resident service, one JSON request per line):
+    --jsonl             requests on stdin, responses on stdout, e.g.
                         {\"id\":1,\"lineage\":[[0,1],[2]],\"n_endo\":8}
                         (optional per-request: engine, timeout_ms, client);
                         one JSON response per line, in request order, plus
                         a final {\"stats\":{...}} line on EOF
+    --listen <ADDR>     same protocol over a socket: host:port for TCP,
+                        unix:/path (or any address containing /) for a
+                        Unix socket; each connection is its own session,
+                        all share one worker pool and result cache
+    --persist <FILE>    append-only log behind the result cache: replayed
+                        on startup (a restarted server answers warm from
+                        disk), written through on every new exact result
+    --max-n-endo <N>    largest accepted n_endo (default 1048576)
+    --max-lineage-literals <N>  largest accepted total lineage literal
+                        count per request (default 1048576)
+    --max-line-bytes <N> longest accepted request line; longer lines are
+                        discarded unbuffered (default 4194304)
     --workers <N>       persistent worker threads (default 0 = all cores)
     --queue-capacity <N> bound on queued requests; a full queue blocks the
                         stdin reader (default 1024)
@@ -508,6 +526,10 @@ pub fn run(cfg: &Config) -> Result<String, CliError> {
 pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     if args.first().is_some_and(|a| a == "serve") {
         let opts = parse_serve_args(&args[1..])?;
+        if opts.listen.is_some() {
+            run_listen(&opts)?;
+            return Ok(String::new());
+        }
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         run_serve(stdin.lock(), stdout.lock(), &opts)?;

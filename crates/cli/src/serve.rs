@@ -15,12 +15,23 @@
 //!
 //! * `id` — any JSON value, echoed back verbatim;
 //! * `lineage` — the monotone DNF as an array of conjuncts (arrays of
-//!   non-negative fact ids);
+//!   non-negative fact ids); ids are opaque *labels* of endogenous facts
+//!   (they need not be `< n_endo`, but the number of **distinct** ids
+//!   must not exceed `n_endo` — more distinct facts than the database
+//!   holds is unsatisfiable and is rejected);
 //! * `n_endo` — the number of endogenous facts;
 //! * `engine` *(optional)* — a per-request policy override (same values as
 //!   `--engine`); `timeout_ms` *(optional)* — per-request exact deadline;
 //! * `client` *(optional)* — an integer lane id: requests with different
 //!   `client` values are scheduled fairly against each other.
+//!
+//! The protocol boundary enforces resource limits (every violation is an
+//! `"ok":false` response, never a dropped connection): `n_endo` at most
+//! `--max-n-endo` (per-fact result vectors are `O(n_endo)`, so an
+//! unchecked `n_endo` — `as_u64` admits up to 2^53 — was a one-line
+//! remote memory exhaustion), total lineage literals at most
+//! `--max-lineage-literals`, and request lines at most `--max-line-bytes`
+//! (longer lines are discarded without buffering them).
 //!
 //! Response: `{"id":7,"ok":true,"engine":"readonce","exact":true,`
 //! `"values":[[0,"1/2"],...]}` where each value pair is `[fact, value]` —
@@ -59,6 +70,19 @@ pub struct ServeOptions {
     pub engine: EngineChoice,
     /// Default exact-pipeline deadline.
     pub timeout: Duration,
+    /// Socket address to serve on (`--listen`): `host:port` for TCP or a
+    /// path (or `unix:path`) for a Unix socket. `None` serves stdin.
+    pub listen: Option<String>,
+    /// Append-only log backing the result cache (`--persist`): warm state
+    /// replayed on startup, written through on every new exact result.
+    pub persist: Option<std::path::PathBuf>,
+    /// Largest accepted `n_endo` (`--max-n-endo`).
+    pub max_n_endo: usize,
+    /// Largest accepted total lineage literal count
+    /// (`--max-lineage-literals`).
+    pub max_lineage_literals: usize,
+    /// Largest accepted request line in bytes (`--max-line-bytes`).
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +93,11 @@ impl Default for ServeOptions {
             cache_capacity: ShapleyCache::DEFAULT_CAPACITY,
             engine: EngineChoice::Auto,
             timeout: Duration::from_millis(2500),
+            listen: None,
+            persist: None,
+            max_n_endo: 1 << 20,
+            max_lineage_literals: 1 << 20,
+            max_line_bytes: 4 << 20,
         }
     }
 }
@@ -85,19 +114,19 @@ pub struct ServeSummary {
 }
 
 /// One parsed request line.
-struct Request {
-    id: String,
-    lineage: Dnf,
-    n_endo: usize,
-    client: Option<u64>,
-    policy: Option<shapdb_core::engine::PlannerConfig>,
+pub(crate) struct Request {
+    pub(crate) id: String,
+    pub(crate) lineage: Dnf,
+    pub(crate) n_endo: usize,
+    pub(crate) client: Option<u64>,
+    pub(crate) policy: Option<shapdb_core::engine::PlannerConfig>,
 }
 
 /// Parses one request line. Failures return `(echoed id, why)` — the id
 /// is recovered whenever the line was at least valid JSON, so error
 /// responses stay correlatable (`"null"` only when the JSON itself is
 /// broken).
-fn parse_request(line: &str, opts: &ServeOptions) -> Result<Request, (String, String)> {
+pub(crate) fn parse_request(line: &str, opts: &ServeOptions) -> Result<Request, (String, String)> {
     let v = Json::parse(line).map_err(|why| ("null".to_string(), why))?;
     let id = v.get("id").map_or_else(|| "null".to_string(), Json::render);
     validate_request(&v, opts, id.clone()).map_err(|why| (id, why))
@@ -109,8 +138,16 @@ fn validate_request(v: &Json, opts: &ServeOptions, id: String) -> Result<Request
         .and_then(Json::as_arr)
         .ok_or("missing \"lineage\" (array of conjuncts)")?;
     let mut lineage = Dnf::new();
+    let mut literals = 0usize;
     for conj in lineage_json {
         let vars = conj.as_arr().ok_or("conjuncts must be arrays of ids")?;
+        literals += vars.len();
+        if literals > opts.max_lineage_literals {
+            return Err(format!(
+                "lineage exceeds {} total literals",
+                opts.max_lineage_literals
+            ));
+        }
         let mut ids = Vec::with_capacity(vars.len());
         for f in vars {
             let f = f.as_u64().ok_or("fact ids must be non-negative integers")?;
@@ -123,6 +160,22 @@ fn validate_request(v: &Json, opts: &ServeOptions, id: String) -> Result<Request
         .get("n_endo")
         .and_then(Json::as_u64)
         .ok_or("missing \"n_endo\"")? as usize;
+    // Result vectors are allocated O(n_endo) per fact: an unchecked
+    // n_endo (as_u64 admits up to 2^53) is remote memory exhaustion.
+    if n_endo > opts.max_n_endo {
+        return Err(format!("n_endo {n_endo} exceeds limit {}", opts.max_n_endo));
+    }
+    // More *distinct* fact ids than endogenous facts is unsatisfiable
+    // input; pre-fix it sailed through and panicked a persistent worker
+    // inside Algorithm 1 (`|D_n| smaller than the circuit variables`),
+    // leaving the client's wait hanging forever. Ids themselves are
+    // labels and may exceed n_endo (see module docs).
+    let distinct = lineage.vars().len();
+    if distinct > n_endo {
+        return Err(format!(
+            "lineage references {distinct} distinct fact ids but n_endo is {n_endo}"
+        ));
+    }
     let client = v.get("client").and_then(Json::as_u64);
     let engine = match v.get("engine").and_then(Json::as_str) {
         Some(s) => Some(EngineChoice::parse(s).ok_or_else(|| format!("unknown engine `{s}`"))?),
@@ -149,7 +202,7 @@ fn validate_request(v: &Json, opts: &ServeOptions, id: String) -> Result<Request
     })
 }
 
-fn render_ok(id: &str, result: &shapdb_core::engine::EngineResult) -> String {
+pub(crate) fn render_ok(id: &str, result: &shapdb_core::engine::EngineResult) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(64 + 24 * result.values.len());
     // `id` is re-rendered JSON, engine names are static idents, and exact
@@ -183,11 +236,11 @@ fn render_ok(id: &str, result: &shapdb_core::engine::EngineResult) -> String {
     out
 }
 
-fn render_err(id: &str, error: &str) -> String {
+pub(crate) fn render_err(id: &str, error: &str) -> String {
     format!("{{\"id\":{},\"ok\":false,\"error\":{}}}", id, escape(error))
 }
 
-fn render_stats(summary: &ServeSummary) -> String {
+pub(crate) fn render_stats(summary: &ServeSummary) -> String {
     let s = &summary.stats;
     format!(
         concat!(
@@ -214,7 +267,7 @@ fn render_stats(summary: &ServeSummary) -> String {
 }
 
 /// A response slot, kept in request order.
-enum Slot {
+pub(crate) enum Slot {
     /// Answered immediately (parse error).
     Ready(String),
     /// Waiting on the service.
@@ -222,14 +275,14 @@ enum Slot {
 }
 
 impl Slot {
-    fn is_done(&self) -> bool {
+    pub(crate) fn is_done(&self) -> bool {
         match self {
             Slot::Ready(_) => true,
             Slot::Waiting(_, sub) => sub.is_done(),
         }
     }
 
-    fn finish(self, errors: &mut u64) -> String {
+    pub(crate) fn finish(self, errors: &mut u64) -> String {
         match self {
             Slot::Ready(line) => {
                 *errors += 1;
@@ -246,26 +299,101 @@ impl Slot {
     }
 }
 
-/// Runs a serve session over arbitrary reader/writer pairs (the binary
-/// passes stdin/stdout; tests and the bench pass buffers). Returns after
-/// EOF, once every response and the final stats line are written.
-pub fn run_serve(
-    input: impl BufRead,
-    mut output: impl Write,
-    opts: &ServeOptions,
-) -> Result<ServeSummary, CliError> {
+/// Builds the resident service a serve session (stdin or socket) runs
+/// against: the session policy as planner, the shared result cache —
+/// persistent when `--persist` names a log file — and the worker pool.
+pub(crate) fn build_service(opts: &ServeOptions) -> Result<ShapleyService, CliError> {
     let mut planner = Planner::new(opts.engine.planner_config(opts.timeout));
     if opts.cache_capacity > 0 {
-        planner = planner.with_cache(Arc::new(ShapleyCache::with_capacity(opts.cache_capacity)));
+        let cache = match &opts.persist {
+            Some(path) => ShapleyCache::with_persistence(opts.cache_capacity, path)
+                .map_err(|e| err(format!("open persistent cache `{}`: {e}", path.display())))?,
+            None => ShapleyCache::with_capacity(opts.cache_capacity),
+        };
+        planner = planner.with_cache(Arc::new(cache));
     }
-    let service = ShapleyService::new(
+    Ok(ShapleyService::new(
         planner,
         ServiceConfig {
             workers: opts.workers,
             queue_capacity: opts.queue_capacity,
             ..Default::default()
         },
-    );
+    ))
+}
+
+/// One capped line read.
+pub(crate) enum ReadLine {
+    /// A complete line (terminator stripped), within the byte cap.
+    Line(String),
+    /// The line exceeded the cap; the remainder was discarded without
+    /// buffering it. Answer with an error response and keep reading.
+    TooLong,
+    /// End of input.
+    Eof,
+}
+
+/// Reads one `\n`-terminated request line, holding at most
+/// `max_line_bytes + 1` bytes: a longer line is consumed to its newline
+/// chunk-by-chunk and reported as [`ReadLine::TooLong`] — the unbounded
+/// `read_line` was a one-line memory exhaustion from a hostile client.
+pub(crate) fn read_request_line(
+    input: &mut impl BufRead,
+    max_line_bytes: usize,
+) -> std::io::Result<ReadLine> {
+    let mut buf = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() && !overflowed {
+                return Ok(ReadLine::Eof);
+            }
+            break; // final line without a terminator
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let upto = newline.unwrap_or(chunk.len());
+        if !overflowed {
+            if buf.len() + upto > max_line_bytes {
+                // Stop accumulating; keep consuming to the newline so the
+                // session can continue past the hostile line.
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(&chunk[..upto]);
+            }
+        }
+        match newline {
+            Some(i) => {
+                input.consume(i + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                input.consume(len);
+            }
+        }
+    }
+    if overflowed {
+        return Ok(ReadLine::TooLong);
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    // Non-UTF-8 bytes become replacement characters and fail JSON parsing
+    // downstream — an error response, not a dropped connection.
+    Ok(ReadLine::Line(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// Runs a serve session over arbitrary reader/writer pairs (the binary
+/// passes stdin/stdout; tests and the bench pass buffers). Returns after
+/// EOF, once every response and the final stats line are written.
+pub fn run_serve(
+    mut input: impl BufRead,
+    mut output: impl Write,
+    opts: &ServeOptions,
+) -> Result<ServeSummary, CliError> {
+    let service = build_service(opts)?;
     let mut clients: HashMap<u64, ServiceClient> = HashMap::new();
     let mut pending: VecDeque<Slot> = VecDeque::new();
     let mut responses = 0u64;
@@ -293,8 +421,22 @@ pub fn run_serve(
         Ok(())
     };
 
-    for line in input.lines() {
-        let line = line.map_err(|e| err(format!("read request: {e}")))?;
+    loop {
+        let line = match read_request_line(&mut input, opts.max_line_bytes)
+            .map_err(|e| err(format!("read request: {e}")))?
+        {
+            ReadLine::Eof => break,
+            ReadLine::TooLong => {
+                pending.push_back(Slot::Ready(render_err(
+                    "null",
+                    &format!("request line exceeds {} bytes", opts.max_line_bytes),
+                )));
+                let over = pending.len() > max_pending;
+                flush_ready(&mut pending, &mut output, over, &mut responses, &mut errors)?;
+                continue;
+            }
+            ReadLine::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -362,6 +504,23 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
         };
         match arg.as_str() {
             "--jsonl" => jsonl = true,
+            "--listen" => opts.listen = Some(take()?.clone()),
+            "--persist" => opts.persist = Some(std::path::PathBuf::from(take()?)),
+            "--max-n-endo" => {
+                opts.max_n_endo = take()?
+                    .parse()
+                    .map_err(|_| err("--max-n-endo expects a positive integer"))?
+            }
+            "--max-lineage-literals" => {
+                opts.max_lineage_literals = take()?
+                    .parse()
+                    .map_err(|_| err("--max-lineage-literals expects a positive integer"))?
+            }
+            "--max-line-bytes" => {
+                opts.max_line_bytes = take()?
+                    .parse()
+                    .map_err(|_| err("--max-line-bytes expects a positive integer"))?
+            }
             "--workers" | "--threads" => {
                 opts.workers = take()?
                     .parse()
@@ -392,12 +551,13 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
             other => return Err(err(format!("unknown serve argument `{other}`"))),
         }
     }
-    if !jsonl {
-        return Err(err(
-            "serve requires `--jsonl` (requests as JSON lines on stdin)",
-        ));
+    match (jsonl, &opts.listen) {
+        (false, None) => Err(err(
+            "serve requires `--jsonl` (requests on stdin) or `--listen <addr>` (socket)",
+        )),
+        (true, Some(_)) => Err(err("`--jsonl` and `--listen` are mutually exclusive")),
+        _ => Ok(opts),
     }
-    Ok(opts)
 }
 
 #[cfg(test)]
@@ -547,6 +707,126 @@ mod tests {
         assert_eq!(opts.engine, EngineChoice::Exact);
         assert_eq!(opts.cache_capacity, 0);
         assert!(parse_serve_args(&to_args(&["--jsonl", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn adversarial_requests_get_error_responses_not_hung_workers() {
+        // Each of these, pre-fix, either panicked a persistent worker
+        // (hanging the client forever) or allocated unboundedly. All must
+        // answer `"ok":false` and leave the service serving the final
+        // valid request.
+        let input = concat!(
+            // More distinct fact ids (3) than n_endo (2): tripped the
+            // `|D_n| smaller than the circuit variables` assert.
+            r#"{"id": 1, "lineage": [[0],[1],[2]], "n_endo": 2}"#,
+            "\n",
+            // n_endo: 0 with a non-empty lineage — same panic.
+            r#"{"id": 2, "lineage": [[5]], "n_endo": 0}"#,
+            "\n",
+            // Huge n_endo: O(n_endo) result allocation per fact.
+            r#"{"id": 3, "lineage": [[0]], "n_endo": 9007199254740992}"#,
+            "\n",
+            // Above --max-n-endo but below 2^53.
+            r#"{"id": 4, "lineage": [[0]], "n_endo": 2000000}"#,
+            "\n",
+            // Still standing afterwards.
+            r#"{"id": 5, "lineage": [[0,1]], "n_endo": 4}"#,
+            "\n",
+        );
+        let (lines, summary) = serve(input, &ServeOptions::default());
+        assert_eq!(lines.len(), 6, "five responses + stats");
+        for (line, id) in lines[..4].iter().zip(1u64..) {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("id").and_then(Json::as_u64), Some(id));
+            assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "request {id}");
+        }
+        let last = Json::parse(&lines[4]).unwrap();
+        assert_eq!(last.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(summary.errors, 4);
+        assert_eq!(summary.stats.completed, 1, "only the valid request ran");
+    }
+
+    #[test]
+    fn oversized_lines_are_discarded_without_buffering() {
+        // A ~2 MiB line against a 4 KiB cap, then a valid request: the
+        // huge line answers an error without being held in memory, and
+        // the session continues.
+        let mut input = String::from(r#"{"id": 1, "lineage": [[0"#);
+        while input.len() < 2 << 20 {
+            input.push_str(",0");
+        }
+        input.push_str("]], \"n_endo\": 4}\n");
+        input.push_str("{\"id\": 2, \"lineage\": [[0]], \"n_endo\": 4}\n");
+        let (lines, summary) = serve(
+            &input,
+            &ServeOptions {
+                max_line_bytes: 4096,
+                ..Default::default()
+            },
+        );
+        assert_eq!(lines.len(), 3);
+        let first = Json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("ok"), Some(&Json::Bool(false)));
+        assert!(first
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("4096 bytes"));
+        let second = Json::parse(&lines[1]).unwrap();
+        assert_eq!(second.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn lineage_literal_cap_rejects_bulk_lineages() {
+        let mut line = String::from(r#"{"id": 1, "lineage": [[0"#);
+        for _ in 0..100 {
+            line.push_str(",1");
+        }
+        line.push_str("]], \"n_endo\": 8}\n");
+        let (lines, _) = serve(
+            &line,
+            &ServeOptions {
+                max_lineage_literals: 64,
+                ..Default::default()
+            },
+        );
+        let v = Json::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert!(v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("literals"));
+    }
+
+    #[test]
+    fn serve_args_parse_listen_and_persist() {
+        let to_args =
+            |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        let opts = parse_serve_args(&to_args(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--persist",
+            "/tmp/shap.cache",
+            "--max-n-endo",
+            "5000",
+            "--max-lineage-literals",
+            "1000",
+            "--max-line-bytes",
+            "65536",
+        ]))
+        .unwrap();
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(
+            opts.persist.as_deref(),
+            Some(std::path::Path::new("/tmp/shap.cache"))
+        );
+        assert_eq!(opts.max_n_endo, 5000);
+        assert_eq!(opts.max_lineage_literals, 1000);
+        assert_eq!(opts.max_line_bytes, 65536);
+        // --jsonl and --listen together is a contradiction.
+        assert!(parse_serve_args(&to_args(&["--jsonl", "--listen", "x:1"])).is_err());
     }
 
     #[test]

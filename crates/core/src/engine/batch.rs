@@ -202,7 +202,7 @@ impl BatchExecutor {
         let abort: Mutex<Option<EngineError>> = Mutex::new(None);
         let group_result: Vec<Result<EngineResult, EngineError>> =
             stages::parallel_map(threads, distinct, |g| {
-                let aborted = *abort.lock().expect("abort flag");
+                let aborted = abort.lock().expect("abort flag").clone();
                 let result = match aborted {
                     Some(e) => Err(e),
                     None => {
@@ -223,7 +223,7 @@ impl BatchExecutor {
                 };
                 if fail_fast {
                     if let Err(e) = &result {
-                        abort.lock().expect("abort flag").get_or_insert(*e);
+                        abort.lock().expect("abort flag").get_or_insert(e.clone());
                     }
                 }
                 result

@@ -29,12 +29,22 @@
 //! process-wide totals are surfaced via [`shapdb_metrics::counters`]
 //! (`cache.hits` / `cache.misses` / `cache.evictions` / `cache.bypasses`).
 
+use super::persist::PersistentLog;
 use super::EngineResult;
 use shapdb_circuit::FingerprintKey;
 use shapdb_metrics::counters::{CACHE_BYPASSES, CACHE_EVICTIONS, CACHE_HITS, CACHE_MISSES};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning: every guarded section in this
+/// module leaves the LRU (and the append log) structurally consistent, so
+/// a panic unwinding through an unrelated thread must not turn the shared
+/// cache into a panic-on-touch for everyone else.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Identity of one cached canonical result.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -63,6 +73,9 @@ pub struct CacheStats {
     /// Solves that skipped the cache (inexact plan, no fingerprint, or a
     /// zero-capacity cache).
     pub bypasses: u64,
+    /// Entries replayed from the persistent log at construction
+    /// ([`ShapleyCache::with_persistence`]); 0 for in-memory-only caches.
+    pub replayed: u64,
     /// Entries currently stored.
     pub len: usize,
     /// Maximum entries stored.
@@ -73,10 +86,15 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct ShapleyCache {
     inner: Mutex<Lru>,
+    /// The durable tier, when [`ShapleyCache::with_persistence`] built this
+    /// cache: first-time inserts write through to an append-only log under
+    /// its own lock (I/O never blocks readers of the LRU lock).
+    log: Option<Mutex<PersistentLog>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     bypasses: AtomicU64,
+    replayed: u64,
 }
 
 impl ShapleyCache {
@@ -90,11 +108,45 @@ impl ShapleyCache {
     pub fn with_capacity(capacity: usize) -> ShapleyCache {
         ShapleyCache {
             inner: Mutex::new(Lru::new(capacity)),
+            log: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
+            replayed: 0,
         }
+    }
+
+    /// A cache backed by an append-only log at `path`: previously persisted
+    /// entries are replayed into the LRU now (newest last, so when the log
+    /// holds more than `capacity` entries the most recent survive), the log
+    /// is compacted (duplicates and any torn tail dropped, file rewritten
+    /// atomically), and every future first-time insert is appended — so a
+    /// restarted process answers its old warm set from disk. See
+    /// `engine/persist.rs` for the format and crash-safety model.
+    pub fn with_persistence(capacity: usize, path: &Path) -> std::io::Result<ShapleyCache> {
+        let mut cache = ShapleyCache::with_capacity(capacity);
+        let entries = PersistentLog::load(path)?;
+        let lru = cache
+            .inner
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        if capacity > 0 {
+            for (key, result) in entries {
+                lru.insert(key, result);
+            }
+        }
+        cache.replayed = lru.map.len() as u64;
+        // Compact in LRU order, least recent first, so a replay of the
+        // rewritten log reconstructs the same recency order.
+        let survivors: Vec<(&CacheKey, &EngineResult)> = lru
+            .iter_lru_order()
+            .map(|slot| (&slot.key, &slot.value))
+            .collect();
+        let log = PersistentLog::create(path, &survivors)?;
+        drop(survivors);
+        cache.log = Some(Mutex::new(log));
+        Ok(cache)
     }
 
     /// A cache with [`ShapleyCache::DEFAULT_CAPACITY`].
@@ -105,7 +157,7 @@ impl ShapleyCache {
     /// Looks `key` up, refreshing its recency on a hit. The returned result
     /// is in canonical space — translate it through the task's fingerprint.
     pub fn get(&self, key: &CacheKey) -> Option<EngineResult> {
-        let mut lru = self.inner.lock().expect("cache lock");
+        let mut lru = lock_recover(&self.inner);
         if lru.capacity == 0 {
             drop(lru);
             self.record_bypass();
@@ -127,19 +179,37 @@ impl ShapleyCache {
 
     /// Stores a canonical result, evicting the least-recently-used entry
     /// when full. Callers only insert **exact** results (debug-asserted).
+    /// With a persistent tier attached, a first-time key also appends one
+    /// record to the log (best-effort: an I/O failure drops durability for
+    /// that entry, never the in-memory insert).
     pub fn insert(&self, key: CacheKey, result: EngineResult) {
         debug_assert!(
             result.values.is_exact(),
             "only exact results belong in the cache"
         );
-        let mut lru = self.inner.lock().expect("cache lock");
+        let durable = if self.log.is_some() {
+            Some((key.clone(), result.clone()))
+        } else {
+            None
+        };
+        let mut lru = lock_recover(&self.inner);
         if lru.capacity == 0 {
             return;
         }
-        let evicted = lru.insert(key, result);
-        if evicted {
+        let outcome = lru.insert(key, result);
+        drop(lru);
+        if outcome.evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
             CACHE_EVICTIONS.incr();
+        }
+        // Append outside the LRU lock: disk latency must not serialize the
+        // solvers. A refreshed (already-present) key is already on disk —
+        // exact results are a function of the key, so re-appending would
+        // only grow the log.
+        if !outcome.was_present {
+            if let (Some(log), Some((key, result))) = (&self.log, &durable) {
+                let _ = lock_recover(log).append(key, result);
+            }
         }
     }
 
@@ -152,7 +222,7 @@ impl ShapleyCache {
 
     /// Entries currently stored.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        lock_recover(&self.inner).map.len()
     }
 
     /// True iff nothing is stored.
@@ -162,7 +232,7 @@ impl ShapleyCache {
 
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().expect("cache lock").capacity
+        lock_recover(&self.inner).capacity
     }
 
     /// True iff the capacity is zero: nothing can ever be stored, so every
@@ -171,21 +241,23 @@ impl ShapleyCache {
         self.capacity() == 0
     }
 
-    /// Drops every entry (the stats keep accumulating).
+    /// Drops every entry (the stats keep accumulating). The persistent log,
+    /// if any, is untouched — `clear` is an in-memory operation.
     pub fn clear(&self) {
-        let mut lru = self.inner.lock().expect("cache lock");
+        let mut lru = lock_recover(&self.inner);
         let capacity = lru.capacity;
         *lru = Lru::new(capacity);
     }
 
     /// Point-in-time totals of this instance.
     pub fn stats(&self) -> CacheStats {
-        let lru = self.inner.lock().expect("cache lock");
+        let lru = lock_recover(&self.inner);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
+            replayed: self.replayed,
             len: lru.map.len(),
             capacity: lru.capacity,
         }
@@ -281,14 +353,30 @@ impl Lru {
         Some(self.slot(i).value.clone())
     }
 
-    /// Inserts (or refreshes) an entry; returns `true` iff an old entry was
-    /// evicted to make room.
-    fn insert(&mut self, key: CacheKey, value: EngineResult) -> bool {
+    /// Entries least-recently-used first (tail to head) — the order a
+    /// compacted log is written in, so replaying it reconstructs recency.
+    fn iter_lru_order(&self) -> impl Iterator<Item = &Slot> {
+        let mut at = self.tail;
+        std::iter::from_fn(move || {
+            if at == NIL {
+                return None;
+            }
+            let s = self.slot(at);
+            at = s.prev;
+            Some(s)
+        })
+    }
+
+    /// Inserts (or refreshes) an entry.
+    fn insert(&mut self, key: CacheKey, value: EngineResult) -> InsertOutcome {
         if let Some(&i) = self.map.get(&key) {
             self.slot_mut(i).value = value;
             self.detach(i);
             self.push_front(i);
-            return false;
+            return InsertOutcome {
+                evicted: false,
+                was_present: true,
+            };
         }
         let mut evicted = false;
         if self.map.len() >= self.capacity {
@@ -314,8 +402,19 @@ impl Lru {
         });
         self.push_front(i);
         self.map.insert(key, i);
-        evicted
+        InsertOutcome {
+            evicted,
+            was_present: false,
+        }
     }
+}
+
+/// What [`Lru::insert`] did: `evicted` — an LRU entry was dropped to make
+/// room; `was_present` — the key was already stored (refresh, not insert),
+/// which the persistent tier uses to skip duplicate appends.
+struct InsertOutcome {
+    evicted: bool,
+    was_present: bool,
 }
 
 #[cfg(test)]
@@ -421,6 +520,109 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), 3);
         assert_eq!(cache.stats().hits, 1, "stats survive clear");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let cache = std::sync::Arc::new(ShapleyCache::with_capacity(4));
+        cache.insert(key(1), result(1));
+        // Poison the LRU lock: panic while holding it on another thread.
+        let poisoner = std::sync::Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        // Pre-fix every one of these panicked ("cache lock"); now the
+        // cache keeps serving — the guarded sections never leave the LRU
+        // inconsistent, so recovery is sound.
+        assert_eq!(cache.get(&key(1)).map(|r| tag_of(&r)), Some(1));
+        cache.insert(key(2), result(2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.stats().hits >= 1);
+    }
+
+    fn tmp_log(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("shapdb-cache-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn persistence_survives_a_restart() {
+        let path = tmp_log("restart");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = ShapleyCache::with_persistence(8, &path).unwrap();
+            assert_eq!(cache.stats().replayed, 0);
+            cache.insert(key(1), result(1));
+            cache.insert(key(2), result(2));
+            // Refresh of an existing key appends nothing new.
+            cache.insert(key(1), result(1));
+        }
+        let reborn = ShapleyCache::with_persistence(8, &path).unwrap();
+        assert_eq!(reborn.stats().replayed, 2);
+        assert_eq!(reborn.len(), 2);
+        assert_eq!(reborn.get(&key(1)).map(|r| tag_of(&r)), Some(1));
+        assert_eq!(reborn.get(&key(2)).map(|r| tag_of(&r)), Some(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_respects_capacity_keeping_the_most_recent() {
+        let path = tmp_log("capacity");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = ShapleyCache::with_persistence(8, &path).unwrap();
+            for i in 0..6u32 {
+                cache.insert(key(i), result(i));
+            }
+        }
+        // Restart with a smaller capacity: the most recently appended
+        // entries survive, and the compacted log matches.
+        let small = ShapleyCache::with_persistence(2, &path).unwrap();
+        assert_eq!(small.len(), 2);
+        assert_eq!(small.stats().replayed, 2);
+        assert!(small.get(&key(4)).is_some());
+        assert!(small.get(&key(5)).is_some());
+        drop(small);
+        let again = ShapleyCache::with_persistence(8, &path).unwrap();
+        assert_eq!(again.len(), 2, "compaction dropped the evicted entries");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_log_replays_its_intact_prefix() {
+        let path = tmp_log("truncated");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = ShapleyCache::with_persistence(8, &path).unwrap();
+            cache.insert(key(1), result(1));
+            cache.insert(key(2), result(2));
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let reborn = ShapleyCache::with_persistence(8, &path).unwrap();
+        assert_eq!(reborn.stats().replayed, 1, "torn tail record skipped");
+        assert!(reborn.get(&key(1)).is_some());
+        // The compaction rewrote a clean log; appends continue from there.
+        reborn.insert(key(3), result(3));
+        drop(reborn);
+        let third = ShapleyCache::with_persistence(8, &path).unwrap();
+        assert_eq!(third.stats().replayed, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_persistent_cache_stores_and_appends_nothing() {
+        let path = tmp_log("zerocap");
+        let _ = std::fs::remove_file(&path);
+        let cache = ShapleyCache::with_persistence(0, &path).unwrap();
+        cache.insert(key(1), result(1));
+        drop(cache);
+        let reborn = ShapleyCache::with_persistence(8, &path).unwrap();
+        assert_eq!(reborn.stats().replayed, 0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

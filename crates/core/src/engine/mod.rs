@@ -39,6 +39,7 @@
 mod batch;
 mod cache;
 mod engines;
+mod persist;
 mod planner;
 mod service;
 mod stages;
@@ -315,13 +316,19 @@ impl EngineResult {
 }
 
 /// Why an engine did not produce a result.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum EngineError {
     /// The engine cannot handle this task at all (e.g. the read-once engine
     /// on a non-factorizable lineage, naive beyond its enumeration limit).
     Unsupported(&'static str),
     /// The task exceeded the engine's budget (compile/Algorithm 1 limits).
     Analysis(AnalysisError),
+    /// The engine panicked mid-solve. Only the resident service produces
+    /// this: its workers run each request under `catch_unwind`, so an
+    /// engine bug answers *this* ticket with an error instead of killing
+    /// the worker (and with it every other client). Carries the panic
+    /// message for diagnosis.
+    Panicked(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -329,6 +336,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Unsupported(why) => write!(f, "engine unsupported: {why}"),
             EngineError::Analysis(e) => write!(f, "{e}"),
+            EngineError::Panicked(msg) => write!(f, "engine panicked: {msg}"),
         }
     }
 }

@@ -1,0 +1,468 @@
+//! The durable tier under [`super::ShapleyCache`]: an append-only log of
+//! canonical exact results.
+//!
+//! A resident service accumulates its warm state — every distinct lineage
+//! structure ever solved — in the in-memory LRU, and loses all of it on
+//! restart. This module makes that state survive: each insert of a *new*
+//! key appends one self-delimiting, checksummed record to a log file, and
+//! [`ShapleyCache::with_persistence`](super::ShapleyCache::with_persistence)
+//! replays the log on startup, so a restarted server answers a warm replay
+//! from disk instead of recomputing.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "SHAPDBC" 0x01                    (8 bytes, version-tagged)
+//! record := payload_len:u32 checksum:u64 payload
+//! ```
+//!
+//! `checksum` is FNV-1a over the payload. The payload serializes the cache
+//! key (`n_endo`, policy digest, canonical conjunct list) followed by the
+//! exact result (engine kind, size stats, and per-fact `Rational` values as
+//! sign + magnitude limbs). Only canonical-space **exact** results are ever
+//! written — the same invariant the in-memory cache enforces — so a record
+//! is valid for every isomorphic lineage forever and replaying is pure
+//! deserialization, no recomputation.
+//!
+//! Crash-safety model: appends are atomic in practice only up to the
+//! filesystem's write granularity, so a crash can leave a torn final
+//! record. The reader treats the log as *trusted up to the first
+//! inconsistency*: a short header, a length running past EOF, a checksum
+//! mismatch, or an undecodable payload ends the replay at that point —
+//! never a panic or an error. Loading then compacts: the surviving entries
+//! are rewritten to a temp file which atomically replaces the log, so
+//! corruption (and superseded duplicate keys) are bounded to one
+//! restart's worth of tail.
+
+use super::cache::CacheKey;
+use super::{EngineKind, EngineResult, EngineValues};
+use shapdb_circuit::VarId;
+use shapdb_kc::CompileStats;
+use shapdb_num::{BigInt, BigUint, Rational, Sign};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// File magic: identifies the format and its version. Bump the trailing
+/// byte on any layout change — an unrecognized magic replays as empty (and
+/// the compaction pass rewrites the file in the current format).
+const MAGIC: [u8; 8] = *b"SHAPDBC\x01";
+
+/// Header bytes per record: `payload_len: u32` + `checksum: u64`.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and plenty to catch torn writes
+/// and bit rot (this is an integrity check, not an adversarial MAC — the
+/// log lives next to the process's own data).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The open append handle of one log file.
+#[derive(Debug)]
+pub(crate) struct PersistentLog {
+    file: File,
+}
+
+impl PersistentLog {
+    /// Replays `path` into `(key, result)` pairs in append order (a later
+    /// record for the same key supersedes an earlier one — the in-order
+    /// LRU insert handles that naturally). Missing file means empty. Any
+    /// torn or corrupt record ends the replay silently (see module docs).
+    pub fn load(path: &Path) -> std::io::Result<Vec<(CacheKey, EngineResult)>> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut entries = Vec::new();
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Ok(entries);
+        }
+        let mut at = MAGIC.len();
+        while bytes.len() - at >= RECORD_HEADER {
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            let checksum = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap());
+            let start = at + RECORD_HEADER;
+            let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+                break; // torn tail: length runs past EOF
+            };
+            let payload = &bytes[start..end];
+            if fnv1a(payload) != checksum {
+                break; // torn or rotted record
+            }
+            match decode_entry(payload) {
+                Some(entry) => entries.push(entry),
+                None => break, // checksum ok but layout undecodable
+            }
+            at = end;
+        }
+        Ok(entries)
+    }
+
+    /// Compacts `entries` into a fresh log at `path` (temp file + atomic
+    /// rename, so a crash mid-compaction leaves the old log intact) and
+    /// returns the open append handle.
+    pub fn create(path: &Path, entries: &[(&CacheKey, &EngineResult)]) -> std::io::Result<Self> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut w = std::io::BufWriter::new(File::create(&tmp)?);
+            w.write_all(&MAGIC)?;
+            for (key, result) in entries {
+                write_record(&mut w, key, result)?;
+            }
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(PersistentLog { file })
+    }
+
+    /// Appends one record. Each append is a single `write_all` of the
+    /// fully-assembled record, so concurrent appends cannot interleave and
+    /// a crash tears at most the final record.
+    pub fn append(&mut self, key: &CacheKey, result: &EngineResult) -> std::io::Result<()> {
+        write_record(&mut self.file, key, result)
+    }
+}
+
+fn write_record(w: &mut impl Write, key: &CacheKey, result: &EngineResult) -> std::io::Result<()> {
+    let payload = encode_entry(key, result);
+    let mut record = Vec::with_capacity(RECORD_HEADER + payload.len());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    record.extend_from_slice(&payload);
+    w.write_all(&record)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_biguint(buf: &mut Vec<u8>, v: &BigUint) {
+    let limbs = v.limbs();
+    put_u32(buf, limbs.len() as u32);
+    for &l in limbs {
+        put_u64(buf, l);
+    }
+}
+
+fn engine_tag(kind: EngineKind) -> u8 {
+    match kind {
+        EngineKind::Naive => 0,
+        EngineKind::ReadOnce => 1,
+        EngineKind::Kc => 2,
+        // Inexact engines never reach the cache, let alone the log.
+        EngineKind::Proxy | EngineKind::MonteCarlo | EngineKind::KernelShap => {
+            unreachable!("only exact results are persisted")
+        }
+    }
+}
+
+fn encode_entry(key: &CacheKey, result: &EngineResult) -> Vec<u8> {
+    let EngineValues::Exact(values) = &result.values else {
+        unreachable!("only exact results are persisted");
+    };
+    let mut buf = Vec::with_capacity(64 + 16 * values.len());
+    put_u64(&mut buf, key.n_endo as u64);
+    put_u64(&mut buf, key.config);
+    put_u32(&mut buf, key.structure.len() as u32);
+    for conj in key.structure.iter() {
+        put_u32(&mut buf, conj.len() as u32);
+        for &v in conj {
+            put_u32(&mut buf, v);
+        }
+    }
+    buf.push(engine_tag(result.engine));
+    put_u64(&mut buf, result.num_facts as u64);
+    put_u64(&mut buf, result.cnf_clauses as u64);
+    put_u64(&mut buf, result.ddnnf_size as u64);
+    put_u32(&mut buf, values.len() as u32);
+    for (var, value) in values {
+        put_u32(&mut buf, var.0);
+        let num = value.numerator();
+        buf.push(match num.sign() {
+            Sign::Negative => 0,
+            Sign::Zero => 1,
+            Sign::Positive => 2,
+        });
+        put_biguint(&mut buf, num.magnitude());
+        put_biguint(&mut buf, value.denominator());
+    }
+    buf
+}
+
+/// Bounds-checked little-endian reader over one payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// A count that must be backed by at least `elem_bytes` payload bytes
+    /// per element — so a corrupt length can never drive a huge allocation
+    /// (the allocation is bounded by the record's actual size).
+    fn count(&mut self, elem_bytes: usize) -> Option<usize> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(elem_bytes.max(1))? > self.bytes.len() - self.at {
+            return None;
+        }
+        Some(n)
+    }
+
+    fn biguint(&mut self) -> Option<BigUint> {
+        let n = self.count(8)?;
+        let mut limbs = Vec::with_capacity(n);
+        for _ in 0..n {
+            limbs.push(self.u64()?);
+        }
+        Some(BigUint::from_limbs(limbs))
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+fn decode_entry(payload: &[u8]) -> Option<(CacheKey, EngineResult)> {
+    let mut c = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    let n_endo = usize::try_from(c.u64()?).ok()?;
+    let config = c.u64()?;
+    let num_conjs = c.count(4)?;
+    let mut structure = Vec::with_capacity(num_conjs);
+    for _ in 0..num_conjs {
+        let num_vars = c.count(4)?;
+        let mut conj = Vec::with_capacity(num_vars);
+        for _ in 0..num_vars {
+            conj.push(c.u32()?);
+        }
+        structure.push(conj);
+    }
+    let engine = match c.u8()? {
+        0 => EngineKind::Naive,
+        1 => EngineKind::ReadOnce,
+        2 => EngineKind::Kc,
+        _ => return None,
+    };
+    let num_facts = usize::try_from(c.u64()?).ok()?;
+    let cnf_clauses = usize::try_from(c.u64()?).ok()?;
+    let ddnnf_size = usize::try_from(c.u64()?).ok()?;
+    let num_values = c.count(4 + 1 + 4 + 4)?;
+    let mut values = Vec::with_capacity(num_values);
+    for _ in 0..num_values {
+        let var = VarId(c.u32()?);
+        let sign = match c.u8()? {
+            0 => Sign::Negative,
+            1 => Sign::Zero,
+            2 => Sign::Positive,
+            _ => return None,
+        };
+        let magnitude = c.biguint()?;
+        let den = c.biguint()?;
+        if den.is_zero() {
+            return None;
+        }
+        // `Rational::new` re-canonicalizes, so even a tampered payload
+        // cannot smuggle a non-reduced value into the cache.
+        values.push((
+            var,
+            Rational::new(BigInt::from_sign_mag(sign, magnitude), den),
+        ));
+    }
+    if !c.done() {
+        return None; // trailing garbage: treat as corrupt
+    }
+    let key = CacheKey {
+        structure: Arc::new(structure),
+        n_endo,
+        config,
+    };
+    // Timings are per-solve observations, not properties of the canonical
+    // result; a replayed entry reports zero, same as any in-memory hit
+    // whose caller only looks at the values.
+    let result = EngineResult {
+        engine,
+        values: EngineValues::Exact(values),
+        prep_time: Duration::ZERO,
+        solve_time: Duration::ZERO,
+        num_facts,
+        cnf_clauses,
+        ddnnf_size,
+        compile_stats: CompileStats::default(),
+    };
+    Some((key, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn key(tag: u32, n_endo: usize) -> CacheKey {
+        CacheKey {
+            structure: Arc::new(vec![vec![0, tag], vec![1]]),
+            n_endo,
+            config: 0xfeed,
+        }
+    }
+
+    fn result(num: i64, den: u64) -> EngineResult {
+        EngineResult {
+            engine: EngineKind::Kc,
+            values: EngineValues::Exact(vec![
+                (VarId(0), Rational::from_ratio(num, den)),
+                (VarId(1), Rational::from_ratio(-num, den)),
+                (VarId(2), Rational::zero()),
+            ]),
+            prep_time: Duration::ZERO,
+            solve_time: Duration::ZERO,
+            num_facts: 3,
+            cnf_clauses: 7,
+            ddnnf_size: 11,
+            compile_stats: CompileStats::default(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("shapdb-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_keys_and_exact_values() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut log = PersistentLog::create(&path, &[]).unwrap();
+        log.append(&key(7, 10), &result(43, 105)).unwrap();
+        log.append(&key(8, 12), &result(1, 3)).unwrap();
+        drop(log);
+        let entries = PersistentLog::load(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, key(7, 10));
+        assert_eq!(entries[1].0, key(8, 12));
+        let EngineValues::Exact(vals) = &entries[0].1.values else {
+            panic!("exact expected");
+        };
+        assert_eq!(vals[0].1, Rational::from_ratio(43, 105));
+        assert_eq!(vals[1].1, Rational::from_ratio(-43, 105));
+        assert_eq!(vals[2].1, Rational::zero());
+        assert_eq!(entries[0].1.engine, EngineKind::Kc);
+        assert_eq!(entries[0].1.ddnnf_size, 11);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_and_foreign_file_replay_empty() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(PersistentLog::load(&path).unwrap().is_empty());
+        std::fs::write(&path, b"not a shapdb cache log at all").unwrap();
+        assert!(PersistentLog::load(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_never_a_crash() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut log = PersistentLog::create(&path, &[]).unwrap();
+        log.append(&key(1, 4), &result(1, 2)).unwrap();
+        log.append(&key(2, 4), &result(1, 4)).unwrap();
+        drop(log);
+        let full = std::fs::read(&path).unwrap();
+        // Truncate at every possible byte boundary: the intact prefix
+        // replays, the torn tail never crashes or corrupts.
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let entries = PersistentLog::load(&path).unwrap();
+            assert!(entries.len() <= 2);
+            for (k, _) in &entries {
+                assert!(k == &key(1, 4) || k == &key(2, 4));
+            }
+        }
+        // Flip one payload byte: the checksum catches it.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xff;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(PersistentLog::load(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_compacts_and_appends_continue_the_log() {
+        let path = tmp("compact");
+        let _ = std::fs::remove_file(&path);
+        let k = key(3, 6);
+        let r = result(2, 5);
+        let mut log = PersistentLog::create(&path, &[(&k, &r)]).unwrap();
+        let k2 = key(4, 6);
+        log.append(&k2, &result(3, 5)).unwrap();
+        drop(log);
+        let entries = PersistentLog::load(&path).unwrap();
+        assert_eq!(
+            entries.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![k, k2]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_length_cannot_drive_a_huge_allocation() {
+        let path = tmp("hugelen");
+        let _ = std::fs::remove_file(&path);
+        // A record whose payload claims 2^31 conjuncts but carries 8 bytes:
+        // `Cursor::count` rejects it before any allocation.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 4); // n_endo
+        put_u64(&mut payload, 0); // config
+        put_u32(&mut payload, u32::MAX); // "conjunct count"
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(PersistentLog::load(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -49,9 +49,19 @@ use shapdb_metrics::counters::{
     CacheRunStats, CounterSnapshot, SERVICE_COMPLETED, SERVICE_IN_FLIGHT, SERVICE_QUEUE_DEPTH,
     SERVICE_REJECTED, SERVICE_SUBMITTED, SERVICE_WAIT_NS,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poisoning. Every guarded section in this
+/// module leaves its structure consistent (queue counters and lane lists
+/// are updated together under the lock), so a panic elsewhere — e.g. an
+/// engine bug unwinding through a worker — must not cascade into
+/// `SubmitError`s or lost tickets for unrelated clients.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Service sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +116,11 @@ pub enum SubmitError {
     /// The service is shutting down (or already shut down); no new work is
     /// accepted. Already-accepted submissions still complete.
     ShuttingDown,
+    /// The request failed validation ([`LineageRequest::validate`]) and was
+    /// never enqueued. Accepting it would panic a worker mid-solve — e.g. a
+    /// lineage referencing a fact id `>= n_endo` trips the variable-range
+    /// assertion in Algorithm 1.
+    Invalid(&'static str),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -113,6 +128,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Saturated => write!(f, "service queue is saturated"),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Invalid(why) => write!(f, "invalid request: {why}"),
         }
     }
 }
@@ -139,6 +155,11 @@ pub struct LineageRequest {
     /// result cache stays correct either way (the policy is part of the
     /// cache key digest).
     pub policy: Option<PlannerConfig>,
+    /// Test-only fault injection: makes the worker panic mid-solve, so the
+    /// `catch_unwind` isolation path can be pinned without depending on a
+    /// reachable engine bug.
+    #[cfg(test)]
+    pub(crate) inject_panic: bool,
 }
 
 impl LineageRequest {
@@ -150,6 +171,8 @@ impl LineageRequest {
             budget: None,
             exact: None,
             policy: None,
+            #[cfg(test)]
+            inject_panic: false,
         }
     }
 
@@ -170,6 +193,27 @@ impl LineageRequest {
     pub fn with_policy(mut self, policy: PlannerConfig) -> Self {
         self.policy = Some(policy);
         self
+    }
+
+    /// Checks the request is solvable before it reaches a worker. Every
+    /// submit path runs this; a failure is returned as
+    /// [`SubmitError::Invalid`] without enqueueing anything.
+    ///
+    /// The structural invariant the engines assume is that the lineage's
+    /// *distinct* facts all fit in the endogenous database: Algorithm 1
+    /// asserts `n_endo >= num_vars` (`crate::exact`), so a lineage over
+    /// more distinct facts than `n_endo` — e.g. any fact id at all when
+    /// `n_endo` is 0 — would panic a persistent worker mid-solve, leaving
+    /// the ticket unfulfilled. (Fact ids themselves are labels: the
+    /// canonicalizing pipeline densifies them, so ids beyond `n_endo` are
+    /// fine as long as the distinct count fits. Front-ends whose protocol
+    /// defines ids as indexes into `0..n_endo` — the CLI — additionally
+    /// range-check each id at their own boundary.)
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.lineage.vars().len() > self.n_endo {
+            return Err("lineage has more distinct fact ids than n_endo endogenous facts");
+        }
+        Ok(())
     }
 }
 
@@ -287,9 +331,14 @@ impl ServiceClient {
 
 /// The resident service handle. Dropping it shuts the service down
 /// gracefully (intake stops, queued work drains, workers join).
+///
+/// The handle itself is shareable behind an `Arc`: [`ShapleyService::close`]
+/// and [`ShapleyService::stats`] take `&self`, so a front-end (e.g. the
+/// CLI's socket listener) can hold `Arc<ShapleyService>` across connection
+/// threads and still drain the pool from any of them.
 pub struct ShapleyService {
     shared: Arc<Shared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl ShapleyService {
@@ -327,7 +376,10 @@ impl ShapleyService {
                     .expect("spawn service worker")
             })
             .collect();
-        ShapleyService { shared, handles }
+        ShapleyService {
+            shared,
+            handles: Mutex::new(handles),
+        }
     }
 
     /// A new client handle with its own fair-queue lane.
@@ -373,7 +425,7 @@ impl ShapleyService {
     /// The service's operational report (see [`ServiceStats`]).
     pub fn stats(&self) -> ServiceStats {
         let (queue_depth, queue_capacity, clients) = {
-            let q = self.shared.queue.lock().expect("service queue lock");
+            let q = lock_recover(&self.shared.queue);
             (q.len(), q.capacity(), q.clients())
         };
         ServiceStats {
@@ -395,33 +447,37 @@ impl ShapleyService {
     /// Graceful shutdown: stops intake, drains every queued job (all
     /// accepted tickets are fulfilled), joins the workers, and returns the
     /// final stats. Also runs on drop.
-    pub fn shutdown(mut self) -> ServiceStats {
-        self.drain();
-        let stats = self.stats();
-        // Drop runs next; handles are already empty.
-        stats
+    pub fn shutdown(self) -> ServiceStats {
+        self.close();
+        self.stats()
+        // Drop runs next; handles are already empty, so it is a no-op.
     }
 
-    fn drain(&mut self) {
+    /// [`ShapleyService::shutdown`] through a shared reference: stops
+    /// intake, drains, and joins without consuming the handle. Idempotent —
+    /// later calls (and the eventual drop) find no handles to join.
+    pub fn close(&self) {
         {
-            let mut q = self.shared.queue.lock().expect("service queue lock");
+            let mut q = lock_recover(&self.shared.queue);
             q.close();
         }
         // Wake everyone: idle workers (to observe the close) and blocked
         // submitters (to fail with ShuttingDown).
         self.shared.work.notify_all();
         self.shared.space.notify_all();
-        for h in self.handles.drain(..) {
-            h.join().expect("service worker panicked");
+        let handles = std::mem::take(&mut *lock_recover(&self.handles));
+        for h in handles {
+            // A worker that panicked outside the per-request catch_unwind
+            // already fulfilled nothing new; propagating its panic here
+            // would turn one dead worker into a dead service.
+            let _ = h.join();
         }
     }
 }
 
 impl Drop for ShapleyService {
     fn drop(&mut self) {
-        if !self.handles.is_empty() {
-            self.drain();
-        }
+        self.close();
     }
 }
 
@@ -429,7 +485,7 @@ impl std::fmt::Debug for ShapleyService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShapleyService")
             .field("workers", &self.shared.workers)
-            .field("queued", &self.shared.queue.lock().expect("lock").len())
+            .field("queued", &lock_recover(&self.shared.queue).len())
             .finish()
     }
 }
@@ -441,6 +497,9 @@ fn submit_inner(
     request: LineageRequest,
     blocking: bool,
 ) -> Result<Submission, SubmitError> {
+    if let Err(why) = request.validate() {
+        return Err(SubmitError::Invalid(why));
+    }
     let ticket = TicketInner::new();
     let mut job = Job {
         request,
@@ -448,7 +507,7 @@ fn submit_inner(
         enqueued: Instant::now(),
         sequence: 0,
     };
-    let mut q = shared.queue.lock().expect("service queue lock");
+    let mut q = lock_recover(&shared.queue);
     loop {
         if q.is_closed() {
             return Err(SubmitError::ShuttingDown);
@@ -477,11 +536,23 @@ fn submit_inner(
                 }
                 job = back;
                 q.space_waiters += 1;
-                q = shared.space.wait(q).expect("service queue lock");
+                q = shared.space.wait(q).unwrap_or_else(PoisonError::into_inner);
                 q.space_waiters -= 1;
             }
         }
     }
+}
+
+/// Extracts a human-readable message from a panic payload (`panic!` with a
+/// literal yields `&str`; with a format string, `String`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "unknown panic".to_string()
 }
 
 /// One persistent worker: pop fairly, solve through the shared pipeline
@@ -489,7 +560,7 @@ fn submit_inner(
 fn worker_loop(shared: &Shared) {
     loop {
         let (job, submitter_blocked) = {
-            let mut q = shared.queue.lock().expect("service queue lock");
+            let mut q = lock_recover(&shared.queue);
             let job = loop {
                 if let Some(job) = q.pop_fair() {
                     break job;
@@ -499,7 +570,7 @@ fn worker_loop(shared: &Shared) {
                 }
                 q.compact();
                 q.idle_workers += 1;
-                q = shared.work.wait(q).expect("service queue lock");
+                q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
                 q.idle_workers -= 1;
             };
             (job, q.space_waiters > 0)
@@ -529,8 +600,21 @@ fn worker_loop(shared: &Shared) {
             .with_budget(job.request.budget.unwrap_or(shared.default_budget))
             .with_exact(job.request.exact.unwrap_or(shared.default_exact))
             .with_seed_salt(job.sequence);
-        let result: Result<EngineResult, EngineError> =
-            stages::solve_one(&planner, &task, &shared.counters);
+        // Panic isolation: an engine bug unwinding out of the solve must
+        // fulfill *this* ticket with an error — not kill the worker and
+        // strand this client's `wait()` (and, via a poisoned queue lock,
+        // every other client's) forever. The pipeline state is all owned by
+        // this call frame, so resuming the worker after an unwind is sound.
+        let result: Result<EngineResult, EngineError> = match catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(test)]
+            if job.request.inject_panic {
+                panic!("injected test panic");
+            }
+            stages::solve_one(&planner, &task, &shared.counters)
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(EngineError::Panicked(panic_message(payload))),
+        };
         job.ticket.fulfill(result);
 
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -657,6 +741,85 @@ mod tests {
             assert!(sub.is_done());
             assert!(sub.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn oversized_lineage_is_rejected_not_panicked() {
+        let svc = service(1, 8);
+        // Five distinct facts with n_endo = 4: pre-fix this panicked a
+        // worker inside Algorithm 1 ("|D_n| smaller than the circuit
+        // variables") and the ticket was never fulfilled — the client hung
+        // forever.
+        let err = svc
+            .submit(LineageRequest::new(dnf(&[&[0], &[1], &[2], &[3], &[4]]), 4))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Invalid(_)), "got {err:?}");
+        // The service is still healthy: a valid request completes.
+        let r = svc
+            .submit(LineageRequest::new(dnf(&[&[0, 1]]), 4))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(r.values.is_exact());
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn zero_n_endo_rejects_any_nonempty_lineage() {
+        let svc = service(1, 8);
+        let err = svc
+            .submit(LineageRequest::new(dnf(&[&[0]]), 0))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Invalid(_)));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn panicking_solve_fulfills_its_ticket_and_service_keeps_serving() {
+        let svc = service(1, 8);
+        let mut bad = LineageRequest::new(dnf(&[&[0, 1]]), 4);
+        bad.inject_panic = true;
+        let sub = svc.submit(bad).unwrap();
+        // Pre-fix: this wait() hung forever (ticket never fulfilled) and
+        // the worker thread was dead.
+        match sub.wait() {
+            Err(EngineError::Panicked(msg)) => assert!(msg.contains("injected"), "got {msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The single worker survived the unwind and still serves.
+        let r = svc
+            .submit(LineageRequest::new(dnf(&[&[0], &[1, 2]]), 4))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(r.values.is_exact());
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 2, "both tickets fulfilled");
+    }
+
+    #[test]
+    fn close_through_shared_reference_drains_and_is_idempotent() {
+        let svc = Arc::new(service(2, 16));
+        let subs: Vec<Submission> = (0..4)
+            .map(|i| {
+                svc.submit(LineageRequest::new(dnf(&[&[i, i + 1]]), 8))
+                    .unwrap()
+            })
+            .collect();
+        let from_thread = Arc::clone(&svc);
+        std::thread::spawn(move || from_thread.close())
+            .join()
+            .unwrap();
+        svc.close(); // second close is a no-op
+        for sub in &subs {
+            assert!(sub.is_done(), "close drained every accepted job");
+        }
+        assert_eq!(
+            svc.submit(LineageRequest::new(dnf(&[&[0]]), 2))
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! result can be awaited from several places.
 
 use super::super::{EngineError, EngineResult};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// A ticket's guarded state: the eventual result plus how many threads
 /// are parked on the condvar (so fulfilling a ticket nobody is waiting on
@@ -37,8 +37,12 @@ impl TicketInner {
 
     /// Stores the result and wakes every waiter. Called exactly once per
     /// ticket, by the worker that solved the request.
+    ///
+    /// Poison-recovers the ticket lock: every guarded section leaves
+    /// `TicketState` consistent (the two fields are updated atomically
+    /// under the lock), so a panic elsewhere must not strand waiters.
     pub(crate) fn fulfill(&self, result: Result<EngineResult, EngineError>) {
-        let mut state = self.state.lock().expect("ticket lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         debug_assert!(state.result.is_none(), "a ticket is fulfilled exactly once");
         state.result = Some(result);
         let anyone_waiting = state.waiters > 0;
@@ -65,13 +69,21 @@ impl Submission {
     /// result. Exact results are the same rationals a sequential
     /// `Planner::solve` of the same lineage would produce.
     pub fn wait(&self) -> Result<EngineResult, EngineError> {
-        let mut state = self.ticket.state.lock().expect("ticket lock");
+        let mut state = self
+            .ticket
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(r) = state.result.as_ref() {
                 return r.clone();
             }
             state.waiters += 1;
-            state = self.ticket.done.wait(state).expect("ticket lock");
+            state = self
+                .ticket
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
             state.waiters -= 1;
         }
     }
@@ -82,7 +94,7 @@ impl Submission {
         self.ticket
             .state
             .lock()
-            .expect("ticket lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .result
             .clone()
     }
@@ -93,7 +105,7 @@ impl Submission {
         self.ticket
             .state
             .lock()
-            .expect("ticket lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .result
             .is_some()
     }

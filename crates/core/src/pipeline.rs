@@ -144,6 +144,9 @@ pub fn analyze_lineage_auto(
         Err(EngineError::Unsupported(why)) => {
             unreachable!("exact-mode planner only plans supported engines: {why}")
         }
+        Err(EngineError::Panicked(msg)) => {
+            unreachable!("one-shot solves run outside the service's catch_unwind: {msg}")
+        }
     }
 }
 

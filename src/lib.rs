@@ -227,6 +227,9 @@ impl<'a> ShapleyAnalyzer<'a> {
                 EngineError::Unsupported(why) => {
                     unreachable!("exact-mode planner only plans supported engines: {why}")
                 }
+                EngineError::Panicked(msg) => {
+                    unreachable!("one-shot solves run outside the service's catch_unwind: {msg}")
+                }
             })?;
             let EngineValues::Exact(pairs) = result.values else {
                 unreachable!("exact-mode planner yields exact values");
