@@ -1,6 +1,6 @@
 # Convenience targets mirroring .github/workflows/ci.yml for offline use.
 
-.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-serve bench-net bench
+.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-alg1 bench-serve bench-net bench
 
 check: fmt build test clippy doc quickstart
 
@@ -35,6 +35,13 @@ bench-cache:
 # writes a machine-readable summary to results/bench_exact.json.
 bench-exact:
 	cargo bench --bench exact_cold -p shapdb_bench
+
+# Algorithm 1 scaling sweep on synthetic 64–4096-variable circuits with a
+# closed-form exact answer: checks correctness at every size, asserts the
+# fixed-limb tiers and the NTT convolution path actually engage, and writes
+# the timing series to results/bench_alg1.json.
+bench-alg1:
+	cargo bench --bench alg1_sweep -p shapdb_bench
 
 # Resident service: the 521-lineage workload replayed through the
 # `serve --jsonl` protocol (cold + warm) vs the direct batch path; records

@@ -85,6 +85,56 @@ fn median_ns(n: usize, mut f: impl FnMut()) -> u128 {
     samples[samples.len() / 2]
 }
 
+/// Variable-count buckets for the per-width Algorithm 1 breakdown: each
+/// bucket spans `(previous, limit]` variables. The widest structures run
+/// fewer samples (they dominate wall time); counts and samples are always
+/// recorded, so nothing is silently dropped.
+const ALG1_BUCKETS: [(&str, usize, usize); 4] = [
+    ("le48", 48, 10),
+    ("le256", 256, 3),
+    ("le1024", 1024, 3),
+    ("le4096", 4096, 3),
+];
+
+/// Per-bucket Algorithm 1 medians over the corpus's distinct structures
+/// (compiled once outside the timer). Returns JSON object entries.
+fn alg1_by_vars(all_structures: &[Dnf], n_endo: usize) -> (String, usize) {
+    let mut entries = Vec::new();
+    let mut lo = 0usize;
+    let mut covered = 0usize;
+    for (name, hi, samples) in ALG1_BUCKETS {
+        let in_bucket: Vec<&Dnf> = all_structures
+            .iter()
+            .filter(|d| {
+                let v = d.vars().len();
+                v > lo && v <= hi
+            })
+            .collect();
+        covered += in_bucket.len();
+        let median_ms = if in_bucket.is_empty() {
+            0.0
+        } else {
+            let ddnnfs: Vec<Ddnnf> = in_bucket.iter().map(|d| compile_one(d)).collect();
+            let ns = median_ns(samples, || {
+                for d in &ddnnfs {
+                    std::hint::black_box(
+                        shapley_all_facts(d, n_endo, &ExactConfig::default())
+                            .unwrap()
+                            .len(),
+                    );
+                }
+            });
+            ns as f64 / 1e6
+        };
+        entries.push(format!(
+            "    \"{name}\": {{ \"structures\": {}, \"samples\": {samples}, \"median_ms\": {median_ms:.3} }}",
+            in_bucket.len(),
+        ));
+        lo = hi;
+    }
+    (entries.join(",\n"), all_structures.len() - covered)
+}
+
 fn bench_exact_cold(c: &mut Criterion) {
     let (lineages, n_endo) = workload_lineages();
     let all_structures = distinct_structures(&lineages);
@@ -184,6 +234,7 @@ fn bench_exact_cold(c: &mut Criterion) {
             );
         }
     });
+    let (bucket_entries, bucket_dropped) = alg1_by_vars(&all_structures, n_endo);
     let json = format!(
         concat!(
             "{{\n",
@@ -201,6 +252,10 @@ fn bench_exact_cold(c: &mut Criterion) {
             "    \"fingerprint_only\": {:.3},\n",
             "    \"compiler_only\": {:.3},\n",
             "    \"alg1_only\": {:.3}\n",
+            "  }},\n",
+            "  \"alg1_by_vars\": {{\n",
+            "{},\n",
+            "    \"dropped_over_4096_vars\": {}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -214,6 +269,8 @@ fn bench_exact_cold(c: &mut Criterion) {
         fingerprint_ns as f64 / 1e6,
         compile_ns as f64 / 1e6,
         alg1_ns as f64 / 1e6,
+        bucket_entries,
+        bucket_dropped,
     );
     let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     std::fs::create_dir_all(results_dir).expect("create results/");

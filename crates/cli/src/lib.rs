@@ -489,6 +489,10 @@ pub fn run(cfg: &Config) -> Result<String, CliError> {
             report.cache.hits, report.cache.misses
         ));
     }
+    out.push_str(&format!(
+        "; arithmetic {} fixed-limb / {} bignum pass(es), {} NTT convolution(s)",
+        report.num.vli_hits, report.num.bignum_fallbacks, report.num.ntt_convolutions
+    ));
     out.push('\n');
 
     for (tuple, item) in res.outputs.iter().zip(report.items) {

@@ -242,12 +242,20 @@ pub(crate) fn render_err(id: &str, error: &str) -> String {
 
 pub(crate) fn render_stats(summary: &ServeSummary) -> String {
     let s = &summary.stats;
+    let since_start = |name: &str| -> u64 {
+        s.counters_since_start
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
     format!(
         concat!(
             "{{\"stats\":{{\"responses\":{},\"errors\":{},\"submitted\":{},",
             "\"completed\":{},\"rejected\":{},\"workers\":{},",
             "\"queue_capacity\":{},\"clients\":{},\"engine_runs\":{},",
             "\"cache_hits\":{},\"cache_misses\":{},\"cache_bypasses\":{},",
+            "\"vli_passes\":{},\"bignum_passes\":{},\"ntt_convolutions\":{},",
             "\"mean_wait_us\":{:.1}}}}}"
         ),
         summary.responses,
@@ -262,6 +270,9 @@ pub(crate) fn render_stats(summary: &ServeSummary) -> String {
         s.cache.hits,
         s.cache.misses,
         s.cache.bypasses,
+        since_start("num.vli_hits"),
+        since_start("num.bignum_fallbacks"),
+        since_start("num.ntt_convolutions"),
         s.mean_wait().as_nanos() as f64 / 1e3,
     )
 }

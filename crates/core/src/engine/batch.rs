@@ -41,7 +41,8 @@ use crate::exact::ExactConfig;
 use shapdb_circuit::Dnf;
 use shapdb_kc::Budget;
 use shapdb_metrics::counters::{
-    CacheRunStats, DedupStats, BATCH_DEDUP_HITS, BATCH_DISTINCT, BATCH_TASKS,
+    CacheRunStats, CounterSnapshot, DedupStats, NumRunStats, BATCH_DEDUP_HITS, BATCH_DISTINCT,
+    BATCH_TASKS,
 };
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -115,6 +116,10 @@ pub struct BatchReport {
     pub cache: CacheRunStats,
     /// Worker threads used.
     pub threads: usize,
+    /// Arithmetic-substrate routing of this run: how many DP passes ran on
+    /// fixed-limb integers vs heap bignums, and how many ∧-convolutions
+    /// took the NTT path.
+    pub num: NumRunStats,
     /// Wall time of the whole batch.
     pub total_time: Duration,
 }
@@ -184,6 +189,7 @@ impl BatchExecutor {
         exact: &ExactConfig,
     ) -> BatchReport {
         let start = Instant::now();
+        let num_before = CounterSnapshot::take();
         let tasks = lineages.len();
         let pool = self.cfg.effective_threads();
 
@@ -260,6 +266,7 @@ impl BatchExecutor {
             engine_runs: counters.engine_runs(),
             cache: counters.cache_stats(),
             threads,
+            num: NumRunStats::delta(&CounterSnapshot::take(), &num_before),
             total_time: start.elapsed(),
         }
     }

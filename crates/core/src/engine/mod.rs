@@ -42,7 +42,7 @@ mod engines;
 mod persist;
 mod planner;
 mod service;
-mod stages;
+pub(crate) mod stages;
 
 pub use batch::{BatchConfig, BatchExecutor, BatchItem, BatchReport};
 pub use cache::{CacheKey, CacheStats, ShapleyCache};

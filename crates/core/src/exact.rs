@@ -24,13 +24,34 @@
 //! With [`ExactConfig::reuse_unaffected`] the per-fact passes recompute only
 //! gates whose variable set contains `f`, reusing a shared unconditioned
 //! pass for the rest — an optimization the paper leaves on the table; the
-//! ablation bench quantifies it.
+//! ablation bench quantifies it. The same shared pass makes the `f → 1`
+//! pass redundant outright: every size-`j` satisfying subset of the root
+//! either contains `f` or it does not, so `α[j] = δ[j] + γ[j−1]` and the
+//! `γ` array falls out of the base and `f → 0` arrays by subtraction
+//! (`derive_gamma`) — one conditioned pass per fact instead of two.
+//!
+//! # Arithmetic substrate
+//!
+//! The DP is generic over [`Coeff`]: every α value (and every intermediate
+//! of the ∧/∨ loops — each is a partial sum of non-negative terms of an α
+//! value) is bounded by the central binomial over the widest gate's
+//! variable count ([`alpha_cap_bits`]), so when that cap fits 1/2/4/8
+//! 64-bit limbs the whole computation runs on stack [`Vli`] integers
+//! instead of heap bignums (`num.vli_hits` vs `num.bignum_fallbacks`
+//! count the routing). Wide ∧-gate convolutions additionally route through
+//! the exact NTT/CRT path ([`shapdb_num::ntt`]) past an autotuned
+//! crossover. The per-fact conditioned passes are independent, so
+//! [`ExactConfig::threads`] fans them across scoped workers. All three
+//! substrate choices are bit-exact: results are identical rationals at any
+//! setting.
 
+use crate::engine::stages::parallel_map;
 use crate::weights::{completion_weights, weighted_difference};
 use shapdb_kc::{DNode, Ddnnf};
+use shapdb_metrics::counters::{Counter, NUM_BIGNUM_FALLBACKS, NUM_VLI_HITS};
 use shapdb_num::{
-    combinatorics::{BinomialTable, FactorialTable},
-    BigUint, Bitset, Rational,
+    combinatorics::{alpha_cap_bits, BinomialTable, FactorialTable},
+    ntt, BigUint, Bitset, Coeff, Rational, Vli,
 };
 // `BinomialTable` backs the per-gate ∨ expansion in `Dp`; `FactorialTable`
 // backs the closed-form weights.
@@ -45,6 +66,10 @@ pub struct ExactConfig {
     pub reuse_unaffected: bool,
     /// Cooperative deadline (checked between facts and gate batches).
     pub deadline: Option<Instant>,
+    /// Worker threads for the per-fact conditioned passes (≤ 1 keeps the
+    /// fully sequential order). Results are bit-identical at any setting —
+    /// the passes are independent and exact.
+    pub threads: usize,
 }
 
 impl Default for ExactConfig {
@@ -52,6 +77,7 @@ impl Default for ExactConfig {
         ExactConfig {
             reuse_unaffected: true,
             deadline: None,
+            threads: 1,
         }
     }
 }
@@ -69,7 +95,7 @@ impl std::fmt::Display for ShapleyTimeout {
 impl std::error::Error for ShapleyTimeout {}
 
 /// Per-gate `α` arrays for one pass. `alphas[g][ℓ] = #SAT_ℓ(φ_g)`.
-type Alphas = Vec<Vec<BigUint>>;
+type Alphas<C> = Vec<Vec<C>>;
 
 /// Cooperative deadline checker shared by every DP pass.
 struct Ticker {
@@ -93,21 +119,48 @@ impl Ticker {
     }
 }
 
+/// Binomial rows converted to the pass's coefficient type, cached per DP
+/// (conversion is sound: `C(gap, d) ≤ C(m, ⌊m/2⌋)`, the tier's cap).
+struct BinomRows<C> {
+    table: BinomialTable,
+    rows: Vec<Option<Vec<C>>>,
+}
+
+impl<C: Coeff> BinomRows<C> {
+    fn new() -> BinomRows<C> {
+        BinomRows {
+            table: BinomialTable::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn row(&mut self, n: usize) -> &[C] {
+        if self.rows.len() <= n {
+            self.rows.resize_with(n + 1, || None);
+        }
+        if self.rows[n].is_none() {
+            let row = self.table.row(n).iter().map(C::from_biguint).collect();
+            self.rows[n] = Some(row);
+        }
+        self.rows[n].as_ref().unwrap()
+    }
+}
+
 /// Where a gate's children find their `α` arrays — a borrowing view instead
 /// of the per-child `Vec` clones the old closure-based lookup made.
-enum Lookup<'x> {
+enum Lookup<'x, C> {
     /// Base pass: children resolved from the already-computed prefix.
-    Prefix(&'x [Vec<BigUint>]),
+    Prefix(&'x [Vec<C>]),
     /// Conditioned pass: per-gate overrides (empty = not recomputed),
     /// falling back to the unconditioned base arrays.
     Cond {
-        cond: &'x [Vec<BigUint>],
-        base: Option<&'x [Vec<BigUint>]>,
+        cond: &'x [Vec<C>],
+        base: Option<&'x [Vec<C>]>,
     },
 }
 
-impl<'x> Lookup<'x> {
-    fn get(&self, c: usize) -> &'x [BigUint] {
+impl<'x, C> Lookup<'x, C> {
+    fn get(&self, c: usize) -> &'x [C] {
         match self {
             Lookup::Prefix(p) => &p[c],
             Lookup::Cond { cond, base } => {
@@ -137,61 +190,67 @@ fn gate_size(sets: &[Bitset], g: usize, cond_var: Option<usize>) -> usize {
 /// Computes `α` for one gate into `out` (cleared first). `conv` is the
 /// ∧-gate convolution scratch, reused across every gate of every pass.
 #[allow(clippy::too_many_arguments)] // disjoint &mut borrows of one DP state
-fn gate_alpha(
+fn gate_alpha<C: Coeff>(
     nodes: &[DNode],
     sets: &[Bitset],
-    binomials: &mut BinomialTable,
+    binomials: &mut BinomRows<C>,
     ticker: &mut Ticker,
-    conv: &mut Vec<BigUint>,
+    conv: &mut Vec<C>,
     g: usize,
     cond: Option<(usize, bool)>,
-    lookup: Lookup<'_>,
-    out: &mut Vec<BigUint>,
+    lookup: Lookup<'_, C>,
+    out: &mut Vec<C>,
 ) -> Result<(), ShapleyTimeout> {
     let cond_var = cond.map(|(v, _)| v);
     out.clear();
     match &nodes[g] {
-        DNode::True => out.push(BigUint::one()),
-        DNode::False => out.push(BigUint::zero()),
+        DNode::True => out.push(C::one()),
+        DNode::False => out.push(C::zero()),
         DNode::Lit(l) => {
             if let Some((v, b)) = cond {
                 if l.var() == v {
                     // φ over ∅ vars: ⊤ (α⁰=1) if the literal is satisfied.
                     out.push(if l.satisfied_by(b) {
-                        BigUint::one()
+                        C::one()
                     } else {
-                        BigUint::zero()
+                        C::zero()
                     });
                     return Ok(());
                 }
             }
             if l.is_positive() {
-                out.push(BigUint::zero());
-                out.push(BigUint::one());
+                out.push(C::zero());
+                out.push(C::one());
             } else {
-                out.push(BigUint::one());
-                out.push(BigUint::zero());
+                out.push(C::one());
+                out.push(C::zero());
             }
         }
         DNode::And(cs) => {
             // Decomposability: sizes add, counts convolve. `out` holds the
             // running product, `conv` the next one; they swap per child.
-            out.push(BigUint::one());
+            out.push(C::one());
             for c in cs.iter() {
                 ticker.tick()?;
                 let ca = lookup.get(c.index());
+                // Wide convolutions route through the exact NTT/CRT path
+                // when the calibrated cost model says it wins.
+                // Product length is `out.len() + ca.len() - 1`.
+                if out.len() + ca.len() > ntt::MIN_NTT_LEN {
+                    if let Some(v) = ntt::convolve_if_faster(out, ca) {
+                        *out = v;
+                        continue;
+                    }
+                }
                 conv.clear();
-                conv.resize(out.len() + ca.len() - 1, BigUint::zero());
+                conv.resize(out.len() + ca.len() - 1, C::zero());
                 for (i, ai) in out.iter().enumerate() {
                     if ai.is_zero() {
                         continue;
                     }
-                    for (j, cj) in ca.iter().enumerate() {
-                        if cj.is_zero() {
-                            continue;
-                        }
-                        conv[i + j] += &(ai * cj);
-                    }
+                    // Row-level fused multiply-accumulate — this is the
+                    // DP's hottest loop.
+                    C::fold_add_mul(&mut conv[i..i + ca.len()], ca, ai);
                 }
                 std::mem::swap(out, conv);
             }
@@ -200,7 +259,7 @@ fn gate_alpha(
             // Determinism: counts add after expanding each child by the
             // binomial over its variable gap.
             let sz = gate_size(sets, g, cond_var);
-            out.resize(sz + 1, BigUint::zero());
+            out.resize(sz + 1, C::zero());
             for c in cs.iter() {
                 ticker.tick()?;
                 let csz = gate_size(sets, c.index(), cond_var);
@@ -212,9 +271,7 @@ fn gate_alpha(
                     if ci.is_zero() {
                         continue;
                     }
-                    for (dgap, b) in row.iter().enumerate() {
-                        out[i + dgap] += &(ci * b);
-                    }
+                    C::fold_add_mul(&mut out[i..i + row.len()], row, ci);
                 }
             }
         }
@@ -222,29 +279,29 @@ fn gate_alpha(
     Ok(())
 }
 
-struct Dp<'a> {
+struct Dp<'a, C> {
     d: &'a Ddnnf,
-    sets: Vec<Bitset>,
-    binomials: BinomialTable,
+    sets: &'a [Bitset],
+    binomials: BinomRows<C>,
     ticker: Ticker,
     /// Conditioned-pass arrays, reused across facts: `cond[g]` empty means
     /// "not recomputed this pass".
-    cond: Vec<Vec<BigUint>>,
+    cond: Vec<Vec<C>>,
     /// Gates filled in `cond` by the current pass (cleared between passes).
     touched: Vec<usize>,
     /// Spare buffers recycled between `cond` slots and gate outputs.
-    spare: Vec<Vec<BigUint>>,
+    spare: Vec<Vec<C>>,
     /// ∧-gate convolution scratch.
-    conv: Vec<BigUint>,
+    conv: Vec<C>,
 }
 
-impl<'a> Dp<'a> {
-    fn new(d: &'a Ddnnf, deadline: Option<Instant>) -> Dp<'a> {
+impl<'a, C: Coeff> Dp<'a, C> {
+    fn new(d: &'a Ddnnf, sets: &'a [Bitset], deadline: Option<Instant>) -> Dp<'a, C> {
         let n = d.len();
         Dp {
             d,
-            sets: d.var_sets(),
-            binomials: BinomialTable::new(),
+            sets,
+            binomials: BinomRows::new(),
             ticker: Ticker { deadline, ticks: 0 },
             cond: vec![Vec::new(); n],
             touched: Vec::new(),
@@ -254,13 +311,13 @@ impl<'a> Dp<'a> {
     }
 
     /// Full unconditioned pass (`α` for every gate).
-    fn base_pass(&mut self) -> Result<Alphas, ShapleyTimeout> {
-        let mut alphas: Alphas = Vec::with_capacity(self.d.len());
+    fn base_pass(&mut self) -> Result<Alphas<C>, ShapleyTimeout> {
+        let mut alphas: Alphas<C> = Vec::with_capacity(self.d.len());
         for g in 0..self.d.len() {
             let mut out = self.spare.pop().unwrap_or_default();
             gate_alpha(
                 self.d.nodes(),
-                &self.sets,
+                self.sets,
                 &mut self.binomials,
                 &mut self.ticker,
                 &mut self.conv,
@@ -274,16 +331,25 @@ impl<'a> Dp<'a> {
         Ok(alphas)
     }
 
-    /// Conditioned pass for `(f → b)`. With `base`, only gates whose var set
-    /// contains `f` are recomputed; the root's array is swapped into `out`.
-    /// All per-gate buffers are recycled across calls — the steady state
-    /// allocates nothing.
+    /// The gates a conditioning on `f` invalidates, in (topological) index
+    /// order — computed once per fact and shared by both conditioned
+    /// passes. `buf` is recycled across facts.
+    fn affected_gates(&self, f: usize, buf: &mut Vec<usize>) {
+        buf.clear();
+        buf.extend((0..self.d.len()).filter(|&g| self.sets[g].contains(f)));
+    }
+
+    /// Conditioned pass for `(f → b)`. With `base`, only the `affected`
+    /// gates (from [`Dp::affected_gates`]) are recomputed; the root's array
+    /// is swapped into `out`. All per-gate buffers are recycled across
+    /// calls — the steady state allocates nothing.
     fn conditioned_root(
         &mut self,
         f: usize,
         b: bool,
-        base: Option<&Alphas>,
-        out: &mut Vec<BigUint>,
+        base: Option<&Alphas<C>>,
+        affected: &[usize],
+        out: &mut Vec<C>,
     ) -> Result<(), ShapleyTimeout> {
         // Reset the previous pass (keeping each slot's capacity).
         while let Some(g) = self.touched.pop() {
@@ -291,16 +357,19 @@ impl<'a> Dp<'a> {
         }
         let root = self.d.root().index();
         let n_nodes = self.d.len();
-        for g in 0..n_nodes {
-            let affected = self.sets[g].contains(f);
-            if base.is_some() && !affected {
-                // Unaffected gates keep their unconditioned array.
-                continue;
-            }
+        // Without a base pass to fall back on, every gate recomputes.
+        let full: Vec<usize>;
+        let recompute: &[usize] = if base.is_some() {
+            affected
+        } else {
+            full = (0..n_nodes).collect();
+            &full
+        };
+        for &g in recompute {
             let mut buf = self.spare.pop().unwrap_or_default();
             let result = gate_alpha(
                 self.d.nodes(),
-                &self.sets,
+                self.sets,
                 &mut self.binomials,
                 &mut self.ticker,
                 &mut self.conv,
@@ -332,6 +401,157 @@ impl<'a> Dp<'a> {
     }
 }
 
+/// The `f → 1` root array, derived instead of recomputed: a size-`j`
+/// satisfying subset of the root's `m` variables either contains `f`
+/// (counted by `γ[j−1]`) or does not (counted by `δ[j]`), so
+/// `base[j] = δ[j] + γ[j−1]` and `γ[j] = base[j+1] − δ[j+1]` (with
+/// `δ[m] = 0`). Exact non-negative integer arithmetic, so the result is
+/// bit-identical to a second conditioned pass at half the DP work.
+fn derive_gamma<C: Coeff>(base_root: &[C], delta: &[C], gamma: &mut Vec<C>) {
+    let m = delta.len();
+    debug_assert_eq!(base_root.len(), m + 1);
+    gamma.clear();
+    gamma.extend((0..m).map(|j| {
+        if j + 1 < m {
+            base_root[j + 1].sub_ref(&delta[j + 1])
+        } else {
+            base_root[m].clone()
+        }
+    }));
+}
+
+/// Runs the per-fact passes on one coefficient type, sequentially or fanned
+/// across scoped workers (each worker owns its DP scratch; the base pass is
+/// shared by reference). Returns `(fact, value)` pairs.
+#[allow(clippy::too_many_arguments)] // one bundle of per-solve invariants
+fn run_facts<C: Coeff>(
+    d: &Ddnnf,
+    sets: &[Bitset],
+    facts: &[usize],
+    m: usize,
+    weights: &[BigUint],
+    denom: &BigUint,
+    cfg: &ExactConfig,
+    passes: &'static Counter,
+) -> Result<Vec<(usize, Rational)>, ShapleyTimeout> {
+    let root = d.root().index();
+    let mut dp: Dp<C> = Dp::new(d, sets, cfg.deadline);
+    let base = if cfg.reuse_unaffected {
+        passes.incr();
+        Some(dp.base_pass()?)
+    } else {
+        None
+    };
+    let threads = cfg.threads.clamp(1, facts.len().max(1));
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(facts.len());
+        let mut gamma = Vec::new();
+        let mut delta = Vec::new();
+        let mut affected = Vec::new();
+        for &f in facts {
+            if let Some(deadline) = cfg.deadline {
+                if Instant::now() > deadline {
+                    return Err(ShapleyTimeout);
+                }
+            }
+            dp.affected_gates(f, &mut affected);
+            dp.conditioned_root(f, false, base.as_ref(), &affected, &mut delta)?;
+            match &base {
+                Some(b) => {
+                    passes.incr();
+                    derive_gamma(&b[root], &delta, &mut gamma);
+                }
+                None => {
+                    passes.add(2);
+                    dp.conditioned_root(f, true, None, &affected, &mut gamma)?;
+                }
+            }
+            debug_assert_eq!(gamma.len(), m);
+            debug_assert_eq!(delta.len(), m);
+            out.push((f, weighted_difference(&gamma, &delta, weights, denom)));
+        }
+        return Ok(out);
+    }
+    let base_ref = base.as_ref();
+    let chunks: Vec<&[usize]> = facts.chunks(facts.len().div_ceil(threads)).collect();
+    let results = parallel_map(threads, chunks.len(), |ci| {
+        let mut dp: Dp<C> = Dp::new(d, sets, cfg.deadline);
+        let mut out = Vec::with_capacity(chunks[ci].len());
+        let mut gamma = Vec::new();
+        let mut delta = Vec::new();
+        let mut affected = Vec::new();
+        for &f in chunks[ci] {
+            if let Some(deadline) = cfg.deadline {
+                if Instant::now() > deadline {
+                    return Err(ShapleyTimeout);
+                }
+            }
+            dp.affected_gates(f, &mut affected);
+            dp.conditioned_root(f, false, base_ref, &affected, &mut delta)?;
+            match base_ref {
+                Some(b) => {
+                    passes.incr();
+                    derive_gamma(&b[root], &delta, &mut gamma);
+                }
+                None => {
+                    passes.add(2);
+                    dp.conditioned_root(f, true, None, &affected, &mut gamma)?;
+                }
+            }
+            debug_assert_eq!(gamma.len(), m);
+            out.push((f, weighted_difference(&gamma, &delta, weights, denom)));
+        }
+        Ok(out)
+    });
+    let mut out = Vec::with_capacity(facts.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Selects the coefficient tier from the pass-wide cap and runs the facts.
+///
+/// The cap is the central binomial over the *widest gate's* variable count
+/// (not just the root's): the base pass evaluates every gate in the node
+/// vector, reachable or not. Conditioned passes only shrink gate sizes, so
+/// one cap covers every pass of the solve. An overflow in a fixed tier is
+/// therefore a cap bug and panics loudly (see `shapdb_num::vli`) instead
+/// of corrupting an exact result.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_facts(
+    d: &Ddnnf,
+    sets: &[Bitset],
+    facts: &[usize],
+    m: usize,
+    weights: &[BigUint],
+    denom: &BigUint,
+    cfg: &ExactConfig,
+) -> Result<Vec<(usize, Rational)>, ShapleyTimeout> {
+    let widest = sets.iter().map(|s| s.len()).max().unwrap_or(0);
+    let bits = alpha_cap_bits(widest);
+    if bits <= 64 {
+        run_facts::<Vli<1>>(d, sets, facts, m, weights, denom, cfg, &NUM_VLI_HITS)
+    } else if bits <= 128 {
+        run_facts::<Vli<2>>(d, sets, facts, m, weights, denom, cfg, &NUM_VLI_HITS)
+    } else if bits <= 256 {
+        run_facts::<Vli<4>>(d, sets, facts, m, weights, denom, cfg, &NUM_VLI_HITS)
+    } else if bits <= 512 {
+        run_facts::<Vli<8>>(d, sets, facts, m, weights, denom, cfg, &NUM_VLI_HITS)
+    } else {
+        run_facts::<BigUint>(
+            d,
+            sets,
+            facts,
+            m,
+            weights,
+            denom,
+            cfg,
+            &NUM_BIGNUM_FALLBACKS,
+        )
+    }
+}
+
 /// Exact Shapley value of every d-DNNF variable (Algorithm 1 for all facts).
 ///
 /// `n_endo` is `|D_n|`, the number of endogenous facts of the database —
@@ -351,45 +571,27 @@ pub fn shapley_all_facts(
     if num_vars == 0 || n_endo == 0 {
         return Ok(vec![Rational::zero(); num_vars]);
     }
-    let mut dp = Dp::new(d, cfg.deadline);
+    let sets = d.var_sets();
     let root = d.root().index();
-    let root_vars = dp.sets[root].clone();
-    let m = root_vars.len();
-
-    let mut facts_table = FactorialTable::new();
+    let m = sets[root].len();
     let mut out = vec![Rational::zero(); num_vars];
     if m == 0 {
         // Constant lineage: every fact is a null player.
         return Ok(out);
     }
+    let mut facts_table = FactorialTable::new();
     let weights = completion_weights(m, &mut facts_table);
     let denom = facts_table.get(m).clone();
-
-    let base = if cfg.reuse_unaffected {
-        Some(dp.base_pass()?)
-    } else {
-        None
-    };
-
-    let mut gamma = Vec::new();
-    let mut delta = Vec::new();
-    for f in root_vars.iter() {
-        if let Some(deadline) = cfg.deadline {
-            if Instant::now() > deadline {
-                return Err(ShapleyTimeout);
-            }
-        }
-        dp.conditioned_root(f, true, base.as_ref(), &mut gamma)?;
-        dp.conditioned_root(f, false, base.as_ref(), &mut delta)?;
-        debug_assert_eq!(gamma.len(), m);
-        debug_assert_eq!(delta.len(), m);
-        out[f] = weighted_difference(&gamma, &delta, &weights, &denom);
+    let facts: Vec<usize> = sets[root].iter().collect();
+    for (f, v) in dispatch_facts(d, &sets, &facts, m, &weights, &denom, cfg)? {
+        out[f] = v;
     }
     Ok(out)
 }
 
-/// Exact Shapley value of a single variable (Algorithm 1 verbatim: two
-/// `ComputeAll#SATk` passes and the Equation (3) sum).
+/// Exact Shapley value of a single variable (Algorithm 1: the
+/// `ComputeAll#SATk` passes and the Equation (3) sum; in reuse mode the
+/// `f → 1` array is derived from the base pass, see `derive_gamma`).
 pub fn shapley_single_fact(
     d: &Ddnnf,
     n_endo: usize,
@@ -405,40 +607,28 @@ pub fn shapley_single_fact(
     if num_vars == 0 {
         return Ok(Rational::zero());
     }
-    let mut dp = Dp::new(d, cfg.deadline);
+    let sets = d.var_sets();
     let root = d.root().index();
-    if !dp.sets[root].contains(var) {
+    if !sets[root].contains(var) {
         return Ok(Rational::zero());
     }
-    let m = dp.sets[root].len();
+    let m = sets[root].len();
     let mut facts_table = FactorialTable::new();
     let weights = completion_weights(m, &mut facts_table);
     let denom = facts_table.get(m).clone();
-    let base = if cfg.reuse_unaffected {
-        Some(dp.base_pass()?)
-    } else {
-        None
-    };
-    if let Some(deadline) = cfg.deadline {
-        if Instant::now() > deadline {
-            return Err(ShapleyTimeout);
-        }
-    }
-    let mut gamma = Vec::new();
-    let mut delta = Vec::new();
-    dp.conditioned_root(var, true, base.as_ref(), &mut gamma)?;
-    dp.conditioned_root(var, false, base.as_ref(), &mut delta)?;
-    Ok(weighted_difference(&gamma, &delta, &weights, &denom))
+    let result = dispatch_facts(d, &sets, &[var], m, &weights, &denom, cfg)?;
+    Ok(result.into_iter().next().expect("one fact solved").1)
 }
 
 /// `ComputeAll#SATk` of Algorithm 1: the `#SAT_k` array of the root over all
 /// `num_vars` variables (gap-completed). Exposed for tests and the
 /// Proposition 3.1 cross-check.
 pub fn sat_k_all(d: &Ddnnf) -> Vec<BigUint> {
-    let mut dp = Dp::new(d, None);
+    let sets = d.var_sets();
+    let mut dp: Dp<BigUint> = Dp::new(d, &sets, None);
     let base = dp.base_pass().expect("no deadline set");
     let root = d.root().index();
-    let m = dp.sets[root].len();
+    let m = sets[root].len();
     let gap = d.num_vars() - m;
     let mut binomials = BinomialTable::new();
     let row = binomials.row(gap);
@@ -460,7 +650,8 @@ mod tests {
     use super::*;
     use crate::naive::{sat_k_bruteforce, shapley_naive};
     use proptest::prelude::*;
-    use shapdb_circuit::{Circuit, Dnf, VarId};
+    use shapdb_circuit::{Circuit, Dnf, Lit, VarId};
+    use shapdb_kc::ddnnf::{DdnnfBuilder, NodeIdx};
     use shapdb_kc::{compile_circuit, Budget};
 
     /// Compiles a DNF over dense vars 0..n into a projected d-DNNF.
@@ -476,7 +667,6 @@ mod tests {
 
     /// Remaps d-DNNF variables through `mapping` into a space of `n` vars.
     fn remap(d: &Ddnnf, mapping: &[usize], n: usize) -> Ddnnf {
-        use shapdb_circuit::Lit;
         let nodes = d
             .nodes()
             .iter()
@@ -502,6 +692,52 @@ mod tests {
             d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
         }
         d
+    }
+
+    /// Balanced ∧-tree over `(xᵢ ∨ yᵢ)` decision gadgets: a fully symmetric
+    /// monotone game over `2·pairs` variables, so by symmetry + efficiency
+    /// every Shapley value is exactly `1/(2·pairs)`.
+    fn symmetric_tree(pairs: usize) -> Ddnnf {
+        let mut b = DdnnfBuilder::new();
+        let mut layer: Vec<NodeIdx> = (0..pairs)
+            .map(|i| {
+                let (x, y) = (2 * i, 2 * i + 1);
+                let hi = b.lit(Lit::pos(x));
+                let nx = b.lit(Lit::neg(x));
+                let py = b.lit(Lit::pos(y));
+                let lo = b.and([nx, py]);
+                b.decision(x, hi, lo)
+            })
+            .collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|c| {
+                    if c.len() == 2 {
+                        b.and([c[0], c[1]])
+                    } else {
+                        c[0]
+                    }
+                })
+                .collect();
+        }
+        b.finish(layer[0], 2 * pairs)
+    }
+
+    /// A tautology over `n` named variables: ∧ of `(xᵢ ∨ ¬xᵢ)` decisions.
+    /// Its base-pass root α is exactly Pascal's row `C(n, ·)` — the circuit
+    /// whose coefficients *reach* the tier cap.
+    fn tautology_over(n: usize) -> Ddnnf {
+        let mut b = DdnnfBuilder::new();
+        let gates: Vec<NodeIdx> = (0..n)
+            .map(|v| {
+                let hi = b.lit(Lit::pos(v));
+                let lo = b.lit(Lit::neg(v));
+                b.decision(v, hi, lo)
+            })
+            .collect();
+        let root = b.and(gates);
+        b.finish(root, n)
     }
 
     #[test]
@@ -535,6 +771,171 @@ mod tests {
     }
 
     #[test]
+    fn every_coefficient_tier_computes_identical_values() {
+        // The running example dispatches to Vli<1> (7 vars); force each
+        // wider tier and the BigUint fallback through the same passes and
+        // pin bit-identical rationals.
+        let dnf = running_example_dnf();
+        let dd = compile_dnf(&dnf, 7);
+        let sets = dd.var_sets();
+        let m = sets[dd.root().index()].len();
+        let mut facts_table = FactorialTable::new();
+        let weights = completion_weights(m, &mut facts_table);
+        let denom = facts_table.get(m).clone();
+        let facts: Vec<usize> = sets[dd.root().index()].iter().collect();
+        let cfg = ExactConfig::default();
+        let run = |tier: &str| -> Vec<(usize, Rational)> {
+            match tier {
+                "vli1" => run_facts::<Vli<1>>(
+                    &dd,
+                    &sets,
+                    &facts,
+                    m,
+                    &weights,
+                    &denom,
+                    &cfg,
+                    &NUM_VLI_HITS,
+                ),
+                "vli2" => run_facts::<Vli<2>>(
+                    &dd,
+                    &sets,
+                    &facts,
+                    m,
+                    &weights,
+                    &denom,
+                    &cfg,
+                    &NUM_VLI_HITS,
+                ),
+                "vli4" => run_facts::<Vli<4>>(
+                    &dd,
+                    &sets,
+                    &facts,
+                    m,
+                    &weights,
+                    &denom,
+                    &cfg,
+                    &NUM_VLI_HITS,
+                ),
+                "vli8" => run_facts::<Vli<8>>(
+                    &dd,
+                    &sets,
+                    &facts,
+                    m,
+                    &weights,
+                    &denom,
+                    &cfg,
+                    &NUM_VLI_HITS,
+                ),
+                _ => run_facts::<BigUint>(
+                    &dd,
+                    &sets,
+                    &facts,
+                    m,
+                    &weights,
+                    &denom,
+                    &cfg,
+                    &NUM_BIGNUM_FALLBACKS,
+                ),
+            }
+            .unwrap()
+        };
+        let reference = run("big");
+        assert_eq!(reference[0].1, Rational::from_ratio(43, 105));
+        for tier in ["vli1", "vli2", "vli4", "vli8"] {
+            assert_eq!(run(tier), reference, "{tier}");
+        }
+    }
+
+    #[test]
+    fn cap_boundary_routes_to_wider_tier() {
+        // C(67,33) fills exactly 64 bits; C(68,34) needs 65. The tautology
+        // over n vars *reaches* C(n, n/2) in its base pass, so a one-bit
+        // error in the cap is not survivable — pin the boundary and prove
+        // the narrow tier really does overflow where the cap says it would.
+        assert_eq!(alpha_cap_bits(67), 64);
+        assert_eq!(alpha_cap_bits(68), 65);
+        let dd = tautology_over(68);
+        // The public path must route to Vli<2> and solve exactly: every
+        // fact of a tautology is a null player.
+        let values = shapley_all_facts(&dd, 68, &ExactConfig::default()).unwrap();
+        assert!(values.iter().all(|v| v.is_zero()));
+        // Mis-routing the same circuit to the 1-limb tier must panic
+        // (loud overflow, never silent corruption).
+        let sets = dd.var_sets();
+        let m = sets[dd.root().index()].len();
+        let mut facts_table = FactorialTable::new();
+        let weights = completion_weights(m, &mut facts_table);
+        let denom = facts_table.get(m).clone();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_facts::<Vli<1>>(
+                &dd,
+                &sets,
+                &[0],
+                m,
+                &weights,
+                &denom,
+                &ExactConfig::default(),
+                &NUM_VLI_HITS,
+            )
+        }));
+        assert!(err.is_err(), "64-bit tier must overflow at C(68,34)");
+    }
+
+    #[test]
+    fn symmetric_game_values_are_exact_at_vli_tiers() {
+        // 64 variables: cap C(64,32) is 61 bits → the u64 tier end-to-end.
+        let before = NUM_VLI_HITS.get();
+        let dd = symmetric_tree(32);
+        let values = shapley_all_facts(&dd, 64, &ExactConfig::default()).unwrap();
+        assert_eq!(values.len(), 64);
+        for v in &values {
+            assert_eq!(v, &Rational::from_ratio(1, 64));
+        }
+        assert!(NUM_VLI_HITS.get() > before, "u64 tier must have run");
+    }
+
+    #[test]
+    fn forced_ntt_convolution_is_bit_identical() {
+        // Route every ∧-convolution through NTT/CRT and pin the paper's
+        // exact rationals; restore the cost model afterwards.
+        let dnf = running_example_dnf();
+        let dd = compile_dnf(&dnf, 7);
+        ntt::set_ntt_policy(ntt::NttPolicy::Force);
+        let forced = shapley_all_facts(&dd, 8, &ExactConfig::default());
+        ntt::set_ntt_policy(ntt::NttPolicy::Auto);
+        let values = forced.unwrap();
+        assert_eq!(values[0], Rational::from_ratio(43, 105));
+        assert_eq!(values[5], Rational::from_ratio(8, 105));
+    }
+
+    #[test]
+    fn thread_fanout_is_bit_identical() {
+        let dnf = running_example_dnf();
+        let dd = compile_dnf(&dnf, 7);
+        let sequential = shapley_all_facts(&dd, 8, &ExactConfig::default()).unwrap();
+        for threads in [2, 4, 64] {
+            let cfg = ExactConfig {
+                threads,
+                ..Default::default()
+            };
+            assert_eq!(
+                shapley_all_facts(&dd, 8, &cfg).unwrap(),
+                sequential,
+                "threads={threads}"
+            );
+        }
+        // And on the symmetric circuit without base-pass reuse.
+        let dd = symmetric_tree(8);
+        let cfg = ExactConfig {
+            reuse_unaffected: false,
+            threads: 3,
+            ..Default::default()
+        };
+        let values = shapley_all_facts(&dd, 16, &cfg).unwrap();
+        assert!(values.iter().all(|v| v == &Rational::from_ratio(1, 16)));
+    }
+
+    #[test]
     fn single_fact_matches_all_facts() {
         let dnf = running_example_dnf();
         let dd = compile_dnf(&dnf, 7);
@@ -557,7 +958,7 @@ mod tests {
     #[test]
     fn constant_lineage_gives_zeros() {
         // ⊤ lineage: certain tuple, all facts null players.
-        let mut b = shapdb_kc::ddnnf::DdnnfBuilder::new();
+        let mut b = DdnnfBuilder::new();
         let root = b.true_node();
         let dd = b.finish(root, 3);
         let values = shapley_all_facts(&dd, 5, &ExactConfig::default()).unwrap();

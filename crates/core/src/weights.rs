@@ -5,7 +5,7 @@
 //! the `#SAT_j` arrays of the lineage conditioned on `f → 1 / 0`, and `m` is
 //! the number of variables the lineage actually mentions.
 
-use shapdb_num::{combinatorics::FactorialTable, BigInt, BigUint, Rational};
+use shapdb_num::{combinatorics::FactorialTable, BigInt, BigUint, Coeff, Rational};
 
 /// Weights `w_j` (numerators over `m!`) such that
 /// `Shapley(f) = Σ_j (Γ[j] − Δ[j]) · w_j / m!`.
@@ -26,9 +26,14 @@ pub(crate) fn completion_weights(m: usize, facts: &mut FactorialTable) -> Vec<Bi
 }
 
 /// The final sum: `Σ_j (Γ[j] − Δ[j]) · w_j / m!`.
-pub(crate) fn weighted_difference(
-    gamma: &[BigUint],
-    delta: &[BigUint],
+///
+/// Generic over the DP's coefficient type: `Γ/Δ` arrive in whatever tier
+/// the pass ran on; the per-term difference happens in that tier (it is a
+/// count bounded by the tier's cap), but the weight products — which exceed
+/// every fixed-limb cap once `m` is moderate — always run in [`BigUint`].
+pub(crate) fn weighted_difference<C: Coeff>(
+    gamma: &[C],
+    delta: &[C],
     weights: &[BigUint],
     denom: &BigUint,
 ) -> Rational {
@@ -43,10 +48,10 @@ pub(crate) fn weighted_difference(
         match gamma[j].cmp(&delta[j]) {
             std::cmp::Ordering::Equal => {}
             std::cmp::Ordering::Greater => {
-                pos += &(&(&gamma[j] - &delta[j]) * &weights[j]);
+                pos += &(&gamma[j].sub_ref(&delta[j]).into_biguint() * &weights[j]);
             }
             std::cmp::Ordering::Less => {
-                neg += &(&(&delta[j] - &gamma[j]) * &weights[j]);
+                neg += &(&delta[j].sub_ref(&gamma[j]).into_biguint() * &weights[j]);
             }
         }
     }

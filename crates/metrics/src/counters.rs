@@ -99,10 +99,19 @@ pub static SERVICE_COMPLETED: Counter = Counter::new("service.completed");
 pub static SERVICE_REJECTED: Counter = Counter::new("service.rejected");
 /// Nanoseconds tasks spent queued before a worker picked them up.
 pub static SERVICE_WAIT_NS: Counter = Counter::new("service.wait_ns");
+/// Algorithm-1 DP passes that ran on a fixed-limb `Vli` tier (the per-gate
+/// binomial cap proved every coefficient fits a stack integer).
+pub static NUM_VLI_HITS: Counter = Counter::new("num.vli_hits");
+/// Algorithm-1 DP passes that fell back to heap `BigUint` arithmetic
+/// (coefficient cap past the widest fixed-limb tier).
+pub static NUM_BIGNUM_FALLBACKS: Counter = Counter::new("num.bignum_fallbacks");
+/// ∧-gate coefficient convolutions executed via the modular NTT/CRT path
+/// instead of schoolbook multiplication.
+pub static NUM_NTT_CONVOLUTIONS: Counter = Counter::new("num.ntt_convolutions");
 
 /// The full counter registry, in a fixed order (the [`snapshot`] /
 /// [`CounterSnapshot`] row order).
-fn registry() -> [&'static Counter; 18] {
+fn registry() -> [&'static Counter; 21] {
     [
         &BATCH_TASKS,
         &BATCH_DISTINCT,
@@ -122,6 +131,9 @@ fn registry() -> [&'static Counter; 18] {
         &SERVICE_COMPLETED,
         &SERVICE_REJECTED,
         &SERVICE_WAIT_NS,
+        &NUM_VLI_HITS,
+        &NUM_BIGNUM_FALLBACKS,
+        &NUM_NTT_CONVOLUTIONS,
     ]
 }
 
@@ -229,13 +241,45 @@ impl Gauge {
 pub static SERVICE_QUEUE_DEPTH: Gauge = Gauge::new("service.queue_depth");
 /// Tasks currently being solved by `ShapleyService` workers, process-wide.
 pub static SERVICE_IN_FLIGHT: Gauge = Gauge::new("service.in_flight");
+/// The autotuned NTT crossover: the smallest convolution output length (at
+/// the 8-limb reference coefficient width) the calibrated cost model routes
+/// to the NTT/CRT path. Set once per process at first wide convolution.
+pub static NUM_NTT_CROSSOVER_LEN: Gauge = Gauge::new("num.ntt_crossover_len");
 
 /// Snapshot of every registered gauge.
 pub fn gauges() -> Vec<(&'static str, i64)> {
-    [&SERVICE_QUEUE_DEPTH, &SERVICE_IN_FLIGHT]
-        .iter()
-        .map(|g| (g.name(), g.get()))
-        .collect()
+    [
+        &SERVICE_QUEUE_DEPTH,
+        &SERVICE_IN_FLIGHT,
+        &NUM_NTT_CROSSOVER_LEN,
+    ]
+    .iter()
+    .map(|g| (g.name(), g.get()))
+    .collect()
+}
+
+/// Arithmetic-substrate activity of one run (a [`CounterSnapshot`] delta of
+/// the `num.*` counters — see the snapshot caveats: concurrent actors in
+/// the same process bleed into the window).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NumRunStats {
+    /// DP passes that ran on a fixed-limb `Vli` tier.
+    pub vli_hits: u64,
+    /// DP passes that fell back to heap `BigUint` arithmetic.
+    pub bignum_fallbacks: u64,
+    /// ∧-gate convolutions executed via the NTT/CRT path.
+    pub ntt_convolutions: u64,
+}
+
+impl NumRunStats {
+    /// The `num.*` increments between two registry snapshots.
+    pub fn delta(after: &CounterSnapshot, before: &CounterSnapshot) -> NumRunStats {
+        NumRunStats {
+            vli_hits: after.delta_of(before, "num.vli_hits"),
+            bignum_fallbacks: after.delta_of(before, "num.bignum_fallbacks"),
+            ntt_convolutions: after.delta_of(before, "num.ntt_convolutions"),
+        }
+    }
 }
 
 /// Dedup statistics of one batch run (race-free, unlike the globals).

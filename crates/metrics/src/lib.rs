@@ -18,7 +18,7 @@
 
 pub mod counters;
 
-pub use counters::{Counter, CounterSnapshot, DedupStats, Gauge};
+pub use counters::{Counter, CounterSnapshot, DedupStats, Gauge, NumRunStats};
 
 use std::cmp::Ordering;
 

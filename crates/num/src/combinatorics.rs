@@ -109,6 +109,29 @@ impl BinomialTable {
     }
 }
 
+/// Bit length of the largest coefficient Algorithm 1's `#SAT_k` dynamic
+/// program can produce over `m` variables: the central binomial
+/// `C(m, ⌊m/2⌋)`.
+///
+/// Every α value at a gate over `s ≤ m` variables counts subsets of a
+/// fixed size, so it is at most `C(s, ⌊s/2⌋) ≤ C(m, ⌊m/2⌋)`; and every
+/// intermediate of the ∧-convolution and ∨-expansion loops is a partial
+/// sum of non-negative terms of such a count (each individual product or
+/// binomial factor is itself one of the summed terms), so the same cap
+/// bounds all intermediates. This makes the returned bit length a sound
+/// width for an entire DP pass of fixed-limb arithmetic.
+///
+/// Exact for `m < 522`. For larger `m` the result is certified to exceed
+/// every fixed-limb tier (`C(m, ⌊m/2⌋) ≥ 2^m/(m+1) > 2^512` once
+/// `m ≥ 522`), so the function returns the lower bound 513 instead of
+/// computing a thousands-of-bits binomial nobody compares against.
+pub fn alpha_cap_bits(m: usize) -> u64 {
+    if m >= 522 {
+        return 513;
+    }
+    binomial(m, m / 2).bits()
+}
+
 /// The Shapley permutation coefficient `k!(n-k-1)!/n!` as an exact rational.
 ///
 /// This is the probability that, in a uniformly random permutation of `n`

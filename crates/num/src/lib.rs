@@ -15,19 +15,48 @@
 //!   counts seen in practice: counts over a few hundred facts are < 64 limbs).
 //! * [`BigInt`] — sign-magnitude integers on top of [`BigUint`].
 //! * [`Rational`] — always-normalized fractions with exact comparison.
-//! * [`combinatorics`] — cached factorials, binomial rows, and the Shapley
-//!   permutation coefficients `k!(n-k-1)!/n!`.
+//! * [`combinatorics`] — cached factorials, binomial rows, the Shapley
+//!   permutation coefficients `k!(n-k-1)!/n!`, and the per-pass coefficient
+//!   caps ([`alpha_cap_bits`]) that make fixed-width arithmetic sound.
+//! * [`Vli`] / [`Coeff`] — const-generic fixed-limb stack integers and the
+//!   trait Algorithm 1's DP is generic over (see below).
+//! * [`ntt`] — exact O(n log n) coefficient convolution via number-theoretic
+//!   transforms mod runtime-generated word primes + CRT reconstruction.
 //! * [`Bitset`] — fixed-capacity bitset used for per-gate variable sets.
+//!
+//! # Representation invariants
+//!
+//! Three integer representations coexist, each canonical in its own domain:
+//!
+//! * [`BigUint`] is *inline* (`Repr::Small`, at most 2 limbs, `len`
+//!   tracked) iff the value fits 2 limbs, else heap (`Repr::Heap`, no
+//!   trailing zero limbs). Every constructor canonicalizes, so equality is
+//!   representation equality.
+//! * [`Vli<LIMBS>`](Vli) is a fixed `[u64; LIMBS]` little-endian array;
+//!   trailing zeros are part of the value's single representation at that
+//!   width, and arithmetic panics rather than wraps past the width. A
+//!   `Vli` is only constructed when a proven coefficient cap
+//!   ([`alpha_cap_bits`]) guarantees the width suffices, so the panic is a
+//!   cap-bug detector, not a runtime path.
+//! * The [`ntt`] module's residues are plain `u64 < p` outside the
+//!   transforms and Montgomery-form (`x·2^64 mod p`) inside them; the CRT
+//!   argument for why reconstruction is exact is in that module's docs.
 
 pub mod bigint;
 pub mod biguint;
 pub mod bitset;
 pub mod combinatorics;
 pub mod linalg;
+pub mod ntt;
 pub mod rational;
+pub mod vli;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
 pub use bitset::Bitset;
-pub use combinatorics::{binomial, factorial, shapley_coefficient, BinomialTable, FactorialTable};
+pub use combinatorics::{
+    alpha_cap_bits, binomial, factorial, shapley_coefficient, BinomialTable, FactorialTable,
+};
+pub use ntt::convolve_if_faster;
 pub use rational::Rational;
+pub use vli::{Coeff, Vli};

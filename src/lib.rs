@@ -54,7 +54,7 @@ use shapdb_core::hybrid::{HybridConfig, HybridOutcome};
 use shapdb_core::pipeline::{analyze_lineage, AnalysisError};
 use shapdb_data::{Database, FactId, Value};
 use shapdb_kc::Budget;
-use shapdb_metrics::counters::{CacheRunStats, DedupStats};
+use shapdb_metrics::counters::{CacheRunStats, DedupStats, NumRunStats};
 use shapdb_num::Rational;
 use shapdb_query::{evaluate, evaluate_negated, NegatedQuery, QueryResult, Ucq};
 use std::sync::Arc;
@@ -107,6 +107,9 @@ pub struct BatchExplanation {
     pub cache: CacheRunStats,
     /// Worker threads used.
     pub threads: usize,
+    /// Arithmetic-substrate routing: DP passes on fixed-limb integers vs
+    /// heap bignums, and ∧-convolutions taken by the NTT/CRT path.
+    pub num: NumRunStats,
     /// Wall time of the attribution batch (excluding query evaluation).
     pub total_time: Duration,
 }
@@ -218,6 +221,7 @@ impl<'a> ShapleyAnalyzer<'a> {
         let (res, report) = self.run_batch(q, PlannerConfig::default(), &self.exact);
         let dedup = report.dedup;
         let cache = report.cache;
+        let num = report.num;
         let (engine_runs, threads, total_time) =
             (report.engine_runs, report.threads, report.total_time);
         let mut explanations = Vec::with_capacity(res.len());
@@ -245,6 +249,7 @@ impl<'a> ShapleyAnalyzer<'a> {
             engine_runs,
             cache,
             threads,
+            num,
             total_time,
         })
     }
