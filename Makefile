@@ -1,6 +1,6 @@
 # Convenience targets mirroring .github/workflows/ci.yml for offline use.
 
-.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-alg1 bench-serve bench-net bench
+.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-alg1 bench-serve bench-net bench-measures bench
 
 check: fmt build test clippy doc quickstart
 
@@ -56,6 +56,14 @@ bench-serve:
 # zero engine runs); writes results/bench_net.json.
 bench-net:
 	cargo bench --bench net -p shapdb_bench
+
+# Multi-measure sweep: the 521-lineage workload under all four measures at
+# once (Shapley, Banzhaf, responsibility, SHAP-score) sharing one compiled
+# structure per lineage — asserts one factor pass per lineage and a warm
+# all-measures pass < 2x a warm Shapley-only pass; writes
+# results/bench_measures.json.
+bench-measures:
+	cargo bench --bench measures -p shapdb_bench
 
 bench:
 	cargo bench -p shapdb_bench

@@ -44,7 +44,7 @@ pub use serve::{parse_serve_args, run_serve, ServeOptions, ServeSummary};
 use shapdb_circuit::Dnf;
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
 use shapdb_core::engine::{
-    BatchExecutor, EngineKind, EngineValues, Planner, PlannerConfig, ShapleyCache,
+    BatchExecutor, EngineKind, EngineValues, Measure, Planner, PlannerConfig, ShapleyCache,
 };
 use shapdb_core::exact::ExactConfig;
 use shapdb_data::{Database, FactId, Value};
@@ -129,6 +129,8 @@ pub struct Config {
     pub aggregate: Aggregate,
     /// Cross-query result-cache capacity in entries (0 = caching off).
     pub cache_capacity: usize,
+    /// The attribution measure per answer (`--measure`, default Shapley).
+    pub measure: Measure,
 }
 
 /// A user-facing failure: bad arguments, unreadable CSV, bad query, or an
@@ -160,7 +162,9 @@ USAGE:
 SERVE MODE (resident service, one JSON request per line):
     --jsonl             requests on stdin, responses on stdout, e.g.
                         {\"id\":1,\"lineage\":[[0,1],[2]],\"n_endo\":8}
-                        (optional per-request: engine, timeout_ms, client);
+                        (optional per-request: engine, timeout_ms, client,
+                        measure — \"shapley\" | \"banzhaf\" |
+                        \"responsibility\" | \"shap-score\");
                         one JSON response per line, in request order, plus
                         a final {\"stats\":{...}} line on EOF
     --listen <ADDR>     same protocol over a socket: host:port for TCP,
@@ -181,6 +185,8 @@ SERVE MODE (resident service, one JSON request per line):
     --cache-capacity <N> shared result-cache entries (default 1024, 0 = off)
     --engine <E>        default engine policy (as below; per-request
                         \"engine\" overrides it)
+    --measure <M>       default attribution measure (as below; per-request
+                        \"measure\" overrides it)
     --timeout-ms <N>    default exact-pipeline deadline (default 2500)
 
 OPTIONS:
@@ -203,6 +209,12 @@ OPTIONS:
                         lineage structure and reused across answers and
                         queries of this invocation.
     --agg <A>           count | sum:<head-column-index>
+                        (Shapley only: the aggregate games rely on the
+                        Shapley value's linearity)
+    --measure <M>       shapley | banzhaf | responsibility | shap-score
+                        (default shapley) — the attribution measure per
+                        answer; all ride the same planner routes and the
+                        measure-keyed result cache
     --help              print this text
 ";
 
@@ -217,6 +229,7 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
     let mut timeout = Duration::from_millis(2500);
     let mut aggregate = Aggregate::None;
     let mut cache_capacity = ShapleyCache::DEFAULT_CAPACITY;
+    let mut measure = Measure::Shapley;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -276,9 +289,20 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
                     return Err(err(format!("unknown aggregate `{spec}`")));
                 };
             }
+            "--measure" => {
+                let spec = take()?;
+                measure =
+                    Measure::parse(spec).ok_or_else(|| err(format!("unknown measure `{spec}`")))?
+            }
             "--help" | "-h" => return Err(err(USAGE)),
             other => return Err(err(format!("unknown argument `{other}`"))),
         }
+    }
+    if measure != Measure::Shapley && aggregate != Aggregate::None {
+        return Err(err(format!(
+            "--agg relies on the Shapley value's linearity and cannot be \
+             combined with --measure {measure}"
+        )));
     }
     Ok(Config {
         db_dir: db_dir.ok_or_else(|| err("--db is required"))?,
@@ -290,6 +314,7 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
         timeout,
         aggregate,
         cache_capacity,
+        measure,
     })
 }
 
@@ -471,12 +496,17 @@ pub fn run(cfg: &Config) -> Result<String, CliError> {
             cfg.cache_capacity,
         )));
     }
-    let mut executor = BatchExecutor::new(planner).with_threads(cfg.threads);
+    let mut executor = BatchExecutor::new(planner)
+        .with_threads(cfg.threads)
+        .with_measure(cfg.measure);
     if planner_cfg.fallback.is_none() {
         // The report stops at the first error anyway — abort the rest.
         executor = executor.with_fail_fast();
     }
     let report = executor.run(&lineages, n_endo, &Budget::unlimited(), &exact_cfg);
+    if cfg.measure != Measure::Shapley {
+        out.push_str(&format!("measure: {}\n", cfg.measure));
+    }
     out.push_str(&format!(
         "{} distinct lineage structure(s); dedup hit rate {:.0}%; {} thread(s)",
         report.dedup.distinct,
@@ -762,6 +792,51 @@ mod tests {
         assert!(report.contains("score"), "{report}");
         // Unknown engines are a clean error.
         assert!(parse_args(&args(&["--db", "d", "--query", "q", "--engine", "magic"])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn measure_flag_switches_the_attribution() {
+        let dir = flights_dir("measure");
+        let base = [
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            FLIGHTS_QUERY,
+            "--endo",
+            "Flights",
+        ];
+        // Banzhaf of the running example: a1 = 21/64.
+        let mut cli = args(&base);
+        cli.extend(args(&["--measure", "banzhaf"]));
+        let report = run_cli(&cli).unwrap();
+        assert!(report.contains("measure: banzhaf"), "{report}");
+        assert!(report.contains("Flights(JFK, CDG)  21/64"), "{report}");
+        // Responsibility: every fact of the lineage carries ρ = 1/4.
+        let mut cli = args(&base);
+        cli.extend(args(&["--measure", "responsibility"]));
+        let report = run_cli(&cli).unwrap();
+        assert!(report.contains("Flights(JFK, CDG)  1/4"), "{report}");
+        // shap_score is accepted as an alias; values are exact rationals.
+        let mut cli = args(&base);
+        cli.extend(args(&["--measure", "shap_score"]));
+        let report = run_cli(&cli).unwrap();
+        assert!(report.contains("measure: shap-score"), "{report}");
+        // Unknown measures and --agg conflicts are clean errors.
+        let e = parse_args(&args(&["--db", "d", "--query", "q", "--measure", "owen"])).unwrap_err();
+        assert!(e.0.contains("unknown measure"), "{e}");
+        let e = parse_args(&args(&[
+            "--db",
+            "d",
+            "--query",
+            "q",
+            "--measure",
+            "banzhaf",
+            "--agg",
+            "count",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("linearity"), "{e}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -35,7 +35,7 @@ use crate::serve::{
     ServeOptions, ServeSummary, Slot,
 };
 use crate::{err, CliError};
-use shapdb_core::engine::{LineageRequest, ServiceClient, ServiceStats, ShapleyService};
+use shapdb_core::engine::{ServiceClient, ServiceStats, ShapleyService};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -271,11 +271,8 @@ fn session_reader(
         let slot = match parse_request(&line, opts) {
             Err((id, why)) => Slot::Ready(render_err(&id, &why)),
             Ok(req) => {
-                let mut request = LineageRequest::new(req.lineage, req.n_endo);
-                if let Some(policy) = req.policy {
-                    request = request.with_policy(policy);
-                }
-                let submitted = match req.client {
+                let (id, sublane, request) = req.into_lineage_request();
+                let submitted = match sublane {
                     Some(sub) => sublanes
                         .entry(sub)
                         .or_insert_with(|| service.client())
@@ -283,8 +280,8 @@ fn session_reader(
                     None => lane.submit_blocking(request),
                 };
                 match submitted {
-                    Ok(sub) => Slot::Waiting(req.id, sub),
-                    Err(e) => Slot::Ready(render_err(&req.id, &e.to_string())),
+                    Ok(sub) => Slot::Waiting(id, sub),
+                    Err(e) => Slot::Ready(render_err(&id, &e.to_string())),
                 }
             }
         };

@@ -22,6 +22,12 @@
 //! * `n_endo` — the number of endogenous facts;
 //! * `engine` *(optional)* — a per-request policy override (same values as
 //!   `--engine`); `timeout_ms` *(optional)* — per-request exact deadline;
+//! * `measure` *(optional)* — the attribution measure: `"shapley"`
+//!   (default), `"banzhaf"`, `"responsibility"`, or `"shap-score"`; an
+//!   unknown string answers `{"id":...,"ok":false,"error":"unknown
+//!   measure ..."}` with the request's `id` echoed. The shared result
+//!   cache is measure-keyed, so one compiled structure serves every
+//!   measure asked of it;
 //! * `client` *(optional)* — an integer lane id: requests with different
 //!   `client` values are scheduled fairly against each other.
 //!
@@ -33,8 +39,9 @@
 //! `--max-lineage-literals`, and request lines at most `--max-line-bytes`
 //! (longer lines are discarded without buffering them).
 //!
-//! Response: `{"id":7,"ok":true,"engine":"readonce","exact":true,`
-//! `"values":[[0,"1/2"],...]}` where each value pair is `[fact, value]` —
+//! Response: `{"id":7,"ok":true,"engine":"readonce",`
+//! `"measure":"shapley","exact":true,"values":[[0,"1/2"],...]}` where
+//! each value pair is `[fact, value]` —
 //! the value is a **string** (an exact rational) when `"exact"` is true
 //! and a **number** (an approximate score) otherwise; parse or solve
 //! failures answer `{"id":...,"ok":false,"error":"..."}` instead. On EOF
@@ -49,7 +56,7 @@ use crate::json::{escape, Json};
 use crate::{err, CliError, EngineChoice};
 use shapdb_circuit::{Dnf, VarId};
 use shapdb_core::engine::{
-    EngineValues, LineageRequest, Planner, ServiceClient, ServiceConfig, ServiceStats,
+    EngineValues, LineageRequest, Measure, Planner, ServiceClient, ServiceConfig, ServiceStats,
     ShapleyCache, ShapleyService, Submission,
 };
 use std::collections::{HashMap, VecDeque};
@@ -68,6 +75,9 @@ pub struct ServeOptions {
     pub cache_capacity: usize,
     /// Default engine policy for requests without their own.
     pub engine: EngineChoice,
+    /// Default attribution measure for requests without their own
+    /// (`--measure`, default Shapley).
+    pub measure: Measure,
     /// Default exact-pipeline deadline.
     pub timeout: Duration,
     /// Socket address to serve on (`--listen`): `host:port` for TCP or a
@@ -92,6 +102,7 @@ impl Default for ServeOptions {
             queue_capacity: ServiceConfig::DEFAULT_QUEUE_CAPACITY,
             cache_capacity: ShapleyCache::DEFAULT_CAPACITY,
             engine: EngineChoice::Auto,
+            measure: Measure::Shapley,
             timeout: Duration::from_millis(2500),
             listen: None,
             persist: None,
@@ -120,6 +131,20 @@ pub(crate) struct Request {
     pub(crate) n_endo: usize,
     pub(crate) client: Option<u64>,
     pub(crate) policy: Option<shapdb_core::engine::PlannerConfig>,
+    pub(crate) measure: Measure,
+}
+
+impl Request {
+    /// The owned service request this line stands for — shared by the
+    /// stdin and socket front-ends so the measure/policy threading cannot
+    /// drift between them.
+    pub(crate) fn into_lineage_request(self) -> (String, Option<u64>, LineageRequest) {
+        let mut r = LineageRequest::new(self.lineage, self.n_endo).with_measure(self.measure);
+        if let Some(policy) = self.policy {
+            r = r.with_policy(policy);
+        }
+        (self.id, self.client, r)
+    }
 }
 
 /// Parses one request line. Failures return `(echoed id, why)` — the id
@@ -181,6 +206,10 @@ fn validate_request(v: &Json, opts: &ServeOptions, id: String) -> Result<Request
         Some(s) => Some(EngineChoice::parse(s).ok_or_else(|| format!("unknown engine `{s}`"))?),
         None => None,
     };
+    let measure = match v.get("measure").and_then(Json::as_str) {
+        Some(s) => Measure::parse(s).ok_or_else(|| format!("unknown measure `{s}`"))?,
+        None => opts.measure,
+    };
     let timeout_ms = v.get("timeout_ms").and_then(Json::as_u64);
     // A partial override inherits the *session's* settings for whatever it
     // leaves out — `{"engine":"exact"}` keeps the server's --timeout-ms,
@@ -199,6 +228,7 @@ fn validate_request(v: &Json, opts: &ServeOptions, id: String) -> Result<Request
         n_endo,
         client,
         policy,
+        measure,
     })
 }
 
@@ -209,9 +239,10 @@ pub(crate) fn render_ok(id: &str, result: &shapdb_core::engine::EngineResult) ->
     // rationals print as digits and '/' — none need escaping.
     let _ = write!(
         out,
-        "{{\"id\":{},\"ok\":true,\"engine\":\"{}\",\"exact\":{},\"values\":[",
+        "{{\"id\":{},\"ok\":true,\"engine\":\"{}\",\"measure\":\"{}\",\"exact\":{},\"values\":[",
         id,
         result.engine.name(),
+        result.measure.name(),
         result.values.is_exact(),
     );
     match &result.values {
@@ -255,6 +286,8 @@ pub(crate) fn render_stats(summary: &ServeSummary) -> String {
             "\"completed\":{},\"rejected\":{},\"workers\":{},",
             "\"queue_capacity\":{},\"clients\":{},\"engine_runs\":{},",
             "\"cache_hits\":{},\"cache_misses\":{},\"cache_bypasses\":{},",
+            "\"measure_shapley\":{},\"measure_banzhaf\":{},",
+            "\"measure_responsibility\":{},\"measure_shap_score\":{},",
             "\"vli_passes\":{},\"bignum_passes\":{},\"ntt_convolutions\":{},",
             "\"mean_wait_us\":{:.1}}}}}"
         ),
@@ -270,6 +303,10 @@ pub(crate) fn render_stats(summary: &ServeSummary) -> String {
         s.cache.hits,
         s.cache.misses,
         s.cache.bypasses,
+        since_start("measure.shapley"),
+        since_start("measure.banzhaf"),
+        since_start("measure.responsibility"),
+        since_start("measure.shap_score"),
         since_start("num.vli_hits"),
         since_start("num.bignum_fallbacks"),
         since_start("num.ntt_convolutions"),
@@ -454,16 +491,10 @@ pub fn run_serve(
         match parse_request(&line, opts) {
             Err((id, why)) => pending.push_back(Slot::Ready(render_err(&id, &why))),
             Ok(req) => {
-                let request = {
-                    let mut r = LineageRequest::new(req.lineage, req.n_endo);
-                    if let Some(policy) = req.policy {
-                        r = r.with_policy(policy);
-                    }
-                    r
-                };
+                let (id, lane, request) = req.into_lineage_request();
                 // Blocking submit: queue saturation stalls the reader (pipe
                 // discipline) instead of dropping requests.
-                let submitted = match req.client {
+                let submitted = match lane {
                     Some(lane) => clients
                         .entry(lane)
                         .or_insert_with(|| service.client())
@@ -471,8 +502,8 @@ pub fn run_serve(
                     None => service.submit_blocking(request),
                 };
                 match submitted {
-                    Ok(sub) => pending.push_back(Slot::Waiting(req.id, sub)),
-                    Err(e) => pending.push_back(Slot::Ready(render_err(&req.id, &e.to_string()))),
+                    Ok(sub) => pending.push_back(Slot::Waiting(id, sub)),
+                    Err(e) => pending.push_back(Slot::Ready(render_err(&id, &e.to_string()))),
                 }
             }
         }
@@ -551,6 +582,11 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
                 let spec = take()?;
                 opts.engine = EngineChoice::parse(spec)
                     .ok_or_else(|| err(format!("unknown engine `{spec}`")))?
+            }
+            "--measure" => {
+                let spec = take()?;
+                opts.measure =
+                    Measure::parse(spec).ok_or_else(|| err(format!("unknown measure `{spec}`")))?
             }
             "--timeout-ms" => {
                 let ms: u64 = take()?
@@ -672,6 +708,80 @@ mod tests {
             .unwrap()
             .contains("lineage"));
         assert_eq!(summary.errors, 2);
+    }
+
+    #[test]
+    fn measure_field_selects_the_measure_and_errors_echo_the_id() {
+        // The running example under every measure in one session, plus an
+        // unknown measure string that must answer with the request's id.
+        let lineage = r#"[[0],[1,3],[1,4],[2,3],[2,4],[5,6]]"#;
+        let input = format!(
+            concat!(
+                "{{\"id\": 1, \"lineage\": {l}, \"n_endo\": 8}}\n",
+                "{{\"id\": 2, \"lineage\": {l}, \"n_endo\": 8, \"measure\": \"banzhaf\"}}\n",
+                "{{\"id\": 3, \"lineage\": {l}, \"n_endo\": 8, \"measure\": \"responsibility\"}}\n",
+                "{{\"id\": 4, \"lineage\": {l}, \"n_endo\": 8, \"measure\": \"shap_score\"}}\n",
+                "{{\"id\": 5, \"lineage\": {l}, \"n_endo\": 8, \"measure\": \"owen\"}}\n",
+            ),
+            l = lineage
+        );
+        let (lines, summary) = serve(&input, &ServeOptions::default());
+        assert_eq!(lines.len(), 6, "five responses + stats");
+        let expect = [
+            ("shapley", Some("43/105")),
+            ("banzhaf", Some("21/64")),
+            ("responsibility", Some("1/4")),
+            ("shap-score", None),
+        ];
+        for (line, (measure, top)) in lines[..4].iter().zip(expect) {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{measure}");
+            assert_eq!(v.get("measure").and_then(Json::as_str), Some(measure));
+            assert_eq!(v.get("exact"), Some(&Json::Bool(true)));
+            if let Some(top) = top {
+                let values = v.get("values").and_then(Json::as_arr).unwrap();
+                assert_eq!(values[0].as_arr().unwrap()[1].as_str(), Some(top));
+            }
+        }
+        let bad = Json::parse(&lines[4]).unwrap();
+        assert_eq!(bad.get("id").and_then(Json::as_u64), Some(5));
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert!(bad
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown measure `owen`"));
+        assert_eq!(summary.errors, 1);
+        // The stats line reports per-measure request counts. Concurrent
+        // tests in this process bleed into the global window, so ≥ 1 is
+        // the strongest safe assertion for each.
+        let stats = Json::parse(&lines[5]).unwrap();
+        let s = stats.get("stats").unwrap();
+        for key in [
+            "measure_shapley",
+            "measure_banzhaf",
+            "measure_responsibility",
+            "measure_shap_score",
+        ] {
+            assert!(s.get(key).and_then(Json::as_u64).unwrap() >= 1, "{key}");
+        }
+    }
+
+    #[test]
+    fn session_default_measure_applies_to_plain_requests() {
+        let input = concat!(
+            r#"{"id": 1, "lineage": [[0],[1,3],[1,4],[2,3],[2,4],[5,6]], "n_endo": 8}"#,
+            "\n",
+        );
+        let opts = ServeOptions {
+            measure: Measure::Banzhaf,
+            ..Default::default()
+        };
+        let (lines, _) = serve(input, &opts);
+        let v = Json::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("measure").and_then(Json::as_str), Some("banzhaf"));
+        let values = v.get("values").and_then(Json::as_arr).unwrap();
+        assert_eq!(values[0].as_arr().unwrap()[1].as_str(), Some("21/64"));
     }
 
     #[test]

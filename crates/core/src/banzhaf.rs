@@ -17,7 +17,10 @@
 //! value it is insensitive to `|D_n|` (null players change nothing), which
 //! the tests exercise.
 
-use shapdb_kc::{DNode, Ddnnf};
+use crate::measure::Measure;
+use crate::readonce::power_read_once;
+use shapdb_circuit::{factor, Circuit, Dnf, VarId};
+use shapdb_kc::{compile_circuit, Budget, DNode, Ddnnf};
 use shapdb_num::{BigInt, BigUint, Bitset, Rational};
 
 /// Exact Banzhaf value of every d-DNNF variable.
@@ -40,6 +43,37 @@ pub fn banzhaf_all_facts(d: &Ddnnf) -> Vec<Rational> {
         p0[f] = Rational::zero();
         out[f] = &d.probability_rational(&p1) - &d.probability_rational(&p0);
     }
+    out
+}
+
+/// Exact Banzhaf value of every fact of a monotone DNF lineage.
+///
+/// Absorption-minimizes the lineage first — the uniform null-player
+/// semantics every Shapley engine enforces (an absorbed conjunct can name a
+/// fact the function does not depend on, and unminimized inputs defeat the
+/// syntactic read-once factoring) — then evaluates through the read-once
+/// fast path when the minimized lineage factors, falling back to knowledge
+/// compilation otherwise. Returns `(fact, value)` pairs sorted by
+/// decreasing value (ties by fact id), one per variable of the minimized
+/// lineage.
+pub fn banzhaf_from_lineage(lineage: &Dnf) -> Vec<(VarId, Rational)> {
+    let mut min = lineage.clone();
+    min.minimize();
+    let n_vars = min.vars().len();
+    let mut out = if let Some(tree) = factor(&min) {
+        power_read_once(&tree, n_vars, None, Measure::Banzhaf).expect("no deadline set")
+    } else {
+        let mut c = Circuit::new();
+        let root = min.to_circuit(&mut c);
+        let comp = compile_circuit(&c, root, &Budget::unlimited()).expect("unlimited budget");
+        let values = banzhaf_all_facts(&comp.ddnnf);
+        comp.fact_vars
+            .iter()
+            .zip(values)
+            .map(|(&v, r)| (v, r))
+            .collect()
+    };
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     out
 }
 
@@ -205,6 +239,43 @@ mod tests {
             let crit = critical_coalitions(&dd, v);
             let expect = Rational::new(BigInt::from_biguint(crit), denom.clone());
             assert_eq!(values[v], expect, "var {v}");
+        }
+    }
+
+    #[test]
+    fn from_lineage_minimizes_before_evaluating() {
+        // (x0) ∨ (x0 ∧ x3) ∨ (x1 ∧ x2): the absorbed conjunct names x3,
+        // which the function does not depend on; minimization must make the
+        // unminimized input indistinguishable from the minimized one.
+        let mut raw = Dnf::new();
+        raw.add_conjunct(vec![VarId(0)]);
+        raw.add_conjunct(vec![VarId(0), VarId(3)]);
+        raw.add_conjunct(vec![VarId(1), VarId(2)]);
+        let mut min = raw.clone();
+        min.minimize();
+        let got_raw = banzhaf_from_lineage(&raw);
+        let got_min = banzhaf_from_lineage(&min);
+        assert_eq!(got_raw, got_min);
+        assert!(got_raw.iter().all(|(v, _)| *v != VarId(3)));
+        // And both agree with the enumeration oracle on the same function.
+        let expect = banzhaf_naive(&|s: &Bitset| raw.eval_set(s), 3);
+        for (v, r) in &got_raw {
+            assert_eq!(r, &expect[v.index()], "var {}", v.0);
+        }
+    }
+
+    #[test]
+    fn from_lineage_falls_back_to_compilation() {
+        // Non-read-once minimized lineage: (x0x1)∨(x1x2)∨(x0x2).
+        let mut d = Dnf::new();
+        d.add_conjunct(vec![VarId(0), VarId(1)]);
+        d.add_conjunct(vec![VarId(1), VarId(2)]);
+        d.add_conjunct(vec![VarId(0), VarId(2)]);
+        let got = banzhaf_from_lineage(&d);
+        let expect = banzhaf_naive(&|s: &Bitset| d.eval_set(s), 3);
+        assert_eq!(got.len(), 3);
+        for (v, r) in &got {
+            assert_eq!(r, &expect[v.index()], "var {}", v.0);
         }
     }
 

@@ -36,7 +36,7 @@
 //! results are never cached across runs (each batch draws its own
 //! deterministic stream, salted by the representative task's index).
 
-use super::{translate_result, EngineError, EngineResult, Planner};
+use super::{translate_result, EngineError, EngineResult, Measure, Planner};
 use crate::exact::ExactConfig;
 use shapdb_circuit::Dnf;
 use shapdb_kc::Budget;
@@ -64,6 +64,11 @@ pub struct BatchConfig {
     /// default (every task gets its own verdict); callers that propagate
     /// the first error anyway (the facade's exact `explain`) turn it on.
     pub fail_fast: bool,
+    /// The attribution every task of the batch computes
+    /// ([`Measure::Shapley`] by default). For several measures in one pass
+    /// over the same lineages, use [`BatchExecutor::run_measures`] — it
+    /// shares one compiled structure across all of them.
+    pub measure: Measure,
 }
 
 impl Default for BatchConfig {
@@ -72,6 +77,7 @@ impl Default for BatchConfig {
             threads: 0,
             dedup: true,
             fail_fast: false,
+            measure: Measure::Shapley,
         }
     }
 }
@@ -172,6 +178,12 @@ impl BatchExecutor {
         self
     }
 
+    /// Sets the attribution measure every task of the batch computes.
+    pub fn with_measure(mut self, measure: Measure) -> Self {
+        self.cfg.measure = measure;
+        self
+    }
+
     /// The planner driving per-lineage routing.
     pub fn planner(&self) -> &Planner {
         &self.planner
@@ -192,11 +204,12 @@ impl BatchExecutor {
         let num_before = CounterSnapshot::take();
         let tasks = lineages.len();
         let pool = self.cfg.effective_threads();
+        stages::record_measure_requests(self.cfg.measure, tasks as u64);
 
         // Stages 1–3: canonicalize (in parallel), group, plan.
         let fingerprints = stages::fingerprint_lineages(pool, lineages, self.cfg.dedup);
         let grouping = stages::group_by_structure(&fingerprints);
-        let plans = stages::plan_groups(&self.planner, &grouping, &fingerprints);
+        let plans = stages::plan_groups(&self.planner, &grouping, &fingerprints, self.cfg.measure);
         let distinct = grouping.distinct();
 
         // Stage 4: fan the distinct structures out across scoped workers.
@@ -223,6 +236,7 @@ impl BatchExecutor {
                             exact,
                             i as u64,
                             grouping.members_of[g].len(),
+                            self.cfg.measure,
                             &counters,
                         )
                     }
@@ -270,6 +284,109 @@ impl BatchExecutor {
             total_time: start.elapsed(),
         }
     }
+
+    /// Runs the batch for **several measures in one pass**: each lineage is
+    /// fingerprinted once, each distinct structure is compiled (or
+    /// factorized) at most once, and every requested measure is evaluated
+    /// from that one canonical structure. With a cache attached, each
+    /// (structure, measure) pair is its own entry — a warm sweep answers
+    /// all of them with zero engine runs.
+    ///
+    /// `results[i][j]` is lineage `i`'s result for `measures[j]`, values
+    /// translated back onto the lineage's own facts. `engine_runs` counts
+    /// distinct structures actually solved — *not* evaluator passes — so a
+    /// cold four-measure sweep over one structure reports exactly 1.
+    pub fn run_measures(
+        &self,
+        lineages: &[Dnf],
+        n_endo: usize,
+        budget: &Budget,
+        exact: &ExactConfig,
+        measures: &[Measure],
+    ) -> MeasureSweepReport {
+        let start = Instant::now();
+        let num_before = CounterSnapshot::take();
+        let tasks = lineages.len();
+        let pool = self.cfg.effective_threads();
+
+        let fingerprints = stages::fingerprint_lineages(pool, lineages, self.cfg.dedup);
+        let grouping = stages::group_by_structure(&fingerprints);
+        let distinct = grouping.distinct();
+
+        let counters = stages::SolveCounters::new();
+        let threads = pool.min(distinct).max(1);
+        let group_results: Vec<Vec<Result<EngineResult, EngineError>>> =
+            stages::parallel_map(threads, distinct, |g| {
+                let i = grouping.first_of_group[g];
+                stages::solve_group_multi(
+                    &self.planner,
+                    fingerprints[i].as_ref(),
+                    &lineages[i],
+                    n_endo,
+                    budget,
+                    exact,
+                    measures,
+                    &counters,
+                )
+            });
+
+        let mut results: Vec<Vec<Result<EngineResult, EngineError>>> = Vec::with_capacity(tasks);
+        for (&g, fp) in grouping.group_of.iter().zip(&fingerprints) {
+            results.push(
+                group_results[g]
+                    .iter()
+                    .map(|r| match (r.clone(), fp) {
+                        (Ok(v), Some(fp)) => Ok(translate_result(v, fp)),
+                        (r, _) => r,
+                    })
+                    .collect(),
+            );
+        }
+
+        let dedup = DedupStats {
+            tasks,
+            distinct,
+            reused: tasks - distinct,
+        };
+        BATCH_TASKS.add((tasks * measures.len()) as u64);
+        BATCH_DISTINCT.add(distinct as u64);
+        BATCH_DEDUP_HITS.add(dedup.hits() as u64);
+
+        MeasureSweepReport {
+            results,
+            measures: measures.to_vec(),
+            dedup,
+            engine_runs: counters.engine_runs(),
+            cache: counters.cache_stats(),
+            threads,
+            num: NumRunStats::delta(&CounterSnapshot::take(), &num_before),
+            total_time: start.elapsed(),
+        }
+    }
+}
+
+/// What one multi-measure sweep ([`BatchExecutor::run_measures`]) produced.
+#[derive(Clone, Debug)]
+pub struct MeasureSweepReport {
+    /// `results[i][j]` = lineage `i`'s result for `measures[j]`, values on
+    /// the lineage's own facts.
+    pub results: Vec<Vec<Result<EngineResult, EngineError>>>,
+    /// The measures, in request order (the column order of `results`).
+    pub measures: Vec<Measure>,
+    /// Lineage-dedup statistics (measured over lineages, not
+    /// lineage×measure pairs).
+    pub dedup: DedupStats,
+    /// Distinct structures actually solved (one shared compile serves every
+    /// measure of a structure; cache-warm structures solve none).
+    pub engine_runs: usize,
+    /// Per-(structure, measure) cache involvement.
+    pub cache: CacheRunStats,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Arithmetic-substrate routing of this sweep.
+    pub num: NumRunStats,
+    /// Wall time of the whole sweep.
+    pub total_time: Duration,
 }
 
 #[cfg(test)]
@@ -694,6 +811,110 @@ mod tests {
             assert_eq!(v, Rational::from_ratio(1, 3));
         }
         assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn single_measure_batches_compute_that_measure() {
+        // The same running example under a Banzhaf-configured batch: every
+        // result is tagged Banzhaf and a1's value is the uniform-weight
+        // 21/64, not the Shapley 43/105.
+        let lineages = vec![dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]])];
+        let exec = BatchExecutor::new(Planner::new(PlannerConfig::default()))
+            .with_measure(Measure::Banzhaf);
+        let report = exec.run(&lineages, 8, &Budget::unlimited(), &ExactConfig::default());
+        let r = report.items[0].result.as_ref().unwrap();
+        assert_eq!(r.measure, Measure::Banzhaf);
+        let pairs = exact_pairs(r);
+        assert_eq!(pairs[0], (0, Rational::from_ratio(21, 64)));
+    }
+
+    #[test]
+    fn measure_sweep_shares_one_structure_and_hits_thereafter() {
+        use crate::engine::ShapleyCache;
+        use std::sync::Arc;
+        // Satellite: one compile + four measure requests over one distinct
+        // structure ⇒ `engine_runs == 1`; measure-keyed hits thereafter.
+        // Two isomorphic majorities force the KC route (naive disabled).
+        let lineages = vec![
+            dnf(&[&[0, 1], &[1, 2], &[0, 2]]),
+            dnf(&[&[5, 6], &[6, 7], &[5, 7]]),
+        ];
+        let cache = Arc::new(ShapleyCache::new());
+        let planner = Planner::new(PlannerConfig {
+            max_naive_vars: 0,
+            ..Default::default()
+        })
+        .with_cache(cache.clone());
+        let exec = BatchExecutor::new(planner.clone()).with_threads(1);
+        let cold = exec.run_measures(
+            &lineages,
+            3,
+            &Budget::unlimited(),
+            &ExactConfig::default(),
+            &Measure::ALL,
+        );
+        assert_eq!(cold.dedup.distinct, 1);
+        assert_eq!(
+            cold.engine_runs, 1,
+            "one compiled structure served all four measures"
+        );
+        assert_eq!(cold.cache.misses, 4, "one entry per measure inserted");
+        assert_eq!(cache.stats().len, 4);
+        // Every lineage × measure cell is exact, correctly tagged, and on
+        // the lineage's own facts.
+        for (i, row) in cold.results.iter().enumerate() {
+            for (r, m) in row.iter().zip(Measure::ALL) {
+                let r = r.as_ref().unwrap();
+                assert_eq!(r.measure, m, "lineage {i}");
+                assert!(r.values.is_exact());
+            }
+        }
+        // Majority-of-three ground truths: Shapley 1/3, Banzhaf 1/2,
+        // responsibility 1/2, SHAP-score at uniform ½ background 1/6.
+        let expect = [
+            Rational::from_ratio(1, 3),
+            Rational::from_ratio(1, 2),
+            Rational::from_ratio(1, 2),
+            Rational::from_ratio(1, 6),
+        ];
+        for (j, want) in expect.iter().enumerate() {
+            for (_, v) in exact_pairs(cold.results[1][j].as_ref().unwrap()) {
+                assert_eq!(&v, want, "measure {}", Measure::ALL[j]);
+            }
+        }
+        // Warm sweep: measure-keyed hits, zero engine runs.
+        let warm = exec.run_measures(
+            &lineages,
+            3,
+            &Budget::unlimited(),
+            &ExactConfig::default(),
+            &Measure::ALL,
+        );
+        assert_eq!(warm.engine_runs, 0, "all four measures served from cache");
+        assert_eq!(warm.cache.hits, 4);
+        for (a, b) in cold
+            .results
+            .iter()
+            .flatten()
+            .zip(warm.results.iter().flatten())
+        {
+            assert_eq!(
+                exact_pairs(a.as_ref().unwrap()),
+                exact_pairs(b.as_ref().unwrap()),
+                "bit-identical across cold and warm sweeps"
+            );
+        }
+        // A sequential per-measure solve agrees rational-for-rational with
+        // the sweep (same engines, same structure, same cache keys).
+        for (j, m) in Measure::ALL.into_iter().enumerate() {
+            let direct = planner
+                .solve(&LineageTask::new(&lineages[0], 3).with_measure(m))
+                .unwrap();
+            assert_eq!(
+                exact_pairs(&direct),
+                exact_pairs(cold.results[0][j].as_ref().unwrap())
+            );
+        }
     }
 
     #[test]

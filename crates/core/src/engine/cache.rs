@@ -419,7 +419,7 @@ struct InsertOutcome {
 
 #[cfg(test)]
 mod tests {
-    use super::super::{EngineKind, EngineValues};
+    use super::super::{EngineKind, EngineValues, Measure};
     use super::*;
     use shapdb_circuit::VarId;
     use shapdb_kc::CompileStats;
@@ -437,6 +437,7 @@ mod tests {
     fn result(tag: u32) -> EngineResult {
         EngineResult {
             engine: EngineKind::ReadOnce,
+            measure: Measure::Shapley,
             values: EngineValues::Exact(vec![(VarId(tag), Rational::one())]),
             prep_time: Duration::ZERO,
             solve_time: Duration::ZERO,

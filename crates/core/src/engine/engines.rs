@@ -11,21 +11,44 @@
 
 use super::{
     sort_approx, sort_exact, EngineError, EngineKind, EngineResult, EngineValues, LineageTask,
-    ShapleyEngine,
+    Measure, ShapleyEngine,
 };
-use crate::exact::shapley_all_facts;
+use crate::banzhaf::banzhaf_naive;
+use crate::exact::power_index_all_facts;
 use crate::kernelshap::{kernel_shap, KernelShapConfig};
 use crate::montecarlo::{monte_carlo_shapley, monte_carlo_shapley_monotone, MonteCarloConfig};
 use crate::naive::shapley_naive_deadline;
 use crate::pipeline::{AnalysisError, LineageAnalysis};
 use crate::proxy::cnf_proxy;
-use crate::readonce::shapley_read_once;
+use crate::readonce::{power_read_once, shap_read_once};
+use crate::responsibility::{responsibility_all, responsibility_read_once};
+use crate::shap_score::{shap_naive, shap_scores};
 use shapdb_circuit::{factor, tseytin, Circuit, Dnf, NodeId, VarId};
-use shapdb_kc::{compile, project, Budget, CompileStats};
+use shapdb_kc::{compile, project, Budget, CompileStats, Ddnnf};
 use shapdb_metrics::counters::ENGINE_SOLVES;
 use shapdb_num::{Bitset, Rational};
 use std::borrow::Cow;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The engine-level SHAP-score background: the uniform `p = ½` product
+/// distribution (the tuple-independent probabilistic-database view). The
+/// paper's §6.2 background-`0⃗` adaptation coincides with the Shapley
+/// measure itself.
+fn shap_background() -> Rational {
+    Rational::from_ratio(1, 2)
+}
+
+/// Guards the Shapley-only engines: the proxy and sampling estimators have
+/// no notion of the other measures.
+fn require_shapley(kind: EngineKind, task: &LineageTask) -> Result<(), EngineError> {
+    if task.measure != Measure::Shapley {
+        return Err(EngineError::UnsupportedMeasure {
+            engine: kind,
+            measure: task.measure,
+        });
+    }
+    Ok(())
+}
 
 /// Absorption-minimizes a task's lineage. Every DNF-entry engine does this
 /// first, so all engines share one null-player semantics: facts absorbed
@@ -43,11 +66,13 @@ fn minimized<'a>(task: &'a LineageTask) -> Cow<'a, Dnf> {
     Cow::Owned(d)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exact_result(
     engine: EngineKind,
+    measure: Measure,
     mut pairs: Vec<(VarId, Rational)>,
-    prep_time: std::time::Duration,
-    solve_time: std::time::Duration,
+    prep_time: Duration,
+    solve_time: Duration,
     cnf_clauses: usize,
     ddnnf_size: usize,
     compile_stats: CompileStats,
@@ -55,6 +80,7 @@ fn exact_result(
     sort_exact(&mut pairs);
     EngineResult {
         engine,
+        measure,
         num_facts: pairs.len(),
         values: EngineValues::Exact(pairs),
         prep_time,
@@ -68,13 +94,15 @@ fn exact_result(
 fn approx_result(
     engine: EngineKind,
     mut pairs: Vec<(VarId, f64)>,
-    prep_time: std::time::Duration,
-    solve_time: std::time::Duration,
+    prep_time: Duration,
+    solve_time: Duration,
     cnf_clauses: usize,
 ) -> EngineResult {
     sort_approx(&mut pairs);
     EngineResult {
         engine,
+        // Only the Shapley-estimating engines produce approximate values.
+        measure: Measure::Shapley,
         num_facts: pairs.len(),
         values: EngineValues::Approx(pairs),
         prep_time,
@@ -110,20 +138,35 @@ impl ShapleyEngine for ReadOnceEngine {
 impl ReadOnceEngine {
     /// Evaluates an already-factorized tree (lets the planner reuse the
     /// factorization it built while classifying, instead of factoring the
-    /// lineage a second time).
+    /// lineage a second time). The tree is the one compiled structure: the
+    /// power indices run the counting DP with the measure's weights, the
+    /// SHAP-score runs the rational β-DP over the same tree, and
+    /// responsibility runs its linear contingency DP over it (the
+    /// branch-and-bound hitting set is only for lineages that do not
+    /// factor).
     pub fn solve_tree(
         &self,
         tree: &shapdb_circuit::ReadOnce,
-        prep_time: std::time::Duration,
+        prep_time: Duration,
         task: &LineageTask,
     ) -> Result<EngineResult, EngineError> {
         ENGINE_SOLVES.incr();
         let solve_start = Instant::now();
-        let pairs = shapley_read_once(tree, task.n_endo, task.exact.deadline)
-            .map_err(|e| EngineError::Analysis(AnalysisError::Shapley(e)))?;
+        let pairs = match task.measure {
+            Measure::Shapley | Measure::Banzhaf => {
+                power_read_once(tree, task.n_endo, task.exact.deadline, task.measure)
+                    .map_err(|e| EngineError::Analysis(AnalysisError::Shapley(e)))?
+            }
+            Measure::ShapScore => {
+                shap_read_once(tree, task.n_endo, task.exact.deadline, &shap_background())
+                    .map_err(|e| EngineError::Analysis(AnalysisError::Shapley(e)))?
+            }
+            Measure::Responsibility => responsibility_read_once(tree),
+        };
         let solve_time = solve_start.elapsed();
         Ok(exact_result(
             EngineKind::ReadOnce,
+            task.measure,
             pairs,
             prep_time,
             solve_time,
@@ -138,6 +181,22 @@ impl ReadOnceEngine {
 /// (Lemma 4.6) → Algorithm 1. Handles every lineage; may exceed its budget.
 pub struct KcEngine;
 
+/// The artifacts of one Tseytin → compile → project pass. Measure-agnostic:
+/// the multi-measure cache path compiles a structure once and evaluates
+/// every missed measure on the same projected d-DNNF.
+pub(crate) struct CompiledLineage {
+    /// The projected d-DNNF over the lineage's input variables.
+    pub ddnnf: Ddnnf,
+    /// Original fact id of each projected variable.
+    pub input_vars: Vec<VarId>,
+    /// Tseytin CNF clause count.
+    pub cnf_clauses: usize,
+    /// Compiler counters.
+    pub compile_stats: CompileStats,
+    /// Tseytin + compile + project wall time.
+    pub prep_time: Duration,
+}
+
 impl KcEngine {
     /// Figure 3's middle row on an endogenous-lineage *circuit* — the
     /// implementation behind both [`ShapleyEngine::solve`] and the classic
@@ -150,31 +209,87 @@ impl KcEngine {
         budget: &Budget,
         cfg: &crate::exact::ExactConfig,
     ) -> Result<LineageAnalysis, AnalysisError> {
+        let compiled = KcEngine::compile_circuit_root(circuit, root, budget)?;
+        let result = KcEngine::evaluate_compiled(&compiled, n_endo, cfg, Measure::Shapley)
+            .map_err(|e| match e {
+                EngineError::Analysis(a) => a,
+                _ => unreachable!("Shapley evaluation fails only with analysis errors"),
+            })?;
+        Ok(result.into_analysis().expect("KC results always convert"))
+    }
+
+    /// Tseytin → compile → project of a circuit root, timed.
+    pub(crate) fn compile_circuit_root(
+        circuit: &Circuit,
+        root: NodeId,
+        budget: &Budget,
+    ) -> Result<CompiledLineage, AnalysisError> {
         let kc_start = Instant::now();
         let t = tseytin(circuit, root);
         let (full, compile_stats) = compile(&t.cnf, budget).map_err(AnalysisError::Compile)?;
         let ddnnf = project(&full, t.num_inputs());
-        let kc_time = kc_start.elapsed();
-
-        let alg1_start = Instant::now();
-        let values = shapley_all_facts(&ddnnf, n_endo, cfg).map_err(AnalysisError::Shapley)?;
-        let alg1_time = alg1_start.elapsed();
-
-        let pairs: Vec<(VarId, Rational)> = values
-            .into_iter()
-            .enumerate()
-            .map(|(i, shapley)| (t.input_vars[i], shapley))
-            .collect();
-        let result = exact_result(
-            EngineKind::Kc,
-            pairs,
-            kc_time,
-            alg1_time,
-            t.cnf.len(),
-            ddnnf.len(),
+        Ok(CompiledLineage {
+            ddnnf,
+            input_vars: t.input_vars,
+            cnf_clauses: t.cnf.len(),
             compile_stats,
-        );
-        Ok(result.into_analysis().expect("KC results always convert"))
+            prep_time: kc_start.elapsed(),
+        })
+    }
+
+    /// Compiles a (minimized) monotone DNF lineage once, for any number of
+    /// subsequent [`KcEngine::evaluate_compiled`] calls.
+    pub(crate) fn compile_lineage(
+        lineage: &Dnf,
+        budget: &Budget,
+    ) -> Result<CompiledLineage, AnalysisError> {
+        let mut circuit = Circuit::new();
+        let root = lineage.to_circuit(&mut circuit);
+        KcEngine::compile_circuit_root(&circuit, root, budget)
+    }
+
+    /// One measure's values from an already-compiled structure: the power
+    /// indices run Algorithm 1 with the measure's weights, the SHAP-score
+    /// runs the probability-weighted β-DP on the same circuit.
+    /// Responsibility is DNF-level and never reaches this function.
+    pub(crate) fn evaluate_compiled(
+        compiled: &CompiledLineage,
+        n_endo: usize,
+        cfg: &crate::exact::ExactConfig,
+        measure: Measure,
+    ) -> Result<EngineResult, EngineError> {
+        let solve_start = Instant::now();
+        let pairs: Vec<(VarId, Rational)> = match measure {
+            Measure::Shapley | Measure::Banzhaf => {
+                let values = power_index_all_facts(&compiled.ddnnf, n_endo, cfg, measure)
+                    .map_err(|e| EngineError::Analysis(AnalysisError::Shapley(e)))?;
+                values
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, x)| (compiled.input_vars[i], x))
+                    .collect()
+            }
+            Measure::ShapScore => {
+                let probs = vec![shap_background(); compiled.ddnnf.num_vars()];
+                let values = shap_scores(&compiled.ddnnf, &probs);
+                values
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, x)| (compiled.input_vars[i], x))
+                    .collect()
+            }
+            Measure::Responsibility => unreachable!("responsibility needs no compilation"),
+        };
+        Ok(exact_result(
+            EngineKind::Kc,
+            measure,
+            pairs,
+            compiled.prep_time,
+            solve_start.elapsed(),
+            compiled.cnf_clauses,
+            compiled.ddnnf.len(),
+            compiled.compile_stats,
+        ))
     }
 }
 
@@ -186,12 +301,25 @@ impl ShapleyEngine for KcEngine {
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
         ENGINE_SOLVES.incr();
         let lineage = minimized(task);
-        let mut circuit = Circuit::new();
-        let root = lineage.to_circuit(&mut circuit);
-        let analysis =
-            KcEngine::analyze_circuit(&circuit, root, task.n_endo, &task.budget, &task.exact)
-                .map_err(EngineError::Analysis)?;
-        Ok(analysis.into_engine_result())
+        if task.measure == Measure::Responsibility {
+            // DNF-level measure: no compilation; the result still reports
+            // the route that admitted the task.
+            let solve_start = Instant::now();
+            let pairs = responsibility_all(&lineage);
+            return Ok(exact_result(
+                EngineKind::Kc,
+                Measure::Responsibility,
+                pairs,
+                Duration::default(),
+                solve_start.elapsed(),
+                0,
+                0,
+                CompileStats::default(),
+            ));
+        }
+        let compiled =
+            KcEngine::compile_lineage(&lineage, &task.budget).map_err(EngineError::Analysis)?;
+        KcEngine::evaluate_compiled(&compiled, task.n_endo, &task.exact, task.measure)
     }
 }
 
@@ -207,36 +335,66 @@ impl Default for NaiveEngine {
     }
 }
 
+impl NaiveEngine {
+    /// The enumeration cutoff for a measure: the SHAP oracle is `O(4ⁿ)`
+    /// rather than `O(2ⁿ)`, so its cap is tighter.
+    fn cap(&self, measure: Measure) -> usize {
+        match measure {
+            Measure::ShapScore => self.max_facts.min(12),
+            _ => self.max_facts,
+        }
+    }
+}
+
 impl ShapleyEngine for NaiveEngine {
     fn kind(&self) -> EngineKind {
         EngineKind::Naive
     }
 
     fn supports(&self, task: &LineageTask) -> bool {
-        task.lineage.vars().len() <= self.max_facts
+        task.lineage.vars().len() <= self.cap(task.measure)
     }
 
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
         ENGINE_SOLVES.incr();
         let prep_start = Instant::now();
-        let (dense, vars) = minimized(task).densify();
+        let lineage = minimized(task);
+        if task.measure == Measure::Responsibility {
+            // DNF-level: the branch-and-bound is exact at any size.
+            let solve_start = Instant::now();
+            let pairs = responsibility_all(&lineage);
+            return Ok(exact_result(
+                EngineKind::Naive,
+                Measure::Responsibility,
+                pairs,
+                prep_start.elapsed(),
+                solve_start.elapsed(),
+                0,
+                0,
+                CompileStats::default(),
+            ));
+        }
+        let (dense, vars) = lineage.densify();
         let prep_time = prep_start.elapsed();
-        if vars.len() > self.max_facts {
+        if vars.len() > self.cap(task.measure) {
             return Err(EngineError::Unsupported(
                 "lineage too large for naive enumeration",
             ));
         }
         let solve_start = Instant::now();
-        let values = shapley_naive_deadline(
-            &|s: &Bitset| dense.eval_set(s),
-            vars.len(),
-            task.exact.deadline,
-        )
-        .map_err(|e| EngineError::Analysis(AnalysisError::Shapley(e)))?;
+        let f = |s: &Bitset| dense.eval_set(s);
+        let values = match task.measure {
+            Measure::Shapley => shapley_naive_deadline(&f, vars.len(), task.exact.deadline)
+                .map_err(|e| EngineError::Analysis(AnalysisError::Shapley(e)))?,
+            Measure::Banzhaf => banzhaf_naive(&f, vars.len()),
+            Measure::ShapScore => shap_naive(&f, &vec![shap_background(); vars.len()]),
+            Measure::Responsibility => unreachable!("handled above"),
+        };
         let solve_time = solve_start.elapsed();
         let pairs: Vec<(VarId, Rational)> = vars.into_iter().zip(values).collect();
         Ok(exact_result(
             EngineKind::Naive,
+            task.measure,
             pairs,
             prep_time,
             solve_time,
@@ -275,7 +433,12 @@ impl ShapleyEngine for ProxyEngine {
         EngineKind::Proxy
     }
 
+    fn supports(&self, task: &LineageTask) -> bool {
+        task.measure == Measure::Shapley
+    }
+
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        require_shapley(EngineKind::Proxy, task)?;
         ENGINE_SOLVES.incr();
         let prep_start = Instant::now();
         let lineage = minimized(task);
@@ -319,7 +482,12 @@ impl ShapleyEngine for MonteCarloEngine {
         EngineKind::MonteCarlo
     }
 
+    fn supports(&self, task: &LineageTask) -> bool {
+        task.measure == Measure::Shapley
+    }
+
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        require_shapley(EngineKind::MonteCarlo, task)?;
         ENGINE_SOLVES.incr();
         let prep_start = Instant::now();
         let (dense, vars) = minimized(task).densify();
@@ -366,7 +534,12 @@ impl ShapleyEngine for KernelShapEngine {
         EngineKind::KernelShap
     }
 
+    fn supports(&self, task: &LineageTask) -> bool {
+        task.measure == Measure::Shapley
+    }
+
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
+        require_shapley(EngineKind::KernelShap, task)?;
         ENGINE_SOLVES.incr();
         let prep_start = Instant::now();
         let (dense, vars) = minimized(task).densify();
@@ -423,6 +596,109 @@ mod tests {
             assert_eq!(by_fact[&0], Rational::from_ratio(43, 105), "{kind}");
             assert_eq!(by_fact[&5], Rational::from_ratio(8, 105), "{kind}");
         }
+    }
+
+    #[test]
+    fn exact_engines_agree_on_every_measure() {
+        // Cross-measure agreement vs the brute-force oracles: all three
+        // exact routes return the identical exact rationals per measure.
+        let d = running_example();
+        let f = |s: &Bitset| d.eval_set(s);
+        let half = shap_background();
+        let oracles: Vec<(Measure, std::collections::HashMap<u32, Rational>)> = vec![
+            (
+                Measure::Banzhaf,
+                banzhaf_naive(&f, 7)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, x)| (i as u32, x))
+                    .collect(),
+            ),
+            (
+                Measure::Responsibility,
+                (0..7u32)
+                    .map(|v| {
+                        (
+                            v,
+                            crate::responsibility::responsibility_naive(&d, VarId(v), 7),
+                        )
+                    })
+                    .collect(),
+            ),
+            (
+                Measure::ShapScore,
+                shap_naive(&f, &vec![half; 7])
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, x)| (i as u32, x))
+                    .collect(),
+            ),
+        ];
+        for (measure, expect) in &oracles {
+            for kind in [EngineKind::Naive, EngineKind::ReadOnce, EngineKind::Kc] {
+                let task = LineageTask::new(&d, 8).with_measure(*measure);
+                let r = kind.engine().solve(&task).unwrap();
+                assert_eq!(r.engine, kind);
+                assert_eq!(r.measure, *measure);
+                let by_fact = exact_map(&r);
+                for (v, x) in &by_fact {
+                    assert_eq!(x, &expect[v], "{kind}/{measure} var {v}");
+                }
+                // Responsibility omits zero-valued facts; every other
+                // measure scores all seven.
+                if *measure != Measure::Responsibility {
+                    assert_eq!(by_fact.len(), 7, "{kind}/{measure}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shapley_only_engines_reject_other_measures() {
+        let d = running_example();
+        for kind in [
+            EngineKind::Proxy,
+            EngineKind::MonteCarlo,
+            EngineKind::KernelShap,
+        ] {
+            for measure in [
+                Measure::Banzhaf,
+                Measure::Responsibility,
+                Measure::ShapScore,
+            ] {
+                let task = LineageTask::new(&d, 8).with_measure(measure);
+                let engine = kind.engine();
+                assert!(!engine.supports(&task), "{kind}/{measure}");
+                match engine.solve(&task) {
+                    Err(EngineError::UnsupportedMeasure {
+                        engine: e,
+                        measure: m,
+                    }) => {
+                        assert_eq!(e, kind);
+                        assert_eq!(m, measure);
+                    }
+                    other => panic!("{kind}/{measure}: expected UnsupportedMeasure, got {other:?}"),
+                }
+            }
+            // Shapley still works.
+            let task = LineageTask::new(&d, 8);
+            assert!(kind.engine().solve(&task).is_ok(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn naive_shap_cap_is_tighter() {
+        let mut d = Dnf::new();
+        d.add_conjunct((0..14).map(VarId).collect());
+        let task = LineageTask::new(&d, 14).with_measure(Measure::ShapScore);
+        let engine = NaiveEngine::default();
+        assert!(!engine.supports(&task));
+        assert!(matches!(
+            engine.solve(&task),
+            Err(EngineError::Unsupported(_))
+        ));
+        // 14 facts are fine for the 2ⁿ measures.
+        assert!(engine.supports(&LineageTask::new(&d, 14).with_measure(Measure::Banzhaf)));
     }
 
     #[test]

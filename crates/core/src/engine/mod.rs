@@ -44,7 +44,7 @@ mod planner;
 mod service;
 pub(crate) mod stages;
 
-pub use batch::{BatchConfig, BatchExecutor, BatchItem, BatchReport};
+pub use batch::{BatchConfig, BatchExecutor, BatchItem, BatchReport, MeasureSweepReport};
 pub use cache::{CacheKey, CacheStats, ShapleyCache};
 pub use engines::{
     KcEngine, KernelShapEngine, MonteCarloEngine, NaiveEngine, ProxyEngine, ReadOnceEngine,
@@ -54,6 +54,8 @@ pub use service::{
     LineageRequest, ServiceClient, ServiceConfig, ServiceStats, ShapleyService, Submission,
     SubmitError,
 };
+
+pub use crate::measure::Measure;
 
 use crate::exact::ExactConfig;
 use crate::pipeline::{AnalysisError, AnalysisMethod, FactAttribution, LineageAnalysis};
@@ -123,6 +125,15 @@ impl EngineKind {
         matches!(self, EngineKind::MonteCarlo | EngineKind::KernelShap)
     }
 
+    /// True iff the engine can compute `measure`. The three exact engines
+    /// evaluate every measure from their compiled/factorized structure; the
+    /// proxy and sampling engines estimate Shapley values only, so a
+    /// non-Shapley task routed to them is
+    /// [`EngineError::UnsupportedMeasure`].
+    pub fn supports_measure(self, measure: Measure) -> bool {
+        self.is_exact() || measure == Measure::Shapley
+    }
+
     /// A default-configured boxed engine of this kind.
     pub fn engine(self) -> Box<dyn ShapleyEngine> {
         match self {
@@ -171,6 +182,10 @@ pub struct LineageTask<'a> {
     /// total number of samples the `G` sequential solves would have spent —
     /// same budget, `G×` the accuracy per member. Exact engines ignore it.
     pub sample_scale: usize,
+    /// Which attribution to compute ([`Measure::Shapley`] by default). The
+    /// exact engines evaluate every measure from the same compiled
+    /// structure; the proxy/sampling engines support Shapley only.
+    pub measure: Measure,
 }
 
 impl<'a> LineageTask<'a> {
@@ -184,6 +199,7 @@ impl<'a> LineageTask<'a> {
             minimized: false,
             seed_salt: 0,
             sample_scale: 1,
+            measure: Measure::Shapley,
         }
     }
 
@@ -217,6 +233,12 @@ impl<'a> LineageTask<'a> {
     /// [`LineageTask::sample_scale`]; `0` is treated as `1`).
     pub fn with_sample_scale(mut self, scale: usize) -> Self {
         self.sample_scale = scale.max(1);
+        self
+    }
+
+    /// Sets the attribution measure (see [`LineageTask::measure`]).
+    pub fn with_measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
         self
     }
 }
@@ -269,6 +291,10 @@ impl EngineValues {
 pub struct EngineResult {
     /// Which engine produced the values.
     pub engine: EngineKind,
+    /// Which attribution the values are (a Banzhaf result is not a Shapley
+    /// result: cache keys, persisted records, and protocol responses all
+    /// carry the tag).
+    pub measure: Measure,
     /// The values (exact or approximate), sorted.
     pub values: EngineValues,
     /// Preparation time: factorization, or Tseytin + compile + project.
@@ -288,8 +314,12 @@ pub struct EngineResult {
 
 impl EngineResult {
     /// Converts an exact read-once/KC/naive result into the classic
-    /// [`LineageAnalysis`]; `None` for the inexact engines.
+    /// [`LineageAnalysis`]; `None` for the inexact engines and for
+    /// non-Shapley measures (the classic report is Shapley-specific).
     pub fn into_analysis(self) -> Option<LineageAnalysis> {
+        if self.measure != Measure::Shapley {
+            return None;
+        }
         let method = match self.engine {
             EngineKind::ReadOnce => AnalysisMethod::ReadOnce,
             EngineKind::Kc => AnalysisMethod::KnowledgeCompilation,
@@ -329,6 +359,16 @@ pub enum EngineError {
     /// the worker (and with it every other client). Carries the panic
     /// message for diagnosis.
     Panicked(String),
+    /// The engine cannot compute the requested measure (the proxy and
+    /// sampling engines estimate Shapley values only). Raised when a forced
+    /// engine choice and a non-Shapley measure collide; the planner never
+    /// routes there on its own.
+    UnsupportedMeasure {
+        /// The engine that was asked.
+        engine: EngineKind,
+        /// The measure it cannot compute.
+        measure: Measure,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -337,6 +377,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Unsupported(why) => write!(f, "engine unsupported: {why}"),
             EngineError::Analysis(e) => write!(f, "{e}"),
             EngineError::Panicked(msg) => write!(f, "engine panicked: {msg}"),
+            EngineError::UnsupportedMeasure { engine, measure } => {
+                write!(f, "engine {engine} does not support measure {measure}")
+            }
         }
     }
 }

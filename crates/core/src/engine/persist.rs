@@ -13,17 +13,26 @@
 //!
 //! ```text
 //! file   := magic record*
-//! magic  := "SHAPDBC" 0x01                    (8 bytes, version-tagged)
+//! magic  := "SHAPDBC" 0x02                    (8 bytes, version-tagged)
 //! record := payload_len:u32 checksum:u64 payload
 //! ```
 //!
 //! `checksum` is FNV-1a over the payload. The payload serializes the cache
 //! key (`n_endo`, policy digest, canonical conjunct list) followed by the
-//! exact result (engine kind, size stats, and per-fact `Rational` values as
-//! sign + magnitude limbs). Only canonical-space **exact** results are ever
-//! written — the same invariant the in-memory cache enforces — so a record
-//! is valid for every isomorphic lineage forever and replaying is pure
-//! deserialization, no recomputation.
+//! exact result (engine kind, **measure tag**, size stats, and per-fact
+//! `Rational` values as sign + magnitude limbs). Only canonical-space
+//! **exact** results are ever written — the same invariant the in-memory
+//! cache enforces — so a record is valid for every isomorphic lineage
+//! forever and replaying is pure deserialization, no recomputation.
+//!
+//! Version 2 added the measure tag (one byte after the engine tag).
+//! Version-1 logs — written before measures existed, when every record was
+//! by construction a Shapley result — still replay cleanly: the loader
+//! decodes them with the v1 layout and tags each entry
+//! [`Measure::Shapley`]. Their policy digests match the new Shapley keys
+//! bit-for-bit (the digest folds the measure in only when it is *not*
+//! Shapley), and the post-load compaction rewrites the file in the v2
+//! format, so the upgrade happens transparently on first restart.
 //!
 //! Crash-safety model: appends are atomic in practice only up to the
 //! filesystem's write granularity, so a crash can leave a torn final
@@ -36,7 +45,7 @@
 //! restart's worth of tail.
 
 use super::cache::CacheKey;
-use super::{EngineKind, EngineResult, EngineValues};
+use super::{EngineKind, EngineResult, EngineValues, Measure};
 use shapdb_circuit::VarId;
 use shapdb_kc::CompileStats;
 use shapdb_num::{BigInt, BigUint, Rational, Sign};
@@ -49,7 +58,11 @@ use std::time::Duration;
 /// File magic: identifies the format and its version. Bump the trailing
 /// byte on any layout change — an unrecognized magic replays as empty (and
 /// the compaction pass rewrites the file in the current format).
-const MAGIC: [u8; 8] = *b"SHAPDBC\x01";
+const MAGIC: [u8; 8] = *b"SHAPDBC\x02";
+
+/// The pre-measure format's magic: still readable (every v1 record is a
+/// Shapley result), never written.
+const MAGIC_V1: [u8; 8] = *b"SHAPDBC\x01";
 
 /// Header bytes per record: `payload_len: u32` + `checksum: u64`.
 const RECORD_HEADER: usize = 4 + 8;
@@ -84,9 +97,15 @@ impl PersistentLog {
             Err(e) => return Err(e),
         };
         let mut entries = Vec::new();
-        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        let version = if bytes.len() < MAGIC.len() {
             return Ok(entries);
-        }
+        } else if bytes[..MAGIC.len()] == MAGIC {
+            2
+        } else if bytes[..MAGIC.len()] == MAGIC_V1 {
+            1
+        } else {
+            return Ok(entries);
+        };
         let mut at = MAGIC.len();
         while bytes.len() - at >= RECORD_HEADER {
             let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
@@ -99,7 +118,7 @@ impl PersistentLog {
             if fnv1a(payload) != checksum {
                 break; // torn or rotted record
             }
-            match decode_entry(payload) {
+            match decode_entry(payload, version) {
                 Some(entry) => entries.push(entry),
                 None => break, // checksum ok but layout undecodable
             }
@@ -171,6 +190,15 @@ fn engine_tag(kind: EngineKind) -> u8 {
     }
 }
 
+/// The measure's position in [`Measure::ALL`] — the stable wire tag
+/// (shapley 0, banzhaf 1, responsibility 2, shap-score 3).
+fn measure_tag(measure: Measure) -> u8 {
+    Measure::ALL
+        .iter()
+        .position(|&m| m == measure)
+        .expect("every measure is in ALL") as u8
+}
+
 fn encode_entry(key: &CacheKey, result: &EngineResult) -> Vec<u8> {
     let EngineValues::Exact(values) = &result.values else {
         unreachable!("only exact results are persisted");
@@ -186,6 +214,7 @@ fn encode_entry(key: &CacheKey, result: &EngineResult) -> Vec<u8> {
         }
     }
     buf.push(engine_tag(result.engine));
+    buf.push(measure_tag(result.measure));
     put_u64(&mut buf, result.num_facts as u64);
     put_u64(&mut buf, result.cnf_clauses as u64);
     put_u64(&mut buf, result.ddnnf_size as u64);
@@ -260,7 +289,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_entry(payload: &[u8]) -> Option<(CacheKey, EngineResult)> {
+fn decode_entry(payload: &[u8], version: u8) -> Option<(CacheKey, EngineResult)> {
     let mut c = Cursor {
         bytes: payload,
         at: 0,
@@ -282,6 +311,12 @@ fn decode_entry(payload: &[u8]) -> Option<(CacheKey, EngineResult)> {
         1 => EngineKind::ReadOnce,
         2 => EngineKind::Kc,
         _ => return None,
+    };
+    // v1 records predate measures: every one is, by construction, Shapley.
+    let measure = if version >= 2 {
+        *Measure::ALL.get(c.u8()? as usize)?
+    } else {
+        Measure::Shapley
     };
     let num_facts = usize::try_from(c.u64()?).ok()?;
     let cnf_clauses = usize::try_from(c.u64()?).ok()?;
@@ -321,6 +356,7 @@ fn decode_entry(payload: &[u8]) -> Option<(CacheKey, EngineResult)> {
     // whose caller only looks at the values.
     let result = EngineResult {
         engine,
+        measure,
         values: EngineValues::Exact(values),
         prep_time: Duration::ZERO,
         solve_time: Duration::ZERO,
@@ -346,8 +382,13 @@ mod tests {
     }
 
     fn result(num: i64, den: u64) -> EngineResult {
+        measure_result(num, den, Measure::Shapley)
+    }
+
+    fn measure_result(num: i64, den: u64, measure: Measure) -> EngineResult {
         EngineResult {
             engine: EngineKind::Kc,
+            measure,
             values: EngineValues::Exact(vec![
                 (VarId(0), Rational::from_ratio(num, den)),
                 (VarId(1), Rational::from_ratio(-num, den)),
@@ -444,6 +485,143 @@ mod tests {
             entries.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
             vec![k, k2]
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn measure_tags_round_trip() {
+        let path = tmp("measures");
+        let _ = std::fs::remove_file(&path);
+        let mut log = PersistentLog::create(&path, &[]).unwrap();
+        for (i, m) in Measure::ALL.into_iter().enumerate() {
+            log.append(&key(i as u32, 9), &measure_result(1, 2 + i as u64, m))
+                .unwrap();
+        }
+        drop(log);
+        let entries = PersistentLog::load(&path).unwrap();
+        assert_eq!(entries.len(), 4);
+        for ((_, r), m) in entries.iter().zip(Measure::ALL) {
+            assert_eq!(r.measure, m);
+        }
+        // The wire tags are pinned (a renumbering would corrupt every
+        // existing log silently).
+        assert_eq!(measure_tag(Measure::Shapley), 0);
+        assert_eq!(measure_tag(Measure::Banzhaf), 1);
+        assert_eq!(measure_tag(Measure::Responsibility), 2);
+        assert_eq!(measure_tag(Measure::ShapScore), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A payload in the version-1 layout: exactly `encode_entry` minus the
+    /// measure byte — what every log written before this version contains.
+    fn v1_payload(key: &CacheKey, result: &EngineResult) -> Vec<u8> {
+        let EngineValues::Exact(values) = &result.values else {
+            panic!("exact expected");
+        };
+        let mut payload = Vec::new();
+        put_u64(&mut payload, key.n_endo as u64);
+        put_u64(&mut payload, key.config);
+        put_u32(&mut payload, key.structure.len() as u32);
+        for conj in key.structure.iter() {
+            put_u32(&mut payload, conj.len() as u32);
+            for &v in conj {
+                put_u32(&mut payload, v);
+            }
+        }
+        payload.push(engine_tag(result.engine));
+        put_u64(&mut payload, result.num_facts as u64);
+        put_u64(&mut payload, result.cnf_clauses as u64);
+        put_u64(&mut payload, result.ddnnf_size as u64);
+        put_u32(&mut payload, values.len() as u32);
+        for (var, value) in values {
+            put_u32(&mut payload, var.0);
+            payload.push(match value.numerator().sign() {
+                Sign::Negative => 0,
+                Sign::Zero => 1,
+                Sign::Positive => 2,
+            });
+            put_biguint(&mut payload, value.numerator().magnitude());
+            put_biguint(&mut payload, value.denominator());
+        }
+        payload
+    }
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut record = Vec::new();
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        record
+    }
+
+    fn v1_record(key: &CacheKey, result: &EngineResult) -> Vec<u8> {
+        framed(&v1_payload(key, result))
+    }
+
+    #[test]
+    fn v1_logs_replay_as_shapley_and_compact_to_v2() {
+        let path = tmp("v1compat");
+        let _ = std::fs::remove_file(&path);
+        // A hand-written pre-measure log: v1 magic, v1 record layout.
+        let mut bytes = MAGIC_V1.to_vec();
+        bytes.extend_from_slice(&v1_record(&key(7, 10), &result(43, 105)));
+        bytes.extend_from_slice(&v1_record(&key(8, 12), &result(1, 3)));
+        std::fs::write(&path, &bytes).unwrap();
+        let entries = PersistentLog::load(&path).unwrap();
+        assert_eq!(entries.len(), 2, "old logs replay fully, never crash");
+        for (_, r) in &entries {
+            assert_eq!(r.measure, Measure::Shapley, "pre-measure ⇒ Shapley");
+        }
+        let EngineValues::Exact(vals) = &entries[0].1.values else {
+            panic!("exact expected");
+        };
+        assert_eq!(vals[0].1, Rational::from_ratio(43, 105));
+        // Compacting (what with_persistence does after load) rewrites the
+        // file in the v2 format; the entries survive, now measure-tagged.
+        let refs: Vec<(&CacheKey, &EngineResult)> = entries.iter().map(|(k, r)| (k, r)).collect();
+        drop(PersistentLog::create(&path, &refs).unwrap());
+        let rewritten = std::fs::read(&path).unwrap();
+        assert_eq!(&rewritten[..8], &MAGIC, "compaction upgrades the magic");
+        let reloaded = PersistentLog::load(&path).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.iter().all(|(_, r)| r.measure == Measure::Shapley));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_torn_tail_is_tolerated_too() {
+        let path = tmp("v1torn");
+        let _ = std::fs::remove_file(&path);
+        let mut full = MAGIC_V1.to_vec();
+        full.extend_from_slice(&v1_record(&key(1, 4), &result(1, 2)));
+        full.extend_from_slice(&v1_record(&key(2, 4), &result(1, 4)));
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let entries = PersistentLog::load(&path).unwrap();
+            assert!(entries.len() <= 2);
+            for (k, r) in &entries {
+                assert!(k == &key(1, 4) || k == &key(2, 4));
+                assert_eq!(r.measure, Measure::Shapley);
+            }
+        }
+        // An unknown measure tag in a v2 record ends the replay cleanly.
+        // The tag's offset is wherever the v2 payload first diverges from
+        // the v1 layout (the inserted measure byte).
+        let k = key(3, 4);
+        let r = result(1, 2);
+        let mut bad = encode_entry(&k, &r);
+        let v1 = v1_payload(&k, &r);
+        assert_eq!(bad.len(), v1.len() + 1, "v2 = v1 + one measure byte");
+        let tag_at = bad
+            .iter()
+            .zip(v1.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(v1.len());
+        bad[tag_at] = 0x7f;
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&framed(&bad));
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(PersistentLog::load(&path).unwrap().is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -25,7 +25,8 @@
 //!    milliseconds — takes over, iff the policy allows inexact answers.
 
 use super::cache::{CacheKey, ShapleyCache};
-use super::{EngineError, EngineKind, EngineResult, LineageTask, ReadOnceEngine};
+use super::engines::{CompiledLineage, KcEngine as KcEngineImpl};
+use super::{EngineError, EngineKind, EngineResult, LineageTask, Measure, ReadOnceEngine};
 use crate::exact::ExactConfig;
 use shapdb_circuit::{factor_minimized, Dnf, Fingerprint, ReadOnce};
 use shapdb_kc::Budget;
@@ -123,6 +124,10 @@ pub enum PlanReason {
 pub struct Plan {
     pub engine: EngineKind,
     pub reason: PlanReason,
+    /// The measure that drove the routing: non-Shapley measures disable
+    /// proxy/sampling fallbacks (those engines estimate Shapley only), so
+    /// the same lineage can legitimately route differently per measure.
+    pub measure: Measure,
 }
 
 /// What the planner knows about the query that produced the lineages.
@@ -217,25 +222,35 @@ impl Planner {
         self.query
     }
 
-    /// Emits the routing decision for one lineage.
+    /// Emits the routing decision for one lineage (Shapley measure).
     pub fn plan(&self, lineage: &Dnf) -> Plan {
-        self.plan_with_tree(lineage).0
+        self.plan_measure(lineage, Measure::Shapley)
     }
 
-    /// [`Planner::plan`], also returning the read-once factorization when
-    /// classification built one — [`Planner::solve`] hands it to the
-    /// engine so the lineage is not factored twice.
+    /// Emits the routing decision for one lineage under a specific measure.
+    /// The ladder is the same for all four measures (read-once is PTIME for
+    /// every one; the KC admission caps bound the same compilation), but a
+    /// non-Shapley measure disables proxy/sampling fallbacks — those
+    /// engines estimate Shapley values only.
+    pub fn plan_measure(&self, lineage: &Dnf, measure: Measure) -> Plan {
+        self.plan_with_tree(lineage, measure).0
+    }
+
+    /// [`Planner::plan_measure`], also returning the read-once
+    /// factorization when classification built one — [`Planner::solve`]
+    /// hands it to the engine so the lineage is not factored twice.
     ///
     /// Minimizes first (the same pass `factor` would run internally), so
     /// classification — including the KC admission counts — always sees
     /// the prime-implicant form, exactly like the fingerprint route: a
     /// planner routes one lineage identically with or without a cache.
-    fn plan_with_tree(&self, lineage: &Dnf) -> (Plan, Option<ReadOnce>) {
+    fn plan_with_tree(&self, lineage: &Dnf, measure: Measure) -> (Plan, Option<ReadOnce>) {
         if let Some(engine) = self.cfg.force {
             return (
                 Plan {
                     engine,
                     reason: PlanReason::Forced,
+                    measure,
                 },
                 None,
             );
@@ -243,7 +258,7 @@ impl Planner {
         let mut d = lineage.clone();
         d.minimize();
         let tree = factor_minimized(&d);
-        let plan = self.classify(tree.as_ref(), d.vars().len(), d.len());
+        let plan = self.classify(tree.as_ref(), d.vars().len(), d.len(), measure);
         (plan, tree)
     }
 
@@ -253,11 +268,18 @@ impl Planner {
     /// `tree` is the factoring verdict on the *minimized* lineage
     /// (authoritative either way); `vars`/`conjuncts` count the minimized
     /// form too.
-    fn classify(&self, tree: Option<&ReadOnce>, vars: usize, conjuncts: usize) -> Plan {
+    fn classify(
+        &self,
+        tree: Option<&ReadOnce>,
+        vars: usize,
+        conjuncts: usize,
+        measure: Measure,
+    ) -> Plan {
         match tree {
             Some(ReadOnce::True) | Some(ReadOnce::False) => Plan {
                 engine: EngineKind::ReadOnce,
                 reason: PlanReason::TrivialConstant,
+                measure,
             },
             Some(_) => {
                 PLANNER_READ_ONCE_ROUTES.incr();
@@ -269,6 +291,7 @@ impl Planner {
                 Plan {
                     engine: EngineKind::ReadOnce,
                     reason,
+                    measure,
                 }
             }
             None => {
@@ -286,6 +309,7 @@ impl Planner {
                     return Plan {
                         engine: EngineKind::Naive,
                         reason: PlanReason::TinyNaive,
+                        measure,
                     };
                 }
                 if vars <= self.cfg.max_kc_vars && conjuncts <= self.cfg.max_kc_conjuncts {
@@ -293,11 +317,17 @@ impl Planner {
                     Plan {
                         engine: EngineKind::Kc,
                         reason: PlanReason::KcWithinBudget,
+                        measure,
                     }
                 } else {
+                    // A fallback that cannot compute the measure is no
+                    // fallback at all: the over-budget non-Shapley route
+                    // runs KC regardless, exactly like exact mode.
+                    let fallback = self.cfg.fallback.filter(|fb| fb.supports_measure(measure));
                     Plan {
-                        engine: self.cfg.fallback.unwrap_or(EngineKind::Kc),
+                        engine: fallback.unwrap_or(EngineKind::Kc),
                         reason: PlanReason::OverKcBudget,
+                        measure,
                     }
                 }
             }
@@ -308,14 +338,15 @@ impl Planner {
     /// no minimizing: the fingerprint already carries both by-products
     /// ([`Fingerprint::tree`] is authoritative either way). Same ladder as
     /// [`Planner::plan`] (both delegate to `classify`).
-    pub(crate) fn plan_fp(&self, fp: &Fingerprint) -> Plan {
+    pub(crate) fn plan_fp(&self, fp: &Fingerprint, measure: Measure) -> Plan {
         if let Some(engine) = self.cfg.force {
             return Plan {
                 engine,
                 reason: PlanReason::Forced,
+                measure,
             };
         }
-        self.classify(fp.tree(), fp.num_vars(), fp.key().len())
+        self.classify(fp.tree(), fp.num_vars(), fp.key().len(), measure)
     }
 
     /// Plans and solves one lineage, applying the per-lineage timeout and
@@ -366,6 +397,7 @@ impl Planner {
                 minimized: true,
                 seed_salt,
                 sample_scale: sample_scale.max(1),
+                measure: plan.measure,
             };
             (
                 self.solve_planned(&ctask, plan, fp.tree(), Duration::ZERO),
@@ -385,7 +417,7 @@ impl Planner {
         let key = CacheKey {
             structure: fp.shared_key(),
             n_endo,
-            config: self.cache_digest(budget),
+            config: self.cache_digest(budget, plan.measure),
         };
         if let Some(mut hit) = cache.get(&key) {
             // The stored timings/compiler counters describe the *original*
@@ -409,10 +441,117 @@ impl Planner {
         (solved, CacheOutcome::Miss)
     }
 
+    /// Solves the canonical structure behind `fp` for **several measures at
+    /// once**, compiling (or reusing the fingerprint's factorization) at
+    /// most once: per-measure cache lookups first, then one shared
+    /// [`CompiledLineage`] answers every missed measure the KC route
+    /// admits, the fingerprint's read-once tree answers the rest without
+    /// re-factoring, and responsibility runs its DNF-level search. Returned
+    /// results are in canonical space, in `measures` order.
+    pub(crate) fn solve_structure_multi(
+        &self,
+        fp: &Fingerprint,
+        n_endo: usize,
+        budget: &Budget,
+        exact: &ExactConfig,
+        measures: &[Measure],
+    ) -> Vec<(Result<EngineResult, EngineError>, CacheOutcome)> {
+        let mut slots: Vec<Option<(Result<EngineResult, EngineError>, CacheOutcome)>> =
+            (0..measures.len()).map(|_| None).collect();
+        let mut pending: Vec<(usize, Plan, CacheOutcome, Option<CacheKey>)> = Vec::new();
+        for (i, &measure) in measures.iter().enumerate() {
+            let plan = self.plan_fp(fp, measure);
+            let (outcome, key) = match self.cache.as_deref() {
+                None => (CacheOutcome::Disabled, None),
+                Some(cache) if !plan.engine.is_exact() || cache.is_disabled() => {
+                    cache.record_bypass();
+                    (CacheOutcome::Bypass, None)
+                }
+                Some(cache) => {
+                    let key = CacheKey {
+                        structure: fp.shared_key(),
+                        n_endo,
+                        config: self.cache_digest(budget, measure),
+                    };
+                    if let Some(mut hit) = cache.get(&key) {
+                        hit.prep_time = Duration::ZERO;
+                        hit.solve_time = Duration::ZERO;
+                        hit.compile_stats = Default::default();
+                        slots[i] = Some((Ok(hit), CacheOutcome::Hit));
+                        continue;
+                    }
+                    (CacheOutcome::Miss, Some(key))
+                }
+            };
+            pending.push((i, plan, outcome, key));
+        }
+        if !pending.is_empty() {
+            let canonical = fp.canonical_dnf();
+            // The one compile a whole group of measures shares.
+            let mut compiled: Option<Result<CompiledLineage, EngineError>> = None;
+            for (i, plan, outcome, key) in pending {
+                let measure = measures[i];
+                let ctask = LineageTask {
+                    lineage: &canonical,
+                    n_endo,
+                    budget: *budget,
+                    exact: *exact,
+                    minimized: true,
+                    seed_salt: 0,
+                    sample_scale: 1,
+                    measure,
+                };
+                // Measures the KC route answers from the circuit share one
+                // compilation; everything else (read-once, naive,
+                // responsibility, fallbacks) runs its normal planned path —
+                // read-once reuses the fingerprint's tree, so nothing
+                // re-factors either way.
+                let solved = if plan.engine == EngineKind::Kc && measure != Measure::Responsibility
+                {
+                    let effective = self.apply_timeout(&ctask);
+                    let comp = compiled.get_or_insert_with(|| {
+                        KcEngineImpl::compile_lineage(effective.lineage, &effective.budget)
+                            .map_err(EngineError::Analysis)
+                    });
+                    let evaluated = match comp {
+                        Ok(c) => {
+                            KcEngineImpl::evaluate_compiled(c, n_endo, &effective.exact, measure)
+                        }
+                        Err(e) => Err(e.clone()),
+                    };
+                    match evaluated {
+                        Err(e) => match self.cfg.fallback {
+                            Some(fb) if fb != plan.engine && fb.supports_measure(measure) => {
+                                fb.engine().solve(&ctask)
+                            }
+                            _ => Err(e),
+                        },
+                        ok => ok,
+                    }
+                } else {
+                    self.solve_planned(&ctask, plan, fp.tree(), Duration::ZERO)
+                };
+                if let (Some(key), Ok(r)) = (key, &solved) {
+                    if r.values.is_exact() {
+                        self.cache
+                            .as_deref()
+                            .expect("key only built with a cache attached")
+                            .insert(key, r.clone());
+                    }
+                }
+                slots[i] = Some((solved, outcome));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+
     /// The classification + solve path without cache involvement.
     pub(crate) fn solve_direct(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
         let plan_start = Instant::now();
-        let (plan, tree) = self.plan_with_tree(task.lineage);
+        let (plan, tree) = self.plan_with_tree(task.lineage, task.measure);
         let plan_time = plan_start.elapsed();
         self.solve_planned(task, plan, tree.as_ref(), plan_time)
     }
@@ -444,9 +583,11 @@ impl Planner {
         match solved {
             Ok(r) => Ok(r),
             Err(e) => match self.cfg.fallback {
-                Some(fb) if fb != plan.engine => {
+                Some(fb) if fb != plan.engine && fb.supports_measure(task.measure) => {
                     // Fallback engines run without the exact deadline — a
-                    // ranking is always better than an error here.
+                    // ranking is always better than an error here. A
+                    // fallback that cannot compute the task's measure is
+                    // skipped: an error beats a wrong-measure ranking.
                     fb.engine().solve(task)
                 }
                 _ => Err(e),
@@ -456,10 +597,15 @@ impl Planner {
 
     /// Digest of the solve knobs that belong in the cache key: the forced
     /// engine, the KC admission caps, the per-lineage timeout, the
-    /// fallback, and the compile node cap. Absolute deadlines (`Instant`s
-    /// carried in budgets) are deliberately *not* part of it — they bound
-    /// when a computation may run, not what its exact values are.
-    pub(crate) fn cache_digest(&self, budget: &Budget) -> u64 {
+    /// fallback, the compile node cap — and the measure. Absolute deadlines
+    /// (`Instant`s carried in budgets) are deliberately *not* part of it —
+    /// they bound when a computation may run, not what its exact values
+    /// are. The measure is folded in **only when it is not Shapley**, so
+    /// every pre-measure cache key (and every version-1 persist-log entry)
+    /// stays bit-identical to today's Shapley keys: one fingerprint holds
+    /// several measure entries side by side, and a warm restart from an old
+    /// log still answers Shapley requests with zero engine runs.
+    pub(crate) fn cache_digest(&self, budget: &Budget, measure: Measure) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.cfg.force.map(EngineKind::name).hash(&mut h);
@@ -470,6 +616,9 @@ impl Planner {
         self.cfg.timeout.hash(&mut h);
         self.cfg.fallback.map(EngineKind::name).hash(&mut h);
         budget.max_nodes.hash(&mut h);
+        if measure != Measure::Shapley {
+            measure.name().hash(&mut h);
+        }
         h.finish()
     }
 
@@ -827,6 +976,215 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
         assert_eq!(stats.bypasses, 1);
+    }
+
+    #[test]
+    fn plans_record_the_measure_that_drove_them() {
+        let planner = Planner::new(PlannerConfig::default());
+        let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        assert_eq!(planner.plan(&running).measure, Measure::Shapley);
+        for m in Measure::ALL {
+            let p = planner.plan_measure(&running, m);
+            assert_eq!(p.measure, m);
+            assert_eq!(
+                p.engine,
+                EngineKind::ReadOnce,
+                "ladder is measure-free here"
+            );
+        }
+    }
+
+    #[test]
+    fn non_shapley_measures_disable_unsupporting_fallbacks() {
+        // Over the KC budget with a Proxy fallback: Shapley degrades to the
+        // ranking, every other measure runs KC regardless — a proxy cannot
+        // rank what it cannot compute.
+        let cfg = PlannerConfig {
+            max_kc_vars: 2,
+            max_naive_vars: 0,
+            fallback: Some(EngineKind::Proxy),
+            ..Default::default()
+        };
+        let planner = Planner::new(cfg);
+        let majority = dnf(&[&[0, 1], &[1, 2], &[0, 2]]);
+        assert_eq!(planner.plan(&majority).engine, EngineKind::Proxy);
+        for m in [
+            Measure::Banzhaf,
+            Measure::Responsibility,
+            Measure::ShapScore,
+        ] {
+            let p = planner.plan_measure(&majority, m);
+            assert_eq!(p.engine, EngineKind::Kc, "{m}: exact route kept");
+            assert_eq!(p.reason, PlanReason::OverKcBudget);
+        }
+    }
+
+    #[test]
+    fn forced_shapley_only_engine_rejects_other_measures() {
+        let planner = Planner::new(PlannerConfig {
+            force: Some(EngineKind::Proxy),
+            ..Default::default()
+        });
+        let running = dnf(&[&[0], &[1, 2]]);
+        let task = LineageTask::new(&running, 3).with_measure(Measure::Banzhaf);
+        let err = planner.solve(&task).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::UnsupportedMeasure {
+                engine: EngineKind::Proxy,
+                measure: Measure::Banzhaf,
+            }
+        );
+        // A fallback that also cannot compute the measure must not mask the
+        // error with a wrong-measure ranking.
+        let with_fb = Planner::new(PlannerConfig {
+            force: Some(EngineKind::MonteCarlo),
+            fallback: Some(EngineKind::Proxy),
+            ..Default::default()
+        });
+        let err = with_fb.solve(&task).unwrap_err();
+        assert!(matches!(err, EngineError::UnsupportedMeasure { .. }));
+    }
+
+    #[test]
+    fn cache_entries_are_measure_keyed() {
+        use crate::engine::{EngineValues, ShapleyCache};
+        use shapdb_num::Rational;
+        use std::sync::Arc;
+        let cache = Arc::new(ShapleyCache::new());
+        let planner = Planner::new(PlannerConfig::default()).with_cache(cache.clone());
+        let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        // Four measures over one structure: four distinct entries, no
+        // cross-measure hit may ever serve a Banzhaf answer to a Shapley
+        // request (or vice versa).
+        for m in Measure::ALL {
+            let r = planner
+                .solve(&LineageTask::new(&running, 8).with_measure(m))
+                .unwrap();
+            assert_eq!(r.measure, m);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.len, 4, "one entry per measure");
+        // Re-asking each measure hits its own entry, tagged correctly.
+        for m in Measure::ALL {
+            let r = planner
+                .solve(&LineageTask::new(&running, 8).with_measure(m))
+                .unwrap();
+            assert_eq!(r.measure, m);
+        }
+        assert_eq!(cache.stats().hits, 4);
+        // And the values differ across measures (Shapley 43/105 vs Banzhaf
+        // 21/64 for a1) — proof the entries are truly separate.
+        let value_of = |m: Measure| {
+            let r = planner
+                .solve(&LineageTask::new(&running, 8).with_measure(m))
+                .unwrap();
+            match &r.values {
+                EngineValues::Exact(v) => v[0].1.clone(),
+                EngineValues::Approx(_) => panic!("exact expected"),
+            }
+        };
+        assert_eq!(value_of(Measure::Shapley), Rational::from_ratio(43, 105));
+        assert_eq!(value_of(Measure::Banzhaf), Rational::from_ratio(21, 64));
+    }
+
+    #[test]
+    fn multi_measure_solve_compiles_once_and_hits_thereafter() {
+        use crate::engine::ShapleyCache;
+        use shapdb_circuit::fingerprint;
+        use std::sync::Arc;
+        // Non-read-once beyond the naive cutoff: the KC route must compile
+        // exactly once for all four measures (responsibility needs no
+        // circuit; the power indices and the SHAP-score share the compile).
+        let mut wide = Dnf::new();
+        for base in [0u32, 3, 6, 9] {
+            for pair in [[base, base + 1], [base + 1, base + 2], [base, base + 2]] {
+                wide.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+            }
+        }
+        let cache = Arc::new(ShapleyCache::new());
+        let planner = Planner::new(PlannerConfig {
+            max_naive_vars: 0,
+            ..Default::default()
+        })
+        .with_cache(cache.clone());
+        let fp = fingerprint(&wide);
+        let results = planner.solve_structure_multi(
+            &fp,
+            12,
+            &Budget::unlimited(),
+            &ExactConfig::default(),
+            &Measure::ALL,
+        );
+        assert_eq!(results.len(), 4);
+        let mut compiles = 0;
+        for ((r, outcome), m) in results.iter().zip(Measure::ALL) {
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.measure, m);
+            assert_eq!(*outcome, CacheOutcome::Miss);
+            assert!(r.values.is_exact());
+            compiles += usize::from(r.compile_stats.decisions > 0);
+        }
+        assert_eq!(
+            compiles, 3,
+            "power indices + SHAP-score share one compile's stats; responsibility never compiles"
+        );
+        // The three circuit measures report the *same* compile (identical
+        // CNF size from one Tseytin pass), and all four are now cached.
+        assert_eq!(cache.stats().len, 4);
+        let again = planner.solve_structure_multi(
+            &fp,
+            12,
+            &Budget::unlimited(),
+            &ExactConfig::default(),
+            &Measure::ALL,
+        );
+        for (r, outcome) in &again {
+            assert_eq!(*outcome, CacheOutcome::Hit);
+            assert!(r.as_ref().unwrap().values.is_exact());
+        }
+        assert_eq!(cache.stats().hits, 4);
+    }
+
+    #[test]
+    fn warm_restart_answers_every_measure_without_an_engine_run() {
+        use crate::engine::ShapleyCache;
+        use std::sync::Arc;
+        // Acceptance: persist four measure entries for one structure, drop
+        // everything, rebuild the cache from the log — each measure is a
+        // hit (zero misses, zero engine work) with identical rationals.
+        let path = std::env::temp_dir().join(format!(
+            "shapdb-planner-warm-measures-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        let cold: Vec<EngineResult> = {
+            let cache = Arc::new(ShapleyCache::with_persistence(64, &path).unwrap());
+            let planner = Planner::new(PlannerConfig::default()).with_cache(cache);
+            Measure::ALL
+                .iter()
+                .map(|&m| {
+                    planner
+                        .solve(&LineageTask::new(&running, 8).with_measure(m))
+                        .unwrap()
+                })
+                .collect()
+        };
+        let cache = Arc::new(ShapleyCache::with_persistence(64, &path).unwrap());
+        assert_eq!(cache.stats().replayed, 4, "all four measures replayed");
+        let planner = Planner::new(PlannerConfig::default()).with_cache(cache.clone());
+        for (i, &m) in Measure::ALL.iter().enumerate() {
+            let r = planner
+                .solve(&LineageTask::new(&running, 8).with_measure(m))
+                .unwrap();
+            assert_eq!(r.measure, m);
+            assert_eq!(r.values, cold[i].values, "{m}: bit-identical after restart");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (4, 0), "no engine runs warm");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

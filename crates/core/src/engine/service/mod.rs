@@ -40,7 +40,7 @@ pub use submission::Submission;
 pub(crate) use submission::TicketInner;
 
 use super::stages::{self, SolveCounters, WORKER_STACK};
-use super::{EngineError, EngineResult, LineageTask, Planner, PlannerConfig};
+use super::{EngineError, EngineResult, LineageTask, Measure, Planner, PlannerConfig};
 use crate::exact::ExactConfig;
 use queue::{FairQueue, Job};
 use shapdb_circuit::Dnf;
@@ -155,6 +155,10 @@ pub struct LineageRequest {
     /// result cache stays correct either way (the policy is part of the
     /// cache key digest).
     pub policy: Option<PlannerConfig>,
+    /// The attribution [`Measure`] to compute (default Shapley). Entries in
+    /// the shared cache are measure-keyed, so one compiled structure warmed
+    /// by any client serves every measure asked of it later.
+    pub measure: Measure,
     /// Test-only fault injection: makes the worker panic mid-solve, so the
     /// `catch_unwind` isolation path can be pinned without depending on a
     /// reachable engine bug.
@@ -171,6 +175,7 @@ impl LineageRequest {
             budget: None,
             exact: None,
             policy: None,
+            measure: Measure::Shapley,
             #[cfg(test)]
             inject_panic: false,
         }
@@ -192,6 +197,12 @@ impl LineageRequest {
     /// Overrides the planner policy for this request.
     pub fn with_policy(mut self, policy: PlannerConfig) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Selects the attribution measure for this request (default Shapley).
+    pub fn with_measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
         self
     }
 
@@ -599,6 +610,7 @@ fn worker_loop(shared: &Shared) {
         let task = LineageTask::new(&job.request.lineage, job.request.n_endo)
             .with_budget(job.request.budget.unwrap_or(shared.default_budget))
             .with_exact(job.request.exact.unwrap_or(shared.default_exact))
+            .with_measure(job.request.measure)
             .with_seed_salt(job.sequence);
         // Panic isolation: an engine bug unwinding out of the solve must
         // fulfill *this* ticket with an error — not kill the worker and
@@ -724,6 +736,54 @@ mod tests {
             .unwrap();
         assert!(!forced.values.is_exact());
         assert_eq!(forced.engine, crate::engine::EngineKind::Proxy);
+    }
+
+    #[test]
+    fn measures_ride_the_service_with_measure_keyed_cache_entries() {
+        let svc = service(2, 16);
+        let running = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        // All four measures of the same structure through the service: each
+        // result is tagged with its measure, and a1's values pin Shapley
+        // 43/105 vs Banzhaf 21/64.
+        let subs: Vec<(Measure, Submission)> = Measure::ALL
+            .iter()
+            .map(|&m| {
+                let sub = svc
+                    .submit(LineageRequest::new(running.clone(), 8).with_measure(m))
+                    .unwrap();
+                (m, sub)
+            })
+            .collect();
+        for (m, sub) in &subs {
+            let r = sub.wait().unwrap();
+            assert_eq!(r.measure, *m);
+            assert!(r.values.is_exact());
+            if *m == Measure::Shapley {
+                assert_eq!(exact_pairs(&r)[0].1, Rational::from_ratio(43, 105));
+            }
+            if *m == Measure::Banzhaf {
+                assert_eq!(exact_pairs(&r)[0].1, Rational::from_ratio(21, 64));
+            }
+        }
+        // Re-asking any measure (from a new client, renamed facts) is a
+        // measure-keyed cache hit.
+        let hits_before = svc.stats().cache.hits;
+        let renamed = dnf(&[&[70], &[40, 20], &[40, 60], &[10, 20], &[10, 60], &[30, 50]]);
+        let r = svc
+            .client()
+            .submit(LineageRequest::new(renamed, 8).with_measure(Measure::Banzhaf))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.measure, Measure::Banzhaf);
+        let v70 = exact_pairs(&r)
+            .into_iter()
+            .find(|(f, _)| *f == 70)
+            .unwrap()
+            .1;
+        assert_eq!(v70, Rational::from_ratio(21, 64));
+        let stats = svc.shutdown();
+        assert_eq!(stats.cache.hits, hits_before + 1);
     }
 
     #[test]

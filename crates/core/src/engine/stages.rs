@@ -17,13 +17,32 @@
 //! long-lived workers and calls [`solve_one`] per queued request.
 
 use super::planner::CacheOutcome;
-use super::{EngineError, EngineResult, LineageTask, Plan, Planner};
+use super::{EngineError, EngineResult, LineageTask, Measure, Plan, Planner};
 use crate::exact::ExactConfig;
 use shapdb_circuit::{fingerprint, Dnf, Fingerprint, FingerprintKey};
 use shapdb_kc::Budget;
-use shapdb_metrics::counters::CacheRunStats;
+use shapdb_metrics::counters::{
+    CacheRunStats, MEASURE_BANZHAF, MEASURE_RESPONSIBILITY, MEASURE_SHAPLEY, MEASURE_SHAP_SCORE,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bumps the process-wide per-measure request counter — the ops-style view
+/// of which attributions clients actually ask for. Every surface (planner
+/// solve, batch task, service request, measure sweep) funnels through here.
+pub(crate) fn record_measure_request(measure: Measure) {
+    record_measure_requests(measure, 1);
+}
+
+/// [`record_measure_request`], `n` at once (one batch = one atomic add).
+pub(crate) fn record_measure_requests(measure: Measure, n: u64) {
+    match measure {
+        Measure::Shapley => MEASURE_SHAPLEY.add(n),
+        Measure::Banzhaf => MEASURE_BANZHAF.add(n),
+        Measure::Responsibility => MEASURE_RESPONSIBILITY.add(n),
+        Measure::ShapScore => MEASURE_SHAP_SCORE.add(n),
+    };
+}
 
 /// Worker stack size: the DPLL compiler recurses per CNF variable.
 pub(crate) const WORKER_STACK: usize = 64 * 1024 * 1024;
@@ -149,12 +168,13 @@ pub(crate) fn plan_groups(
     planner: &Planner,
     grouping: &Grouping,
     fingerprints: &[Option<Fingerprint>],
+    measure: Measure,
 ) -> Vec<Option<Plan>> {
     (0..grouping.distinct())
         .map(|g| {
             fingerprints[grouping.first_of_group[g]]
                 .as_ref()
-                .map(|fp| planner.plan_fp(fp))
+                .map(|fp| planner.plan_fp(fp, measure))
         })
         .collect()
 }
@@ -194,6 +214,36 @@ impl SolveCounters {
             CacheOutcome::Disabled => {
                 self.engine_runs.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Records a whole multi-measure group solve over **one** structure:
+    /// per-measure cache outcomes count individually, but the engine run
+    /// counts **once** if any measure actually solved — the group shares a
+    /// single compiled/factorized structure, and `engine_runs` counts
+    /// distinct structures solved, not evaluator passes over one.
+    pub fn note_group<I: IntoIterator<Item = CacheOutcome>>(&self, outcomes: I) {
+        let mut ran = false;
+        for outcome in outcomes {
+            match outcome {
+                CacheOutcome::Hit => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                CacheOutcome::Miss => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    ran = true;
+                }
+                CacheOutcome::Bypass => {
+                    self.bypasses.fetch_add(1, Ordering::Relaxed);
+                    ran = true;
+                }
+                CacheOutcome::Disabled => {
+                    ran = true;
+                }
+            }
+        }
+        if ran {
+            self.engine_runs.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -238,6 +288,7 @@ pub(crate) fn solve_group(
     exact: &ExactConfig,
     salt: u64,
     group_size: usize,
+    measure: Measure,
     counters: &SolveCounters,
 ) -> Result<EngineResult, EngineError> {
     match fp {
@@ -254,9 +305,52 @@ pub(crate) fn solve_group(
                 &LineageTask::new(lineage, n_endo)
                     .with_budget(*budget)
                     .with_exact(*exact)
-                    .with_seed_salt(salt),
+                    .with_seed_salt(salt)
+                    .with_measure(measure),
             )
         }
+    }
+}
+
+/// Stage 4, multi-measure variant — solve one distinct structure for
+/// several measures, compiling (or reusing the fingerprint's factorization)
+/// at most once. Per-measure cache outcomes are recorded individually but
+/// the engine run counts once per structure actually solved (see
+/// [`SolveCounters::note_group`]). Results come back in `measures` order,
+/// in canonical space. Unfingerprinted groups (dedup off) solve their own
+/// lineage directly, once per measure.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_group_multi(
+    planner: &Planner,
+    fp: Option<&Fingerprint>,
+    lineage: &Dnf,
+    n_endo: usize,
+    budget: &Budget,
+    exact: &ExactConfig,
+    measures: &[Measure],
+    counters: &SolveCounters,
+) -> Vec<Result<EngineResult, EngineError>> {
+    for &m in measures {
+        record_measure_request(m);
+    }
+    match fp {
+        Some(fp) => {
+            let results = planner.solve_structure_multi(fp, n_endo, budget, exact, measures);
+            counters.note_group(results.iter().map(|(_, outcome)| *outcome));
+            results.into_iter().map(|(result, _)| result).collect()
+        }
+        None => measures
+            .iter()
+            .map(|&m| {
+                counters.note_uncached_run(planner);
+                planner.solve_direct(
+                    &LineageTask::new(lineage, n_endo)
+                        .with_budget(*budget)
+                        .with_exact(*exact)
+                        .with_measure(m),
+                )
+            })
+            .collect(),
     }
 }
 
@@ -275,6 +369,7 @@ pub(crate) fn solve_one(
     task: &LineageTask,
     counters: &SolveCounters,
 ) -> Result<EngineResult, EngineError> {
+    record_measure_request(task.measure);
     if planner.cache().is_none() {
         counters.note_uncached_run(planner);
         return planner.solve_direct(task);
@@ -284,7 +379,7 @@ pub(crate) fn solve_one(
         return planner.solve_direct(task);
     }
     let fp = fingerprint(task.lineage);
-    let plan = planner.plan_fp(&fp);
+    let plan = planner.plan_fp(&fp, task.measure);
     let (result, outcome) = planner.solve_structure(
         &fp,
         plan,

@@ -46,7 +46,8 @@
 //! setting.
 
 use crate::engine::stages::parallel_map;
-use crate::weights::{completion_weights, weighted_difference};
+use crate::measure::Measure;
+use crate::weights::{completion_weights, power_weights, weighted_difference};
 use shapdb_kc::{DNode, Ddnnf};
 use shapdb_metrics::counters::{Counter, NUM_BIGNUM_FALLBACKS, NUM_VLI_HITS};
 use shapdb_num::{
@@ -563,6 +564,29 @@ pub fn shapley_all_facts(
     n_endo: usize,
     cfg: &ExactConfig,
 ) -> Result<Vec<Rational>, ShapleyTimeout> {
+    power_index_all_facts(d, n_endo, cfg, Measure::Shapley)
+}
+
+/// Exact power index (Shapley or Banzhaf) of every d-DNNF variable: the
+/// same Algorithm-1 dynamic program, folded with the measure's `(weights,
+/// denominator)` pair from `weights::power_weights`. The
+/// conditioned per-fact passes are computed once; only the final `O(m)`
+/// weighting differs between the two measures.
+///
+/// # Panics
+///
+/// If `measure` is not a power index (responsibility and the SHAP-score
+/// have their own evaluators).
+pub fn power_index_all_facts(
+    d: &Ddnnf,
+    n_endo: usize,
+    cfg: &ExactConfig,
+    measure: Measure,
+) -> Result<Vec<Rational>, ShapleyTimeout> {
+    assert!(
+        measure.is_power_index(),
+        "{measure} is not a Γ/Δ power index"
+    );
     let num_vars = d.num_vars();
     assert!(
         n_endo >= num_vars,
@@ -580,8 +604,7 @@ pub fn shapley_all_facts(
         return Ok(out);
     }
     let mut facts_table = FactorialTable::new();
-    let weights = completion_weights(m, &mut facts_table);
-    let denom = facts_table.get(m).clone();
+    let (weights, denom) = power_weights(measure, m, &mut facts_table);
     let facts: Vec<usize> = sets[root].iter().collect();
     for (f, v) in dispatch_facts(d, &sets, &facts, m, &weights, &denom, cfg)? {
         out[f] = v;
@@ -752,6 +775,24 @@ mod tests {
         }
         assert_eq!(values[5], Rational::from_ratio(8, 105));
         assert_eq!(values[6], Rational::from_ratio(8, 105));
+    }
+
+    #[test]
+    fn banzhaf_through_the_same_dp_matches_oracles() {
+        // The identical Γ/Δ passes under uniform weights: cross-check the
+        // Algorithm-1 route against both the WMC-based circuit evaluator and
+        // the 2ⁿ enumeration oracle.
+        let dnf = running_example_dnf();
+        let dd = compile_dnf(&dnf, 7);
+        let f = |s: &Bitset| dnf.eval_set(s);
+        let naive = crate::banzhaf::banzhaf_naive(&f, 7);
+        let wmc = crate::banzhaf::banzhaf_all_facts(&dd);
+        let cfg = ExactConfig::default();
+        // n_endo = 9 > m = 7: Banzhaf is |D_n|-insensitive.
+        let dp = power_index_all_facts(&dd, 9, &cfg, Measure::Banzhaf).unwrap();
+        assert_eq!(dp, naive);
+        assert_eq!(dp, wmc);
+        assert_eq!(dp[0], Rational::from_ratio(21, 64));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod engine;
 pub mod exact;
 pub mod hybrid;
 pub mod kernelshap;
+pub mod measure;
 pub mod montecarlo;
 pub mod naive;
 pub mod pipeline;
@@ -49,21 +50,24 @@ pub mod shap_score;
 mod weights;
 
 pub use aggregate::{count_shapley, sum_shapley, AggregateAttributions};
-pub use banzhaf::{banzhaf_all_facts, banzhaf_naive, critical_coalitions};
+pub use banzhaf::{banzhaf_all_facts, banzhaf_from_lineage, banzhaf_naive, critical_coalitions};
 pub use engine::{
     BatchConfig, BatchExecutor, BatchItem, BatchReport, EngineError, EngineKind, EngineResult,
     EngineValues, KcEngine, KernelShapEngine, LineageTask, MonteCarloEngine, NaiveEngine, Plan,
     PlanReason, Planner, PlannerConfig, ProxyEngine, QueryClass, ReadOnceEngine, ShapleyEngine,
 };
-pub use exact::{shapley_all_facts, shapley_single_fact, ExactConfig};
+pub use exact::{power_index_all_facts, shapley_all_facts, shapley_single_fact, ExactConfig};
 pub use hybrid::{hybrid_shapley, hybrid_shapley_dnf, HybridConfig, HybridOutcome, HybridReport};
 pub use kernelshap::{kernel_shap, KernelShapConfig};
+pub use measure::Measure;
 pub use montecarlo::{monte_carlo_shapley, monte_carlo_shapley_monotone, MonteCarloConfig};
 pub use naive::{shapley_naive, shapley_naive_by_slices};
 pub use pipeline::{
     analyze_lineage, analyze_lineage_auto, AnalysisMethod, FactAttribution, LineageAnalysis,
 };
 pub use proxy::{cnf_proxy, cnf_proxy_exact, proxy_from_lineage};
-pub use readonce::{sat_k_read_once, shapley_read_once, try_shapley_read_once};
+pub use readonce::{
+    power_read_once, sat_k_read_once, shap_read_once, shapley_read_once, try_shapley_read_once,
+};
 pub use responsibility::{min_contingency, responsibility, responsibility_all};
-pub use shap_score::{shap_naive, shap_scores};
+pub use shap_score::{shap_naive, shap_scores, shap_scores_from_lineage};

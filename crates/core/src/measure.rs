@@ -1,0 +1,114 @@
+//! The attribution measure a request asks for.
+//!
+//! The paper computes the *Shapley value* of facts (Equation (1)); its
+//! related-work section situates it among the other responsibility measures
+//! the literature applies to query answers — the Banzhaf value / causal
+//! effect [24, 30], causal responsibility (Meliou et al.), and the ML-side
+//! SHAP-score (Arenas et al.). All four are computable from the same
+//! compiled structure (a read-once factorization or a d-DNNF), so the engine
+//! treats the measure as a *request dimension*: one fingerprint, one
+//! compile, four answers.
+//!
+//! | measure        | weighting over the conditioned `Γ/Δ` arrays          |
+//! |----------------|------------------------------------------------------|
+//! | Shapley        | `j!(m−1−j)! / m!` (permutation weights)              |
+//! | Banzhaf        | `1 / 2^(m−1)` (uniform weights)                      |
+//! | Responsibility | none — `1/(1 + min contingency)` on the minimized DNF|
+//! | SHAP-score     | Shapley weights over probability-weighted `β` arrays |
+//!
+//! The engine's SHAP-score fixes the background product distribution at the
+//! uniform `p = ½` per feature (the tuple-independent probabilistic-database
+//! view). The paper's §6.2 ML adaptation uses background `0⃗`, under which
+//! the SHAP-score *equals* the Shapley value — that setting is the
+//! `Shapley` measure itself (and [`crate::shap_score::shap_scores`] with
+//! `probs ≡ 0` for arbitrary backgrounds).
+
+use std::fmt;
+
+/// Which attribution a task computes. Defaults to [`Measure::Shapley`], the
+/// paper's primary notion; every pre-measure API is unchanged under the
+/// default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Measure {
+    /// The Shapley value of facts (Equation (1) of the paper).
+    #[default]
+    Shapley,
+    /// The Banzhaf value (uniform coalition weights; equals the causal
+    /// effect of Salimi et al. for Boolean games).
+    Banzhaf,
+    /// Causal responsibility `ρ(f) = 1/(1 + min |Γ|)` (Meliou et al.).
+    Responsibility,
+    /// The SHAP-score of Arenas et al. under the uniform `p = ½` product
+    /// background distribution.
+    ShapScore,
+}
+
+impl Measure {
+    /// Every supported measure, in protocol-tag order.
+    pub const ALL: [Measure; 4] = [
+        Measure::Shapley,
+        Measure::Banzhaf,
+        Measure::Responsibility,
+        Measure::ShapScore,
+    ];
+
+    /// Stable protocol name (used by `--measure`, the JSONL `"measure"`
+    /// field, and the persist log).
+    pub fn name(self) -> &'static str {
+        match self {
+            Measure::Shapley => "shapley",
+            Measure::Banzhaf => "banzhaf",
+            Measure::Responsibility => "responsibility",
+            Measure::ShapScore => "shap-score",
+        }
+    }
+
+    /// Parses a protocol name (accepts `_` for `-`). `None` for unknown
+    /// strings — boundaries turn that into their own error shape.
+    pub fn parse(s: &str) -> Option<Measure> {
+        match s {
+            "shapley" => Some(Measure::Shapley),
+            "banzhaf" => Some(Measure::Banzhaf),
+            "responsibility" => Some(Measure::Responsibility),
+            "shap-score" | "shap_score" => Some(Measure::ShapScore),
+            _ => None,
+        }
+    }
+
+    /// True for the two power indices computed by the Algorithm-1 DP with a
+    /// swapped weight vector (Shapley and Banzhaf).
+    pub fn is_power_index(self) -> bool {
+        matches!(self, Measure::Shapley | Measure::Banzhaf)
+    }
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in Measure::ALL {
+            assert_eq!(Measure::parse(m.name()), Some(m));
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert_eq!(Measure::parse("shap_score"), Some(Measure::ShapScore));
+        assert_eq!(Measure::parse("SHAPLEY"), None);
+        assert_eq!(Measure::parse(""), None);
+    }
+
+    #[test]
+    fn default_is_shapley() {
+        assert_eq!(Measure::default(), Measure::Shapley);
+        assert!(Measure::Shapley.is_power_index());
+        assert!(Measure::Banzhaf.is_power_index());
+        assert!(!Measure::Responsibility.is_power_index());
+        assert!(!Measure::ShapScore.is_power_index());
+    }
+}

@@ -8,7 +8,7 @@
 //! functions remain as the stable names the rest of the workspace calls.
 
 use crate::engine::{
-    EngineError, EngineKind, EngineResult, EngineValues, KcEngine, LineageTask, Planner,
+    EngineError, EngineKind, EngineResult, EngineValues, KcEngine, LineageTask, Measure, Planner,
     PlannerConfig,
 };
 use crate::exact::{ExactConfig, ShapleyTimeout};
@@ -71,6 +71,7 @@ impl LineageAnalysis {
                 AnalysisMethod::KnowledgeCompilation => EngineKind::Kc,
                 AnalysisMethod::Naive => EngineKind::Naive,
             },
+            measure: Measure::Shapley,
             values: EngineValues::Exact(
                 self.attributions
                     .into_iter()
@@ -143,6 +144,9 @@ pub fn analyze_lineage_auto(
         Err(EngineError::Analysis(e)) => Err(e),
         Err(EngineError::Unsupported(why)) => {
             unreachable!("exact-mode planner only plans supported engines: {why}")
+        }
+        Err(EngineError::UnsupportedMeasure { engine, measure }) => {
+            unreachable!("classic pipeline only issues Shapley tasks: {engine} / {measure}")
         }
         Err(EngineError::Panicked(msg)) => {
             unreachable!("one-shot solves run outside the service's catch_unwind: {msg}")

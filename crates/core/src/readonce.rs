@@ -24,7 +24,8 @@
 //! Algorithm 1's `O(|C|·m²)` per fact.
 
 use crate::exact::ShapleyTimeout;
-use crate::weights::{completion_weights, weighted_difference};
+use crate::measure::Measure;
+use crate::weights::{completion_weights, power_weights, weighted_difference};
 use shapdb_circuit::{factor, Dnf, ReadOnce, VarId};
 use shapdb_num::{
     combinatorics::{BinomialTable, FactorialTable},
@@ -222,6 +223,26 @@ pub fn shapley_read_once(
     n_endo: usize,
     deadline: Option<Instant>,
 ) -> Result<Vec<(VarId, Rational)>, ShapleyTimeout> {
+    power_read_once(tree, n_endo, deadline, Measure::Shapley)
+}
+
+/// Exact power index (Shapley or Banzhaf) of every variable of a read-once
+/// lineage: the same conditioned path passes, folded with the measure's
+/// `(weights, denominator)` pair from `weights::power_weights`.
+///
+/// # Panics
+///
+/// If `measure` is not a power index.
+pub fn power_read_once(
+    tree: &ReadOnce,
+    n_endo: usize,
+    deadline: Option<Instant>,
+    measure: Measure,
+) -> Result<Vec<(VarId, Rational)>, ShapleyTimeout> {
+    assert!(
+        measure.is_power_index(),
+        "{measure} is not a Γ/Δ power index"
+    );
     let vars = tree.vars();
     assert!(
         n_endo >= vars.len(),
@@ -237,8 +258,7 @@ pub fn shapley_read_once(
     let base = base_counts(&a, &mut binomials);
 
     let mut facts_table = FactorialTable::new();
-    let weights = completion_weights(m, &mut facts_table);
-    let denom = facts_table.get(m).clone();
+    let (weights, denom) = power_weights(measure, m, &mut facts_table);
 
     let mut out = Vec::with_capacity(vars.len());
     for v in vars {
@@ -276,6 +296,189 @@ pub fn sat_k_read_once(tree: &ReadOnce) -> Vec<BigUint> {
     let mut binomials = BinomialTable::new();
     let base = base_counts(&a, &mut binomials);
     base[a.root].clone()
+}
+
+// ---------------------------------------------------------------------------
+// SHAP-scores on read-once trees: the same leaf→root conditioned passes as
+// the counting DP above, with probability-weighted rational entries
+// `β_g[ℓ] = Σ_{S ⊆ Vars(g), |S| = ℓ} Pr[g | S fixed to 1]` (the read-once
+// analogue of `crate::shap_score::ShapDp`). The complement trick survives
+// the probabilistic lift: `Σ_{|S|=ℓ} Pr[g | S] + Σ_{|S|=ℓ} Pr[¬g | S] =
+// C(n, ℓ)`, so an `∨` gate is still complement → convolve → complement.
+// ---------------------------------------------------------------------------
+
+/// `β̄_g[ℓ] = C(n, ℓ) − β_g[ℓ]`: the probabilistic complement (involution).
+fn shap_complement(
+    betas: &[Rational],
+    nvars: usize,
+    binomials: &mut BinomialTable,
+) -> Vec<Rational> {
+    let row = binomials.row(nvars).to_vec();
+    betas
+        .iter()
+        .zip(row)
+        .map(|(b, total)| &Rational::from_biguint(total) - b)
+        .collect()
+}
+
+/// Level-wise product of variable-disjoint events (rational convolution).
+fn shap_convolve(arrays: &[&[Rational]]) -> Vec<Rational> {
+    let mut acc = vec![Rational::one()];
+    for arr in arrays {
+        let mut next = vec![Rational::zero(); acc.len() + arr.len() - 1];
+        for (i, ai) in acc.iter().enumerate() {
+            if ai.is_zero() {
+                continue;
+            }
+            for (j, bj) in arr.iter().enumerate() {
+                if bj.is_zero() {
+                    continue;
+                }
+                next[i + j] += &(ai * bj);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// `β` arrays for every node, bottom-up, under uniform marginal `p`.
+fn shap_base_counts(a: &Arena, p: &Rational, binomials: &mut BinomialTable) -> Vec<Vec<Rational>> {
+    let mut betas: Vec<Vec<Rational>> = Vec::with_capacity(a.nodes.len());
+    for (i, n) in a.nodes.iter().enumerate() {
+        let b = match n {
+            RNode::True => vec![Rational::one()],
+            RNode::False => vec![Rational::zero()],
+            // ℓ=0: Pr[v=1] = p; ℓ=1 (v fixed to 1): satisfied.
+            RNode::Var(_) => vec![p.clone(), Rational::one()],
+            RNode::And(kids) => {
+                let arrays: Vec<&[Rational]> = kids.iter().map(|&k| betas[k].as_slice()).collect();
+                shap_convolve(&arrays)
+            }
+            RNode::Or(kids) => {
+                let bars: Vec<Vec<Rational>> = kids
+                    .iter()
+                    .map(|&k| shap_complement(&betas[k], a.nvars[k], binomials))
+                    .collect();
+                let refs: Vec<&[Rational]> = bars.iter().map(Vec::as_slice).collect();
+                shap_complement(&shap_convolve(&refs), a.nvars[i], binomials)
+            }
+        };
+        debug_assert_eq!(b.len(), a.nvars[i] + 1);
+        betas.push(b);
+    }
+    betas
+}
+
+/// Recomputes `β` along the path from `leaf` to the root with the leaf's
+/// variable conditioned to `value` (a constant over zero variables), reusing
+/// the base arrays for every off-path child.
+fn shap_conditioned_root(
+    a: &Arena,
+    base: &[Vec<Rational>],
+    leaf: usize,
+    value: bool,
+    binomials: &mut BinomialTable,
+) -> Vec<Rational> {
+    let mut cur = if value {
+        vec![Rational::one()]
+    } else {
+        vec![Rational::zero()]
+    };
+    let mut child = leaf;
+    while let Some(p) = a.parent[child] {
+        let kids = match &a.nodes[p] {
+            RNode::And(kids) | RNode::Or(kids) => kids,
+            _ => unreachable!("leaf parents are gates"),
+        };
+        let is_and = matches!(&a.nodes[p], RNode::And(_));
+        if is_and {
+            let mut arrays: Vec<&[Rational]> = Vec::with_capacity(kids.len());
+            for &k in kids {
+                arrays.push(if k == child {
+                    cur.as_slice()
+                } else {
+                    base[k].as_slice()
+                });
+            }
+            cur = shap_convolve(&arrays);
+        } else {
+            let mut bars: Vec<Vec<Rational>> = Vec::with_capacity(kids.len());
+            for &k in kids {
+                if k == child {
+                    bars.push(shap_complement(&cur, a.nvars[k] - 1, binomials));
+                } else {
+                    bars.push(shap_complement(&base[k], a.nvars[k], binomials));
+                }
+            }
+            let refs: Vec<&[Rational]> = bars.iter().map(Vec::as_slice).collect();
+            cur = shap_complement(&shap_convolve(&refs), a.nvars[p] - 1, binomials);
+        }
+        debug_assert_eq!(cur.len(), a.nvars[p]);
+        child = p;
+    }
+    cur
+}
+
+/// Exact SHAP-score of every variable of a read-once lineage under the
+/// product distribution with uniform marginal `p` per feature — no
+/// knowledge compilation, the read-once counterpart of
+/// [`crate::shap_score::shap_scores`].
+///
+/// With `p = 0` the result equals the Shapley values (the paper's §6.2
+/// background-`0⃗` adaptation); the engine's `shap-score` measure uses
+/// `p = ½`. Facts outside the tree are dummies (score 0) and are omitted;
+/// this is sound for any ambient `n_endo` because dummy features are null
+/// players of the SHAP game.
+pub fn shap_read_once(
+    tree: &ReadOnce,
+    n_endo: usize,
+    deadline: Option<Instant>,
+    p: &Rational,
+) -> Result<Vec<(VarId, Rational)>, ShapleyTimeout> {
+    let vars = tree.vars();
+    assert!(
+        n_endo >= vars.len(),
+        "|D_n| = {n_endo} smaller than the {} tree variables",
+        vars.len()
+    );
+    if vars.is_empty() {
+        return Ok(Vec::new());
+    }
+    let a = Arena::build(tree);
+    let m = a.nvars[a.root];
+    let mut binomials = BinomialTable::new();
+    let base = shap_base_counts(&a, p, &mut binomials);
+
+    let mut facts_table = FactorialTable::new();
+    let weights = completion_weights(m, &mut facts_table);
+    let denom = Rational::from_biguint(facts_table.get(m).clone());
+    let one_minus_p = &Rational::one() - p;
+
+    let mut out = Vec::with_capacity(vars.len());
+    for v in vars {
+        if let Some(d) = deadline {
+            if Instant::now() > d {
+                return Err(ShapleyTimeout);
+            }
+        }
+        let leaf = a.leaf_of[&v];
+        let beta1 = shap_conditioned_root(&a, &base, leaf, true, &mut binomials);
+        let beta0 = shap_conditioned_root(&a, &base, leaf, false, &mut binomials);
+        debug_assert_eq!(beta1.len(), m);
+        debug_assert_eq!(beta0.len(), m);
+        // Γ − Δ = (1 − p) · (β¹ − β⁰), folded into the weighted sum.
+        let mut numer = Rational::zero();
+        for ((b1, b0), w) in beta1.iter().zip(&beta0).zip(&weights) {
+            let diff = b1 - b0;
+            if diff.is_zero() {
+                continue;
+            }
+            numer += &(&diff * &Rational::from_biguint(w.clone()));
+        }
+        out.push((v, &(&numer * &one_minus_p) / &denom));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -334,6 +537,44 @@ mod tests {
         let tree = factor(&d).unwrap();
         let f = |s: &Bitset| d.eval_set(s);
         assert_eq!(sat_k_read_once(&tree), sat_k_bruteforce(&f, 7));
+    }
+
+    #[test]
+    fn banzhaf_matches_naive_on_running_example() {
+        let d = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        let tree = factor(&d).unwrap();
+        let expect = crate::banzhaf::banzhaf_naive(&|s: &Bitset| d.eval_set(s), 7);
+        // n_endo > m exercises the null-player invariance of the uniform
+        // weights: the values over 9 endogenous facts equal those over 7.
+        for n_endo in [7, 9] {
+            let got = power_read_once(&tree, n_endo, None, Measure::Banzhaf).unwrap();
+            for (v, r) in got {
+                assert_eq!(r, expect[v.index()], "var {} at n_endo {n_endo}", v.0);
+            }
+        }
+    }
+
+    #[test]
+    fn shap_read_once_matches_bruteforce_at_half() {
+        let d = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        let tree = factor(&d).unwrap();
+        let half = Rational::from_ratio(1, 2);
+        let expect =
+            crate::shap_score::shap_naive(&|s: &Bitset| d.eval_set(s), &vec![half.clone(); 7]);
+        let got = shap_read_once(&tree, 7, None, &half).unwrap();
+        for (v, r) in got {
+            assert_eq!(r, expect[v.index()], "var {}", v.0);
+        }
+    }
+
+    #[test]
+    fn shap_read_once_with_zero_background_is_shapley() {
+        // p ≡ 0 is the §6.2 adaptation: SHAP-score = Shapley value.
+        let d = dnf(&[&[0], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[5, 6]]);
+        let tree = factor(&d).unwrap();
+        let got = shap_read_once(&tree, 7, None, &Rational::zero()).unwrap();
+        let shapley = shapley_read_once(&tree, 7, None).unwrap();
+        assert_eq!(got, shapley);
     }
 
     #[test]
@@ -475,6 +716,26 @@ mod tests {
             let got = shapley_read_once(&refactored, n, None).unwrap();
             for (v, r) in got {
                 prop_assert_eq!(&r, &expect[v.index()], "var {}", v.0);
+            }
+        }
+
+        #[test]
+        fn prop_other_measures_match_naive(n in 1usize..7, seed in any::<u64>()) {
+            let perm = permutation(n, seed);
+            let tree = arb_read_once(perm);
+            let d = expand(&tree);
+            let refactored = factor(&d).expect("expansion of read-once is read-once");
+            let f = |s: &Bitset| d.eval_set(s);
+            let banzhaf = power_read_once(&refactored, n, None, Measure::Banzhaf).unwrap();
+            let banzhaf_expect = crate::banzhaf::banzhaf_naive(&f, n);
+            for (v, r) in banzhaf {
+                prop_assert_eq!(&r, &banzhaf_expect[v.index()], "banzhaf var {}", v.0);
+            }
+            let half = Rational::from_ratio(1, 2);
+            let shap = shap_read_once(&refactored, n, None, &half).unwrap();
+            let shap_expect = crate::shap_score::shap_naive(&f, &vec![half.clone(); n]);
+            for (v, r) in shap {
+                prop_assert_eq!(&r, &shap_expect[v.index()], "shap var {}", v.0);
             }
         }
     }

@@ -25,8 +25,14 @@
 //! fast on per-tuple lineages, whose conjuncts are few and short. Computing
 //! responsibility is harder to approximate than to rank by, which is exactly
 //! the comparison the experiments draw against Shapley values.
+//!
+//! When the lineage is **read-once** the hitting set untangles:
+//! [`responsibility_read_once`] computes every fact's responsibility in one
+//! linear pass over the factorization tree — the same compiled structure
+//! the other measures' DPs run on — so the engine layer only pays the
+//! branch-and-bound on lineages that do not factor.
 
-use shapdb_circuit::{Dnf, VarId};
+use shapdb_circuit::{Dnf, ReadOnce, VarId};
 use shapdb_num::{Bitset, Rational};
 
 /// Exact responsibility `ρ(f) = 1/(1 + min |Γ|)` of one fact of a monotone
@@ -49,6 +55,114 @@ pub fn responsibility_all(lineage: &Dnf) -> Vec<(VarId, Rational)> {
         .collect();
     out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     out
+}
+
+/// Sentinel for "no contingency set works" in the read-once DP.
+const NO_CONTINGENCY: u64 = u64::MAX;
+
+/// Exact responsibility of every fact from a read-once factorization of the
+/// (minimized) lineage, in one linear pass over the tree — the same
+/// compiled structure the Shapley / Banzhaf / SHAP-score DPs run on.
+///
+/// On a read-once tree the constrained hitting set collapses: a contingency
+/// set only removes facts, and removed facts live in subtrees disjoint from
+/// the fact's own leaf, so the minimum contingency for leaf `f` is the sum,
+/// over `f`'s `∨`-ancestors, of the cheapest way to falsify every sibling
+/// subtree (`∧`-siblings stay true for free — every present fact is true).
+/// `falsify_cost` is the bottom-up half; the top-down descent accumulates
+/// the per-ancestor sibling sums into each leaf's minimum contingency.
+///
+/// Output matches [`responsibility_all`] on the factored DNF: sorted by
+/// decreasing value (ties by fact id), null players omitted.
+pub fn responsibility_read_once(tree: &ReadOnce) -> Vec<(VarId, Rational)> {
+    let mut costs: Vec<(VarId, u64)> = Vec::new();
+    descend(tree, 0, &mut costs);
+    let mut out: Vec<(VarId, Rational)> = costs
+        .into_iter()
+        .filter(|&(_, k)| k != NO_CONTINGENCY)
+        .map(|(v, k)| (v, Rational::from_ratio(1, 1 + k)))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Minimum number of fact removals that falsify `t` when every fact is
+/// present, or [`NO_CONTINGENCY`] if none do (a certain subformula).
+fn falsify_cost(t: &ReadOnce) -> u64 {
+    match t {
+        ReadOnce::True => NO_CONTINGENCY,
+        ReadOnce::False => 0,
+        ReadOnce::Var(_) => 1,
+        // Falsifying any one conjunct falsifies the conjunction; an empty
+        // conjunction is `true`.
+        ReadOnce::And(cs) => cs.iter().map(falsify_cost).min().unwrap_or(NO_CONTINGENCY),
+        // A disjunction needs every disjunct falsified; an empty one is
+        // `false` already.
+        ReadOnce::Or(cs) => cs
+            .iter()
+            .map(falsify_cost)
+            .fold(0u64, |a, b| a.saturating_add(b)),
+    }
+}
+
+/// Whether `t` evaluates true with every fact present (monotone, so this is
+/// the starting point every contingency set removes from).
+fn holds_outright(t: &ReadOnce) -> bool {
+    match t {
+        ReadOnce::True | ReadOnce::Var(_) => true,
+        ReadOnce::False => false,
+        ReadOnce::And(cs) => cs.iter().all(holds_outright),
+        ReadOnce::Or(cs) => cs.iter().any(holds_outright),
+    }
+}
+
+/// Top-down accumulation: `acc` is the minimum number of removals outside
+/// `t` that make the rest of the formula equivalent to `t`'s value.
+fn descend(t: &ReadOnce, acc: u64, costs: &mut Vec<(VarId, u64)>) {
+    match t {
+        ReadOnce::True | ReadOnce::False => {}
+        ReadOnce::Var(v) => costs.push((*v, acc)),
+        ReadOnce::And(cs) => {
+            // An `∧`-sibling that never holds pins the conjunction false, so
+            // no fact below is ever counterfactual; otherwise siblings are
+            // true for free and the accumulator passes through.
+            let acc = if cs.iter().all(holds_outright) {
+                acc
+            } else {
+                NO_CONTINGENCY
+            };
+            for c in cs {
+                descend(c, acc, costs);
+            }
+        }
+        ReadOnce::Or(cs) => {
+            // Each child's siblings must all be falsified for the child to
+            // decide the disjunction.
+            let sibling_costs: Vec<u64> = cs.iter().map(falsify_cost).collect();
+            let unfalsifiable = sibling_costs
+                .iter()
+                .filter(|&&c| c == NO_CONTINGENCY)
+                .count();
+            let finite_total: u64 = sibling_costs
+                .iter()
+                .filter(|&&c| c != NO_CONTINGENCY)
+                .fold(0u64, |a, &b| a.saturating_add(b));
+            for (c, &own) in cs.iter().zip(&sibling_costs) {
+                let blocked = unfalsifiable - usize::from(own == NO_CONTINGENCY) > 0;
+                let acc = if blocked || acc == NO_CONTINGENCY {
+                    NO_CONTINGENCY
+                } else {
+                    let siblings = if own == NO_CONTINGENCY {
+                        finite_total
+                    } else {
+                        finite_total - own
+                    };
+                    acc.saturating_add(siblings)
+                };
+                descend(c, acc, costs);
+            }
+        }
+    }
 }
 
 /// Size of the smallest contingency set making `fact` counterfactual, or
@@ -230,6 +344,38 @@ mod tests {
     }
 
     #[test]
+    fn read_once_dp_matches_the_hitting_set_on_the_running_example() {
+        let mut d = running_example();
+        d.minimize();
+        let tree = shapdb_circuit::factor_minimized(&d).expect("running example is read-once");
+        assert_eq!(responsibility_read_once(&tree), responsibility_all(&d));
+    }
+
+    #[test]
+    fn read_once_dp_handles_certain_and_blocked_subtrees() {
+        // `true ∨ a`: certain answer — removing `a` never flips it.
+        let certain = ReadOnce::Or(vec![ReadOnce::True, ReadOnce::Var(VarId(0))]);
+        assert!(responsibility_read_once(&certain).is_empty());
+        // `a ∧ false`: never holds — `a` is never a cause.
+        let blocked = ReadOnce::And(vec![ReadOnce::Var(VarId(0)), ReadOnce::False]);
+        assert!(responsibility_read_once(&blocked).is_empty());
+        // `a ∨ (b ∧ c)`: every fact needs a one-fact contingency.
+        let tree = ReadOnce::Or(vec![
+            ReadOnce::Var(VarId(0)),
+            ReadOnce::And(vec![ReadOnce::Var(VarId(1)), ReadOnce::Var(VarId(2))]),
+        ]);
+        let half = Rational::from_ratio(1, 2);
+        assert_eq!(
+            responsibility_read_once(&tree),
+            vec![
+                (VarId(0), half.clone()),
+                (VarId(1), half.clone()),
+                (VarId(2), half)
+            ]
+        );
+    }
+
+    #[test]
     fn counterfactual_fact_has_responsibility_one() {
         // Single witness: f alone derives the answer and nothing else does.
         let d = dnf(&[&[0]]);
@@ -298,6 +444,21 @@ mod tests {
                 responsibility(&d, VarId(fact)),
                 responsibility_naive(&d, VarId(fact), 6)
             );
+        }
+
+        #[test]
+        fn prop_read_once_dp_matches_hitting_set(
+            conjuncts in proptest::collection::vec(
+                proptest::collection::vec(0u32..8, 1..4), 1..7),
+        ) {
+            let mut d = Dnf::new();
+            for c in &conjuncts {
+                d.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+            }
+            d.minimize();
+            if let Some(tree) = shapdb_circuit::factor_minimized(&d) {
+                prop_assert_eq!(responsibility_read_once(&tree), responsibility_all(&d));
+            }
         }
 
         #[test]

@@ -5,6 +5,7 @@
 //! the `#SAT_j` arrays of the lineage conditioned on `f → 1 / 0`, and `m` is
 //! the number of variables the lineage actually mentions.
 
+use crate::measure::Measure;
 use shapdb_num::{combinatorics::FactorialTable, BigInt, BigUint, Coeff, Rational};
 
 /// Weights `w_j` (numerators over `m!`) such that
@@ -23,6 +24,38 @@ pub(crate) fn completion_weights(m: usize, facts: &mut FactorialTable) -> Vec<Bi
     (0..m)
         .map(|j| facts.get(j).clone() * facts.get(m - 1 - j).clone())
         .collect()
+}
+
+/// Per-measure coefficient source for the power indices: the `(weights,
+/// denominator)` pair the conditioned `Γ/Δ` arrays are folded with.
+///
+/// * [`Measure::Shapley`] — the permutation weights above over `m!`;
+/// * [`Measure::Banzhaf`] — uniform weights over `2^(m−1)`: the same
+///   null-player collapse applies (a dummy variable doubles both the
+///   critical-coalition counts and the denominator), so the fold over the
+///   `m` circuit variables is exact for any ambient `|D_n|`.
+///
+/// The DP underneath is identical — Banzhaf is one extra `O(m)` fold away
+/// from Shapley, not a second dynamic program.
+///
+/// # Panics
+///
+/// For the non-power-index measures, which have no `Γ/Δ` weighting.
+pub(crate) fn power_weights(
+    measure: Measure,
+    m: usize,
+    facts: &mut FactorialTable,
+) -> (Vec<BigUint>, BigUint) {
+    match measure {
+        Measure::Shapley => (completion_weights(m, facts), facts.get(m).clone()),
+        Measure::Banzhaf => (
+            vec![BigUint::one(); m],
+            BigUint::one() << m.saturating_sub(1),
+        ),
+        Measure::Responsibility | Measure::ShapScore => {
+            unreachable!("{measure} has no Γ/Δ weight vector")
+        }
+    }
 }
 
 /// The final sum: `Σ_j (Γ[j] − Δ[j]) · w_j / m!`.

@@ -108,10 +108,18 @@ pub static NUM_BIGNUM_FALLBACKS: Counter = Counter::new("num.bignum_fallbacks");
 /// ∧-gate coefficient convolutions executed via the modular NTT/CRT path
 /// instead of schoolbook multiplication.
 pub static NUM_NTT_CONVOLUTIONS: Counter = Counter::new("num.ntt_convolutions");
+/// Lineage tasks asking for the Shapley measure (any surface).
+pub static MEASURE_SHAPLEY: Counter = Counter::new("measure.shapley");
+/// Lineage tasks asking for the Banzhaf measure.
+pub static MEASURE_BANZHAF: Counter = Counter::new("measure.banzhaf");
+/// Lineage tasks asking for the responsibility measure.
+pub static MEASURE_RESPONSIBILITY: Counter = Counter::new("measure.responsibility");
+/// Lineage tasks asking for the SHAP-score measure.
+pub static MEASURE_SHAP_SCORE: Counter = Counter::new("measure.shap_score");
 
 /// The full counter registry, in a fixed order (the [`snapshot`] /
 /// [`CounterSnapshot`] row order).
-fn registry() -> [&'static Counter; 21] {
+fn registry() -> [&'static Counter; 25] {
     [
         &BATCH_TASKS,
         &BATCH_DISTINCT,
@@ -134,6 +142,10 @@ fn registry() -> [&'static Counter; 21] {
         &NUM_VLI_HITS,
         &NUM_BIGNUM_FALLBACKS,
         &NUM_NTT_CONVOLUTIONS,
+        &MEASURE_SHAPLEY,
+        &MEASURE_BANZHAF,
+        &MEASURE_RESPONSIBILITY,
+        &MEASURE_SHAP_SCORE,
     ]
 }
 
@@ -362,6 +374,10 @@ mod tests {
         assert!(names.contains(&"circuit.factor_passes"));
         assert!(names.contains(&"service.submitted"));
         assert!(names.contains(&"service.wait_ns"));
+        assert!(names.contains(&"measure.shapley"));
+        assert!(names.contains(&"measure.banzhaf"));
+        assert!(names.contains(&"measure.responsibility"));
+        assert!(names.contains(&"measure.shap_score"));
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub use shapdb_workloads as workloads;
 
 use shapdb_circuit::{Circuit, Dnf};
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
+pub use shapdb_core::engine::Measure;
 use shapdb_core::engine::{
     BatchExecutor, CacheStats, EngineError, EngineKind, EngineValues, Planner, PlannerConfig,
     ServiceConfig, ShapleyCache, ShapleyService,
@@ -183,6 +184,7 @@ impl<'a> ShapleyAnalyzer<'a> {
         q: &Ucq,
         cfg: PlannerConfig,
         exact: &ExactConfig,
+        measure: Measure,
     ) -> (QueryResult, shapdb_core::engine::BatchReport) {
         let res = evaluate(q, self.db);
         let lineages: Vec<Dnf> = res
@@ -195,7 +197,9 @@ impl<'a> ShapleyAnalyzer<'a> {
         if let Some(cache) = &self.cache {
             planner = planner.with_cache(cache.clone());
         }
-        let mut executor = BatchExecutor::new(planner).with_threads(self.threads);
+        let mut executor = BatchExecutor::new(planner)
+            .with_threads(self.threads)
+            .with_measure(measure);
         if fail_fast {
             // Exact mode propagates the first error anyway — abort the rest.
             executor = executor.with_fail_fast();
@@ -215,10 +219,33 @@ impl<'a> ShapleyAnalyzer<'a> {
         Ok(self.explain_batch(q)?.explanations)
     }
 
+    /// [`ShapleyAnalyzer::explain`] under any attribution [`Measure`]:
+    /// Banzhaf and SHAP-score ride the same planner routes (read-once
+    /// factorization, shared knowledge compilation, measure-keyed result
+    /// cache) as the Shapley value; responsibility is computed directly on
+    /// the minimized lineage. Attribution lists are sorted by decreasing
+    /// value with null players omitted, exactly like `explain`.
+    pub fn explain_measure(
+        &self,
+        q: &Ucq,
+        measure: Measure,
+    ) -> Result<Vec<TupleExplanation>, AnalysisError> {
+        Ok(self.explain_measure_batch(q, measure)?.explanations)
+    }
+
     /// [`ShapleyAnalyzer::explain`], plus the batch bookkeeping: dedup hit
     /// rate, distinct structures solved, threads used, wall time.
     pub fn explain_batch(&self, q: &Ucq) -> Result<BatchExplanation, AnalysisError> {
-        let (res, report) = self.run_batch(q, PlannerConfig::default(), &self.exact);
+        self.explain_measure_batch(q, Measure::Shapley)
+    }
+
+    /// [`ShapleyAnalyzer::explain_measure`] with the batch bookkeeping.
+    pub fn explain_measure_batch(
+        &self,
+        q: &Ucq,
+        measure: Measure,
+    ) -> Result<BatchExplanation, AnalysisError> {
+        let (res, report) = self.run_batch(q, PlannerConfig::default(), &self.exact, measure);
         let dedup = report.dedup;
         let cache = report.cache;
         let num = report.num;
@@ -233,6 +260,12 @@ impl<'a> ShapleyAnalyzer<'a> {
                 }
                 EngineError::Panicked(msg) => {
                     unreachable!("one-shot solves run outside the service's catch_unwind: {msg}")
+                }
+                EngineError::UnsupportedMeasure { engine, measure } => {
+                    unreachable!(
+                        "the default planner only routes measures to exact engines, \
+                         which support all of them: {engine} / {measure}"
+                    )
                 }
             })?;
             let EngineValues::Exact(pairs) = result.values else {
@@ -300,7 +333,7 @@ impl<'a> ShapleyAnalyzer<'a> {
             max_kc_conjuncts: usize::MAX,
             ..Default::default()
         };
-        let (res, report) = self.run_batch(q, planner_cfg, &cfg.exact);
+        let (res, report) = self.run_batch(q, planner_cfg, &cfg.exact, Measure::Shapley);
         res.outputs
             .into_iter()
             .zip(report.items)
@@ -359,16 +392,41 @@ impl<'a> ShapleyAnalyzer<'a> {
     /// Shapley value (it only counts one minimal contingency), provided for
     /// comparison; the related-work measure the paper positions itself
     /// against.
+    ///
+    /// Routed through the engine layer as [`Measure::Responsibility`], so
+    /// structurally identical answers are computed once and the results
+    /// land in (and are served from) the measure-keyed cross-query cache.
     pub fn explain_responsibility(&self, q: &Ucq) -> Vec<TupleResponsibilities> {
-        let res = evaluate(q, self.db);
+        let (res, report) = self.run_batch(
+            q,
+            PlannerConfig::default(),
+            &self.exact,
+            Measure::Responsibility,
+        );
         res.outputs
             .into_iter()
-            .map(|tuple| {
-                let elin = tuple.endo_lineage(self.db);
-                let values = shapdb_core::responsibility::responsibility_all(&elin)
+            .zip(report.items)
+            .map(|(tuple, item)| {
+                let values = match item.result {
+                    Ok(r) => match r.values {
+                        EngineValues::Exact(pairs) => {
+                            pairs.into_iter().map(|(v, r)| (FactId(v.0), r)).collect()
+                        }
+                        EngineValues::Approx(_) => {
+                            unreachable!("responsibility is exact on every route")
+                        }
+                    },
+                    // Responsibility needs no compiled circuit, but a
+                    // caller-set budget can still abort a route (timeout,
+                    // fail-fast neighbors); degrade to the direct DNF
+                    // computation rather than fail an infallible API.
+                    Err(_) => shapdb_core::responsibility::responsibility_all(
+                        &tuple.endo_lineage(self.db),
+                    )
                     .into_iter()
                     .map(|(v, r)| (FactId(v.0), r))
-                    .collect();
+                    .collect(),
+                };
                 (tuple.tuple, values)
             })
             .collect()
@@ -597,6 +655,54 @@ mod tests {
             .submit(LineageRequest::new(wide, 12).with_budget(Budget::unlimited()))
             .unwrap();
         assert!(lifted.wait().is_ok());
+    }
+
+    #[test]
+    fn explain_measure_covers_all_four_with_one_cache() {
+        let (db, a) = flights_example();
+        let analyzer = ShapleyAnalyzer::new(&db);
+        let q = flights_query();
+        // Banzhaf of the running example: a1 = 21/64 (uniform weights over
+        // the same Γ/Δ arrays Shapley uses).
+        let banzhaf = analyzer.explain_measure(&q, Measure::Banzhaf).unwrap();
+        assert_eq!(banzhaf[0].attributions[0].0, a[0]);
+        assert_eq!(banzhaf[0].attributions[0].1, Rational::from_ratio(21, 64));
+        // Shapley through the measure API matches the classic entry point.
+        let shapley = analyzer.explain_measure(&q, Measure::Shapley).unwrap();
+        assert_eq!(
+            shapley[0].attributions,
+            analyzer.explain(&q).unwrap()[0].attributions
+        );
+        // SHAP-score and responsibility also come back exact and non-empty.
+        for m in [Measure::ShapScore, Measure::Responsibility] {
+            let e = analyzer.explain_measure(&q, m).unwrap();
+            assert!(!e[0].attributions.is_empty(), "{m}");
+        }
+        // One structure, four measures: four measure-keyed entries, and the
+        // repeat Shapley ask above was a cache hit.
+        let stats = analyzer.cache_stats().unwrap();
+        assert_eq!(stats.len, 4);
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn explain_responsibility_routes_through_the_measure_cache() {
+        let (db, a) = flights_example();
+        let analyzer = ShapleyAnalyzer::new(&db);
+        let q = flights_query();
+        let cold = analyzer.explain_responsibility(&q);
+        // Example 2.1's lineage: every fact's minimal contingency has three
+        // facts (see `responsibility::running_example_responsibilities`),
+        // so all seven carry ρ = 1/4 and the null player a8 is omitted.
+        let (_, values) = &cold[0];
+        assert_eq!(values.len(), 7);
+        assert!(values.iter().any(|(f, _)| *f == a[0]));
+        assert!(values.iter().all(|(_, r)| r == &Rational::from_ratio(1, 4)));
+        let after_cold = analyzer.cache_stats().unwrap();
+        assert_eq!(after_cold.len, 1, "responsibility entry cached");
+        let warm = analyzer.explain_responsibility(&q);
+        assert_eq!(cold, warm);
+        assert!(analyzer.cache_stats().unwrap().hits > after_cold.hits);
     }
 
     #[test]
