@@ -1,6 +1,6 @@
 # Convenience targets mirroring .github/workflows/ci.yml for offline use.
 
-.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-alg1 bench-serve bench-net bench-measures bench
+.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-alg1 bench-kc bench-serve bench-net bench-measures bench
 
 check: fmt build test clippy doc quickstart
 
@@ -42,6 +42,13 @@ bench-exact:
 # the timing series to results/bench_alg1.json.
 bench-alg1:
 	cargo bench --bench alg1_sweep -p shapdb_bench
+
+# Wide non-read-once compilation: bottom-up vs top-down vs cache-warm
+# top-down on 24–513-variable disjoint-majority-block structures,
+# asserted bit-identical on model counts before timing; writes
+# results/bench_kc.json (warns if the warm pass is under the 2x bar).
+bench-kc:
+	cargo bench --bench kc_wide -p shapdb_bench
 
 # Resident service: the 521-lineage workload replayed through the
 # `serve --jsonl` protocol (cold + warm) vs the direct batch path; records

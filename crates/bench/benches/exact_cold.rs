@@ -22,7 +22,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shapdb_circuit::{Circuit, Dnf};
 use shapdb_core::engine::{BatchExecutor, EngineKind, Planner, PlannerConfig};
 use shapdb_core::exact::{shapley_all_facts, ExactConfig};
-use shapdb_kc::{compile_circuit, Budget, Ddnnf};
+use shapdb_kc::{compile_circuit, compile_circuit_topdown, Budget, ComponentCache, Ddnnf};
 use std::time::{Duration, Instant};
 
 /// Every answer lineage of every workload query (capped per query) — the
@@ -57,17 +57,43 @@ fn distinct_structures(lineages: &[Dnf]) -> Vec<Dnf> {
     out
 }
 
-/// Variable cap for the phase series: the paper's cold path on the few
-/// widest (>48-variable) structures costs *seconds* per pass — exactly the
-/// cost the planner's read-once routing avoids — which would turn a smoke
-/// bench into minutes. The cap is reported, never silent.
-const PHASE_MAX_VARS: usize = 48;
+/// Variable cap for the *compiler* phase series. The bottom-up compiler
+/// priced the widest structures at seconds per pass, which capped this at
+/// 48; the top-down compiler with component caching prices them at
+/// microseconds, so the cap now admits the whole (48, 256] band. Skipped
+/// structures' variable counts are reported in the JSON, never silent.
+const PHASE_MAX_VARS: usize = 256;
 
-/// Compiles one canonical DNF to a projected d-DNNF.
+/// Variable cap for the Algorithm 1 phase series. Algorithm 1 itself on
+/// the widest structures is seconds per pass (see the `alg1_by_vars`
+/// buckets, which cover them with fewer samples), so the 10-sample phase
+/// series keeps the original cap.
+const ALG1_PHASE_MAX_VARS: usize = 48;
+
+/// Width past which the phase series compiles top-down — the same knob
+/// `PlannerConfig::default().topdown_min_vars` applies in production.
+const TOPDOWN_MIN_VARS: usize = 48;
+
+/// Compiles one canonical DNF to a projected d-DNNF (bottom-up).
 fn compile_one(d: &Dnf) -> Ddnnf {
     let mut c = Circuit::new();
     let root = d.to_circuit(&mut c);
     compile_circuit(&c, root, &Budget::unlimited())
+        .expect("workload structures compile")
+        .ddnnf
+}
+
+/// Compiles one canonical DNF with the planner's routing: wide structures
+/// go through the top-down compiler, sharing `cache` across the pass's
+/// lineages (one batch-lived cache per pass, as the batch executor
+/// attaches).
+fn compile_one_routed(d: &Dnf, cache: &ComponentCache) -> Ddnnf {
+    if d.vars().len() <= TOPDOWN_MIN_VARS {
+        return compile_one(d);
+    }
+    let mut c = Circuit::new();
+    let root = d.to_circuit(&mut c);
+    compile_circuit_topdown(&c, root, &Budget::unlimited(), Some((cache, 1)))
         .expect("workload structures compile")
         .ddnnf
 }
@@ -143,14 +169,26 @@ fn bench_exact_cold(c: &mut Criterion) {
         .filter(|d| d.vars().len() <= PHASE_MAX_VARS)
         .cloned()
         .collect();
+    // Skipped structures are reported *with their variable counts*, so a
+    // reader of the JSON knows exactly which widths the phase medians do
+    // not cover.
+    let skipped_vars: Vec<usize> = all_structures
+        .iter()
+        .map(|d| d.vars().len())
+        .filter(|&v| v > PHASE_MAX_VARS)
+        .collect();
     println!(
-        "phase series: {} of {} distinct structures (capped at {} vars; {} dropped)",
+        "phase series: {} of {} distinct structures (capped at {} vars; skipped var counts: {:?})",
         structures.len(),
         all_structures.len(),
         PHASE_MAX_VARS,
-        all_structures.len() - structures.len(),
+        skipped_vars,
     );
-    let ddnnfs: Vec<Ddnnf> = structures.iter().map(compile_one).collect();
+    let alg1_structures: Vec<&Dnf> = structures
+        .iter()
+        .filter(|d| d.vars().len() <= ALG1_PHASE_MAX_VARS)
+        .collect();
+    let ddnnfs: Vec<Ddnnf> = alg1_structures.iter().map(|d| compile_one(d)).collect();
     let circuit_vars: usize = ddnnfs.iter().map(Ddnnf::num_vars).sum();
 
     let mut group = c.benchmark_group("exact_cold");
@@ -182,9 +220,10 @@ fn bench_exact_cold(c: &mut Criterion) {
     );
     group.bench_with_input(BenchmarkId::from_parameter("compiler_only"), &(), |b, _| {
         b.iter(|| {
+            let cache = ComponentCache::new();
             structures
                 .iter()
-                .map(|d| compile_one(d).len())
+                .map(|d| compile_one_routed(d, &cache).len())
                 .sum::<usize>()
         })
     });
@@ -221,8 +260,9 @@ fn bench_exact_cold(c: &mut Criterion) {
         }
     });
     let compile_ns = median_ns(SAMPLES, || {
+        let cache = ComponentCache::new();
         for d in &structures {
-            std::hint::black_box(compile_one(d).len());
+            std::hint::black_box(compile_one_routed(d, &cache).len());
         }
     });
     let alg1_ns = median_ns(SAMPLES, || {
@@ -235,6 +275,11 @@ fn bench_exact_cold(c: &mut Criterion) {
         }
     });
     let (bucket_entries, bucket_dropped) = alg1_by_vars(&all_structures, n_endo);
+    let skipped_json = skipped_vars
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         concat!(
             "{{\n",
@@ -245,6 +290,9 @@ fn bench_exact_cold(c: &mut Criterion) {
             "    \"n_endo\": {},\n",
             "    \"distinct_structures\": {},\n",
             "    \"phase_max_vars\": {},\n",
+            "    \"phase_skipped_vars\": [{}],\n",
+            "    \"alg1_phase_max_vars\": {},\n",
+            "    \"alg1_phase_structures\": {},\n",
             "    \"phase_circuit_vars\": {}\n",
             "  }},\n",
             "  \"median_ms\": {{\n",
@@ -264,6 +312,9 @@ fn bench_exact_cold(c: &mut Criterion) {
         n_endo,
         structures.len(),
         PHASE_MAX_VARS,
+        skipped_json,
+        ALG1_PHASE_MAX_VARS,
+        alg1_structures.len(),
         circuit_vars,
         cold_ns as f64 / 1e6,
         fingerprint_ns as f64 / 1e6,

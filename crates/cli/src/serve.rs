@@ -286,9 +286,12 @@ pub(crate) fn render_stats(summary: &ServeSummary) -> String {
             "\"completed\":{},\"rejected\":{},\"workers\":{},",
             "\"queue_capacity\":{},\"clients\":{},\"engine_runs\":{},",
             "\"cache_hits\":{},\"cache_misses\":{},\"cache_bypasses\":{},",
+            "\"kc_comp_cache_hits\":{},\"kc_comp_cache_misses\":{},",
+            "\"kc_comp_cache_evictions\":{},",
             "\"measure_shapley\":{},\"measure_banzhaf\":{},",
             "\"measure_responsibility\":{},\"measure_shap_score\":{},",
             "\"vli_passes\":{},\"bignum_passes\":{},\"ntt_convolutions\":{},",
+            "\"route_timings\":{},",
             "\"mean_wait_us\":{:.1}}}}}"
         ),
         summary.responses,
@@ -303,6 +306,9 @@ pub(crate) fn render_stats(summary: &ServeSummary) -> String {
         s.cache.hits,
         s.cache.misses,
         s.cache.bypasses,
+        since_start("kc.comp_cache_hits"),
+        since_start("kc.comp_cache_misses"),
+        since_start("kc.comp_cache_evictions"),
         since_start("measure.shapley"),
         since_start("measure.banzhaf"),
         since_start("measure.responsibility"),
@@ -310,8 +316,39 @@ pub(crate) fn render_stats(summary: &ServeSummary) -> String {
         since_start("num.vli_hits"),
         since_start("num.bignum_fallbacks"),
         since_start("num.ntt_convolutions"),
+        render_route_timings(),
         s.mean_wait().as_nanos() as f64 / 1e3,
     )
+}
+
+/// The per-route compile/solve timing summaries as one JSON array.
+/// Histograms are process-cumulative (they span every route of the
+/// process, not just this session); routes that never ran are omitted.
+fn render_route_timings() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, t) in shapdb_metrics::timing::active_route_timings()
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"name\":\"{}\",\"count\":{},\"mean_us\":{},",
+                "\"p50_us\":{},\"p99_us\":{}}}"
+            ),
+            t.name,
+            t.count,
+            t.mean_us(),
+            t.quantile_us(0.5),
+            t.quantile_us(0.99),
+        );
+    }
+    out.push(']');
+    out
 }
 
 /// A response slot, kept in request order.

@@ -39,12 +39,12 @@
 use super::{translate_result, EngineError, EngineResult, Measure, Planner};
 use crate::exact::ExactConfig;
 use shapdb_circuit::Dnf;
-use shapdb_kc::Budget;
+use shapdb_kc::{Budget, ComponentCache};
 use shapdb_metrics::counters::{
-    CacheRunStats, CounterSnapshot, DedupStats, NumRunStats, BATCH_DEDUP_HITS, BATCH_DISTINCT,
-    BATCH_TASKS,
+    CacheRunStats, CounterSnapshot, DedupStats, KcCacheRunStats, NumRunStats, BATCH_DEDUP_HITS,
+    BATCH_DISTINCT, BATCH_TASKS,
 };
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use super::stages;
@@ -126,6 +126,9 @@ pub struct BatchReport {
     /// fixed-limb integers vs heap bignums, and how many ∧-convolutions
     /// took the NTT path.
     pub num: NumRunStats,
+    /// Cross-lineage component-cache traffic of this run's top-down
+    /// compiles (all zeros when no lineage took the top-down route).
+    pub kc_cache: KcCacheRunStats,
     /// Wall time of the whole batch.
     pub total_time: Duration,
 }
@@ -205,11 +208,15 @@ impl BatchExecutor {
         let tasks = lineages.len();
         let pool = self.cfg.effective_threads();
         stages::record_measure_requests(self.cfg.measure, tasks as u64);
+        // A batch-lived component cache when the planner does not already
+        // carry a resident one: this run's top-down compiles share
+        // isomorphic residual components across lineages either way.
+        let planner = self.run_planner();
 
         // Stages 1–3: canonicalize (in parallel), group, plan.
         let fingerprints = stages::fingerprint_lineages(pool, lineages, self.cfg.dedup);
         let grouping = stages::group_by_structure(&fingerprints);
-        let plans = stages::plan_groups(&self.planner, &grouping, &fingerprints, self.cfg.measure);
+        let plans = stages::plan_groups(&planner, &grouping, &fingerprints, self.cfg.measure);
         let distinct = grouping.distinct();
 
         // Stage 4: fan the distinct structures out across scoped workers.
@@ -227,7 +234,7 @@ impl BatchExecutor {
                     None => {
                         let i = grouping.first_of_group[g];
                         stages::solve_group(
-                            &self.planner,
+                            &planner,
                             fingerprints[i].as_ref(),
                             plans[g],
                             &lineages[i],
@@ -274,13 +281,15 @@ impl BatchExecutor {
         BATCH_DISTINCT.add(distinct as u64);
         BATCH_DEDUP_HITS.add(dedup.hits() as u64);
 
+        let after = CounterSnapshot::take();
         BatchReport {
             items,
             dedup,
             engine_runs: counters.engine_runs(),
             cache: counters.cache_stats(),
             threads,
-            num: NumRunStats::delta(&CounterSnapshot::take(), &num_before),
+            num: NumRunStats::delta(&after, &num_before),
+            kc_cache: KcCacheRunStats::delta(&after, &num_before),
             total_time: start.elapsed(),
         }
     }
@@ -308,6 +317,7 @@ impl BatchExecutor {
         let num_before = CounterSnapshot::take();
         let tasks = lineages.len();
         let pool = self.cfg.effective_threads();
+        let planner = self.run_planner();
 
         let fingerprints = stages::fingerprint_lineages(pool, lineages, self.cfg.dedup);
         let grouping = stages::group_by_structure(&fingerprints);
@@ -319,7 +329,7 @@ impl BatchExecutor {
             stages::parallel_map(threads, distinct, |g| {
                 let i = grouping.first_of_group[g];
                 stages::solve_group_multi(
-                    &self.planner,
+                    &planner,
                     fingerprints[i].as_ref(),
                     &lineages[i],
                     n_endo,
@@ -352,6 +362,7 @@ impl BatchExecutor {
         BATCH_DISTINCT.add(distinct as u64);
         BATCH_DEDUP_HITS.add(dedup.hits() as u64);
 
+        let after = CounterSnapshot::take();
         MeasureSweepReport {
             results,
             measures: measures.to_vec(),
@@ -359,8 +370,25 @@ impl BatchExecutor {
             engine_runs: counters.engine_runs(),
             cache: counters.cache_stats(),
             threads,
-            num: NumRunStats::delta(&CounterSnapshot::take(), &num_before),
+            num: NumRunStats::delta(&after, &num_before),
+            kc_cache: KcCacheRunStats::delta(&after, &num_before),
             total_time: start.elapsed(),
+        }
+    }
+
+    /// The planner a run solves through: the executor's own when it
+    /// already carries a resident component cache, otherwise a clone with
+    /// a batch-lived [`ComponentCache`] attached — so intra-batch
+    /// cross-lineage fragment sharing happens even without a resident
+    /// service cache. The result cache `Arc` is shared by the clone, so
+    /// cross-run result reuse is unaffected.
+    fn run_planner(&self) -> Planner {
+        match self.planner.component_cache() {
+            Some(_) => self.planner.clone(),
+            None => self
+                .planner
+                .clone()
+                .with_component_cache(Arc::new(ComponentCache::new())),
         }
     }
 }
@@ -385,6 +413,9 @@ pub struct MeasureSweepReport {
     pub threads: usize,
     /// Arithmetic-substrate routing of this sweep.
     pub num: NumRunStats,
+    /// Cross-lineage component-cache traffic of this sweep's top-down
+    /// compiles.
+    pub kc_cache: KcCacheRunStats,
     /// Wall time of the whole sweep.
     pub total_time: Duration,
 }

@@ -24,7 +24,9 @@ use crate::readonce::{power_read_once, shap_read_once};
 use crate::responsibility::{responsibility_all, responsibility_read_once};
 use crate::shap_score::{shap_naive, shap_scores};
 use shapdb_circuit::{factor, tseytin, Circuit, Dnf, NodeId, VarId};
-use shapdb_kc::{compile, project, Budget, CompileStats, Ddnnf};
+use shapdb_kc::{
+    compile, compile_circuit_topdown, project, Budget, CompileStats, ComponentCache, Ddnnf,
+};
 use shapdb_metrics::counters::ENGINE_SOLVES;
 use shapdb_num::{Bitset, Rational};
 use std::borrow::Cow;
@@ -78,6 +80,7 @@ fn exact_result(
     compile_stats: CompileStats,
 ) -> EngineResult {
     sort_exact(&mut pairs);
+    shapdb_metrics::timing::record_route(engine.name(), prep_time, solve_time);
     EngineResult {
         engine,
         measure,
@@ -99,6 +102,7 @@ fn approx_result(
     cnf_clauses: usize,
 ) -> EngineResult {
     sort_approx(&mut pairs);
+    shapdb_metrics::timing::record_route(engine.name(), prep_time, solve_time);
     EngineResult {
         engine,
         // Only the Shapley-estimating engines produce approximate values.
@@ -218,13 +222,41 @@ impl KcEngine {
         Ok(result.into_analysis().expect("KC results always convert"))
     }
 
-    /// Tseytin → compile → project of a circuit root, timed.
+    /// Tseytin → compile → project of a circuit root, timed — bottom-up.
     pub(crate) fn compile_circuit_root(
         circuit: &Circuit,
         root: NodeId,
         budget: &Budget,
     ) -> Result<CompiledLineage, AnalysisError> {
+        KcEngine::compile_circuit_root_routed(circuit, root, budget, false, None)
+    }
+
+    /// Tseytin → compile → project of a circuit root, timed, with the
+    /// plan's compiler choice applied: `topdown` selects the
+    /// sharpSAT-style top-down compiler, and `shared` lets that compile
+    /// probe and populate a cross-lineage component cache under the given
+    /// context digest. Both routes produce the same projected d-DNNF
+    /// semantics; only the search strategy (and hence the node layout and
+    /// compile counters) differs.
+    pub(crate) fn compile_circuit_root_routed(
+        circuit: &Circuit,
+        root: NodeId,
+        budget: &Budget,
+        topdown: bool,
+        shared: Option<(&ComponentCache, u64)>,
+    ) -> Result<CompiledLineage, AnalysisError> {
         let kc_start = Instant::now();
+        if topdown {
+            let c = compile_circuit_topdown(circuit, root, budget, shared)
+                .map_err(AnalysisError::Compile)?;
+            return Ok(CompiledLineage {
+                ddnnf: c.ddnnf,
+                input_vars: c.fact_vars,
+                cnf_clauses: c.tseytin.cnf.len(),
+                compile_stats: c.stats,
+                prep_time: kc_start.elapsed(),
+            });
+        }
         let t = tseytin(circuit, root);
         let (full, compile_stats) = compile(&t.cnf, budget).map_err(AnalysisError::Compile)?;
         let ddnnf = project(&full, t.num_inputs());
@@ -237,15 +269,51 @@ impl KcEngine {
         })
     }
 
-    /// Compiles a (minimized) monotone DNF lineage once, for any number of
-    /// subsequent [`KcEngine::evaluate_compiled`] calls.
-    pub(crate) fn compile_lineage(
+    /// Compiles a (minimized) monotone DNF lineage once — for any number
+    /// of subsequent [`KcEngine::evaluate_compiled`] calls — with the
+    /// plan's compiler choice and optional shared component cache (see
+    /// [`KcEngine::compile_circuit_root_routed`]).
+    pub(crate) fn compile_lineage_routed(
         lineage: &Dnf,
         budget: &Budget,
+        topdown: bool,
+        shared: Option<(&ComponentCache, u64)>,
     ) -> Result<CompiledLineage, AnalysisError> {
         let mut circuit = Circuit::new();
         let root = lineage.to_circuit(&mut circuit);
-        KcEngine::compile_circuit_root(&circuit, root, budget)
+        KcEngine::compile_circuit_root_routed(&circuit, root, budget, topdown, shared)
+    }
+
+    /// The full KC solve with the plan's compiler choice applied — the
+    /// planner's KC arm calls this so wide lineages compile top-down and
+    /// share component-cache fragments across lineages; the plain
+    /// [`ShapleyEngine::solve`] is the `(false, None)` special case.
+    pub(crate) fn solve_routed(
+        task: &LineageTask,
+        topdown: bool,
+        shared: Option<(&ComponentCache, u64)>,
+    ) -> Result<EngineResult, EngineError> {
+        ENGINE_SOLVES.incr();
+        let lineage = minimized(task);
+        if task.measure == Measure::Responsibility {
+            // DNF-level measure: no compilation; the result still reports
+            // the route that admitted the task.
+            let solve_start = Instant::now();
+            let pairs = responsibility_all(&lineage);
+            return Ok(exact_result(
+                EngineKind::Kc,
+                Measure::Responsibility,
+                pairs,
+                Duration::default(),
+                solve_start.elapsed(),
+                0,
+                0,
+                CompileStats::default(),
+            ));
+        }
+        let compiled = KcEngine::compile_lineage_routed(&lineage, &task.budget, topdown, shared)
+            .map_err(EngineError::Analysis)?;
+        KcEngine::evaluate_compiled(&compiled, task.n_endo, &task.exact, task.measure)
     }
 
     /// One measure's values from an already-compiled structure: the power
@@ -299,27 +367,7 @@ impl ShapleyEngine for KcEngine {
     }
 
     fn solve(&self, task: &LineageTask) -> Result<EngineResult, EngineError> {
-        ENGINE_SOLVES.incr();
-        let lineage = minimized(task);
-        if task.measure == Measure::Responsibility {
-            // DNF-level measure: no compilation; the result still reports
-            // the route that admitted the task.
-            let solve_start = Instant::now();
-            let pairs = responsibility_all(&lineage);
-            return Ok(exact_result(
-                EngineKind::Kc,
-                Measure::Responsibility,
-                pairs,
-                Duration::default(),
-                solve_start.elapsed(),
-                0,
-                0,
-                CompileStats::default(),
-            ));
-        }
-        let compiled =
-            KcEngine::compile_lineage(&lineage, &task.budget).map_err(EngineError::Analysis)?;
-        KcEngine::evaluate_compiled(&compiled, task.n_endo, &task.exact, task.measure)
+        KcEngine::solve_routed(task, false, None)
     }
 }
 

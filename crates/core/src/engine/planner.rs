@@ -29,10 +29,10 @@ use super::engines::{CompiledLineage, KcEngine as KcEngineImpl};
 use super::{EngineError, EngineKind, EngineResult, LineageTask, Measure, ReadOnceEngine};
 use crate::exact::ExactConfig;
 use shapdb_circuit::{factor_minimized, Dnf, Fingerprint, ReadOnce};
-use shapdb_kc::Budget;
+use shapdb_kc::{Budget, ComponentCache};
 use shapdb_metrics::counters::{
-    PLANNER_HIERARCHICAL_DISAGREEMENTS, PLANNER_KC_ROUTES, PLANNER_NAIVE_ROUTES,
-    PLANNER_READ_ONCE_ROUTES,
+    PLANNER_HIERARCHICAL_DISAGREEMENTS, PLANNER_KC_ROUTES, PLANNER_KC_TOPDOWN_ROUTES,
+    PLANNER_NAIVE_ROUTES, PLANNER_READ_ONCE_ROUTES,
 };
 use shapdb_query::{is_hierarchical, is_self_join_free, Ucq};
 use std::sync::Arc;
@@ -52,6 +52,13 @@ pub struct PlannerConfig {
     /// Knowledge-compilation admission: max lineage conjuncts (same
     /// semantics as [`PlannerConfig::max_kc_vars`]).
     pub max_kc_conjuncts: usize,
+    /// Non-read-once lineages with more (minimized) variables than this
+    /// compile with the **top-down** compiler (component caching by
+    /// canonical encoding, conflict-activity VSADS) instead of the
+    /// bottom-up trace compiler — the regime where dynamic decomposition
+    /// and cross-lineage fragment reuse pay for their overhead. Below it
+    /// the bottom-up compiler's lower constant factor wins.
+    pub topdown_min_vars: usize,
     /// Naive-enumeration admission: non-read-once lineages with at most
     /// this many (minimized) variables route to `O(2ⁿ)` enumeration, which
     /// beats Tseytin + compilation + Algorithm 1 below ~10 variables.
@@ -75,10 +82,13 @@ impl Default for PlannerConfig {
     fn default() -> Self {
         PlannerConfig {
             force: None,
-            max_kc_vars: 128,
+            // The top-down compiler's component cache tames the wide
+            // non-read-once lineages the old 128-variable cap excluded.
+            max_kc_vars: 1024,
             max_kc_conjuncts: 4096,
             max_naive_vars: 10,
             max_naive_conjuncts: 64,
+            topdown_min_vars: 48,
             timeout: None,
             fallback: None,
         }
@@ -114,6 +124,10 @@ pub enum PlanReason {
     TinyNaive,
     /// Within the KC variable/conjunct admission budget.
     KcWithinBudget,
+    /// Within the KC budget but wide (over
+    /// [`PlannerConfig::topdown_min_vars`] variables): compiled by the
+    /// top-down compiler with the canonical component cache.
+    KcWideTopDown,
     /// Beyond the admission budget: routed to the fallback engine (or to KC
     /// regardless, in exact mode).
     OverKcBudget,
@@ -182,6 +196,11 @@ pub struct Planner {
     /// planner (the batch executor's and the facade's views are the same
     /// cache).
     cache: Option<Arc<ShapleyCache>>,
+    /// The cross-lineage *component* cache the top-down compiler shares:
+    /// canonical residual components compiled under one lineage replay
+    /// under every other lineage this planner (or any clone) compiles —
+    /// the sub-lineage analogue of the fingerprint dedup.
+    component_cache: Option<Arc<ComponentCache>>,
 }
 
 impl Planner {
@@ -191,6 +210,7 @@ impl Planner {
             cfg,
             query: None,
             cache: None,
+            component_cache: None,
         }
     }
 
@@ -201,6 +221,7 @@ impl Planner {
             cfg,
             query: Some(QueryClass::of(q)),
             cache: None,
+            component_cache: None,
         }
     }
 
@@ -212,9 +233,26 @@ impl Planner {
         self
     }
 
+    /// Attaches a shared component cache for the top-down compiler: d-DNNF
+    /// fragments of canonical residual components persist across every
+    /// lineage this planner (and every clone — the batch, sequential, and
+    /// service paths all share it) compiles top-down. Entries are
+    /// segregated by a context digest of `n_endo` and the solve policy
+    /// (`Planner::component_context`), so a fragment never crosses
+    /// incompatible configurations.
+    pub fn with_component_cache(mut self, cache: Arc<ComponentCache>) -> Self {
+        self.component_cache = Some(cache);
+        self
+    }
+
     /// The attached result cache, if any.
     pub fn cache(&self) -> Option<&Arc<ShapleyCache>> {
         self.cache.as_ref()
+    }
+
+    /// The attached component cache, if any.
+    pub fn component_cache(&self) -> Option<&Arc<ComponentCache>> {
+        self.component_cache.as_ref()
     }
 
     /// The query classification, if any.
@@ -314,9 +352,15 @@ impl Planner {
                 }
                 if vars <= self.cfg.max_kc_vars && conjuncts <= self.cfg.max_kc_conjuncts {
                     PLANNER_KC_ROUTES.incr();
+                    let reason = if vars > self.cfg.topdown_min_vars {
+                        PLANNER_KC_TOPDOWN_ROUTES.incr();
+                        PlanReason::KcWideTopDown
+                    } else {
+                        PlanReason::KcWithinBudget
+                    };
                     Plan {
                         engine: EngineKind::Kc,
-                        reason: PlanReason::KcWithinBudget,
+                        reason,
                         measure,
                     }
                 } else {
@@ -510,8 +554,17 @@ impl Planner {
                 {
                     let effective = self.apply_timeout(&ctask);
                     let comp = compiled.get_or_insert_with(|| {
-                        KcEngineImpl::compile_lineage(effective.lineage, &effective.budget)
-                            .map_err(EngineError::Analysis)
+                        let shared = self
+                            .component_cache
+                            .as_deref()
+                            .map(|c| (c, self.component_context(n_endo, &effective.budget)));
+                        KcEngineImpl::compile_lineage_routed(
+                            effective.lineage,
+                            &effective.budget,
+                            plan.reason == PlanReason::KcWideTopDown,
+                            shared,
+                        )
+                        .map_err(EngineError::Analysis)
                     });
                     let evaluated = match comp {
                         Ok(c) => {
@@ -578,6 +631,23 @@ impl Planner {
                 // (factorization) time.
                 ReadOnceEngine.solve_tree(tree, prep_time, &effective)
             }
+            (EngineKind::Kc, _) => {
+                // The KC route carries the plan's compiler choice: wide
+                // lineages compile top-down, and when this planner holds a
+                // shared component cache the compile probes/stores
+                // fragments under the solve's context digest.
+                let shared = self.component_cache.as_deref().map(|c| {
+                    (
+                        c,
+                        self.component_context(effective.n_endo, &effective.budget),
+                    )
+                });
+                KcEngineImpl::solve_routed(
+                    &effective,
+                    plan.reason == PlanReason::KcWideTopDown,
+                    shared,
+                )
+            }
             (engine, _) => engine.engine().solve(&effective),
         };
         match solved {
@@ -613,12 +683,30 @@ impl Planner {
         self.cfg.max_kc_conjuncts.hash(&mut h);
         self.cfg.max_naive_vars.hash(&mut h);
         self.cfg.max_naive_conjuncts.hash(&mut h);
+        self.cfg.topdown_min_vars.hash(&mut h);
         self.cfg.timeout.hash(&mut h);
         self.cfg.fallback.map(EngineKind::name).hash(&mut h);
         budget.max_nodes.hash(&mut h);
         if measure != Measure::Shapley {
             measure.name().hash(&mut h);
         }
+        h.finish()
+    }
+
+    /// The context digest under which this planner's top-down compiles
+    /// store and probe shared component-cache fragments. Two solves share
+    /// fragments **only** when both their endogenous-variable count and
+    /// their whole solve policy (every `cache_digest` knob) agree — a
+    /// deliberately conservative segregation: a fragment compiled under one
+    /// `n_endo` or policy is invisible to every other, so a cache hit can
+    /// never change what a request would have computed cold. The measure is
+    /// *not* part of the context: fragments are measure-agnostic circuit
+    /// structure, evaluated per-measure afterwards.
+    pub(crate) fn component_context(&self, n_endo: usize, budget: &Budget) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        n_endo.hash(&mut h);
+        self.cache_digest(budget, Measure::Shapley).hash(&mut h);
         h.finish()
     }
 
@@ -642,6 +730,7 @@ impl Planner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use shapdb_circuit::VarId;
     use shapdb_query::parse_ucq;
 
@@ -1200,5 +1289,151 @@ mod tests {
             planner.plan(&lineage);
         }
         assert_eq!(PLANNER_HIERARCHICAL_DISAGREEMENTS.get(), before);
+    }
+
+    /// `k` disjoint 3-variable majority blocks — wide, non-read-once, and
+    /// decomposable into isomorphic components.
+    fn majority_blocks(k: u32) -> Dnf {
+        let mut d = Dnf::new();
+        for b in 0..k {
+            let (x, y, z) = (3 * b, 3 * b + 1, 3 * b + 2);
+            for pair in [[x, y], [x, z], [y, z]] {
+                d.add_conjunct(pair.iter().map(|&v| VarId(v)).collect());
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn wide_lineages_take_the_topdown_route() {
+        // Tentpole admission: past `topdown_min_vars` the KC route selects
+        // the top-down compiler (and counts the route); below it, the
+        // classic bottom-up reason stands. The raised `max_kc_vars`
+        // default admits the 51-var lineage at all.
+        let planner = Planner::new(PlannerConfig::default());
+        let wide = majority_blocks(17); // 51 vars > topdown_min_vars (48)
+        let before = PLANNER_KC_TOPDOWN_ROUTES.get();
+        let plan = planner.plan(&wide);
+        assert_eq!(plan.engine, EngineKind::Kc);
+        assert_eq!(plan.reason, PlanReason::KcWideTopDown);
+        assert_eq!(PLANNER_KC_TOPDOWN_ROUTES.get(), before + 1);
+        assert_eq!(
+            planner.plan(&majority_blocks(4)).reason,
+            PlanReason::KcWithinBudget
+        );
+    }
+
+    #[test]
+    fn topdown_and_bottom_up_solve_identically_on_every_measure() {
+        // The same wide structure through both compiler routes must yield
+        // bit-identical exact rationals on all four measures.
+        let topdown = Planner::new(PlannerConfig {
+            max_naive_vars: 0,
+            topdown_min_vars: 0,
+            ..Default::default()
+        });
+        let bottom_up = Planner::new(PlannerConfig {
+            max_naive_vars: 0,
+            topdown_min_vars: usize::MAX,
+            ..Default::default()
+        });
+        let wide = majority_blocks(4);
+        assert_eq!(topdown.plan(&wide).reason, PlanReason::KcWideTopDown);
+        assert_eq!(bottom_up.plan(&wide).reason, PlanReason::KcWithinBudget);
+        for measure in Measure::ALL {
+            let task = LineageTask::new(&wide, 12).with_measure(measure);
+            let td = topdown.solve(&task).unwrap();
+            let bu = bottom_up.solve(&task).unwrap();
+            assert!(td.values.is_exact(), "{measure}");
+            assert_eq!(td.values, bu.values, "{measure}");
+        }
+    }
+
+    #[test]
+    fn component_cache_never_serves_across_n_endo_or_policy() {
+        use shapdb_kc::ComponentCache;
+        use std::sync::Arc;
+        let cache = Arc::new(ComponentCache::new());
+        let cfg = PlannerConfig {
+            max_naive_vars: 0,
+            topdown_min_vars: 0,
+            ..Default::default()
+        };
+        let planner = Planner::new(cfg).with_component_cache(cache.clone());
+        let b = Budget::unlimited();
+        // The context digest segregates by n_endo and by every policy knob.
+        let ctx = planner.component_context(12, &b);
+        assert_ne!(ctx, planner.component_context(13, &b), "n_endo");
+        let other_policy = Planner::new(PlannerConfig {
+            max_kc_vars: 512,
+            ..cfg
+        });
+        assert_ne!(ctx, other_policy.component_context(12, &b), "policy");
+
+        // Regression: solving the same structure under a *different*
+        // n_endo replays the cold compile exactly — identical decision and
+        // shared-hit counters — instead of being served fragments stored
+        // under the first context; within one context the second solve is
+        // answered entirely from the cache.
+        let wide = majority_blocks(4);
+        let cold = planner.solve(&LineageTask::new(&wide, 12)).unwrap();
+        let warm = planner.solve(&LineageTask::new(&wide, 12)).unwrap();
+        assert_eq!(warm.compile_stats.decisions, 0, "same context: cached");
+        assert!(warm.compile_stats.shared_hits > 0);
+        let other = planner.solve(&LineageTask::new(&wide, 14)).unwrap();
+        assert_eq!(
+            (
+                other.compile_stats.decisions,
+                other.compile_stats.shared_hits
+            ),
+            (cold.compile_stats.decisions, cold.compile_stats.shared_hits),
+            "a fresh context replays the cold compile, no cross-context hits"
+        );
+        assert!(other.compile_stats.decisions > 0);
+        // Values are unaffected by the cache in every configuration.
+        let no_cache = Planner::new(cfg);
+        for n_endo in [12usize, 14] {
+            let direct = no_cache.solve(&LineageTask::new(&wide, n_endo)).unwrap();
+            let cached = planner.solve(&LineageTask::new(&wide, n_endo)).unwrap();
+            assert_eq!(direct.values, cached.values, "n_endo={n_endo}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Random DNFs built as two halves plus a few bridge conjuncts —
+        /// straddling the component-decomposition boundary — solve to the
+        /// same exact rationals through the top-down and bottom-up
+        /// compiler routes, on every measure.
+        #[test]
+        fn prop_topdown_matches_bottom_up_across_measures(
+            left in proptest::collection::vec(
+                proptest::collection::vec(0u32..5, 1..4), 1..5),
+            right in proptest::collection::vec(
+                proptest::collection::vec(5u32..10, 1..4), 1..5),
+            bridges in proptest::collection::vec(
+                proptest::collection::vec(0u32..10, 2..4), 0..3),
+        ) {
+            let mut d = Dnf::new();
+            for c in left.iter().chain(&right).chain(&bridges) {
+                d.add_conjunct(c.iter().map(|&v| VarId(v)).collect());
+            }
+            let topdown = Planner::new(PlannerConfig {
+                max_naive_vars: 0,
+                topdown_min_vars: 0,
+                ..Default::default()
+            });
+            let bottom_up = Planner::new(PlannerConfig {
+                max_naive_vars: 0,
+                topdown_min_vars: usize::MAX,
+                ..Default::default()
+            });
+            for measure in Measure::ALL {
+                let task = LineageTask::new(&d, 10).with_measure(measure);
+                let td = topdown.solve(&task).unwrap();
+                let bu = bottom_up.solve(&task).unwrap();
+                prop_assert_eq!(&td.values, &bu.values, "{}", measure);
+            }
+        }
     }
 }

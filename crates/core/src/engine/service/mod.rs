@@ -44,7 +44,7 @@ use super::{EngineError, EngineResult, LineageTask, Measure, Planner, PlannerCon
 use crate::exact::ExactConfig;
 use queue::{FairQueue, Job};
 use shapdb_circuit::Dnf;
-use shapdb_kc::Budget;
+use shapdb_kc::{Budget, ComponentCache};
 use shapdb_metrics::counters::{
     CacheRunStats, CounterSnapshot, SERVICE_COMPLETED, SERVICE_IN_FLIGHT, SERVICE_QUEUE_DEPTH,
     SERVICE_REJECTED, SERVICE_SUBMITTED, SERVICE_WAIT_NS,
@@ -358,6 +358,15 @@ impl ShapleyService {
     /// [`super::ShapleyCache`] to it for cross-request reuse — without
     /// one, requests solve independently.
     pub fn new(planner: Planner, cfg: ServiceConfig) -> ShapleyService {
+        // A resident component cache (unless the caller attached their
+        // own): every worker's top-down compiles share d-DNNF fragments
+        // across requests for the service's whole lifetime. Per-request
+        // policy overrides clone the planner and keep this `Arc`; the
+        // context digest keeps incompatible policies segregated inside it.
+        let planner = match planner.component_cache() {
+            Some(_) => planner,
+            None => planner.with_component_cache(Arc::new(ComponentCache::new())),
+        };
         let workers = cfg.effective_workers();
         let shared = Arc::new(Shared {
             planner,

@@ -228,8 +228,23 @@ fn gate_alpha<C: Coeff>(
             }
         }
         DNode::And(cs) => {
-            // Decomposability: sizes add, counts convolve. `out` holds the
-            // running product, `conv` the next one; they swap per child.
+            // Decomposability: sizes add, counts convolve. A wide gate first
+            // offers all children to the shared-transform NTT path, which
+            // forward-transforms each child's α array once per prime
+            // instead of re-transforming the growing product per pairwise
+            // step; the cost model declines → the fold below runs instead.
+            if cs.len() >= 3 {
+                ticker.tick()?;
+                let ops: Vec<&[C]> = cs.iter().map(|c| lookup.get(c.index())).collect();
+                if ops.iter().map(|o| o.len()).sum::<usize>() > ntt::MIN_NTT_LEN {
+                    if let Some(v) = ntt::convolve_many_if_faster(&ops) {
+                        *out = v;
+                        return Ok(());
+                    }
+                }
+            }
+            // `out` holds the running product, `conv` the next one; they
+            // swap per child.
             out.push(C::one());
             for c in cs.iter() {
                 ticker.tick()?;

@@ -22,6 +22,7 @@
 
 use crate::ddnnf::{Ddnnf, DdnnfBuilder, NodeIdx};
 use crate::project::project;
+use crate::scratch::EpochScratch;
 use shapdb_circuit::{tseytin, Circuit, Cnf, Lit, NodeId, TseytinCnf, VarId};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -92,12 +93,16 @@ impl std::error::Error for CompileError {}
 pub struct CompileStats {
     /// d-DNNF nodes in the result arena.
     pub nodes: usize,
-    /// Component-cache hits.
+    /// Component-cache hits (compilation-local, clause-id-keyed).
     pub cache_hits: u64,
     /// Branching decisions taken.
     pub decisions: u64,
     /// Literals forced by unit propagation.
     pub propagations: u64,
+    /// Canonical component-cache hits (top-down compiler only): components
+    /// answered from a stored fragment — possibly one compiled under a
+    /// *different* lineage when the cache is shared across a batch.
+    pub shared_hits: u64,
 }
 
 /// Variable-selection strategy for decision branching.
@@ -159,22 +164,9 @@ struct Compiler<'a> {
     /// unit propagation re-examines only these instead of rescanning the
     /// entire scoped clause set per fixpoint pass.
     occurs: Vec<Vec<u32>>,
-    /// Phase epoch for the stamp arrays below: bumping it invalidates every
-    /// stamp at once, so no per-call clearing and no per-call `HashMap`s.
-    /// Each phase (propagation scope, component split, key build, branch
-    /// scoring) runs entirely between recursive calls, so one shared epoch
-    /// suffices.
-    epoch: u64,
-    /// Clause id → epoch when it was last in the propagation scope.
-    clause_stamp: Vec<u64>,
-    /// Variable → epoch when it was last seen by the current phase.
-    var_stamp: Vec<u64>,
-    /// Variable → phase-local slot (component representative, …).
-    var_slot: Vec<u32>,
-    /// Variable → branch-heuristic score (valid when stamped).
-    var_score: Vec<f64>,
-    /// Distinct variables of the current phase, in first-seen order.
-    vars_scratch: Vec<u32>,
+    /// Epoch-stamped per-variable/per-clause phase state (shared idiom with
+    /// the top-down compiler — see [`EpochScratch`]).
+    scratch: EpochScratch,
 }
 
 impl<'a> Compiler<'a> {
@@ -196,12 +188,7 @@ impl<'a> Compiler<'a> {
             heuristic,
             ticks: 0,
             occurs,
-            epoch: 0,
-            clause_stamp: vec![0; clauses.len()],
-            var_stamp: vec![0; n_vars],
-            var_slot: vec![0; n_vars],
-            var_score: vec![0.0; n_vars],
-            vars_scratch: Vec::new(),
+            scratch: EpochScratch::new(clauses.len(), n_vars),
             clauses,
         }
     }
@@ -260,10 +247,9 @@ impl<'a> Compiler<'a> {
         clause_ids: &[u32],
         trail: &mut Vec<usize>,
     ) -> Result<bool, CompileError> {
-        self.epoch += 1;
-        let epoch = self.epoch;
+        let epoch = self.scratch.begin_phase();
         for &cid in clause_ids {
-            self.clause_stamp[cid as usize] = epoch;
+            self.scratch.clause_stamp[cid as usize] = epoch;
         }
         let assign_unit = |me: &mut Self, l: Lit, trail: &mut Vec<usize>| {
             me.assign[l.var()] = i8::from(l.is_positive());
@@ -287,7 +273,7 @@ impl<'a> Compiler<'a> {
             self.check_budget()?;
             for idx in 0..self.occurs[v].len() {
                 let cid = self.occurs[v][idx];
-                if self.clause_stamp[cid as usize] != epoch {
+                if self.scratch.clause_stamp[cid as usize] != epoch {
                     continue; // not in the current scope
                 }
                 match self.examine(cid) {
@@ -393,9 +379,8 @@ impl<'a> Compiler<'a> {
                 .min()
                 .expect("non-empty component");
         }
-        self.epoch += 1;
-        let epoch = self.epoch;
-        self.vars_scratch.clear();
+        let epoch = self.scratch.begin_phase();
+        self.scratch.vars_scratch.clear();
         for (_, lits) in comp {
             let w = match self.heuristic {
                 BranchHeuristic::MaxOccurrence => 1.0,
@@ -408,18 +393,18 @@ impl<'a> Compiler<'a> {
             };
             for l in lits {
                 let v = l.var();
-                if self.var_stamp[v] != epoch {
-                    self.var_stamp[v] = epoch;
-                    self.var_score[v] = 0.0;
-                    self.vars_scratch.push(v as u32);
+                if self.scratch.var_stamp[v] != epoch {
+                    self.scratch.var_stamp[v] = epoch;
+                    self.scratch.var_score[v] = 0.0;
+                    self.scratch.vars_scratch.push(v as u32);
                 }
-                self.var_score[v] += w;
+                self.scratch.var_score[v] += w;
             }
         }
-        let mut best = self.vars_scratch[0] as usize;
-        for &v in &self.vars_scratch[1..] {
+        let mut best = self.scratch.vars_scratch[0] as usize;
+        for &v in &self.scratch.vars_scratch[1..] {
             let v = v as usize;
-            match self.var_score[v].total_cmp(&self.var_score[best]) {
+            match self.scratch.var_score[v].total_cmp(&self.scratch.var_score[best]) {
                 std::cmp::Ordering::Greater => best = v,
                 std::cmp::Ordering::Equal if v < best => best = v,
                 _ => {}
@@ -441,14 +426,13 @@ impl<'a> Compiler<'a> {
             key.push(*cid);
         }
         key.push(u32::MAX); // separator (no clause id is MAX)
-        self.epoch += 1;
-        let epoch = self.epoch;
+        let epoch = self.scratch.begin_phase();
         let vstart = key.len();
         for (_, lits) in comp {
             for l in lits {
                 let v = l.var();
-                if self.var_stamp[v] != epoch {
-                    self.var_stamp[v] = epoch;
+                if self.scratch.var_stamp[v] != epoch {
+                    self.scratch.var_stamp[v] = epoch;
                     key.push(v as u32);
                 }
             }
@@ -498,50 +482,10 @@ impl<'a> Compiler<'a> {
         Ok(node)
     }
 
-    /// Splits residual clauses into variable-connected components:
-    /// union-find over clause indices, joined through epoch-stamped
-    /// per-variable representatives (no per-call map). Components come out
-    /// ordered by first clause id, as before — reproducible circuits.
+    /// Splits residual clauses into variable-connected components (see
+    /// [`EpochScratch::split_components`]).
     fn split_components(&mut self, active: &[(u32, Vec<Lit>)]) -> Vec<Vec<(u32, Vec<Lit>)>> {
-        let n = active.len();
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut [usize], mut x: usize) -> usize {
-            while parent[x] != x {
-                parent[x] = parent[parent[x]];
-                x = parent[x];
-            }
-            x
-        }
-        self.epoch += 1;
-        let epoch = self.epoch;
-        for (i, (_, lits)) in active.iter().enumerate() {
-            for l in lits {
-                let v = l.var();
-                if self.var_stamp[v] == epoch {
-                    let a = find(&mut parent, self.var_slot[v] as usize);
-                    let b = find(&mut parent, i);
-                    if a != b {
-                        parent[a] = b;
-                    }
-                } else {
-                    self.var_stamp[v] = epoch;
-                    self.var_slot[v] = i as u32;
-                }
-            }
-        }
-        // Group in first-appearance order (ascending first clause id, since
-        // `active` is id-ordered).
-        let mut group_of_root: Vec<usize> = vec![usize::MAX; n];
-        let mut out: Vec<Vec<(u32, Vec<Lit>)>> = Vec::new();
-        for (i, entry) in active.iter().enumerate() {
-            let root = find(&mut parent, i);
-            if group_of_root[root] == usize::MAX {
-                group_of_root[root] = out.len();
-                out.push(Vec::new());
-            }
-            out[group_of_root[root]].push(entry.clone());
-        }
-        out
+        self.scratch.split_components(active)
     }
 }
 

@@ -332,6 +332,20 @@ impl DdnnfBuilder {
         id
     }
 
+    /// The node stored at `idx` (compiler-internal: the component cache
+    /// walks built sub-DAGs to extract portable fragments).
+    pub(crate) fn node(&self, idx: NodeIdx) -> &DNode {
+        &self.nodes[idx.index()]
+    }
+
+    /// Interns an already-normalized node verbatim (compiler-internal: the
+    /// component cache re-instantiates fragments whose structure was
+    /// normalized by this builder's own `and`/`decision` when first built).
+    /// Children must already be interned.
+    pub(crate) fn intern_node(&mut self, n: DNode) -> NodeIdx {
+        self.intern(n)
+    }
+
     /// The ⊤ node.
     pub fn true_node(&mut self) -> NodeIdx {
         self.intern(DNode::True)

@@ -14,21 +14,32 @@
 //! * [`project()`](project()) — the auxiliary-variable elimination of Lemma 4.6, turning a
 //!   d-DNNF over `vars(C') ∪ Z` into one over `vars(C')` only;
 //! * [`compile_circuit()`](compile_circuit) — the full middle path of Figure 3
-//!   (circuit → Tseytin → compile → project).
+//!   (circuit → Tseytin → compile → project);
+//! * [`compile_topdown()`](compile_topdown()) — the sharpSAT/GANAK-style
+//!   top-down compiler for wide non-read-once lineages, with VSADS
+//!   branching over conflict activity and a [`ComponentCache`] keyed by the
+//!   canonical residual-component encoding that can be **shared across
+//!   lineages** ([`compile_topdown_shared`], [`compile_circuit_topdown`]).
 //!
-//! The compiler deliberately does **not** use the pure-literal rule: it
+//! The compilers deliberately do **not** use the pure-literal rule: it
 //! preserves satisfiability but not equivalence, and knowledge compilation
 //! needs equivalence (all of model counting would silently break).
 
 pub mod compile;
+pub mod compile_topdown;
 pub mod ddnnf;
 pub mod nnf_format;
 pub mod project;
+mod scratch;
 pub mod smooth;
 
 pub use compile::{
     compile, compile_circuit, compile_with, BranchHeuristic, Budget, CircuitCompilation,
     CompileError, CompileStats,
+};
+pub use compile_topdown::{
+    compile_circuit_topdown, compile_topdown, compile_topdown_shared, ComponentCache,
+    ComponentCacheStats,
 };
 pub use ddnnf::{DNode, Ddnnf, DdnnfBuilder, NodeIdx};
 pub use nnf_format::{from_nnf, to_nnf, NnfError};

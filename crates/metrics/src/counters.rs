@@ -65,6 +65,9 @@ pub static BATCH_DEDUP_HITS: Counter = Counter::new("batch.dedup_hits");
 pub static ENGINE_SOLVES: Counter = Counter::new("engine.solves");
 /// Lineages the planner routed to knowledge compilation.
 pub static PLANNER_KC_ROUTES: Counter = Counter::new("planner.kc_routes");
+/// KC-routed lineages wide enough for the top-down compiler (a subset of
+/// `planner.kc_routes`).
+pub static PLANNER_KC_TOPDOWN_ROUTES: Counter = Counter::new("planner.kc_topdown_routes");
 /// Lineages the planner routed to the read-once fast path.
 pub static PLANNER_READ_ONCE_ROUTES: Counter = Counter::new("planner.read_once_routes");
 /// Tiny non-read-once lineages the planner routed to naive enumeration
@@ -108,6 +111,15 @@ pub static NUM_BIGNUM_FALLBACKS: Counter = Counter::new("num.bignum_fallbacks");
 /// ∧-gate coefficient convolutions executed via the modular NTT/CRT path
 /// instead of schoolbook multiplication.
 pub static NUM_NTT_CONVOLUTIONS: Counter = Counter::new("num.ntt_convolutions");
+/// Cross-lineage component-cache probes answered with a stored d-DNNF
+/// fragment (the top-down compiler skipped compiling that component).
+pub static KC_COMP_CACHE_HITS: Counter = Counter::new("kc.comp_cache_hits");
+/// Cross-lineage component-cache probes that found no entry (the component
+/// was compiled and, when small enough, stored).
+pub static KC_COMP_CACHE_MISSES: Counter = Counter::new("kc.comp_cache_misses");
+/// Cross-lineage component-cache entries evicted to stay under the node
+/// capacity (least-recently-used order).
+pub static KC_COMP_CACHE_EVICTIONS: Counter = Counter::new("kc.comp_cache_evictions");
 /// Lineage tasks asking for the Shapley measure (any surface).
 pub static MEASURE_SHAPLEY: Counter = Counter::new("measure.shapley");
 /// Lineage tasks asking for the Banzhaf measure.
@@ -119,13 +131,14 @@ pub static MEASURE_SHAP_SCORE: Counter = Counter::new("measure.shap_score");
 
 /// The full counter registry, in a fixed order (the [`snapshot`] /
 /// [`CounterSnapshot`] row order).
-fn registry() -> [&'static Counter; 25] {
+fn registry() -> [&'static Counter; 29] {
     [
         &BATCH_TASKS,
         &BATCH_DISTINCT,
         &BATCH_DEDUP_HITS,
         &ENGINE_SOLVES,
         &PLANNER_KC_ROUTES,
+        &PLANNER_KC_TOPDOWN_ROUTES,
         &PLANNER_READ_ONCE_ROUTES,
         &PLANNER_NAIVE_ROUTES,
         &PLANNER_HIERARCHICAL_DISAGREEMENTS,
@@ -142,6 +155,9 @@ fn registry() -> [&'static Counter; 25] {
         &NUM_VLI_HITS,
         &NUM_BIGNUM_FALLBACKS,
         &NUM_NTT_CONVOLUTIONS,
+        &KC_COMP_CACHE_HITS,
+        &KC_COMP_CACHE_MISSES,
+        &KC_COMP_CACHE_EVICTIONS,
         &MEASURE_SHAPLEY,
         &MEASURE_BANZHAF,
         &MEASURE_RESPONSIBILITY,
@@ -320,6 +336,39 @@ impl DedupStats {
             return 0.0;
         }
         self.hits() as f64 / self.tasks as f64
+    }
+}
+
+/// Component-cache activity of one run (a [`CounterSnapshot`] delta of the
+/// `kc.comp_cache_*` counters — same caveats as [`NumRunStats`]: concurrent
+/// actors in the same process bleed into the window).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KcCacheRunStats {
+    /// Component probes answered with a stored d-DNNF fragment.
+    pub hits: u64,
+    /// Component probes that found no entry.
+    pub misses: u64,
+    /// Entries evicted to stay under the node capacity.
+    pub evictions: u64,
+}
+
+impl KcCacheRunStats {
+    /// The `kc.comp_cache_*` increments between two registry snapshots.
+    pub fn delta(after: &CounterSnapshot, before: &CounterSnapshot) -> KcCacheRunStats {
+        KcCacheRunStats {
+            hits: after.delta_of(before, "kc.comp_cache_hits"),
+            misses: after.delta_of(before, "kc.comp_cache_misses"),
+            evictions: after.delta_of(before, "kc.comp_cache_evictions"),
+        }
+    }
+
+    /// Fraction of probes answered from the cache (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / lookups as f64
     }
 }
 

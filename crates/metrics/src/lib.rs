@@ -14,11 +14,15 @@
 //! * [`counters`] — process-wide engine counters (batch dedup hit rate,
 //!   planner routing, hierarchical-vs-factorizer disagreements, service
 //!   queue gauges), the scoped [`counters::CounterSnapshot`] delta reader,
-//!   and the per-run [`counters::DedupStats`] snapshot batch reports carry.
+//!   and the per-run [`counters::DedupStats`] snapshot batch reports carry;
+//! * [`timing`] — per-route compile/solve timing histograms (log₂-µs
+//!   buckets), the ground truth a learned planner cost model trains on.
 
 pub mod counters;
+pub mod timing;
 
-pub use counters::{Counter, CounterSnapshot, DedupStats, Gauge, NumRunStats};
+pub use counters::{Counter, CounterSnapshot, DedupStats, Gauge, KcCacheRunStats, NumRunStats};
+pub use timing::{TimingHisto, TimingSnapshot};
 
 use std::cmp::Ordering;
 

@@ -1,0 +1,231 @@
+//! Per-route compile/solve timing histograms.
+//!
+//! The planner's cost model is static today (occurrence counts, variable
+//! caps); the ROADMAP's learned-cost-model lead needs the ground truth it
+//! would train on: how long each engine route actually spends preparing
+//! (factorization / knowledge compilation) and solving (Algorithm 1 /
+//! sampling). This module records exactly that, process-wide, as log₂-
+//! bucketed microsecond histograms — two per route (`compile`, `solve`),
+//! one route per engine kind. The engine layer records into them at its
+//! single result-construction choke point, so every surface (direct,
+//! batch, service) feeds the same cells; `serve` surfaces the snapshots in
+//! its final `{"stats":…}` line.
+//!
+//! Buckets are powers of two of microseconds: bucket `i` counts durations
+//! `d` with `2^i ≤ d_µs < 2^(i+1)` (bucket 0 also absorbs sub-microsecond
+//! durations). 30 buckets reach ~17 minutes, far past any budgeted solve.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets (bucket `NUM_BUCKETS-1` absorbs the overflow).
+pub const NUM_BUCKETS: usize = 30;
+
+/// A process-wide log₂-µs histogram (atomic, cheap, shareable).
+#[derive(Debug)]
+pub struct TimingHisto {
+    name: &'static str,
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl TimingHisto {
+    /// A new, empty histogram.
+    pub const fn new(name: &'static str) -> TimingHisto {
+        // `[const expr; N]` needs an inline const to repeat a non-Copy value.
+        TimingHisto {
+            name,
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+        }
+    }
+
+    /// The histogram's registry name (`route.phase`, e.g. `kc.compile`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        // 0µs and 1µs land in bucket 0; otherwise bucket = floor(log2 µs).
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(NUM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> TimingSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (slot, b) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        TimingSnapshot {
+            name: self.name,
+            count: self.count.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Resets every cell to zero (tests).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.total_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of one [`TimingHisto`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimingSnapshot {
+    /// The histogram's registry name.
+    pub name: &'static str,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations, microseconds.
+    pub total_us: u64,
+    /// `buckets[i]` counts durations in `[2^i, 2^(i+1))` µs.
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl TimingSnapshot {
+    /// Mean recorded duration in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile recorded
+    /// duration (nearest-rank over the bucket counts; 0 when empty).
+    /// A log₂ histogram resolves quantiles to within 2×, which is all the
+    /// cost model needs.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << NUM_BUCKETS
+    }
+}
+
+macro_rules! route_histos {
+    ($(($route:ident, $compile:ident, $solve:ident, $name:literal)),+ $(,)?) => {
+        $(
+            #[doc = concat!("Prep/compile time of `", $name, "`-routed tasks.")]
+            pub static $compile: TimingHisto = TimingHisto::new(concat!($name, ".compile"));
+            #[doc = concat!("Solve time of `", $name, "`-routed tasks.")]
+            pub static $solve: TimingHisto = TimingHisto::new(concat!($name, ".solve"));
+        )+
+
+        /// Every route histogram, in a fixed order (compile before solve).
+        pub fn route_timings() -> Vec<&'static TimingHisto> {
+            vec![$(&$compile, &$solve),+]
+        }
+
+        /// Records one task's prep/compile and solve durations under its
+        /// route name (as reported by the engine registry); unknown route
+        /// names are ignored so the registry can grow engines freely.
+        pub fn record_route(route: &str, compile: Duration, solve: Duration) {
+            match route {
+                $($name => {
+                    $compile.record(compile);
+                    $solve.record(solve);
+                })+
+                _ => {}
+            }
+        }
+    };
+}
+
+// Route names match the engine registry's `EngineKind::name` values, so
+// the engine layer can record under `engine.name()` verbatim.
+route_histos![
+    (read_once, READ_ONCE_COMPILE, READ_ONCE_SOLVE, "readonce"),
+    (naive, NAIVE_COMPILE, NAIVE_SOLVE, "naive"),
+    (kc, KC_COMPILE, KC_SOLVE, "kc"),
+    (proxy, PROXY_COMPILE, PROXY_SOLVE, "proxy"),
+    (monte_carlo, MC_COMPILE, MC_SOLVE, "montecarlo"),
+    (kernel_shap, KS_COMPILE, KS_SOLVE, "kernelshap"),
+];
+
+/// Snapshots of every route histogram with at least one recording.
+pub fn active_route_timings() -> Vec<TimingSnapshot> {
+    route_timings()
+        .into_iter()
+        .filter(|h| h.count() > 0)
+        .map(|h| h.snapshot())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_microseconds() {
+        static H: TimingHisto = TimingHisto::new("test.histo");
+        H.record(Duration::from_micros(0)); // bucket 0
+        H.record(Duration::from_micros(1)); // bucket 0
+        H.record(Duration::from_micros(3)); // bucket 1
+        H.record(Duration::from_micros(1000)); // bucket 9 (512..1024)
+        let s = H.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[9], 1);
+        assert_eq!(s.total_us, 1004);
+        assert_eq!(s.mean_us(), 251);
+        H.reset();
+        assert_eq!(H.count(), 0);
+    }
+
+    #[test]
+    fn overflow_durations_land_in_last_bucket() {
+        static H: TimingHisto = TimingHisto::new("test.overflow");
+        H.record(Duration::from_secs(1 << 40));
+        assert_eq!(H.snapshot().buckets[NUM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        static H: TimingHisto = TimingHisto::new("test.quantile");
+        for _ in 0..9 {
+            H.record(Duration::from_micros(10)); // bucket 3: [8, 16)
+        }
+        H.record(Duration::from_micros(5000)); // bucket 12: [4096, 8192)
+        let s = H.snapshot();
+        assert_eq!(s.quantile_us(0.5), 16);
+        assert_eq!(s.quantile_us(0.99), 8192);
+        assert_eq!(TimingSnapshot { count: 0, ..s }.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn route_recording_reaches_the_named_histograms() {
+        let before = KC_COMPILE.count();
+        record_route("kc", Duration::from_micros(100), Duration::from_micros(200));
+        assert_eq!(KC_COMPILE.count(), before + 1);
+        assert!(route_timings().len() >= 12);
+        // Unknown routes are ignored, not panicked on.
+        record_route("no_such_route", Duration::ZERO, Duration::ZERO);
+        assert!(active_route_timings()
+            .iter()
+            .any(|s| s.name == "kc.compile"));
+    }
+}

@@ -351,30 +351,42 @@ fn reduce_limbs(mp: &MontPrime, limbs: &[u64]) -> u64 {
 /// Convolution of `a` and `b` modulo one prime; returns plain-form
 /// residues of the first `out_len` coefficients.
 fn conv_mod<C: Coeff>(np: &NttPrime, a: &[C], b: &[C], n: usize, out_len: usize) -> Vec<u64> {
+    conv_many_mod(np, &[a, b], n, out_len)
+}
+
+/// Multi-operand convolution modulo one prime: each operand's residues are
+/// encoded and forward-transformed **once** (at the final length `n`), the
+/// pointwise products accumulate across operands, and a single inverse
+/// transform recovers the residues — the per-gate residue reuse a fold of
+/// pairwise [`conv_mod`]s cannot get (the fold re-transforms its growing
+/// accumulator at every step).
+fn conv_many_mod<C: Coeff>(np: &NttPrime, ops: &[&[C]], n: usize, out_len: usize) -> Vec<u64> {
     let mp = &np.mp;
     let s = n.trailing_zeros();
     let root_n = mp.pow(np.root, 1u64 << (MAX_LOG - s));
     let root_n_inv = mp.pow(np.root_inv, 1u64 << (MAX_LOG - s));
-    let mut fa = vec![0u64; n];
-    for (slot, c) in fa.iter_mut().zip(a) {
-        *slot = mp.encode(reduce_limbs(mp, c.limbs()));
+    let mut acc = vec![0u64; n];
+    let mut buf = vec![0u64; n];
+    for (which, op) in ops.iter().enumerate() {
+        let cur = if which == 0 { &mut acc } else { &mut buf };
+        cur.fill(0);
+        for (slot, c) in cur.iter_mut().zip(*op) {
+            *slot = mp.encode(reduce_limbs(mp, c.limbs()));
+        }
+        ntt(mp, cur, root_n);
+        if which > 0 {
+            for (x, &y) in acc.iter_mut().zip(buf.iter()) {
+                *x = mp.mul(*x, y);
+            }
+        }
     }
-    let mut fb = vec![0u64; n];
-    for (slot, c) in fb.iter_mut().zip(b) {
-        *slot = mp.encode(reduce_limbs(mp, c.limbs()));
-    }
-    ntt(mp, &mut fa, root_n);
-    ntt(mp, &mut fb, root_n);
-    for (x, &y) in fa.iter_mut().zip(fb.iter()) {
-        *x = mp.mul(*x, y);
-    }
-    ntt(mp, &mut fa, root_n_inv);
+    ntt(mp, &mut acc, root_n_inv);
     let n_inv = mp.inv(mp.encode(n as u64));
-    fa.truncate(out_len);
-    for x in fa.iter_mut() {
+    acc.truncate(out_len);
+    for x in acc.iter_mut() {
         *x = mp.decode(mp.mul(*x, n_inv));
     }
-    fa
+    acc
 }
 
 // ---------------------------------------------------------------------------
@@ -484,6 +496,44 @@ pub fn convolve_ntt<C: Coeff>(a: &[C], b: &[C]) -> Vec<C> {
     let residues: Vec<Vec<u64>> = primes
         .iter()
         .map(|np| conv_mod(np, a, b, n, out_len))
+        .collect();
+    crt_combine(&primes, &residues, out_len)
+}
+
+/// The accumulated magnitude/length bound of folding `ops` pairwise:
+/// `(total bits needed, output length)`. The pairwise bound
+/// `b += bᵢ + ⌈log₂ min(cur, lᵢ)⌉` composes — each fold step's coefficients
+/// are bounded by it, so the final coefficients are too.
+fn many_bound<C: Coeff>(ops: &[&[C]]) -> (u64, usize) {
+    let mut bits = max_bits(ops[0]);
+    let mut cur_len = ops[0].len();
+    for op in &ops[1..] {
+        bits += max_bits(op) + ceil_log2(cur_len.min(op.len()) as u64);
+        cur_len += op.len() - 1;
+    }
+    (bits, cur_len)
+}
+
+/// The exact multi-operand NTT/CRT convolution `ops[0] ⊛ ops[1] ⊛ …`,
+/// unconditionally. One forward transform per operand per prime (instead of
+/// re-transforming a growing accumulator per pairwise step), one inverse
+/// transform, one CRT pass. Bit-identical to the schoolbook fold. Public
+/// for tests and benches; production code routes through
+/// [`convolve_many_if_faster`].
+#[doc(hidden)]
+pub fn convolve_many_ntt<C: Coeff>(ops: &[&[C]]) -> Vec<C> {
+    assert!(ops.len() >= 2 && ops.iter().all(|op| !op.is_empty()));
+    let (needed, out_len) = many_bound(ops);
+    let n = out_len.next_power_of_two();
+    assert!(n <= 1 << MAX_LOG, "convolution exceeds transform capacity");
+    if ops.iter().any(|op| max_bits(op) == 0) {
+        return vec![C::zero(); out_len];
+    }
+    let k = (needed / 61 + 1) as usize;
+    let primes = take_primes(k);
+    let residues: Vec<Vec<u64>> = primes
+        .iter()
+        .map(|np| conv_many_mod(np, ops, n, out_len))
         .collect();
     crt_combine(&primes, &residues, out_len)
 }
@@ -618,6 +668,71 @@ pub fn convolve_if_faster<C: Coeff>(a: &[C], b: &[C]) -> Option<Vec<C>> {
     }
     NUM_NTT_CONVOLUTIONS.incr();
     Some(convolve_ntt(a, b))
+}
+
+/// Work estimates for the multi-operand convolution: iterated schoolbook
+/// (the fold the ∧-gate evaluator would otherwise run) vs one shared
+/// multi-operand NTT, in the same units as [`model_units`].
+fn model_units_many<C: Coeff>(ops: &[&[C]]) -> (u128, u128) {
+    let mut sb: u128 = 0;
+    let mut cur_len = ops[0].len();
+    let mut cur_bits = max_bits(ops[0]);
+    for op in &ops[1..] {
+        let (lb, bb) = (op.len(), max_bits(op));
+        let wa = cur_bits.div_ceil(64).max(1) as u128;
+        let wb = bb.div_ceil(64).max(1) as u128;
+        sb += cur_len as u128 * lb as u128 * wa * wb;
+        cur_bits += bb + ceil_log2(cur_len.min(lb) as u64);
+        cur_len += lb - 1;
+    }
+    let out_len = cur_len as u128;
+    let n = cur_len.next_power_of_two() as u128;
+    let logn = cur_len.next_power_of_two().trailing_zeros() as u128;
+    let k = (cur_bits / 61 + 1) as u128;
+    let m = ops.len() as u128;
+    let encode: u128 = ops
+        .iter()
+        .map(|op| op.len() as u128 * (max_bits(op).div_ceil(64).max(1) as u128))
+        .sum();
+    // m forward transforms + 1 inverse, (m−1)·n pointwise products, residue
+    // reduction of every operand, CRT reconstruction of the output.
+    let ntt = k * ((m + 1) * n * logn + (m - 1) * n + encode) + out_len * k * (k + 4);
+    (sb, ntt)
+}
+
+/// Convolves all of `ops` in one shared transform iff the calibrated cost
+/// model says it beats the iterated schoolbook fold (`None` otherwise —
+/// the caller keeps its own loop, which may still route individual steps
+/// through [`convolve_if_faster`]). Each convolution it replaces (one per
+/// operand beyond the first) counts toward `num.ntt_convolutions`.
+pub fn convolve_many_if_faster<C: Coeff>(ops: &[&[C]]) -> Option<Vec<C>> {
+    if ops.len() < 2 || ops.iter().any(|op| op.is_empty()) {
+        return None;
+    }
+    let (_, out_len) = many_bound(ops);
+    if out_len.next_power_of_two() > 1 << MAX_LOG {
+        return None;
+    }
+    match policy() {
+        NttPolicy::Never => return None,
+        NttPolicy::Force => {
+            NUM_NTT_CONVOLUTIONS.add(ops.len() as u64 - 1);
+            return Some(convolve_many_ntt(ops));
+        }
+        NttPolicy::Auto => {}
+    }
+    if out_len < MIN_NTT_LEN {
+        return None;
+    }
+    if ops.iter().any(|op| max_bits(op) == 0) {
+        return None; // a zero operand zeroes the product: schoolbook is free
+    }
+    let (sb, ntt) = model_units_many(ops);
+    if ntt * ntt_cost_permille() as u128 >= sb * 1000 {
+        return None;
+    }
+    NUM_NTT_CONVOLUTIONS.add(ops.len() as u64 - 1);
+    Some(convolve_many_ntt(ops))
 }
 
 #[cfg(test)]
@@ -797,6 +912,44 @@ mod tests {
         assert!(convolve_if_faster::<BigUint>(&zeros, &zeros).is_none());
     }
 
+    #[test]
+    fn many_small_known_convolution() {
+        // (1+x)(1+x)(1+x) = 1 + 3x + 3x² + x³.
+        let op: Vec<BigUint> = [1u64, 1].iter().map(|&v| BigUint::from_u64(v)).collect();
+        let got = convolve_many_ntt::<BigUint>(&[&op, &op, &op]);
+        let want: Vec<BigUint> = [1u64, 3, 3, 1]
+            .iter()
+            .map(|&v| BigUint::from_u64(v))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn many_with_zero_operand_is_zero() {
+        let z = vec![BigUint::zero(); 4];
+        let a: Vec<BigUint> = (1..5u64).map(BigUint::from_u64).collect();
+        let out = convolve_many_ntt::<BigUint>(&[&a, &z, &a]);
+        assert_eq!(out, vec![BigUint::zero(); 4 + 4 + 4 - 2]);
+        assert!(convolve_many_if_faster::<BigUint>(&[&a, &z, &a]).is_none());
+    }
+
+    #[test]
+    fn many_counts_one_convolution_per_fold_step() {
+        let v = (BigUint::one() << 300) - BigUint::from_u64(3);
+        let op: Vec<BigUint> = (0..64).map(|_| v.clone()).collect();
+        let ops: Vec<&[BigUint]> = vec![&op, &op, &op, &op];
+        set_ntt_policy(NttPolicy::Force);
+        let before = NUM_NTT_CONVOLUTIONS.get();
+        let got = convolve_many_if_faster::<BigUint>(&ops).expect("forced");
+        set_ntt_policy(NttPolicy::Auto);
+        assert_eq!(NUM_NTT_CONVOLUTIONS.get() - before, 3);
+        // Against the pairwise NTT fold (itself schoolbook-verified).
+        let mut want = convolve_ntt::<BigUint>(&op, &op);
+        want = convolve_ntt::<BigUint>(&want, &op);
+        want = convolve_ntt::<BigUint>(&want, &op);
+        assert_eq!(got, want);
+    }
+
     proptest! {
         /// NTT/CRT ≡ schoolbook on random multi-limb coefficient vectors.
         #[test]
@@ -809,6 +962,27 @@ mod tests {
             let a: Vec<BigUint> = a.into_iter().map(BigUint::from_limbs).collect();
             let b: Vec<BigUint> = b.into_iter().map(BigUint::from_limbs).collect();
             prop_assert_eq!(convolve_ntt::<BigUint>(&a, &b), schoolbook(&a, &b));
+        }
+
+        /// Shared-transform multi-operand NTT ≡ the iterated schoolbook
+        /// fold it replaces, on 2–5 random operands.
+        #[test]
+        fn prop_ntt_many_matches_schoolbook_fold(
+            ops in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec(any::<u64>(), 1..4), 1..16),
+                2..6),
+        ) {
+            let ops: Vec<Vec<BigUint>> = ops
+                .into_iter()
+                .map(|op| op.into_iter().map(BigUint::from_limbs).collect())
+                .collect();
+            let refs: Vec<&[BigUint]> = ops.iter().map(|op| op.as_slice()).collect();
+            let mut want = ops[0].clone();
+            for op in &ops[1..] {
+                want = schoolbook(&want, op);
+            }
+            prop_assert_eq!(convolve_many_ntt::<BigUint>(&refs), want);
         }
     }
 }
