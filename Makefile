@@ -1,6 +1,6 @@
 # Convenience targets mirroring .github/workflows/ci.yml for offline use.
 
-.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-alg1 bench-kc bench-serve bench-net bench-measures bench
+.PHONY: check fmt build test clippy doc quickstart bench-smoke bench-cache bench-exact bench-alg1 bench-kc bench-serve bench-net bench-measures bench-rank bench
 
 check: fmt build test clippy doc quickstart
 
@@ -71,6 +71,14 @@ bench-net:
 # results/bench_measures.json.
 bench-measures:
 	cargo bench --bench measures -p shapdb_bench
+
+# JOB-scale top-k ranking: streamed lineage extraction (chunk-bounded peak
+# memory) + bound-driven early termination at k ∈ {1, 10, 100} vs the
+# solve-everything baseline on the 12k-answer JOB corpus. Asserts ≥ 10⁴
+# answers, ≤ 25% of answers solved at k = 10, and a bit-identical prefix;
+# warns below the 3x wall-clock bar. Writes results/bench_rank.json.
+bench-rank:
+	cargo bench --bench rank_topk -p shapdb_bench
 
 bench:
 	cargo bench -p shapdb_bench

@@ -1,0 +1,242 @@
+//! Bound-driven top-k ranking at JOB scale: streamed lineage extraction
+//! plus admission-controlled solving versus the solve-everything batch.
+//!
+//! The corpus is the seeded JOB-style generator at bench scale
+//! (`JobConfig::default()`, ≥ 10⁴ answers — one per movie — over ~2·10⁵
+//! base tuples). Lineages are extracted **streamed**: each answer's
+//! provenance flows through the bounded channel, is fingerprinted
+//! immediately, and the raw DNF drops — peak provenance memory stays
+//! chunk-bounded while the canonical fingerprints are all that persist.
+//!
+//! Series (single worker, fresh planner + result cache per pass, so every
+//! number is a cold solve):
+//!
+//! * `full` — the solve-everything baseline: the top-k executor with
+//!   `k = answers`, which never prunes and degenerates to the ordinary
+//!   batch (timed once; it is the slow side of the comparison);
+//! * `topk_k{1,10,100}` — bound-driven early termination at the ISSUE's
+//!   three k values.
+//!
+//! In-bench assertions (the deterministic acceptance bars):
+//!
+//! * the corpus yields ≥ 10⁴ answers;
+//! * at k = 10 the admission loop solves ≤ 25 % of the answers;
+//! * every top-k list is **bit-identical** to the baseline ranking's
+//!   length-k prefix — indices, scores, and translated values.
+//!
+//! The ≥ 3× wall-clock bar is recorded in the JSON and warned about (not
+//! asserted — wall-clock on shared CI is noisy; the pruning counters above
+//! are the deterministic proxy).
+//!
+//! Results land in `results/bench_rank.json` (`make bench-rank`, uploaded
+//! as a CI artifact).
+
+use shapdb_circuit::{fingerprint, Fingerprint};
+use shapdb_core::engine::{
+    EngineValues, Planner, PlannerConfig, ShapleyCache, TopKExecutor, TopKReport,
+};
+use shapdb_core::exact::ExactConfig;
+use shapdb_kc::Budget;
+use shapdb_num::Rational;
+use shapdb_query::with_streamed_lineages;
+use shapdb_workloads::{job_database, job_ranking_query, JobConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+const KS: [usize; 3] = [1, 10, 100];
+const SAMPLES: usize = 3;
+const STREAM_CHUNK: usize = 256;
+
+fn median_ns(n: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// One cold ranking pass: fresh planner, fresh result cache.
+fn rank(fps: &[Fingerprint], k: usize, n_endo: usize) -> TopKReport {
+    let planner = Planner::new(PlannerConfig::default()).with_cache(Arc::new(ShapleyCache::new()));
+    TopKExecutor::new(planner)
+        .run(
+            fps.iter().cloned(),
+            k,
+            n_endo,
+            &Budget::unlimited(),
+            &ExactConfig::default(),
+        )
+        .expect("the default planner stays exact on the JOB corpus")
+}
+
+/// `(index, score)` view of a report's admitted answers.
+fn prefix(report: &TopKReport) -> Vec<(usize, Rational)> {
+    report
+        .top
+        .iter()
+        .map(|i| (i.index, i.score.clone()))
+        .collect()
+}
+
+fn main() {
+    let cfg = JobConfig::default();
+    let db = job_database(&cfg);
+    let q = job_ranking_query();
+    let n_endo = db.num_endogenous();
+
+    // Streamed extraction: fingerprint per answer inside the bounded
+    // channel's consumer; raw lineages never accumulate.
+    let t = Instant::now();
+    let (fps, stream) = with_streamed_lineages(&q, &db, STREAM_CHUNK, |answers| {
+        answers
+            .map(|out| fingerprint(&out.endo_lineage(&db)))
+            .collect::<Vec<Fingerprint>>()
+    });
+    let extract_ms = t.elapsed().as_nanos() as f64 / 1e6;
+    let answers = fps.len();
+    assert!(
+        answers >= 10_000,
+        "the bench corpus must produce ≥ 10⁴ answers, got {answers}"
+    );
+    assert!(
+        stream.peak_in_flight_literals <= (STREAM_CHUNK + 1) * stream.max_answer_literals,
+        "streamed peak {} exceeds the chunk bound",
+        stream.peak_in_flight_literals
+    );
+    println!(
+        "JOB corpus: {} answers, {} endogenous facts, {} total lineage literals \
+         (peak in flight {}), extracted in {:.0} ms",
+        answers, n_endo, stream.total_literals, stream.peak_in_flight_literals, extract_ms
+    );
+
+    // Solve-everything baseline: k = answers never prunes. Timed once —
+    // this is the minutes-side of the comparison.
+    let t = Instant::now();
+    let baseline = rank(&fps, answers, n_endo);
+    let full_ns = t.elapsed().as_nanos();
+    assert_eq!(baseline.pruned_answers, 0, "k = answers must not prune");
+    let baseline_prefix = prefix(&baseline);
+    println!(
+        "full ranking: {} distinct structures, {} engine runs, {:.0} ms",
+        baseline.dedup.distinct,
+        baseline.engine_runs,
+        full_ns as f64 / 1e6
+    );
+
+    let mut rows = Vec::new();
+    for k in KS {
+        let mut last: Option<TopKReport> = None;
+        let k_ns = median_ns(SAMPLES, || last = Some(rank(&fps, k, n_endo)));
+        let report = last.expect("sampled at least once");
+
+        // Losslessness: the pruned run's list is the baseline's prefix,
+        // bit for bit — indices, scores, and translated values.
+        assert_eq!(
+            prefix(&report),
+            baseline_prefix[..k.min(answers)].to_vec(),
+            "k={k}: top-k diverged from the full ranking's prefix"
+        );
+        for (a, b) in report.top.iter().zip(&baseline.top) {
+            let (EngineValues::Exact(x), EngineValues::Exact(y)) =
+                (&a.result.values, &b.result.values)
+            else {
+                panic!("exact values expected");
+            };
+            assert_eq!(x, y, "k={k}: translated values diverged at #{}", a.index);
+        }
+        if k == 10 {
+            assert!(
+                report.solved_answers * 4 <= answers,
+                "k=10 must solve ≤ 25% of answers: solved {} of {}",
+                report.solved_answers,
+                answers
+            );
+        }
+        let speedup = full_ns as f64 / k_ns as f64;
+        if speedup < 3.0 {
+            eprintln!(
+                "WARNING: k={k} speedup {speedup:.2}x is below the 3x bar \
+                 (topk {:.0} ms vs full {:.0} ms)",
+                k_ns as f64 / 1e6,
+                full_ns as f64 / 1e6
+            );
+        }
+        println!(
+            "k={k}: {:.0} ms ({speedup:.1}x), solved {}/{} answers \
+             ({}/{} structures), pruned {}",
+            k_ns as f64 / 1e6,
+            report.solved_answers,
+            answers,
+            report.solved_structures,
+            report.bound_passes,
+            report.pruned_answers
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"k\": {},\n",
+                "      \"median_ms\": {:.3},\n",
+                "      \"speedup_vs_full\": {:.3},\n",
+                "      \"solved_answers\": {},\n",
+                "      \"pruned_answers\": {},\n",
+                "      \"solved_structures\": {},\n",
+                "      \"pruned_structures\": {},\n",
+                "      \"engine_runs\": {},\n",
+                "      \"prefix_identical\": true\n",
+                "    }}"
+            ),
+            k,
+            k_ns as f64 / 1e6,
+            speedup,
+            report.solved_answers,
+            report.pruned_answers,
+            report.solved_structures,
+            report.pruned_structures,
+            report.engine_runs,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"rank_topk\",\n",
+            "  \"samples\": {},\n",
+            "  \"workload\": {{\n",
+            "    \"movies\": {},\n",
+            "    \"answers\": {},\n",
+            "    \"n_endo\": {},\n",
+            "    \"distinct_structures\": {},\n",
+            "    \"total_lineage_literals\": {},\n",
+            "    \"peak_in_flight_literals\": {},\n",
+            "    \"stream_chunk\": {}\n",
+            "  }},\n",
+            "  \"extract_ms\": {:.3},\n",
+            "  \"full_ms\": {:.3},\n",
+            "  \"full_engine_runs\": {},\n",
+            "  \"topk\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SAMPLES,
+        cfg.movies,
+        answers,
+        n_endo,
+        baseline.dedup.distinct,
+        stream.total_literals,
+        stream.peak_in_flight_literals,
+        STREAM_CHUNK,
+        extract_ms,
+        full_ns as f64 / 1e6,
+        baseline.engine_runs,
+        rows.join(",\n"),
+    );
+    let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results_dir).expect("create results/");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench_rank.json");
+    std::fs::write(path, &json).expect("write results/bench_rank.json");
+    println!("rank_topk summary -> {path}");
+    print!("{json}");
+}

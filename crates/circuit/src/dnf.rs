@@ -62,8 +62,16 @@ impl Dnf {
     }
 
     /// Removes conjuncts that are supersets of another conjunct (absorption:
-    /// `x ∨ (x ∧ y) = x`). Keeps the function identical while shrinking the
-    /// representation.
+    /// `x ∨ (x ∧ y) = x`) and sorts the survivors into canonical
+    /// (lexicographic) order. Keeps the function identical while shrinking
+    /// the representation.
+    ///
+    /// The canonical order makes the minimized form *unique*: the surviving
+    /// conjuncts of a monotone DNF are its minimal conjuncts, a set that
+    /// does not depend on insertion order — so two evaluation strategies
+    /// that enumerate derivations in different orders (the materializing
+    /// evaluator and the per-answer streaming extractor) produce
+    /// bit-identical minimized lineages.
     ///
     /// Subsumption runs on dense [`Bitset`]s — one word-parallel subset test
     /// per pair, `O(conjuncts² · words)` — instead of per-pair merges over
@@ -110,6 +118,7 @@ impl Dnf {
             idx += 1;
             k
         });
+        self.conjuncts.sort_unstable();
     }
 
     /// Disjunction: the union of both conjunct sets (provenance of a

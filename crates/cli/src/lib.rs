@@ -41,16 +41,17 @@ pub mod serve;
 pub use listen::{run_listen, SocketServer};
 pub use serve::{parse_serve_args, run_serve, ServeOptions, ServeSummary};
 
-use shapdb_circuit::Dnf;
+use shapdb_circuit::{fingerprint, Dnf};
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
 use shapdb_core::engine::{
     BatchExecutor, EngineKind, EngineValues, Measure, Planner, PlannerConfig, ShapleyCache,
+    TopKExecutor,
 };
 use shapdb_core::exact::ExactConfig;
 use shapdb_data::{Database, FactId, Value};
 use shapdb_kc::Budget;
 use shapdb_num::Rational;
-use shapdb_query::{evaluate, parse_ucq, Ucq};
+use shapdb_query::{evaluate, parse_ucq, with_streamed_lineages, Ucq};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -131,6 +132,10 @@ pub struct Config {
     pub cache_capacity: usize,
     /// The attribution measure per answer (`--measure`, default Shapley).
     pub measure: Measure,
+    /// `--top-k`: rank answers by their best fact's Shapley value and
+    /// report only the `k` best, pruning the rest unsolved via the
+    /// bound-driven top-k executor over streamed lineages.
+    pub top_k: Option<usize>,
 }
 
 /// A user-facing failure: bad arguments, unreadable CSV, bad query, or an
@@ -215,6 +220,13 @@ OPTIONS:
                         (default shapley) — the attribution measure per
                         answer; all ride the same planner routes and the
                         measure-keyed result cache
+    --top-k <K>         rank answers by their best fact's exact Shapley
+                        value and report only the K best: lineages stream
+                        through a bounded channel (memory stays chunk-
+                        bounded) and structures whose cheap upper bound
+                        falls below the K-th best score are pruned
+                        unsolved. Exact engines only; incompatible with
+                        --agg, --measure, and forced inexact --engine
     --help              print this text
 ";
 
@@ -230,6 +242,7 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
     let mut aggregate = Aggregate::None;
     let mut cache_capacity = ShapleyCache::DEFAULT_CAPACITY;
     let mut measure = Measure::Shapley;
+    let mut top_k: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -294,6 +307,13 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
                 measure =
                     Measure::parse(spec).ok_or_else(|| err(format!("unknown measure `{spec}`")))?
             }
+            "--top-k" => {
+                top_k = Some(
+                    take()?
+                        .parse()
+                        .map_err(|_| err("--top-k expects a non-negative integer"))?,
+                )
+            }
             "--help" | "-h" => return Err(err(USAGE)),
             other => return Err(err(format!("unknown argument `{other}`"))),
         }
@@ -303,6 +323,25 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
             "--agg relies on the Shapley value's linearity and cannot be \
              combined with --measure {measure}"
         )));
+    }
+    if top_k.is_some() {
+        if aggregate != Aggregate::None {
+            return Err(err(
+                "--top-k ranks per-answer and cannot be combined with --agg",
+            ));
+        }
+        if measure != Measure::Shapley {
+            return Err(err(format!(
+                "--top-k prunes against Shapley bounds and cannot be \
+                 combined with --measure {measure}"
+            )));
+        }
+        if let EngineChoice::Forced(kind) = engine {
+            return Err(err(format!(
+                "--top-k needs the exact planner's scores; drop \
+                 `--engine {kind}` (or use --engine exact)"
+            )));
+        }
     }
     Ok(Config {
         db_dir: db_dir.ok_or_else(|| err("--db is required"))?,
@@ -315,6 +354,7 @@ pub fn parse_args(args: &[String]) -> Result<Config, CliError> {
         aggregate,
         cache_capacity,
         measure,
+        top_k,
     })
 }
 
@@ -426,10 +466,81 @@ fn render_exact(out: &mut String, db: &Database, top: usize, values: &[(FactId, 
     }
 }
 
+/// The `--top-k` path: stream lineages (chunk-bounded memory), fingerprint
+/// each answer, and let the bound-driven top-k executor solve only the
+/// structures that can still make the list.
+fn run_topk(db: &Database, q: &Ucq, k: usize, cfg: &Config) -> Result<String, CliError> {
+    let n_endo = db.num_endogenous();
+    let ((tuples, fps), stream) = with_streamed_lineages(q, db, 256, |answers| {
+        let mut tuples = Vec::new();
+        let mut fps = Vec::new();
+        for out in answers {
+            fps.push(fingerprint(&out.endo_lineage(db)));
+            tuples.push(out.tuple);
+        }
+        (tuples, fps)
+    });
+    // Exact routes only (the pruning threshold compares exact scores); the
+    // per-lineage timeout still applies through the planner.
+    let mut planner = Planner::for_query(EngineChoice::Exact.planner_config(cfg.timeout), q);
+    if cfg.cache_capacity > 0 {
+        planner = planner.with_cache(std::sync::Arc::new(ShapleyCache::with_capacity(
+            cfg.cache_capacity,
+        )));
+    }
+    let report = TopKExecutor::new(planner)
+        .run(
+            fps,
+            k,
+            n_endo,
+            &Budget::unlimited(),
+            &ExactConfig::default(),
+        )
+        .map_err(|e| err(format!("top-k ranking failed: {e}")))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} fact(s), {} endogenous; {} answer(s) for {}\n",
+        db.num_facts(),
+        n_endo,
+        report.answers,
+        q
+    ));
+    out.push_str(&format!(
+        "top-{k}: solved {} answer(s) ({} structure(s)), pruned {} answer(s) \
+         ({} structure(s)) unsolved; peak {} streamed literal(s)\n",
+        report.solved_answers,
+        report.solved_structures,
+        report.pruned_answers,
+        report.pruned_structures,
+        stream.peak_in_flight_literals
+    ));
+    for (rank, item) in report.top.iter().enumerate() {
+        out.push_str(&format!(
+            "#{} {}  best fact value {}  (≈{:.4})\n",
+            rank + 1,
+            render_tuple(&tuples[item.index]),
+            item.score,
+            item.score.to_f64()
+        ));
+        let EngineValues::Exact(values) = &item.result.values else {
+            unreachable!("top-k results are exact");
+        };
+        let values: Vec<(FactId, Rational)> = values
+            .iter()
+            .map(|(v, r)| (FactId(v.0), r.clone()))
+            .collect();
+        render_exact(&mut out, db, cfg.top, &values);
+    }
+    Ok(out)
+}
+
 /// Runs the tool and returns the rendered report.
 pub fn run(cfg: &Config) -> Result<String, CliError> {
     let db = load_database(&cfg.db_dir, cfg.endo.as_deref())?;
     let q: Ucq = parse_ucq(&cfg.query).map_err(|e| err(format!("query: {e}")))?;
+    if let Some(k) = cfg.top_k {
+        return run_topk(&db, &q, k, cfg);
+    }
     let n_endo = db.num_endogenous();
     let res = evaluate(&q, &db);
 
@@ -838,6 +949,58 @@ mod tests {
         .unwrap_err();
         assert!(e.0.contains("linearity"), "{e}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn top_k_reports_the_best_answers() {
+        let dir = flights_dir("topk");
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            FLIGHTS_QUERY,
+            "--endo",
+            "Flights",
+            "--top-k",
+            "1",
+        ]))
+        .unwrap();
+        assert!(report.contains("top-1: solved 1 answer(s)"), "{report}");
+        assert!(report.contains("best fact value 43/105"), "{report}");
+        assert!(report.contains("Flights(JFK, CDG)  43/105"), "{report}");
+        // k = 0 prunes every answer without a single solve.
+        let report = run_cli(&args(&[
+            "--db",
+            dir.to_str().unwrap(),
+            "--query",
+            "q(y) :- Flights(x, y)",
+            "--endo",
+            "Flights",
+            "--top-k",
+            "0",
+        ]))
+        .unwrap();
+        assert!(report.contains("top-0: solved 0 answer(s)"), "{report}");
+        assert!(report.contains("pruned 4 answer(s)"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn top_k_rejects_incompatible_flags() {
+        let base = &["--db", "d", "--query", "q", "--top-k", "2"];
+        let with = |extra: &[&str]| {
+            let mut cli = args(base);
+            cli.extend(args(extra));
+            parse_args(&cli)
+        };
+        let e = with(&["--agg", "count"]).unwrap_err();
+        assert!(e.0.contains("--agg"), "{e}");
+        let e = with(&["--measure", "banzhaf"]).unwrap_err();
+        assert!(e.0.contains("Shapley bounds"), "{e}");
+        let e = with(&["--engine", "proxy"]).unwrap_err();
+        assert!(e.0.contains("exact"), "{e}");
+        assert_eq!(with(&["--engine", "exact"]).unwrap().top_k, Some(2));
+        assert_eq!(with(&[]).unwrap().top_k, Some(2));
     }
 
     #[test]

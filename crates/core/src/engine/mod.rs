@@ -43,6 +43,7 @@ mod persist;
 mod planner;
 mod service;
 pub(crate) mod stages;
+mod topk;
 
 pub use batch::{BatchConfig, BatchExecutor, BatchItem, BatchReport, MeasureSweepReport};
 pub use cache::{CacheKey, CacheStats, ShapleyCache};
@@ -54,6 +55,7 @@ pub use service::{
     LineageRequest, ServiceClient, ServiceConfig, ServiceStats, ShapleyService, Submission,
     SubmitError,
 };
+pub use topk::{shapley_bounds, ScoreBounds, TopKExecutor, TopKItem, TopKReport};
 
 pub use crate::measure::Measure;
 

@@ -131,6 +131,10 @@ pub enum PlanReason {
     /// Beyond the admission budget: routed to the fallback engine (or to KC
     /// regardless, in exact mode).
     OverKcBudget,
+    /// Never solved: the top-k executor pruned the structure because its
+    /// cheap Shapley upper bound fell strictly below the k-th best exact
+    /// score already in hand.
+    TopKPruned,
 }
 
 /// A per-tuple routing decision.

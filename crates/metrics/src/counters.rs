@@ -128,10 +128,19 @@ pub static MEASURE_BANZHAF: Counter = Counter::new("measure.banzhaf");
 pub static MEASURE_RESPONSIBILITY: Counter = Counter::new("measure.responsibility");
 /// Lineage tasks asking for the SHAP-score measure.
 pub static MEASURE_SHAP_SCORE: Counter = Counter::new("measure.shap_score");
+/// Answers the top-k admission loop fully solved (their structure group was
+/// compiled and evaluated).
+pub static TOPK_SOLVED: Counter = Counter::new("topk.solved");
+/// Answers the top-k admission loop pruned: their Shapley upper bound fell
+/// strictly below the k-th solved score, so no compile was spent on them.
+pub static TOPK_PRUNED: Counter = Counter::new("topk.pruned");
+/// Structure-level bound computations performed by the top-k path (one per
+/// distinct lineage structure per ranking call).
+pub static TOPK_BOUND_PASSES: Counter = Counter::new("topk.bound_passes");
 
 /// The full counter registry, in a fixed order (the [`snapshot`] /
 /// [`CounterSnapshot`] row order).
-fn registry() -> [&'static Counter; 29] {
+fn registry() -> [&'static Counter; 32] {
     [
         &BATCH_TASKS,
         &BATCH_DISTINCT,
@@ -162,6 +171,9 @@ fn registry() -> [&'static Counter; 29] {
         &MEASURE_BANZHAF,
         &MEASURE_RESPONSIBILITY,
         &MEASURE_SHAP_SCORE,
+        &TOPK_SOLVED,
+        &TOPK_PRUNED,
+        &TOPK_BOUND_PASSES,
     ]
 }
 
@@ -427,6 +439,9 @@ mod tests {
         assert!(names.contains(&"measure.banzhaf"));
         assert!(names.contains(&"measure.responsibility"));
         assert!(names.contains(&"measure.shap_score"));
+        assert!(names.contains(&"topk.solved"));
+        assert!(names.contains(&"topk.pruned"));
+        assert!(names.contains(&"topk.bound_passes"));
     }
 
     #[test]

@@ -312,16 +312,30 @@ fn eval_rec(expr: &RaExpr, db: &Database) -> Annotated {
 /// minimized DNF lineage (same [`QueryResult`] the UCQ evaluator produces).
 pub fn evaluate_algebra(expr: &RaExpr, db: &Database) -> Result<QueryResult, AlgebraError> {
     arity(expr, db)?;
-    let result = eval_rec(expr, db);
-    let outputs = result
-        .rows
-        .into_iter()
-        .map(|(tuple, mut lineage)| {
-            lineage.minimize();
-            OutputTuple { tuple, lineage }
-        })
-        .collect();
+    let mut outputs = Vec::new();
+    for_each_algebra_output(expr, db, |out| outputs.push(out))?;
     Ok(QueryResult { outputs })
+}
+
+/// Evaluates an SPJU expression, handing each output tuple (with its
+/// canonical minimized lineage, same first-seen order as
+/// [`evaluate_algebra`]) to `consume` one at a time. Operator-at-a-time
+/// evaluation still materializes the intermediates, but the *root* results
+/// drain through the callback instead of accumulating a second time — the
+/// algebra-side counterpart of [`crate::stream::LineageStream`], and the
+/// shape its chunked consumers (e.g. [`crate::stream::with_streamed_lineages`]
+/// on the UCQ side) expect.
+pub fn for_each_algebra_output(
+    expr: &RaExpr,
+    db: &Database,
+    mut consume: impl FnMut(OutputTuple),
+) -> Result<(), AlgebraError> {
+    arity(expr, db)?;
+    for (tuple, mut lineage) in eval_rec(expr, db).rows {
+        lineage.minimize();
+        consume(OutputTuple { tuple, lineage });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -439,6 +453,26 @@ mod tests {
             .project([0])
             .union(RaExpr::scan("Flights"));
         assert!(evaluate_algebra(&bad_union, &db).is_err());
+    }
+
+    #[test]
+    fn streamed_outputs_match_evaluate_algebra_bit_for_bit() {
+        // The callback drain, the materializing entry point, and the UCQ
+        // streaming extractor all land on the same canonical minimized DNF.
+        let (db, _) = flights_example();
+        let expr = flights_algebra();
+        let materialized = evaluate_algebra(&expr, &db).unwrap();
+        let mut streamed = Vec::new();
+        for_each_algebra_output(&expr, &db, |out| streamed.push(out)).unwrap();
+        assert_eq!(streamed.len(), materialized.outputs.len());
+        for (s, m) in streamed.iter().zip(&materialized.outputs) {
+            assert_eq!(s.tuple, m.tuple);
+            assert_eq!(s.lineage, m.lineage);
+        }
+        let ucq_streamed: Vec<OutputTuple> =
+            crate::stream::LineageStream::new(&flights_query(), &db).collect();
+        assert_eq!(ucq_streamed.len(), 1);
+        assert_eq!(ucq_streamed[0].lineage, streamed[0].lineage);
     }
 
     #[test]

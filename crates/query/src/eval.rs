@@ -180,6 +180,49 @@ pub(crate) fn for_each_derivation(
     indexes: &mut Indexes,
     on_match: &mut OnDerivation<'_>,
 ) {
+    for_each_derivation_from(cq, db, indexes, vec![None; cq.num_vars()], on_match)
+}
+
+/// Builds an initial binding that pins `cq`'s head terms to `tuple`, so a
+/// subsequent [`for_each_derivation_from`] enumerates exactly the
+/// derivations of that one answer. Returns `None` when the tuple cannot be
+/// an answer of this disjunct at all: a head constant differs, or a
+/// repeated head variable would need two different values.
+pub(crate) fn seed_binding(cq: &ConjunctiveQuery, tuple: &[Value]) -> Option<Vec<Option<Value>>> {
+    debug_assert_eq!(cq.head.len(), tuple.len(), "head/tuple arity");
+    let mut binding: Vec<Option<Value>> = vec![None; cq.num_vars()];
+    for (term, value) in cq.head.iter().zip(tuple) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match &binding[v.index()] {
+                Some(existing) => {
+                    if existing != value {
+                        return None;
+                    }
+                }
+                None => binding[v.index()] = Some(value.clone()),
+            },
+        }
+    }
+    Some(binding)
+}
+
+/// [`for_each_derivation`] generalized to start from a partial `binding`
+/// (typically a [`seed_binding`]): only derivations consistent with the
+/// pre-bound variables are enumerated. The per-answer streaming extractor
+/// in [`crate::stream`] is built on this.
+pub(crate) fn for_each_derivation_from(
+    cq: &ConjunctiveQuery,
+    db: &Database,
+    indexes: &mut Indexes,
+    mut binding: Vec<Option<Value>>,
+    on_match: &mut OnDerivation<'_>,
+) {
+    debug_assert_eq!(binding.len(), cq.num_vars(), "binding arity");
     // Resolve relations up front; a missing relation yields no derivations.
     let mut rel_indices = Vec::with_capacity(cq.atoms.len());
     for atom in &cq.atoms {
@@ -201,7 +244,6 @@ pub(crate) fn for_each_derivation(
         }
     }
 
-    let mut binding: Vec<Option<Value>> = vec![None; cq.num_vars()];
     let mut used: Vec<FactId> = Vec::with_capacity(cq.atoms.len());
     let mut remaining: Vec<usize> = (0..cq.atoms.len()).collect();
     search(

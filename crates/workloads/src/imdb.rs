@@ -13,7 +13,7 @@
 //! `movie_keyword`, `cast_info`) are endogenous; dictionary tables are
 //! exogenous.
 
-use crate::WorkloadQuery;
+use crate::{WorkloadQuery, Zipf};
 use rand::prelude::*;
 use shapdb_data::{Database, Value};
 use shapdb_query::{CmpOp, CqBuilder, Term, Ucq};
@@ -65,32 +65,6 @@ const KEYWORD_NAMES: [&str; 10] = [
     "justice",
     "dream",
 ];
-
-/// Zipf(1) sampler over `0..n` via inverse-CDF on precomputed cumulative
-/// weights — popular ids are low ids.
-struct Zipf {
-    cumulative: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize) -> Zipf {
-        let mut cumulative = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for i in 0..n {
-            acc += 1.0 / (i + 1) as f64;
-            cumulative.push(acc);
-        }
-        Zipf { cumulative }
-    }
-
-    fn sample(&self, rng: &mut StdRng) -> usize {
-        let total = *self.cumulative.last().expect("non-empty Zipf domain");
-        let x = rng.random_range(0.0..total);
-        self.cumulative
-            .partition_point(|&c| c < x)
-            .min(self.cumulative.len() - 1)
-    }
-}
 
 /// Generates the IMDB-lite database.
 ///

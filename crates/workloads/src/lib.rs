@@ -25,13 +25,42 @@
 
 pub mod flights;
 pub mod imdb;
+pub mod job;
 pub mod tpch;
 
 pub use flights::flights_workload;
 pub use imdb::{imdb_database, imdb_queries, ImdbConfig};
+pub use job::{job_database, job_ranking_query, JobConfig};
 pub use tpch::{tpch_database, tpch_queries, TpchConfig};
 
+use rand::prelude::*;
 use shapdb_query::Ucq;
+
+/// Zipf(1) sampler over `0..n` via inverse-CDF on precomputed cumulative
+/// weights — popular ids are low ids. Shared by the skewed generators.
+pub(crate) struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    pub(crate) fn new(n: usize) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / (i + 1) as f64;
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty Zipf domain");
+        let x = rng.random_range(0.0..total);
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
+    }
+}
 
 /// A named benchmark query.
 #[derive(Clone, Debug)]

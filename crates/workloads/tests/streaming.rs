@@ -1,0 +1,90 @@
+//! Streaming ≡ materialized extraction on the seeded workloads, plus the
+//! JOB-scale memory regression guard.
+//!
+//! [`LineageStream`] must reproduce `evaluate()`'s answers **bit-identically**
+//! — same order, same canonical minimized DNFs, same fingerprints — on every
+//! seeded database (TPC-H, IMDB, JOB), and bounded-channel consumption must
+//! keep peak provenance memory governed by the chunk size rather than the
+//! answer count.
+
+use shapdb_circuit::fingerprint;
+use shapdb_query::{evaluate, with_streamed_lineages, LineageStream, OutputTuple, Ucq};
+use shapdb_workloads::{
+    imdb_database, imdb_queries, job_database, job_ranking_query, tpch_database, tpch_queries,
+    ImdbConfig, JobConfig, TpchConfig,
+};
+
+fn assert_bit_identical(q: &Ucq, db: &shapdb_data::Database, tag: &str) {
+    let materialized = evaluate(q, db);
+    let streamed: Vec<OutputTuple> = LineageStream::new(q, db).collect();
+    assert_eq!(streamed.len(), materialized.outputs.len(), "{tag}: answers");
+    for (s, m) in streamed.iter().zip(&materialized.outputs) {
+        assert_eq!(s.tuple, m.tuple, "{tag}: answer order");
+        assert_eq!(s.lineage, m.lineage, "{tag}: lineage of {:?}", s.tuple);
+        let (se, me) = (s.endo_lineage(db), m.endo_lineage(db));
+        assert_eq!(se, me, "{tag}: endo lineage of {:?}", s.tuple);
+        if !se.is_empty() {
+            assert_eq!(
+                fingerprint(&se).shared_key(),
+                fingerprint(&me).shared_key(),
+                "{tag}: fingerprint of {:?}",
+                s.tuple
+            );
+        }
+    }
+}
+
+#[test]
+fn tpch_streams_bit_identically() {
+    let db = tpch_database(&TpchConfig {
+        scale: 0.5,
+        ..Default::default()
+    });
+    for q in tpch_queries() {
+        assert_bit_identical(&q.ucq, &db, &q.name);
+    }
+}
+
+#[test]
+fn imdb_streams_bit_identically() {
+    let db = imdb_database(&ImdbConfig {
+        movies: 250,
+        ..Default::default()
+    });
+    for q in imdb_queries() {
+        assert_bit_identical(&q.ucq, &db, &q.name);
+    }
+}
+
+#[test]
+fn job_streams_bit_identically() {
+    let db = job_database(&JobConfig::smoke());
+    assert_bit_identical(&job_ranking_query(), &db, "job");
+}
+
+#[test]
+fn job_streaming_peak_is_chunk_bounded() {
+    // The memory regression guard: streaming the JOB corpus through a small
+    // bounded channel must never hold more than (chunk + 1) answers' worth
+    // of literals at once, a small fraction of what materializing holds.
+    let cfg = JobConfig::smoke();
+    let db = job_database(&cfg);
+    let q = job_ranking_query();
+    let chunk = 16;
+    let (n, stats) = with_streamed_lineages(&q, &db, chunk, |it| it.count());
+    assert_eq!(n, cfg.movies);
+    assert_eq!(stats.answers, cfg.movies);
+    assert!(
+        stats.peak_in_flight_literals <= (chunk + 1) * stats.max_answer_literals,
+        "peak {} exceeds chunk bound ({} × {})",
+        stats.peak_in_flight_literals,
+        chunk + 1,
+        stats.max_answer_literals
+    );
+    assert!(
+        stats.peak_in_flight_literals * 4 < stats.total_literals,
+        "peak {} is not well below the materialized total {}",
+        stats.peak_in_flight_literals,
+        stats.total_literals
+    );
+}

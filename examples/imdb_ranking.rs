@@ -40,13 +40,23 @@ fn main() {
             timeout,
             ..Default::default()
         };
-        let rankings = analyzer.rank(&q.ucq, &cfg);
+        let report = analyzer.rank(&q.ucq, &cfg);
+        let rankings = report.rankings;
         let exact = rankings.iter().filter(|r| r.outcome.is_exact()).count();
         println!(
             "{} output tuples: {} exact, {} proxy-ranked",
             rankings.len(),
             exact,
             rankings.len() - exact
+        );
+        println!(
+            "dedup: {} of {} answers reused an isomorphic structure; \
+             {} engine run(s), cache {} hit(s) / {} miss(es)",
+            report.dedup.reused,
+            report.dedup.tasks,
+            report.engine_runs,
+            report.cache.hits,
+            report.cache.misses
         );
         if let Some(r) = rankings.first() {
             let tuple: Vec<String> = r.tuple.iter().map(|v| v.to_string()).collect();

@@ -43,12 +43,12 @@ pub use shapdb_prob as prob;
 pub use shapdb_query as query;
 pub use shapdb_workloads as workloads;
 
-use shapdb_circuit::{Circuit, Dnf};
+use shapdb_circuit::{fingerprint, Circuit, Dnf};
 use shapdb_core::aggregate::{count_shapley, sum_shapley};
 pub use shapdb_core::engine::Measure;
 use shapdb_core::engine::{
     BatchExecutor, CacheStats, EngineError, EngineKind, EngineValues, Planner, PlannerConfig,
-    ServiceConfig, ShapleyCache, ShapleyService,
+    ServiceConfig, ShapleyCache, ShapleyService, TopKExecutor,
 };
 use shapdb_core::exact::ExactConfig;
 use shapdb_core::hybrid::{HybridConfig, HybridOutcome};
@@ -57,7 +57,9 @@ use shapdb_data::{Database, FactId, Value};
 use shapdb_kc::Budget;
 use shapdb_metrics::counters::{CacheRunStats, DedupStats, NumRunStats};
 use shapdb_num::Rational;
-use shapdb_query::{evaluate, evaluate_negated, NegatedQuery, QueryResult, Ucq};
+use shapdb_query::{
+    evaluate, evaluate_negated, with_streamed_lineages, NegatedQuery, QueryResult, StreamStats, Ucq,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -88,6 +90,71 @@ pub type TupleResponsibilities = (Vec<Value>, Vec<(FactId, Rational)>);
 pub struct TupleRanking {
     pub tuple: Vec<Value>,
     pub outcome: HybridOutcome,
+}
+
+/// A [`ShapleyAnalyzer::rank`] result: the per-answer hybrid outcomes plus
+/// the batch executor's bookkeeping, so callers can see how much work the
+/// structural dedup and the result cache saved on the ranking path too.
+#[derive(Clone, Debug)]
+pub struct RankReport {
+    /// Per-answer hybrid rankings, in answer order.
+    pub rankings: Vec<TupleRanking>,
+    /// Lineage-dedup statistics across the ranked answers.
+    pub dedup: DedupStats,
+    /// Actual engine invocations (cache-served structures run none).
+    pub engine_runs: usize,
+    /// Cross-query result-cache traffic (all zeros when caching is off).
+    pub cache: CacheRunStats,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time of the ranking batch (excluding query evaluation).
+    pub total_time: Duration,
+}
+
+/// One answer admitted to a [`ShapleyAnalyzer::rank_topk`] list.
+#[derive(Clone, Debug)]
+pub struct RankedAnswer {
+    /// The answer's position in the query's output order.
+    pub index: usize,
+    /// The output tuple (empty for Boolean queries).
+    pub tuple: Vec<Value>,
+    /// The answer's score: its best fact's exact Shapley value.
+    pub score: Rational,
+    /// `(fact, exact Shapley value)` sorted by decreasing value, null
+    /// players omitted — the same shape [`TupleExplanation`] carries.
+    pub attributions: Vec<(FactId, Rational)>,
+}
+
+/// A [`ShapleyAnalyzer::rank_topk`] result: the `k` best answers plus the
+/// pruning and streaming bookkeeping.
+#[derive(Clone, Debug)]
+pub struct TopKRanking {
+    /// The `k` best answers under (score desc, output order asc) —
+    /// bit-identical to the full ranking's length-`k` prefix.
+    pub top: Vec<RankedAnswer>,
+    /// The requested `k`.
+    pub k: usize,
+    /// Answers the query produced.
+    pub answers: usize,
+    /// Answers whose structure was actually solved.
+    pub solved_answers: usize,
+    /// Answers pruned unsolved by the bound threshold.
+    pub pruned_answers: usize,
+    /// Distinct lineage structures solved.
+    pub solved_structures: usize,
+    /// Distinct lineage structures pruned unsolved.
+    pub pruned_structures: usize,
+    /// Structural dedup over the answers.
+    pub dedup: DedupStats,
+    /// Cross-query result-cache traffic of the solves.
+    pub cache: CacheRunStats,
+    /// Actual engine invocations.
+    pub engine_runs: usize,
+    /// What the streaming lineage extraction observed; peak provenance
+    /// memory is bounded by the stream chunk, not the answer count.
+    pub stream: StreamStats,
+    /// Wall time of the ranking (excluding query evaluation).
+    pub total_time: Duration,
 }
 
 /// An [`ShapleyAnalyzer::explain_batch`] result: the explanations plus the
@@ -321,7 +388,10 @@ impl<'a> ShapleyAnalyzer<'a> {
     /// exact under any realistic timeout (the fast path is microseconds —
     /// but the per-lineage deadline now bounds *every* exact engine, so a
     /// zero timeout degrades everything to the ranking fallback).
-    pub fn rank(&self, q: &Ucq, cfg: &HybridConfig) -> Vec<TupleRanking> {
+    ///
+    /// Returns the rankings wrapped in a [`RankReport`] carrying the batch
+    /// bookkeeping (dedup hit rate, cache traffic, engine runs).
+    pub fn rank(&self, q: &Ucq, cfg: &HybridConfig) -> RankReport {
         let planner_cfg = PlannerConfig {
             // Paper mode (no fast path): straight to knowledge compilation.
             force: (!cfg.try_read_once).then_some(EngineKind::Kc),
@@ -334,7 +404,15 @@ impl<'a> ShapleyAnalyzer<'a> {
             ..Default::default()
         };
         let (res, report) = self.run_batch(q, planner_cfg, &cfg.exact, Measure::Shapley);
-        res.outputs
+        let (dedup, cache, engine_runs, threads, total_time) = (
+            report.dedup,
+            report.cache,
+            report.engine_runs,
+            report.threads,
+            report.total_time,
+        );
+        let rankings = res
+            .outputs
             .into_iter()
             .zip(report.items)
             .map(|(tuple, item)| {
@@ -344,7 +422,83 @@ impl<'a> ShapleyAnalyzer<'a> {
                     outcome: result.into(),
                 }
             })
-            .collect()
+            .collect();
+        RankReport {
+            rankings,
+            dedup,
+            engine_runs,
+            cache,
+            threads,
+            total_time,
+        }
+    }
+
+    /// The `k` best answers of `q` by their top fact's exact Shapley value,
+    /// without solving everything: lineages are extracted one answer at a
+    /// time through the bounded streaming channel (peak provenance memory
+    /// is governed by the chunk, not the answer count), each answer is
+    /// reduced to its canonical fingerprint immediately, and the top-k
+    /// executor solves structures in decreasing upper-bound order, pruning
+    /// every structure whose cheap bound falls strictly below the `k`-th
+    /// best exact score already in hand. Pruning is lossless: the returned
+    /// list is bit-identical to the full ranking's length-`k` prefix under
+    /// (score desc, output order asc) — tie-breaks included.
+    ///
+    /// Shares the analyzer's cross-query result cache, so ranking after
+    /// `explain` (or vice versa) reuses every solved structure.
+    pub fn rank_topk(&self, q: &Ucq, k: usize) -> Result<TopKRanking, AnalysisError> {
+        // Large enough to keep the producer busy, small enough that peak
+        // provenance stays far below full materialization at JOB scale.
+        const STREAM_CHUNK: usize = 256;
+        let ((tuples, fps), stream) = with_streamed_lineages(q, self.db, STREAM_CHUNK, |answers| {
+            let mut tuples = Vec::new();
+            let mut fps = Vec::new();
+            for out in answers {
+                // Fingerprint now, drop the raw lineage with `out`.
+                fps.push(fingerprint(&out.endo_lineage(self.db)));
+                tuples.push(out.tuple);
+            }
+            (tuples, fps)
+        });
+        let mut planner = Planner::for_query(PlannerConfig::default(), q);
+        if let Some(cache) = &self.cache {
+            planner = planner.with_cache(cache.clone());
+        }
+        let report = TopKExecutor::new(planner)
+            .run(fps, k, self.db.num_endogenous(), &self.budget, &self.exact)
+            .map_err(|e| match e {
+                EngineError::Analysis(a) => a,
+                other => unreachable!("the default planner stays on exact engines: {other}"),
+            })?;
+        let top = report
+            .top
+            .into_iter()
+            .map(|item| {
+                let EngineValues::Exact(pairs) = item.result.values else {
+                    unreachable!("exact-mode planner yields exact values");
+                };
+                RankedAnswer {
+                    index: item.index,
+                    tuple: tuples[item.index].clone(),
+                    score: item.score,
+                    attributions: pairs.into_iter().map(|(v, r)| (FactId(v.0), r)).collect(),
+                }
+            })
+            .collect();
+        Ok(TopKRanking {
+            top,
+            k: report.k,
+            answers: report.answers,
+            solved_answers: report.solved_answers,
+            pruned_answers: report.pruned_answers,
+            solved_structures: report.solved_structures,
+            pruned_structures: report.pruned_structures,
+            dedup: report.dedup,
+            cache: report.cache,
+            engine_runs: report.engine_runs,
+            stream,
+            total_time: report.total_time,
+        })
     }
 
     /// Shapley values of the COUNT(*) aggregate game over `q`'s answers:
@@ -509,10 +663,14 @@ mod tests {
             timeout: std::time::Duration::ZERO,
             ..Default::default()
         };
-        let rankings = analyzer.rank(&flights_query(), &cfg);
-        assert_eq!(rankings.len(), 1);
-        assert!(!rankings[0].outcome.is_exact());
-        assert_eq!(rankings[0].outcome.ranking().len(), 7);
+        let report = analyzer.rank(&flights_query(), &cfg);
+        assert_eq!(report.rankings.len(), 1);
+        assert!(!report.rankings[0].outcome.is_exact());
+        assert_eq!(report.rankings[0].outcome.ranking().len(), 7);
+        // The ranking path surfaces the batch bookkeeping too.
+        assert_eq!(report.dedup.tasks, 1);
+        assert_eq!(report.dedup.distinct, 1);
+        assert!(report.threads >= 1);
     }
 
     #[test]
@@ -715,8 +873,69 @@ mod tests {
             try_read_once: true,
             ..Default::default()
         };
-        let rankings = analyzer.rank(&flights_query(), &cfg);
-        assert!(rankings[0].outcome.is_exact(), "read-once rescue");
-        assert_eq!(rankings[0].outcome.ranking()[0].0, a[0].0);
+        let report = analyzer.rank(&flights_query(), &cfg);
+        assert!(report.rankings[0].outcome.is_exact(), "read-once rescue");
+        assert_eq!(report.rankings[0].outcome.ranking()[0].0, a[0].0);
+        assert_eq!(report.engine_runs, 1);
+    }
+
+    #[test]
+    fn rank_topk_matches_the_full_rankings_prefix_on_job() {
+        use shapdb_workloads::{job_database, job_ranking_query, JobConfig};
+        let db = job_database(&JobConfig::smoke());
+        let q = job_ranking_query();
+        let analyzer = ShapleyAnalyzer::new(&db).with_threads(1);
+        // Solve-everything baseline: every answer scored by its best fact,
+        // ranked under (score desc, output order asc).
+        let batch = analyzer.explain_batch(&q).unwrap();
+        let mut baseline: Vec<(usize, Rational)> = batch
+            .explanations
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let best = e
+                    .attributions
+                    .first()
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(Rational::zero);
+                (i, best)
+            })
+            .collect();
+        baseline.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let n = baseline.len();
+        assert!(n > 10, "the JOB smoke corpus has plenty of answers");
+        for k in [1, 3, n] {
+            let ranking = analyzer.rank_topk(&q, k).unwrap();
+            assert_eq!(ranking.answers, n);
+            assert_eq!(ranking.solved_answers + ranking.pruned_answers, n);
+            let got: Vec<(usize, Rational)> = ranking
+                .top
+                .iter()
+                .map(|r| (r.index, r.score.clone()))
+                .collect();
+            assert_eq!(
+                got,
+                baseline[..k.min(n)].to_vec(),
+                "k={k}: the prefix must be bit-identical, ties included"
+            );
+            // Each admitted answer carries the same tuple and the same
+            // attribution list the solve-everything path produced.
+            for r in &ranking.top {
+                assert_eq!(r.tuple, batch.explanations[r.index].tuple, "k={k}");
+                assert_eq!(
+                    r.attributions, batch.explanations[r.index].attributions,
+                    "k={k} index={}",
+                    r.index
+                );
+            }
+            if k >= n {
+                assert_eq!(ranking.pruned_answers, 0, "k≥n never prunes");
+            }
+            // The stream stayed chunk-bounded regardless of answer count.
+            assert!(
+                ranking.stream.peak_in_flight_literals
+                    <= 257 * ranking.stream.max_answer_literals.max(1)
+            );
+        }
     }
 }
